@@ -1,0 +1,44 @@
+// Shared helpers for the per-figure benchmark harnesses.
+
+#ifndef DATAMPI_BENCH_BENCH_BENCH_UTIL_H_
+#define DATAMPI_BENCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "simfw/experiment.h"
+#include "simfw/profiles.h"
+
+namespace dmb::bench {
+
+/// \brief Prints the testbed banner (Table 2 of the paper).
+inline void PrintTestbed(std::ostream& os) {
+  const cluster::ClusterSpec spec;
+  os << "Simulated testbed (paper Table 2): " << spec.num_nodes
+     << " nodes, " << spec.node.hw_threads << " HW threads/node, "
+     << spec.node.memory_gb << " GB RAM, SATA disk ~"
+     << spec.node.disk_mixed_mbps << " MB/s mixed, 1 GbE ("
+     << spec.node.nic_mbps << " MB/s/dir); HDFS 256 MB blocks, 3 replicas, "
+     << "4 tasks/workers per node.\n";
+}
+
+/// \brief "x% faster than" helper: 1 - a/b as the paper reports it.
+inline double ImprovementOver(double ours, double baseline) {
+  if (baseline <= 0) return 0.0;
+  return 1.0 - ours / baseline;
+}
+
+/// \brief Formats a simulated result cell ("123.4" or "OOM" / "n/a").
+inline std::string Cell(const simfw::SimJobResult& job) {
+  if (job.status.IsOutOfMemory()) return "OOM";
+  if (job.status.code() == StatusCode::kNotImplemented) return "n/a";
+  if (!job.ok()) return "ERR";
+  return TablePrinter::Num(job.seconds, 1);
+}
+
+}  // namespace dmb::bench
+
+#endif  // DATAMPI_BENCH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+// Figure 2(a): HDFS block-size tuning with DFSIO.
+// Sweeps the block size over 64..512 MB for total file sizes 5..20 GB
+// and prints the DFSIO throughput; the paper picks 256 MB as the best.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "dfs/dfsio.h"
+
+int main() {
+  using namespace dmb;
+  using namespace dmb::bench;
+  PrintTestbed(std::cout);
+  std::cout << "Paper reference: throughput peaks at 256 MB blocks for "
+               "every file size (Figure 2a).\n";
+
+  PrintBanner(std::cout, "Figure 2(a): DFSIO write throughput (MB/s)");
+  const std::vector<int> block_sizes = {64, 128, 256, 512};
+  const std::vector<int> file_gb = {5, 10, 15, 20};
+
+  std::vector<std::string> header = {"file size"};
+  for (int b : block_sizes) header.push_back(std::to_string(b) + "MB blk");
+  header.push_back("best");
+  TablePrinter table(header);
+
+  for (int gb : file_gb) {
+    std::vector<std::string> row = {std::to_string(gb) + " GB"};
+    double best = -1;
+    int best_block = 0;
+    for (int block : block_sizes) {
+      dfs::DfsioOptions options;
+      options.total_bytes = static_cast<int64_t>(gb) * kGiB;
+      options.dfs.block_size_bytes = static_cast<int64_t>(block) << 20;
+      const auto result = dfs::RunDfsio(options);
+      row.push_back(TablePrinter::Num(result.throughput_mbps, 1));
+      if (result.throughput_mbps > best) {
+        best = result.throughput_mbps;
+        best_block = block;
+      }
+    }
+    row.push_back(std::to_string(best_block) + "MB");
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Figure 2(a) extension: DFSIO read throughput");
+  TablePrinter read_table({"file size", "256MB blk read MB/s"});
+  for (int gb : file_gb) {
+    dfs::DfsioOptions options;
+    options.total_bytes = static_cast<int64_t>(gb) * kGiB;
+    options.read_mode = true;
+    const auto result = dfs::RunDfsio(options);
+    read_table.AddRow({std::to_string(gb) + " GB",
+                       TablePrinter::Num(result.throughput_mbps, 1)});
+  }
+  read_table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 2(b): concurrent tasks/workers-per-node tuning via Text Sort.
+// Paper methodology: 1 GB per Hadoop/DataMPI task, 128 MB per Spark
+// worker, sweeping 2..6 slots per node; all three peak at 4.
+
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dmb;
+  using namespace dmb::bench;
+  using simfw::Framework;
+  PrintTestbed(std::cout);
+  std::cout << "Paper reference: all three systems peak at 4 tasks/workers "
+               "per node (Figure 2b).\n";
+
+  PrintBanner(std::cout,
+              "Figure 2(b): Text Sort throughput (MB/s) vs slots per node");
+  TablePrinter table({"slots/node", "Hadoop", "Spark", "DataMPI"});
+  std::vector<std::vector<double>> columns(3);
+  for (int slots : {2, 3, 4, 5, 6}) {
+    std::vector<std::string> row = {std::to_string(slots)};
+    int col = 0;
+    for (Framework fw :
+         {Framework::kHadoop, Framework::kSpark, Framework::kDataMPI}) {
+      simfw::ExperimentOptions options;
+      options.run.slots_per_node = slots;
+      // Paper: Spark workers process 128 MB each, so splits are 128 MB.
+      if (fw == Framework::kSpark) options.run.block_mb = 128;
+      const int64_t per_task = fw == Framework::kSpark ? 128 * kMiB : kGiB;
+      const int64_t data =
+          per_task * slots * options.cluster.num_nodes;
+      const auto r = simfw::SimulateWorkload(fw, simfw::TextSortProfile(),
+                                             data, options);
+      const double mbps =
+          r.job.ok() ? static_cast<double>(data) / kMiB / r.job.seconds
+                     : 0.0;
+      columns[static_cast<size_t>(col++)].push_back(mbps);
+      row.push_back(r.job.ok() ? TablePrinter::Num(mbps, 1) : Cell(r.job));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  const char* names[] = {"Hadoop", "Spark", "DataMPI"};
+  for (int c = 0; c < 3; ++c) {
+    size_t best = 0;
+    for (size_t i = 1; i < columns[c].size(); ++i) {
+      if (columns[c][i] > columns[c][best]) best = i;
+    }
+    std::cout << names[c] << " peaks at " << (best + 2)
+              << " slots/node (paper: 4)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 3: micro-benchmark job execution times.
+//   (a) Normal Sort, 4-32 GB   (Hadoop vs DataMPI; Spark OOMs)
+//   (b) Text Sort,   8-64 GB   (all three; Spark OOMs above 8 GB)
+//   (c) WordCount,   8-64 GB   (all three)
+//   (d) Grep,        8-64 GB   (all three)
+// Prints the simulated seconds and the improvement columns the paper
+// quotes (DataMPI 29-33% / 34-42% / 47-55% / 33-42% over Hadoop).
+
+#include <vector>
+
+#include "bench_util.h"
+
+namespace dmb::bench {
+namespace {
+
+using simfw::ExperimentOptions;
+using simfw::Framework;
+using simfw::SimulateWorkload;
+using simfw::WorkloadProfile;
+
+void RunSeries(const WorkloadProfile& profile, const std::vector<int>& sizes,
+               bool with_spark) {
+  PrintBanner(std::cout, "Figure 3: " + profile.name);
+  TablePrinter table({"data (GB)", "Hadoop (s)", "Spark (s)", "DataMPI (s)",
+                      "DataMPI vs Hadoop", "DataMPI vs Spark"});
+  for (int gb : sizes) {
+    const int64_t bytes = static_cast<int64_t>(gb) * kGiB;
+    ExperimentOptions options;
+    const auto h = SimulateWorkload(Framework::kHadoop, profile, bytes,
+                                    options);
+    const auto d = SimulateWorkload(Framework::kDataMPI, profile, bytes,
+                                    options);
+    simfw::ExperimentResult s;
+    if (with_spark) {
+      s = SimulateWorkload(Framework::kSpark, profile, bytes, options);
+    } else {
+      s.job.status = Status::NotImplemented("not evaluated in the paper");
+    }
+    table.AddRow(
+        {std::to_string(gb), Cell(h.job), Cell(s.job), Cell(d.job),
+         TablePrinter::Pct(ImprovementOver(d.job.seconds, h.job.seconds)),
+         s.job.ok()
+             ? TablePrinter::Pct(ImprovementOver(d.job.seconds,
+                                                 s.job.seconds))
+             : "-"});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace dmb::bench
+
+int main() {
+  using namespace dmb;
+  using namespace dmb::bench;
+  PrintTestbed(std::cout);
+  std::cout << "Paper reference bands: Normal Sort 29-33%, Text Sort "
+               "34-42% (39% vs Spark at 8 GB), WordCount 47-55% "
+               "(DataMPI ~= Spark), Grep 33-42% vs Hadoop / 19-29% vs "
+               "Spark.\n";
+  RunSeries(simfw::NormalSortProfile(), {4, 8, 16, 32}, true);
+  RunSeries(simfw::TextSortProfile(), {8, 16, 32, 64}, true);
+  RunSeries(simfw::WordCountProfile(), {8, 16, 32, 64}, true);
+  RunSeries(simfw::GrepProfile(), {8, 16, 32, 64}, true);
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Figure 7 / Section 4.7: the seven-pronged summary.
+// Re-derives all seven dimensions from fresh simulations:
+//   1. micro-benchmark performance   (avg improvement, Figure 3 runs)
+//   2. small-job performance         (Figure 5 runs)
+//   3. application performance       (Figure 6 runs)
+//   4. CPU efficiency                (Figure 4 averages)
+//   5. disk I/O throughput           (Figure 4 averages)
+//   6. network throughput            (Figure 4 averages)
+//   7. memory efficiency             (Figure 4 averages)
+// Paper reference: DataMPI improves on Hadoop by 40% (micro), 54%
+// (small), 36% (apps); on Spark by 14% and 33% (micro/apps); CPU
+// 35/34/59% (DataMPI/Spark/Hadoop); net +55%/+59% vs Spark/Hadoop.
+
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace dmb::bench {
+namespace {
+
+using simfw::ExperimentOptions;
+using simfw::Framework;
+using simfw::SimulateWorkload;
+
+struct Accumulator {
+  double sum = 0;
+  int n = 0;
+  void Add(double v) {
+    sum += v;
+    ++n;
+  }
+  double Mean() const { return n ? sum / n : 0.0; }
+};
+
+double RunSeconds(Framework fw, const simfw::WorkloadProfile& p, int64_t b,
+                  int slots = 4) {
+  ExperimentOptions options;
+  options.run.slots_per_node = slots;
+  const auto r = SimulateWorkload(fw, p, b, options);
+  return r.job.ok() ? r.job.seconds : -1.0;
+}
+
+}  // namespace
+}  // namespace dmb::bench
+
+int main() {
+  using namespace dmb;
+  using namespace dmb::bench;
+
+  PrintTestbed(std::cout);
+
+  // --- 1. Micro-benchmarks (vs Hadoop always; vs Spark where it runs).
+  Accumulator micro_vs_hadoop, micro_vs_spark;
+  struct MicroCase {
+    const simfw::WorkloadProfile* profile;
+    std::vector<int> gbs;
+  };
+  const std::vector<MicroCase> micro_cases = {
+      {&simfw::NormalSortProfile(), {4, 8, 16, 32}},
+      {&simfw::TextSortProfile(), {8, 16, 32, 64}},
+      {&simfw::WordCountProfile(), {8, 16, 32, 64}},
+      {&simfw::GrepProfile(), {8, 16, 32, 64}},
+  };
+  for (const auto& c : micro_cases) {
+    for (int gb : c.gbs) {
+      const int64_t bytes = static_cast<int64_t>(gb) * kGiB;
+      const double h = RunSeconds(simfw::Framework::kHadoop, *c.profile, bytes);
+      const double s = RunSeconds(simfw::Framework::kSpark, *c.profile, bytes);
+      const double d =
+          RunSeconds(simfw::Framework::kDataMPI, *c.profile, bytes);
+      if (h > 0 && d > 0) micro_vs_hadoop.Add(ImprovementOver(d, h));
+      if (s > 0 && d > 0) micro_vs_spark.Add(ImprovementOver(d, s));
+    }
+  }
+
+  // --- 2. Small jobs.
+  Accumulator small_vs_hadoop, small_vs_spark;
+  for (const auto* profile :
+       {&simfw::TextSortProfile(), &simfw::WordCountProfile(),
+        &simfw::GrepProfile()}) {
+    const double h =
+        RunSeconds(simfw::Framework::kHadoop, *profile, 128 * kMiB, 1);
+    const double s =
+        RunSeconds(simfw::Framework::kSpark, *profile, 128 * kMiB, 1);
+    const double d =
+        RunSeconds(simfw::Framework::kDataMPI, *profile, 128 * kMiB, 1);
+    if (h > 0 && d > 0) small_vs_hadoop.Add(ImprovementOver(d, h));
+    if (s > 0 && d > 0) small_vs_spark.Add(ImprovementOver(d, s));
+  }
+
+  // --- 3. Applications.
+  Accumulator app_vs_hadoop, app_vs_spark;
+  for (int gb : {8, 16, 32, 64}) {
+    const int64_t bytes = static_cast<int64_t>(gb) * kGiB;
+    const double hk =
+        RunSeconds(simfw::Framework::kHadoop, simfw::KmeansProfile(), bytes);
+    const double sk =
+        RunSeconds(simfw::Framework::kSpark, simfw::KmeansProfile(), bytes);
+    const double dk =
+        RunSeconds(simfw::Framework::kDataMPI, simfw::KmeansProfile(), bytes);
+    const double hb = RunSeconds(simfw::Framework::kHadoop,
+                                 simfw::NaiveBayesProfile(), bytes);
+    const double db = RunSeconds(simfw::Framework::kDataMPI,
+                                 simfw::NaiveBayesProfile(), bytes);
+    if (hk > 0 && dk > 0) app_vs_hadoop.Add(ImprovementOver(dk, hk));
+    if (sk > 0 && dk > 0) app_vs_spark.Add(ImprovementOver(dk, sk));
+    if (hb > 0 && db > 0) app_vs_hadoop.Add(ImprovementOver(db, hb));
+  }
+
+  // --- 4-7. Resource efficiency from the two Figure-4 cases.
+  std::map<simfw::Framework, Accumulator> cpu, disk, net, mem;
+  const cluster::ClusterSpec spec;
+  for (const auto& [profile, gb] :
+       std::vector<std::pair<const simfw::WorkloadProfile*, int>>{
+           {&simfw::TextSortProfile(), 8}, {&simfw::WordCountProfile(), 32}}) {
+    for (simfw::Framework fw :
+         {simfw::Framework::kHadoop, simfw::Framework::kSpark,
+          simfw::Framework::kDataMPI}) {
+      simfw::ExperimentOptions options;
+      options.run.monitor = true;
+      const auto r = SimulateWorkload(fw, *profile,
+                                      static_cast<int64_t>(gb) * kGiB,
+                                      options);
+      if (!r.job.ok()) continue;
+      cpu[fw].Add(r.averages.cpu_pct);
+      disk[fw].Add(r.averages.disk_read_mbps + r.averages.disk_write_mbps);
+      net[fw].Add(r.averages.net_mbps);
+      mem[fw].Add(r.averages.mem_gb);
+    }
+  }
+
+  PrintBanner(std::cout, "Figure 7: seven-pronged summary");
+  TablePrinter table({"dimension", "measured", "paper"});
+  table.AddRow({"micro vs Hadoop",
+                TablePrinter::Pct(micro_vs_hadoop.Mean()), "40%"});
+  table.AddRow({"micro vs Spark", TablePrinter::Pct(micro_vs_spark.Mean()),
+                "14%"});
+  table.AddRow({"small jobs vs Hadoop",
+                TablePrinter::Pct(small_vs_hadoop.Mean()), "54%"});
+  table.AddRow({"small jobs vs Spark",
+                TablePrinter::Pct(small_vs_spark.Mean()), "~0%"});
+  table.AddRow({"applications vs Hadoop",
+                TablePrinter::Pct(app_vs_hadoop.Mean()), "36%"});
+  table.AddRow({"applications vs Spark",
+                TablePrinter::Pct(app_vs_spark.Mean()), "33%"});
+  auto cpu_row = [&](simfw::Framework fw) {
+    return TablePrinter::Num(cpu[fw].Mean(), 0) + "%";
+  };
+  table.AddRow({"avg CPU D/S/H",
+                cpu_row(simfw::Framework::kDataMPI) + " / " +
+                    cpu_row(simfw::Framework::kSpark) + " / " +
+                    cpu_row(simfw::Framework::kHadoop),
+                "35% / 34% / 59%"});
+  auto net_gain = [&](simfw::Framework fw) {
+    return TablePrinter::Pct(
+        net[simfw::Framework::kDataMPI].Mean() / net[fw].Mean() - 1.0);
+  };
+  table.AddRow({"net throughput gain vs S/H",
+                net_gain(simfw::Framework::kSpark) + " / " +
+                    net_gain(simfw::Framework::kHadoop),
+                "55% / 59%"});
+  auto mem_row = [&](simfw::Framework fw) {
+    return TablePrinter::Num(mem[fw].Mean(), 1);
+  };
+  table.AddRow({"avg memory GB D/S/H",
+                mem_row(simfw::Framework::kDataMPI) + " / " +
+                    mem_row(simfw::Framework::kSpark) + " / " +
+                    mem_row(simfw::Framework::kHadoop),
+                "5 / 7 / 7"});
+  auto disk_row = [&](simfw::Framework fw) {
+    return TablePrinter::Num(disk[fw].Mean(), 0);
+  };
+  table.AddRow({"avg disk MB/s D/S/H",
+                disk_row(simfw::Framework::kDataMPI) + " / " +
+                    disk_row(simfw::Framework::kSpark) + " / " +
+                    disk_row(simfw::Framework::kHadoop),
+                "D ~= S, ~49% over H"});
+  table.Print(std::cout);
+  return 0;
+}

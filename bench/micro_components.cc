@@ -1,0 +1,196 @@
+// Component micro-benchmarks (google-benchmark): the building blocks of
+// the DataMPI library and data generators. Not a paper figure; used to
+// watch for regressions in the hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "core/kv_buffer.h"
+#include "core/partitioner.h"
+#include "datagen/codec.h"
+#include "datagen/text_generator.h"
+#include "mpilite/mpilite.h"
+#include "workloads/micro.h"
+
+namespace {
+
+using namespace dmb;  // NOLINT
+
+std::string MakeCorpus(int64_t bytes) {
+  datagen::TextGenerator gen;
+  return gen.GenerateText(bytes);
+}
+
+void BM_Hash64(benchmark::State& state) {
+  const std::string data = MakeCorpus(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(100000, 1.0);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_TextGenerator(benchmark::State& state) {
+  datagen::TextGenerator gen;
+  int64_t produced = 0;
+  for (auto _ : state) {
+    const std::string line = gen.NextLine();
+    produced += static_cast<int64_t>(line.size());
+    benchmark::DoNotOptimize(line.data());
+  }
+  state.SetBytesProcessed(produced);
+}
+BENCHMARK(BM_TextGenerator);
+
+void BM_LzCompress(benchmark::State& state) {
+  const std::string corpus = MakeCorpus(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::LzCompress(corpus));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzCompress)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_LzDecompress(benchmark::State& state) {
+  const std::string corpus = MakeCorpus(state.range(0));
+  const std::string compressed = datagen::LzCompress(corpus);
+  for (auto _ : state) {
+    auto out = datagen::LzDecompress(compressed, corpus.size());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzDecompress)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_HashPartitioner(benchmark::State& state) {
+  datampi::HashPartitioner partitioner;
+  Rng rng(2);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back("key-" + std::to_string(rng.Uniform(1 << 20)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partitioner.Partition(keys[i++ & 1023], 32));
+  }
+}
+BENCHMARK(BM_HashPartitioner);
+
+void BM_RangePartitioner(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::string> sample;
+  for (int i = 0; i < 4096; ++i) {
+    sample.push_back(std::to_string(rng.Uniform(1 << 20)));
+  }
+  auto partitioner =
+      datampi::RangePartitioner::FromSample(sample, 32);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partitioner.Partition(sample[i++ & 4095], 32));
+  }
+}
+BENCHMARK(BM_RangePartitioner);
+
+void BM_KVBufferAddFinish(benchmark::State& state) {
+  const int64_t records = state.range(0);
+  Rng rng(4);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 256; ++i) {
+    keys.push_back("k" + std::to_string(rng.Uniform(10000)));
+  }
+  for (auto _ : state) {
+    datampi::SpillableKVBuffer buffer;
+    for (int64_t i = 0; i < records; ++i) {
+      benchmark::DoNotOptimize(
+          buffer.Add(keys[static_cast<size_t>(i) & 255], "1"));
+    }
+    auto it = buffer.Finish();
+    std::string key;
+    std::vector<std::string> values;
+    int64_t groups = 0;
+    while ((*it)->NextGroup(&key, &values)) ++groups;
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * records);
+}
+BENCHMARK(BM_KVBufferAddFinish)->Arg(10000)->Arg(100000);
+
+void BM_KVBufferWithSpill(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    datampi::KVBufferOptions options;
+    options.memory_budget_bytes = 64 << 10;  // force spills
+    datampi::SpillableKVBuffer buffer(options);
+    for (int64_t i = 0; i < 20000; ++i) {
+      benchmark::DoNotOptimize(
+          buffer.Add("key-" + std::to_string(rng.Uniform(977)), "v"));
+    }
+    auto it = buffer.Finish();
+    std::string key;
+    std::vector<std::string> values;
+    int64_t total = 0;
+    while ((*it)->NextGroup(&key, &values)) {
+      total += static_cast<int64_t>(values.size());
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_KVBufferWithSpill);
+
+void BM_MpiAllToAll(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::string payload(4096, 'x');
+  for (auto _ : state) {
+    mpi::World world(ranks);
+    Status st = world.Run([&](mpi::Comm& comm) -> Status {
+      std::vector<std::string> send(static_cast<size_t>(comm.size()),
+                                    payload);
+      for (int round = 0; round < 4; ++round) {
+        auto recv = comm.AllToAll(send);
+        benchmark::DoNotOptimize(recv);
+      }
+      return Status::OK();
+    });
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_MpiAllToAll)->Arg(4)->Arg(8);
+
+void BM_WordCountEngines(benchmark::State& state) {
+  datagen::TextGenerator gen;
+  const auto lines = gen.GenerateLines(256 << 10);
+  workloads::EngineConfig config;
+  const int which = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Result<std::map<std::string, int64_t>> result =
+        which == 0   ? workloads::WordCountDataMPI(lines, config)
+        : which == 1 ? workloads::WordCountMapReduce(lines, config)
+                     : workloads::WordCountRdd(lines, config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(which == 0   ? "DataMPI"
+                 : which == 1 ? "mapreduce"
+                              : "rddlite");
+}
+BENCHMARK(BM_WordCountEngines)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

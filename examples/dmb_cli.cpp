@@ -1,0 +1,243 @@
+// dmb_cli: command-line driver for the whole library.
+//
+// Functional mode (real data through the in-process engines):
+//   dmb_cli run <wordcount|grep|textsort|normalsort|kmeans|bayes>
+//           <datampi|mapreduce|rddlite> [--size 8MB] [--parallelism 4]
+//           [--pattern ab]
+//
+// Simulation mode (the paper's testbed):
+//   dmb_cli sim <textsort|normalsort|wordcount|grep|kmeans|bayes>
+//           <hadoop|spark|datampi> [--gb 8] [--slots 4] [--block 256]
+//
+// Exit code 0 on success; non-zero on failure (including simulated OOM).
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/units.h"
+#include "datagen/seqfile.h"
+#include "datagen/text_generator.h"
+#include "datagen/vectors.h"
+#include "simfw/experiment.h"
+#include "simfw/profiles.h"
+#include "workloads/kmeans.h"
+#include "workloads/micro.h"
+#include "workloads/naive_bayes.h"
+
+using namespace dmb;
+
+namespace {
+
+struct Args {
+  std::string mode, workload, engine;
+  int64_t size = 8 * kMiB;
+  int parallelism = 4;
+  int gb = 8;
+  int slots = 4;
+  int64_t block_mb = 256;
+  std::string pattern = "ab";
+};
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+      << "  dmb_cli run <wordcount|grep|textsort|normalsort|kmeans|bayes>"
+      << " <datampi|mapreduce|rddlite> [--size 8MB] [--parallelism 4]"
+      << " [--pattern ab]\n"
+      << "  dmb_cli sim <textsort|normalsort|wordcount|grep|kmeans|bayes>"
+      << " <hadoop|spark|datampi> [--gb 8] [--slots 4] [--block 256]\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 4) return false;
+  args->mode = argv[1];
+  args->workload = argv[2];
+  args->engine = argv[3];
+  for (int i = 4; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--size") {
+      args->size = ParseBytes(value);
+      if (args->size <= 0) return false;
+    } else if (flag == "--parallelism") {
+      args->parallelism = std::stoi(value);
+    } else if (flag == "--gb") {
+      args->gb = std::stoi(value);
+    } else if (flag == "--slots") {
+      args->slots = std::stoi(value);
+    } else if (flag == "--block") {
+      args->block_mb = std::stoll(value);
+    } else if (flag == "--pattern") {
+      args->pattern = value;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunFunctional(const Args& args) {
+  workloads::EngineConfig config;
+  config.parallelism = args.parallelism;
+  datagen::TextGenerator generator;
+  Stopwatch sw;
+
+  auto report = [&](const Status& st, const std::string& summary) {
+    if (!st.ok()) {
+      std::cerr << "FAILED: " << st << "\n";
+      return 1;
+    }
+    std::cout << summary << "  (wall " << FormatSeconds(sw.ElapsedSeconds())
+              << ", engine " << args.engine << ")\n";
+    return 0;
+  };
+
+  const bool dmpi = args.engine == "datampi";
+  const bool mr = args.engine == "mapreduce";
+  const bool rdd = args.engine == "rddlite";
+  if (!dmpi && !mr && !rdd) return Usage();
+
+  if (args.workload == "wordcount") {
+    const auto lines = generator.GenerateLines(args.size);
+    sw.Reset();
+    auto r = dmpi ? workloads::WordCountDataMPI(lines, config)
+             : mr ? workloads::WordCountMapReduce(lines, config)
+                  : workloads::WordCountRdd(lines, config);
+    return report(r.ok() ? Status::OK() : r.status(),
+                  r.ok() ? std::to_string(r->size()) + " distinct words"
+                         : "");
+  }
+  if (args.workload == "grep") {
+    const auto lines = generator.GenerateLines(args.size);
+    sw.Reset();
+    auto r = dmpi ? workloads::GrepDataMPI(lines, args.pattern, config)
+             : mr ? workloads::GrepMapReduce(lines, args.pattern, config)
+                  : workloads::GrepRdd(lines, args.pattern, config);
+    return report(r.ok() ? Status::OK() : r.status(),
+                  r.ok() ? std::to_string(r->matched_lines.size()) +
+                               " matching lines, " +
+                               std::to_string(r->total_matches) +
+                               " occurrences"
+                         : "");
+  }
+  if (args.workload == "textsort") {
+    const auto lines = generator.GenerateLines(args.size);
+    sw.Reset();
+    auto r = dmpi ? workloads::TextSortDataMPI(lines, config)
+             : mr ? workloads::TextSortMapReduce(lines, config)
+                  : workloads::TextSortRdd(lines, config);
+    return report(r.ok() ? Status::OK() : r.status(),
+                  r.ok() ? std::to_string(r->size()) + " records sorted"
+                         : "");
+  }
+  if (args.workload == "normalsort") {
+    if (rdd) {
+      std::cerr << "normalsort has no rddlite driver (mirrors the paper: "
+                   "Spark OOMs on compressed sequence input)\n";
+      return 1;
+    }
+    const auto lines = generator.GenerateLines(args.size / 2);
+    const std::string seqfile = datagen::ToSeqFile(lines);
+    sw.Reset();
+    auto r = dmpi ? workloads::NormalSortDataMPI(seqfile, config)
+                  : workloads::NormalSortMapReduce(seqfile, config);
+    return report(r.ok() ? Status::OK() : r.status(),
+                  r.ok() ? FormatBytes(static_cast<int64_t>(r->size())) +
+                               " sorted sequence file"
+                         : "");
+  }
+  if (args.workload == "kmeans") {
+    const int64_t vectors_count = std::max<int64_t>(50, args.size / 4096);
+    auto vectors = datagen::GenerateKmeansVectors(vectors_count);
+    const uint32_t dim = datagen::KmeansDimension({});
+    auto model = workloads::InitialCentroids(vectors, 5, dim);
+    sw.Reset();
+    auto r = dmpi ? workloads::KmeansIterationDataMPI(vectors, model, config)
+             : mr ? workloads::KmeansIterationMapReduce(vectors, model,
+                                                        config)
+                  : workloads::KmeansIterationRdd(vectors, model, config);
+    std::string summary;
+    if (r.ok()) {
+      summary = "k-means iteration over " + std::to_string(vectors_count) +
+                " vectors; sizes:";
+      for (int64_t c : r->counts) summary += " " + std::to_string(c);
+    }
+    return report(r.ok() ? Status::OK() : r.status(), summary);
+  }
+  if (args.workload == "bayes") {
+    if (rdd) {
+      std::cerr << "bayes has no rddlite driver (BigDataBench 2.1 has no "
+                   "Spark implementation either)\n";
+      return 1;
+    }
+    auto docs = datagen::GenerateBayesDocs(args.size);
+    sw.Reset();
+    auto r = dmpi ? workloads::TrainNaiveBayesDataMPI(docs, 5, config)
+                  : workloads::TrainNaiveBayesMapReduce(docs, 5, config);
+    return report(
+        r.ok() ? Status::OK() : r.status(),
+        r.ok() ? "trained on " + std::to_string(docs.size()) +
+                     " docs, vocabulary " +
+                     std::to_string(r->vocabulary_size())
+               : "");
+  }
+  return Usage();
+}
+
+int RunSimulation(const Args& args) {
+  const std::map<std::string, const simfw::WorkloadProfile*> profiles = {
+      {"textsort", &simfw::TextSortProfile()},
+      {"normalsort", &simfw::NormalSortProfile()},
+      {"wordcount", &simfw::WordCountProfile()},
+      {"grep", &simfw::GrepProfile()},
+      {"kmeans", &simfw::KmeansProfile()},
+      {"bayes", &simfw::NaiveBayesProfile()},
+  };
+  auto it = profiles.find(args.workload);
+  if (it == profiles.end()) return Usage();
+  simfw::Framework fw;
+  if (args.engine == "hadoop") {
+    fw = simfw::Framework::kHadoop;
+  } else if (args.engine == "spark") {
+    fw = simfw::Framework::kSpark;
+  } else if (args.engine == "datampi") {
+    fw = simfw::Framework::kDataMPI;
+  } else {
+    return Usage();
+  }
+
+  simfw::ExperimentOptions options;
+  options.run.slots_per_node = args.slots;
+  options.run.block_mb = args.block_mb;
+  options.run.monitor = true;
+  const auto r = simfw::SimulateWorkload(
+      fw, *it->second, static_cast<int64_t>(args.gb) * kGiB, options);
+  if (!r.job.ok()) {
+    std::cout << "job failed: " << r.job.status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << simfw::FrameworkName(fw) << " " << it->second->name << " "
+            << args.gb << " GB: " << FormatSeconds(r.job.seconds)
+            << " (phase 1 " << FormatSeconds(r.job.phase1_seconds)
+            << ")\n"
+            << "avg/node: CPU " << static_cast<int>(r.averages.cpu_pct)
+            << "%, disk " << static_cast<int>(r.averages.disk_read_mbps)
+            << "r/" << static_cast<int>(r.averages.disk_write_mbps)
+            << "w MB/s, net " << static_cast<int>(r.averages.net_mbps)
+            << " MB/s, mem " << r.averages.mem_gb << " GB\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (args.mode == "run") return RunFunctional(args);
+  if (args.mode == "sim") return RunSimulation(args);
+  return Usage();
+}

@@ -1,0 +1,91 @@
+// Review clustering: the paper's e-commerce scenario end to end.
+//
+// Generates amazon-review-like sparse TF vectors (five seed models with
+// disjoint vocabularies), trains K-means to convergence on the DataMPI
+// engine, and checks how well the recovered clusters match the known
+// generating models. Also trains the Naive Bayes classifier on the same
+// kind of data (the paper's social-network workload) and reports its
+// holdout accuracy.
+//
+// Build & run:  ./build/examples/review_clustering [num-vectors]
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "datagen/vectors.h"
+#include "workloads/kmeans.h"
+#include "workloads/naive_bayes.h"
+
+using namespace dmb;
+
+int main(int argc, char** argv) {
+  const int64_t count = argc > 1 ? std::atoll(argv[1]) : 500;
+
+  // ---- K-means over review vectors ----
+  datagen::KmeansDataOptions data_options;
+  auto vectors = datagen::GenerateKmeansVectors(count, data_options);
+  const uint32_t dim = datagen::KmeansDimension(data_options);
+  std::cout << "Generated " << vectors.size() << " sparse review vectors ("
+            << dim << " dims, 5 latent clusters)\n";
+
+  workloads::EngineConfig config;
+  config.parallelism = 4;
+  auto trained = workloads::KmeansTrainDataMPI(vectors, /*k=*/5, dim,
+                                               /*threshold=*/0.5,
+                                               /*max_iterations=*/25, config);
+  if (!trained.ok()) {
+    std::cerr << "k-means failed: " << trained.status() << "\n";
+    return 1;
+  }
+  const auto& [model, iterations] = *trained;
+  std::cout << "K-means converged after " << iterations << " iterations\n";
+
+  // Purity check: assign every vector, see how well clusters align with
+  // the generating seed model (vector j came from model j % 5).
+  std::vector<double> norms;
+  for (const auto& c : model.centroids) {
+    double n2 = 0;
+    for (double v : c) n2 += v * v;
+    norms.push_back(n2);
+  }
+  std::map<std::pair<int, int>, int64_t> confusion;
+  for (size_t j = 0; j < vectors.size(); ++j) {
+    const int cluster = workloads::NearestCentroid(vectors[j], model, norms);
+    ++confusion[{cluster, static_cast<int>(j % 5)}];
+  }
+  int64_t pure = 0;
+  for (int c = 0; c < 5; ++c) {
+    int64_t best = 0;
+    for (int m = 0; m < 5; ++m) {
+      best = std::max(best, confusion[{c, m}]);
+    }
+    pure += best;
+  }
+  const double purity =
+      static_cast<double>(pure) / static_cast<double>(vectors.size());
+  std::cout << "Cluster purity vs generating models: "
+            << static_cast<int>(purity * 100) << "% (should be ~100% on "
+            << "disjoint vocabularies)\n";
+  std::cout << "Cluster sizes:";
+  for (int64_t s : model.counts) std::cout << " " << s;
+  std::cout << "\n";
+
+  // ---- Naive Bayes over review documents ----
+  auto train_docs = datagen::GenerateBayesDocs(256 * 1024);
+  datagen::KmeansDataOptions holdout;
+  holdout.seed = 4242;
+  auto test_docs = datagen::GenerateBayesDocs(32 * 1024, holdout);
+  auto bayes = workloads::TrainNaiveBayesDataMPI(train_docs, 5, config);
+  if (!bayes.ok()) {
+    std::cerr << "naive bayes failed: " << bayes.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nNaive Bayes trained on " << train_docs.size()
+            << " docs, vocabulary " << bayes->vocabulary_size() << "\n";
+  const double accuracy = workloads::EvaluateAccuracy(*bayes, test_docs);
+  std::cout << "Holdout accuracy on " << test_docs.size()
+            << " unseen docs: " << static_cast<int>(accuracy * 100)
+            << "%\n";
+  return 0;
+}

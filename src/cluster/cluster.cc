@@ -1,0 +1,60 @@
+#include "cluster/cluster.h"
+
+namespace dmb::cluster {
+
+SimCluster::SimCluster(sim::Simulator* sim, sim::FluidSystem* fluid,
+                       const ClusterSpec& spec)
+    : sim_(sim), fluid_(fluid), spec_(spec) {
+  DMB_CHECK(spec.num_nodes >= 1);
+  nodes_.reserve(static_cast<size_t>(spec.num_nodes));
+  for (int i = 0; i < spec.num_nodes; ++i) {
+    const std::string prefix = "node" + std::to_string(i) + ".";
+    NodeLinks n;
+    n.cpu = fluid_->AddLink(prefix + "cpu", spec.node.cpu_capacity);
+    n.disk_mixed =
+        fluid_->AddLink(prefix + "disk", spec.node.disk_mixed_mbps);
+    n.disk_read =
+        fluid_->AddLink(prefix + "disk.rd", spec.node.disk_read_mbps);
+    n.disk_write =
+        fluid_->AddLink(prefix + "disk.wt", spec.node.disk_write_mbps);
+    n.nic_tx = fluid_->AddLink(prefix + "nic.tx", spec.node.nic_mbps);
+    n.nic_rx = fluid_->AddLink(prefix + "nic.rx", spec.node.nic_mbps);
+    n.memory = std::make_unique<sim::Gauge>(sim_, prefix + "mem_gb");
+    n.memory->Set(spec.node.os_reserved_gb);
+    nodes_.push_back(std::move(n));
+  }
+}
+
+bool SimCluster::TryAllocateMemory(int node, double gb) {
+  if (AvailableMemory(node) < gb) return false;
+  nodes_[node].memory->Add(gb);
+  return true;
+}
+
+void SimCluster::FreeMemory(int node, double gb) {
+  nodes_[node].memory->Add(-gb);
+  DMB_DCHECK(nodes_[node].memory->value() >= -1e-9);
+}
+
+double SimCluster::AvailableMemory(int node) const {
+  return spec_.node.memory_gb - nodes_[node].memory->value();
+}
+
+void WatchClusterResources(const SimCluster& cluster,
+                           sim::ResourceMonitor* monitor) {
+  std::vector<sim::LinkId> cpus, rds, wts, txs;
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    cpus.push_back(cluster.cpu(i));
+    rds.push_back(cluster.disk_read(i));
+    wts.push_back(cluster.disk_write(i));
+    txs.push_back(cluster.nic_tx(i));
+  }
+  // Sums over nodes; report-side code divides by node count to get the
+  // per-node averages the paper plots.
+  monitor->WatchSum("cpu.threads", cpus);
+  monitor->WatchSum("disk.read_mbps", rds);
+  monitor->WatchSum("disk.write_mbps", wts);
+  monitor->WatchSum("net.tx_mbps", txs);
+}
+
+}  // namespace dmb::cluster

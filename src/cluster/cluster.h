@@ -1,0 +1,132 @@
+// Simulated testbed: the 8-node cluster of Table 2 of the paper.
+//
+// Each node contributes fluid links for CPU, disk (a shared mixed-rate link
+// plus direction-specific read/write links for both realism and per-
+// direction monitoring), and full-duplex NIC tx/rx ports behind a
+// non-blocking switch, plus a memory gauge.
+
+#ifndef DATAMPI_BENCH_CLUSTER_CLUSTER_H_
+#define DATAMPI_BENCH_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/fluid.h"
+#include "sim/monitor.h"
+#include "sim/simulator.h"
+
+namespace dmb::cluster {
+
+/// \brief Hardware description of one node (defaults = Table 2).
+struct NodeSpec {
+  /// Hardware threads exposed (2 sockets x 4 cores x HT). CPU "work" in the
+  /// models is measured in thread-seconds; utilization = rate / hw_threads.
+  double hw_threads = 16.0;
+  /// Effective parallel CPU capacity in thread-units. JVM-heavy Big Data
+  /// tasks benefit strongly from hyper-threading (memory-stall bound), so
+  /// the 16 HW threads sustain ~12.8 threads' worth of work.
+  double cpu_capacity = 12.8;
+  /// Sequential streaming bandwidth of the single SATA disk (MB/s).
+  double disk_read_mbps = 135.0;
+  double disk_write_mbps = 112.0;
+  /// Combined ceiling for mixed read+write streams on one spindle (MB/s).
+  double disk_mixed_mbps = 128.0;
+  /// Usable 1 GbE bandwidth per direction (MB/s).
+  double nic_mbps = 117.0;
+  /// Physical memory (GB). The paper's nodes have 16 GB.
+  double memory_gb = 16.0;
+  /// Memory reserved by OS + daemons (GB); frameworks can use the rest.
+  double os_reserved_gb = 1.5;
+};
+
+/// \brief Cluster-wide configuration (defaults = the paper's testbed and
+/// the tuned parameters of Section 4.2).
+struct ClusterSpec {
+  int num_nodes = 8;
+  NodeSpec node;
+  std::string name = "8-node Xeon E5620 / 16GB / SATA / 1GbE";
+};
+
+/// \brief The simulated cluster: owns link ids and memory gauges, provides
+/// awaitable resource demands for the framework models.
+class SimCluster {
+ public:
+  SimCluster(sim::Simulator* sim, sim::FluidSystem* fluid,
+             const ClusterSpec& spec);
+
+  int num_nodes() const { return spec_.num_nodes; }
+  const ClusterSpec& spec() const { return spec_; }
+  sim::Simulator* simulator() const { return sim_; }
+  sim::FluidSystem* fluid() const { return fluid_; }
+
+  sim::LinkId cpu(int node) const { return nodes_[node].cpu; }
+  sim::LinkId disk_mixed(int node) const { return nodes_[node].disk_mixed; }
+  sim::LinkId disk_read(int node) const { return nodes_[node].disk_read; }
+  sim::LinkId disk_write(int node) const { return nodes_[node].disk_write; }
+  sim::LinkId nic_tx(int node) const { return nodes_[node].nic_tx; }
+  sim::LinkId nic_rx(int node) const { return nodes_[node].nic_rx; }
+  sim::Gauge& memory(int node) { return *nodes_[node].memory; }
+  const sim::Gauge& memory(int node) const { return *nodes_[node].memory; }
+
+  /// \brief CPU demand of `thread_seconds` of work with a concurrency cap
+  /// (in thread-units); e.g. a single-threaded loop has concurrency 1.
+  sim::FluidSystem::Transfer Compute(int node, double thread_seconds,
+                                     double concurrency = 1.0) {
+    return sim::FluidSystem::Transfer(fluid_, {cpu(node)}, thread_seconds,
+                                      concurrency);
+  }
+
+  /// \brief Sequential disk read of `mb` megabytes on `node`.
+  sim::FluidSystem::Transfer ReadDisk(int node, double mb,
+                                      double rate_cap = sim::kNoCap) {
+    return sim::FluidSystem::Transfer(
+        fluid_, {disk_mixed(node), disk_read(node)}, mb, rate_cap);
+  }
+
+  /// \brief Sequential disk write of `mb` megabytes on `node`.
+  sim::FluidSystem::Transfer WriteDisk(int node, double mb,
+                                       double rate_cap = sim::kNoCap) {
+    return sim::FluidSystem::Transfer(
+        fluid_, {disk_mixed(node), disk_write(node)}, mb, rate_cap);
+  }
+
+  /// \brief Network transfer of `mb` from src to dst (no-op when src==dst;
+  /// the switch is non-blocking so only the two NIC ports are crossed).
+  sim::FluidSystem::Transfer NetTransfer(int src, int dst, double mb,
+                                         double rate_cap = sim::kNoCap) {
+    if (src == dst) {
+      return sim::FluidSystem::Transfer(fluid_, {}, 0.0);
+    }
+    return sim::FluidSystem::Transfer(fluid_, {nic_tx(src), nic_rx(dst)}, mb,
+                                      rate_cap);
+  }
+
+  /// \brief Allocates `gb` on a node, failing the check if it exceeds
+  /// physical memory is *not* done here: frameworks decide their own OOM
+  /// policy. Returns false if the allocation exceeds available memory.
+  bool TryAllocateMemory(int node, double gb);
+  void FreeMemory(int node, double gb);
+  double AvailableMemory(int node) const;
+
+ private:
+  struct NodeLinks {
+    sim::LinkId cpu, disk_mixed, disk_read, disk_write, nic_tx, nic_rx;
+    std::unique_ptr<sim::Gauge> memory;
+  };
+
+  sim::Simulator* sim_;
+  sim::FluidSystem* fluid_;
+  ClusterSpec spec_;
+  std::vector<NodeLinks> nodes_;
+};
+
+/// \brief Attaches the standard Figure-4 style watches (cluster-average
+/// CPU%, disk read/write MB/s, network MB/s) to a monitor.
+void WatchClusterResources(const SimCluster& cluster,
+                           sim::ResourceMonitor* monitor);
+
+}  // namespace dmb::cluster
+
+#endif  // DATAMPI_BENCH_CLUSTER_CLUSTER_H_

@@ -1,0 +1,73 @@
+#include "common/byte_buffer.h"
+
+namespace dmb {
+
+void ByteBuffer::AppendVarint(uint64_t v) {
+  while (v >= 0x80) {
+    data_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  data_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteBuffer::AppendVarintSigned(int64_t v) {
+  const uint64_t zz =
+      (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  AppendVarint(zz);
+}
+
+void ByteBuffer::AppendLengthPrefixed(std::string_view s) {
+  AppendVarint(s.size());
+  Append(s);
+}
+
+Status ByteReader::ReadBytes(void* out, size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption("ByteReader: short read");
+  }
+  std::memcpy(out, p_, n);
+  p_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadVarint(uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (p_ < end_) {
+    const uint8_t byte = *p_++;
+    if (shift >= 64) {
+      return Status::Corruption("varint too long");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("truncated varint");
+}
+
+Status ByteReader::ReadVarintSigned(int64_t* out) {
+  uint64_t zz;
+  DMB_RETURN_NOT_OK(ReadVarint(&zz));
+  *out = static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+  return Status::OK();
+}
+
+Status ByteReader::ReadLengthPrefixed(std::string_view* out) {
+  uint64_t len;
+  DMB_RETURN_NOT_OK(ReadVarint(&len));
+  return ReadView(static_cast<size_t>(len), out);
+}
+
+Status ByteReader::ReadView(size_t n, std::string_view* out) {
+  if (remaining() < n) {
+    return Status::Corruption("truncated field");
+  }
+  *out = std::string_view(reinterpret_cast<const char*>(p_), n);
+  p_ += n;
+  return Status::OK();
+}
+
+}  // namespace dmb

@@ -1,0 +1,92 @@
+// Growable byte buffer with append/read cursors, used for record batches,
+// spill files, and the mpilite message payloads.
+
+#ifndef DATAMPI_BENCH_COMMON_BYTE_BUFFER_H_
+#define DATAMPI_BENCH_COMMON_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dmb {
+
+/// \brief Append-only growable byte buffer (write side).
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(size_t reserve) { data_.reserve(reserve); }
+
+  void Append(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    data_.insert(data_.end(), b, b + n);
+  }
+  void Append(std::string_view s) { Append(s.data(), s.size()); }
+  void AppendByte(uint8_t b) { data_.push_back(b); }
+
+  /// \brief Little-endian fixed-width writes.
+  void AppendU32(uint32_t v) { Append(&v, sizeof(v)); }
+  void AppendU64(uint64_t v) { Append(&v, sizeof(v)); }
+  void AppendI64(int64_t v) { Append(&v, sizeof(v)); }
+  void AppendDouble(double v) { Append(&v, sizeof(v)); }
+
+  /// \brief LEB128 unsigned varint.
+  void AppendVarint(uint64_t v);
+  /// \brief Zigzag-encoded signed varint.
+  void AppendVarintSigned(int64_t v);
+  /// \brief Varint length followed by raw bytes.
+  void AppendLengthPrefixed(std::string_view s);
+
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* data() { return data_.data(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void Clear() { data_.clear(); }
+  void Reserve(size_t n) { data_.reserve(n); }
+  size_t capacity() const { return data_.capacity(); }
+
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+  }
+  std::vector<uint8_t> TakeBytes() { return std::move(data_); }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+/// \brief Read cursor over a byte range. Does not own the data.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : p_(static_cast<const uint8_t*>(data)), end_(p_ + size) {}
+  explicit ByteReader(std::string_view s) : ByteReader(s.data(), s.size()) {}
+  explicit ByteReader(const ByteBuffer& b) : ByteReader(b.data(), b.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool AtEnd() const { return p_ == end_; }
+
+  Status ReadBytes(void* out, size_t n);
+  Status ReadU32(uint32_t* out) { return ReadBytes(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return ReadBytes(out, sizeof(*out)); }
+  Status ReadI64(int64_t* out) { return ReadBytes(out, sizeof(*out)); }
+  Status ReadDouble(double* out) { return ReadBytes(out, sizeof(*out)); }
+  Status ReadVarint(uint64_t* out);
+  Status ReadVarintSigned(int64_t* out);
+  /// \brief Reads a varint length then returns a view of that many bytes
+  /// (zero-copy; the view aliases the underlying data).
+  Status ReadLengthPrefixed(std::string_view* out);
+
+  /// \brief Returns a zero-copy view of the next `n` bytes.
+  Status ReadView(size_t n, std::string_view* out);
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_BYTE_BUFFER_H_

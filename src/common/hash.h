@@ -1,0 +1,31 @@
+// 64-bit hashing used by partitioners and hash tables.
+
+#ifndef DATAMPI_BENCH_COMMON_HASH_H_
+#define DATAMPI_BENCH_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dmb {
+
+/// \brief xxHash64-style hash of a byte range (self-contained
+/// implementation, stable across platforms and runs).
+uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0);
+
+/// \brief Convenience overload for string views.
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// \brief Finalizer-style mix of a 64-bit integer (splitmix64 finalizer).
+uint64_t Mix64(uint64_t x);
+
+/// \brief Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_HASH_H_

@@ -1,0 +1,81 @@
+// Minimal leveled logging and check macros.
+
+#ifndef DATAMPI_BENCH_COMMON_LOGGING_H_
+#define DATAMPI_BENCH_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dmb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Global log threshold; messages below it are discarded.
+/// Default is kWarn so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace dmb
+
+#define DMB_LOG(level)                                                \
+  if (::dmb::LogLevel::k##level < ::dmb::GetLogLevel()) {             \
+  } else                                                              \
+    ::dmb::internal::LogMessage(::dmb::LogLevel::k##level, __FILE__,  \
+                                __LINE__)                             \
+        .stream()
+
+/// Always-on invariant check; aborts with a message on failure.
+#define DMB_CHECK(expr)                                              \
+  if (expr) {                                                        \
+  } else                                                             \
+    ::dmb::internal::FatalMessage(__FILE__, __LINE__, #expr).stream()
+
+#define DMB_CHECK_OK(expr)                                  \
+  do {                                                      \
+    ::dmb::Status _st = (expr);                             \
+    DMB_CHECK(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#ifndef NDEBUG
+#define DMB_DCHECK(expr) DMB_CHECK(expr)
+#else
+#define DMB_DCHECK(expr) \
+  if (true) {            \
+  } else                 \
+    ::dmb::internal::NullStream()
+#endif
+
+#endif  // DATAMPI_BENCH_COMMON_LOGGING_H_

@@ -1,0 +1,120 @@
+#include "common/properties.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/units.h"
+
+namespace dmb {
+
+void Properties::SetInt(const std::string& key, int64_t value) {
+  map_[key] = std::to_string(value);
+}
+
+void Properties::SetDouble(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  map_[key] = buf;
+}
+
+void Properties::SetBool(const std::string& key, bool value) {
+  map_[key] = value ? "true" : "false";
+}
+
+std::string Properties::Get(const std::string& key,
+                            const std::string& fallback) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? fallback : it->second;
+}
+
+int64_t Properties::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return fallback;
+  try {
+    size_t pos = 0;
+    const int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) return fallback;
+    return v;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double Properties::GetDouble(const std::string& key, double fallback) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return fallback;
+  try {
+    size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) return fallback;
+    return v;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool Properties::GetBool(const std::string& key, bool fallback) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return fallback;
+}
+
+int64_t Properties::GetBytes(const std::string& key, int64_t fallback) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return fallback;
+  const int64_t v = ParseBytes(it->second);
+  return v < 0 ? fallback : v;
+}
+
+void Properties::Merge(const Properties& other) {
+  for (const auto& [k, v] : other.map_) map_[k] = v;
+}
+
+std::string Properties::ToString() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : map_) os << k << "=" << v << "\n";
+  return os.str();
+}
+
+Result<Properties> Properties::Parse(const std::string& text) {
+  Properties props;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and whitespace.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("Properties: missing '=' on line " +
+                                     std::to_string(lineno));
+    }
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    auto trim = [](std::string s) {
+      const size_t b = s.find_first_not_of(" \t");
+      if (b == std::string::npos) return std::string();
+      const size_t e = s.find_last_not_of(" \t");
+      return s.substr(b, e - b + 1);
+    };
+    key = trim(key);
+    value = trim(value);
+    if (key.empty()) {
+      return Status::InvalidArgument("Properties: empty key on line " +
+                                     std::to_string(lineno));
+    }
+    props.Set(key, value);
+  }
+  return props;
+}
+
+}  // namespace dmb

@@ -1,0 +1,56 @@
+// Hadoop-style string key/value configuration with typed getters
+// ("dfs.block.size" = "256MB" etc.), used by the job configs of all three
+// engines and by the simulator presets.
+
+#ifndef DATAMPI_BENCH_COMMON_PROPERTIES_H_
+#define DATAMPI_BENCH_COMMON_PROPERTIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace dmb {
+
+/// \brief An ordered map of string properties with typed accessors.
+class Properties {
+ public:
+  Properties() = default;
+
+  void Set(const std::string& key, const std::string& value) {
+    map_[key] = value;
+  }
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  bool Contains(const std::string& key) const { return map_.count(key) > 0; }
+
+  /// \brief Returns the raw string, or `fallback` when absent.
+  std::string Get(const std::string& key, const std::string& fallback = "") const;
+
+  /// \brief Integer getter; returns fallback when absent or unparsable.
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  /// \brief Parses byte-size strings like "256MB" (see ParseBytes()).
+  int64_t GetBytes(const std::string& key, int64_t fallback) const;
+
+  /// \brief Merges `other` into this, overwriting duplicates.
+  void Merge(const Properties& other);
+
+  const std::map<std::string, std::string>& map() const { return map_; }
+
+  /// \brief Serializes to "key=value\n" lines (sorted by key).
+  std::string ToString() const;
+  /// \brief Parses "key=value" lines; '#' starts a comment.
+  static Result<Properties> Parse(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_PROPERTIES_H_

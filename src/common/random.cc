@@ -1,0 +1,147 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dmb {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t r = Next64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(Next64());
+  }
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+Rng Rng::Split() { return Rng(Next64()); }
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  h_integral_half_ = H(0.5);
+}
+
+// H(x) = integral of 1/t^s from 1 to x (generalized; handles s == 1).
+double ZipfSampler::H(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  // Rejection-inversion (Hormann & Derflinger 1996).
+  for (;;) {
+    const double u =
+        h_integral_half_ + rng->NextDouble() * (h_n_ - h_integral_half_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= h_x1_ ||
+        u >= H(kd + 0.5) - std::exp(-s_ * std::log(kd))) {
+      return k - 1;  // 0-based
+    }
+  }
+}
+
+double ZipfSampler::Pmf(uint64_t k) const {
+  assert(k < n_);
+  // Normalization via the generalized harmonic number, computed lazily and
+  // approximately for large n (integral approximation + Euler-Maclaurin).
+  const double kd = static_cast<double>(k + 1);
+  double hn;
+  if (n_ <= 10000) {
+    hn = 0.0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      hn += std::pow(static_cast<double>(i), -s_);
+    }
+  } else {
+    hn = 0.0;
+    for (uint64_t i = 1; i <= 10000; ++i) {
+      hn += std::pow(static_cast<double>(i), -s_);
+    }
+    // integral tail from 10000.5 to n+0.5
+    const double a = 10000.5, b = static_cast<double>(n_) + 0.5;
+    if (std::abs(s_ - 1.0) < 1e-12) {
+      hn += std::log(b / a);
+    } else {
+      hn += (std::pow(b, 1 - s_) - std::pow(a, 1 - s_)) / (1 - s_);
+    }
+  }
+  return std::pow(kd, -s_) / hn;
+}
+
+}  // namespace dmb

@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation and the distributions used
+// by the BigDataBench-style data generators (uniform, Zipf, Gaussian).
+
+#ifndef DATAMPI_BENCH_COMMON_RANDOM_H_
+#define DATAMPI_BENCH_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dmb {
+
+/// \brief xoshiro256** PRNG: fast, high-quality, deterministic across
+/// platforms (unlike std::mt19937 distributions, whose output is
+/// implementation-defined for std::uniform_int_distribution).
+class Rng {
+ public:
+  /// Seeds via splitmix64 so that nearby seeds give unrelated streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// \brief Next raw 64 random bits.
+  uint64_t Next64();
+
+  /// \brief Uniform in [0, n). n must be > 0. Unbiased (rejection sampling).
+  uint64_t Uniform(uint64_t n);
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// \brief True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// \brief Creates an independent child stream (for per-partition
+  /// generators that must be reproducible regardless of execution order).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// \brief Zipf-distributed sampler over {0, 1, ..., n-1} with exponent s.
+///
+/// Word frequencies in natural-language corpora (the wikipedia / amazon
+/// seed models of BigDataBench) follow Zipf's law; this is the engine of
+/// the text generator. Uses the rejection-inversion method of
+/// Hormann & Derflinger, O(1) per sample after O(1) setup.
+class ZipfSampler {
+ public:
+  /// \param n number of items (>= 1)
+  /// \param s exponent (> 0); s ~ 1.0 for natural text.
+  ZipfSampler(uint64_t n, double s);
+
+  /// \brief Samples an item index in [0, n). Items with smaller index are
+  /// more frequent.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  /// \brief Expected probability of item k (0-based), i.e. 1/(k+1)^s / H.
+  double Pmf(uint64_t k) const;
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double h_integral_half_;  // H(1.5) - 1
+};
+
+/// \brief Fisher-Yates shuffle of a vector using Rng (deterministic).
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng* rng) {
+  if (v->empty()) return;
+  for (size_t i = v->size() - 1; i > 0; --i) {
+    const size_t j = static_cast<size_t>(rng->Uniform(i + 1));
+    std::swap((*v)[i], (*v)[j]);
+  }
+}
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_RANDOM_H_

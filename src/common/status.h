@@ -1,0 +1,176 @@
+// Status and Result<T>: error handling without exceptions across API
+// boundaries, in the style of Arrow / RocksDB.
+
+#ifndef DATAMPI_BENCH_COMMON_STATUS_H_
+#define DATAMPI_BENCH_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dmb {
+
+/// \brief Error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfMemory = 4,
+  kIOError = 5,
+  kCorruption = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+  kCancelled = 9,
+  kResourceExhausted = 10,
+  kFailedPrecondition = 11,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("OK", "IOError"...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation: a code plus an optional message.
+///
+/// Functions that can fail return Status (or Result<T> when they also produce
+/// a value). A moved-from Status is OK. Status is cheap to copy for the OK
+/// case (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// \brief Prefixes the message with additional context; no-op when OK.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// \brief A value or an error Status.
+///
+/// Like arrow::Result: `Result<int> r = Parse(s); if (!r.ok()) return
+/// r.status();` then `*r` / `r.value()` / `std::move(r).value()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. Aborts (assert) if constructed from OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status needs a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value or `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dmb
+
+/// Propagates a non-OK Status from an expression.
+#define DMB_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::dmb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define DMB_ASSIGN_OR_RETURN(lhs, expr)          \
+  DMB_ASSIGN_OR_RETURN_IMPL(                     \
+      DMB_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define DMB_CONCAT_NAME_INNER(x, y) x##y
+#define DMB_CONCAT_NAME(x, y) DMB_CONCAT_NAME_INNER(x, y)
+
+#define DMB_ASSIGN_OR_RETURN_IMPL(result_name, lhs, expr) \
+  auto result_name = (expr);                              \
+  if (!result_name.ok()) return result_name.status();     \
+  lhs = std::move(result_name).value();
+
+#endif  // DATAMPI_BENCH_COMMON_STATUS_H_

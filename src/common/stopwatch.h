@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the functional engines and benchmarks.
+
+#ifndef DATAMPI_BENCH_COMMON_STOPWATCH_H_
+#define DATAMPI_BENCH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dmb {
+
+/// \brief Measures elapsed wall time in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// \brief Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_STOPWATCH_H_

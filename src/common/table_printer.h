@@ -1,0 +1,39 @@
+// ASCII table printer used by the benchmark harnesses to print the
+// rows/series the paper's tables and figures report.
+
+#ifndef DATAMPI_BENCH_COMMON_TABLE_PRINTER_H_
+#define DATAMPI_BENCH_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// \brief Collects rows of string cells and prints an aligned table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// \brief Adds a data row; its width must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+  /// \brief Formats a percentage like "42%"; negative -> "-42%".
+  static std::string Pct(double fraction, int precision = 0);
+
+  /// \brief Prints with a separator line under the header.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Prints a titled section banner (used before each figure/table).
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,58 @@
+#include "common/temp_dir.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace dmb {
+
+namespace {
+std::atomic<uint64_t> g_counter{0};
+}  // namespace
+
+TempDir::TempDir(const std::string& prefix) {
+  const auto base = std::filesystem::temp_directory_path();
+  const uint64_t stamp = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    auto candidate =
+        base / (prefix + "-" + std::to_string(stamp) + "-" +
+                std::to_string(g_counter.fetch_add(1)));
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec)) {
+      path_ = candidate;
+      return;
+    }
+  }
+  DMB_CHECK(false) << "could not create temp directory under " << base;
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+}
+
+Status WriteFileBytes(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::string data(static_cast<size_t>(size), '\0');
+  in.read(data.data(), size);
+  if (!in) return Status::IOError("short read: " + path);
+  return data;
+}
+
+}  // namespace dmb

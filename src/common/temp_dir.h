@@ -1,0 +1,43 @@
+// Scoped temporary directory (spill files, checkpoints, test data).
+
+#ifndef DATAMPI_BENCH_COMMON_TEMP_DIR_H_
+#define DATAMPI_BENCH_COMMON_TEMP_DIR_H_
+
+#include <filesystem>
+#include <string>
+
+#include "common/status.h"
+
+namespace dmb {
+
+/// \brief Creates a unique directory under the system temp path and
+/// removes it (recursively) on destruction.
+class TempDir {
+ public:
+  /// \param prefix directory name prefix, e.g. "dmb-spill".
+  explicit TempDir(const std::string& prefix = "dmb");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+
+  /// \brief Returns `path()/name` as a string.
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// \brief Writes a whole file; overwrites existing content.
+Status WriteFileBytes(const std::string& path, std::string_view data);
+
+/// \brief Reads a whole file.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_TEMP_DIR_H_

@@ -1,0 +1,52 @@
+// Fixed-size thread pool used by the functional engines (mapreduce,
+// rddlite) to emulate per-node task slots.
+
+#ifndef DATAMPI_BENCH_COMMON_THREAD_POOL_H_
+#define DATAMPI_BENCH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmb {
+
+/// \brief A fixed pool of worker threads executing submitted closures FIFO.
+class ThreadPool {
+ public:
+  /// \param num_threads number of workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until all submitted tasks have finished executing.
+  void Wait();
+
+  /// \brief Stops accepting tasks, drains the queue, joins workers.
+  /// Called automatically by the destructor.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_THREAD_POOL_H_

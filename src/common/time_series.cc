@@ -1,0 +1,68 @@
+#include "common/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dmb {
+
+void TimeSeries::Add(double time, double value) {
+  assert(times_.empty() || time >= times_.back());
+  times_.push_back(time);
+  values_.push_back(value);
+}
+
+double TimeSeries::ValueAt(double t) const {
+  if (times_.empty() || t < times_.front()) return 0.0;
+  // Index of last sample with time <= t.
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const size_t idx = static_cast<size_t>(it - times_.begin()) - 1;
+  return values_[idx];
+}
+
+double TimeSeries::AverageOver(double t0, double t1) const {
+  if (t1 <= t0) return 0.0;
+  return IntegralOver(t0, t1) / (t1 - t0);
+}
+
+double TimeSeries::MaxOver(double t0, double t1) const {
+  double m = 0.0;
+  bool any = false;
+  for (size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= t0 && times_[i] <= t1) {
+      m = any ? std::max(m, values_[i]) : values_[i];
+      any = true;
+    }
+  }
+  // Also account for a sample-and-hold value entering the window.
+  const double enter = ValueAt(t0);
+  if (!any) return enter;
+  return std::max(m, enter);
+}
+
+double TimeSeries::IntegralOver(double t0, double t1) const {
+  if (times_.empty() || t1 <= t0) return 0.0;
+  double integral = 0.0;
+  double cur_t = t0;
+  double cur_v = ValueAt(t0);
+  for (size_t i = 0; i < times_.size(); ++i) {
+    const double t = times_[i];
+    if (t <= t0) continue;
+    if (t >= t1) break;
+    integral += cur_v * (t - cur_t);
+    cur_t = t;
+    cur_v = values_[i];
+  }
+  integral += cur_v * (t1 - cur_t);
+  return integral;
+}
+
+std::vector<double> TimeSeries::Resample(double horizon, double step) const {
+  assert(step > 0);
+  std::vector<double> out;
+  for (double t = 0.0; t <= horizon + 1e-9; t += step) {
+    out.push_back(ValueAt(t));
+  }
+  return out;
+}
+
+}  // namespace dmb

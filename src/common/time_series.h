@@ -1,0 +1,62 @@
+// Time-series recording used by the resource monitor (the dstat-style
+// sampler that produces the curves in Figure 4 of the paper).
+
+#ifndef DATAMPI_BENCH_COMMON_TIME_SERIES_H_
+#define DATAMPI_BENCH_COMMON_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// \brief A named sequence of (time, value) samples.
+///
+/// Samples must be appended with non-decreasing timestamps. Provides the
+/// aggregate statistics the paper reports (average over a window) and
+/// resampling onto a fixed grid for table/CSV output.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// \brief Appends a sample; time must be >= the last appended time.
+  void Add(double time, double value);
+
+  size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  double time(size_t i) const { return times_[i]; }
+  double value(size_t i) const { return values_[i]; }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// \brief Piecewise-constant (sample-and-hold) value at time t.
+  /// Returns 0 before the first sample; holds the last value after the end.
+  double ValueAt(double t) const;
+
+  /// \brief Time-weighted mean of the series over [t0, t1].
+  double AverageOver(double t0, double t1) const;
+
+  /// \brief Maximum sampled value in [t0, t1] (0 if no samples in range).
+  double MaxOver(double t0, double t1) const;
+
+  /// \brief Integral of the (piecewise-constant) series over [t0, t1].
+  /// For a throughput series in MB/s this yields total MB moved.
+  double IntegralOver(double t0, double t1) const;
+
+  /// \brief Resamples onto a uniform grid [0, horizon] with the given step
+  /// (sample-and-hold), e.g. to print the 30-second ticks of Figure 4.
+  std::vector<double> Resample(double horizon, double step) const;
+
+ private:
+  std::string name_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_TIME_SERIES_H_

@@ -1,0 +1,80 @@
+#include "common/units.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace dmb {
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes < 0) {
+    std::snprintf(buf, sizeof(buf), "-%s", FormatBytes(-bytes).c_str());
+  } else if (bytes < kKiB) {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  } else if (bytes < kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / kKiB);
+  } else if (bytes < kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / kMiB);
+  } else if (bytes < kTiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", b / kGiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f TiB", b / kTiB);
+  }
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    return "-" + FormatSeconds(-seconds);
+  }
+  if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else {
+    const int minutes = static_cast<int>(seconds) / 60;
+    const double rest = seconds - 60.0 * minutes;
+    std::snprintf(buf, sizeof(buf), "%dm%04.1fs", minutes, rest);
+  }
+  return buf;
+}
+
+int64_t ParseBytes(const std::string& text) {
+  if (text.empty()) return -1;
+  size_t i = 0;
+  double value = 0.0;
+  bool any_digit = false;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) ||
+          text[i] == '.')) {
+    ++i;
+    any_digit = true;
+  }
+  if (!any_digit) return -1;
+  try {
+    value = std::stod(text.substr(0, i));
+  } catch (...) {
+    return -1;
+  }
+  while (i < text.size() && text[i] == ' ') ++i;
+  std::string unit = text.substr(i);
+  for (auto& c : unit) c = static_cast<char>(std::tolower(c));
+  double mult = 1.0;
+  if (unit.empty() || unit == "b") {
+    mult = 1.0;
+  } else if (unit == "k" || unit == "kb" || unit == "kib") {
+    mult = static_cast<double>(kKiB);
+  } else if (unit == "m" || unit == "mb" || unit == "mib") {
+    mult = static_cast<double>(kMiB);
+  } else if (unit == "g" || unit == "gb" || unit == "gib") {
+    mult = static_cast<double>(kGiB);
+  } else if (unit == "t" || unit == "tb" || unit == "tib") {
+    mult = static_cast<double>(kTiB);
+  } else {
+    return -1;
+  }
+  return static_cast<int64_t>(std::llround(value * mult));
+}
+
+}  // namespace dmb

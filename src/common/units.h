@@ -1,0 +1,29 @@
+// Byte-size and time units used throughout the project.
+
+#ifndef DATAMPI_BENCH_COMMON_UNITS_H_
+#define DATAMPI_BENCH_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dmb {
+
+inline constexpr int64_t kKiB = int64_t{1} << 10;
+inline constexpr int64_t kMiB = int64_t{1} << 20;
+inline constexpr int64_t kGiB = int64_t{1} << 30;
+inline constexpr int64_t kTiB = int64_t{1} << 40;
+
+/// \brief Formats a byte count as a human-readable string ("8.0 GiB").
+std::string FormatBytes(int64_t bytes);
+
+/// \brief Formats seconds as "123.4 s" or "2m03s" style strings.
+std::string FormatSeconds(double seconds);
+
+/// \brief Parses strings like "64MB", "8GiB", "512k" into bytes.
+/// Accepts decimal ("MB" == MiB here, matching Hadoop convention).
+/// Returns -1 on parse failure.
+int64_t ParseBytes(const std::string& text);
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_UNITS_H_

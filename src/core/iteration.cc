@@ -1,0 +1,47 @@
+#include "core/iteration.h"
+
+#include "common/logging.h"
+
+namespace dmb::datampi {
+
+namespace {
+
+void Accumulate(JobStats* total, const JobStats& round) {
+  total->o_records_emitted += round.o_records_emitted;
+  total->shuffle_bytes += round.shuffle_bytes;
+  total->shuffle_batches += round.shuffle_batches;
+  total->a_records_received += round.a_records_received;
+  total->a_spill_count += round.a_spill_count;
+  total->output_records += round.output_records;
+  total->o_waves += round.o_waves;
+}
+
+}  // namespace
+
+Result<IterationResult> IterativeJob::Run(std::string initial_state,
+                                          OIterFn o_fn, AGroupFn a_fn,
+                                          FoldFn fold_fn) {
+  DMB_CHECK(max_iterations_ >= 1);
+  IterationResult result;
+  result.state = std::move(initial_state);
+  while (result.iterations < max_iterations_) {
+    DataMPIJob job(config_);
+    const std::string& state = result.state;
+    DMB_ASSIGN_OR_RETURN(
+        JobResult round,
+        job.Run(
+            [&](OContext* ctx) -> Status { return o_fn(state, ctx); },
+            a_fn));
+    Accumulate(&result.total_stats, round.stats);
+    ++result.iterations;
+    DMB_ASSIGN_OR_RETURN(auto folded, fold_fn(result.state, round.Merged()));
+    result.state = std::move(folded.first);
+    if (folded.second) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dmb::datampi

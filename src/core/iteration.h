@@ -1,0 +1,56 @@
+// Iterative DataMPI jobs.
+//
+// The paper's K-means discussion (and its stated future work: a detailed
+// iterative-application comparison with Spark) motivates a first-class
+// iterative driver: run the bipartite O/A job repeatedly, broadcasting a
+// driver-side state into each round's O tasks and folding the A outputs
+// back into the state, until convergence or an iteration cap.
+
+#ifndef DATAMPI_BENCH_CORE_ITERATION_H_
+#define DATAMPI_BENCH_CORE_ITERATION_H_
+
+#include <functional>
+#include <string>
+
+#include "core/job.h"
+
+namespace dmb::datampi {
+
+/// \brief Outcome of an iterative run.
+struct IterationResult {
+  /// Final driver state after the last completed iteration.
+  std::string state;
+  int iterations = 0;
+  bool converged = false;
+  /// Aggregated stats over all iterations.
+  JobStats total_stats;
+};
+
+/// \brief Driver for fixed-point O/A computations.
+///
+/// Each round: `o_fn(state, ctx)` produces pairs, `a_fn` reduces them,
+/// and `fold_fn(state, outputs)` returns (next_state, converged). The
+/// state is an opaque serialized blob (e.g. encoded centroids), exactly
+/// what a DataMPI driver would MPI_Bcast between rounds.
+class IterativeJob {
+ public:
+  using OIterFn =
+      std::function<Status(const std::string& state, OContext* ctx)>;
+  using FoldFn = std::function<Result<std::pair<std::string, bool>>(
+      const std::string& state, const std::vector<KVPair>& outputs)>;
+
+  IterativeJob(JobConfig config, int max_iterations)
+      : config_(std::move(config)), max_iterations_(max_iterations) {}
+
+  /// \brief Runs until fold_fn reports convergence or the cap is hit.
+  Result<IterationResult> Run(std::string initial_state, OIterFn o_fn,
+                              AGroupFn a_fn, FoldFn fold_fn);
+
+ private:
+  JobConfig config_;
+  int max_iterations_;
+};
+
+}  // namespace dmb::datampi
+
+#endif  // DATAMPI_BENCH_CORE_ITERATION_H_

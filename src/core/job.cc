@@ -1,0 +1,293 @@
+#include "core/job.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/byte_buffer.h"
+#include "common/logging.h"
+#include "common/temp_dir.h"
+#include "mpilite/mpilite.h"
+
+namespace dmb::datampi {
+
+namespace {
+
+constexpr int64_t kDataTag = 1;
+constexpr int64_t kEosTag = 2;
+
+struct SharedState {
+  std::atomic<int> next_o_task{0};
+  std::atomic<int64_t> o_records{0};
+  std::atomic<int64_t> shuffle_bytes{0};
+  std::atomic<int64_t> shuffle_batches{0};
+  std::atomic<int64_t> a_records{0};
+  std::atomic<int64_t> a_spills{0};
+  std::atomic<int64_t> output_records{0};
+  std::atomic<int> max_wave{0};
+  std::mutex output_mu;
+  std::vector<std::vector<KVPair>> a_outputs;
+};
+
+class OContextImpl : public OContext {
+ public:
+  OContextImpl(const JobConfig& config, mpi::Comm* world, SharedState* shared)
+      : config_(config),
+        world_(world),
+        shared_(shared),
+        partitions_(static_cast<size_t>(config.num_a_ranks)) {}
+
+  Status Emit(std::string_view key, std::string_view value) override {
+    const int p = partitioner_->Partition(key, config_.num_a_ranks);
+    auto& part = partitions_[static_cast<size_t>(p)];
+    part.pairs.push_back(KVPair{std::string(key), std::string(value)});
+    part.bytes += static_cast<int64_t>(key.size() + value.size() + 8);
+    shared_->o_records.fetch_add(1, std::memory_order_relaxed);
+    if (part.bytes >= config_.send_buffer_bytes) {
+      return FlushPartition(p);
+    }
+    return Status::OK();
+  }
+
+  int task_id() const override { return task_id_; }
+  int num_a_ranks() const override { return config_.num_a_ranks; }
+
+  void set_task_id(int id) { task_id_ = id; }
+  void set_partitioner(const Partitioner* p) { partitioner_ = p; }
+
+  Status FlushAll() {
+    for (int p = 0; p < config_.num_a_ranks; ++p) {
+      DMB_RETURN_NOT_OK(FlushPartition(p));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct PartitionBuffer {
+    std::vector<KVPair> pairs;
+    int64_t bytes = 0;
+  };
+
+  Status FlushPartition(int p) {
+    auto& part = partitions_[static_cast<size_t>(p)];
+    if (part.pairs.empty()) return Status::OK();
+    ByteBuffer wire;
+    if (config_.combiner) {
+      // Group the batch locally and combine each key's values before the
+      // pairs hit the wire (WordCount-style traffic reduction).
+      std::sort(part.pairs.begin(), part.pairs.end(), KVPairLess{});
+      size_t i = 0;
+      std::vector<std::string> values;
+      while (i < part.pairs.size()) {
+        const std::string& key = part.pairs[i].key;
+        values.clear();
+        while (i < part.pairs.size() && part.pairs[i].key == key) {
+          values.push_back(std::move(part.pairs[i].value));
+          ++i;
+        }
+        const std::string combined = config_.combiner(key, values);
+        EncodeKV(&wire, key, combined);
+      }
+    } else {
+      for (const auto& kv : part.pairs) {
+        EncodeKV(&wire, kv.key, kv.value);
+      }
+    }
+    part.pairs.clear();
+    part.bytes = 0;
+    shared_->shuffle_bytes.fetch_add(static_cast<int64_t>(wire.size()),
+                                     std::memory_order_relaxed);
+    shared_->shuffle_batches.fetch_add(1, std::memory_order_relaxed);
+    const int a_world_rank = config_.num_o_ranks + p;
+    return world_->Send(a_world_rank, kDataTag, std::string(wire.view()));
+  }
+
+  const JobConfig& config_;
+  mpi::Comm* world_;
+  SharedState* shared_;
+  std::vector<PartitionBuffer> partitions_;
+  const Partitioner* partitioner_ = nullptr;
+  int task_id_ = -1;
+};
+
+class VectorEmitter : public AEmitter {
+ public:
+  void Emit(std::string_view key, std::string_view value) override {
+    out_.push_back(KVPair{std::string(key), std::string(value)});
+  }
+  std::vector<KVPair> Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<KVPair> out_;
+};
+
+Status RunOTasks(const JobConfig& config, mpi::Comm& world,
+                 SharedState* shared, const OTaskFn& o_fn,
+                 const Partitioner* partitioner) {
+  OContextImpl ctx(config, &world, shared);
+  ctx.set_partitioner(partitioner);
+  const int total_tasks =
+      config.num_o_tasks > 0 ? config.num_o_tasks : config.num_o_ranks;
+  int wave = 0;
+  Status status;
+  for (;;) {
+    // Dynamic scheduling: O ranks claim logical tasks from a shared
+    // counter (in-process stand-in for DataMPI's task scheduler).
+    const int task = shared->next_o_task.fetch_add(1);
+    if (task >= total_tasks) break;
+    ctx.set_task_id(task);
+    status = o_fn(&ctx);
+    if (!status.ok()) break;
+    ++wave;
+  }
+  int prev = shared->max_wave.load();
+  while (wave > prev &&
+         !shared->max_wave.compare_exchange_weak(prev, wave)) {
+  }
+  if (status.ok()) status = ctx.FlushAll();
+  // End-of-stream markers are sent even on failure so A ranks never hang
+  // waiting for a dead producer.
+  for (int a = 0; a < config.num_a_ranks; ++a) {
+    Status send_st = world.Send(config.num_o_ranks + a, kEosTag, "");
+    if (status.ok()) status = send_st;
+  }
+  return status;
+}
+
+Status ReduceBuffer(const JobConfig& config, int a_rank,
+                    SpillableKVBuffer* buffer, SharedState* shared,
+                    const AGroupFn& a_fn) {
+  shared->a_records.fetch_add(buffer->records_added(),
+                              std::memory_order_relaxed);
+  shared->a_spills.fetch_add(buffer->spill_count(),
+                             std::memory_order_relaxed);
+  DMB_ASSIGN_OR_RETURN(std::unique_ptr<KVGroupIterator> groups,
+                       buffer->Finish());
+  VectorEmitter emitter;
+  std::string key;
+  std::vector<std::string> values;
+  while (groups->NextGroup(&key, &values)) {
+    DMB_RETURN_NOT_OK(a_fn(key, values, &emitter));
+  }
+  DMB_RETURN_NOT_OK(groups->status());
+  shared->output_records.fetch_add(static_cast<int64_t>(emitter.size()),
+                                   std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shared->output_mu);
+  shared->a_outputs[static_cast<size_t>(a_rank)] = emitter.Take();
+  (void)config;
+  return Status::OK();
+}
+
+Status RunATask(const JobConfig& config, mpi::Comm& world, int a_rank,
+                SharedState* shared, const AGroupFn& a_fn) {
+  KVBufferOptions options;
+  options.memory_budget_bytes = config.a_memory_budget_bytes;
+  options.sort_by_key = config.sort_by_key;
+  SpillableKVBuffer buffer(options);
+  std::string checkpoint;
+  int eos_seen = 0;
+  while (eos_seen < config.num_o_ranks) {
+    DMB_ASSIGN_OR_RETURN(mpi::Message msg, world.Recv());
+    if (msg.tag == kEosTag) {
+      ++eos_seen;
+      continue;
+    }
+    DMB_CHECK(msg.tag == kDataTag);
+    if (!config.checkpoint_dir.empty()) {
+      checkpoint += msg.payload;  // concatenated batches stay decodable
+    }
+    DMB_RETURN_NOT_OK(buffer.AddBatch(msg.payload));
+  }
+  if (!config.checkpoint_dir.empty()) {
+    const std::string path =
+        config.checkpoint_dir + "/a-" + std::to_string(a_rank) + ".ckpt";
+    DMB_RETURN_NOT_OK(WriteFileBytes(path, checkpoint));
+  }
+  return ReduceBuffer(config, a_rank, &buffer, shared, a_fn);
+}
+
+}  // namespace
+
+std::vector<KVPair> JobResult::Merged() const {
+  std::vector<KVPair> all;
+  for (const auto& part : a_outputs) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+DataMPIJob::DataMPIJob(JobConfig config) : config_(std::move(config)) {
+  DMB_CHECK(config_.num_o_ranks >= 1);
+  DMB_CHECK(config_.num_a_ranks >= 1);
+  if (!config_.partitioner) {
+    config_.partitioner = std::make_shared<HashPartitioner>();
+  }
+}
+
+Result<JobResult> DataMPIJob::Run(OTaskFn o_fn, AGroupFn a_fn) {
+  SharedState shared;
+  shared.a_outputs.resize(static_cast<size_t>(config_.num_a_ranks));
+  const int world_size = config_.num_o_ranks + config_.num_a_ranks;
+  mpi::World world(world_size);
+  const JobConfig& config = config_;
+  Status run_status = world.Run([&](mpi::Comm& comm) -> Status {
+    // Dichotomic: split the world into the bipartite O / A communicators.
+    const bool is_o = comm.rank() < config.num_o_ranks;
+    mpi::Comm group = comm.Split(is_o ? 0 : 1, comm.rank());
+    Status st;
+    if (is_o) {
+      st = RunOTasks(config, comm, &shared, o_fn, config.partitioner.get());
+    } else {
+      st = RunATask(config, comm, comm.rank() - config.num_o_ranks, &shared,
+                    a_fn);
+    }
+    // Intra-group barrier: all tasks of a communicator finish together
+    // (mirrors DataMPI's synchronized phase completion).
+    if (group.valid()) group.Barrier();
+    return st;
+  });
+  DMB_RETURN_NOT_OK(run_status);
+
+  JobResult result;
+  result.a_outputs = std::move(shared.a_outputs);
+  result.stats.o_records_emitted = shared.o_records.load();
+  result.stats.shuffle_bytes = shared.shuffle_bytes.load();
+  result.stats.shuffle_batches = shared.shuffle_batches.load();
+  result.stats.a_records_received = shared.a_records.load();
+  result.stats.a_spill_count = shared.a_spills.load();
+  result.stats.output_records = shared.output_records.load();
+  result.stats.o_waves = shared.max_wave.load();
+  return result;
+}
+
+Result<JobResult> DataMPIJob::RunFromCheckpoint(AGroupFn a_fn) {
+  if (config_.checkpoint_dir.empty()) {
+    return Status::FailedPrecondition("no checkpoint_dir configured");
+  }
+  SharedState shared;
+  shared.a_outputs.resize(static_cast<size_t>(config_.num_a_ranks));
+  const JobConfig& config = config_;
+  mpi::World world(config_.num_a_ranks);
+  Status run_status = world.Run([&](mpi::Comm& comm) -> Status {
+    const int a_rank = comm.rank();
+    const std::string path =
+        config.checkpoint_dir + "/a-" + std::to_string(a_rank) + ".ckpt";
+    DMB_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+    KVBufferOptions options;
+    options.memory_budget_bytes = config.a_memory_budget_bytes;
+    options.sort_by_key = config.sort_by_key;
+    SpillableKVBuffer buffer(options);
+    DMB_RETURN_NOT_OK(buffer.AddBatch(bytes));
+    return ReduceBuffer(config, a_rank, &buffer, &shared, a_fn);
+  });
+  DMB_RETURN_NOT_OK(run_status);
+
+  JobResult result;
+  result.a_outputs = std::move(shared.a_outputs);
+  result.stats.a_records_received = shared.a_records.load();
+  result.stats.a_spill_count = shared.a_spills.load();
+  result.stats.output_records = shared.output_records.load();
+  return result;
+}
+
+}  // namespace dmb::datampi

@@ -1,0 +1,32 @@
+#include "core/kv.h"
+
+namespace dmb::datampi {
+
+void EncodeKV(ByteBuffer* buf, std::string_view key, std::string_view value) {
+  buf->AppendLengthPrefixed(key);
+  buf->AppendLengthPrefixed(value);
+}
+
+Result<std::vector<KVPair>> DecodeKVBatch(std::string_view data) {
+  std::vector<KVPair> out;
+  KVBatchReader reader(data);
+  std::string_view k, v;
+  while (reader.Next(&k, &v)) {
+    out.push_back(KVPair{std::string(k), std::string(v)});
+  }
+  DMB_RETURN_NOT_OK(reader.status());
+  return out;
+}
+
+bool KVBatchReader::Next(std::string_view* key, std::string_view* value) {
+  if (!status_.ok() || reader_.AtEnd()) return false;
+  Status st = reader_.ReadLengthPrefixed(key);
+  if (st.ok()) st = reader_.ReadLengthPrefixed(value);
+  if (!st.ok()) {
+    status_ = st.WithContext("KVBatchReader");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dmb::datampi

@@ -1,0 +1,61 @@
+// Key-value pair types and batch encoding for the DataMPI library.
+//
+// DataMPI's central abstraction ("4D" model: dichotomic, dynamic,
+// data-centric, diversified) is communication of key-value pairs rather
+// than raw buffers. KVPair is the unit; KVBatch is the wire encoding used
+// between O and A tasks.
+
+#ifndef DATAMPI_BENCH_CORE_KV_H_
+#define DATAMPI_BENCH_CORE_KV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/status.h"
+
+namespace dmb::datampi {
+
+/// \brief One key-value record.
+struct KVPair {
+  std::string key;
+  std::string value;
+
+  bool operator==(const KVPair& other) const {
+    return key == other.key && value == other.value;
+  }
+};
+
+/// \brief Orders by key, then value (total order => deterministic tests).
+struct KVPairLess {
+  bool operator()(const KVPair& a, const KVPair& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.value < b.value;
+  }
+};
+
+/// \brief Appends a record to a wire batch (varint-length framing).
+void EncodeKV(ByteBuffer* buf, std::string_view key, std::string_view value);
+
+/// \brief Decodes a whole batch; returns Corruption on malformed input.
+Result<std::vector<KVPair>> DecodeKVBatch(std::string_view data);
+
+/// \brief Streaming decoder over a batch (zero-copy views into `data`).
+class KVBatchReader {
+ public:
+  explicit KVBatchReader(std::string_view data) : reader_(data) {}
+
+  /// \brief Reads the next record; false at end. Check status() after.
+  bool Next(std::string_view* key, std::string_view* value);
+
+  const Status& status() const { return status_; }
+
+ private:
+  ByteReader reader_;
+  Status status_;
+};
+
+}  // namespace dmb::datampi
+
+#endif  // DATAMPI_BENCH_CORE_KV_H_

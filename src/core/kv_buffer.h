@@ -1,0 +1,87 @@
+// SpillableKVBuffer: the A-task side intermediate store of DataMPI.
+//
+// Received key-value pairs are buffered in memory; when the memory budget
+// is exceeded the buffer sorts the resident records and spills them as a
+// sorted run file. Finish() merges the in-memory records with all spilled
+// runs into a single sorted stream grouped by key — exactly the external
+// merge sort a Hadoop reduce side performs, but with DataMPI's bias
+// toward keeping data memory-resident ("data-centric" buffering).
+
+#ifndef DATAMPI_BENCH_CORE_KV_BUFFER_H_
+#define DATAMPI_BENCH_CORE_KV_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/temp_dir.h"
+#include "core/kv.h"
+
+namespace dmb::datampi {
+
+/// \brief Iterates (key, values) groups in sorted key order.
+class KVGroupIterator {
+ public:
+  virtual ~KVGroupIterator() = default;
+  /// \brief Advances to the next group; false at end-of-stream.
+  virtual bool NextGroup(std::string* key,
+                         std::vector<std::string>* values) = 0;
+  virtual const Status& status() const = 0;
+};
+
+/// \brief Buffer options.
+struct KVBufferOptions {
+  /// Approximate in-memory bytes before a spill is triggered.
+  int64_t memory_budget_bytes = 64 << 20;
+  /// When false, Finish() preserves arrival order and yields singleton
+  /// groups (for order-insensitive A tasks like Grep counting).
+  bool sort_by_key = true;
+  /// Directory for run files; when null a private TempDir is created.
+  const TempDir* spill_dir = nullptr;
+};
+
+/// \brief The spillable buffer.
+class SpillableKVBuffer {
+ public:
+  explicit SpillableKVBuffer(KVBufferOptions options = KVBufferOptions{});
+  ~SpillableKVBuffer();
+
+  SpillableKVBuffer(const SpillableKVBuffer&) = delete;
+  SpillableKVBuffer& operator=(const SpillableKVBuffer&) = delete;
+
+  /// \brief Adds one record (may trigger a spill).
+  Status Add(std::string_view key, std::string_view value);
+
+  /// \brief Adds every record of an encoded KVBatch.
+  Status AddBatch(std::string_view batch);
+
+  /// \brief Seals the buffer and returns the grouped, merged iterator.
+  /// The buffer must not be Add()ed to afterwards.
+  Result<std::unique_ptr<KVGroupIterator>> Finish();
+
+  int64_t records_added() const { return records_added_; }
+  int64_t bytes_added() const { return bytes_added_; }
+  int spill_count() const { return static_cast<int>(spill_files_.size()); }
+  int64_t spilled_bytes() const { return spilled_bytes_; }
+
+ private:
+  Status SpillNow();
+
+  KVBufferOptions options_;
+  std::unique_ptr<TempDir> owned_dir_;
+  const TempDir* dir_ = nullptr;
+
+  std::vector<KVPair> memory_;
+  int64_t memory_bytes_ = 0;
+  int64_t records_added_ = 0;
+  int64_t bytes_added_ = 0;
+  int64_t spilled_bytes_ = 0;
+  std::vector<std::string> spill_files_;
+  bool finished_ = false;
+};
+
+}  // namespace dmb::datampi
+
+#endif  // DATAMPI_BENCH_CORE_KV_BUFFER_H_

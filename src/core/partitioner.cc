@@ -1,0 +1,49 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace dmb::datampi {
+
+int HashPartitioner::Partition(std::string_view key,
+                               int num_partitions) const {
+  assert(num_partitions >= 1);
+  return static_cast<int>(Hash64(key) % static_cast<uint64_t>(num_partitions));
+}
+
+RangePartitioner::RangePartitioner(std::vector<std::string> splits)
+    : splits_(std::move(splits)) {
+  assert(std::is_sorted(splits_.begin(), splits_.end()));
+}
+
+RangePartitioner RangePartitioner::FromSample(
+    std::vector<std::string> sample_keys, int num_partitions) {
+  assert(num_partitions >= 1);
+  std::sort(sample_keys.begin(), sample_keys.end());
+  std::vector<std::string> splits;
+  if (!sample_keys.empty()) {
+    for (int i = 1; i < num_partitions; ++i) {
+      const size_t idx = (sample_keys.size() * static_cast<size_t>(i)) /
+                         static_cast<size_t>(num_partitions);
+      splits.push_back(sample_keys[std::min(idx, sample_keys.size() - 1)]);
+    }
+    splits.erase(std::unique(splits.begin(), splits.end()), splits.end());
+  }
+  return RangePartitioner(std::move(splits));
+}
+
+int RangePartitioner::Partition(std::string_view key,
+                                int num_partitions) const {
+  assert(num_partitions >= 1);
+  // First split > key determines the partition.
+  const auto it = std::upper_bound(splits_.begin(), splits_.end(), key,
+                                   [](std::string_view k, const std::string& s) {
+                                     return k < s;
+                                   });
+  const int p = static_cast<int>(it - splits_.begin());
+  return std::min(p, num_partitions - 1);
+}
+
+}  // namespace dmb::datampi

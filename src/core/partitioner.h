@@ -1,0 +1,59 @@
+// Partitioners: map a key to one of the A tasks. Hash partitioning is the
+// default (WordCount, Grep, K-means, Naive Bayes); range partitioning
+// with sampled split points produces globally sorted output (Sort), like
+// Hadoop's TotalOrderPartitioner.
+
+#ifndef DATAMPI_BENCH_CORE_PARTITIONER_H_
+#define DATAMPI_BENCH_CORE_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dmb::datampi {
+
+/// \brief Interface: key -> partition in [0, num_partitions).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual int Partition(std::string_view key, int num_partitions) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// \brief Stable hash partitioner (xxHash64 of the key).
+class HashPartitioner : public Partitioner {
+ public:
+  int Partition(std::string_view key, int num_partitions) const override;
+  std::string name() const override { return "hash"; }
+};
+
+/// \brief Range partitioner over lexicographic key order.
+///
+/// Built from (num_partitions - 1) split points; partition i receives
+/// keys in [split[i-1], split[i]). Guarantees that concatenating the
+/// sorted outputs of partitions 0..n-1 yields a globally sorted sequence.
+class RangePartitioner : public Partitioner {
+ public:
+  /// \brief Builds from explicit split points (must be sorted).
+  explicit RangePartitioner(std::vector<std::string> splits);
+
+  /// \brief Builds split points by sampling keys, as Hadoop's input
+  /// sampler does: sorts the sample and picks evenly-spaced quantiles.
+  static RangePartitioner FromSample(std::vector<std::string> sample_keys,
+                                     int num_partitions);
+
+  int Partition(std::string_view key, int num_partitions) const override;
+  std::string name() const override { return "range"; }
+
+  const std::vector<std::string>& splits() const { return splits_; }
+
+ private:
+  std::vector<std::string> splits_;
+};
+
+}  // namespace dmb::datampi
+
+#endif  // DATAMPI_BENCH_CORE_PARTITIONER_H_

@@ -1,0 +1,173 @@
+#include "datagen/codec.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/byte_buffer.h"
+
+namespace dmb::datagen {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 16;
+
+inline uint32_t Read32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t HashPrefix(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLength(std::string* out, size_t len) {
+  while (len >= 255) {
+    out->push_back(static_cast<char>(0xFF));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+// Emits one sequence: literals [lit_begin, lit_end) followed by a match of
+// `match_len` at `offset` (match_len == 0 for the terminal literal run).
+void EmitSequence(std::string* out, const char* lit_begin, size_t lit_len,
+                  size_t match_len, size_t offset) {
+  const size_t lit_token = lit_len < 15 ? lit_len : 15;
+  size_t match_code = 0;
+  if (match_len > 0) {
+    match_code = match_len - kMinMatch;
+  }
+  const size_t match_token = match_code < 15 ? match_code : 15;
+  out->push_back(static_cast<char>((lit_token << 4) | match_token));
+  if (lit_token == 15) EmitLength(out, lit_len - 15);
+  out->append(lit_begin, lit_len);
+  if (match_len > 0) {
+    out->push_back(static_cast<char>(offset & 0xFF));
+    out->push_back(static_cast<char>((offset >> 8) & 0xFF));
+    if (match_token == 15) EmitLength(out, match_code - 15);
+  }
+}
+
+}  // namespace
+
+std::string LzCompress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  const char* base = input.data();
+  const size_t n = input.size();
+  if (n < kMinMatch + 4) {
+    EmitSequence(&out, base, n, 0, 0);
+    return out;
+  }
+
+  std::vector<int32_t> table(size_t{1} << kHashBits, -1);
+  size_t pos = 0;
+  size_t anchor = 0;
+  // Leave a 4-byte tail so Read32 never crosses the end.
+  const size_t match_limit = n - 4;
+
+  while (pos < match_limit) {
+    const uint32_t h = HashPrefix(Read32(base + pos));
+    const int32_t cand = table[h];
+    table[h] = static_cast<int32_t>(pos);
+    if (cand >= 0 && pos - static_cast<size_t>(cand) <= kMaxOffset &&
+        Read32(base + cand) == Read32(base + pos)) {
+      // Extend the match.
+      size_t match_len = 4;
+      while (pos + match_len < n &&
+             base[static_cast<size_t>(cand) + match_len] ==
+                 base[pos + match_len]) {
+        ++match_len;
+      }
+      EmitSequence(&out, base + anchor, pos - anchor, match_len,
+                   pos - static_cast<size_t>(cand));
+      pos += match_len;
+      anchor = pos;
+    } else {
+      ++pos;
+    }
+  }
+  EmitSequence(&out, base + anchor, n - anchor, 0, 0);
+  return out;
+}
+
+Result<std::string> LzDecompress(std::string_view input,
+                                 size_t decompressed_size) {
+  std::string out;
+  out.reserve(decompressed_size);
+  size_t ip = 0;
+  const size_t in_size = input.size();
+  auto read_length = [&](size_t initial) -> Result<size_t> {
+    size_t len = initial;
+    if (initial == 15) {
+      for (;;) {
+        if (ip >= in_size) return Status::Corruption("truncated length");
+        const uint8_t b = static_cast<uint8_t>(input[ip++]);
+        len += b;
+        if (b != 255) break;
+      }
+    }
+    return len;
+  };
+
+  while (ip < in_size) {
+    const uint8_t token = static_cast<uint8_t>(input[ip++]);
+    DMB_ASSIGN_OR_RETURN(size_t lit_len, read_length(token >> 4));
+    if (ip + lit_len > in_size) {
+      return Status::Corruption("literal run past end of input");
+    }
+    out.append(input.data() + ip, lit_len);
+    ip += lit_len;
+    if (ip >= in_size) break;  // terminal sequence has no match
+    if (ip + 2 > in_size) return Status::Corruption("truncated offset");
+    const size_t offset = static_cast<uint8_t>(input[ip]) |
+                          (static_cast<size_t>(
+                               static_cast<uint8_t>(input[ip + 1]))
+                           << 8);
+    ip += 2;
+    DMB_ASSIGN_OR_RETURN(size_t match_code, read_length(token & 0xF));
+    const size_t match_len = match_code + kMinMatch;
+    if (offset == 0 || offset > out.size()) {
+      return Status::Corruption("invalid match offset");
+    }
+    // Byte-by-byte copy: overlapping matches are legal (RLE-style).
+    size_t from = out.size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + i]);
+    }
+  }
+  if (out.size() != decompressed_size) {
+    return Status::Corruption("decompressed size mismatch: got " +
+                              std::to_string(out.size()) + " expected " +
+                              std::to_string(decompressed_size));
+  }
+  return out;
+}
+
+std::string FrameCompress(std::string_view input) {
+  ByteBuffer header;
+  header.AppendVarint(input.size());
+  std::string out(header.view());
+  out += LzCompress(input);
+  return out;
+}
+
+Result<std::string> FrameDecompress(std::string_view frame) {
+  ByteReader reader(frame);
+  uint64_t orig_size;
+  DMB_RETURN_NOT_OK(reader.ReadVarint(&orig_size));
+  const size_t header = frame.size() - reader.remaining();
+  return LzDecompress(frame.substr(header),
+                      static_cast<size_t>(orig_size));
+}
+
+double FrameRatio(std::string_view original, std::string_view frame) {
+  if (frame.empty()) return 0.0;
+  return static_cast<double>(original.size()) /
+         static_cast<double>(frame.size());
+}
+
+}  // namespace dmb::datagen

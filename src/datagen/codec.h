@@ -1,0 +1,37 @@
+// DmbLz: a self-contained LZ77 byte codec (LZ4-flavoured token format)
+// standing in for Hadoop's GzipCodec in ToSeqFile / Normal Sort. On the
+// Zipfian corpora it reaches the ~2x ratio the paper's compressed
+// sequence files exhibit, and it exercises a real compress/decompress
+// code path in the functional engines.
+
+#ifndef DATAMPI_BENCH_DATAGEN_CODEC_H_
+#define DATAMPI_BENCH_DATAGEN_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dmb::datagen {
+
+/// \brief Compresses `input`. Output grows by at most ~input/255 + 16
+/// bytes for incompressible data.
+std::string LzCompress(std::string_view input);
+
+/// \brief Decompresses data produced by LzCompress. `decompressed_size`
+/// must match exactly; corrupt input yields Status::Corruption.
+Result<std::string> LzDecompress(std::string_view input,
+                                 size_t decompressed_size);
+
+/// \brief Self-describing frame: varint original size + compressed bytes.
+std::string FrameCompress(std::string_view input);
+
+/// \brief Inverse of FrameCompress.
+Result<std::string> FrameDecompress(std::string_view frame);
+
+/// \brief Compression ratio (uncompressed/compressed) of a frame blob.
+double FrameRatio(std::string_view original, std::string_view frame);
+
+}  // namespace dmb::datagen
+
+#endif  // DATAMPI_BENCH_DATAGEN_CODEC_H_

@@ -1,0 +1,63 @@
+#include "datagen/seed_model.h"
+
+#include "common/hash.h"
+
+namespace dmb::datagen {
+
+SeedModel::SeedModel(std::string name, uint64_t vocab_size, double zipf_s,
+                     uint64_t word_salt)
+    : name_(std::move(name)),
+      vocab_size_(vocab_size),
+      zipf_s_(zipf_s),
+      word_salt_(word_salt),
+      zipf_(vocab_size, zipf_s) {}
+
+std::string SeedModel::WordText(uint64_t word_id) const {
+  // Deterministic pseudo-word: mix (salt, id), derive a length in [3, 12]
+  // skewed toward shorter words for frequent ids (like natural language),
+  // then emit lowercase letters from successive mixes.
+  const uint64_t h0 = Mix64(word_salt_ ^ Mix64(word_id + 1));
+  // Frequent words tend to be short: rank-dependent bias.
+  const int min_len = 3;
+  const int span = word_id < 64 ? 4 : 9;  // top words: 3-6 letters
+  const int len = min_len + static_cast<int>(h0 % span);
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  uint64_t h = h0;
+  for (int i = 0; i < len; ++i) {
+    if (i % 8 == 0) h = Mix64(h + 0x9e37);
+    out.push_back(static_cast<char>('a' + (h & 0xF) % 26));
+    h >>= 4;
+    h ^= Mix64(h0 + static_cast<uint64_t>(i));
+  }
+  return out;
+}
+
+const SeedModel& SeedModel::Wiki1W() {
+  // "1w" is Chinese shorthand for 10^4: 10k wikipedia entries were used to
+  // train the original model. Natural text: s ~ 1.0, large dictionary.
+  static const SeedModel model("lda_wiki1w", 100000, 1.0, 0x5eed0001ULL);
+  return model;
+}
+
+const SeedModel& SeedModel::Amazon(int index) {
+  static const SeedModel models[5] = {
+      SeedModel("amazon1", 40000, 1.05, 0xa0a0a0a1ULL),
+      SeedModel("amazon2", 42000, 1.02, 0xa0a0a0a2ULL),
+      SeedModel("amazon3", 38000, 1.08, 0xa0a0a0a3ULL),
+      SeedModel("amazon4", 45000, 1.00, 0xa0a0a0a4ULL),
+      SeedModel("amazon5", 36000, 1.10, 0xa0a0a0a5ULL),
+  };
+  if (index < 1 || index > 5) index = 1;
+  return models[index - 1];
+}
+
+Result<const SeedModel*> SeedModel::ByName(const std::string& name) {
+  if (name == "lda_wiki1w") return &Wiki1W();
+  for (int i = 1; i <= 5; ++i) {
+    if (name == "amazon" + std::to_string(i)) return &Amazon(i);
+  }
+  return Status::NotFound("unknown seed model: " + name);
+}
+
+}  // namespace dmb::datagen

@@ -1,0 +1,68 @@
+// Seed models in the spirit of BigDataBench's data generators.
+//
+// BigDataBench trains seed models (e.g. `lda_wiki1w` from wikipedia,
+// `amazon1..amazon5` from amazon movie reviews) and scales them to produce
+// synthetic-but-realistic corpora. We reproduce the *statistical* essence:
+// each seed model is a vocabulary with a Zipfian frequency law and a
+// deterministic word-id -> string mapping, so generated text has realistic
+// dictionary size, word-length distribution and skew. The five amazon
+// models use disjoint vocabularies, which is what makes the Naive Bayes
+// categories separable (as in the paper's 5-category setup).
+
+#ifndef DATAMPI_BENCH_DATAGEN_SEED_MODEL_H_
+#define DATAMPI_BENCH_DATAGEN_SEED_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace dmb::datagen {
+
+/// \brief A trained-corpus stand-in: Zipfian unigram language model.
+class SeedModel {
+ public:
+  /// \param name model id, e.g. "lda_wiki1w"
+  /// \param vocab_size number of distinct words
+  /// \param zipf_s Zipf exponent of the word frequency law
+  /// \param word_salt distinguishes vocabularies of different models
+  SeedModel(std::string name, uint64_t vocab_size, double zipf_s,
+            uint64_t word_salt);
+
+  const std::string& name() const { return name_; }
+  uint64_t vocab_size() const { return vocab_size_; }
+  double zipf_s() const { return zipf_s_; }
+
+  /// \brief Samples a word id by frequency rank (0 = most frequent).
+  uint64_t SampleWordId(Rng* rng) const { return zipf_.Sample(rng); }
+
+  /// \brief Deterministic surface form of a word id (3..12 lowercase
+  /// letters, unique per (salt, id) with overwhelming probability).
+  std::string WordText(uint64_t word_id) const;
+
+  /// \brief Samples a word's surface form directly.
+  std::string SampleWord(Rng* rng) const { return WordText(SampleWordId(rng)); }
+
+  /// \brief Built-in models mirroring the paper's setup.
+  /// "lda_wiki1w": wikipedia-entry model used for Sort/WordCount/Grep.
+  static const SeedModel& Wiki1W();
+  /// "amazon1".."amazon5": review models used for K-means / Naive Bayes.
+  /// \param index 1..5
+  static const SeedModel& Amazon(int index);
+
+  /// \brief Looks a model up by name ("lda_wiki1w", "amazon3", ...).
+  static Result<const SeedModel*> ByName(const std::string& name);
+
+ private:
+  std::string name_;
+  uint64_t vocab_size_;
+  double zipf_s_;
+  uint64_t word_salt_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace dmb::datagen
+
+#endif  // DATAMPI_BENCH_DATAGEN_SEED_MODEL_H_

@@ -1,0 +1,143 @@
+#include "datagen/seqfile.h"
+
+#include <cstring>
+
+#include "datagen/codec.h"
+
+namespace dmb::datagen {
+
+SeqFileWriter::SeqFileWriter(Options options) : options_(options) {
+  out_.append(kSeqFileMagic, sizeof(kSeqFileMagic));
+  out_.push_back(options_.compress ? 1 : 0);
+}
+
+void SeqFileWriter::Append(std::string_view key, std::string_view value) {
+  block_.AppendLengthPrefixed(key);
+  block_.AppendLengthPrefixed(value);
+  ++block_records_;
+  ++records_written_;
+  uncompressed_bytes_ +=
+      static_cast<int64_t>(key.size() + value.size());
+  if (block_.size() >= options_.block_size) FlushBlock();
+}
+
+void SeqFileWriter::FlushBlock() {
+  if (block_records_ == 0) return;
+  ByteBuffer header;
+  header.AppendVarint(block_records_);
+  header.AppendVarint(block_.size());
+  std::string payload;
+  if (options_.compress) {
+    payload = LzCompress(block_.view());
+  } else {
+    payload.assign(block_.view());
+  }
+  header.AppendVarint(payload.size());
+  out_.append(reinterpret_cast<const char*>(header.data()), header.size());
+  out_ += payload;
+  block_.Clear();
+  block_records_ = 0;
+}
+
+std::string SeqFileWriter::Finish() {
+  FlushBlock();
+  std::string result = std::move(out_);
+  out_.clear();
+  out_.append(kSeqFileMagic, sizeof(kSeqFileMagic));
+  out_.push_back(options_.compress ? 1 : 0);
+  return result;
+}
+
+SeqFileReader::SeqFileReader(std::string_view data)
+    : file_reader_(data) {
+  char magic[sizeof(kSeqFileMagic)];
+  if (!file_reader_.ReadBytes(magic, sizeof(magic)).ok() ||
+      std::memcmp(magic, kSeqFileMagic, sizeof(magic)) != 0) {
+    status_ = Status::Corruption("bad sequence file magic");
+    return;
+  }
+  uint8_t compressed_flag = 0;
+  if (!file_reader_.ReadBytes(&compressed_flag, 1).ok() ||
+      compressed_flag > 1) {
+    status_ = Status::Corruption("bad sequence file header");
+    return;
+  }
+  compressed_ = compressed_flag == 1;
+}
+
+bool SeqFileReader::LoadNextBlock() {
+  if (file_reader_.AtEnd()) return false;
+  uint64_t records, uncompressed_size, payload_size;
+  Status st = file_reader_.ReadVarint(&records);
+  if (st.ok()) st = file_reader_.ReadVarint(&uncompressed_size);
+  if (st.ok()) st = file_reader_.ReadVarint(&payload_size);
+  std::string_view payload;
+  if (st.ok()) {
+    st = file_reader_.ReadView(static_cast<size_t>(payload_size), &payload);
+  }
+  if (!st.ok()) {
+    status_ = st.WithContext("seqfile block header");
+    return false;
+  }
+  if (compressed_) {
+    auto r = LzDecompress(payload, static_cast<size_t>(uncompressed_size));
+    if (!r.ok()) {
+      status_ = r.status().WithContext("seqfile block payload");
+      return false;
+    }
+    current_block_ = std::move(r).value();
+  } else {
+    current_block_.assign(payload);
+  }
+  block_pos_ = 0;
+  block_records_left_ = records;
+  return true;
+}
+
+bool SeqFileReader::Next(std::string* key, std::string* value) {
+  if (!status_.ok()) return false;
+  while (block_records_left_ == 0) {
+    if (!LoadNextBlock()) return false;
+  }
+  ByteReader rec(current_block_.data() + block_pos_,
+                 current_block_.size() - block_pos_);
+  std::string_view k, v;
+  Status st = rec.ReadLengthPrefixed(&k);
+  if (st.ok()) st = rec.ReadLengthPrefixed(&v);
+  if (!st.ok()) {
+    status_ = st.WithContext("seqfile record");
+    return false;
+  }
+  key->assign(k);
+  value->assign(v);
+  block_pos_ = current_block_.size() - rec.remaining();
+  --block_records_left_;
+  ++records_read_;
+  return true;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>>
+SeqFileReader::ReadAll(std::string_view data) {
+  SeqFileReader reader(data);
+  std::vector<std::pair<std::string, std::string>> out;
+  std::string k, v;
+  while (reader.Next(&k, &v)) {
+    out.emplace_back(std::move(k), std::move(v));
+    k.clear();
+    v.clear();
+  }
+  if (!reader.status().ok()) return reader.status();
+  return out;
+}
+
+std::string ToSeqFile(const std::vector<std::string>& lines, bool compress) {
+  SeqFileWriter::Options options;
+  options.compress = compress;
+  SeqFileWriter writer(options);
+  for (const auto& line : lines) {
+    writer.Append(line, line);
+  }
+  return writer.Finish();
+}
+
+}  // namespace dmb::datagen

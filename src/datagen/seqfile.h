@@ -1,0 +1,93 @@
+// Hadoop-style sequence files: blocks of key/value records with optional
+// block compression. BigDataBench's ToSeqFile produces Normal Sort input
+// by copying each text line into both key and value and compressing with
+// GzipCodec; we do the same with DmbLz (see codec.h).
+
+#ifndef DATAMPI_BENCH_DATAGEN_SEQFILE_H_
+#define DATAMPI_BENCH_DATAGEN_SEQFILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/status.h"
+
+namespace dmb::datagen {
+
+/// \brief In-memory sequence-file writer.
+class SeqFileWriter {
+ public:
+  struct Options {
+    bool compress = true;
+    size_t block_size = 64 * 1024;  // flush threshold (uncompressed bytes)
+  };
+
+  SeqFileWriter() : SeqFileWriter(Options{}) {}
+  explicit SeqFileWriter(Options options);
+
+  /// \brief Appends one record.
+  void Append(std::string_view key, std::string_view value);
+
+  /// \brief Flushes pending records and returns the encoded file,
+  /// leaving the writer reusable for a new file.
+  std::string Finish();
+
+  int64_t records_written() const { return records_written_; }
+  int64_t uncompressed_bytes() const { return uncompressed_bytes_; }
+
+ private:
+  void FlushBlock();
+
+  Options options_;
+  ByteBuffer block_;       // records of the current block
+  uint64_t block_records_ = 0;
+  std::string out_;
+  int64_t records_written_ = 0;
+  int64_t uncompressed_bytes_ = 0;
+};
+
+/// \brief Streaming reader over an encoded sequence file.
+class SeqFileReader {
+ public:
+  /// \brief Binds to the encoded bytes (not owned; must outlive reader).
+  explicit SeqFileReader(std::string_view data);
+
+  /// \brief Reads the next record into *key / *value (copies, since
+  /// compressed blocks are materialized). Returns false at end of file.
+  /// A corrupt file fails the status() instead.
+  bool Next(std::string* key, std::string* value);
+
+  const Status& status() const { return status_; }
+  int64_t records_read() const { return records_read_; }
+
+  /// \brief Convenience: decode an entire file into (key, value) pairs.
+  static Result<std::vector<std::pair<std::string, std::string>>> ReadAll(
+      std::string_view data);
+
+ private:
+  bool LoadNextBlock();
+
+  ByteReader file_reader_;
+  bool compressed_ = false;
+  std::string current_block_;
+  size_t block_pos_ = 0;
+  uint64_t block_records_left_ = 0;
+  Status status_;
+  int64_t records_read_ = 0;
+};
+
+/// \brief BigDataBench's ToSeqFile: converts text lines into a compressed
+/// sequence file with key = value = line. Returns the encoded file.
+std::string ToSeqFile(const std::vector<std::string>& lines,
+                      bool compress = true);
+
+/// \brief File magic for validity checks.
+inline constexpr char kSeqFileMagic[8] = {'D', 'M', 'B', 'S',
+                                          'E', 'Q', '1', '\n'};
+
+}  // namespace dmb::datagen
+
+#endif  // DATAMPI_BENCH_DATAGEN_SEQFILE_H_

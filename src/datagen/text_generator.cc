@@ -1,0 +1,53 @@
+#include "datagen/text_generator.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dmb::datagen {
+
+TextGenerator::TextGenerator(TextGenOptions options)
+    : options_(options), rng_(options.seed) {
+  DMB_CHECK(options_.model != nullptr);
+  DMB_CHECK(options_.min_words_per_line >= 1);
+  DMB_CHECK(options_.max_words_per_line >= options_.min_words_per_line);
+}
+
+std::string TextGenerator::NextLine() {
+  const int words = static_cast<int>(rng_.UniformRange(
+      options_.min_words_per_line, options_.max_words_per_line));
+  std::string line;
+  line.reserve(static_cast<size_t>(words) * 8);
+  for (int w = 0; w < words; ++w) {
+    if (w > 0) line.push_back(' ');
+    line += options_.model->WordText(options_.model->SampleWordId(&rng_));
+  }
+  return line;
+}
+
+std::vector<std::string> TextGenerator::GenerateLines(int64_t bytes) {
+  std::vector<std::string> lines;
+  int64_t produced = 0;
+  while (produced < bytes) {
+    lines.push_back(NextLine());
+    produced += static_cast<int64_t>(lines.back().size()) + 1;
+  }
+  return lines;
+}
+
+std::string TextGenerator::GenerateText(int64_t bytes) {
+  std::string out;
+  out.reserve(static_cast<size_t>(bytes) + 128);
+  while (static_cast<int64_t>(out.size()) < bytes) {
+    out += NextLine();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TextGenerator TextGenerator::ForPartition(int index) const {
+  TextGenOptions opts = options_;
+  opts.seed = HashCombine(options_.seed, Mix64(static_cast<uint64_t>(index) + 1));
+  return TextGenerator(opts);
+}
+
+}  // namespace dmb::datagen

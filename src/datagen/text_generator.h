@@ -1,0 +1,52 @@
+// BigDataBench "Text Generator": produces synthetic text corpora from a
+// seed model, preserving dictionary size and Zipfian skew. Used as input
+// for Text Sort, WordCount and Grep (with lda_wiki1w) and, via the
+// document generators, for K-means and Naive Bayes (amazon1..5).
+
+#ifndef DATAMPI_BENCH_DATAGEN_TEXT_GENERATOR_H_
+#define DATAMPI_BENCH_DATAGEN_TEXT_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/seed_model.h"
+
+namespace dmb::datagen {
+
+/// \brief Options of the text generator.
+struct TextGenOptions {
+  const SeedModel* model = &SeedModel::Wiki1W();
+  int min_words_per_line = 5;
+  int max_words_per_line = 15;
+  uint64_t seed = 2014;
+};
+
+/// \brief Streaming generator of text lines.
+class TextGenerator {
+ public:
+  explicit TextGenerator(TextGenOptions options = TextGenOptions());
+
+  /// \brief Next line of space-separated words (no trailing newline).
+  std::string NextLine();
+
+  /// \brief Generates whole lines until at least `bytes` of text
+  /// (including one newline per line) has been produced.
+  std::vector<std::string> GenerateLines(int64_t bytes);
+
+  /// \brief Same, as a single newline-separated blob (ends with '\n').
+  std::string GenerateText(int64_t bytes);
+
+  /// \brief Creates an independent generator for partition `index`
+  /// (deterministic regardless of generation order across partitions).
+  TextGenerator ForPartition(int index) const;
+
+ private:
+  TextGenOptions options_;
+  Rng rng_;
+};
+
+}  // namespace dmb::datagen
+
+#endif  // DATAMPI_BENCH_DATAGEN_TEXT_GENERATOR_H_

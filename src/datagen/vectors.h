@@ -1,0 +1,71 @@
+// Sparse term-frequency vectors and the K-means / Naive Bayes input
+// generators (BigDataBench's genData_Kmeans pipeline: text documents from
+// the amazon1..amazon5 seed models, converted to sparse TF vectors).
+// Because the five models have disjoint vocabularies, documents form five
+// natural clusters/categories — the structure K-means recovers and Naive
+// Bayes learns.
+
+#ifndef DATAMPI_BENCH_DATAGEN_VECTORS_H_
+#define DATAMPI_BENCH_DATAGEN_VECTORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace dmb::datagen {
+
+/// \brief Sparse vector: (index, weight) entries sorted by index.
+struct SparseVector {
+  std::vector<std::pair<uint32_t, float>> entries;
+
+  double Dot(const SparseVector& other) const;
+  double SquaredNorm() const;
+  /// \brief Squared euclidean distance to a *dense* point.
+  double SquaredDistance(const std::vector<double>& dense) const;
+  /// \brief Adds this vector into a dense accumulator.
+  void AddTo(std::vector<double>* dense) const;
+  /// \brief Serialized size estimate in bytes (index + weight per entry).
+  size_t ByteSize() const { return entries.size() * 8 + 8; }
+
+  /// \brief Compact binary encoding (delta-varint indexes + f32 weights).
+  std::string Encode() const;
+  static Result<SparseVector> Decode(std::string_view data);
+};
+
+/// \brief A labelled document (for Naive Bayes; label in [0, 5)).
+struct LabeledDoc {
+  int label = 0;
+  std::string text;
+};
+
+/// \brief Options for the K-means vector generator.
+struct KmeansDataOptions {
+  int num_models = 5;           // amazon1..amazon5
+  int min_terms_per_doc = 30;   // nnz per sparse vector before dedup
+  int max_terms_per_doc = 120;
+  uint64_t seed = 99;
+};
+
+/// \brief The dimension space: model i owns indices
+/// [i * kModelDimStride, i * kModelDimStride + vocab_i).
+inline constexpr uint32_t kModelDimStride = 1 << 17;  // 131072
+
+/// \brief Generates `count` sparse TF vectors (mixture over the models).
+/// The ground-truth mixture component of vector j is j % num_models.
+std::vector<SparseVector> GenerateKmeansVectors(
+    int64_t count, const KmeansDataOptions& options = KmeansDataOptions());
+
+/// \brief Generates labelled text documents for Naive Bayes, stopping at
+/// `target_bytes` of total text. Label = seed-model index (0-based).
+std::vector<LabeledDoc> GenerateBayesDocs(
+    int64_t target_bytes, const KmeansDataOptions& options = KmeansDataOptions());
+
+/// \brief Total dimensionality of the mixture space.
+uint32_t KmeansDimension(const KmeansDataOptions& options);
+
+}  // namespace dmb::datagen
+
+#endif  // DATAMPI_BENCH_DATAGEN_VECTORS_H_

@@ -1,0 +1,42 @@
+// DFSIO: the HDFS filesystem-level benchmark the paper uses to tune the
+// block size (Figure 2a). Runs as a self-contained simulation: one writer
+// (or reader) map task per file, files spread round-robin over the nodes,
+// DFSIO-style per-task throughput reporting.
+
+#ifndef DATAMPI_BENCH_DFS_DFSIO_H_
+#define DATAMPI_BENCH_DFS_DFSIO_H_
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "dfs/namenode.h"
+
+namespace dmb::dfs {
+
+/// \brief Parameters of a DFSIO run.
+struct DfsioOptions {
+  cluster::ClusterSpec cluster;
+  DfsConfig dfs;
+  int64_t total_bytes = int64_t{10} << 30;
+  int num_files = 8;  // one writer task per file
+  /// MapReduce task launch overhead before I/O starts (DFSIO runs as an
+  /// MR job; each mapper pays JVM spin-up).
+  double task_startup_s = 1.5;
+  bool read_mode = false;  // false = write test, true = read test
+};
+
+/// \brief Result of a DFSIO run.
+struct DfsioResult {
+  double job_seconds = 0.0;
+  /// DFSIO's headline metric: average over tasks of bytes/task_time (MB/s).
+  double throughput_mbps = 0.0;
+  /// Aggregate cluster rate: total bytes / job time (MB/s).
+  double aggregate_mbps = 0.0;
+};
+
+/// \brief Runs the DFSIO model and returns its metrics.
+DfsioResult RunDfsio(const DfsioOptions& options);
+
+}  // namespace dmb::dfs
+
+#endif  // DATAMPI_BENCH_DFS_DFSIO_H_

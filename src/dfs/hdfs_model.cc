@@ -1,0 +1,95 @@
+#include "dfs/hdfs_model.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace dmb::dfs {
+
+namespace {
+
+/// Wraps a fluid transfer in a spawnable process.
+sim::Proc RunTransfer(sim::FluidSystem::Transfer t) { co_await t; }
+
+std::string NextAnonPath() {
+  static std::atomic<uint64_t> counter{0};
+  return "/_anon/" + std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace
+
+sim::Proc HdfsModel::WriteOneBlock(int client_node, const BlockInfo& block) {
+  auto* sim = cluster_->simulator();
+  const double mb = ToMiB(block.size_bytes);
+  co_await sim::Delay(sim, costs_.block_setup_s);
+  if (mb > 0) {
+    sim::WaitGroup wg(sim);
+    sim::Spawner spawner(sim);
+    // Disk write on every replica plus the chained network hops, all
+    // concurrent within the block (chunk-level pipelining).
+    for (size_t i = 0; i < block.replicas.size(); ++i) {
+      wg.Add();
+      spawner.Spawn(RunTransfer(cluster_->WriteDisk(block.replicas[i], mb)),
+                    &wg);
+      if (i + 1 < block.replicas.size()) {
+        wg.Add();
+        spawner.Spawn(RunTransfer(cluster_->NetTransfer(
+                          block.replicas[i], block.replicas[i + 1], mb)),
+                      &wg);
+      }
+    }
+    co_await wg.Wait();
+    co_await sim::Delay(
+        sim, costs_.block_finalize_s +
+                 costs_.finalize_per_mb_s * mb * (mb / 256.0));
+  }
+  (void)client_node;
+}
+
+sim::Proc HdfsModel::WriteFile(int client_node, std::string path,
+                               int64_t bytes) {
+  auto file_result = namenode_->CreateFile(path, bytes, client_node);
+  DMB_CHECK(file_result.ok()) << file_result.status().ToString();
+  const FileInfo* file = *file_result;
+  for (const auto& block : file->blocks) {
+    co_await WriteOneBlock(client_node, block);
+  }
+}
+
+sim::Proc HdfsModel::WriteAnonymous(int client_node, int64_t bytes) {
+  co_await WriteFile(client_node, NextAnonPath(), bytes);
+}
+
+sim::Proc HdfsModel::ReadFile(int client_node, std::string path) {
+  auto file_result = namenode_->GetFile(path);
+  DMB_CHECK(file_result.ok()) << file_result.status().ToString();
+  const FileInfo* file = *file_result;
+  for (const auto& block : file->blocks) {
+    const int replica =
+        namenode_->ChooseReplicaForRead(block, client_node, &rng_);
+    co_await ReadBlockFrom(client_node, replica, block.size_bytes);
+  }
+}
+
+sim::Proc HdfsModel::ReadBlockFrom(int reader_node, int replica_node,
+                                   int64_t bytes) {
+  auto* sim = cluster_->simulator();
+  const double mb = ToMiB(bytes);
+  co_await sim::Delay(sim, costs_.read_open_s);
+  if (mb <= 0) co_return;
+  if (reader_node == replica_node) {
+    co_await cluster_->ReadDisk(replica_node, mb);
+  } else {
+    // Remote read: disk on the replica holder and the network hop overlap.
+    sim::WaitGroup wg(sim);
+    sim::Spawner spawner(sim);
+    wg.Add(2);
+    spawner.Spawn(RunTransfer(cluster_->ReadDisk(replica_node, mb)), &wg);
+    spawner.Spawn(
+        RunTransfer(cluster_->NetTransfer(replica_node, reader_node, mb)),
+        &wg);
+    co_await wg.Wait();
+  }
+}
+
+}  // namespace dmb::dfs

@@ -1,0 +1,82 @@
+// Simulation-side HDFS data path: block writes through the replication
+// pipeline and locality-aware block reads, expressed as coroutine
+// processes over the cluster's fluid links.
+
+#ifndef DATAMPI_BENCH_DFS_HDFS_MODEL_H_
+#define DATAMPI_BENCH_DFS_HDFS_MODEL_H_
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "dfs/namenode.h"
+#include "sim/proc.h"
+
+namespace dmb::dfs {
+
+/// \brief Latency constants of the HDFS data path (calibrated to Hadoop
+/// 1.x behaviour on GbE).
+struct HdfsCosts {
+  /// Namenode RPC + pipeline setup per block (seconds).
+  double block_setup_s = 1.20;
+  /// Client-side close/finalize per block, not overlapped (seconds).
+  double block_finalize_s = 0.15;
+  /// Non-overlapped checksum/flush at block close; grows superlinearly
+  /// with block size (the whole block is verified and drained in one
+  /// go), producing the >256 MB throughput falloff of Figure 2(a):
+  ///   finalize = block_finalize_s + finalize_per_mb_s * mb * (mb/256).
+  double finalize_per_mb_s = 0.006;
+  /// Per-block read open overhead (seconds).
+  double read_open_s = 0.03;
+};
+
+/// \brief HDFS data-path model bound to a simulated cluster.
+///
+/// All sizes are bytes at the API; internally converted to MiB fluid
+/// volumes. Methods return lazily-started Procs: co_await them.
+class HdfsModel {
+ public:
+  HdfsModel(cluster::SimCluster* cluster, Namenode* namenode,
+            HdfsCosts costs = HdfsCosts(), uint64_t seed = 7)
+      : cluster_(cluster), namenode_(namenode), costs_(costs), rng_(seed) {}
+
+  Namenode* namenode() { return namenode_; }
+  const HdfsCosts& costs() const { return costs_; }
+
+  /// \brief Writes a new file of `bytes` from `client_node`: allocates
+  /// blocks in the namenode and drives the 3-replica pipeline (local disk
+  /// write + chained network transfers + remote disk writes, concurrent
+  /// within a block, serialized across blocks with setup/finalize costs).
+  sim::Proc WriteFile(int client_node, std::string path, int64_t bytes);
+
+  /// \brief Reads an existing whole file sequentially from `client_node`,
+  /// choosing local replicas when available.
+  sim::Proc ReadFile(int client_node, std::string path);
+
+  /// \brief Reads `bytes` of one block already known to live on
+  /// `replica_node` (the common case for scheduled map tasks). When the
+  /// reader is the replica holder this is a pure local disk read;
+  /// otherwise remote disk + network.
+  sim::Proc ReadBlockFrom(int reader_node, int replica_node, int64_t bytes);
+
+  /// \brief Convenience used by framework models writing job output with
+  /// the configured replication but without tracking a path.
+  sim::Proc WriteAnonymous(int client_node, int64_t bytes);
+
+ private:
+  sim::Proc WriteOneBlock(int client_node, const BlockInfo& block);
+
+  cluster::SimCluster* cluster_;
+  Namenode* namenode_;
+  HdfsCosts costs_;
+  Rng rng_;
+};
+
+/// \brief Converts bytes to the MiB unit used for fluid volumes.
+inline double ToMiB(int64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace dmb::dfs
+
+#endif  // DATAMPI_BENCH_DFS_HDFS_MODEL_H_

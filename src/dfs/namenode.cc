@@ -1,0 +1,141 @@
+#include "dfs/namenode.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dmb::dfs {
+
+Namenode::Namenode(DfsConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  assert(config_.num_nodes >= 1);
+  assert(config_.replication >= 1);
+  assert(config_.block_size_bytes > 0);
+}
+
+Result<const FileInfo*> Namenode::CreateFile(const std::string& path,
+                                             int64_t size_bytes,
+                                             int client_node) {
+  if (files_.count(path)) {
+    return Status::AlreadyExists("file exists: " + path);
+  }
+  if (client_node < 0 || client_node >= config_.num_nodes) {
+    return Status::InvalidArgument("client node out of range");
+  }
+  if (size_bytes < 0) {
+    return Status::InvalidArgument("negative file size");
+  }
+  FileInfo file;
+  file.path = path;
+  file.size_bytes = size_bytes;
+  int64_t remaining = size_bytes;
+  const int replication = std::min(config_.replication, config_.num_nodes);
+  while (remaining > 0 || file.blocks.empty()) {
+    BlockInfo block;
+    block.id = next_block_id_++;
+    block.size_bytes = std::min<int64_t>(remaining, config_.block_size_bytes);
+    if (size_bytes == 0) block.size_bytes = 0;
+    PlaceReplicas(client_node, &block);
+    physical_bytes_ += block.size_bytes * replication;
+    remaining -= block.size_bytes;
+    file.blocks.push_back(std::move(block));
+    if (size_bytes == 0) break;
+  }
+  total_bytes_ += size_bytes;
+  auto [it, inserted] = files_.emplace(path, std::move(file));
+  (void)inserted;
+  return &it->second;
+}
+
+void Namenode::PlaceReplicas(int client_node, BlockInfo* block) {
+  const int replication = std::min(config_.replication, config_.num_nodes);
+  if (usage_.size() != static_cast<size_t>(config_.num_nodes)) {
+    usage_.assign(static_cast<size_t>(config_.num_nodes), 0);
+  }
+  block->replicas.clear();
+  block->replicas.push_back(client_node);
+  usage_[static_cast<size_t>(client_node)] += block->size_bytes;
+  while (static_cast<int>(block->replicas.size()) < replication) {
+    // Load-aware placement (HDFS considers datanode load): pick the
+    // less-used of two random distinct candidates.
+    int candidate = -1;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      int c;
+      do {
+        c = static_cast<int>(
+            rng_.Uniform(static_cast<uint64_t>(config_.num_nodes)));
+      } while (std::find(block->replicas.begin(), block->replicas.end(),
+                         c) != block->replicas.end());
+      if (candidate < 0 || usage_[static_cast<size_t>(c)] <
+                               usage_[static_cast<size_t>(candidate)]) {
+        candidate = c;
+      }
+    }
+    block->replicas.push_back(candidate);
+    usage_[static_cast<size_t>(candidate)] += block->size_bytes;
+  }
+}
+
+Result<const FileInfo*> Namenode::GetFile(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return &it->second;
+}
+
+Status Namenode::DeleteFile(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  const int replication = std::min(config_.replication, config_.num_nodes);
+  for (const auto& b : it->second.blocks) {
+    physical_bytes_ -= b.size_bytes * replication;
+  }
+  total_bytes_ -= it->second.size_bytes;
+  files_.erase(it);
+  return Status::OK();
+}
+
+std::vector<const FileInfo*> Namenode::ListFiles(
+    const std::string& prefix) const {
+  std::vector<const FileInfo*> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+int Namenode::ChooseReplicaForRead(const BlockInfo& block, int client_node,
+                                   Rng* rng) const {
+  if (IsLocal(block, client_node)) return client_node;
+  assert(!block.replicas.empty());
+  return block.replicas[rng->Uniform(block.replicas.size())];
+}
+
+bool Namenode::IsLocal(const BlockInfo& block, int client_node) {
+  return std::find(block.replicas.begin(), block.replicas.end(),
+                   client_node) != block.replicas.end();
+}
+
+double Namenode::LocalityFraction(const FileInfo& file, int node) const {
+  if (file.size_bytes == 0) return 1.0;
+  int64_t local = 0;
+  for (const auto& b : file.blocks) {
+    if (IsLocal(b, node)) local += b.size_bytes;
+  }
+  return static_cast<double>(local) / static_cast<double>(file.size_bytes);
+}
+
+std::vector<int64_t> Namenode::PerNodeUsage() const {
+  std::vector<int64_t> usage(static_cast<size_t>(config_.num_nodes), 0);
+  for (const auto& [path, file] : files_) {
+    for (const auto& b : file.blocks) {
+      for (int r : b.replicas) usage[static_cast<size_t>(r)] += b.size_bytes;
+    }
+  }
+  return usage;
+}
+
+}  // namespace dmb::dfs

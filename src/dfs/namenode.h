@@ -1,0 +1,100 @@
+// HDFS-style namenode bookkeeping: files are sequences of blocks, each
+// block replicated on `replication` distinct nodes. The placement policy
+// matches Hadoop 1.x defaults on a flat (single-rack) topology: first
+// replica on the writer, remaining replicas on distinct random nodes.
+
+#ifndef DATAMPI_BENCH_DFS_NAMENODE_H_
+#define DATAMPI_BENCH_DFS_NAMENODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace dmb::dfs {
+
+/// \brief One replicated block of a file.
+struct BlockInfo {
+  int64_t id = 0;
+  int64_t size_bytes = 0;
+  std::vector<int> replicas;  // node ids, first is the "primary"
+};
+
+/// \brief Metadata of one file.
+struct FileInfo {
+  std::string path;
+  int64_t size_bytes = 0;
+  std::vector<BlockInfo> blocks;
+};
+
+/// \brief Configuration mirroring the paper's tuned values (Section 4.2).
+struct DfsConfig {
+  int64_t block_size_bytes = int64_t{256} << 20;  // 256 MB
+  int replication = 3;
+  int num_nodes = 8;
+};
+
+/// \brief In-memory namenode: placement, lookup, deletion, and the
+/// locality queries the task schedulers use.
+class Namenode {
+ public:
+  Namenode(DfsConfig config, uint64_t seed = 42);
+
+  const DfsConfig& config() const { return config_; }
+
+  /// \brief Creates a file of `size_bytes` written by `client_node`,
+  /// splitting it into blocks and placing replicas. Fails if the path
+  /// already exists or the client node is out of range.
+  Result<const FileInfo*> CreateFile(const std::string& path,
+                                     int64_t size_bytes, int client_node);
+
+  /// \brief Looks up file metadata.
+  Result<const FileInfo*> GetFile(const std::string& path) const;
+
+  bool Exists(const std::string& path) const { return files_.count(path); }
+
+  Status DeleteFile(const std::string& path);
+
+  /// \brief All files under a path prefix (directory-style listing).
+  std::vector<const FileInfo*> ListFiles(const std::string& prefix) const;
+
+  /// \brief Picks the replica of `block` to read from `client_node`:
+  /// the local replica when present, else a uniformly random replica.
+  int ChooseReplicaForRead(const BlockInfo& block, int client_node,
+                           Rng* rng) const;
+
+  /// \brief True if `client_node` holds a replica of `block`.
+  static bool IsLocal(const BlockInfo& block, int client_node);
+
+  /// \brief Fraction of a file's bytes that have a replica on the reader
+  /// node (used to reason about expected locality).
+  double LocalityFraction(const FileInfo& file, int node) const;
+
+  /// \brief Total logical bytes stored (pre-replication).
+  int64_t total_bytes() const { return total_bytes_; }
+  /// \brief Total physical bytes stored (including replicas).
+  int64_t physical_bytes() const { return physical_bytes_; }
+  int64_t num_blocks() const { return next_block_id_; }
+
+  /// \brief Per-node physical storage (bytes) — used to check placement
+  /// balance in tests.
+  std::vector<int64_t> PerNodeUsage() const;
+
+ private:
+  void PlaceReplicas(int client_node, BlockInfo* block);
+
+  DfsConfig config_;
+  Rng rng_;
+  std::vector<int64_t> usage_;  // physical bytes per node (placement)
+  std::map<std::string, FileInfo> files_;
+  int64_t next_block_id_ = 0;
+  int64_t total_bytes_ = 0;
+  int64_t physical_bytes_ = 0;
+};
+
+}  // namespace dmb::dfs
+
+#endif  // DATAMPI_BENCH_DFS_NAMENODE_H_

@@ -1,0 +1,267 @@
+#include "mapreduce/mapreduce.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/byte_buffer.h"
+#include "common/logging.h"
+#include "common/temp_dir.h"
+#include "common/thread_pool.h"
+
+namespace dmb::mapreduce {
+
+namespace {
+
+class MapContextImpl : public MapContext {
+ public:
+  MapContextImpl(int task_id, int num_reducers,
+                 const datampi::Partitioner* partitioner)
+      : task_id_(task_id),
+        partitioner_(partitioner),
+        partitions_(static_cast<size_t>(num_reducers)) {}
+
+  void Emit(std::string_view key, std::string_view value) override {
+    const int p = partitioner_->Partition(
+        key, static_cast<int>(partitions_.size()));
+    partitions_[static_cast<size_t>(p)].push_back(
+        KVPair{std::string(key), std::string(value)});
+    ++records_;
+  }
+
+  int task_id() const override { return task_id_; }
+
+  std::vector<std::vector<KVPair>>& partitions() { return partitions_; }
+  int64_t records() const { return records_; }
+
+ private:
+  int task_id_;
+  const datampi::Partitioner* partitioner_;
+  std::vector<std::vector<KVPair>> partitions_;
+  int64_t records_ = 0;
+};
+
+class ReduceContextImpl : public ReduceContext {
+ public:
+  void Emit(std::string_view key, std::string_view value) override {
+    out_.push_back(KVPair{std::string(key), std::string(value)});
+  }
+  std::vector<KVPair> Take() { return std::move(out_); }
+
+ private:
+  std::vector<KVPair> out_;
+};
+
+// Sorts a map task's partition, applies the combiner, and returns the
+// encoded run bytes.
+std::string PrepareRun(
+    std::vector<KVPair>* pairs,
+    const std::function<std::string(std::string_view,
+                                    const std::vector<std::string>&)>&
+        combiner) {
+  std::sort(pairs->begin(), pairs->end(), datampi::KVPairLess{});
+  ByteBuffer wire;
+  if (combiner) {
+    size_t i = 0;
+    std::vector<std::string> values;
+    while (i < pairs->size()) {
+      const std::string& key = (*pairs)[i].key;
+      values.clear();
+      while (i < pairs->size() && (*pairs)[i].key == key) {
+        values.push_back(std::move((*pairs)[i].value));
+        ++i;
+      }
+      datampi::EncodeKV(&wire, key, combiner(key, values));
+    }
+  } else {
+    for (const auto& kv : *pairs) {
+      datampi::EncodeKV(&wire, kv.key, kv.value);
+    }
+  }
+  pairs->clear();
+  return std::string(wire.view());
+}
+
+struct RunStore {
+  // runs[reducer] = list of encoded sorted runs (one per map task).
+  std::vector<std::vector<std::string>> run_bytes;  // in-memory mode
+  std::vector<std::vector<std::string>> run_files;  // disk mode (paths)
+  std::mutex mu;
+};
+
+Result<MRResult> RunJob(const MRConfig& config,
+                        const std::vector<KVPair>& input,
+                        const MapFn& map_fn, const ReduceFn& reduce_fn) {
+  MRConfig cfg = config;
+  DMB_CHECK(cfg.num_map_tasks >= 1);
+  DMB_CHECK(cfg.num_reduce_tasks >= 1);
+  DMB_CHECK(cfg.slots >= 1);
+  std::shared_ptr<const datampi::Partitioner> partitioner = cfg.partitioner;
+  if (!partitioner) {
+    partitioner = std::make_shared<datampi::HashPartitioner>();
+  }
+
+  TempDir spill_dir("dmb-mr");
+  RunStore store;
+  store.run_bytes.resize(static_cast<size_t>(cfg.num_reduce_tasks));
+  store.run_files.resize(static_cast<size_t>(cfg.num_reduce_tasks));
+
+  std::atomic<int64_t> map_records{0};
+  std::atomic<int64_t> shuffle_bytes{0};
+  std::vector<Status> map_status(static_cast<size_t>(cfg.num_map_tasks));
+
+  // ---- Map phase (parallel over slots). ----
+  {
+    ThreadPool pool(cfg.slots);
+    const size_t n = input.size();
+    for (int t = 0; t < cfg.num_map_tasks; ++t) {
+      pool.Submit([&, t] {
+        const size_t begin = n * static_cast<size_t>(t) /
+                             static_cast<size_t>(cfg.num_map_tasks);
+        const size_t end = n * static_cast<size_t>(t + 1) /
+                           static_cast<size_t>(cfg.num_map_tasks);
+        MapContextImpl ctx(t, cfg.num_reduce_tasks, partitioner.get());
+        Status st;
+        for (size_t i = begin; i < end && st.ok(); ++i) {
+          st = map_fn(input[i].key, input[i].value, &ctx);
+        }
+        if (!st.ok()) {
+          map_status[static_cast<size_t>(t)] = st;
+          return;
+        }
+        map_records.fetch_add(ctx.records(), std::memory_order_relaxed);
+        for (int r = 0; r < cfg.num_reduce_tasks; ++r) {
+          std::string run = PrepareRun(&ctx.partitions()[static_cast<size_t>(r)],
+                                       cfg.combiner);
+          if (run.empty()) continue;
+          shuffle_bytes.fetch_add(static_cast<int64_t>(run.size()),
+                                  std::memory_order_relaxed);
+          if (cfg.spill_to_disk) {
+            const std::string path = spill_dir.File(
+                "map" + std::to_string(t) + "-r" + std::to_string(r) + ".run");
+            Status wst = WriteFileBytes(path, run);
+            if (!wst.ok()) {
+              map_status[static_cast<size_t>(t)] = wst;
+              return;
+            }
+            std::lock_guard<std::mutex> lock(store.mu);
+            store.run_files[static_cast<size_t>(r)].push_back(path);
+          } else {
+            std::lock_guard<std::mutex> lock(store.mu);
+            store.run_bytes[static_cast<size_t>(r)].push_back(std::move(run));
+          }
+        }
+      });
+    }
+    pool.Wait();
+  }
+  for (const auto& st : map_status) {
+    DMB_RETURN_NOT_OK(st);
+  }
+
+  // ---- Barrier: reduces start only now (Hadoop semantics). ----
+  MRResult result;
+  result.reduce_outputs.resize(static_cast<size_t>(cfg.num_reduce_tasks));
+  std::atomic<int64_t> reduce_in{0}, reduce_out{0};
+  std::vector<Status> reduce_status(
+      static_cast<size_t>(cfg.num_reduce_tasks));
+  {
+    ThreadPool pool(cfg.slots);
+    for (int r = 0; r < cfg.num_reduce_tasks; ++r) {
+      pool.Submit([&, r] {
+        // Fetch + merge the sorted runs for partition r.
+        std::vector<KVPair> merged;
+        auto add_run = [&](const std::string& bytes) -> Status {
+          DMB_ASSIGN_OR_RETURN(std::vector<KVPair> pairs,
+                               datampi::DecodeKVBatch(bytes));
+          merged.insert(merged.end(),
+                        std::make_move_iterator(pairs.begin()),
+                        std::make_move_iterator(pairs.end()));
+          return Status::OK();
+        };
+        Status st;
+        if (cfg.spill_to_disk) {
+          for (const auto& path : store.run_files[static_cast<size_t>(r)]) {
+            auto bytes = ReadFileBytes(path);
+            st = bytes.ok() ? add_run(*bytes) : bytes.status();
+            if (!st.ok()) break;
+          }
+        } else {
+          for (const auto& bytes : store.run_bytes[static_cast<size_t>(r)]) {
+            st = add_run(bytes);
+            if (!st.ok()) break;
+          }
+        }
+        if (!st.ok()) {
+          reduce_status[static_cast<size_t>(r)] = st;
+          return;
+        }
+        // Runs are individually sorted; a full sort here is the merge.
+        std::sort(merged.begin(), merged.end(), datampi::KVPairLess{});
+        reduce_in.fetch_add(static_cast<int64_t>(merged.size()),
+                            std::memory_order_relaxed);
+        ReduceContextImpl ctx;
+        size_t i = 0;
+        std::vector<std::string> values;
+        while (i < merged.size() && st.ok()) {
+          const std::string key = merged[i].key;
+          values.clear();
+          while (i < merged.size() && merged[i].key == key) {
+            values.push_back(std::move(merged[i].value));
+            ++i;
+          }
+          st = reduce_fn(key, values, &ctx);
+        }
+        if (!st.ok()) {
+          reduce_status[static_cast<size_t>(r)] = st;
+          return;
+        }
+        auto out = ctx.Take();
+        reduce_out.fetch_add(static_cast<int64_t>(out.size()),
+                             std::memory_order_relaxed);
+        result.reduce_outputs[static_cast<size_t>(r)] = std::move(out);
+      });
+    }
+    pool.Wait();
+  }
+  for (const auto& st : reduce_status) {
+    DMB_RETURN_NOT_OK(st);
+  }
+
+  result.stats.map_output_records = map_records.load();
+  result.stats.shuffle_bytes = shuffle_bytes.load();
+  result.stats.reduce_input_records = reduce_in.load();
+  result.stats.output_records = reduce_out.load();
+  return result;
+}
+
+}  // namespace
+
+std::vector<KVPair> MRResult::Merged() const {
+  std::vector<KVPair> all;
+  for (const auto& part : reduce_outputs) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+Result<MRResult> RunMapReduce(const MRConfig& config,
+                              const std::vector<std::string>& input,
+                              const MapFn& map_fn,
+                              const ReduceFn& reduce_fn) {
+  std::vector<KVPair> kv_input;
+  kv_input.reserve(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    kv_input.push_back(KVPair{std::to_string(i), input[i]});
+  }
+  return RunJob(config, kv_input, map_fn, reduce_fn);
+}
+
+Result<MRResult> RunMapReduceKV(const MRConfig& config,
+                                const std::vector<KVPair>& input,
+                                const MapFn& map_fn,
+                                const ReduceFn& reduce_fn) {
+  return RunJob(config, input, map_fn, reduce_fn);
+}
+
+}  // namespace dmb::mapreduce

@@ -1,0 +1,100 @@
+// Hadoop-like functional MapReduce engine (the baseline system).
+//
+// Faithful to Hadoop 1.x semantics at the dataflow level: map tasks
+// process input splits and partition/sort/combine their output into
+// per-reducer runs ("spills"); reduce tasks start only after *all* map
+// tasks have finished (strict phase barrier — the contrast with DataMPI's
+// pipelined O->A movement), merge the runs addressed to them, group by
+// key and reduce. Runs are staged through a spill directory to keep the
+// disk round trip on the code path.
+
+#ifndef DATAMPI_BENCH_MAPREDUCE_MAPREDUCE_H_
+#define DATAMPI_BENCH_MAPREDUCE_MAPREDUCE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/kv.h"
+#include "core/partitioner.h"
+
+namespace dmb::mapreduce {
+
+using datampi::KVPair;
+
+/// \brief Job configuration (defaults mirror the paper's tuned cluster:
+/// 4 concurrent task slots).
+struct MRConfig {
+  int num_map_tasks = 4;
+  int num_reduce_tasks = 4;
+  /// Concurrent task slots (threads) shared by map then reduce waves.
+  int slots = 4;
+  /// Partitioner; null = hash.
+  std::shared_ptr<const datampi::Partitioner> partitioner;
+  /// Optional combiner (same signature as DataMPI's).
+  std::function<std::string(std::string_view,
+                            const std::vector<std::string>&)>
+      combiner;
+  /// Spill map outputs through files (true = Hadoop-style disk round
+  /// trip; false keeps runs in memory — used by tests/ablations).
+  bool spill_to_disk = true;
+};
+
+/// \brief Map-side emitter.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
+  virtual int task_id() const = 0;
+};
+
+/// \brief Reduce-side emitter.
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
+};
+
+/// \brief Map function over one input record (TextInputFormat-style:
+/// key = record position, value = line).
+using MapFn = std::function<Status(std::string_view key,
+                                   std::string_view value, MapContext*)>;
+/// \brief Reduce function over one key group (values in sorted order).
+using ReduceFn = std::function<Status(std::string_view key,
+                                      const std::vector<std::string>& values,
+                                      ReduceContext*)>;
+
+/// \brief Run statistics.
+struct MRStats {
+  int64_t map_output_records = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t reduce_input_records = 0;
+  int64_t output_records = 0;
+};
+
+/// \brief Job result: per-reducer outputs (part-00000 style) + stats.
+struct MRResult {
+  std::vector<std::vector<KVPair>> reduce_outputs;
+  MRStats stats;
+  std::vector<KVPair> Merged() const;
+};
+
+/// \brief Runs a MapReduce job over in-memory input records.
+///
+/// `input` is split contiguously into num_map_tasks splits. Each record
+/// is passed to `map_fn` with its index as the key.
+Result<MRResult> RunMapReduce(const MRConfig& config,
+                              const std::vector<std::string>& input,
+                              const MapFn& map_fn, const ReduceFn& reduce_fn);
+
+/// \brief Variant taking key-value input records (sequence files).
+Result<MRResult> RunMapReduceKV(const MRConfig& config,
+                                const std::vector<KVPair>& input,
+                                const MapFn& map_fn,
+                                const ReduceFn& reduce_fn);
+
+}  // namespace dmb::mapreduce
+
+#endif  // DATAMPI_BENCH_MAPREDUCE_MAPREDUCE_H_

@@ -1,0 +1,299 @@
+#include "mpilite/mpilite.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "common/byte_buffer.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dmb::mpi {
+
+namespace internal {
+
+struct Envelope {
+  uint64_t comm_id;
+  int64_t tag;
+  int src;  // comm-local source rank
+  std::string payload;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Envelope> queue;
+};
+
+struct Context {
+  explicit Context(int size) : mailboxes(static_cast<size_t>(size)) {}
+  std::vector<Mailbox> mailboxes;
+};
+
+namespace {
+bool Matches(const Envelope& e, uint64_t comm_id, int src, int64_t tag) {
+  if (e.comm_id != comm_id) return false;
+  if (src != kAnySource && e.src != src) return false;
+  if (tag != kAnyTag && e.tag != tag) return false;
+  return true;
+}
+}  // namespace
+
+}  // namespace internal
+
+Comm::Comm(std::shared_ptr<internal::Context> ctx, uint64_t comm_id,
+           std::vector<int> members, int rank)
+    : ctx_(std::move(ctx)),
+      comm_id_(comm_id),
+      members_(std::move(members)),
+      rank_(rank),
+      size_(static_cast<int>(members_.size())) {}
+
+Status Comm::Send(int dst, int64_t tag, std::string payload) {
+  if (!valid()) return Status::FailedPrecondition("invalid communicator");
+  if (dst < 0 || dst >= size_) {
+    return Status::InvalidArgument("Send: destination rank out of range");
+  }
+  const int world_dst = members_[static_cast<size_t>(dst)];
+  auto& box = ctx_->mailboxes[static_cast<size_t>(world_dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(
+        internal::Envelope{comm_id_, tag, rank_, std::move(payload)});
+  }
+  box.cv.notify_all();
+  return Status::OK();
+}
+
+Result<Message> Comm::Recv(int src, int64_t tag) {
+  if (!valid()) return Status::FailedPrecondition("invalid communicator");
+  if (src != kAnySource && (src < 0 || src >= size_)) {
+    return Status::InvalidArgument("Recv: source rank out of range");
+  }
+  const int world_me = members_[static_cast<size_t>(rank_)];
+  auto& box = ctx_->mailboxes[static_cast<size_t>(world_me)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (internal::Matches(*it, comm_id_, src, tag)) {
+        Message msg;
+        msg.source = it->src;
+        msg.tag = it->tag;
+        msg.payload = std::move(it->payload);
+        box.queue.erase(it);
+        return msg;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Comm::Probe(int src, int64_t tag) {
+  if (!valid()) return false;
+  const int world_me = members_[static_cast<size_t>(rank_)];
+  auto& box = ctx_->mailboxes[static_cast<size_t>(world_me)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  for (const auto& e : box.queue) {
+    if (internal::Matches(e, comm_id_, src, tag)) return true;
+  }
+  return false;
+}
+
+int64_t Comm::NextCollectiveTag(int64_t op) {
+  // Negative tag space: unique per (collective sequence, operation leg).
+  const int64_t seq = collective_seq_++;
+  return -(1 + seq * 8 + op);
+}
+
+void Comm::Barrier() {
+  const int64_t up = NextCollectiveTag(0);
+  const int64_t down = NextCollectiveTag(1);
+  if (rank_ == 0) {
+    for (int i = 1; i < size_; ++i) {
+      auto r = Recv(kAnySource, up);
+      DMB_CHECK(r.ok());
+    }
+    for (int i = 1; i < size_; ++i) {
+      DMB_CHECK_OK(Send(i, down, ""));
+    }
+  } else {
+    DMB_CHECK_OK(Send(0, up, ""));
+    auto r = Recv(0, down);
+    DMB_CHECK(r.ok());
+  }
+}
+
+std::string Comm::Bcast(int root, std::string data) {
+  const int64_t tag = NextCollectiveTag(2);
+  if (rank_ == root) {
+    for (int i = 0; i < size_; ++i) {
+      if (i == root) continue;
+      DMB_CHECK_OK(Send(i, tag, data));
+    }
+    return data;
+  }
+  auto r = Recv(root, tag);
+  DMB_CHECK(r.ok());
+  return std::move(r.value().payload);
+}
+
+std::vector<std::string> Comm::Gather(int root, std::string data) {
+  const int64_t tag = NextCollectiveTag(3);
+  if (rank_ == root) {
+    std::vector<std::string> out(static_cast<size_t>(size_));
+    out[static_cast<size_t>(root)] = std::move(data);
+    for (int i = 1; i < size_; ++i) {
+      auto r = Recv(kAnySource, tag);
+      DMB_CHECK(r.ok());
+      out[static_cast<size_t>(r.value().source)] =
+          std::move(r.value().payload);
+    }
+    return out;
+  }
+  DMB_CHECK_OK(Send(root, tag, std::move(data)));
+  return {};
+}
+
+std::vector<std::string> Comm::AllToAll(std::vector<std::string> send) {
+  DMB_CHECK(static_cast<int>(send.size()) == size_);
+  const int64_t tag = NextCollectiveTag(4);
+  std::vector<std::string> recv(static_cast<size_t>(size_));
+  recv[static_cast<size_t>(rank_)] =
+      std::move(send[static_cast<size_t>(rank_)]);
+  for (int i = 0; i < size_; ++i) {
+    if (i == rank_) continue;
+    DMB_CHECK_OK(Send(i, tag, std::move(send[static_cast<size_t>(i)])));
+  }
+  for (int i = 0; i < size_ - 1; ++i) {
+    auto r = Recv(kAnySource, tag);
+    DMB_CHECK(r.ok());
+    recv[static_cast<size_t>(r.value().source)] =
+        std::move(r.value().payload);
+  }
+  return recv;
+}
+
+std::vector<double> Comm::AllReduceSum(const std::vector<double>& values) {
+  ByteBuffer buf;
+  buf.AppendVarint(values.size());
+  for (double v : values) buf.AppendDouble(v);
+  auto contributions = Gather(0, std::string(buf.view()));
+  std::string summed;
+  if (rank_ == 0) {
+    std::vector<double> acc(values.size(), 0.0);
+    for (const auto& blob : contributions) {
+      ByteReader reader(blob);
+      uint64_t n = 0;
+      DMB_CHECK_OK(reader.ReadVarint(&n));
+      DMB_CHECK(n == values.size()) << "AllReduceSum length mismatch";
+      for (uint64_t i = 0; i < n; ++i) {
+        double v;
+        DMB_CHECK_OK(reader.ReadDouble(&v));
+        acc[i] += v;
+      }
+    }
+    ByteBuffer out;
+    out.AppendVarint(acc.size());
+    for (double v : acc) out.AppendDouble(v);
+    summed.assign(out.view());
+  }
+  summed = Bcast(0, std::move(summed));
+  ByteReader reader(summed);
+  uint64_t n = 0;
+  DMB_CHECK_OK(reader.ReadVarint(&n));
+  std::vector<double> out(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DMB_CHECK_OK(reader.ReadDouble(&out[i]));
+  }
+  return out;
+}
+
+Comm Comm::Split(int color, int key) {
+  // Gather (color, key) pairs at rank 0, compute the grouping, broadcast.
+  const int64_t my_split = split_seq_++;
+  ByteBuffer buf;
+  buf.AppendVarintSigned(color);
+  buf.AppendVarintSigned(key);
+  auto all = Gather(0, std::string(buf.view()));
+  std::string plan;
+  if (rank_ == 0) {
+    struct Entry {
+      int color, key, rank;
+    };
+    std::vector<Entry> entries;
+    for (int r = 0; r < size_; ++r) {
+      ByteReader reader(all[static_cast<size_t>(r)]);
+      int64_t c, k;
+      DMB_CHECK_OK(reader.ReadVarintSigned(&c));
+      DMB_CHECK_OK(reader.ReadVarintSigned(&k));
+      entries.push_back(
+          Entry{static_cast<int>(c), static_cast<int>(k), r});
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       if (a.color != b.color) return a.color < b.color;
+                       if (a.key != b.key) return a.key < b.key;
+                       return a.rank < b.rank;
+                     });
+    ByteBuffer out;
+    out.AppendVarint(entries.size());
+    for (const auto& e : entries) {
+      out.AppendVarintSigned(e.color);
+      out.AppendVarintSigned(e.rank);
+    }
+    plan.assign(out.view());
+  }
+  plan = Bcast(0, std::move(plan));
+
+  ByteReader reader(plan);
+  uint64_t n = 0;
+  DMB_CHECK_OK(reader.ReadVarint(&n));
+  std::vector<std::pair<int, int>> ordered;  // (color, comm rank -> world)
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t c, r;
+    DMB_CHECK_OK(reader.ReadVarintSigned(&c));
+    DMB_CHECK_OK(reader.ReadVarintSigned(&r));
+    ordered.emplace_back(static_cast<int>(c), static_cast<int>(r));
+  }
+
+  if (color < 0) return Comm();  // MPI_UNDEFINED
+  std::vector<int> group;  // world ranks of my color, in order
+  int my_new_rank = -1;
+  for (const auto& [c, parent_rank] : ordered) {
+    if (c != color) continue;
+    if (parent_rank == rank_) {
+      my_new_rank = static_cast<int>(group.size());
+    }
+    group.push_back(members_[static_cast<size_t>(parent_rank)]);
+  }
+  DMB_CHECK(my_new_rank >= 0);
+  const uint64_t child_id =
+      HashCombine(HashCombine(comm_id_ + 1, static_cast<uint64_t>(my_split)),
+                  static_cast<uint64_t>(color) + 0x1234);
+  return Comm(ctx_, child_id, std::move(group), my_new_rank);
+}
+
+World::World(int size) : size_(size) { DMB_CHECK(size >= 1); }
+
+Status World::Run(const std::function<Status(Comm&)>& fn) {
+  auto ctx = std::make_shared<internal::Context>(size_);
+  std::vector<int> members(static_cast<size_t>(size_));
+  for (int i = 0; i < size_; ++i) members[static_cast<size_t>(i)] = i;
+
+  std::vector<Status> statuses(static_cast<size_t>(size_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(ctx, /*comm_id=*/1, members, r);
+      statuses[static_cast<size_t>(r)] = fn(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace dmb::mpi

@@ -1,0 +1,122 @@
+// mpilite: an in-process message-passing runtime with MPI-flavoured
+// semantics (ranks, tags, blocking receive, collectives, communicator
+// split). Each rank is a thread; mailboxes are mutex+condvar queues.
+//
+// This is the substitution for MVAPICH2: DataMPI's communication layer
+// (src/core) is written against this interface, exercising the same
+// bipartite O/A communicator code paths the Java DataMPI library drives
+// over real MPI. Timing of the paper's cluster comes from the simulator
+// (src/simfw), not from this runtime.
+
+#ifndef DATAMPI_BENCH_MPILITE_MPILITE_H_
+#define DATAMPI_BENCH_MPILITE_MPILITE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dmb::mpi {
+
+/// \brief Matches any source rank in Recv().
+inline constexpr int kAnySource = -1;
+/// \brief Matches any tag in Recv().
+inline constexpr int64_t kAnyTag = INT64_MIN;
+
+/// \brief A received message.
+struct Message {
+  int source = -1;
+  int64_t tag = 0;
+  std::string payload;
+};
+
+namespace internal {
+struct Context;
+}  // namespace internal
+
+/// \brief A communicator: a group of ranks that can exchange messages.
+///
+/// User tags must be >= 0 (negative tags are reserved for collectives).
+/// All collective calls must be made by every rank of the communicator in
+/// the same order, as in MPI.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// \brief Buffered, non-blocking send (the queue is unbounded).
+  Status Send(int dst, int64_t tag, std::string payload);
+
+  /// \brief Blocking receive matching (src, tag); kAnySource / kAnyTag
+  /// wildcards allowed. FIFO per (source, tag) pair.
+  Result<Message> Recv(int src = kAnySource, int64_t tag = kAnyTag);
+
+  /// \brief Non-blocking probe: true if a matching message is queued.
+  bool Probe(int src = kAnySource, int64_t tag = kAnyTag);
+
+  /// \brief Synchronizes all ranks of this communicator.
+  void Barrier();
+
+  /// \brief Broadcasts root's data to every rank (returned on all ranks).
+  std::string Bcast(int root, std::string data);
+
+  /// \brief Gathers each rank's data at root (index = rank); non-root
+  /// ranks receive an empty vector.
+  std::vector<std::string> Gather(int root, std::string data);
+
+  /// \brief Personalized all-to-all: element i of `send` goes to rank i;
+  /// the result's element i came from rank i.
+  std::vector<std::string> AllToAll(std::vector<std::string> send);
+
+  /// \brief Element-wise sum allreduce over equal-length double vectors.
+  std::vector<double> AllReduceSum(const std::vector<double>& values);
+
+  /// \brief MPI_Comm_split: ranks with the same color form a new
+  /// communicator, ordered by (key, old rank). Must be called by all
+  /// ranks; a color < 0 yields an invalid (size-0) communicator for that
+  /// rank, like MPI_UNDEFINED.
+  Comm Split(int color, int key);
+
+  bool valid() const { return ctx_ != nullptr && size_ > 0; }
+
+ private:
+  friend class World;
+  Comm() = default;
+  Comm(std::shared_ptr<internal::Context> ctx, uint64_t comm_id,
+       std::vector<int> members, int rank);
+
+  int64_t NextCollectiveTag(int64_t op);
+
+  std::shared_ptr<internal::Context> ctx_;
+  uint64_t comm_id_ = 0;
+  std::vector<int> members_;  // world ranks, index = comm rank
+  int rank_ = -1;
+  int size_ = 0;
+  int64_t collective_seq_ = 0;
+  int64_t split_seq_ = 0;
+};
+
+/// \brief The runtime: launches `size` rank threads running `fn`.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+
+  /// \brief Runs fn(comm) on every rank concurrently; returns the first
+  /// non-OK status any rank produced (all ranks are always joined).
+  Status Run(const std::function<Status(Comm&)>& fn);
+
+ private:
+  int size_;
+};
+
+}  // namespace dmb::mpi
+
+#endif  // DATAMPI_BENCH_MPILITE_MPILITE_H_

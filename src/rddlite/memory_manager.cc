@@ -1,0 +1,37 @@
+#include "rddlite/memory_manager.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace dmb::rddlite {
+
+Status MemoryManager::Reserve(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (used_ + bytes > budget_) {
+    return Status::OutOfMemory(
+        "rddlite executor OutOfMemoryError: requested " + FormatBytes(bytes) +
+        ", in use " + FormatBytes(used_) + " of " + FormatBytes(budget_));
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  return Status::OK();
+}
+
+void MemoryManager::Release(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_ -= bytes;
+  if (used_ < 0) used_ = 0;
+}
+
+int64_t MemoryManager::used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+int64_t MemoryManager::peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+}  // namespace dmb::rddlite

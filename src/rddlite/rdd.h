@@ -1,0 +1,505 @@
+// rddlite: a Spark-like resilient-distributed-dataset engine.
+//
+// RDDs are lazy, lineage-carrying datasets split into partitions. Narrow
+// transformations (Map, FlatMap, Filter) compute partition-to-partition;
+// wide transformations (ReduceByKey, GroupByKey, SortByKey) introduce a
+// stage boundary: the parent is fully materialized, hashed/sorted into
+// new partitions, and the materialization is charged against the
+// executor MemoryManager (OOM on overflow, as Spark 0.8 does). Cache()
+// pins a computed RDD in memory and also charges the budget.
+
+#ifndef DATAMPI_BENCH_RDDLITE_RDD_H_
+#define DATAMPI_BENCH_RDDLITE_RDD_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "rddlite/memory_manager.h"
+
+namespace dmb::rddlite {
+
+/// \brief Approximate in-memory size of a record, for memory accounting.
+template <typename T>
+int64_t ApproxSize(const T& value) {
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    (void)value;
+    return static_cast<int64_t>(sizeof(T));
+  } else {
+    return static_cast<int64_t>(sizeof(T));
+  }
+}
+inline int64_t ApproxSize(const std::string& s) {
+  return static_cast<int64_t>(s.size() + 24);
+}
+template <typename A, typename B>
+int64_t ApproxSize(const std::pair<A, B>& p) {
+  return ApproxSize(p.first) + ApproxSize(p.second);
+}
+template <typename T>
+int64_t ApproxSizeAll(const std::vector<T>& v) {
+  int64_t total = 24;
+  for (const auto& x : v) total += ApproxSize(x);
+  return total;
+}
+
+class RddContext;
+
+/// \brief Base of every typed RDD.
+template <typename T>
+class RDD : public std::enable_shared_from_this<RDD<T>> {
+ public:
+  using Ptr = std::shared_ptr<RDD<T>>;
+
+  RDD(RddContext* ctx, int num_partitions)
+      : ctx_(ctx), num_partitions_(num_partitions) {}
+  virtual ~RDD();
+
+  int num_partitions() const { return num_partitions_; }
+  RddContext* context() const { return ctx_; }
+
+  /// \brief Computes one partition (respecting the cache).
+  Result<std::vector<T>> ComputePartition(int p);
+
+  /// \brief Marks this RDD for in-memory caching on first computation.
+  Ptr Cache() {
+    cache_requested_ = true;
+    return this->shared_from_this();
+  }
+
+  // ---- Narrow transformations ----
+  template <typename U>
+  std::shared_ptr<RDD<U>> Map(std::function<U(const T&)> fn);
+  template <typename U>
+  std::shared_ptr<RDD<U>> FlatMap(std::function<std::vector<U>(const T&)> fn);
+  Ptr Filter(std::function<bool(const T&)> fn);
+
+  // ---- Actions ----
+  /// \brief Materializes every partition (parallel over context slots)
+  /// and returns the concatenation.
+  Result<std::vector<T>> Collect();
+  /// \brief Number of records.
+  Result<int64_t> Count();
+
+ protected:
+  /// \brief Subclass hook: compute partition p from lineage.
+  virtual Result<std::vector<T>> DoCompute(int p) = 0;
+
+  RddContext* ctx_;
+  int num_partitions_;
+
+ private:
+  std::mutex cache_mu_;
+  bool cache_requested_ = false;
+  std::vector<std::optional<std::vector<T>>> cache_;  // per partition
+  int64_t cached_bytes_ = 0;
+};
+
+/// \brief Driver/executor context: slots, memory budget, RDD factory.
+class RddContext {
+ public:
+  struct Options {
+    int slots = 4;
+    int64_t memory_budget_bytes = int64_t{512} << 20;
+  };
+
+  RddContext() : RddContext(Options{}) {}
+  explicit RddContext(Options options)
+      : options_(options), memory_(options.memory_budget_bytes) {}
+
+  int slots() const { return options_.slots; }
+  MemoryManager* memory() { return &memory_; }
+
+  /// \brief Creates an RDD from an in-memory collection.
+  template <typename T>
+  std::shared_ptr<RDD<T>> Parallelize(std::vector<T> data,
+                                      int num_partitions);
+
+ private:
+  Options options_;
+  MemoryManager memory_;
+};
+
+// ---------------------------------------------------------------------
+// Implementation.
+// ---------------------------------------------------------------------
+
+template <typename T>
+RDD<T>::~RDD() {
+  if (cached_bytes_ > 0) ctx_->memory()->Release(cached_bytes_);
+}
+
+template <typename T>
+Result<std::vector<T>> RDD<T>::ComputePartition(int p) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (!cache_.empty() && cache_[static_cast<size_t>(p)].has_value()) {
+      return *cache_[static_cast<size_t>(p)];
+    }
+  }
+  DMB_ASSIGN_OR_RETURN(std::vector<T> data, DoCompute(p));
+  if (cache_requested_) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_.empty()) {
+      cache_.resize(static_cast<size_t>(num_partitions_));
+    }
+    auto& slot = cache_[static_cast<size_t>(p)];
+    if (!slot.has_value()) {
+      const int64_t bytes = ApproxSizeAll(data);
+      DMB_RETURN_NOT_OK(ctx_->memory()->Reserve(bytes));
+      cached_bytes_ += bytes;
+      slot = data;
+    }
+  }
+  return data;
+}
+
+namespace internal {
+
+template <typename T>
+class ParallelizedRDD final : public RDD<T> {
+ public:
+  ParallelizedRDD(RddContext* ctx, std::vector<T> data, int parts)
+      : RDD<T>(ctx, parts), data_(std::move(data)) {}
+
+ protected:
+  Result<std::vector<T>> DoCompute(int p) override {
+    const size_t n = data_.size();
+    const size_t parts = static_cast<size_t>(this->num_partitions());
+    const size_t begin = n * static_cast<size_t>(p) / parts;
+    const size_t end = n * (static_cast<size_t>(p) + 1) / parts;
+    return std::vector<T>(data_.begin() + static_cast<int64_t>(begin),
+                          data_.begin() + static_cast<int64_t>(end));
+  }
+
+ private:
+  std::vector<T> data_;
+};
+
+template <typename T, typename U>
+class MapRDD final : public RDD<U> {
+ public:
+  MapRDD(typename RDD<T>::Ptr parent, std::function<U(const T&)> fn)
+      : RDD<U>(parent->context(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+ protected:
+  Result<std::vector<U>> DoCompute(int p) override {
+    DMB_ASSIGN_OR_RETURN(std::vector<T> in, parent_->ComputePartition(p));
+    std::vector<U> out;
+    out.reserve(in.size());
+    for (const auto& x : in) out.push_back(fn_(x));
+    return out;
+  }
+
+ private:
+  typename RDD<T>::Ptr parent_;
+  std::function<U(const T&)> fn_;
+};
+
+template <typename T, typename U>
+class FlatMapRDD final : public RDD<U> {
+ public:
+  FlatMapRDD(typename RDD<T>::Ptr parent,
+             std::function<std::vector<U>(const T&)> fn)
+      : RDD<U>(parent->context(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+ protected:
+  Result<std::vector<U>> DoCompute(int p) override {
+    DMB_ASSIGN_OR_RETURN(std::vector<T> in, parent_->ComputePartition(p));
+    std::vector<U> out;
+    for (const auto& x : in) {
+      auto ys = fn_(x);
+      out.insert(out.end(), std::make_move_iterator(ys.begin()),
+                 std::make_move_iterator(ys.end()));
+    }
+    return out;
+  }
+
+ private:
+  typename RDD<T>::Ptr parent_;
+  std::function<std::vector<U>(const T&)> fn_;
+};
+
+template <typename T>
+class FilterRDD final : public RDD<T> {
+ public:
+  FilterRDD(typename RDD<T>::Ptr parent, std::function<bool(const T&)> fn)
+      : RDD<T>(parent->context(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+ protected:
+  Result<std::vector<T>> DoCompute(int p) override {
+    DMB_ASSIGN_OR_RETURN(std::vector<T> in, parent_->ComputePartition(p));
+    std::vector<T> out;
+    for (auto& x : in) {
+      if (fn_(x)) out.push_back(std::move(x));
+    }
+    return out;
+  }
+
+ private:
+  typename RDD<T>::Ptr parent_;
+  std::function<bool(const T&)> fn_;
+};
+
+/// Stage boundary: materializes the parent's partitions once into a
+/// shuffle store (charged to the memory manager) on first access.
+template <typename K, typename V>
+class ShuffledRDD final : public RDD<std::pair<K, V>> {
+ public:
+  using Pair = std::pair<K, V>;
+  /// \param reduce optional associative merge applied per key
+  ///   (ReduceByKey); when absent values are concatenated in arrival
+  ///   order (GroupByKey uses this with a vector-valued V downstream).
+  ShuffledRDD(typename RDD<Pair>::Ptr parent, int parts,
+              std::function<V(const V&, const V&)> reduce)
+      : RDD<Pair>(parent->context(), parts),
+        parent_(std::move(parent)),
+        reduce_(std::move(reduce)) {}
+
+  ~ShuffledRDD() override {
+    if (store_bytes_ > 0) this->ctx_->memory()->Release(store_bytes_);
+  }
+
+ protected:
+  Result<std::vector<Pair>> DoCompute(int p) override {
+    DMB_RETURN_NOT_OK(EnsureMaterialized());
+    return store_[static_cast<size_t>(p)];
+  }
+
+ private:
+  Status EnsureMaterialized() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (materialized_) return store_status_;
+    materialized_ = true;
+    store_.resize(static_cast<size_t>(this->num_partitions()));
+    for (int pp = 0; pp < parent_->num_partitions(); ++pp) {
+      auto in = parent_->ComputePartition(pp);
+      if (!in.ok()) {
+        store_status_ = in.status();
+        return store_status_;
+      }
+      for (auto& kv : *in) {
+        const size_t bucket =
+            HashKey(kv.first) % static_cast<size_t>(this->num_partitions());
+        store_[bucket].push_back(std::move(kv));
+      }
+      // Shuffle map output is memory-resident in Spark 0.8.
+      const int64_t bytes = ApproxSizeAll(*in);
+      Status st = this->ctx_->memory()->Reserve(bytes);
+      if (!st.ok()) {
+        store_status_ = st;
+        return store_status_;
+      }
+      store_bytes_ += bytes;
+    }
+    if (reduce_) {
+      for (auto& bucket : store_) {
+        std::map<K, V> acc;
+        for (auto& [k, v] : bucket) {
+          auto it = acc.find(k);
+          if (it == acc.end()) {
+            acc.emplace(k, std::move(v));
+          } else {
+            it->second = reduce_(it->second, v);
+          }
+        }
+        bucket.assign(std::make_move_iterator(acc.begin()),
+                      std::make_move_iterator(acc.end()));
+      }
+    }
+    return Status::OK();
+  }
+
+  static uint64_t HashKey(const std::string& k) { return Hash64(k); }
+  template <typename Int,
+            typename = std::enable_if_t<std::is_integral_v<Int>>>
+  static uint64_t HashKey(Int k) {
+    return Mix64(static_cast<uint64_t>(k));
+  }
+
+  typename RDD<Pair>::Ptr parent_;
+  std::function<V(const V&, const V&)> reduce_;
+  std::mutex mu_;
+  bool materialized_ = false;
+  Status store_status_;
+  std::vector<std::vector<Pair>> store_;
+  int64_t store_bytes_ = 0;
+};
+
+/// SortByKey: global sort with range partitioning into `parts` outputs.
+template <typename K, typename V>
+class SortedRDD final : public RDD<std::pair<K, V>> {
+ public:
+  using Pair = std::pair<K, V>;
+  SortedRDD(typename RDD<Pair>::Ptr parent, int parts)
+      : RDD<Pair>(parent->context(), parts), parent_(std::move(parent)) {}
+
+  ~SortedRDD() override {
+    if (store_bytes_ > 0) this->ctx_->memory()->Release(store_bytes_);
+  }
+
+ protected:
+  Result<std::vector<Pair>> DoCompute(int p) override {
+    DMB_RETURN_NOT_OK(EnsureMaterialized());
+    return store_[static_cast<size_t>(p)];
+  }
+
+ private:
+  Status EnsureMaterialized() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (materialized_) return store_status_;
+    materialized_ = true;
+    std::vector<Pair> all;
+    for (int pp = 0; pp < parent_->num_partitions(); ++pp) {
+      auto in = parent_->ComputePartition(pp);
+      if (!in.ok()) {
+        store_status_ = in.status();
+        return store_status_;
+      }
+      all.insert(all.end(), std::make_move_iterator(in->begin()),
+                 std::make_move_iterator(in->end()));
+    }
+    const int64_t bytes = ApproxSizeAll(all);
+    Status st = this->ctx_->memory()->Reserve(bytes);
+    if (!st.ok()) {
+      store_status_ = st;
+      return store_status_;
+    }
+    store_bytes_ = bytes;
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Pair& a, const Pair& b) {
+                       return a.first < b.first;
+                     });
+    store_.resize(static_cast<size_t>(this->num_partitions()));
+    const size_t n = all.size();
+    const size_t parts = static_cast<size_t>(this->num_partitions());
+    for (size_t i = 0; i < parts; ++i) {
+      const size_t begin = n * i / parts;
+      const size_t end = n * (i + 1) / parts;
+      store_[i].assign(std::make_move_iterator(all.begin() +
+                                               static_cast<int64_t>(begin)),
+                       std::make_move_iterator(all.begin() +
+                                               static_cast<int64_t>(end)));
+    }
+    return Status::OK();
+  }
+
+  typename RDD<Pair>::Ptr parent_;
+  std::mutex mu_;
+  bool materialized_ = false;
+  Status store_status_;
+  std::vector<std::vector<Pair>> store_;
+  int64_t store_bytes_ = 0;
+};
+
+}  // namespace internal
+
+template <typename T>
+template <typename U>
+std::shared_ptr<RDD<U>> RDD<T>::Map(std::function<U(const T&)> fn) {
+  return std::make_shared<internal::MapRDD<T, U>>(this->shared_from_this(),
+                                                  std::move(fn));
+}
+
+template <typename T>
+template <typename U>
+std::shared_ptr<RDD<U>> RDD<T>::FlatMap(
+    std::function<std::vector<U>(const T&)> fn) {
+  return std::make_shared<internal::FlatMapRDD<T, U>>(
+      this->shared_from_this(), std::move(fn));
+}
+
+template <typename T>
+typename RDD<T>::Ptr RDD<T>::Filter(std::function<bool(const T&)> fn) {
+  return std::make_shared<internal::FilterRDD<T>>(this->shared_from_this(),
+                                                  std::move(fn));
+}
+
+template <typename T>
+Result<std::vector<T>> RDD<T>::Collect() {
+  std::vector<std::vector<T>> parts(static_cast<size_t>(num_partitions_));
+  std::vector<Status> statuses(static_cast<size_t>(num_partitions_));
+  {
+    ThreadPool pool(ctx_->slots());
+    for (int p = 0; p < num_partitions_; ++p) {
+      pool.Submit([&, p] {
+        auto r = ComputePartition(p);
+        if (r.ok()) {
+          parts[static_cast<size_t>(p)] = std::move(r).value();
+        } else {
+          statuses[static_cast<size_t>(p)] = r.status();
+        }
+      });
+    }
+    pool.Wait();
+  }
+  for (const auto& st : statuses) {
+    DMB_RETURN_NOT_OK(st);
+  }
+  std::vector<T> all;
+  for (auto& part : parts) {
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return all;
+}
+
+template <typename T>
+Result<int64_t> RDD<T>::Count() {
+  DMB_ASSIGN_OR_RETURN(std::vector<T> all, Collect());
+  return static_cast<int64_t>(all.size());
+}
+
+template <typename T>
+std::shared_ptr<RDD<T>> RddContext::Parallelize(std::vector<T> data,
+                                                int num_partitions) {
+  return std::make_shared<internal::ParallelizedRDD<T>>(
+      this, std::move(data), num_partitions);
+}
+
+// ---- Pair-RDD wide transformations ----
+
+/// \brief ReduceByKey: hash-shuffles and merges values per key.
+template <typename K, typename V>
+std::shared_ptr<RDD<std::pair<K, V>>> ReduceByKey(
+    std::shared_ptr<RDD<std::pair<K, V>>> rdd,
+    std::function<V(const V&, const V&)> reduce, int num_partitions) {
+  return std::make_shared<internal::ShuffledRDD<K, V>>(
+      std::move(rdd), num_partitions, std::move(reduce));
+}
+
+/// \brief GroupByKey-style shuffle without merging (values keep arrival
+/// order within a partition).
+template <typename K, typename V>
+std::shared_ptr<RDD<std::pair<K, V>>> PartitionByKey(
+    std::shared_ptr<RDD<std::pair<K, V>>> rdd, int num_partitions) {
+  return std::make_shared<internal::ShuffledRDD<K, V>>(
+      std::move(rdd), num_partitions, nullptr);
+}
+
+/// \brief SortByKey: globally sorted, range-partitioned output.
+template <typename K, typename V>
+std::shared_ptr<RDD<std::pair<K, V>>> SortByKey(
+    std::shared_ptr<RDD<std::pair<K, V>>> rdd, int num_partitions) {
+  return std::make_shared<internal::SortedRDD<K, V>>(std::move(rdd),
+                                                     num_partitions);
+}
+
+}  // namespace dmb::rddlite
+
+#endif  // DATAMPI_BENCH_RDDLITE_RDD_H_

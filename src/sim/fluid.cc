@@ -1,0 +1,185 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dmb::sim {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+LinkId FluidSystem::AddLink(std::string name, double capacity) {
+  assert(capacity >= 0.0);
+  links_.push_back(Link{std::move(name), capacity, 0.0, 0});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+void FluidSystem::SetLinkCapacity(LinkId link, double capacity) {
+  assert(link >= 0 && static_cast<size_t>(link) < links_.size());
+  Advance();
+  links_[link].capacity = capacity;
+  Recompute();
+}
+
+FlowId FluidSystem::StartFlow(const std::vector<LinkId>& links, double volume,
+                              double rate_cap,
+                              std::coroutine_handle<> waiter) {
+  Advance();
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = flows_.size();
+    flows_.emplace_back();
+  }
+  Flow& f = flows_[slot];
+  f.links = links;
+  f.remaining = volume;
+  f.cap = rate_cap;
+  f.rate = 0.0;
+  f.waiter = waiter;
+  f.active = true;
+  ++active_count_;
+  Recompute();
+  return slot;
+}
+
+void FluidSystem::Advance() {
+  const double now = sim_->Now();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0.0) return;
+  for (auto& f : flows_) {
+    if (!f.active) continue;
+    f.remaining -= f.rate * dt;
+    if (f.remaining < 0.0) f.remaining = 0.0;
+  }
+}
+
+void FluidSystem::Recompute() {
+  // Progressive-filling max-min fairness.
+  std::vector<double> link_remaining(links_.size());
+  std::vector<int> link_unfrozen(links_.size(), 0);
+  for (size_t l = 0; l < links_.size(); ++l) {
+    link_remaining[l] = links_[l].capacity;
+    links_[l].rate = 0.0;
+    links_[l].active_flows = 0;
+  }
+
+  std::vector<size_t> unfrozen;
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    Flow& f = flows_[i];
+    if (!f.active) continue;
+    f.rate = 0.0;
+    for (LinkId l : f.links) ++links_[l].active_flows;
+    // A flow over a zero-capacity link is stuck at rate 0: freeze it now.
+    bool stuck = false;
+    for (LinkId l : f.links) {
+      if (links_[l].capacity <= 0.0) stuck = true;
+    }
+    if (!stuck) {
+      unfrozen.push_back(i);
+      for (LinkId l : f.links) ++link_unfrozen[l];
+    }
+  }
+
+  while (!unfrozen.empty()) {
+    // Largest delta we can add to every unfrozen flow simultaneously.
+    double delta = std::numeric_limits<double>::infinity();
+    for (size_t l = 0; l < links_.size(); ++l) {
+      if (link_unfrozen[l] > 0) {
+        delta = std::min(delta, link_remaining[l] / link_unfrozen[l]);
+      }
+    }
+    for (size_t i : unfrozen) {
+      const Flow& f = flows_[i];
+      if (f.cap != kNoCap) delta = std::min(delta, f.cap - f.rate);
+    }
+    if (!(delta > 0.0)) delta = 0.0;
+
+    for (size_t i : unfrozen) {
+      Flow& f = flows_[i];
+      f.rate += delta;
+      for (LinkId l : f.links) link_remaining[l] -= delta;
+    }
+    // Freeze flows that hit their cap or sit on a saturated link.
+    std::vector<size_t> still;
+    still.reserve(unfrozen.size());
+    for (size_t i : unfrozen) {
+      Flow& f = flows_[i];
+      bool freeze = (f.cap != kNoCap && f.rate >= f.cap - kEps);
+      if (!freeze) {
+        for (LinkId l : f.links) {
+          if (link_remaining[l] <= kEps * std::max(1.0, links_[l].capacity)) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        for (LinkId l : f.links) --link_unfrozen[l];
+      } else {
+        still.push_back(i);
+      }
+    }
+    if (still.size() == unfrozen.size()) {
+      // No progress possible (all deltas zero without triggering a freeze
+      // tolerance); freeze everything to terminate.
+      break;
+    }
+    unfrozen = std::move(still);
+  }
+
+  for (const auto& f : flows_) {
+    if (!f.active) continue;
+    for (LinkId l : f.links) links_[l].rate += f.rate;
+  }
+
+  // Schedule the next completion.
+  if (completion_event_ != 0) {
+    sim_->Cancel(completion_event_);
+    completion_event_ = 0;
+  }
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& f : flows_) {
+    if (!f.active || f.rate <= 0.0) continue;
+    next = std::min(next, f.remaining / f.rate);
+  }
+  if (next != std::numeric_limits<double>::infinity()) {
+    if (next < 0.0) next = 0.0;
+    completion_event_ =
+        sim_->Schedule(next, [this] { OnCompletionEvent(); });
+  }
+
+  if (observer_) observer_();
+}
+
+void FluidSystem::OnCompletionEvent() {
+  completion_event_ = 0;
+  Advance();
+  // Complete every flow whose remaining volume has reached zero (within a
+  // per-flow tolerance scaled to one nanosecond of progress at its rate).
+  std::vector<std::coroutine_handle<>> to_resume;
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    Flow& f = flows_[i];
+    if (!f.active) continue;
+    const double tol = std::max(kEps, f.rate * 1e-9);
+    if (f.remaining <= tol) {
+      f.active = false;
+      f.remaining = 0.0;
+      --active_count_;
+      free_slots_.push_back(i);
+      if (f.waiter) to_resume.push_back(f.waiter);
+      f.waiter = {};
+    }
+  }
+  Recompute();
+  for (auto h : to_resume) {
+    sim_->Schedule(0.0, [h] { h.resume(); });
+  }
+}
+
+}  // namespace dmb::sim

@@ -1,0 +1,133 @@
+// Fluid-flow resource model with max-min fair sharing.
+//
+// Every contended resource of the testbed is a "link" with a capacity in
+// units/second: a node's disk (MB/s), its NIC tx and rx ports (MB/s), its
+// CPU (core-seconds/second == number of cores). A "flow" is a demand for a
+// fixed volume across one or more links simultaneously (e.g. a network
+// transfer crosses the sender's tx port and the receiver's rx port), with
+// an optional per-flow rate cap (e.g. a single-threaded compute demand is
+// capped at 1 core). Rates are assigned by progressive-filling max-min
+// fairness and recomputed on every arrival/departure; between recomputes
+// all rates are constant, so flow completions are exact events.
+//
+// This is the standard flow-level abstraction used by cluster simulators;
+// it reproduces bandwidth contention and bottleneck shifts (the effects
+// Figures 2-6 of the paper are made of) without per-packet/per-IO events.
+
+#ifndef DATAMPI_BENCH_SIM_FLUID_H_
+#define DATAMPI_BENCH_SIM_FLUID_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dmb::sim {
+
+using LinkId = int32_t;
+using FlowId = uint64_t;
+
+inline constexpr double kNoCap = std::numeric_limits<double>::infinity();
+
+/// \brief The shared-resource engine. One instance models a whole cluster.
+class FluidSystem {
+ public:
+  explicit FluidSystem(Simulator* sim) : sim_(sim) {}
+  FluidSystem(const FluidSystem&) = delete;
+  FluidSystem& operator=(const FluidSystem&) = delete;
+
+  /// \brief Registers a resource with the given capacity (units/second).
+  LinkId AddLink(std::string name, double capacity);
+
+  /// \brief Changes a link's capacity mid-run (used by failure-injection
+  /// tests and ablations); active flows are re-shared immediately.
+  void SetLinkCapacity(LinkId link, double capacity);
+
+  double LinkCapacity(LinkId link) const { return links_[link].capacity; }
+  const std::string& LinkName(LinkId link) const { return links_[link].name; }
+  int num_links() const { return static_cast<int>(links_.size()); }
+
+  /// \brief Total current rate through a link (<= capacity).
+  double LinkRate(LinkId link) const { return links_[link].rate; }
+
+  /// \brief Number of active flows crossing a link.
+  int LinkFlowCount(LinkId link) const { return links_[link].active_flows; }
+
+  /// \brief Awaitable transfer of `volume` units across `links`.
+  ///
+  /// Completes immediately when volume <= 0. The flow holds an equal
+  /// max-min share of every link it crosses, further limited by rate_cap.
+  class Transfer {
+   public:
+    Transfer(FluidSystem* fs, std::vector<LinkId> links, double volume,
+             double rate_cap = kNoCap)
+        : fs_(fs),
+          links_(std::move(links)),
+          volume_(volume),
+          rate_cap_(rate_cap) {}
+    bool await_ready() const { return volume_ <= 0.0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      fs_->StartFlow(links_, volume_, rate_cap_, h);
+    }
+    void await_resume() const {}
+
+   private:
+    FluidSystem* fs_;
+    std::vector<LinkId> links_;
+    double volume_;
+    double rate_cap_;
+  };
+
+  /// \brief Starts a flow that resumes `waiter` on completion.
+  /// (Transfer is the usual way to use this.)
+  FlowId StartFlow(const std::vector<LinkId>& links, double volume,
+                   double rate_cap, std::coroutine_handle<> waiter);
+
+  /// \brief Observer invoked after every rate recomputation (the monitor
+  /// uses periodic sampling instead; this hook exists for tests).
+  void SetObserver(std::function<void()> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// \brief Number of currently active flows (tests/diagnostics).
+  size_t active_flow_count() const { return active_count_; }
+
+ private:
+  struct Link {
+    std::string name;
+    double capacity = 0.0;
+    double rate = 0.0;  // current total allocated rate
+    int active_flows = 0;
+  };
+  struct Flow {
+    std::vector<LinkId> links;
+    double remaining = 0.0;
+    double cap = kNoCap;
+    double rate = 0.0;
+    std::coroutine_handle<> waiter;
+    bool active = false;
+  };
+
+  /// Progresses all flow volumes from last_update_ to Now().
+  void Advance();
+  /// Max-min progressive filling; schedules the next completion event.
+  void Recompute();
+  void OnCompletionEvent();
+
+  Simulator* sim_;
+  std::vector<Link> links_;
+  std::vector<Flow> flows_;        // slot-reuse table
+  std::vector<size_t> free_slots_;
+  size_t active_count_ = 0;
+  double last_update_ = 0.0;
+  uint64_t completion_event_ = 0;  // 0 = none scheduled
+  std::function<void()> observer_;
+};
+
+}  // namespace dmb::sim
+
+#endif  // DATAMPI_BENCH_SIM_FLUID_H_

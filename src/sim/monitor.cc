@@ -1,0 +1,36 @@
+#include "sim/monitor.h"
+
+namespace dmb::sim {
+
+void ResourceMonitor::Watch(const std::string& series_name, LinkId link) {
+  WatchSum(series_name, {link});
+}
+
+void ResourceMonitor::WatchSum(const std::string& series_name,
+                               std::vector<LinkId> links) {
+  watched_.push_back(Watched{series_name, std::move(links)});
+  series_.emplace(series_name, TimeSeries(series_name));
+}
+
+void ResourceMonitor::Start() {
+  stopped_ = false;
+  spawner_.Spawn(SampleLoop());
+}
+
+const TimeSeries* ResourceMonitor::series(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+Proc ResourceMonitor::SampleLoop() {
+  while (!stopped_) {
+    for (const auto& w : watched_) {
+      double total = 0.0;
+      for (LinkId l : w.links) total += fluid_->LinkRate(l);
+      series_[w.name].Add(sim_->Now(), total);
+    }
+    co_await Delay(sim_, interval_);
+  }
+}
+
+}  // namespace dmb::sim

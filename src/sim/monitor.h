@@ -1,0 +1,88 @@
+// dstat-style resource monitor: samples link rates and gauges on a fixed
+// virtual-time interval, producing the time series of Figure 4.
+
+#ifndef DATAMPI_BENCH_SIM_MONITOR_H_
+#define DATAMPI_BENCH_SIM_MONITOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time_series.h"
+#include "sim/fluid.h"
+#include "sim/proc.h"
+#include "sim/simulator.h"
+
+namespace dmb::sim {
+
+/// \brief A piecewise-constant instrumented value (e.g. memory in use).
+/// Every change is recorded with its timestamp, so readings are exact.
+class Gauge {
+ public:
+  Gauge(Simulator* sim, std::string name)
+      : sim_(sim), series_(std::move(name)) {}
+
+  void Add(double delta) { Set(value_ + delta); }
+  void Set(double value) {
+    value_ = value;
+    series_.Add(sim_->Now(), value_);
+  }
+  double value() const { return value_; }
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  Simulator* sim_;
+  double value_ = 0.0;
+  TimeSeries series_;
+};
+
+/// \brief Periodically samples a set of fluid links into TimeSeries.
+///
+/// Usage: add the links to watch, call Start(); the sampling process stops
+/// itself once Stop() is called (typically when the simulated job ends).
+class ResourceMonitor {
+ public:
+  ResourceMonitor(Simulator* sim, FluidSystem* fluid, double interval = 1.0)
+      : sim_(sim), fluid_(fluid), interval_(interval), spawner_(sim) {}
+
+  /// \brief Watches a single link under the given series name.
+  void Watch(const std::string& series_name, LinkId link);
+
+  /// \brief Watches the *sum* of rates over several links under one name
+  /// (e.g. "cluster disk read MB/s" = sum over the 8 nodes' disks).
+  void WatchSum(const std::string& series_name, std::vector<LinkId> links);
+
+  /// \brief Begins periodic sampling at the current virtual time.
+  void Start();
+
+  /// \brief Stops sampling (takes effect at the next tick).
+  void Stop() { stopped_ = true; }
+
+  /// \brief Returns the recorded series for a watched name (nullptr if
+  /// unknown).
+  const TimeSeries* series(const std::string& name) const;
+
+  const std::map<std::string, TimeSeries>& all_series() const {
+    return series_;
+  }
+
+ private:
+  Proc SampleLoop();
+
+  Simulator* sim_;
+  FluidSystem* fluid_;
+  double interval_;
+  Spawner spawner_;
+  bool stopped_ = false;
+  struct Watched {
+    std::string name;
+    std::vector<LinkId> links;
+  };
+  std::vector<Watched> watched_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace dmb::sim
+
+#endif  // DATAMPI_BENCH_SIM_MONITOR_H_

@@ -1,0 +1,41 @@
+#include "sim/proc.h"
+
+namespace dmb::sim {
+
+std::coroutine_handle<> Proc::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  auto& p = h.promise();
+  p.finished = true;
+  if (p.wait_group != nullptr) p.wait_group->Done();
+  if (p.continuation) return p.continuation;
+  return std::noop_coroutine();
+}
+
+void Spawner::Spawn(Proc proc, WaitGroup* wg) {
+  auto h = proc.Release();
+  assert(h);
+  h.promise().detached = true;
+  h.promise().wait_group = wg;
+  owned_.push_back(h);
+  // Start at the current timestamp through the event queue so that spawn
+  // order == start order and the caller's stack does not nest resumes.
+  sim_->Schedule(0.0, [h] { h.resume(); });
+}
+
+size_t Spawner::Sweep() {
+  size_t running = 0;
+  std::vector<std::coroutine_handle<Proc::promise_type>> still;
+  still.reserve(owned_.size());
+  for (auto h : owned_) {
+    if (h.promise().finished) {
+      h.destroy();
+    } else {
+      still.push_back(h);
+      ++running;
+    }
+  }
+  owned_ = std::move(still);
+  return running;
+}
+
+}  // namespace dmb::sim

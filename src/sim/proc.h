@@ -1,0 +1,216 @@
+// Coroutine-based simulation processes.
+//
+// A simulation process is a C++20 coroutine returning Proc. Inside it you
+// can `co_await Delay(sim, dt)`, `co_await fluid.Transfer(...)`,
+// `co_await wait_group.Wait()`, `co_await semaphore.Acquire()`, or another
+// Proc. Processes are lazily started: either `co_await` them from a parent
+// (structured) or hand them to Spawner/Simulator via Spawn() (detached,
+// tracked by a WaitGroup if desired).
+//
+// All wake-ups are routed through the Simulator event queue at the current
+// timestamp, so resumption never recurses arbitrarily deep and same-time
+// ordering is deterministic.
+
+#ifndef DATAMPI_BENCH_SIM_PROC_H_
+#define DATAMPI_BENCH_SIM_PROC_H_
+
+#include <cassert>
+#include <coroutine>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dmb::sim {
+
+class WaitGroup;
+
+/// \brief A lazily-started simulation process (coroutine handle owner).
+class [[nodiscard]] Proc {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    WaitGroup* wait_group = nullptr;
+    bool detached = false;
+    bool finished = false;
+
+    Proc get_return_object() {
+      return Proc(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Proc() = default;
+  explicit Proc(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Proc(Proc&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Proc& operator=(Proc&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return !h_ || h_.promise().finished; }
+
+  /// \brief Awaiting a Proc starts it; the awaiter resumes when it returns.
+  bool await_ready() const { return done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+    h_.promise().continuation = awaiting;
+    return h_;  // start the child now
+  }
+  void await_resume() const {}
+
+  /// \brief Releases the handle for detached execution (used by Spawner).
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(h_, {});
+  }
+
+ private:
+  void Destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+/// \brief Countdown latch: Add() expected completions, children Done(),
+/// any number of processes may co_await Wait().
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator* sim) : sim_(sim) {}
+
+  void Add(int n = 1) { count_ += n; }
+
+  void Done() {
+    assert(count_ > 0);
+    if (--count_ == 0) WakeAll();
+  }
+
+  int count() const { return count_; }
+
+  struct Awaiter {
+    WaitGroup* wg;
+    bool await_ready() const { return wg->count_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      wg->waiters_.push_back(h);
+    }
+    void await_resume() const {}
+  };
+  /// \brief Suspends until the count reaches zero (immediate if already 0).
+  Awaiter Wait() { return Awaiter{this}; }
+
+ private:
+  void WakeAll() {
+    for (auto h : waiters_) {
+      sim_->Schedule(0.0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  Simulator* sim_;
+  int count_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// \brief Counting semaphore for task slots (map/reduce slots per node).
+class Semaphore {
+ public:
+  Semaphore(Simulator* sim, int permits) : sim_(sim), permits_(permits) {}
+
+  struct Awaiter {
+    Semaphore* sem;
+    bool await_ready() const { return sem->permits_ > 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sem->waiters_.push_back(h);
+    }
+    void await_resume() const { --sem->permits_; }
+  };
+
+  /// \brief Acquires one permit, suspending while none are available.
+  Awaiter Acquire() { return Awaiter{this}; }
+
+  /// \brief Returns one permit and wakes one waiter (via the event queue).
+  void Release() {
+    ++permits_;
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.erase(waiters_.begin());
+      sim_->Schedule(0.0, [h] { h.resume(); });
+    }
+  }
+
+  int available() const { return permits_; }
+
+ private:
+  Simulator* sim_;
+  int permits_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// \brief Awaitable virtual-time delay.
+class Delay {
+ public:
+  Delay(Simulator* sim, double seconds) : sim_(sim), seconds_(seconds) {}
+  bool await_ready() const { return seconds_ <= 0.0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim_->Schedule(seconds_, [h] { h.resume(); });
+  }
+  void await_resume() const {}
+
+ private:
+  Simulator* sim_;
+  double seconds_;
+};
+
+/// \brief Owns detached processes and destroys their frames when finished.
+///
+/// Typical top-level pattern:
+///   Spawner spawner(&sim);
+///   WaitGroup wg(&sim);
+///   wg.Add(n);
+///   for (...) spawner.Spawn(SomeProc(...), &wg);
+///   sim.Run();
+class Spawner {
+ public:
+  explicit Spawner(Simulator* sim) : sim_(sim) {}
+  /// Destroys all owned frames, finished or not (a suspended frame that
+  /// can no longer be resumed — e.g. after an aborted job — is reclaimed
+  /// here; destroying a suspended coroutine is well-defined).
+  ~Spawner() {
+    for (auto h : owned_) h.destroy();
+  }
+  Spawner(const Spawner&) = delete;
+  Spawner& operator=(const Spawner&) = delete;
+
+  /// \brief Starts `proc` detached at the current time. If `wg` is given,
+  /// its Done() fires when the process returns (caller must have Add()ed).
+  void Spawn(Proc proc, WaitGroup* wg = nullptr);
+
+  /// \brief Destroys frames of finished processes; returns #still running.
+  size_t Sweep();
+
+ private:
+  Simulator* sim_;
+  std::vector<std::coroutine_handle<Proc::promise_type>> owned_;
+};
+
+}  // namespace dmb::sim
+
+#endif  // DATAMPI_BENCH_SIM_PROC_H_

@@ -1,0 +1,53 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace dmb::sim {
+
+uint64_t Simulator::Schedule(double delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  const uint64_t id = next_id_++;
+  queue_.push(Event{now_ + delay, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::Cancel(uint64_t event_id) { callbacks_.erase(event_id); }
+
+double Simulator::Run() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    assert(ev.time >= now_ - 1e-12);
+    now_ = ev.time;
+    ++events_dispatched_;
+    fn();
+  }
+  return now_;
+}
+
+double Simulator::RunUntil(double t) {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    if (ev.time > t) {
+      now_ = t;
+      return now_;
+    }
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.time;
+    ++events_dispatched_;
+    fn();
+  }
+  if (now_ < t) now_ = t;
+  return now_;
+}
+
+}  // namespace dmb::sim

@@ -1,0 +1,71 @@
+// Discrete-event simulation kernel: a virtual clock and an event queue.
+//
+// The cluster model (src/cluster, src/dfs, src/simfw) runs on top of this
+// kernel using C++20 coroutine processes (see sim/proc.h) and fluid
+// fair-share resources (see sim/fluid.h).
+
+#ifndef DATAMPI_BENCH_SIM_SIMULATOR_H_
+#define DATAMPI_BENCH_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace dmb::sim {
+
+/// \brief The simulation kernel: virtual time plus a pending-event queue.
+///
+/// Events scheduled for the same timestamp fire in FIFO order (a strictly
+/// increasing sequence number breaks ties), which makes runs deterministic.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// \brief Current virtual time in seconds.
+  double Now() const { return now_; }
+
+  /// \brief Schedules `fn` to run at Now() + delay (delay >= 0).
+  /// Returns an event id usable with Cancel().
+  uint64_t Schedule(double delay, std::function<void()> fn);
+
+  /// \brief Cancels a scheduled event; no-op if it already fired.
+  void Cancel(uint64_t event_id);
+
+  /// \brief Runs until the event queue is empty. Returns final time.
+  double Run();
+
+  /// \brief Runs until the queue is empty or virtual time would exceed `t`;
+  /// the clock is then clamped to min(t, next event time).
+  double RunUntil(double t);
+
+  /// \brief Number of events dispatched so far (for tests/statistics).
+  uint64_t events_dispatched() const { return events_dispatched_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    uint64_t id;
+  };
+  struct EventCmp {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap on time
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+  std::unordered_map<uint64_t, std::function<void()>> callbacks_;
+};
+
+}  // namespace dmb::sim
+
+#endif  // DATAMPI_BENCH_SIM_SIMULATOR_H_

@@ -1,0 +1,236 @@
+// DataMPI execution model.
+//
+// Structure: fast mpirun-style launch -> O tasks claimed dynamically over
+// per-node slots; within an O task the HDFS read, the compute, and the
+// *pipelined key-value shipment to the A side* all overlap (this is the
+// library's headline mechanism: by the time the O phase ends the shuffle
+// has essentially completed) -> A tasks hold received pairs in memory
+// (spilling only above the buffer budget), merge, and reduce while
+// writing the replicated output. No per-task JVM spawn, no map-side
+// spill, no post-phase fetch.
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "simfw/model_util.h"
+#include "simfw/params.h"
+
+namespace dmb::simfw {
+
+namespace {
+
+using internal::JobBytes;
+using internal::RunTransfer;
+
+struct DataMPIState {
+  SimEnv* env;
+  const WorkloadProfile* profile;
+  const DataMPIParams* params;
+  RunOptions options;
+  JobBytes bytes;
+  int nodes;
+
+  std::vector<std::unique_ptr<sim::Semaphore>> o_slots;
+  std::unique_ptr<sim::WaitGroup> o_done;       // O tasks incl. their sends
+  std::unique_ptr<sim::WaitGroup> a_done;
+  double spill_factor = 1.0;  // overcommit effect on A-side buffers
+};
+
+/// One pipelined O->A slice: network (cross-node) then A-buffer growth.
+sim::Proc PipelinedSend(DataMPIState* st, int src, int dst, double mb) {
+  auto& cl = st->env->cluster();
+  if (mb <= 0) co_return;
+  if (src != dst) {
+    co_await cl.NetTransfer(src, dst, mb);
+  }
+  // Received pairs are buffered in A-side memory ("data-centric").
+  cl.memory(dst).Add(mb * st->params->buffer_expansion / 1024.0);
+}
+
+sim::Proc DataMPIOTask(DataMPIState* st, int node, double block_disk_mb) {
+  auto& cl = st->env->cluster();
+  auto* sim = &st->env->sim();
+  const double task_mem = st->profile->datampi.task_memory_gb > 0
+                              ? st->profile->datampi.task_memory_gb
+                              : st->params->task_memory_gb;
+  co_await st->o_slots[static_cast<size_t>(node)]->Acquire();
+  cl.memory(node).Add(task_mem);
+  co_await sim::Delay(sim, st->params->task_startup_s);
+
+  const double logical_mb = block_disk_mb * st->bytes.logical_per_disk;
+  const auto& cost = st->profile->datampi;
+  const double cpu_ts = logical_mb * cost.map_cpu_ts_per_mb *
+      internal::OvercommitCpuFactor(st->options.slots_per_node,
+                                    st->params->overcommit_cpu_penalty);
+  const double out_mb = logical_mb * st->profile->shuffle_ratio;
+
+  // Read + compute + pipelined sends all overlap; the task completes when
+  // its last slice has been delivered (communication hidden behind
+  // computation).
+  sim::WaitGroup wg(sim);
+  sim::Spawner spawner(sim);
+  wg.Add(2);
+  spawner.Spawn(RunTransfer(cl.ReadDisk(node, block_disk_mb)), &wg);
+  spawner.Spawn(RunTransfer(cl.Compute(node, cpu_ts, cost.map_concurrency)),
+                &wg);
+  if (!st->options.datampi_disable_pipeline) {
+    for (int j = 0; j < st->nodes; ++j) {
+      wg.Add(1);
+      spawner.Spawn(PipelinedSend(st, node, j, out_mb / st->nodes), &wg);
+    }
+  }
+  if (cost.background_cpu_per_mb > 0) {
+    st->env->spawner().Spawn(RunTransfer(cl.Compute(
+        node, logical_mb * cost.background_cpu_per_mb, 2.0)));
+  }
+  co_await wg.Wait();
+  if (st->options.datampi_disable_pipeline) {
+    // Ablation: ship the output only after the computation finished (no
+    // overlap), as a buffer-to-buffer MPI job would.
+    sim::WaitGroup send_wg(sim);
+    sim::Spawner send_spawner(sim);
+    for (int j = 0; j < st->nodes; ++j) {
+      send_wg.Add(1);
+      send_spawner.Spawn(PipelinedSend(st, node, j, out_mb / st->nodes),
+                         &send_wg);
+    }
+    co_await send_wg.Wait();
+  }
+
+  cl.memory(node).Add(-task_mem);
+  st->o_slots[static_cast<size_t>(node)]->Release();
+}
+
+sim::Proc DataMPIATask(DataMPIState* st, int node, double recv_mb,
+                       double out_disk_mb, double buffer_budget_mb) {
+  auto& cl = st->env->cluster();
+  auto* sim = &st->env->sim();
+
+  // Bipartite barrier: A processing begins when the O phase (and thus
+  // the pipelined shuffle) has completed.
+  co_await st->o_done->Wait();
+
+  // Spill handling: only the excess beyond the in-memory budget touches
+  // the disk (vs Hadoop's unconditional round trip).
+  const double excess =
+      st->options.datampi_spill_always
+          ? recv_mb
+          : std::max(0.0, recv_mb - buffer_budget_mb) * st->spill_factor;
+  if (excess > 0) {
+    co_await cl.WriteDisk(node, excess);
+    co_await cl.ReadDisk(node, excess);
+  }
+
+  const auto& cost = st->profile->datampi;
+  const double cpu_ts = recv_mb * cost.reduce_cpu_ts_per_mb *
+      internal::OvercommitCpuFactor(st->options.slots_per_node,
+                                    st->params->overcommit_cpu_penalty);
+  sim::WaitGroup wg(sim);
+  sim::Spawner spawner(sim);
+  wg.Add(2);
+  spawner.Spawn(RunTransfer(cl.Compute(node, cpu_ts,
+                                       cost.reduce_concurrency)),
+                &wg);
+  spawner.Spawn(st->env->hdfs().WriteAnonymous(
+                    node, static_cast<int64_t>(out_disk_mb) << 20),
+                &wg);
+  if (cost.background_cpu_per_mb > 0) {
+    st->env->spawner().Spawn(RunTransfer(cl.Compute(
+        node, recv_mb * cost.background_cpu_per_mb * 0.8, 2.0)));
+  }
+  co_await wg.Wait();
+
+  // The A buffer is released once results are written out.
+  cl.memory(node).Add(-recv_mb * st->params->buffer_expansion / 1024.0);
+}
+
+sim::Proc DataMPIJobDriver(DataMPIState* st, bool first_job,
+                           double* phase1_out, double* end_out) {
+  auto* sim = &st->env->sim();
+  co_await sim::Delay(sim, st->params->job_init_s);
+
+  const auto input = st->env->CreateInput(
+      static_cast<int64_t>(st->bytes.disk_in_mb * 1024.0 * 1024.0));
+  const int num_a = st->nodes * st->options.slots_per_node;
+
+  st->o_done = std::make_unique<sim::WaitGroup>(sim);
+  st->a_done = std::make_unique<sim::WaitGroup>(sim);
+  st->o_done->Add(static_cast<int>(input.size()));
+  st->a_done->Add(num_a);
+
+  for (const auto& block : input) {
+    st->env->spawner().Spawn(
+        DataMPIOTask(st, block.node,
+                     static_cast<double>(block.bytes) / (1024.0 * 1024.0)),
+        st->o_done.get());
+  }
+
+  const double recv_per_a = st->bytes.shuffle_mb / num_a;
+  const double out_per_a = st->bytes.out_disk_mb / num_a;
+  const double budget_per_a = st->params->a_buffer_per_node_gb * 1024.0 /
+                              st->options.slots_per_node;
+  for (int a = 0; a < num_a; ++a) {
+    st->env->spawner().Spawn(
+        DataMPIATask(st, a % st->nodes, recv_per_a, out_per_a, budget_per_a),
+        st->a_done.get());
+  }
+
+  co_await st->o_done->Wait();
+  if (first_job) *phase1_out = sim->Now();
+  co_await st->a_done->Wait();
+  co_await sim::Delay(sim, st->params->job_cleanup_s);
+  *end_out = sim->Now();
+}
+
+}  // namespace
+
+SimJobResult RunDataMPIJob(SimEnv* env, const WorkloadProfile& profile,
+                           int64_t data_bytes, const RunOptions& options) {
+  const DataMPIParams& params = DefaultDataMPIParams();
+  const double total_data_mb =
+      static_cast<double>(data_bytes) / (1024.0 * 1024.0);
+
+  SimJobResult result;
+  const double t0 = env->sim().Now();
+  double phase1 = 0.0;
+  double end_time = t0;
+
+  for (size_t i = 0; i < profile.chain_fractions.size(); ++i) {
+    if (options.monitor) env->monitor().Start();
+    const double data_mb = total_data_mb * profile.chain_fractions[i];
+    DataMPIState st;
+    st.env = env;
+    st.profile = &profile;
+    st.params = &params;
+    st.options = options;
+    st.bytes = internal::ComputeJobBytes(profile, data_mb);
+    st.nodes = env->cluster().num_nodes();
+    st.o_slots = internal::MakeSlots(&env->sim(), st.nodes,
+                                     options.slots_per_node);
+    st.spill_factor = internal::OvercommitSpillFactor(options.slots_per_node);
+    result.shuffle_mb += st.bytes.shuffle_mb;
+    result.hdfs_write_mb += st.bytes.out_disk_mb * 3;
+
+    sim::WaitGroup done(&env->sim());
+    done.Add(1);
+    env->spawner().Spawn(
+        DataMPIJobDriver(&st, i == 0, &phase1, &end_time), &done);
+    if (options.monitor) {
+      env->spawner().Spawn([](SimEnv* e, sim::WaitGroup* wg) -> sim::Proc {
+        co_await wg->Wait();
+        e->monitor().Stop();
+      }(env, &done));
+    }
+    env->sim().Run();
+    env->spawner().Sweep();
+  }
+
+  result.seconds = end_time - t0;
+  result.phase1_seconds = phase1 - t0;
+  if (options.monitor) {
+    result.series = env->monitor().all_series();
+  }
+  return result;
+}
+
+}  // namespace dmb::simfw

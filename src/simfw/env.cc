@@ -1,0 +1,61 @@
+#include "simfw/env.h"
+
+#include "common/logging.h"
+
+namespace dmb::simfw {
+
+const char* FrameworkName(Framework fw) {
+  switch (fw) {
+    case Framework::kHadoop:
+      return "Hadoop";
+    case Framework::kSpark:
+      return "Spark";
+    case Framework::kDataMPI:
+      return "DataMPI";
+  }
+  return "?";
+}
+
+SimEnv::SimEnv(const cluster::ClusterSpec& spec,
+               const dfs::DfsConfig& dfs_config)
+    : fluid_(&sim_), spawner_(&sim_) {
+  cluster_ = std::make_unique<cluster::SimCluster>(&sim_, &fluid_, spec);
+  dfs::DfsConfig cfg = dfs_config;
+  cfg.num_nodes = spec.num_nodes;
+  namenode_ = std::make_unique<dfs::Namenode>(cfg);
+  hdfs_ = std::make_unique<dfs::HdfsModel>(cluster_.get(), namenode_.get());
+  monitor_ = std::make_unique<sim::ResourceMonitor>(&sim_, &fluid_);
+  cluster::WatchClusterResources(*cluster_, monitor_.get());
+}
+
+std::vector<SimEnv::InputBlock> SimEnv::CreateInput(int64_t bytes) {
+  const int nodes = cluster_->num_nodes();
+  std::vector<InputBlock> blocks;
+  const std::string prefix =
+      "/job-input/" + std::to_string(input_counter_++) + "/part-";
+  for (int n = 0; n < nodes; ++n) {
+    const int64_t share = bytes / nodes + (n < bytes % nodes ? 1 : 0);
+    if (share == 0) continue;
+    auto file = namenode_->CreateFile(prefix + std::to_string(n), share, n);
+    DMB_CHECK(file.ok()) << file.status().ToString();
+    for (const auto& b : (*file)->blocks) {
+      blocks.push_back(InputBlock{b.replicas[0], b.size_bytes});
+    }
+  }
+  return blocks;
+}
+
+TimeSeries SimEnv::MemoryPerNodeSeries(double horizon) const {
+  TimeSeries out("mem.per_node_gb");
+  const int nodes = cluster_->num_nodes();
+  for (double t = 0.0; t <= horizon + 1e-9; t += 1.0) {
+    double total = 0.0;
+    for (int n = 0; n < nodes; ++n) {
+      total += cluster_->memory(n).series().ValueAt(t);
+    }
+    out.Add(t, total / nodes);
+  }
+  return out;
+}
+
+}  // namespace dmb::simfw

@@ -1,0 +1,71 @@
+// SimEnv: one self-contained simulated testbed instance (simulator +
+// fluid links + cluster + HDFS). Each job run builds a fresh SimEnv so
+// runs are independent and deterministic.
+
+#ifndef DATAMPI_BENCH_SIMFW_ENV_H_
+#define DATAMPI_BENCH_SIMFW_ENV_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "dfs/hdfs_model.h"
+#include "dfs/namenode.h"
+#include "sim/fluid.h"
+#include "sim/monitor.h"
+#include "sim/proc.h"
+#include "sim/simulator.h"
+#include "simfw/framework.h"
+
+namespace dmb::simfw {
+
+/// \brief The assembled testbed.
+class SimEnv {
+ public:
+  SimEnv(const cluster::ClusterSpec& spec, const dfs::DfsConfig& dfs_config);
+
+  sim::Simulator& sim() { return sim_; }
+  sim::FluidSystem& fluid() { return fluid_; }
+  cluster::SimCluster& cluster() { return *cluster_; }
+  dfs::Namenode& namenode() { return *namenode_; }
+  dfs::HdfsModel& hdfs() { return *hdfs_; }
+  sim::ResourceMonitor& monitor() { return *monitor_; }
+  sim::Spawner& spawner() { return spawner_; }
+
+  /// \brief Creates the job input as one file per node (primary replica
+  /// local), totalling `bytes`; returns one input block list entry per
+  /// HDFS block with its primary node.
+  struct InputBlock {
+    int node = 0;
+    int64_t bytes = 0;
+  };
+  std::vector<InputBlock> CreateInput(int64_t bytes);
+
+  /// \brief Cluster-average memory footprint (GB per node) resampled on
+  /// a 1-second grid up to `horizon`.
+  TimeSeries MemoryPerNodeSeries(double horizon) const;
+
+ private:
+  sim::Simulator sim_;
+  sim::FluidSystem fluid_;
+  std::unique_ptr<cluster::SimCluster> cluster_;
+  std::unique_ptr<dfs::Namenode> namenode_;
+  std::unique_ptr<dfs::HdfsModel> hdfs_;
+  std::unique_ptr<sim::ResourceMonitor> monitor_;
+  sim::Spawner spawner_;
+  int input_counter_ = 0;
+};
+
+/// \brief Dispatches to the per-framework model (defined in
+/// hadoop_model.cc / spark_model.cc / datampi_model.cc).
+struct WorkloadProfile;
+SimJobResult RunHadoopJob(SimEnv* env, const WorkloadProfile& profile,
+                          int64_t data_bytes, const RunOptions& options);
+SimJobResult RunSparkJob(SimEnv* env, const WorkloadProfile& profile,
+                         int64_t data_bytes, const RunOptions& options);
+SimJobResult RunDataMPIJob(SimEnv* env, const WorkloadProfile& profile,
+                           int64_t data_bytes, const RunOptions& options);
+
+}  // namespace dmb::simfw
+
+#endif  // DATAMPI_BENCH_SIMFW_ENV_H_

@@ -1,0 +1,100 @@
+#include "simfw/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "simfw/env.h"
+
+namespace dmb::simfw {
+
+namespace {
+
+/// Fraction of task threads that sit in iowait per unit of disk
+/// utilization: frameworks doing synchronous buffered I/O (Hadoop) block
+/// hardest; DataMPI's pipelined I/O hides most of the wait.
+double WaitIoCoefficient(Framework fw) {
+  switch (fw) {
+    case Framework::kHadoop:
+      return 0.24;
+    case Framework::kSpark:
+      return 0.18;
+    case Framework::kDataMPI:
+      return 0.09;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ResourceAverages ComputeAverages(Framework framework, const SimJobResult& job,
+                                 const cluster::ClusterSpec& spec,
+                                 const TimeSeries& mem_per_node, double t0,
+                                 double t1) {
+  ResourceAverages avg;
+  const double nodes = spec.num_nodes;
+  auto series_avg = [&](const char* name) {
+    auto it = job.series.find(name);
+    if (it == job.series.end()) return 0.0;
+    return it->second.AverageOver(t0, t1) / nodes;
+  };
+  const double cpu_threads = series_avg("cpu.threads");
+  avg.cpu_pct = 100.0 * cpu_threads / spec.node.hw_threads;
+  avg.disk_read_mbps = series_avg("disk.read_mbps");
+  avg.disk_write_mbps = series_avg("disk.write_mbps");
+  avg.net_mbps = series_avg("net.tx_mbps");
+  const double disk_util = (avg.disk_read_mbps + avg.disk_write_mbps) /
+                           spec.node.disk_mixed_mbps;
+  avg.cpu_wait_io_pct =
+      100.0 * std::min(1.0, disk_util) * WaitIoCoefficient(framework);
+  avg.mem_gb = mem_per_node.AverageOver(t0, t1);
+  return avg;
+}
+
+ExperimentResult SimulateWorkload(Framework framework,
+                                  const WorkloadProfile& profile,
+                                  int64_t data_bytes,
+                                  const ExperimentOptions& options) {
+  dfs::DfsConfig dfs_config = options.dfs;
+  dfs_config.block_size_bytes = options.run.block_mb << 20;
+  SimEnv env(options.cluster, dfs_config);
+
+  // Framework daemons occupy memory for the whole run.
+  double daemon_gb = 0.0;
+  switch (framework) {
+    case Framework::kHadoop:
+      daemon_gb = 1.3;
+      break;
+    case Framework::kSpark:
+      daemon_gb = 1.6;
+      break;
+    case Framework::kDataMPI:
+      daemon_gb = 1.0;
+      break;
+  }
+  for (int n = 0; n < env.cluster().num_nodes(); ++n) {
+    env.cluster().memory(n).Add(daemon_gb);
+  }
+
+  ExperimentResult result;
+  switch (framework) {
+    case Framework::kHadoop:
+      result.job = RunHadoopJob(&env, profile, data_bytes, options.run);
+      break;
+    case Framework::kSpark:
+      result.job = RunSparkJob(&env, profile, data_bytes, options.run);
+      break;
+    case Framework::kDataMPI:
+      result.job = RunDataMPIJob(&env, profile, data_bytes, options.run);
+      break;
+  }
+
+  if (options.run.monitor && result.job.seconds > 0) {
+    const TimeSeries mem = env.MemoryPerNodeSeries(result.job.seconds);
+    result.job.series["mem.per_node_gb"] = mem;
+    result.averages = ComputeAverages(framework, result.job, options.cluster,
+                                      mem, 0.0, result.job.seconds);
+  }
+  return result;
+}
+
+}  // namespace dmb::simfw

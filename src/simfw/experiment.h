@@ -1,0 +1,57 @@
+// Experiment runner: builds a fresh testbed, runs one framework model on
+// one workload/size, and derives the aggregate metrics the paper reports
+// (average CPU%, disk/network MB/s per node, memory footprint).
+
+#ifndef DATAMPI_BENCH_SIMFW_EXPERIMENT_H_
+#define DATAMPI_BENCH_SIMFW_EXPERIMENT_H_
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "dfs/namenode.h"
+#include "simfw/framework.h"
+#include "simfw/profiles.h"
+
+namespace dmb::simfw {
+
+/// \brief Derived per-node averages over an observation window.
+struct ResourceAverages {
+  double cpu_pct = 0.0;        // of all hardware threads
+  double cpu_wait_io_pct = 0.0;
+  double disk_read_mbps = 0.0;
+  double disk_write_mbps = 0.0;
+  double net_mbps = 0.0;       // tx per node
+  double mem_gb = 0.0;
+};
+
+/// \brief A complete simulated experiment.
+struct ExperimentResult {
+  SimJobResult job;
+  ResourceAverages averages;  // over [0, job.seconds]
+};
+
+/// \brief Experiment-level options (testbed + run knobs).
+struct ExperimentOptions {
+  cluster::ClusterSpec cluster;
+  dfs::DfsConfig dfs;
+  RunOptions run;
+};
+
+/// \brief Runs `framework` on `profile` at `data_bytes`; deterministic.
+ExperimentResult SimulateWorkload(Framework framework,
+                                  const WorkloadProfile& profile,
+                                  int64_t data_bytes,
+                                  const ExperimentOptions& options = {});
+
+/// \brief Computes per-node averages of a finished monitored run over
+/// [t0, t1]. Exposed for benches that need custom windows (the paper
+/// averages Figure 4 metrics over the *Hadoop* duration).
+ResourceAverages ComputeAverages(Framework framework,
+                                 const SimJobResult& job,
+                                 const cluster::ClusterSpec& spec,
+                                 const TimeSeries& mem_per_node, double t0,
+                                 double t1);
+
+}  // namespace dmb::simfw
+
+#endif  // DATAMPI_BENCH_SIMFW_EXPERIMENT_H_

@@ -1,0 +1,57 @@
+// Common types of the simulated framework runs.
+
+#ifndef DATAMPI_BENCH_SIMFW_FRAMEWORK_H_
+#define DATAMPI_BENCH_SIMFW_FRAMEWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/time_series.h"
+
+namespace dmb::simfw {
+
+/// \brief The three systems under study.
+enum class Framework { kHadoop, kSpark, kDataMPI };
+
+const char* FrameworkName(Framework fw);
+
+/// \brief Knobs of one simulated job run.
+struct RunOptions {
+  /// Concurrent task slots / workers per node (paper tuned value: 4).
+  int slots_per_node = 4;
+  /// HDFS block size in MB (paper tuned value: 256).
+  int64_t block_mb = 256;
+  /// Attach the dstat-style monitor (Figure 4 runs).
+  bool monitor = false;
+  double monitor_interval_s = 1.0;
+
+  // --- Ablation knobs (bench/ablation_pipeline) ---
+  /// Disable DataMPI's compute/communication overlap: key-value batches
+  /// are shipped only after the O task finishes computing.
+  bool datampi_disable_pipeline = false;
+  /// Force DataMPI A tasks to spill all received data to disk (Hadoop
+  /// style) regardless of the memory budget.
+  bool datampi_spill_always = false;
+};
+
+/// \brief Outcome of one simulated job.
+struct SimJobResult {
+  Status status;        // OK, or OutOfMemory for failed Spark runs
+  double seconds = 0.0;  // completion time (valid when status.ok())
+  /// End of the first phase (Hadoop map / Spark stage 0 / DataMPI O).
+  double phase1_seconds = 0.0;
+  /// Monitor series keyed as in cluster::WatchClusterResources, plus
+  /// "mem.total_gb" (cluster totals; divide by nodes for per-node).
+  std::map<std::string, TimeSeries> series;
+  /// Totals accounted by the model (MB).
+  double shuffle_mb = 0.0;
+  double hdfs_write_mb = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace dmb::simfw
+
+#endif  // DATAMPI_BENCH_SIMFW_FRAMEWORK_H_

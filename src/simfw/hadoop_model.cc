@@ -1,0 +1,265 @@
+// Hadoop 1.2.1 execution model.
+//
+// Structure: job init -> map waves over per-node slots (JVM startup per
+// task; read block / compute / spill-write overlap within a task; map
+// outputs land on local disk) -> shuffle fetches start as each map
+// finishes (disk read at the source + network) -> reduce tasks wait for
+// the full fetch, run an on-disk merge pass, reduce while writing the
+// replicated HDFS output -> job cleanup. The strict map->reduce barrier
+// and the disk round trip of intermediate data are the structural
+// differences from DataMPI.
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "simfw/model_util.h"
+#include "simfw/params.h"
+
+namespace dmb::simfw {
+
+namespace {
+
+using internal::JobBytes;
+using internal::RunTransfer;
+
+struct HadoopState {
+  SimEnv* env;
+  const WorkloadProfile* profile;
+  const HadoopParams* params;
+  RunOptions options;
+  JobBytes bytes;
+  int nodes;
+
+  std::vector<std::unique_ptr<sim::Semaphore>> map_slots;
+  std::vector<std::unique_ptr<sim::Semaphore>> reduce_slots;
+  std::unique_ptr<sim::WaitGroup> maps_done;
+  std::unique_ptr<sim::WaitGroup> shuffle_done;
+  std::unique_ptr<sim::WaitGroup> reduces_done;
+  double spill_factor = 1.0;
+  double phase1_end = 0.0;
+};
+
+sim::Proc ShuffleFetch(HadoopState* st, int src, int dst, double mb) {
+  // Fetch = read the spill at the source + ship it (overlapped stream).
+  auto& cl = st->env->cluster();
+  if (mb <= 0) co_return;
+  if (src == dst) {
+    co_await cl.ReadDisk(src, mb);
+  } else {
+    std::vector<sim::LinkId> links = {cl.disk_mixed(src), cl.disk_read(src),
+                                      cl.nic_tx(src), cl.nic_rx(dst)};
+    co_await sim::FluidSystem::Transfer(st->env->cluster().fluid(), links,
+                                        mb);
+  }
+}
+
+sim::Proc HadoopMapTask(HadoopState* st, int node, double block_disk_mb) {
+  auto& cl = st->env->cluster();
+  auto* sim = &st->env->sim();
+  const double task_mem = st->profile->hadoop.task_memory_gb > 0
+                              ? st->profile->hadoop.task_memory_gb
+                              : st->params->task_memory_gb;
+  co_await st->map_slots[static_cast<size_t>(node)]->Acquire();
+  cl.memory(node).Add(task_mem);
+  co_await sim::Delay(sim, st->params->task_startup_s);
+
+  const double logical_mb = block_disk_mb * st->bytes.logical_per_disk;
+  const auto& cost = st->profile->hadoop;
+  const double cpu_ts = logical_mb * cost.map_cpu_ts_per_mb *
+      internal::OvercommitCpuFactor(st->options.slots_per_node,
+                                    st->params->overcommit_cpu_penalty);
+  const double map_out_mb =
+      logical_mb * st->profile->shuffle_ratio * st->spill_factor;
+
+  // Read, compute and spill-write overlap inside the task.
+  sim::WaitGroup wg(sim);
+  sim::Spawner spawner(sim);
+  wg.Add(2);
+  spawner.Spawn(RunTransfer(cl.ReadDisk(node, block_disk_mb)), &wg);
+  spawner.Spawn(RunTransfer(cl.Compute(node, cpu_ts, cost.map_concurrency)),
+                &wg);
+  if (map_out_mb > 0) {
+    wg.Add(1);
+    spawner.Spawn(RunTransfer(cl.WriteDisk(node, map_out_mb)), &wg);
+  }
+  // Background JVM CPU (GC/serialization threads): off the critical path.
+  if (cost.background_cpu_per_mb > 0) {
+    st->env->spawner().Spawn(RunTransfer(cl.Compute(
+        node, logical_mb * cost.background_cpu_per_mb, 2.0)));
+  }
+  co_await wg.Wait();
+
+  cl.memory(node).Add(-task_mem);
+  st->map_slots[static_cast<size_t>(node)]->Release();
+
+  // Map output is now served to every reduce node (fetchers run in
+  // parallel with the remaining map waves).
+  const double slice =
+      logical_mb * st->profile->shuffle_ratio / st->nodes;
+  for (int j = 0; j < st->nodes; ++j) {
+    st->env->spawner().Spawn(ShuffleFetch(st, node, j, slice),
+                             st->shuffle_done.get());
+  }
+}
+
+sim::Proc HadoopReduceTask(HadoopState* st, int node, double shuffle_share_mb,
+                           double out_disk_share_mb) {
+  auto& cl = st->env->cluster();
+  auto* sim = &st->env->sim();
+  // Reducers of low-shuffle jobs (WordCount/Grep) stay on their initial
+  // small heaps; sort reducers grow to the full task footprint.
+  const double full_mem = st->profile->hadoop.task_memory_gb > 0
+                              ? st->profile->hadoop.task_memory_gb
+                              : st->params->task_memory_gb;
+  const double task_mem =
+      st->profile->shuffle_ratio >= 0.1 ? full_mem : 0.6;
+  co_await st->reduce_slots[static_cast<size_t>(node)]->Acquire();
+  cl.memory(node).Add(task_mem);
+  co_await sim::Delay(sim, st->params->task_startup_s);
+
+  co_await st->maps_done->Wait();
+  co_await st->shuffle_done->Wait();
+
+  // On-disk merge passes over the fetched runs (write + read back);
+  // large reduce inputs exceed io.sort.factor and need a second pass.
+  const double merge_mb =
+      shuffle_share_mb * st->params->reduce_merge_amplification;
+  if (merge_mb > 128.0) {
+    co_await cl.WriteDisk(node, merge_mb);
+    co_await cl.ReadDisk(node, merge_mb);
+    if (shuffle_share_mb > st->params->reduce_multi_pass_threshold_mb) {
+      // Second (partial) pass: only the overflow runs are re-merged.
+      co_await cl.WriteDisk(node, merge_mb * 0.5);
+      co_await cl.ReadDisk(node, merge_mb * 0.5);
+    }
+  }
+
+  // Reduce computation streams into the replicated HDFS output.
+  const auto& cost = st->profile->hadoop;
+  const double cpu_ts = shuffle_share_mb * cost.reduce_cpu_ts_per_mb *
+      internal::OvercommitCpuFactor(st->options.slots_per_node,
+                                    st->params->overcommit_cpu_penalty);
+  sim::WaitGroup wg(sim);
+  sim::Spawner spawner(sim);
+  wg.Add(2);
+  spawner.Spawn(RunTransfer(cl.Compute(node, cpu_ts,
+                                       cost.reduce_concurrency)),
+                &wg);
+  spawner.Spawn(st->env->hdfs().WriteAnonymous(
+                    node, static_cast<int64_t>(out_disk_share_mb) << 20),
+                &wg);
+  if (cost.background_cpu_per_mb > 0) {
+    st->env->spawner().Spawn(RunTransfer(cl.Compute(
+        node, shuffle_share_mb * cost.background_cpu_per_mb * 0.8, 2.0)));
+  }
+  co_await wg.Wait();
+
+  cl.memory(node).Add(-task_mem);
+  st->reduce_slots[static_cast<size_t>(node)]->Release();
+}
+
+sim::Proc HadoopJobDriver(HadoopState* st, double data_mb, bool first_job,
+                          double* phase1_out, double* end_out) {
+  auto* sim = &st->env->sim();
+  co_await sim::Delay(sim, st->params->job_init_s);
+
+  const auto input = st->env->CreateInput(
+      static_cast<int64_t>(st->bytes.disk_in_mb * 1024.0 * 1024.0));
+  const int num_maps = static_cast<int>(input.size());
+  const int num_reduces = st->nodes * st->options.slots_per_node;
+
+  st->maps_done = std::make_unique<sim::WaitGroup>(sim);
+  st->shuffle_done = std::make_unique<sim::WaitGroup>(sim);
+  st->reduces_done = std::make_unique<sim::WaitGroup>(sim);
+  st->maps_done->Add(num_maps);
+  st->shuffle_done->Add(num_maps * st->nodes);
+  st->reduces_done->Add(num_reduces);
+
+  int launched = 0;
+  for (const auto& block : input) {
+    // Heartbeat-paced task assignment.
+    if (launched > 0 &&
+        launched % (st->nodes * st->options.slots_per_node) == 0) {
+      co_await sim::Delay(sim, st->params->heartbeat_s);
+    }
+    st->env->spawner().Spawn(
+        HadoopMapTask(st, block.node,
+                      static_cast<double>(block.bytes) / (1024.0 * 1024.0)),
+        st->maps_done.get());
+    ++launched;
+  }
+
+  const double shuffle_share = st->bytes.shuffle_mb / num_reduces;
+  const double out_share = st->bytes.out_disk_mb / num_reduces;
+  for (int r = 0; r < num_reduces; ++r) {
+    st->env->spawner().Spawn(
+        HadoopReduceTask(st, r % st->nodes, shuffle_share, out_share),
+        st->reduces_done.get());
+  }
+
+  co_await st->maps_done->Wait();
+  if (first_job) *phase1_out = sim->Now();
+  co_await st->reduces_done->Wait();
+  co_await sim::Delay(sim, st->params->job_cleanup_s);
+  *end_out = sim->Now();
+  (void)data_mb;
+}
+
+}  // namespace
+
+SimJobResult RunHadoopJob(SimEnv* env, const WorkloadProfile& profile,
+                          int64_t data_bytes, const RunOptions& options) {
+  const HadoopParams& params = DefaultHadoopParams();
+  const double total_data_mb =
+      static_cast<double>(data_bytes) / (1024.0 * 1024.0);
+
+  SimJobResult result;
+  const double t0 = env->sim().Now();
+  double phase1 = 0.0;
+  double end_time = t0;
+
+  for (size_t i = 0; i < profile.chain_fractions.size(); ++i) {
+    // The monitor is restarted per chained job so that each inner
+    // sim.Run() can drain its event queue.
+    if (options.monitor) env->monitor().Start();
+    const double data_mb = total_data_mb * profile.chain_fractions[i];
+    HadoopState st;
+    st.env = env;
+    st.profile = &profile;
+    st.params = &params;
+    st.options = options;
+    st.bytes = internal::ComputeJobBytes(profile, data_mb);
+    st.nodes = env->cluster().num_nodes();
+    st.map_slots = internal::MakeSlots(&env->sim(), st.nodes,
+                                       options.slots_per_node);
+    st.reduce_slots = internal::MakeSlots(&env->sim(), st.nodes,
+                                          options.slots_per_node);
+    st.spill_factor = params.map_spill_amplification *
+                      internal::OvercommitSpillFactor(options.slots_per_node);
+    result.shuffle_mb += st.bytes.shuffle_mb;
+    result.hdfs_write_mb += st.bytes.out_disk_mb * 3;  // replication
+
+    sim::WaitGroup done(&env->sim());
+    done.Add(1);
+    env->spawner().Spawn(
+        HadoopJobDriver(&st, data_mb, i == 0, &phase1, &end_time), &done);
+    if (options.monitor) {
+      // Stop the monitor once this chained job finishes so Run() drains.
+      env->spawner().Spawn([](SimEnv* e, sim::WaitGroup* wg) -> sim::Proc {
+        co_await wg->Wait();
+        e->monitor().Stop();
+      }(env, &done));
+    }
+    env->sim().Run();
+    env->spawner().Sweep();
+  }
+
+  result.seconds = end_time - t0;
+  result.phase1_seconds = phase1 - t0;
+  if (options.monitor) {
+    result.series = env->monitor().all_series();
+  }
+  return result;
+}
+
+}  // namespace dmb::simfw

@@ -1,0 +1,41 @@
+#include "simfw/model_util.h"
+
+#include <algorithm>
+
+namespace dmb::simfw::internal {
+
+sim::Proc RunTransfer(sim::FluidSystem::Transfer t) { co_await t; }
+
+JobBytes ComputeJobBytes(const WorkloadProfile& profile, double data_mb) {
+  JobBytes b;
+  b.disk_in_mb = data_mb * profile.disk_in_ratio;
+  b.logical_mb = data_mb * profile.logical_ratio;
+  b.shuffle_mb = b.logical_mb * profile.shuffle_ratio;
+  b.out_logical_mb = b.logical_mb * profile.output_ratio;
+  b.out_disk_mb = b.out_logical_mb * profile.output_disk_ratio;
+  b.logical_per_disk =
+      profile.disk_in_ratio > 0
+          ? profile.logical_ratio / profile.disk_in_ratio
+          : 1.0;
+  return b;
+}
+
+std::vector<std::unique_ptr<sim::Semaphore>> MakeSlots(sim::Simulator* sim,
+                                                       int nodes, int slots) {
+  std::vector<std::unique_ptr<sim::Semaphore>> out;
+  out.reserve(static_cast<size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    out.push_back(std::make_unique<sim::Semaphore>(sim, slots));
+  }
+  return out;
+}
+
+double OvercommitSpillFactor(int slots_per_node) {
+  return 1.0 + 0.25 * std::max(0, slots_per_node - 4);
+}
+
+double OvercommitCpuFactor(int slots_per_node, double penalty) {
+  return 1.0 + penalty * std::max(0, slots_per_node - 4);
+}
+
+}  // namespace dmb::simfw::internal

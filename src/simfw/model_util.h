@@ -1,0 +1,44 @@
+// Internal helpers shared by the three framework models.
+
+#ifndef DATAMPI_BENCH_SIMFW_MODEL_UTIL_H_
+#define DATAMPI_BENCH_SIMFW_MODEL_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "simfw/env.h"
+#include "simfw/profiles.h"
+
+namespace dmb::simfw::internal {
+
+/// \brief Wraps a fluid transfer in a spawnable process.
+sim::Proc RunTransfer(sim::FluidSystem::Transfer t);
+
+/// \brief Derived byte quantities of one (possibly chained) job.
+struct JobBytes {
+  double disk_in_mb = 0.0;
+  double logical_mb = 0.0;
+  double shuffle_mb = 0.0;
+  double out_logical_mb = 0.0;
+  double out_disk_mb = 0.0;
+  double logical_per_disk = 1.0;
+};
+
+JobBytes ComputeJobBytes(const WorkloadProfile& profile, double data_mb);
+
+/// \brief Per-node task-slot semaphores.
+std::vector<std::unique_ptr<sim::Semaphore>> MakeSlots(sim::Simulator* sim,
+                                                       int nodes, int slots);
+
+/// \brief Overcommit spill multiplier: slots beyond the tuned 4/node
+/// shrink per-task sort buffers and add merge passes (Figure 2b's dip).
+double OvercommitSpillFactor(int slots_per_node);
+
+/// \brief Overcommit CPU multiplier: beyond 4 slots/node the smaller
+/// per-task heaps raise GC pressure and context-switch overhead, the
+/// other half of Figure 2b's dip.
+double OvercommitCpuFactor(int slots_per_node, double penalty = 0.30);
+
+}  // namespace dmb::simfw::internal
+
+#endif  // DATAMPI_BENCH_SIMFW_MODEL_UTIL_H_

@@ -1,0 +1,20 @@
+#include "simfw/params.h"
+
+namespace dmb::simfw {
+
+const HadoopParams& DefaultHadoopParams() {
+  static const HadoopParams params;
+  return params;
+}
+
+const SparkParams& DefaultSparkParams() {
+  static const SparkParams params;
+  return params;
+}
+
+const DataMPIParams& DefaultDataMPIParams() {
+  static const DataMPIParams params;
+  return params;
+}
+
+}  // namespace dmb::simfw

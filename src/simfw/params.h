@@ -1,0 +1,102 @@
+// Framework model constants (the calibration surface of the simulator).
+//
+// Structural behaviour (phases, pipelining, barriers, OOM policy, waves)
+// is coded in the *_model.cc files; these constants set magnitudes. They
+// were calibrated against the paper's anchor measurements:
+//   - 8 GB Text Sort: DataMPI 69 s (O phase 28 s), Hadoop 117 s (map
+//     36 s), Spark 114 s (stage 0 38 s)   [Section 4.4]
+//   - 32 GB WordCount: DataMPI ~= Spark ~= 130 s, Hadoop 275 s
+//   - small jobs (Figure 5): DataMPI ~= Spark, ~54% faster than Hadoop.
+
+#ifndef DATAMPI_BENCH_SIMFW_PARAMS_H_
+#define DATAMPI_BENCH_SIMFW_PARAMS_H_
+
+namespace dmb::simfw {
+
+/// \brief Hadoop 1.2.1 execution-model constants.
+struct HadoopParams {
+  /// Job submission + setup task + JobTracker init (seconds).
+  double job_init_s = 9.0;
+  /// Job cleanup task + client polling granularity.
+  double job_cleanup_s = 5.0;
+  /// JVM spawn + localization per task attempt.
+  double task_startup_s = 1.8;
+  /// TaskTracker heartbeat: scheduling latency between task waves.
+  double heartbeat_s = 1.0;
+  /// Fraction of maps that must finish before reducers are launched.
+  double slowstart = 0.05;
+  /// Map output spill amplification (sort+spill+merge disk passes).
+  double map_spill_amplification = 1.0;
+  /// Extra spill passes when slots exceed the tuned 4/node (smaller
+  /// per-task sort buffer -> more merge passes). Drives Figure 2(b).
+  double overcommit_spill_penalty = 0.3;
+  /// Reduce-side on-disk merge amplification (write + read once).
+  double reduce_merge_amplification = 1.0;
+  /// Reduce inputs above this size need a second on-disk merge pass
+  /// (io.sort.factor exceeded) — the superlinear tail of Figure 3(a/b).
+  double reduce_multi_pass_threshold_mb = 1500.0;
+  /// CPU penalty per slot beyond 4/node (GC + context switches).
+  double overcommit_cpu_penalty = 0.45;
+  /// Memory per running task (GB): JVM heap + native overhead.
+  double task_memory_gb = 1.85;
+  /// DataNode + TaskTracker daemons (GB).
+  double daemon_memory_gb = 1.3;
+};
+
+/// \brief Spark 0.8.1 execution-model constants.
+struct SparkParams {
+  /// Driver + DAG scheduler init for a job.
+  double job_init_s = 5.5;
+  double job_cleanup_s = 1.5;
+  /// Per-task launch (threads in a running executor, no JVM spawn).
+  double task_startup_s = 0.25;
+  /// Stage scheduling gap.
+  double stage_gap_s = 0.6;
+  /// JVM object expansion of data materialized on-heap (Java strings /
+  /// boxed pairs vs raw bytes).
+  double heap_expansion = 3.6;
+  /// Extra copy factor a sortByKey materialization needs.
+  double sort_copy_factor = 2.0;
+  /// Usable executor heap per node (GB) - "as large as possible" on a
+  /// 16 GB node after OS + daemons + headroom.
+  double heap_per_node_gb = 11.5;
+  /// Worker baseline memory (GB).
+  double daemon_memory_gb = 1.6;
+  /// Memory per running task beyond data (GB).
+  double task_memory_gb = 0.8;
+  /// Safety factor on the OOM check (partition skew).
+  double oom_skew = 1.15;
+  /// CPU penalty per slot beyond 4/node: shrinking per-worker heaps hit
+  /// Spark's GC harder than the other two (Figure 2b dip).
+  double overcommit_cpu_penalty = 0.50;
+};
+
+/// \brief DataMPI execution-model constants.
+struct DataMPIParams {
+  /// mpirun launch + communicator setup.
+  double job_init_s = 4.5;
+  double job_cleanup_s = 1.5;
+  /// O/A task activation (processes pre-spawned by the launcher).
+  double task_startup_s = 0.25;
+  /// A-side in-memory buffer per node (GB) before spilling to disk.
+  double a_buffer_per_node_gb = 4.0;
+  /// Fraction of a spilled byte that must be re-read at merge time.
+  double spill_reread_fraction = 1.0;
+  /// Per-process memory (GB): JVM-based library, lean buffers.
+  double task_memory_gb = 0.95;
+  double daemon_memory_gb = 1.0;
+  /// Intermediate data is buffered in memory at the A side: GB growth
+  /// per logical GB received (serialized form, no object blowup).
+  double buffer_expansion = 1.1;
+  /// CPU penalty per slot beyond 4/node.
+  double overcommit_cpu_penalty = 0.30;
+};
+
+/// \brief Returns the singleton default parameter sets.
+const HadoopParams& DefaultHadoopParams();
+const SparkParams& DefaultSparkParams();
+const DataMPIParams& DefaultDataMPIParams();
+
+}  // namespace dmb::simfw
+
+#endif  // DATAMPI_BENCH_SIMFW_PARAMS_H_

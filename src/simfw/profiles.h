@@ -1,0 +1,79 @@
+// Workload profiles: the per-framework resource intensity of each
+// BigDataBench workload.
+//
+// Byte bookkeeping, for a run of "data size" D (the figures' x-axis):
+//   disk input  = D * disk_in_ratio      (compressed sequence files < D)
+//   logical     = D * logical_ratio      (record bytes tasks process;
+//                                         ToSeqFile's key=value dup: x2)
+//   shuffle     = logical * shuffle_ratio (post-combiner intermediate)
+//   out logical = logical * output_ratio
+//   out disk    = out logical * output_disk_ratio (pre-replication)
+// CPU is thread-seconds per logical MB; concurrency is the per-task
+// thread cap (a JVM map task with serializer + GC threads is ~2-3x a
+// plain loop — this is why Hadoop's CPU% in Figure 4(e) triples
+// DataMPI's while being slower).
+
+#ifndef DATAMPI_BENCH_SIMFW_PROFILES_H_
+#define DATAMPI_BENCH_SIMFW_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+namespace dmb::simfw {
+
+/// \brief Per-framework map/reduce CPU intensity.
+struct FrameworkCost {
+  double map_cpu_ts_per_mb = 0.0;     // thread-seconds per logical MB read
+  double map_concurrency = 1.0;       // thread cap per map/O/stage0 task
+  double reduce_cpu_ts_per_mb = 0.0;  // per shuffled MB
+  double reduce_concurrency = 1.0;
+  /// Off-critical-path CPU per logical MB (GC, serialization and I/O
+  /// service threads): burns CPU (Figure 4 utilization) without
+  /// extending the task unless the node's CPU saturates.
+  double background_cpu_per_mb = 0.0;
+  /// Resident memory per running task (GB); 0 = framework default.
+  double task_memory_gb = 0.0;
+};
+
+/// \brief One workload's shape.
+struct WorkloadProfile {
+  std::string name;
+
+  double disk_in_ratio = 1.0;
+  double logical_ratio = 1.0;
+  double shuffle_ratio = 1.0;
+  double output_ratio = 1.0;
+  double output_disk_ratio = 1.0;
+
+  FrameworkCost hadoop;
+  FrameworkCost spark;
+  FrameworkCost datampi;
+
+  /// BigDataBench 2.1 has no Spark implementation of Naive Bayes.
+  bool spark_supported = true;
+  /// Whether the reduce side must materialize the full shuffle (sort).
+  bool reduce_materializes_all = false;
+  /// Extra on-heap expansion for Spark beyond the generic factor
+  /// (decompressed sequence records become boxed key+value pairs).
+  double spark_expansion_extra = 1.0;
+  /// Whether Spark caches the stage-0 RDD (K-means does).
+  bool spark_caches_input = false;
+  /// Chained jobs: fraction of D each successive job processes (Naive
+  /// Bayes runs a Mahout pipeline; every job repays init/cleanup).
+  std::vector<double> chain_fractions = {1.0};
+};
+
+/// \brief Profiles for the five paper workloads (Table 1).
+const WorkloadProfile& TextSortProfile();
+const WorkloadProfile& NormalSortProfile();
+const WorkloadProfile& WordCountProfile();
+const WorkloadProfile& GrepProfile();
+const WorkloadProfile& KmeansProfile();
+const WorkloadProfile& NaiveBayesProfile();
+
+/// \brief All six, in figure order.
+std::vector<const WorkloadProfile*> AllProfiles();
+
+}  // namespace dmb::simfw
+
+#endif  // DATAMPI_BENCH_SIMFW_PROFILES_H_

@@ -1,0 +1,257 @@
+// Spark 0.8.1 execution model.
+//
+// Structure: short driver/DAG init -> stage 0 tasks over executor
+// threads (no JVM spawn per task; read block / compute / shuffle-file
+// write overlap) -> stage boundary: reduce-side fetch (disk + network)
+// -> stage 1 materializes its input on-heap. If the materialization
+// (heap_expansion x sort copy) exceeds the executor heap, the job dies
+// with OutOfMemoryError — the paper's Normal Sort (all sizes) and Text
+// Sort (>8 GB) failures. K-means additionally caches the input RDD.
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "simfw/model_util.h"
+#include "simfw/params.h"
+
+namespace dmb::simfw {
+
+namespace {
+
+using internal::JobBytes;
+using internal::RunTransfer;
+
+struct SparkState {
+  SimEnv* env;
+  const WorkloadProfile* profile;
+  const SparkParams* params;
+  RunOptions options;
+  JobBytes bytes;
+  int nodes;
+
+  std::vector<std::unique_ptr<sim::Semaphore>> slots;
+  std::unique_ptr<sim::WaitGroup> stage0_done;
+  std::unique_ptr<sim::WaitGroup> fetch_done;
+  std::unique_ptr<sim::WaitGroup> stage1_done;
+  double spill_factor = 1.0;
+  bool oom = false;
+  double cached_gb_total = 0.0;
+};
+
+sim::Proc SparkFetch(SparkState* st, int src, int dst, double mb) {
+  auto& cl = st->env->cluster();
+  if (mb <= 0) co_return;
+  if (src == dst) {
+    co_await cl.ReadDisk(src, mb);
+  } else {
+    std::vector<sim::LinkId> links = {cl.disk_mixed(src), cl.disk_read(src),
+                                      cl.nic_tx(src), cl.nic_rx(dst)};
+    co_await sim::FluidSystem::Transfer(cl.fluid(), links, mb);
+  }
+}
+
+sim::Proc SparkStage0Task(SparkState* st, int node, double block_disk_mb) {
+  auto& cl = st->env->cluster();
+  auto* sim = &st->env->sim();
+  const double task_mem = st->profile->spark.task_memory_gb > 0
+                              ? st->profile->spark.task_memory_gb
+                              : st->params->task_memory_gb;
+  co_await st->slots[static_cast<size_t>(node)]->Acquire();
+  cl.memory(node).Add(task_mem);
+  co_await sim::Delay(sim, st->params->task_startup_s);
+
+  const double logical_mb = block_disk_mb * st->bytes.logical_per_disk;
+  const auto& cost = st->profile->spark;
+  const double cpu_ts = logical_mb * cost.map_cpu_ts_per_mb *
+      internal::OvercommitCpuFactor(st->options.slots_per_node,
+                                    st->params->overcommit_cpu_penalty);
+  const double shuffle_out_mb =
+      logical_mb * st->profile->shuffle_ratio * st->spill_factor;
+
+  sim::WaitGroup wg(sim);
+  sim::Spawner spawner(sim);
+  wg.Add(2);
+  spawner.Spawn(RunTransfer(cl.ReadDisk(node, block_disk_mb)), &wg);
+  spawner.Spawn(RunTransfer(cl.Compute(node, cpu_ts, cost.map_concurrency)),
+                &wg);
+  if (shuffle_out_mb > 0) {
+    wg.Add(1);
+    spawner.Spawn(RunTransfer(cl.WriteDisk(node, shuffle_out_mb)), &wg);
+  }
+  if (cost.background_cpu_per_mb > 0) {
+    st->env->spawner().Spawn(RunTransfer(cl.Compute(
+        node, logical_mb * cost.background_cpu_per_mb, 2.0)));
+  }
+  co_await wg.Wait();
+
+  if (st->profile->spark_caches_input) {
+    // RDD.cache(): sparse-vector records stay on-heap for later
+    // iterations (counted 1.2x their serialized size).
+    const double cached_gb = logical_mb * 1.2 / 1024.0;
+    cl.memory(node).Add(cached_gb);
+    st->cached_gb_total += cached_gb;
+  }
+
+  cl.memory(node).Add(-task_mem);
+  st->slots[static_cast<size_t>(node)]->Release();
+
+  const double slice = logical_mb * st->profile->shuffle_ratio / st->nodes;
+  for (int j = 0; j < st->nodes; ++j) {
+    st->env->spawner().Spawn(SparkFetch(st, node, j, slice),
+                             st->fetch_done.get());
+  }
+}
+
+sim::Proc SparkStage1Task(SparkState* st, int node, double shuffle_share_mb,
+                          double out_disk_share_mb, double heap_gb) {
+  auto& cl = st->env->cluster();
+  auto* sim = &st->env->sim();
+  co_await st->stage0_done->Wait();
+  co_await st->fetch_done->Wait();
+  if (st->oom) co_return;
+
+  // Materialize the fetched partition on-heap.
+  const double copies =
+      st->profile->reduce_materializes_all ? st->params->sort_copy_factor
+                                           : 1.0;
+  const double need_gb = shuffle_share_mb * st->params->heap_expansion *
+                         st->profile->spark_expansion_extra * copies *
+                         st->params->oom_skew / 1024.0;
+  cl.memory(node).Add(std::min(need_gb, heap_gb));
+  if (need_gb * st->options.slots_per_node +
+          st->cached_gb_total / st->nodes >
+      heap_gb) {
+    st->oom = true;  // executor OutOfMemoryError
+    co_return;
+  }
+
+  const auto& cost = st->profile->spark;
+  const double cpu_ts = shuffle_share_mb * cost.reduce_cpu_ts_per_mb *
+      internal::OvercommitCpuFactor(st->options.slots_per_node,
+                                    st->params->overcommit_cpu_penalty);
+  if (st->profile->reduce_materializes_all) {
+    // sortByKey must finish sorting the materialized partition before a
+    // single output byte can be written: sequential.
+    co_await cl.Compute(node, cpu_ts, cost.reduce_concurrency);
+    co_await st->env->hdfs().WriteAnonymous(
+        node, static_cast<int64_t>(out_disk_share_mb) << 20);
+  } else {
+    sim::WaitGroup wg(sim);
+    sim::Spawner spawner(sim);
+    wg.Add(2);
+    spawner.Spawn(RunTransfer(cl.Compute(node, cpu_ts,
+                                         cost.reduce_concurrency)),
+                  &wg);
+    spawner.Spawn(st->env->hdfs().WriteAnonymous(
+                      node, static_cast<int64_t>(out_disk_share_mb) << 20),
+                  &wg);
+    co_await wg.Wait();
+  }
+  cl.memory(node).Add(-std::min(need_gb, heap_gb));
+}
+
+sim::Proc SparkJobDriver(SparkState* st, bool first_job, double* phase1_out,
+                         double* end_out) {
+  auto* sim = &st->env->sim();
+  co_await sim::Delay(sim, st->params->job_init_s);
+
+  const auto input = st->env->CreateInput(
+      static_cast<int64_t>(st->bytes.disk_in_mb * 1024.0 * 1024.0));
+  const int num_stage1 = st->nodes * st->options.slots_per_node;
+
+  st->stage0_done = std::make_unique<sim::WaitGroup>(sim);
+  st->fetch_done = std::make_unique<sim::WaitGroup>(sim);
+  st->stage1_done = std::make_unique<sim::WaitGroup>(sim);
+  st->stage0_done->Add(static_cast<int>(input.size()));
+  st->fetch_done->Add(static_cast<int>(input.size()) * st->nodes);
+  st->stage1_done->Add(num_stage1);
+
+  for (const auto& block : input) {
+    st->env->spawner().Spawn(
+        SparkStage0Task(st, block.node,
+                        static_cast<double>(block.bytes) / (1024.0 * 1024.0)),
+        st->stage0_done.get());
+  }
+
+  const double share = st->bytes.shuffle_mb / num_stage1;
+  const double out_share = st->bytes.out_disk_mb / num_stage1;
+  for (int t = 0; t < num_stage1; ++t) {
+    st->env->spawner().Spawn(
+        SparkStage1Task(st, t % st->nodes, share, out_share,
+                        st->params->heap_per_node_gb),
+        st->stage1_done.get());
+  }
+
+  co_await st->stage0_done->Wait();
+  if (first_job) *phase1_out = sim->Now();
+  co_await sim::Delay(sim, st->params->stage_gap_s);
+  co_await st->stage1_done->Wait();
+  if (!st->oom) {
+    co_await sim::Delay(sim, st->params->job_cleanup_s);
+  }
+  *end_out = sim->Now();
+}
+
+}  // namespace
+
+SimJobResult RunSparkJob(SimEnv* env, const WorkloadProfile& profile,
+                         int64_t data_bytes, const RunOptions& options) {
+  const SparkParams& params = DefaultSparkParams();
+  SimJobResult result;
+  if (!profile.spark_supported) {
+    result.status = Status::NotImplemented(
+        profile.name + " has no Spark implementation in BigDataBench 2.1");
+    return result;
+  }
+  const double total_data_mb =
+      static_cast<double>(data_bytes) / (1024.0 * 1024.0);
+  const double t0 = env->sim().Now();
+  double phase1 = 0.0;
+  double end_time = t0;
+  bool oom = false;
+
+  for (size_t i = 0; i < profile.chain_fractions.size() && !oom; ++i) {
+    if (options.monitor) env->monitor().Start();
+    const double data_mb = total_data_mb * profile.chain_fractions[i];
+    SparkState st;
+    st.env = env;
+    st.profile = &profile;
+    st.params = &params;
+    st.options = options;
+    st.bytes = internal::ComputeJobBytes(profile, data_mb);
+    st.nodes = env->cluster().num_nodes();
+    st.slots = internal::MakeSlots(&env->sim(), st.nodes,
+                                   options.slots_per_node);
+    st.spill_factor = internal::OvercommitSpillFactor(options.slots_per_node);
+    result.shuffle_mb += st.bytes.shuffle_mb;
+    result.hdfs_write_mb += st.bytes.out_disk_mb * 3;
+
+    sim::WaitGroup done(&env->sim());
+    done.Add(1);
+    env->spawner().Spawn(
+        SparkJobDriver(&st, i == 0, &phase1, &end_time), &done);
+    if (options.monitor) {
+      env->spawner().Spawn([](SimEnv* e, sim::WaitGroup* wg) -> sim::Proc {
+        co_await wg->Wait();
+        e->monitor().Stop();
+      }(env, &done));
+    }
+    env->sim().Run();
+    env->spawner().Sweep();
+    oom = st.oom;
+  }
+
+  result.seconds = end_time - t0;
+  result.phase1_seconds = phase1 - t0;
+  if (oom) {
+    result.status = Status::OutOfMemory(
+        "Spark executor OutOfMemoryError while materializing " +
+        profile.name);
+  }
+  if (options.monitor) {
+    result.series = env->monitor().all_series();
+  }
+  return result;
+}
+
+}  // namespace dmb::simfw

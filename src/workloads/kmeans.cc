@@ -1,0 +1,333 @@
+#include "workloads/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/byte_buffer.h"
+#include "common/logging.h"
+#include "core/job.h"
+#include "mapreduce/mapreduce.h"
+#include "rddlite/rdd.h"
+
+namespace dmb::workloads {
+
+namespace {
+
+using datampi::DataMPIJob;
+using datampi::JobConfig;
+using datampi::KVPair;
+
+/// A per-cluster partial aggregate: running count + sparse sum.
+struct Partial {
+  int64_t count = 0;
+  std::map<uint32_t, double> sum;
+};
+
+std::string EncodePartial(const Partial& p) {
+  ByteBuffer buf;
+  buf.AppendVarint(static_cast<uint64_t>(p.count));
+  buf.AppendVarint(p.sum.size());
+  uint32_t prev = 0;
+  for (const auto& [idx, v] : p.sum) {
+    buf.AppendVarint(idx - prev);
+    prev = idx;
+    buf.AppendDouble(v);
+  }
+  return std::string(buf.view());
+}
+
+Result<Partial> DecodePartial(std::string_view data) {
+  ByteReader reader(data);
+  Partial p;
+  uint64_t count, n;
+  DMB_RETURN_NOT_OK(reader.ReadVarint(&count));
+  DMB_RETURN_NOT_OK(reader.ReadVarint(&n));
+  p.count = static_cast<int64_t>(count);
+  uint32_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t delta;
+    double v;
+    DMB_RETURN_NOT_OK(reader.ReadVarint(&delta));
+    DMB_RETURN_NOT_OK(reader.ReadDouble(&v));
+    prev += static_cast<uint32_t>(delta);
+    p.sum[prev] += v;
+  }
+  return p;
+}
+
+Partial PartialOfVector(const SparseVector& x) {
+  Partial p;
+  p.count = 1;
+  for (const auto& [idx, w] : x.entries) {
+    p.sum[idx] += static_cast<double>(w);
+  }
+  return p;
+}
+
+Status MergeInto(Partial* acc, std::string_view encoded) {
+  DMB_ASSIGN_OR_RETURN(Partial other, DecodePartial(encoded));
+  acc->count += other.count;
+  for (const auto& [idx, v] : other.sum) acc->sum[idx] += v;
+  return Status::OK();
+}
+
+std::string MergePartialStrings(std::string_view,
+                                const std::vector<std::string>& values) {
+  Partial acc;
+  for (const auto& v : values) {
+    DMB_CHECK_OK(MergeInto(&acc, v));
+  }
+  return EncodePartial(acc);
+}
+
+std::vector<double> CentroidNorms(const KmeansModel& model) {
+  std::vector<double> norms;
+  norms.reserve(model.centroids.size());
+  for (const auto& c : model.centroids) {
+    double n2 = 0.0;
+    for (double v : c) n2 += v * v;
+    norms.push_back(n2);
+  }
+  return norms;
+}
+
+/// Builds the next model from per-cluster merged partials. Clusters that
+/// received no points keep their previous centroid (Mahout behaviour).
+KmeansModel ModelFromPartials(const std::vector<KVPair>& merged,
+                              const KmeansModel& previous) {
+  KmeansModel next = previous;
+  next.counts.assign(previous.centroids.size(), 0);
+  for (const auto& kv : merged) {
+    const int cluster = std::stoi(kv.key);
+    DMB_CHECK(cluster >= 0 && cluster < previous.k());
+    auto partial = DecodePartial(kv.value);
+    DMB_CHECK(partial.ok());
+    if (partial->count == 0) continue;
+    auto& centroid = next.centroids[static_cast<size_t>(cluster)];
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (const auto& [idx, v] : partial->sum) {
+      if (idx < centroid.size()) {
+        centroid[idx] = v / static_cast<double>(partial->count);
+      }
+    }
+    next.counts[static_cast<size_t>(cluster)] = partial->count;
+  }
+  return next;
+}
+
+std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
+  return {n * static_cast<size_t>(part) / static_cast<size_t>(parts),
+          n * static_cast<size_t>(part + 1) / static_cast<size_t>(parts)};
+}
+
+}  // namespace
+
+double SparseDenseDistance2(const SparseVector& x,
+                            const std::vector<double>& centroid,
+                            double centroid_norm2) {
+  // ||x - c||^2 = ||x||^2 + ||c||^2 - 2<x, c>, touching only x's nnz.
+  double xnorm2 = 0.0, dot = 0.0;
+  for (const auto& [idx, w] : x.entries) {
+    const double wd = static_cast<double>(w);
+    xnorm2 += wd * wd;
+    if (idx < centroid.size()) dot += wd * centroid[idx];
+  }
+  double d2 = xnorm2 + centroid_norm2 - 2.0 * dot;
+  return d2 < 0.0 ? 0.0 : d2;
+}
+
+int NearestCentroid(const SparseVector& x, const KmeansModel& model,
+                    const std::vector<double>& centroid_norms2) {
+  int best = 0;
+  double best_d2 = SparseDenseDistance2(x, model.centroids[0],
+                                        centroid_norms2[0]);
+  for (int c = 1; c < model.k(); ++c) {
+    const double d2 = SparseDenseDistance2(
+        x, model.centroids[static_cast<size_t>(c)],
+        centroid_norms2[static_cast<size_t>(c)]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KmeansModel InitialCentroids(const std::vector<SparseVector>& vectors, int k,
+                             uint32_t dim) {
+  DMB_CHECK(static_cast<size_t>(k) <= vectors.size());
+  KmeansModel model;
+  model.centroids.assign(static_cast<size_t>(k),
+                         std::vector<double>(dim, 0.0));
+  model.counts.assign(static_cast<size_t>(k), 0);
+  for (int c = 0; c < k; ++c) {
+    for (const auto& [idx, w] : vectors[static_cast<size_t>(c)].entries) {
+      if (idx < dim) {
+        model.centroids[static_cast<size_t>(c)][idx] =
+            static_cast<double>(w);
+      }
+    }
+  }
+  return model;
+}
+
+KmeansModel KmeansIterationReference(const std::vector<SparseVector>& vectors,
+                                     const KmeansModel& model) {
+  const auto norms = CentroidNorms(model);
+  std::vector<Partial> partials(static_cast<size_t>(model.k()));
+  for (const auto& x : vectors) {
+    const int c = NearestCentroid(x, model, norms);
+    auto& p = partials[static_cast<size_t>(c)];
+    ++p.count;
+    for (const auto& [idx, w] : x.entries) {
+      p.sum[idx] += static_cast<double>(w);
+    }
+  }
+  std::vector<KVPair> merged;
+  for (int c = 0; c < model.k(); ++c) {
+    merged.push_back(KVPair{std::to_string(c),
+                            EncodePartial(partials[static_cast<size_t>(c)])});
+  }
+  return ModelFromPartials(merged, model);
+}
+
+Result<KmeansModel> KmeansIterationDataMPI(
+    const std::vector<SparseVector>& vectors, const KmeansModel& model,
+    const EngineConfig& config) {
+  const auto norms = CentroidNorms(model);
+  JobConfig job_config;
+  job_config.num_o_ranks = config.parallelism;
+  job_config.num_a_ranks = config.parallelism;
+  job_config.combiner = MergePartialStrings;
+  DataMPIJob job(job_config);
+  DMB_ASSIGN_OR_RETURN(
+      datampi::JobResult result,
+      job.Run(
+          [&](datampi::OContext* ctx) -> Status {
+            auto [begin, end] =
+                SplitRange(vectors.size(), ctx->task_id(), config.parallelism);
+            // Local per-cluster accumulation, then one emit per cluster
+            // (the Mahout-transplant pattern the paper describes).
+            std::vector<Partial> partials(static_cast<size_t>(model.k()));
+            for (size_t i = begin; i < end; ++i) {
+              const int c = NearestCentroid(vectors[i], model, norms);
+              auto& p = partials[static_cast<size_t>(c)];
+              ++p.count;
+              for (const auto& [idx, w] : vectors[i].entries) {
+                p.sum[idx] += static_cast<double>(w);
+              }
+            }
+            for (int c = 0; c < model.k(); ++c) {
+              const auto& p = partials[static_cast<size_t>(c)];
+              if (p.count == 0) continue;
+              DMB_RETURN_NOT_OK(
+                  ctx->Emit(std::to_string(c), EncodePartial(p)));
+            }
+            return Status::OK();
+          },
+          [](std::string_view key, const std::vector<std::string>& values,
+             datampi::AEmitter* out) -> Status {
+            out->Emit(key, MergePartialStrings(key, values));
+            return Status::OK();
+          }));
+  return ModelFromPartials(result.Merged(), model);
+}
+
+Result<KmeansModel> KmeansIterationMapReduce(
+    const std::vector<SparseVector>& vectors, const KmeansModel& model,
+    const EngineConfig& config) {
+  const auto norms = CentroidNorms(model);
+  mapreduce::MRConfig mr;
+  mr.num_map_tasks = config.parallelism;
+  mr.num_reduce_tasks = config.parallelism;
+  mr.slots = config.parallelism;
+  mr.combiner = MergePartialStrings;
+  // Records are vector indexes; the map function looks them up.
+  std::vector<std::string> indexes(vectors.size());
+  for (size_t i = 0; i < vectors.size(); ++i) indexes[i] = std::to_string(i);
+  DMB_ASSIGN_OR_RETURN(
+      mapreduce::MRResult result,
+      mapreduce::RunMapReduce(
+          mr, indexes,
+          [&](std::string_view, std::string_view value,
+              mapreduce::MapContext* ctx) -> Status {
+            const size_t i = std::stoull(std::string(value));
+            const int c = NearestCentroid(vectors[i], model, norms);
+            ctx->Emit(std::to_string(c),
+                      EncodePartial(PartialOfVector(vectors[i])));
+            return Status::OK();
+          },
+          [](std::string_view key, const std::vector<std::string>& values,
+             mapreduce::ReduceContext* ctx) -> Status {
+            ctx->Emit(key, MergePartialStrings(key, values));
+            return Status::OK();
+          }));
+  return ModelFromPartials(result.Merged(), model);
+}
+
+Result<KmeansModel> KmeansIterationRdd(
+    const std::vector<SparseVector>& vectors, const KmeansModel& model,
+    const EngineConfig& config) {
+  const auto norms = CentroidNorms(model);
+  rddlite::RddContext::Options options;
+  options.slots = config.parallelism;
+  rddlite::RddContext ctx(options);
+  std::vector<int64_t> indexes(vectors.size());
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    indexes[i] = static_cast<int64_t>(i);
+  }
+  auto rdd = ctx.Parallelize(indexes, config.parallelism);
+  auto pairs = rdd->Map<std::pair<std::string, std::string>>(
+      [&](const int64_t& i) {
+        const auto& x = vectors[static_cast<size_t>(i)];
+        const int c = NearestCentroid(x, model, norms);
+        return std::make_pair(std::to_string(c),
+                              EncodePartial(PartialOfVector(x)));
+      });
+  auto reduced = rddlite::ReduceByKey<std::string, std::string>(
+      pairs,
+      [](const std::string& a, const std::string& b) {
+        return MergePartialStrings("", {a, b});
+      },
+      config.parallelism);
+  DMB_ASSIGN_OR_RETURN(auto collected, reduced->Collect());
+  std::vector<KVPair> merged;
+  for (auto& [k, v] : collected) merged.push_back(KVPair{k, v});
+  return ModelFromPartials(merged, model);
+}
+
+Result<std::pair<KmeansModel, int>> KmeansTrainDataMPI(
+    const std::vector<SparseVector>& vectors, int k, uint32_t dim,
+    double threshold, int max_iterations, const EngineConfig& config) {
+  KmeansModel model = InitialCentroids(vectors, k, dim);
+  int iterations = 0;
+  while (iterations < max_iterations) {
+    DMB_ASSIGN_OR_RETURN(KmeansModel next,
+                         KmeansIterationDataMPI(vectors, model, config));
+    ++iterations;
+    const double shift = MaxCentroidShift(model, next);
+    model = std::move(next);
+    if (shift < threshold) break;
+  }
+  return std::make_pair(std::move(model), iterations);
+}
+
+double MaxCentroidShift(const KmeansModel& a, const KmeansModel& b) {
+  DMB_CHECK(a.k() == b.k());
+  double max_shift = 0.0;
+  for (int c = 0; c < a.k(); ++c) {
+    const auto& ca = a.centroids[static_cast<size_t>(c)];
+    const auto& cb = b.centroids[static_cast<size_t>(c)];
+    DMB_CHECK(ca.size() == cb.size());
+    double d2 = 0.0;
+    for (size_t i = 0; i < ca.size(); ++i) {
+      const double diff = ca[i] - cb[i];
+      d2 += diff * diff;
+    }
+    max_shift = std::max(max_shift, std::sqrt(d2));
+  }
+  return max_shift;
+}
+
+}  // namespace dmb::workloads

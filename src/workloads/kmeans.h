@@ -1,0 +1,74 @@
+// K-means (the paper's e-commerce application benchmark).
+//
+// Mahout-style MapReduce K-means: each iteration is one job. Map tasks
+// assign vectors to the nearest centroid and accumulate per-cluster
+// partial sums; reduce/A tasks merge partials and emit new centroids.
+// The paper measures the first training iteration; KmeansIteration*
+// implement exactly that step on each engine.
+
+#ifndef DATAMPI_BENCH_WORKLOADS_KMEANS_H_
+#define DATAMPI_BENCH_WORKLOADS_KMEANS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/vectors.h"
+#include "workloads/micro.h"
+
+namespace dmb::workloads {
+
+using datagen::SparseVector;
+
+/// \brief Dense centroids + membership counts after an iteration.
+struct KmeansModel {
+  std::vector<std::vector<double>> centroids;  // k x dim
+  std::vector<int64_t> counts;                 // k
+
+  int k() const { return static_cast<int>(centroids.size()); }
+};
+
+/// \brief Squared euclidean distance between a sparse point and a dense
+/// centroid with precomputed squared norm (the hot kernel; O(nnz)).
+double SparseDenseDistance2(const SparseVector& x,
+                            const std::vector<double>& centroid,
+                            double centroid_norm2);
+
+/// \brief Index of the nearest centroid.
+int NearestCentroid(const SparseVector& x, const KmeansModel& model,
+                    const std::vector<double>& centroid_norms2);
+
+/// \brief Deterministic initial centroids: the first k input vectors,
+/// densified (Mahout's canopy-less default behaves similarly).
+KmeansModel InitialCentroids(const std::vector<SparseVector>& vectors, int k,
+                             uint32_t dim);
+
+/// \brief Reference single-threaded iteration (verification oracle).
+KmeansModel KmeansIterationReference(const std::vector<SparseVector>& vectors,
+                                     const KmeansModel& model);
+
+/// \brief One iteration on each engine. All must agree with the oracle.
+Result<KmeansModel> KmeansIterationDataMPI(
+    const std::vector<SparseVector>& vectors, const KmeansModel& model,
+    const EngineConfig& config);
+Result<KmeansModel> KmeansIterationMapReduce(
+    const std::vector<SparseVector>& vectors, const KmeansModel& model,
+    const EngineConfig& config);
+Result<KmeansModel> KmeansIterationRdd(
+    const std::vector<SparseVector>& vectors, const KmeansModel& model,
+    const EngineConfig& config);
+
+/// \brief Runs iterations until the max centroid movement falls below
+/// `threshold` or `max_iterations` is reached; returns the final model
+/// and the number of iterations executed. Uses the DataMPI engine.
+Result<std::pair<KmeansModel, int>> KmeansTrainDataMPI(
+    const std::vector<SparseVector>& vectors, int k, uint32_t dim,
+    double threshold, int max_iterations, const EngineConfig& config);
+
+/// \brief Max L2 movement between two models' centroids.
+double MaxCentroidShift(const KmeansModel& a, const KmeansModel& b);
+
+}  // namespace dmb::workloads
+
+#endif  // DATAMPI_BENCH_WORKLOADS_KMEANS_H_

@@ -1,0 +1,81 @@
+// The three micro-benchmarks of the paper (Table 1): Sort (text and
+// "Normal" = compressed sequence-file), WordCount and Grep, each runnable
+// on all three functional engines (DataMPI, mapreduce, rddlite) with
+// identical results — the cross-engine agreement is asserted in tests.
+
+#ifndef DATAMPI_BENCH_WORKLOADS_MICRO_H_
+#define DATAMPI_BENCH_WORKLOADS_MICRO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workloads/text_utils.h"
+
+namespace dmb::workloads {
+
+/// \brief Parallelism of a functional run (tasks per engine).
+struct EngineConfig {
+  int parallelism = 4;  // O ranks == A ranks == map tasks == partitions
+};
+
+// ---- WordCount ------------------------------------------------------
+
+Result<std::map<std::string, int64_t>> WordCountDataMPI(
+    const std::vector<std::string>& lines, const EngineConfig& config);
+Result<std::map<std::string, int64_t>> WordCountMapReduce(
+    const std::vector<std::string>& lines, const EngineConfig& config);
+Result<std::map<std::string, int64_t>> WordCountRdd(
+    const std::vector<std::string>& lines, const EngineConfig& config);
+
+// ---- Grep -----------------------------------------------------------
+
+/// \brief Matching lines (sorted lexicographically for comparability)
+/// plus the total occurrence count, as BigDataBench's Grep reports.
+struct GrepResult {
+  std::vector<std::string> matched_lines;
+  int64_t total_matches = 0;
+};
+
+Result<GrepResult> GrepDataMPI(const std::vector<std::string>& lines,
+                               const std::string& pattern,
+                               const EngineConfig& config);
+Result<GrepResult> GrepMapReduce(const std::vector<std::string>& lines,
+                                 const std::string& pattern,
+                                 const EngineConfig& config);
+Result<GrepResult> GrepRdd(const std::vector<std::string>& lines,
+                           const std::string& pattern,
+                           const EngineConfig& config);
+
+// ---- Sort -----------------------------------------------------------
+
+/// \brief Text Sort: records are lines, sorted lexicographically;
+/// the output is globally ordered (range partitioning).
+Result<std::vector<std::string>> TextSortDataMPI(
+    const std::vector<std::string>& lines, const EngineConfig& config);
+Result<std::vector<std::string>> TextSortMapReduce(
+    const std::vector<std::string>& lines, const EngineConfig& config);
+Result<std::vector<std::string>> TextSortRdd(
+    const std::vector<std::string>& lines, const EngineConfig& config);
+
+/// \brief Normal Sort: input is a compressed sequence file (ToSeqFile
+/// output); records are decompressed, sorted by key, and re-encoded into
+/// a compressed sequence file. Returns the output file bytes.
+Result<std::string> NormalSortDataMPI(const std::string& seqfile,
+                                      const EngineConfig& config);
+Result<std::string> NormalSortMapReduce(const std::string& seqfile,
+                                        const EngineConfig& config);
+
+/// \brief Normal Sort on the Spark-like engine. `executor_budget_bytes`
+/// bounds the rddlite memory manager; because sortByKey materializes
+/// boxed key+value records, undersized budgets fail with OutOfMemory —
+/// the functional-plane analogue of the paper's Spark Normal Sort OOMs.
+Result<std::string> NormalSortRdd(const std::string& seqfile,
+                                  const EngineConfig& config,
+                                  int64_t executor_budget_bytes);
+
+}  // namespace dmb::workloads
+
+#endif  // DATAMPI_BENCH_WORKLOADS_MICRO_H_

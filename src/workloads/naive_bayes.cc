@@ -1,0 +1,223 @@
+#include "workloads/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/job.h"
+#include "mapreduce/mapreduce.h"
+#include "workloads/text_utils.h"
+
+namespace dmb::workloads {
+
+namespace {
+
+using datampi::KVPair;
+
+// Count keys on the wire:
+//   "t<label>\x01<term>" -> term count within class
+//   "d<label>"           -> document count of class
+std::string TermKey(int label, std::string_view term) {
+  std::string key = "t" + std::to_string(label);
+  key.push_back('\x01');
+  key.append(term);
+  return key;
+}
+
+std::string DocKey(int label) { return "d" + std::to_string(label); }
+
+std::string SumCombiner(std::string_view,
+                        const std::vector<std::string>& values) {
+  int64_t total = 0;
+  for (const auto& v : values) total += std::stoll(v);
+  return std::to_string(total);
+}
+
+Status ApplyCountToModel(NaiveBayesModel* model, std::string_view key,
+                         int64_t count) {
+  if (key.size() < 2) return Status::Corruption("short NB count key");
+  if (key[0] == 'd') {
+    model->AddDocCount(std::stoi(std::string(key.substr(1))), count);
+    return Status::OK();
+  }
+  if (key[0] == 't') {
+    const size_t sep = key.find('\x01');
+    if (sep == std::string_view::npos) {
+      return Status::Corruption("bad NB term key");
+    }
+    const int label = std::stoi(std::string(key.substr(1, sep - 1)));
+    model->AddTermCount(label, std::string(key.substr(sep + 1)), count);
+    return Status::OK();
+  }
+  return Status::Corruption("unknown NB key type");
+}
+
+Result<NaiveBayesModel> ModelFromCounts(const std::vector<KVPair>& counts,
+                                        int num_classes) {
+  NaiveBayesModel model(num_classes);
+  for (const auto& kv : counts) {
+    DMB_RETURN_NOT_OK(ApplyCountToModel(&model, kv.key, std::stoll(kv.value)));
+  }
+  return model;
+}
+
+std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
+  return {n * static_cast<size_t>(part) / static_cast<size_t>(parts),
+          n * static_cast<size_t>(part + 1) / static_cast<size_t>(parts)};
+}
+
+}  // namespace
+
+NaiveBayesModel::NaiveBayesModel(int num_classes)
+    : num_classes_(num_classes),
+      doc_counts_(static_cast<size_t>(num_classes), 0),
+      term_totals_(static_cast<size_t>(num_classes), 0),
+      term_counts_(static_cast<size_t>(num_classes)) {
+  DMB_CHECK(num_classes >= 1);
+}
+
+void NaiveBayesModel::AddTermCount(int label, const std::string& term,
+                                   int64_t count) {
+  DMB_CHECK(label >= 0 && label < num_classes_);
+  term_counts_[static_cast<size_t>(label)][term] += count;
+  term_totals_[static_cast<size_t>(label)] += count;
+  vocabulary_[term] = true;
+}
+
+void NaiveBayesModel::AddDocCount(int label, int64_t count) {
+  DMB_CHECK(label >= 0 && label < num_classes_);
+  doc_counts_[static_cast<size_t>(label)] += count;
+  total_docs_ += count;
+}
+
+int64_t NaiveBayesModel::TermCount(int label, const std::string& term) const {
+  const auto& counts = term_counts_[static_cast<size_t>(label)];
+  auto it = counts.find(term);
+  return it == counts.end() ? 0 : it->second;
+}
+
+double NaiveBayesModel::LogPosterior(int label,
+                                     const std::string& text) const {
+  DMB_CHECK(label >= 0 && label < num_classes_);
+  DMB_CHECK(total_docs_ > 0) << "model is empty";
+  const double vocab = static_cast<double>(
+      std::max<int64_t>(1, vocabulary_size()));
+  double log_p = std::log(
+      (static_cast<double>(doc_counts_[static_cast<size_t>(label)]) + 1.0) /
+      (static_cast<double>(total_docs_) + num_classes_));
+  const double denom =
+      static_cast<double>(term_totals_[static_cast<size_t>(label)]) + vocab;
+  ForEachToken(text, [&](std::string_view tok) {
+    const int64_t c = TermCount(label, std::string(tok));
+    log_p += std::log((static_cast<double>(c) + 1.0) / denom);
+  });
+  return log_p;
+}
+
+int NaiveBayesModel::Classify(const std::string& text) const {
+  int best = 0;
+  double best_lp = LogPosterior(0, text);
+  for (int c = 1; c < num_classes_; ++c) {
+    const double lp = LogPosterior(c, text);
+    if (lp > best_lp) {
+      best_lp = lp;
+      best = c;
+    }
+  }
+  return best;
+}
+
+bool NaiveBayesModel::operator==(const NaiveBayesModel& other) const {
+  return num_classes_ == other.num_classes_ &&
+         total_docs_ == other.total_docs_ &&
+         doc_counts_ == other.doc_counts_ &&
+         term_totals_ == other.term_totals_ &&
+         term_counts_ == other.term_counts_;
+}
+
+NaiveBayesModel TrainNaiveBayesReference(const std::vector<LabeledDoc>& docs,
+                                         int num_classes) {
+  NaiveBayesModel model(num_classes);
+  for (const auto& doc : docs) {
+    model.AddDocCount(doc.label, 1);
+    ForEachToken(doc.text, [&](std::string_view tok) {
+      model.AddTermCount(doc.label, std::string(tok), 1);
+    });
+  }
+  return model;
+}
+
+Result<NaiveBayesModel> TrainNaiveBayesDataMPI(
+    const std::vector<LabeledDoc>& docs, int num_classes,
+    const EngineConfig& config) {
+  datampi::JobConfig job_config;
+  job_config.num_o_ranks = config.parallelism;
+  job_config.num_a_ranks = config.parallelism;
+  job_config.combiner = SumCombiner;
+  datampi::DataMPIJob job(job_config);
+  DMB_ASSIGN_OR_RETURN(
+      datampi::JobResult result,
+      job.Run(
+          [&](datampi::OContext* ctx) -> Status {
+            auto [begin, end] =
+                SplitRange(docs.size(), ctx->task_id(), config.parallelism);
+            for (size_t i = begin; i < end; ++i) {
+              DMB_RETURN_NOT_OK(ctx->Emit(DocKey(docs[i].label), "1"));
+              Status st;
+              ForEachToken(docs[i].text, [&](std::string_view tok) {
+                if (st.ok()) st = ctx->Emit(TermKey(docs[i].label, tok), "1");
+              });
+              DMB_RETURN_NOT_OK(st);
+            }
+            return Status::OK();
+          },
+          [](std::string_view key, const std::vector<std::string>& values,
+             datampi::AEmitter* out) -> Status {
+            out->Emit(key, SumCombiner(key, values));
+            return Status::OK();
+          }));
+  return ModelFromCounts(result.Merged(), num_classes);
+}
+
+Result<NaiveBayesModel> TrainNaiveBayesMapReduce(
+    const std::vector<LabeledDoc>& docs, int num_classes,
+    const EngineConfig& config) {
+  mapreduce::MRConfig mr;
+  mr.num_map_tasks = config.parallelism;
+  mr.num_reduce_tasks = config.parallelism;
+  mr.slots = config.parallelism;
+  mr.combiner = SumCombiner;
+  std::vector<std::string> indexes(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) indexes[i] = std::to_string(i);
+  DMB_ASSIGN_OR_RETURN(
+      mapreduce::MRResult result,
+      mapreduce::RunMapReduce(
+          mr, indexes,
+          [&](std::string_view, std::string_view value,
+              mapreduce::MapContext* ctx) -> Status {
+            const auto& doc = docs[std::stoull(std::string(value))];
+            ctx->Emit(DocKey(doc.label), "1");
+            ForEachToken(doc.text, [&](std::string_view tok) {
+              ctx->Emit(TermKey(doc.label, tok), "1");
+            });
+            return Status::OK();
+          },
+          [](std::string_view key, const std::vector<std::string>& values,
+             mapreduce::ReduceContext* ctx) -> Status {
+            ctx->Emit(key, SumCombiner(key, values));
+            return Status::OK();
+          }));
+  return ModelFromCounts(result.Merged(), num_classes);
+}
+
+double EvaluateAccuracy(const NaiveBayesModel& model,
+                        const std::vector<LabeledDoc>& docs) {
+  if (docs.empty()) return 0.0;
+  int64_t correct = 0;
+  for (const auto& doc : docs) {
+    if (model.Classify(doc.text) == doc.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(docs.size());
+}
+
+}  // namespace dmb::workloads

@@ -1,0 +1,79 @@
+// Naive Bayes (the paper's social-network application benchmark).
+//
+// Mahout-style pipeline: counting jobs over labelled documents build
+// per-class term frequencies and document counts (the paper notes this
+// dominates runtime and "is similar to WordCount"); the model is a
+// multinomial Naive Bayes classifier with Laplace smoothing. Training is
+// implemented on all three engines; classification is a shared kernel.
+
+#ifndef DATAMPI_BENCH_WORKLOADS_NAIVE_BAYES_H_
+#define DATAMPI_BENCH_WORKLOADS_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/vectors.h"
+#include "workloads/micro.h"
+
+namespace dmb::workloads {
+
+using datagen::LabeledDoc;
+
+/// \brief Multinomial Naive Bayes model.
+class NaiveBayesModel {
+ public:
+  explicit NaiveBayesModel(int num_classes);
+
+  int num_classes() const { return num_classes_; }
+  int64_t total_docs() const { return total_docs_; }
+  int64_t vocabulary_size() const {
+    return static_cast<int64_t>(vocabulary_.size());
+  }
+
+  /// \brief Accumulates counts (used by the trainers).
+  void AddTermCount(int label, const std::string& term, int64_t count);
+  void AddDocCount(int label, int64_t count);
+
+  /// \brief Log P(label) + sum_t log P(t | label) with add-one smoothing.
+  double LogPosterior(int label, const std::string& text) const;
+
+  /// \brief argmax over classes of the log posterior.
+  int Classify(const std::string& text) const;
+
+  /// \brief Per-class document counts (tests/inspection).
+  const std::vector<int64_t>& doc_counts() const { return doc_counts_; }
+  const std::vector<int64_t>& term_totals() const { return term_totals_; }
+  int64_t TermCount(int label, const std::string& term) const;
+
+  bool operator==(const NaiveBayesModel& other) const;
+
+ private:
+  int num_classes_;
+  int64_t total_docs_ = 0;
+  std::vector<int64_t> doc_counts_;
+  std::vector<int64_t> term_totals_;
+  std::vector<std::unordered_map<std::string, int64_t>> term_counts_;
+  std::unordered_map<std::string, bool> vocabulary_;
+};
+
+/// \brief Reference single-threaded trainer (verification oracle).
+NaiveBayesModel TrainNaiveBayesReference(const std::vector<LabeledDoc>& docs,
+                                         int num_classes);
+
+Result<NaiveBayesModel> TrainNaiveBayesDataMPI(
+    const std::vector<LabeledDoc>& docs, int num_classes,
+    const EngineConfig& config);
+Result<NaiveBayesModel> TrainNaiveBayesMapReduce(
+    const std::vector<LabeledDoc>& docs, int num_classes,
+    const EngineConfig& config);
+
+/// \brief Fraction of docs whose predicted label matches the truth.
+double EvaluateAccuracy(const NaiveBayesModel& model,
+                        const std::vector<LabeledDoc>& docs);
+
+}  // namespace dmb::workloads
+
+#endif  // DATAMPI_BENCH_WORKLOADS_NAIVE_BAYES_H_

@@ -1,0 +1,150 @@
+#include "workloads/text_utils.h"
+
+namespace dmb::workloads {
+
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  ForEachToken(line, [&](std::string_view tok) { out.push_back(tok); });
+  return out;
+}
+
+void ForEachToken(std::string_view line,
+                  const std::function<void(std::string_view)>& fn) {
+  size_t i = 0;
+  const size_t n = line.size();
+  while (i < n) {
+    while (i < n && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const size_t begin = i;
+    while (i < n && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) fn(line.substr(begin, i - begin));
+  }
+}
+
+GrepPattern::GrepPattern(std::string pattern) : pattern_(std::move(pattern)) {
+  std::string_view p = pattern_;
+  if (!p.empty() && p.front() == '^') {
+    anchored_begin_ = true;
+    p.remove_prefix(1);
+  }
+  if (!p.empty() && p.back() == '$') {
+    anchored_end_ = true;
+    p.remove_suffix(1);
+  }
+  size_t i = 0;
+  while (i < p.size()) {
+    Atom atom;
+    if (p[i] == '.') {
+      atom.kind = Atom::Kind::kAny;
+      ++i;
+    } else if (p[i] == '[' && i + 4 < p.size() && p[i + 2] == '-' &&
+               p[i + 4] == ']') {
+      atom.kind = Atom::Kind::kClass;
+      atom.class_lo = p[i + 1];
+      atom.class_hi = p[i + 3];
+      i += 5;
+    } else {
+      atom.kind = Atom::Kind::kLiteral;
+      atom.literal = p[i];
+      ++i;
+    }
+    if (i < p.size() && p[i] == '*') {
+      atom.star = true;
+      ++i;
+    }
+    atoms_.push_back(atom);
+  }
+}
+
+bool GrepPattern::MatchHere(std::string_view text, size_t atom_idx,
+                            size_t* end) const {
+  // Backtracking matcher over the compiled atoms, starting at text[0].
+  if (atom_idx == atoms_.size()) {
+    if (anchored_end_ && !text.empty()) return false;
+    *end = 0;
+    return true;
+  }
+  const Atom& atom = atoms_[atom_idx];
+  auto matches_char = [&](char c) {
+    switch (atom.kind) {
+      case Atom::Kind::kLiteral:
+        return c == atom.literal;
+      case Atom::Kind::kAny:
+        return true;
+      case Atom::Kind::kClass:
+        return c >= atom.class_lo && c <= atom.class_hi;
+    }
+    return false;
+  };
+  if (atom.star) {
+    // Greedy with backtracking.
+    size_t max_take = 0;
+    while (max_take < text.size() && matches_char(text[max_take])) {
+      ++max_take;
+    }
+    for (size_t take = max_take + 1; take-- > 0;) {
+      size_t sub_end = 0;
+      if (MatchHere(text.substr(take), atom_idx + 1, &sub_end)) {
+        *end = take + sub_end;
+        return true;
+      }
+      if (take == 0) break;
+    }
+    return false;
+  }
+  if (text.empty() || !matches_char(text[0])) return false;
+  size_t sub_end = 0;
+  if (!MatchHere(text.substr(1), atom_idx + 1, &sub_end)) return false;
+  *end = 1 + sub_end;
+  return true;
+}
+
+bool GrepPattern::Matches(std::string_view line) const {
+  if (anchored_begin_) {
+    size_t end = 0;
+    return MatchHere(line, 0, &end);
+  }
+  for (size_t start = 0; start <= line.size(); ++start) {
+    size_t end = 0;
+    if (MatchHere(line.substr(start), 0, &end)) return true;
+    if (anchored_end_ && atoms_.empty()) break;
+  }
+  return false;
+}
+
+int GrepPattern::CountMatches(std::string_view line) const {
+  int count = 0;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t end = 0;
+    if (MatchHere(line.substr(start), 0, &end)) {
+      ++count;
+      start += end > 0 ? end : 1;
+    } else {
+      ++start;
+    }
+    if (anchored_begin_) break;
+  }
+  return count;
+}
+
+std::map<std::string, int64_t> ReferenceWordCount(
+    const std::vector<std::string>& lines) {
+  std::map<std::string, int64_t> counts;
+  for (const auto& line : lines) {
+    ForEachToken(line, [&](std::string_view tok) {
+      counts[std::string(tok)] += 1;
+    });
+  }
+  return counts;
+}
+
+std::vector<std::string> ReferenceGrep(const std::vector<std::string>& lines,
+                                       const GrepPattern& pattern) {
+  std::vector<std::string> out;
+  for (const auto& line : lines) {
+    if (pattern.Matches(line)) out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace dmb::workloads

@@ -1,0 +1,63 @@
+// Shared text-processing kernels used by the workloads.
+
+#ifndef DATAMPI_BENCH_WORKLOADS_TEXT_UTILS_H_
+#define DATAMPI_BENCH_WORKLOADS_TEXT_UTILS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmb::workloads {
+
+/// \brief Splits on runs of spaces/tabs; empty tokens are dropped.
+std::vector<std::string_view> Tokenize(std::string_view line);
+
+/// \brief Calls `fn` for every token without materializing a vector.
+void ForEachToken(std::string_view line,
+                  const std::function<void(std::string_view)>& fn);
+
+/// \brief Grep matcher: a tiny regex subset ("literal", '.', '*' on the
+/// previous atom, '^'/'$' anchors, "[a-z]" classes) compiled once and
+/// applied per line — the shape of BigDataBench's Grep workload.
+class GrepPattern {
+ public:
+  explicit GrepPattern(std::string pattern);
+
+  /// \brief True if the pattern occurs anywhere in the line (unanchored
+  /// unless '^'/'$' are used).
+  bool Matches(std::string_view line) const;
+
+  /// \brief Number of non-overlapping occurrences.
+  int CountMatches(std::string_view line) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  struct Atom {
+    enum class Kind { kLiteral, kAny, kClass } kind = Kind::kLiteral;
+    char literal = 0;
+    char class_lo = 0, class_hi = 0;
+    bool star = false;
+  };
+  bool MatchHere(std::string_view text, size_t atom_idx, size_t* end) const;
+
+  std::string pattern_;
+  std::vector<Atom> atoms_;
+  bool anchored_begin_ = false;
+  bool anchored_end_ = false;
+};
+
+/// \brief Reference single-threaded word count (verification oracle).
+std::map<std::string, int64_t> ReferenceWordCount(
+    const std::vector<std::string>& lines);
+
+/// \brief Reference grep: returns matching lines in order.
+std::vector<std::string> ReferenceGrep(const std::vector<std::string>& lines,
+                                       const GrepPattern& pattern);
+
+}  // namespace dmb::workloads
+
+#endif  // DATAMPI_BENCH_WORKLOADS_TEXT_UTILS_H_

@@ -1,0 +1,361 @@
+// Tests for src/common: status/result, units, rng + zipf, hashing,
+// byte buffers, time series, properties, temp dirs, thread pool.
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/byte_buffer.h"
+#include "common/hash.h"
+#include "common/properties.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/temp_dir.h"
+#include "common/thread_pool.h"
+#include "common/time_series.h"
+#include "common/units.h"
+
+namespace dmb {
+namespace {
+
+// ---- Status / Result ----
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status st = Status::IOError("disk gone");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.ToString(), "IOError: disk gone");
+  Status ctx = st.WithContext("reading block 7");
+  EXPECT_EQ(ctx.ToString(), "IOError: reading block 7: disk gone");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad = Status::NotFound("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return x * 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  DMB_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  *out = doubled;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(UseAssignOrReturn(-1, &out).ok());
+}
+
+// ---- Units ----
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(8 * kGiB), "8.0 GiB");
+  EXPECT_EQ(FormatBytes(256 * kMiB), "256.0 MiB");
+}
+
+TEST(UnitsTest, ParseBytesRoundTrips) {
+  EXPECT_EQ(ParseBytes("256MB"), 256 * kMiB);
+  EXPECT_EQ(ParseBytes("8GiB"), 8 * kGiB);
+  EXPECT_EQ(ParseBytes("64k"), 64 * kKiB);
+  EXPECT_EQ(ParseBytes("1.5GB"), kGiB + kGiB / 2);
+  EXPECT_EQ(ParseBytes("123"), 123);
+  EXPECT_EQ(ParseBytes("garbage"), -1);
+  EXPECT_EQ(ParseBytes(""), -1);
+  EXPECT_EQ(ParseBytes("12XB"), -1);
+}
+
+// ---- Rng / Zipf ----
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next64(), b.Next64());
+  EXPECT_NE(a.Next64(), c.Next64());
+}
+
+TEST(RngTest, UniformBoundsRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+class ZipfParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfParamTest, EmpiricalFrequenciesFollowPmf) {
+  const double s = GetParam();
+  constexpr uint64_t kN = 1000;
+  ZipfSampler zipf(kN, s);
+  Rng rng(101);
+  constexpr int kSamples = 200000;
+  std::vector<int> histogram(kN, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t k = zipf.Sample(&rng);
+    ASSERT_LT(k, kN);
+    ++histogram[k];
+  }
+  // Head items must match the analytic pmf within a few percent.
+  for (uint64_t k : {0ull, 1ull, 2ull, 5ull, 10ull}) {
+    const double expect = zipf.Pmf(k) * kSamples;
+    EXPECT_NEAR(histogram[k], expect, std::max(40.0, expect * 0.08))
+        << "rank " << k << " s=" << s;
+  }
+  // Monotone head: rank 0 strictly more popular than rank 20.
+  EXPECT_GT(histogram[0], histogram[20]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfParamTest,
+                         ::testing::Values(0.8, 1.0, 1.2));
+
+// ---- Hashing ----
+
+TEST(HashTest, StableKnownValues) {
+  // Values must never change across runs/platforms (partitioning
+  // stability); pin them.
+  const uint64_t h = Hash64("datampi");
+  EXPECT_EQ(h, Hash64("datampi"));
+  EXPECT_NE(Hash64("datampi"), Hash64("datampj"));
+  EXPECT_NE(Hash64("", 0), Hash64("", 1));
+}
+
+TEST(HashTest, AllLengthsUpTo64RoundTripDistinctly) {
+  std::set<uint64_t> seen;
+  std::string s;
+  for (int len = 0; len <= 64; ++len) {
+    seen.insert(Hash64(s));
+    s.push_back(static_cast<char>('a' + len % 26));
+  }
+  EXPECT_EQ(seen.size(), 65u) << "no collisions on trivial inputs";
+}
+
+// ---- ByteBuffer / varint ----
+
+TEST(ByteBufferTest, VarintRoundTripEdgeCases) {
+  ByteBuffer buf;
+  const std::vector<uint64_t> values = {0,    1,     127,        128,
+                                        255,  16384, 0xFFFFFFFF, uint64_t(-1)};
+  for (uint64_t v : values) buf.AppendVarint(v);
+  ByteReader reader(buf);
+  for (uint64_t v : values) {
+    uint64_t out;
+    ASSERT_TRUE(reader.ReadVarint(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteBufferTest, SignedVarintZigZag) {
+  ByteBuffer buf;
+  const std::vector<int64_t> values = {0, -1, 1, -64, 64, INT64_MIN,
+                                       INT64_MAX};
+  for (int64_t v : values) buf.AppendVarintSigned(v);
+  ByteReader reader(buf);
+  for (int64_t v : values) {
+    int64_t out;
+    ASSERT_TRUE(reader.ReadVarintSigned(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(ByteBufferTest, LengthPrefixedZeroCopy) {
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed("hello");
+  buf.AppendLengthPrefixed("");
+  ByteReader reader(buf);
+  std::string_view a, b;
+  ASSERT_TRUE(reader.ReadLengthPrefixed(&a).ok());
+  ASSERT_TRUE(reader.ReadLengthPrefixed(&b).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+}
+
+TEST(ByteBufferTest, TruncatedReadsFail) {
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed("hello");
+  ByteReader reader(buf.data(), buf.size() - 1);
+  std::string_view out;
+  EXPECT_FALSE(reader.ReadLengthPrefixed(&out).ok());
+}
+
+// ---- TimeSeries ----
+
+TEST(TimeSeriesTest, SampleAndHoldSemantics) {
+  TimeSeries ts("x");
+  ts.Add(1.0, 10.0);
+  ts.Add(3.0, 20.0);
+  EXPECT_EQ(ts.ValueAt(0.5), 0.0);
+  EXPECT_EQ(ts.ValueAt(1.0), 10.0);
+  EXPECT_EQ(ts.ValueAt(2.9), 10.0);
+  EXPECT_EQ(ts.ValueAt(3.0), 20.0);
+  EXPECT_EQ(ts.ValueAt(100.0), 20.0);
+}
+
+TEST(TimeSeriesTest, IntegralAndAverage) {
+  TimeSeries ts("x");
+  ts.Add(0.0, 10.0);
+  ts.Add(10.0, 0.0);
+  // 10 for t in [0,10), 0 after.
+  EXPECT_NEAR(ts.IntegralOver(0, 20), 100.0, 1e-9);
+  EXPECT_NEAR(ts.AverageOver(0, 20), 5.0, 1e-9);
+  EXPECT_NEAR(ts.AverageOver(0, 10), 10.0, 1e-9);
+  EXPECT_NEAR(ts.AverageOver(5, 15), 5.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, ResampleGrid) {
+  TimeSeries ts("x");
+  ts.Add(0.0, 1.0);
+  ts.Add(2.5, 3.0);
+  auto grid = ts.Resample(5.0, 1.0);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0], 1.0);
+  EXPECT_EQ(grid[2], 1.0);
+  EXPECT_EQ(grid[3], 3.0);
+  EXPECT_EQ(grid[5], 3.0);
+}
+
+// ---- Properties ----
+
+TEST(PropertiesTest, TypedGetters) {
+  Properties p;
+  p.Set("dfs.block.size", "256MB");
+  p.SetInt("tasks", 4);
+  p.SetBool("compress", true);
+  p.SetDouble("ratio", 0.5);
+  EXPECT_EQ(p.GetBytes("dfs.block.size", 0), 256 * kMiB);
+  EXPECT_EQ(p.GetInt("tasks", 0), 4);
+  EXPECT_TRUE(p.GetBool("compress", false));
+  EXPECT_DOUBLE_EQ(p.GetDouble("ratio", 0), 0.5);
+  EXPECT_EQ(p.GetInt("missing", -3), -3);
+}
+
+TEST(PropertiesTest, ParseAndToStringRoundTrip) {
+  auto parsed = Properties::Parse(
+      "a=1\n# comment\n  b = two  \n\nc=3 # trailing\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Get("a"), "1");
+  EXPECT_EQ(parsed->Get("b"), "two");
+  EXPECT_EQ(parsed->Get("c"), "3");
+  auto reparsed = Properties::Parse(parsed->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->map(), parsed->map());
+}
+
+TEST(PropertiesTest, ParseErrors) {
+  EXPECT_FALSE(Properties::Parse("novalue\n").ok());
+  EXPECT_FALSE(Properties::Parse("=x\n").ok());
+}
+
+// ---- TempDir / file IO ----
+
+TEST(TempDirTest, CreatesAndCleansUp) {
+  std::filesystem::path path;
+  {
+    TempDir dir("dmb-test");
+    path = dir.path();
+    EXPECT_TRUE(std::filesystem::exists(path));
+    ASSERT_TRUE(WriteFileBytes(dir.File("x.bin"), "payload").ok());
+    auto read = ReadFileBytes(dir.File("x.bin"));
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(*read, "payload");
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(TempDirTest, ReadMissingFileFails) {
+  TempDir dir;
+  EXPECT_FALSE(ReadFileBytes(dir.File("missing")).ok());
+}
+
+// ---- ThreadPool ----
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+// ---- TablePrinter ----
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  EXPECT_EQ(TablePrinter::Num(1.234, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Pct(0.42), "42%");
+}
+
+}  // namespace
+}  // namespace dmb

@@ -1,0 +1,406 @@
+// Tests for the DataMPI core library: KV encoding, partitioners, the
+// spillable buffer / external merge, and the bipartite job engine.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/temp_dir.h"
+#include "core/job.h"
+#include "core/kv.h"
+#include "core/kv_buffer.h"
+#include "core/partitioner.h"
+
+namespace dmb::datampi {
+namespace {
+
+// ---- KV batch encoding ----
+
+TEST(KvTest, BatchRoundTrip) {
+  ByteBuffer buf;
+  EncodeKV(&buf, "alpha", "1");
+  EncodeKV(&buf, "", "empty-key");
+  EncodeKV(&buf, "beta", "");
+  auto decoded = DecodeKVBatch(buf.view());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].key, "alpha");
+  EXPECT_EQ((*decoded)[1].value, "empty-key");
+  EXPECT_EQ((*decoded)[2].value, "");
+}
+
+TEST(KvTest, TruncatedBatchIsCorruption) {
+  ByteBuffer buf;
+  EncodeKV(&buf, "key", "value");
+  std::string_view whole = buf.view();
+  auto bad = DecodeKVBatch(whole.substr(0, whole.size() - 2));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+}
+
+TEST(KvTest, BinaryKeysAndValuesSurvive) {
+  ByteBuffer buf;
+  const std::string key("\x00\x01\xff\x7f", 4);
+  const std::string value(1000, '\xAB');
+  EncodeKV(&buf, key, value);
+  auto decoded = DecodeKVBatch(buf.view());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0].key, key);
+  EXPECT_EQ((*decoded)[0].value, value);
+}
+
+// ---- Partitioners ----
+
+TEST(PartitionerTest, HashIsStableAndInRange) {
+  HashPartitioner hp;
+  for (int parts : {1, 2, 7, 32}) {
+    for (int i = 0; i < 1000; ++i) {
+      const std::string key = "key-" + std::to_string(i);
+      const int p = hp.Partition(key, parts);
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, parts);
+      EXPECT_EQ(p, hp.Partition(key, parts)) << "unstable";
+    }
+  }
+}
+
+TEST(PartitionerTest, HashSpreadsKeysRoughlyEvenly) {
+  HashPartitioner hp;
+  constexpr int kParts = 8;
+  constexpr int kKeys = 20000;
+  std::vector<int> histogram(kParts, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    ++histogram[hp.Partition("user" + std::to_string(i), kParts)];
+  }
+  for (int c : histogram) {
+    EXPECT_GT(c, kKeys / kParts / 2);
+    EXPECT_LT(c, kKeys / kParts * 2);
+  }
+}
+
+TEST(PartitionerTest, RangePartitionerIsMonotone) {
+  RangePartitioner rp({"f", "m", "t"});
+  EXPECT_EQ(rp.Partition("apple", 4), 0);
+  EXPECT_EQ(rp.Partition("f", 4), 1);  // splits are lower-inclusive
+  EXPECT_EQ(rp.Partition("grape", 4), 1);
+  EXPECT_EQ(rp.Partition("pear", 4), 2);
+  EXPECT_EQ(rp.Partition("zebra", 4), 3);
+}
+
+TEST(PartitionerTest, RangeFromSampleYieldsGlobalOrder) {
+  Rng rng(17);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 5000; ++i) {
+    keys.push_back(std::to_string(rng.Uniform(1000000)));
+  }
+  const int parts = 8;
+  auto rp = RangePartitioner::FromSample(keys, parts);
+  // Every key in partition p must be <= every key in partition p+1.
+  std::vector<std::string> max_of(parts), min_of(parts);
+  std::vector<bool> seen(parts, false);
+  for (const auto& k : keys) {
+    const int p = rp.Partition(k, parts);
+    if (!seen[p]) {
+      max_of[p] = min_of[p] = k;
+      seen[p] = true;
+    } else {
+      max_of[p] = std::max(max_of[p], k);
+      min_of[p] = std::min(min_of[p], k);
+    }
+  }
+  for (int p = 0; p + 1 < parts; ++p) {
+    if (seen[p] && seen[p + 1]) {
+      EXPECT_LE(max_of[p], min_of[p + 1]) << "partition " << p;
+    }
+  }
+}
+
+// ---- Spillable buffer ----
+
+TEST(KvBufferTest, GroupsAndSortsInMemory) {
+  SpillableKVBuffer buffer;
+  ASSERT_TRUE(buffer.Add("b", "2").ok());
+  ASSERT_TRUE(buffer.Add("a", "1").ok());
+  ASSERT_TRUE(buffer.Add("b", "1").ok());
+  auto groups = buffer.Finish();
+  ASSERT_TRUE(groups.ok());
+  std::string key;
+  std::vector<std::string> values;
+  ASSERT_TRUE((*groups)->NextGroup(&key, &values));
+  EXPECT_EQ(key, "a");
+  EXPECT_EQ(values.size(), 1u);
+  ASSERT_TRUE((*groups)->NextGroup(&key, &values));
+  EXPECT_EQ(key, "b");
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_FALSE((*groups)->NextGroup(&key, &values));
+}
+
+TEST(KvBufferTest, SpillsUnderMemoryPressureAndMergesCorrectly) {
+  KVBufferOptions options;
+  options.memory_budget_bytes = 4096;  // force many spills
+  SpillableKVBuffer buffer(options);
+  Rng rng(5);
+  std::map<std::string, int> expected;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(200));
+    ASSERT_TRUE(buffer.Add(key, "v").ok());
+    ++expected[key];
+  }
+  EXPECT_GT(buffer.spill_count(), 0) << "test must exercise spilling";
+  auto groups = buffer.Finish();
+  ASSERT_TRUE(groups.ok());
+  std::string key;
+  std::vector<std::string> values;
+  std::string prev;
+  int total = 0;
+  while ((*groups)->NextGroup(&key, &values)) {
+    EXPECT_GT(key, prev) << "keys must be strictly increasing";
+    prev = key;
+    EXPECT_EQ(static_cast<int>(values.size()), expected[key]);
+    total += static_cast<int>(values.size());
+  }
+  EXPECT_EQ(total, 3000);
+}
+
+TEST(KvBufferTest, FifoModePreservesArrivalOrder) {
+  KVBufferOptions options;
+  options.sort_by_key = false;
+  SpillableKVBuffer buffer(options);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(buffer.Add("k" + std::to_string(9 - i), std::to_string(i))
+                    .ok());
+  }
+  auto groups = buffer.Finish();
+  ASSERT_TRUE(groups.ok());
+  std::string key;
+  std::vector<std::string> values;
+  int i = 0;
+  while ((*groups)->NextGroup(&key, &values)) {
+    EXPECT_EQ(values[0], std::to_string(i));
+    ++i;
+  }
+  EXPECT_EQ(i, 10);
+}
+
+TEST(KvBufferTest, AddAfterFinishFails) {
+  SpillableKVBuffer buffer;
+  ASSERT_TRUE(buffer.Add("a", "1").ok());
+  ASSERT_TRUE(buffer.Finish().ok());
+  EXPECT_FALSE(buffer.Add("b", "2").ok());
+}
+
+// ---- The job engine ----
+
+TEST(DataMPIJobTest, WordCountEndToEnd) {
+  JobConfig config;
+  config.num_o_ranks = 3;
+  config.num_a_ranks = 2;
+  DataMPIJob job(config);
+  const std::vector<std::string> docs = {"a b a", "b c", "a"};
+  auto result = job.Run(
+      [&](OContext* ctx) -> Status {
+        for (const char* word :
+             {docs[ctx->task_id()].c_str()}) {
+          std::string_view line(word);
+          size_t pos = 0;
+          while (pos < line.size()) {
+            size_t space = line.find(' ', pos);
+            if (space == std::string_view::npos) space = line.size();
+            DMB_RETURN_NOT_OK(ctx->Emit(line.substr(pos, space - pos), "1"));
+            pos = space + 1;
+          }
+        }
+        return Status::OK();
+      },
+      [](std::string_view key, const std::vector<std::string>& values,
+         AEmitter* out) -> Status {
+        out->Emit(key, std::to_string(values.size()));
+        return Status::OK();
+      });
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::map<std::string, std::string> counts;
+  for (const auto& kv : result->Merged()) counts[kv.key] = kv.value;
+  EXPECT_EQ(counts["a"], "3");
+  EXPECT_EQ(counts["b"], "2");
+  EXPECT_EQ(counts["c"], "1");
+  EXPECT_EQ(result->stats.o_records_emitted, 6);
+  EXPECT_EQ(result->stats.output_records, 3);
+}
+
+TEST(DataMPIJobTest, DynamicTaskSchedulingCoversAllTasks) {
+  JobConfig config;
+  config.num_o_ranks = 2;
+  config.num_a_ranks = 1;
+  config.num_o_tasks = 9;  // more logical tasks than ranks -> waves
+  DataMPIJob job(config);
+  auto result = job.Run(
+      [](OContext* ctx) -> Status {
+        return ctx->Emit("task" + std::to_string(ctx->task_id()), "x");
+      },
+      [](std::string_view key, const std::vector<std::string>& values,
+         AEmitter* out) -> Status {
+        out->Emit(key, std::to_string(values.size()));
+        return Status::OK();
+      });
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::set<std::string> keys;
+  for (const auto& kv : result->Merged()) keys.insert(kv.key);
+  EXPECT_EQ(keys.size(), 9u) << "every logical task must run exactly once";
+}
+
+TEST(DataMPIJobTest, CombinerReducesShuffleVolume) {
+  auto run = [](bool use_combiner) {
+    JobConfig config;
+    config.num_o_ranks = 2;
+    config.num_a_ranks = 2;
+    if (use_combiner) {
+      config.combiner = [](std::string_view,
+                           const std::vector<std::string>& values) {
+        int64_t total = 0;
+        for (const auto& v : values) total += std::stoll(v);
+        return std::to_string(total);
+      };
+    }
+    DataMPIJob job(config);
+    auto result = job.Run(
+        [](OContext* ctx) -> Status {
+          for (int i = 0; i < 1000; ++i) {
+            DMB_RETURN_NOT_OK(ctx->Emit("same-key", "1"));
+          }
+          return Status::OK();
+        },
+        [](std::string_view key, const std::vector<std::string>& values,
+           AEmitter* out) -> Status {
+          int64_t total = 0;
+          for (const auto& v : values) total += std::stoll(v);
+          out->Emit(key, std::to_string(total));
+          return Status::OK();
+        });
+    return result;
+  };
+  auto with = run(true);
+  auto without = run(false);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->Merged()[0].value, "2000");
+  EXPECT_EQ(without->Merged()[0].value, "2000");
+  EXPECT_LT(with->stats.shuffle_bytes, without->stats.shuffle_bytes / 10)
+      << "combiner must collapse duplicate keys before the wire";
+}
+
+TEST(DataMPIJobTest, RangePartitionedSortIsGloballyOrdered) {
+  Rng rng(23);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back("k" + std::to_string(rng.Uniform(100000)));
+  }
+  JobConfig config;
+  config.num_o_ranks = 4;
+  config.num_a_ranks = 4;
+  config.partitioner = std::make_shared<RangePartitioner>(
+      RangePartitioner::FromSample(keys, 4));
+  DataMPIJob job(config);
+  auto result = job.Run(
+      [&](OContext* ctx) -> Status {
+        const size_t begin = keys.size() * ctx->task_id() / 4;
+        const size_t end = keys.size() * (ctx->task_id() + 1) / 4;
+        for (size_t i = begin; i < end; ++i) {
+          DMB_RETURN_NOT_OK(ctx->Emit(keys[i], ""));
+        }
+        return Status::OK();
+      },
+      [](std::string_view key, const std::vector<std::string>& values,
+         AEmitter* out) -> Status {
+        for (size_t i = 0; i < values.size(); ++i) out->Emit(key, "");
+        return Status::OK();
+      });
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto merged = result->Merged();
+  ASSERT_EQ(merged.size(), keys.size());
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].key, merged[i].key) << "at " << i;
+  }
+}
+
+TEST(DataMPIJobTest, CheckpointRestartReproducesAOutput) {
+  TempDir dir("dmb-ckpt");
+  JobConfig config;
+  config.num_o_ranks = 2;
+  config.num_a_ranks = 3;
+  config.checkpoint_dir = dir.path().string();
+  DataMPIJob job(config);
+  auto a_fn = [](std::string_view key, const std::vector<std::string>& values,
+                 AEmitter* out) -> Status {
+    out->Emit(key, std::to_string(values.size()));
+    return Status::OK();
+  };
+  auto first = job.Run(
+      [](OContext* ctx) -> Status {
+        for (int i = 0; i < 50; ++i) {
+          DMB_RETURN_NOT_OK(ctx->Emit("k" + std::to_string(i % 7), "v"));
+        }
+        return Status::OK();
+      },
+      a_fn);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  // Restart the A phase only, from the persisted shuffle data.
+  auto second = job.RunFromCheckpoint(a_fn);
+  ASSERT_TRUE(second.ok()) << second.status();
+  auto sort_pairs = [](std::vector<KVPair> v) {
+    std::sort(v.begin(), v.end(), KVPairLess{});
+    return v;
+  };
+  EXPECT_EQ(sort_pairs(first->Merged()), sort_pairs(second->Merged()));
+}
+
+TEST(DataMPIJobTest, SpillingJobStillProducesCorrectOutput) {
+  JobConfig config;
+  config.num_o_ranks = 2;
+  config.num_a_ranks = 2;
+  config.a_memory_budget_bytes = 2048;  // tiny -> spills
+  DataMPIJob job(config);
+  auto result = job.Run(
+      [](OContext* ctx) -> Status {
+        for (int i = 0; i < 2000; ++i) {
+          DMB_RETURN_NOT_OK(ctx->Emit(
+              "key-" + std::to_string((ctx->task_id() * 2000 + i) % 97),
+              "1"));
+        }
+        return Status::OK();
+      },
+      [](std::string_view key, const std::vector<std::string>& values,
+         AEmitter* out) -> Status {
+        out->Emit(key, std::to_string(values.size()));
+        return Status::OK();
+      });
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->stats.a_spill_count, 0);
+  int64_t total = 0;
+  for (const auto& kv : result->Merged()) total += std::stoll(kv.value);
+  EXPECT_EQ(total, 4000);
+}
+
+TEST(DataMPIJobTest, OTaskErrorPropagates) {
+  JobConfig config;
+  config.num_o_ranks = 2;
+  config.num_a_ranks = 2;
+  DataMPIJob job(config);
+  auto result = job.Run(
+      [](OContext* ctx) -> Status {
+        if (ctx->task_id() == 1) return Status::Internal("boom");
+        return ctx->Emit("k", "v");
+      },
+      [](std::string_view key, const std::vector<std::string>& values,
+         AEmitter* out) -> Status {
+        out->Emit(key, std::to_string(values.size()));
+        return Status::OK();
+      });
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace dmb::datampi

@@ -1,0 +1,383 @@
+// Edge-case and robustness tests across modules: boundary sizes, empty
+// inputs, extreme configurations, codec/offset boundaries, nested
+// communicator splits, and stress shapes that the main suites skip.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/time_series.h"
+#include "core/job.h"
+#include "datagen/codec.h"
+#include "datagen/seqfile.h"
+#include "datagen/vectors.h"
+#include "mpilite/mpilite.h"
+#include "rddlite/rdd.h"
+#include "sim/fluid.h"
+#include "sim/proc.h"
+#include "workloads/kmeans.h"
+#include "workloads/micro.h"
+#include "workloads/naive_bayes.h"
+
+namespace dmb {
+namespace {
+
+// ---- Codec boundaries ----
+
+TEST(CodecEdgeTest, MatchAtMaxOffsetBoundary) {
+  // A repeat exactly 65535 bytes back must be representable; one byte
+  // further must fall back to literals. Both must round-trip.
+  for (size_t gap : {65534u, 65535u, 65536u, 70000u}) {
+    std::string input = "0123456789abcdef";
+    input.resize(gap, 'x');
+    input += "0123456789abcdef";  // repeat of the prefix at distance gap
+    const std::string compressed = datagen::LzCompress(input);
+    auto out = datagen::LzDecompress(compressed, input.size());
+    ASSERT_TRUE(out.ok()) << "gap=" << gap;
+    EXPECT_EQ(*out, input) << "gap=" << gap;
+  }
+}
+
+TEST(CodecEdgeTest, VeryLongMatchesRoundTrip) {
+  // Match length needs multiple extension bytes (>> 255).
+  std::string input = "seed";
+  for (int i = 0; i < 12; ++i) input += input;  // 4 * 2^12 bytes of period-4
+  const std::string compressed = datagen::LzCompress(input);
+  EXPECT_LT(compressed.size(), input.size() / 100);
+  auto out = datagen::LzDecompress(compressed, input.size());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(CodecEdgeTest, LongLiteralRunsRoundTrip) {
+  // Literal length needs extension bytes (> 15, > 270).
+  Rng rng(9);
+  std::string input;
+  for (int i = 0; i < 3000; ++i) {
+    input.push_back(static_cast<char>(rng.Next64() & 0xFF));
+  }
+  auto out = datagen::LzDecompress(datagen::LzCompress(input), input.size());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+// ---- Sequence file boundaries ----
+
+TEST(SeqFileEdgeTest, RecordLargerThanBlockSize) {
+  datagen::SeqFileWriter::Options options;
+  options.block_size = 1024;
+  datagen::SeqFileWriter writer(options);
+  const std::string huge(10000, 'z');
+  writer.Append("big", huge);
+  writer.Append("small", "v");
+  auto records = datagen::SeqFileReader::ReadAll(writer.Finish());
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].second, huge);
+}
+
+TEST(SeqFileEdgeTest, EmptyKeysAndValues) {
+  datagen::SeqFileWriter writer;
+  writer.Append("", "");
+  writer.Append("k", "");
+  writer.Append("", "v");
+  auto records = datagen::SeqFileReader::ReadAll(writer.Finish());
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].first, "");
+  EXPECT_EQ((*records)[2].second, "v");
+}
+
+// ---- mpilite: nested splits, storms ----
+
+TEST(MpiEdgeTest, NestedSplitsKeepTrafficIsolated) {
+  mpi::World world(8);
+  Status st = world.Run([](mpi::Comm& comm) -> Status {
+    // First split: even/odd. Second split inside: low/high.
+    mpi::Comm parity = comm.Split(comm.rank() % 2, comm.rank());
+    if (!parity.valid()) return Status::Internal("invalid parity comm");
+    mpi::Comm quad = parity.Split(parity.rank() < 2 ? 0 : 1, parity.rank());
+    if (!quad.valid()) return Status::Internal("invalid quad comm");
+    if (quad.size() != 2) return Status::Internal("quad size");
+    // Exchange within the quad; contents must identify the peer.
+    const int peer = 1 - quad.rank();
+    DMB_RETURN_NOT_OK(quad.Send(peer, 1, std::to_string(comm.rank())));
+    auto msg = quad.Recv(peer, 1);
+    if (!msg.ok()) return msg.status();
+    const int sender_world = std::stoi(msg->payload);
+    if (sender_world % 2 != comm.rank() % 2) {
+      return Status::Internal("leak across parity comms");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiEdgeTest, ManySmallMessagesFromManySenders) {
+  constexpr int kRanks = 6;
+  constexpr int kPerSender = 200;
+  mpi::World world(kRanks);
+  Status st = world.Run([](mpi::Comm& comm) -> Status {
+    if (comm.rank() == 0) {
+      int64_t sum = 0;
+      for (int i = 0; i < (kRanks - 1) * kPerSender; ++i) {
+        auto msg = comm.Recv();
+        if (!msg.ok()) return msg.status();
+        sum += std::stoll(msg->payload);
+      }
+      const int64_t expect =
+          (kRanks - 1) * (int64_t{kPerSender} * (kPerSender - 1)) / 2;
+      if (sum != expect) return Status::Internal("lost or dup messages");
+    } else {
+      for (int i = 0; i < kPerSender; ++i) {
+        DMB_RETURN_NOT_OK(comm.Send(0, comm.rank(), std::to_string(i)));
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiEdgeTest, SingleRankWorldCollectivesAreTrivial) {
+  mpi::World world(1);
+  Status st = world.Run([](mpi::Comm& comm) -> Status {
+    comm.Barrier();
+    if (comm.Bcast(0, "x") != "x") return Status::Internal("bcast");
+    auto g = comm.Gather(0, "me");
+    if (g.size() != 1 || g[0] != "me") return Status::Internal("gather");
+    auto a2a = comm.AllToAll({"self"});
+    if (a2a[0] != "self") return Status::Internal("alltoall");
+    auto sum = comm.AllReduceSum({2.5});
+    if (sum[0] != 2.5) return Status::Internal("allreduce");
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+// ---- DataMPI job edge shapes ----
+
+TEST(JobEdgeTest, AsymmetricOAndACounts) {
+  for (auto [o, a] : {std::pair{1, 7}, std::pair{7, 1}, std::pair{2, 5}}) {
+    datampi::JobConfig config;
+    config.num_o_ranks = o;
+    config.num_a_ranks = a;
+    datampi::DataMPIJob job(config);
+    auto result = job.Run(
+        [&](datampi::OContext* ctx) -> Status {
+          for (int i = 0; i < 100; ++i) {
+            DMB_RETURN_NOT_OK(
+                ctx->Emit("k" + std::to_string(i % 13), "1"));
+          }
+          return Status::OK();
+        },
+        [](std::string_view key, const std::vector<std::string>& values,
+           datampi::AEmitter* out) -> Status {
+          out->Emit(key, std::to_string(values.size()));
+          return Status::OK();
+        });
+    ASSERT_TRUE(result.ok()) << "o=" << o << " a=" << a;
+    int64_t total = 0;
+    for (const auto& kv : result->Merged()) total += std::stoll(kv.value);
+    EXPECT_EQ(total, int64_t{100} * o) << "o=" << o << " a=" << a;
+  }
+}
+
+TEST(JobEdgeTest, NoEmissionsProducesEmptyOutput) {
+  datampi::JobConfig config;
+  config.num_o_ranks = 3;
+  config.num_a_ranks = 3;
+  datampi::DataMPIJob job(config);
+  auto result = job.Run(
+      [](datampi::OContext*) { return Status::OK(); },
+      [](std::string_view key, const std::vector<std::string>& values,
+         datampi::AEmitter* out) -> Status {
+        out->Emit(key, std::to_string(values.size()));
+        return Status::OK();
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Merged().empty());
+  EXPECT_EQ(result->stats.shuffle_bytes, 0);
+}
+
+TEST(JobEdgeTest, LargeValuesSurviveThePipeline) {
+  datampi::JobConfig config;
+  config.num_o_ranks = 2;
+  config.num_a_ranks = 2;
+  config.send_buffer_bytes = 1024;  // force many batches
+  const std::string big(100000, 'q');
+  datampi::DataMPIJob job(config);
+  auto result = job.Run(
+      [&](datampi::OContext* ctx) -> Status {
+        return ctx->Emit("big" + std::to_string(ctx->task_id()), big);
+      },
+      [](std::string_view key, const std::vector<std::string>& values,
+         datampi::AEmitter* out) -> Status {
+        for (const auto& v : values) {
+          out->Emit(key, std::to_string(v.size()));
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(result.ok());
+  for (const auto& kv : result->Merged()) {
+    EXPECT_EQ(kv.value, "100000");
+  }
+}
+
+// ---- Workload edges ----
+
+TEST(WorkloadEdgeTest, SortSingleLineAndSingleWord) {
+  workloads::EngineConfig config;
+  config.parallelism = 4;
+  auto one = workloads::TextSortDataMPI({"only"}, config);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, std::vector<std::string>{"only"});
+  auto wc = workloads::WordCountDataMPI({"word"}, config);
+  ASSERT_TRUE(wc.ok());
+  EXPECT_EQ((*wc).at("word"), 1);
+}
+
+TEST(WorkloadEdgeTest, KmeansWithKEqualsOne) {
+  auto vectors = datagen::GenerateKmeansVectors(50);
+  const uint32_t dim = datagen::KmeansDimension({});
+  auto model = workloads::InitialCentroids(vectors, 1, dim);
+  const auto next = workloads::KmeansIterationReference(vectors, model);
+  EXPECT_EQ(next.counts[0], 50);
+}
+
+TEST(WorkloadEdgeTest, NaiveBayesSingleClassAlwaysPredictsIt) {
+  std::vector<datagen::LabeledDoc> docs;
+  for (int i = 0; i < 20; ++i) {
+    docs.push_back({0, "alpha beta gamma"});
+  }
+  auto model = workloads::TrainNaiveBayesReference(docs, 1);
+  EXPECT_EQ(model.Classify("anything at all"), 0);
+}
+
+TEST(WorkloadEdgeTest, GrepPatternLongerThanAnyLine) {
+  workloads::EngineConfig config;
+  auto result = workloads::GrepDataMPI(
+      {"ab", "cd"}, "abcdefghijklmnopqrstuvwxyz", config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->matched_lines.empty());
+}
+
+// ---- rddlite chains ----
+
+TEST(RddEdgeTest, ChainedWideTransformations) {
+  rddlite::RddContext ctx;
+  std::vector<std::pair<std::string, int64_t>> pairs;
+  for (int i = 0; i < 300; ++i) {
+    pairs.emplace_back("k" + std::to_string(i % 17), 1);
+  }
+  auto rdd = ctx.Parallelize(pairs, 3);
+  auto reduced = rddlite::ReduceByKey<std::string, int64_t>(
+      rdd, [](const int64_t& a, const int64_t& b) { return a + b; }, 5);
+  auto sorted = rddlite::SortByKey<std::string, int64_t>(reduced, 2);
+  auto out = sorted->Collect();
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 17u);
+  int64_t total = 0;
+  for (size_t i = 0; i < out->size(); ++i) {
+    total += (*out)[i].second;
+    if (i > 0) {
+      EXPECT_LE((*out)[i - 1].first, (*out)[i].first);
+    }
+  }
+  EXPECT_EQ(total, 300);
+}
+
+TEST(RddEdgeTest, PartitionByKeyGroupsWithoutMerging) {
+  rddlite::RddContext ctx;
+  std::vector<std::pair<std::string, int64_t>> pairs = {
+      {"a", 1}, {"a", 2}, {"b", 3}};
+  auto rdd = ctx.Parallelize(pairs, 2);
+  auto grouped = rddlite::PartitionByKey<std::string, int64_t>(rdd, 4);
+  auto out = grouped->Collect();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u) << "no merging, all pairs preserved";
+}
+
+// ---- Sim kernel extras ----
+
+sim::Proc TouchAll(sim::FluidSystem* fs, std::vector<sim::LinkId> links,
+                   double volume) {
+  co_await sim::FluidSystem::Transfer(fs, std::move(links), volume);
+}
+
+TEST(SimEdgeTest, FlowAcrossThreeLinksTakesGlobalMinimum) {
+  sim::Simulator simulator;
+  sim::FluidSystem fs(&simulator);
+  auto a = fs.AddLink("a", 100);
+  auto b = fs.AddLink("b", 10);
+  auto c = fs.AddLink("c", 50);
+  sim::Spawner spawner(&simulator);
+  spawner.Spawn(TouchAll(&fs, {a, b, c}, 100));
+  simulator.Run();
+  EXPECT_NEAR(simulator.Now(), 10.0, 1e-9);
+}
+
+TEST(SimEdgeTest, WaitGroupReusableAfterDraining) {
+  sim::Simulator simulator;
+  sim::WaitGroup wg(&simulator);
+  int wakeups = 0;
+  sim::Spawner spawner(&simulator);
+  wg.Add(1);
+  spawner.Spawn([](sim::Simulator* s, sim::WaitGroup* w) -> sim::Proc {
+    co_await sim::Delay(s, 1.0);
+    w->Done();
+  }(&simulator, &wg));
+  spawner.Spawn([](sim::WaitGroup* w, int* count) -> sim::Proc {
+    co_await w->Wait();
+    ++*count;
+  }(&wg, &wakeups));
+  simulator.Run();
+  EXPECT_EQ(wakeups, 1);
+  // Reuse the group for a second round.
+  wg.Add(1);
+  spawner.Spawn([](sim::Simulator* s, sim::WaitGroup* w) -> sim::Proc {
+    co_await sim::Delay(s, 1.0);
+    w->Done();
+  }(&simulator, &wg));
+  spawner.Spawn([](sim::WaitGroup* w, int* count) -> sim::Proc {
+    co_await w->Wait();
+    ++*count;
+  }(&wg, &wakeups));
+  simulator.Run();
+  EXPECT_EQ(wakeups, 2);
+}
+
+TEST(TimeSeriesEdgeTest, MaxOverWindows) {
+  TimeSeries ts("x");
+  ts.Add(0.0, 5.0);
+  ts.Add(10.0, 50.0);
+  ts.Add(20.0, 1.0);
+  EXPECT_DOUBLE_EQ(ts.MaxOver(0, 30), 50.0);
+  EXPECT_DOUBLE_EQ(ts.MaxOver(11, 19), 50.0);  // held value enters window
+  EXPECT_DOUBLE_EQ(ts.MaxOver(21, 30), 1.0);
+}
+
+// ---- Sparse vector arithmetic ----
+
+TEST(SparseVectorEdgeTest, EmptyVectorBehaviour) {
+  datagen::SparseVector empty;
+  datagen::SparseVector v;
+  v.entries = {{1, 2.0f}};
+  EXPECT_DOUBLE_EQ(empty.Dot(v), 0.0);
+  EXPECT_DOUBLE_EQ(empty.SquaredNorm(), 0.0);
+  auto decoded = datagen::SparseVector::Decode(empty.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->entries.empty());
+}
+
+TEST(SparseVectorEdgeTest, CorruptEncodingRejected) {
+  datagen::SparseVector v;
+  v.entries = {{5, 1.0f}, {10, 2.0f}};
+  std::string encoded = v.Encode();
+  encoded.resize(encoded.size() - 3);
+  EXPECT_FALSE(datagen::SparseVector::Decode(encoded).ok());
+}
+
+}  // namespace
+}  // namespace dmb

@@ -1,0 +1,161 @@
+// Tests for the Hadoop-like functional MapReduce engine.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/mapreduce.h"
+
+namespace dmb::mapreduce {
+namespace {
+
+Status IdentityMap(std::string_view key, std::string_view value,
+                   MapContext* ctx) {
+  (void)key;
+  ctx->Emit(value, "1");
+  return Status::OK();
+}
+
+Status CountReduce(std::string_view key, const std::vector<std::string>& values,
+                   ReduceContext* ctx) {
+  ctx->Emit(key, std::to_string(values.size()));
+  return Status::OK();
+}
+
+TEST(MapReduceTest, CountsRecords) {
+  MRConfig config;
+  const std::vector<std::string> input = {"a", "b", "a", "c", "a", "b"};
+  auto result = RunMapReduce(config, input, IdentityMap, CountReduce);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::map<std::string, std::string> counts;
+  for (const auto& kv : result->Merged()) counts[kv.key] = kv.value;
+  EXPECT_EQ(counts["a"], "3");
+  EXPECT_EQ(counts["b"], "2");
+  EXPECT_EQ(counts["c"], "1");
+}
+
+TEST(MapReduceTest, ValuesArriveSortedWithinKey) {
+  MRConfig config;
+  config.num_map_tasks = 3;
+  const std::vector<std::string> input = {"z", "m", "a", "q", "b"};
+  bool sorted_within = true;
+  auto result = RunMapReduce(
+      config, input,
+      [](std::string_view, std::string_view value, MapContext* ctx) {
+        ctx->Emit("same", std::string(value));
+        return Status::OK();
+      },
+      [&](std::string_view key, const std::vector<std::string>& values,
+          ReduceContext* ctx) {
+        if (!std::is_sorted(values.begin(), values.end())) {
+          sorted_within = false;
+        }
+        ctx->Emit(key, std::to_string(values.size()));
+        return Status::OK();
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(sorted_within) << "merge of sorted runs must stay sorted";
+}
+
+TEST(MapReduceTest, CombinerPreservesResultAndCutsShuffle) {
+  const std::vector<std::string> input(500, "word");
+  MRConfig plain;
+  MRConfig combined;
+  combined.combiner = [](std::string_view,
+                         const std::vector<std::string>& values) {
+    int64_t total = 0;
+    for (const auto& v : values) total += std::stoll(v);
+    return std::to_string(total);
+  };
+  auto sum_reduce = [](std::string_view key,
+                       const std::vector<std::string>& values,
+                       ReduceContext* ctx) {
+    int64_t total = 0;
+    for (const auto& v : values) total += std::stoll(v);
+    ctx->Emit(key, std::to_string(total));
+    return Status::OK();
+  };
+  auto a = RunMapReduce(plain, input, IdentityMap, sum_reduce);
+  auto b = RunMapReduce(combined, input, IdentityMap, sum_reduce);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Merged()[0].value, "500");
+  EXPECT_EQ(b->Merged()[0].value, "500");
+  EXPECT_LT(b->stats.shuffle_bytes, a->stats.shuffle_bytes);
+}
+
+TEST(MapReduceTest, SpillToDiskAndInMemoryAgree) {
+  std::vector<std::string> input;
+  for (int i = 0; i < 2000; ++i) input.push_back("k" + std::to_string(i % 37));
+  MRConfig disk;
+  disk.spill_to_disk = true;
+  MRConfig memory;
+  memory.spill_to_disk = false;
+  auto a = RunMapReduce(disk, input, IdentityMap, CountReduce);
+  auto b = RunMapReduce(memory, input, IdentityMap, CountReduce);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto sorted = [](std::vector<KVPair> v) {
+    std::sort(v.begin(), v.end(), datampi::KVPairLess{});
+    return v;
+  };
+  EXPECT_EQ(sorted(a->Merged()), sorted(b->Merged()));
+}
+
+TEST(MapReduceTest, ManyMoreTasksThanSlots) {
+  MRConfig config;
+  config.num_map_tasks = 37;
+  config.num_reduce_tasks = 11;
+  config.slots = 3;
+  std::vector<std::string> input;
+  for (int i = 0; i < 999; ++i) input.push_back(std::to_string(i % 100));
+  auto result = RunMapReduce(config, input, IdentityMap, CountReduce);
+  ASSERT_TRUE(result.ok());
+  int64_t total = 0;
+  for (const auto& kv : result->Merged()) total += std::stoll(kv.value);
+  EXPECT_EQ(total, 999);
+  EXPECT_EQ(result->reduce_outputs.size(), 11u);
+}
+
+TEST(MapReduceTest, EmptyInputYieldsEmptyOutput) {
+  MRConfig config;
+  auto result = RunMapReduce(config, {}, IdentityMap, CountReduce);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Merged().empty());
+}
+
+TEST(MapReduceTest, MapErrorPropagates) {
+  MRConfig config;
+  auto result = RunMapReduce(
+      config, {"x"},
+      [](std::string_view, std::string_view, MapContext*) {
+        return Status::Internal("map blew up");
+      },
+      CountReduce);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MapReduceTest, ReduceErrorPropagates) {
+  MRConfig config;
+  auto result = RunMapReduce(
+      config, {"x"}, IdentityMap,
+      [](std::string_view, const std::vector<std::string>&, ReduceContext*) {
+        return Status::Internal("reduce blew up");
+      });
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MapReduceTest, StatsAreAccounted) {
+  MRConfig config;
+  const std::vector<std::string> input = {"a", "b", "c"};
+  auto result = RunMapReduce(config, input, IdentityMap, CountReduce);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.map_output_records, 3);
+  EXPECT_EQ(result->stats.reduce_input_records, 3);
+  EXPECT_EQ(result->stats.output_records, 3);
+  EXPECT_GT(result->stats.shuffle_bytes, 0);
+}
+
+}  // namespace
+}  // namespace dmb::mapreduce

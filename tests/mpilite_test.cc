@@ -1,0 +1,251 @@
+// Tests for the in-process message-passing runtime.
+
+#include "mpilite/mpilite.h"
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace dmb::mpi {
+namespace {
+
+TEST(MpiLiteTest, PointToPointDelivery) {
+  World world(2);
+  Status st = world.Run([](Comm& comm) -> Status {
+    if (comm.rank() == 0) {
+      DMB_RETURN_NOT_OK(comm.Send(1, 7, "hello"));
+    } else {
+      auto msg = comm.Recv(0, 7);
+      if (!msg.ok()) return msg.status();
+      if (msg->payload != "hello") return Status::Internal("bad payload");
+      if (msg->source != 0) return Status::Internal("bad source");
+      if (msg->tag != 7) return Status::Internal("bad tag");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiLiteTest, FifoPerSourceAndTag) {
+  World world(2);
+  Status st = world.Run([](Comm& comm) -> Status {
+    constexpr int kCount = 100;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        DMB_RETURN_NOT_OK(comm.Send(1, 1, std::to_string(i)));
+      }
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        auto msg = comm.Recv(0, 1);
+        if (!msg.ok()) return msg.status();
+        if (msg->payload != std::to_string(i)) {
+          return Status::Internal("out of order at " + std::to_string(i));
+        }
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiLiteTest, RecvWildcardsMatchAnything) {
+  World world(3);
+  Status st = world.Run([](Comm& comm) -> Status {
+    if (comm.rank() != 0) {
+      DMB_RETURN_NOT_OK(
+          comm.Send(0, 100 + comm.rank(), std::to_string(comm.rank())));
+    } else {
+      int seen = 0;
+      for (int i = 0; i < 2; ++i) {
+        auto msg = comm.Recv(kAnySource, kAnyTag);
+        if (!msg.ok()) return msg.status();
+        seen += std::stoi(msg->payload);
+      }
+      if (seen != 3) return Status::Internal("missing messages");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiLiteTest, TagSelectiveReceiveLeavesOtherMessagesQueued) {
+  World world(2);
+  Status st = world.Run([](Comm& comm) -> Status {
+    if (comm.rank() == 0) {
+      DMB_RETURN_NOT_OK(comm.Send(1, 5, "five"));
+      DMB_RETURN_NOT_OK(comm.Send(1, 6, "six"));
+    } else {
+      auto six = comm.Recv(0, 6);  // skip over tag-5 message
+      if (!six.ok()) return six.status();
+      if (six->payload != "six") return Status::Internal("wrong msg");
+      auto five = comm.Recv(0, 5);
+      if (!five.ok()) return five.status();
+      if (five->payload != "five") return Status::Internal("lost msg");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiLiteTest, BarrierSynchronizes) {
+  constexpr int kRanks = 8;
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  World world(kRanks);
+  Status st = world.Run([&](Comm& comm) -> Status {
+    before.fetch_add(1);
+    comm.Barrier();
+    if (before.load() != kRanks) violated = true;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(MpiLiteTest, BcastFromEveryRoot) {
+  constexpr int kRanks = 4;
+  for (int root = 0; root < kRanks; ++root) {
+    World world(kRanks);
+    Status st = world.Run([&](Comm& comm) -> Status {
+      std::string data = comm.rank() == root ? "payload" : "";
+      data = comm.Bcast(root, data);
+      if (data != "payload") return Status::Internal("bcast lost data");
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << "root=" << root;
+  }
+}
+
+TEST(MpiLiteTest, GatherCollectsInRankOrder) {
+  World world(5);
+  Status st = world.Run([](Comm& comm) -> Status {
+    auto all = comm.Gather(0, std::string(1, 'a' + comm.rank()));
+    if (comm.rank() == 0) {
+      if (all.size() != 5) return Status::Internal("wrong size");
+      for (int i = 0; i < 5; ++i) {
+        if (all[i] != std::string(1, 'a' + i)) {
+          return Status::Internal("wrong order");
+        }
+      }
+    } else if (!all.empty()) {
+      return Status::Internal("non-root got data");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiLiteTest, AllToAllExchangesPersonalizedData) {
+  constexpr int kRanks = 4;
+  World world(kRanks);
+  Status st = world.Run([](Comm& comm) -> Status {
+    std::vector<std::string> send;
+    for (int i = 0; i < kRanks; ++i) {
+      send.push_back(std::to_string(comm.rank()) + "->" + std::to_string(i));
+    }
+    auto recv = comm.AllToAll(std::move(send));
+    for (int i = 0; i < kRanks; ++i) {
+      const std::string expect =
+          std::to_string(i) + "->" + std::to_string(comm.rank());
+      if (recv[i] != expect) return Status::Internal("bad alltoall");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiLiteTest, AllReduceSumsVectors) {
+  constexpr int kRanks = 6;
+  World world(kRanks);
+  Status st = world.Run([](Comm& comm) -> Status {
+    std::vector<double> mine = {1.0, static_cast<double>(comm.rank())};
+    auto sum = comm.AllReduceSum(mine);
+    if (sum[0] != kRanks) return Status::Internal("bad sum[0]");
+    if (sum[1] != 15.0) return Status::Internal("bad sum[1]");
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiLiteTest, SplitFormsBipartiteGroups) {
+  World world(6);
+  Status st = world.Run([](Comm& comm) -> Status {
+    const int color = comm.rank() < 2 ? 0 : 1;
+    Comm group = comm.Split(color, comm.rank());
+    if (!group.valid()) return Status::Internal("invalid group");
+    const int expected_size = color == 0 ? 2 : 4;
+    if (group.size() != expected_size) {
+      return Status::Internal("wrong group size");
+    }
+    // Intra-group communication must not leak across colors.
+    group.Barrier();
+    auto gathered = group.Gather(0, std::to_string(comm.rank()));
+    if (group.rank() == 0) {
+      if (static_cast<int>(gathered.size()) != expected_size) {
+        return Status::Internal("wrong gather size");
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiLiteTest, SplitWithNegativeColorYieldsInvalidComm) {
+  World world(3);
+  Status st = world.Run([](Comm& comm) -> Status {
+    const int color = comm.rank() == 0 ? -1 : 0;
+    Comm group = comm.Split(color, 0);
+    if (comm.rank() == 0 && group.valid()) {
+      return Status::Internal("expected invalid comm");
+    }
+    if (comm.rank() != 0 && group.size() != 2) {
+      return Status::Internal("wrong group");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiLiteTest, ProbeSeesQueuedMessage) {
+  World world(2);
+  Status st = world.Run([](Comm& comm) -> Status {
+    if (comm.rank() == 0) {
+      DMB_RETURN_NOT_OK(comm.Send(1, 3, "x"));
+      comm.Barrier();
+    } else {
+      comm.Barrier();  // after barrier the message must be queued
+      if (!comm.Probe(0, 3)) return Status::Internal("probe missed");
+      if (comm.Probe(0, 4)) return Status::Internal("phantom message");
+      auto msg = comm.Recv(0, 3);
+      if (!msg.ok()) return msg.status();
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+}
+
+TEST(MpiLiteTest, ErrorPropagatesFromAnyRank) {
+  World world(4);
+  Status st = world.Run([](Comm& comm) -> Status {
+    if (comm.rank() == 2) return Status::Internal("rank 2 failed");
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "rank 2 failed");
+}
+
+TEST(MpiLiteTest, SendToInvalidRankFails) {
+  World world(2);
+  Status st = world.Run([](Comm& comm) -> Status {
+    if (comm.rank() == 0) {
+      Status bad = comm.Send(5, 0, "x");
+      if (bad.ok()) return Status::Internal("expected failure");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+}  // namespace
+}  // namespace dmb::mpi

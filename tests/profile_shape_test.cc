@@ -1,0 +1,114 @@
+// Time-series shape tests for the Figure-4 profiles: not just the
+// window averages but *when* resources are busy, which is the paper's
+// core mechanism story (DataMPI's network works during the O phase;
+// Hadoop's shuffle+output traffic trails the map phase; memory ramps
+// and releases around phases).
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "simfw/experiment.h"
+#include "simfw/profiles.h"
+
+namespace dmb::simfw {
+namespace {
+
+ExperimentResult Monitored(Framework fw, const WorkloadProfile& profile,
+                           int gb) {
+  ExperimentOptions options;
+  options.run.monitor = true;
+  return SimulateWorkload(fw, profile, static_cast<int64_t>(gb) * kGiB,
+                          options);
+}
+
+const TimeSeries& Series(const ExperimentResult& r, const char* name) {
+  auto it = r.job.series.find(name);
+  EXPECT_NE(it, r.job.series.end()) << name;
+  static const TimeSeries empty;
+  return it == r.job.series.end() ? empty : it->second;
+}
+
+TEST(ProfileShapeTest, DataMPISortNetworkIsFrontLoaded) {
+  const auto d = Monitored(Framework::kDataMPI, TextSortProfile(), 8);
+  ASSERT_TRUE(d.job.ok());
+  const auto& net = Series(d, "net.tx_mbps");
+  const double phase1 = d.job.phase1_seconds;
+  // Pipelined shuffle: the bulk of the non-replication network traffic
+  // flows during the O phase.
+  const double during_o = net.AverageOver(2.0, phase1);
+  EXPECT_GT(during_o, 100.0)  // cluster total; ~>12 MB/s per node
+      << "shuffle must be active while O tasks compute";
+}
+
+TEST(ProfileShapeTest, HadoopSortNetworkPeaksAfterMapPhase) {
+  const auto h = Monitored(Framework::kHadoop, TextSortProfile(), 8);
+  ASSERT_TRUE(h.job.ok());
+  const auto& net = Series(h, "net.tx_mbps");
+  const double phase1 = h.job.phase1_seconds;
+  const double early = net.AverageOver(10.0, phase1 * 0.5);
+  const double late = net.AverageOver(phase1, h.job.seconds);
+  EXPECT_GT(late, early)
+      << "Hadoop's shuffle + replicated output write trail the map phase";
+}
+
+TEST(ProfileShapeTest, HadoopWordCountIsComputeBoundEarly) {
+  const auto h = Monitored(Framework::kHadoop, WordCountProfile(), 16);
+  ASSERT_TRUE(h.job.ok());
+  const auto& cpu = Series(h, "cpu.threads");
+  const auto& net = Series(h, "net.tx_mbps");
+  const double mid = h.job.seconds / 2;
+  const cluster::ClusterSpec spec;
+  const double cpu_pct =
+      cpu.ValueAt(mid) / (spec.num_nodes * spec.node.hw_threads) * 100;
+  EXPECT_GT(cpu_pct, 50.0) << "WordCount map phase saturates CPU";
+  EXPECT_LT(net.ValueAt(mid), 20.0)
+      << "combiner keeps the network almost idle (paper Figure 4g)";
+}
+
+TEST(ProfileShapeTest, MemoryRampsUpAndReleases) {
+  const auto d = Monitored(Framework::kDataMPI, TextSortProfile(), 8);
+  ASSERT_TRUE(d.job.ok());
+  const auto& mem = Series(d, "mem.per_node_gb");
+  const double peak = mem.MaxOver(0.0, d.job.seconds);
+  const double start = mem.ValueAt(1.0);
+  EXPECT_GT(peak, start + 0.5)
+      << "A-side buffers must visibly grow during the run";
+  // After the job the buffers are freed: final value near the baseline.
+  const double after = mem.ValueAt(d.job.seconds + 1.0);
+  EXPECT_LT(after, start + 1.0);
+}
+
+TEST(ProfileShapeTest, SparkSortWritesShuffleFilesLikeHadoop) {
+  const auto s = Monitored(Framework::kSpark, TextSortProfile(), 8);
+  const auto d = Monitored(Framework::kDataMPI, TextSortProfile(), 8);
+  ASSERT_TRUE(s.job.ok() && d.job.ok());
+  // During phase 1, Spark writes shuffle files to disk; DataMPI buffers
+  // in memory: Spark's early write rate must exceed DataMPI's.
+  const auto& sw = Series(s, "disk.write_mbps");
+  const auto& dw = Series(d, "disk.write_mbps");
+  EXPECT_GT(sw.AverageOver(5.0, s.job.phase1_seconds),
+            dw.AverageOver(5.0, d.job.phase1_seconds) + 10.0);
+}
+
+TEST(ProfileShapeTest, DiskReadActiveOnlyWhileInputIsConsumed) {
+  const auto d = Monitored(Framework::kDataMPI, GrepProfile(), 8);
+  ASSERT_TRUE(d.job.ok());
+  const auto& rd = Series(d, "disk.read_mbps");
+  const double during = rd.AverageOver(2.0, d.job.phase1_seconds);
+  const double after = rd.AverageOver(d.job.phase1_seconds + 1.0,
+                                      d.job.seconds);
+  EXPECT_GT(during, after) << "grep reads only during the O phase";
+}
+
+TEST(ProfileShapeTest, SeriesCoverTheWholeRun) {
+  const auto h = Monitored(Framework::kHadoop, TextSortProfile(), 8);
+  ASSERT_TRUE(h.job.ok());
+  for (const auto& [name, series] : h.job.series) {
+    ASSERT_FALSE(series.empty()) << name;
+    EXPECT_LE(series.time(0), 1.0) << name;
+    EXPECT_GE(series.time(series.size() - 1), h.job.seconds - 2.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dmb::simfw

@@ -1,0 +1,160 @@
+// Tests for the Spark-like RDD engine: lazy lineage, narrow and wide
+// transformations, caching, and the OOM policy.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "rddlite/rdd.h"
+
+namespace dmb::rddlite {
+namespace {
+
+TEST(RddTest, MapFilterCollect) {
+  RddContext ctx;
+  auto rdd = ctx.Parallelize(std::vector<int64_t>{1, 2, 3, 4, 5, 6}, 3);
+  auto doubled =
+      rdd->Map<int64_t>([](const int64_t& x) { return x * 2; });
+  auto big = doubled->Filter([](const int64_t& x) { return x > 6; });
+  auto out = big->Collect();
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, (std::vector<int64_t>{8, 10, 12}));
+}
+
+TEST(RddTest, FlatMapExpands) {
+  RddContext ctx;
+  auto rdd = ctx.Parallelize(std::vector<std::string>{"a b", "c"}, 2);
+  auto words = rdd->FlatMap<std::string>([](const std::string& line) {
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos < line.size()) {
+      size_t space = line.find(' ', pos);
+      if (space == std::string::npos) space = line.size();
+      out.push_back(line.substr(pos, space - pos));
+      pos = space + 1;
+    }
+    return out;
+  });
+  auto count = words->Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3);
+}
+
+TEST(RddTest, PartitionCountPreservedByNarrowOps) {
+  RddContext ctx;
+  auto rdd = ctx.Parallelize(std::vector<int64_t>{1, 2, 3, 4}, 4);
+  auto mapped = rdd->Map<int64_t>([](const int64_t& x) { return x; });
+  EXPECT_EQ(mapped->num_partitions(), 4);
+}
+
+TEST(RddTest, ReduceByKeyAggregates) {
+  RddContext ctx;
+  std::vector<std::pair<std::string, int64_t>> pairs = {
+      {"a", 1}, {"b", 2}, {"a", 3}, {"b", 4}, {"c", 5}};
+  auto rdd = ctx.Parallelize(pairs, 2);
+  auto reduced = ReduceByKey<std::string, int64_t>(
+      rdd, [](const int64_t& a, const int64_t& b) { return a + b; }, 3);
+  auto out = reduced->Collect();
+  ASSERT_TRUE(out.ok());
+  std::map<std::string, int64_t> m(out->begin(), out->end());
+  EXPECT_EQ(m["a"], 4);
+  EXPECT_EQ(m["b"], 6);
+  EXPECT_EQ(m["c"], 5);
+}
+
+TEST(RddTest, SortByKeyGloballyOrders) {
+  RddContext ctx;
+  std::vector<std::pair<std::string, int64_t>> pairs;
+  for (int i = 0; i < 500; ++i) {
+    pairs.emplace_back("k" + std::to_string((i * 7919) % 1000), i);
+  }
+  auto rdd = ctx.Parallelize(pairs, 4);
+  auto sorted = SortByKey<std::string, int64_t>(rdd, 4);
+  auto out = sorted->Collect();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 500u);
+  for (size_t i = 1; i < out->size(); ++i) {
+    EXPECT_LE((*out)[i - 1].first, (*out)[i].first);
+  }
+}
+
+TEST(RddTest, LineageRecomputesWithoutCache) {
+  RddContext ctx;
+  std::atomic<int> compute_calls{0};
+  auto rdd = ctx.Parallelize(std::vector<int64_t>{1, 2, 3, 4}, 2);
+  auto counted = rdd->Map<int64_t>([&](const int64_t& x) {
+    compute_calls.fetch_add(1);
+    return x;
+  });
+  ASSERT_TRUE(counted->Collect().ok());
+  ASSERT_TRUE(counted->Collect().ok());
+  EXPECT_EQ(compute_calls.load(), 8) << "recomputed per action without cache";
+}
+
+TEST(RddTest, CacheAvoidsRecomputation) {
+  RddContext ctx;
+  std::atomic<int> compute_calls{0};
+  auto rdd = ctx.Parallelize(std::vector<int64_t>{1, 2, 3, 4}, 2);
+  auto counted = rdd->Map<int64_t>([&](const int64_t& x) {
+    compute_calls.fetch_add(1);
+    return x;
+  });
+  counted->Cache();
+  ASSERT_TRUE(counted->Collect().ok());
+  ASSERT_TRUE(counted->Collect().ok());
+  EXPECT_EQ(compute_calls.load(), 4) << "cached partitions are reused";
+}
+
+TEST(RddTest, OomWhenShuffleExceedsBudget) {
+  RddContext::Options options;
+  options.memory_budget_bytes = 64 * 1024;  // tiny executor heap
+  RddContext ctx(options);
+  std::vector<std::pair<std::string, int64_t>> pairs;
+  for (int i = 0; i < 20000; ++i) {
+    pairs.emplace_back("key-" + std::to_string(i), i);
+  }
+  auto rdd = ctx.Parallelize(pairs, 4);
+  auto sorted = SortByKey<std::string, int64_t>(rdd, 4);
+  auto out = sorted->Collect();
+  ASSERT_FALSE(out.ok()) << "sortByKey materialization must OOM";
+  EXPECT_TRUE(out.status().IsOutOfMemory()) << out.status();
+}
+
+TEST(RddTest, OomWhenCacheExceedsBudget) {
+  RddContext::Options options;
+  options.memory_budget_bytes = 16 * 1024;
+  RddContext ctx(options);
+  std::vector<std::string> data(5000, "a fairly long string for caching");
+  auto rdd = ctx.Parallelize(data, 2);
+  rdd->Cache();
+  auto out = rdd->Collect();
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsOutOfMemory());
+}
+
+TEST(RddTest, MemoryReleasedWhenRddDropped) {
+  RddContext ctx;
+  {
+    auto rdd =
+        ctx.Parallelize(std::vector<std::string>(100, "cached line"), 2);
+    rdd->Cache();
+    ASSERT_TRUE(rdd->Collect().ok());
+    EXPECT_GT(ctx.memory()->used(), 0);
+  }
+  EXPECT_EQ(ctx.memory()->used(), 0) << "cache reservation returned";
+}
+
+TEST(MemoryManagerTest, ReserveReleaseAndPeak) {
+  MemoryManager mm(100);
+  EXPECT_TRUE(mm.Reserve(60).ok());
+  EXPECT_TRUE(mm.Reserve(40).ok());
+  EXPECT_FALSE(mm.Reserve(1).ok());
+  mm.Release(50);
+  EXPECT_TRUE(mm.Reserve(10).ok());
+  EXPECT_EQ(mm.peak(), 100);
+  EXPECT_EQ(mm.used(), 60);
+}
+
+}  // namespace
+}  // namespace dmb::rddlite

@@ -1,0 +1,231 @@
+// Parameterized property sweeps over the framework x workload x size
+// matrix of the simulator: every combination must terminate, be
+// deterministic, respect phase ordering, scale monotonically, and react
+// correctly to hardware changes (failure injection via degraded specs).
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "simfw/experiment.h"
+#include "simfw/profiles.h"
+
+namespace dmb::simfw {
+namespace {
+
+using SweepParam = std::tuple<int /*framework*/, int /*profile*/, int /*gb*/>;
+
+const WorkloadProfile& ProfileByIndex(int i) {
+  switch (i) {
+    case 0:
+      return NormalSortProfile();
+    case 1:
+      return TextSortProfile();
+    case 2:
+      return WordCountProfile();
+    case 3:
+      return GrepProfile();
+    case 4:
+      return KmeansProfile();
+    default:
+      return NaiveBayesProfile();
+  }
+}
+
+Framework FrameworkByIndex(int i) {
+  switch (i) {
+    case 0:
+      return Framework::kHadoop;
+    case 1:
+      return Framework::kSpark;
+    default:
+      return Framework::kDataMPI;
+  }
+}
+
+class SimSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SimSweepTest, JobTerminatesWithSaneInvariants) {
+  const int fw_i = std::get<0>(GetParam());
+  const int profile_i = std::get<1>(GetParam());
+  const int gb = std::get<2>(GetParam());
+  const Framework fw = FrameworkByIndex(fw_i);
+  const WorkloadProfile& profile = ProfileByIndex(profile_i);
+  ExperimentOptions options;
+  const auto r = SimulateWorkload(fw, profile,
+                                  static_cast<int64_t>(gb) * kGiB, options);
+  if (!r.job.ok()) {
+    // The only legitimate failures: Spark OOM on sorts, Spark n/a on
+    // Naive Bayes.
+    ASSERT_EQ(fw, Framework::kSpark);
+    EXPECT_TRUE(r.job.status.IsOutOfMemory() ||
+                r.job.status.code() == StatusCode::kNotImplemented)
+        << r.job.status;
+    return;
+  }
+  EXPECT_GT(r.job.seconds, 0.0);
+  EXPECT_LT(r.job.seconds, 3 * 3600.0) << "runaway simulation";
+  EXPECT_GT(r.job.phase1_seconds, 0.0);
+  EXPECT_LE(r.job.phase1_seconds, r.job.seconds + 1e-9);
+  EXPECT_GE(r.job.shuffle_mb, 0.0);
+
+  // Determinism: an identical run gives the identical duration.
+  const auto again = SimulateWorkload(
+      fw, profile, static_cast<int64_t>(gb) * kGiB, options);
+  if (again.job.ok()) {
+    EXPECT_DOUBLE_EQ(r.job.seconds, again.job.seconds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SimSweepTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),        // frameworks
+                       ::testing::Values(0, 1, 2, 3, 4, 5),  // profiles
+                       ::testing::Values(4, 16)),            // GB
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return std::string(FrameworkName(
+                 FrameworkByIndex(std::get<0>(info.param)))) +
+             "_" + std::to_string(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<2>(info.param)) + "GB";
+    });
+
+class MonotoneScalingTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MonotoneScalingTest, BiggerInputsNeverFinishFaster) {
+  const int fw_i = std::get<0>(GetParam());
+  const int profile_i = std::get<1>(GetParam());
+  const Framework fw = FrameworkByIndex(fw_i);
+  const WorkloadProfile& profile = ProfileByIndex(profile_i);
+  ExperimentOptions options;
+  double prev = 0.0;
+  for (int gb : {2, 8, 32}) {
+    const auto r = SimulateWorkload(fw, profile,
+                                    static_cast<int64_t>(gb) * kGiB,
+                                    options);
+    if (!r.job.ok()) return;  // OOM path covered elsewhere
+    EXPECT_GE(r.job.seconds, prev - 1e-9)
+        << FrameworkName(fw) << "/" << profile.name << " at " << gb;
+    prev = r.job.seconds;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MonotoneScalingTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(
+                 FrameworkName(FrameworkByIndex(std::get<0>(info.param)))) +
+             "_" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SimHardwareTest, SlowerDiskSlowsIoBoundJobs) {
+  ExperimentOptions fast;
+  ExperimentOptions degraded;
+  degraded.cluster.node.disk_read_mbps = 60;
+  degraded.cluster.node.disk_write_mbps = 50;
+  degraded.cluster.node.disk_mixed_mbps = 60;
+  const auto a = SimulateWorkload(Framework::kHadoop, TextSortProfile(),
+                                  8 * kGiB, fast);
+  const auto b = SimulateWorkload(Framework::kHadoop, TextSortProfile(),
+                                  8 * kGiB, degraded);
+  ASSERT_TRUE(a.job.ok() && b.job.ok());
+  EXPECT_GT(b.job.seconds, a.job.seconds * 1.3)
+      << "halving disk bandwidth must visibly slow a sort";
+}
+
+TEST(SimHardwareTest, SlowerNetworkHurtsDataMPIShuffleMore) {
+  ExperimentOptions fast;
+  ExperimentOptions slow_net;
+  slow_net.cluster.node.nic_mbps = 20.0;  // ~FastEthernet-ish
+  const auto grep_fast = SimulateWorkload(Framework::kDataMPI, GrepProfile(),
+                                          8 * kGiB, fast);
+  const auto grep_slow = SimulateWorkload(Framework::kDataMPI, GrepProfile(),
+                                          8 * kGiB, slow_net);
+  const auto sort_fast = SimulateWorkload(Framework::kDataMPI,
+                                          TextSortProfile(), 8 * kGiB, fast);
+  const auto sort_slow = SimulateWorkload(Framework::kDataMPI,
+                                          TextSortProfile(), 8 * kGiB,
+                                          slow_net);
+  ASSERT_TRUE(grep_fast.job.ok() && grep_slow.job.ok());
+  ASSERT_TRUE(sort_fast.job.ok() && sort_slow.job.ok());
+  const double grep_ratio = grep_slow.job.seconds / grep_fast.job.seconds;
+  const double sort_ratio = sort_slow.job.seconds / sort_fast.job.seconds;
+  EXPECT_GT(sort_ratio, grep_ratio)
+      << "shuffle-heavy sort must suffer more from slow network than "
+         "shuffle-light grep";
+}
+
+TEST(SimHardwareTest, MoreNodesSpeedUpLargeJobs) {
+  ExperimentOptions eight;
+  ExperimentOptions sixteen;
+  sixteen.cluster.num_nodes = 16;
+  const auto a = SimulateWorkload(Framework::kDataMPI, WordCountProfile(),
+                                  32 * kGiB, eight);
+  const auto b = SimulateWorkload(Framework::kDataMPI, WordCountProfile(),
+                                  32 * kGiB, sixteen);
+  ASSERT_TRUE(a.job.ok() && b.job.ok());
+  EXPECT_LT(b.job.seconds, a.job.seconds * 0.75);
+}
+
+TEST(SimFwAblationTest, DisablingPipelineSlowsDataMPI) {
+  ExperimentOptions base;
+  ExperimentOptions crippled;
+  crippled.run.datampi_disable_pipeline = true;
+  const auto full = SimulateWorkload(Framework::kDataMPI, TextSortProfile(),
+                                     16 * kGiB, base);
+  const auto off = SimulateWorkload(Framework::kDataMPI, TextSortProfile(),
+                                    16 * kGiB, crippled);
+  ASSERT_TRUE(full.job.ok() && off.job.ok());
+  EXPECT_GT(off.job.seconds, full.job.seconds * 1.05);
+}
+
+TEST(SimFwAblationTest, SpillAlwaysApproachesHadoopBehaviour) {
+  ExperimentOptions base;
+  ExperimentOptions spill;
+  spill.run.datampi_spill_always = true;
+  spill.run.datampi_disable_pipeline = true;
+  const auto h = SimulateWorkload(Framework::kHadoop, TextSortProfile(),
+                                  16 * kGiB, base);
+  const auto full = SimulateWorkload(Framework::kDataMPI, TextSortProfile(),
+                                     16 * kGiB, base);
+  const auto crippled = SimulateWorkload(Framework::kDataMPI,
+                                         TextSortProfile(), 16 * kGiB, spill);
+  ASSERT_TRUE(h.job.ok() && full.job.ok() && crippled.job.ok());
+  const double full_gap = h.job.seconds - full.job.seconds;
+  const double crippled_gap = h.job.seconds - crippled.job.seconds;
+  EXPECT_LT(crippled_gap, full_gap * 0.5)
+      << "removing both mechanisms must erase most of the advantage";
+}
+
+TEST(SimFwProfilesTest, AllProfilesAreInternallyConsistent) {
+  for (const auto* p : AllProfiles()) {
+    EXPECT_FALSE(p->name.empty());
+    EXPECT_GT(p->disk_in_ratio, 0);
+    EXPECT_GT(p->logical_ratio, 0);
+    EXPECT_GE(p->shuffle_ratio, 0);
+    EXPECT_GE(p->output_ratio, 0);
+    EXPECT_GT(p->hadoop.map_cpu_ts_per_mb, 0);
+    EXPECT_GT(p->datampi.map_cpu_ts_per_mb, 0);
+    EXPECT_GE(p->hadoop.map_concurrency, 1.0);
+    EXPECT_FALSE(p->chain_fractions.empty());
+    for (double f : p->chain_fractions) EXPECT_GT(f, 0);
+    if (p->spark_supported) {
+      EXPECT_GT(p->spark.map_cpu_ts_per_mb, 0);
+    }
+  }
+}
+
+TEST(SimFwProfilesTest, HadoopBurnsMoreCpuPerByteEverywhere) {
+  // The paper's central CPU-efficiency observation, as a profile
+  // invariant: Hadoop's per-byte cost exceeds DataMPI's per workload.
+  for (const auto* p : AllProfiles()) {
+    EXPECT_GT(p->hadoop.map_cpu_ts_per_mb, p->datampi.map_cpu_ts_per_mb)
+        << p->name;
+  }
+}
+
+}  // namespace
+}  // namespace dmb::simfw

@@ -1,0 +1,210 @@
+// Shape tests for the simulated framework models: the qualitative
+// relations the paper reports must hold (who wins, OOM matrix, phase
+// overlap, scaling, small-job overheads).
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "simfw/experiment.h"
+#include "simfw/profiles.h"
+
+namespace dmb::simfw {
+namespace {
+
+ExperimentResult RunSim(Framework fw, const WorkloadProfile& profile,
+                     int64_t gb, bool monitor = false) {
+  ExperimentOptions options;
+  options.run.monitor = monitor;
+  return SimulateWorkload(fw, profile, gb * kGiB, options);
+}
+
+TEST(SimFwTest, TextSortOrderingMatchesPaper) {
+  // 8 GB Text Sort: DataMPI fastest; Hadoop and Spark comparable.
+  const auto h = RunSim(Framework::kHadoop, TextSortProfile(), 8);
+  const auto s = RunSim(Framework::kSpark, TextSortProfile(), 8);
+  const auto d = RunSim(Framework::kDataMPI, TextSortProfile(), 8);
+  ASSERT_TRUE(h.job.ok());
+  ASSERT_TRUE(s.job.ok()) << s.job.status;
+  ASSERT_TRUE(d.job.ok());
+  EXPECT_LT(d.job.seconds, s.job.seconds);
+  EXPECT_LT(d.job.seconds, h.job.seconds);
+  // Improvement vs Hadoop in the paper's 34-42% band (tolerant bounds).
+  const double improvement = 1.0 - d.job.seconds / h.job.seconds;
+  EXPECT_GT(improvement, 0.25) << d.job.seconds << " vs " << h.job.seconds;
+  EXPECT_LT(improvement, 0.55);
+}
+
+TEST(SimFwTest, SparkOomMatrixMatchesPaper) {
+  // Text Sort: 8 GB survives, 16+ GB dies. Normal Sort: dies at 4 GB.
+  EXPECT_TRUE(RunSim(Framework::kSpark, TextSortProfile(), 8).job.ok());
+  EXPECT_TRUE(RunSim(Framework::kSpark, TextSortProfile(), 16)
+                  .job.status.IsOutOfMemory());
+  EXPECT_TRUE(RunSim(Framework::kSpark, TextSortProfile(), 32)
+                  .job.status.IsOutOfMemory());
+  EXPECT_TRUE(RunSim(Framework::kSpark, NormalSortProfile(), 4)
+                  .job.status.IsOutOfMemory());
+  EXPECT_TRUE(RunSim(Framework::kSpark, NormalSortProfile(), 8)
+                  .job.status.IsOutOfMemory());
+  // WordCount / Grep / K-means never OOM.
+  EXPECT_TRUE(RunSim(Framework::kSpark, WordCountProfile(), 64).job.ok());
+  EXPECT_TRUE(RunSim(Framework::kSpark, GrepProfile(), 64).job.ok());
+  EXPECT_TRUE(RunSim(Framework::kSpark, KmeansProfile(), 64).job.ok());
+}
+
+TEST(SimFwTest, NaiveBayesHasNoSparkImplementation) {
+  const auto s = RunSim(Framework::kSpark, NaiveBayesProfile(), 8);
+  EXPECT_EQ(s.job.status.code(), StatusCode::kNotImplemented);
+}
+
+TEST(SimFwTest, WordCountDataMPIAndSparkBeatHadoopByHalf) {
+  const auto h = RunSim(Framework::kHadoop, WordCountProfile(), 32);
+  const auto s = RunSim(Framework::kSpark, WordCountProfile(), 32);
+  const auto d = RunSim(Framework::kDataMPI, WordCountProfile(), 32);
+  ASSERT_TRUE(h.job.ok() && s.job.ok() && d.job.ok());
+  // Paper: both ~53% better than Hadoop and similar to each other.
+  EXPECT_GT(1.0 - d.job.seconds / h.job.seconds, 0.40);
+  EXPECT_GT(1.0 - s.job.seconds / h.job.seconds, 0.40);
+  const double rel =
+      std::abs(d.job.seconds - s.job.seconds) / s.job.seconds;
+  EXPECT_LT(rel, 0.25) << "DataMPI and Spark similar on WordCount";
+}
+
+TEST(SimFwTest, GrepOrderingDataMPIBestSparkSecond) {
+  const auto h = RunSim(Framework::kHadoop, GrepProfile(), 32);
+  const auto s = RunSim(Framework::kSpark, GrepProfile(), 32);
+  const auto d = RunSim(Framework::kDataMPI, GrepProfile(), 32);
+  ASSERT_TRUE(h.job.ok() && s.job.ok() && d.job.ok());
+  EXPECT_LT(d.job.seconds, s.job.seconds);
+  EXPECT_LT(s.job.seconds, h.job.seconds);
+}
+
+TEST(SimFwTest, ExecutionTimeScalesWithDataSize) {
+  for (Framework fw :
+       {Framework::kHadoop, Framework::kSpark, Framework::kDataMPI}) {
+    double prev = 0.0;
+    for (int64_t gb : {8, 16, 32, 64}) {
+      const auto r = RunSim(fw, WordCountProfile(), gb);
+      ASSERT_TRUE(r.job.ok());
+      EXPECT_GT(r.job.seconds, prev)
+          << FrameworkName(fw) << " at " << gb << " GB";
+      prev = r.job.seconds;
+    }
+  }
+}
+
+TEST(SimFwTest, SmallJobOverheadDominatedByHadoop) {
+  ExperimentOptions options;
+  options.run.slots_per_node = 1;  // paper: one task per node
+  const int64_t small = 128 * kMiB;
+  const auto h =
+      SimulateWorkload(Framework::kHadoop, WordCountProfile(), small, options);
+  const auto s =
+      SimulateWorkload(Framework::kSpark, WordCountProfile(), small, options);
+  const auto d = SimulateWorkload(Framework::kDataMPI, WordCountProfile(),
+                                  small, options);
+  ASSERT_TRUE(h.job.ok() && s.job.ok() && d.job.ok());
+  // Paper: DataMPI ~= Spark, both ~54% faster than Hadoop.
+  EXPECT_GT(1.0 - d.job.seconds / h.job.seconds, 0.35);
+  EXPECT_LT(std::abs(d.job.seconds - s.job.seconds) /
+                std::max(d.job.seconds, s.job.seconds),
+            0.45);
+}
+
+TEST(SimFwTest, DataMPIPhase1IncludesTheShuffle) {
+  // The pipelined shuffle means the O phase is a large fraction of the
+  // job while Hadoop's map phase is a smaller one (its shuffle+reduce
+  // tail is long).
+  const auto d = RunSim(Framework::kDataMPI, TextSortProfile(), 8);
+  const auto h = RunSim(Framework::kHadoop, TextSortProfile(), 8);
+  ASSERT_TRUE(d.job.ok() && h.job.ok());
+  EXPECT_GT(d.job.phase1_seconds, 0);
+  EXPECT_GT(h.job.phase1_seconds, 0);
+  EXPECT_LT(d.job.phase1_seconds, d.job.seconds);
+  EXPECT_LT(h.job.phase1_seconds, h.job.seconds);
+}
+
+TEST(SimFwTest, MonitoredRunProducesAllSeries) {
+  const auto d = RunSim(Framework::kDataMPI, TextSortProfile(), 8, true);
+  ASSERT_TRUE(d.job.ok());
+  for (const char* name : {"cpu.threads", "disk.read_mbps",
+                           "disk.write_mbps", "net.tx_mbps",
+                           "mem.per_node_gb"}) {
+    EXPECT_TRUE(d.job.series.count(name)) << name;
+  }
+  EXPECT_GT(d.averages.cpu_pct, 0);
+  EXPECT_LT(d.averages.cpu_pct, 100);
+  EXPECT_GT(d.averages.mem_gb, 0);
+}
+
+TEST(SimFwTest, SortResourceProfileShape) {
+  // Paper Figure 4(a-d): DataMPI's network throughput beats Hadoop's,
+  // Hadoop burns more CPU, memory footprints comparable.
+  const auto h = RunSim(Framework::kHadoop, TextSortProfile(), 8, true);
+  const auto d = RunSim(Framework::kDataMPI, TextSortProfile(), 8, true);
+  ASSERT_TRUE(h.job.ok() && d.job.ok());
+  EXPECT_GT(d.averages.net_mbps, h.averages.net_mbps)
+      << "pipelined shuffle sustains higher network throughput";
+  EXPECT_LT(d.averages.cpu_pct, h.averages.cpu_pct + 20);
+  EXPECT_GT(d.averages.disk_read_mbps, 0);
+  EXPECT_GT(h.averages.disk_write_mbps, d.averages.disk_write_mbps * 0.8);
+}
+
+TEST(SimFwTest, WordCountCpuShape) {
+  // Paper Figure 4(e): Hadoop ~80% CPU, DataMPI ~47%, Spark ~30%.
+  const auto h = RunSim(Framework::kHadoop, WordCountProfile(), 32, true);
+  const auto s = RunSim(Framework::kSpark, WordCountProfile(), 32, true);
+  const auto d = RunSim(Framework::kDataMPI, WordCountProfile(), 32, true);
+  ASSERT_TRUE(h.job.ok() && s.job.ok() && d.job.ok());
+  EXPECT_GT(h.averages.cpu_pct, d.averages.cpu_pct);
+  EXPECT_GT(d.averages.cpu_pct, s.averages.cpu_pct);
+}
+
+TEST(SimFwTest, SlotsTuningPeaksAtFour) {
+  // Figure 2(b): 4 tasks/workers per node beats 2 and 6, for all three.
+  for (Framework fw :
+       {Framework::kHadoop, Framework::kSpark, Framework::kDataMPI}) {
+    auto throughput = [&](int slots) {
+      ExperimentOptions options;
+      options.run.slots_per_node = slots;
+      // Paper methodology: 1 GB per Hadoop/DataMPI task, 128 MB per
+      // Spark worker.
+      const int64_t per_task =
+          fw == Framework::kSpark ? 128 * kMiB : 1 * kGiB;
+      const int64_t data = per_task * slots * 8;
+      const auto r = SimulateWorkload(fw, TextSortProfile(), data, options);
+      EXPECT_TRUE(r.job.ok()) << FrameworkName(fw) << " slots=" << slots;
+      return static_cast<double>(data) / kMiB / r.job.seconds;
+    };
+    const double t2 = throughput(2);
+    const double t4 = throughput(4);
+    const double t6 = throughput(6);
+    EXPECT_GT(t4, t2) << FrameworkName(fw);
+    EXPECT_GT(t4, t6) << FrameworkName(fw);
+  }
+}
+
+TEST(SimFwTest, DeterministicAcrossRuns) {
+  const auto a = RunSim(Framework::kHadoop, GrepProfile(), 16);
+  const auto b = RunSim(Framework::kHadoop, GrepProfile(), 16);
+  ASSERT_TRUE(a.job.ok() && b.job.ok());
+  EXPECT_DOUBLE_EQ(a.job.seconds, b.job.seconds);
+}
+
+TEST(SimFwTest, KmeansAndBayesOrderings) {
+  const auto hk = RunSim(Framework::kHadoop, KmeansProfile(), 16);
+  const auto sk = RunSim(Framework::kSpark, KmeansProfile(), 16);
+  const auto dk = RunSim(Framework::kDataMPI, KmeansProfile(), 16);
+  ASSERT_TRUE(hk.job.ok() && sk.job.ok() && dk.job.ok());
+  EXPECT_LT(dk.job.seconds, sk.job.seconds);
+  EXPECT_LT(sk.job.seconds, hk.job.seconds);
+
+  const auto hb = RunSim(Framework::kHadoop, NaiveBayesProfile(), 16);
+  const auto db = RunSim(Framework::kDataMPI, NaiveBayesProfile(), 16);
+  ASSERT_TRUE(hb.job.ok() && db.job.ok());
+  const double improvement = 1.0 - db.job.seconds / hb.job.seconds;
+  EXPECT_GT(improvement, 0.20);
+  EXPECT_LT(improvement, 0.55);
+}
+
+}  // namespace
+}  // namespace dmb::simfw

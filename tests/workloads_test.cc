@@ -1,0 +1,378 @@
+// Cross-engine agreement tests: every workload must produce identical
+// results on DataMPI, the Hadoop-like engine, the Spark-like engine, and
+// the single-threaded reference oracle.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "datagen/seqfile.h"
+#include "datagen/text_generator.h"
+#include "datagen/vectors.h"
+#include "workloads/kmeans.h"
+#include "workloads/micro.h"
+#include "workloads/naive_bayes.h"
+#include "workloads/text_utils.h"
+
+namespace dmb::workloads {
+namespace {
+
+std::vector<std::string> TestCorpus(int64_t bytes, uint64_t seed = 2014) {
+  datagen::TextGenOptions options;
+  options.seed = seed;
+  datagen::TextGenerator gen(options);
+  return gen.GenerateLines(bytes);
+}
+
+// ---- Tokenizer / Grep pattern kernels ----
+
+TEST(TextUtilsTest, TokenizeSkipsRuns) {
+  auto tokens = Tokenize("  hello   world \t x ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[2], "x");
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   ").empty());
+}
+
+TEST(GrepPatternTest, LiteralSubstring) {
+  GrepPattern p("abc");
+  EXPECT_TRUE(p.Matches("xxabcyy"));
+  EXPECT_TRUE(p.Matches("abc"));
+  EXPECT_FALSE(p.Matches("ab c"));
+  EXPECT_EQ(p.CountMatches("abcabc"), 2);
+}
+
+TEST(GrepPatternTest, DotAndStar) {
+  GrepPattern p("a.c");
+  EXPECT_TRUE(p.Matches("axc"));
+  EXPECT_FALSE(p.Matches("ac"));
+  GrepPattern star("ab*c");
+  EXPECT_TRUE(star.Matches("ac"));
+  EXPECT_TRUE(star.Matches("abbbbc"));
+  EXPECT_FALSE(star.Matches("adc"));
+}
+
+TEST(GrepPatternTest, CharClassAndAnchors) {
+  GrepPattern cls("x[a-m]z");
+  EXPECT_TRUE(cls.Matches("xez"));
+  EXPECT_FALSE(cls.Matches("xqz"));
+  GrepPattern begin("^abc");
+  EXPECT_TRUE(begin.Matches("abcdef"));
+  EXPECT_FALSE(begin.Matches("zabc"));
+  GrepPattern end("xyz$");
+  EXPECT_TRUE(end.Matches("wxyz"));
+  EXPECT_FALSE(end.Matches("xyzw"));
+}
+
+// ---- WordCount ----
+
+TEST(WordCountTest, AllEnginesAgreeWithOracle) {
+  const auto lines = TestCorpus(64 * 1024);
+  const auto oracle = ReferenceWordCount(lines);
+  EngineConfig config;
+  auto datampi = WordCountDataMPI(lines, config);
+  auto mapreduce = WordCountMapReduce(lines, config);
+  auto rdd = WordCountRdd(lines, config);
+  ASSERT_TRUE(datampi.ok()) << datampi.status();
+  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
+  ASSERT_TRUE(rdd.ok()) << rdd.status();
+  EXPECT_EQ(*datampi, oracle);
+  EXPECT_EQ(*mapreduce, oracle);
+  EXPECT_EQ(*rdd, oracle);
+}
+
+TEST(WordCountTest, EmptyInput) {
+  EngineConfig config;
+  auto result = WordCountDataMPI({}, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+class WordCountParallelismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WordCountParallelismTest, ResultIndependentOfParallelism) {
+  const auto lines = TestCorpus(16 * 1024, /*seed=*/5);
+  const auto oracle = ReferenceWordCount(lines);
+  EngineConfig config;
+  config.parallelism = GetParam();
+  auto result = WordCountDataMPI(lines, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, WordCountParallelismTest,
+                         ::testing::Values(1, 2, 3, 8));
+
+// ---- Grep ----
+
+TEST(GrepTest, AllEnginesAgreeWithOracle) {
+  const auto lines = TestCorpus(64 * 1024);
+  const std::string pattern = "ab";
+  GrepPattern compiled(pattern);
+  auto oracle_lines = ReferenceGrep(lines, compiled);
+  std::sort(oracle_lines.begin(), oracle_lines.end());
+  EngineConfig config;
+  auto datampi = GrepDataMPI(lines, pattern, config);
+  auto mapreduce = GrepMapReduce(lines, pattern, config);
+  auto rdd = GrepRdd(lines, pattern, config);
+  ASSERT_TRUE(datampi.ok()) << datampi.status();
+  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
+  ASSERT_TRUE(rdd.ok()) << rdd.status();
+  EXPECT_EQ(datampi->matched_lines, oracle_lines);
+  EXPECT_EQ(mapreduce->matched_lines, oracle_lines);
+  EXPECT_EQ(rdd->matched_lines, oracle_lines);
+  EXPECT_EQ(datampi->total_matches, mapreduce->total_matches);
+  EXPECT_EQ(datampi->total_matches, rdd->total_matches);
+  EXPECT_GT(datampi->total_matches, 0);
+}
+
+TEST(GrepTest, NoMatches) {
+  EngineConfig config;
+  auto result = GrepDataMPI({"aaa", "bbb"}, "zzz", config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->matched_lines.empty());
+  EXPECT_EQ(result->total_matches, 0);
+}
+
+// ---- Text Sort ----
+
+TEST(TextSortTest, AllEnginesProduceSortedPermutation) {
+  auto lines = TestCorpus(48 * 1024);
+  std::vector<std::string> expected = lines;
+  std::sort(expected.begin(), expected.end());
+  EngineConfig config;
+  auto datampi = TextSortDataMPI(lines, config);
+  auto mapreduce = TextSortMapReduce(lines, config);
+  auto rdd = TextSortRdd(lines, config);
+  ASSERT_TRUE(datampi.ok()) << datampi.status();
+  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
+  ASSERT_TRUE(rdd.ok()) << rdd.status();
+  EXPECT_EQ(*datampi, expected);
+  EXPECT_EQ(*mapreduce, expected);
+  EXPECT_EQ(*rdd, expected);
+}
+
+TEST(TextSortTest, AlreadySortedAndReversedInputs) {
+  std::vector<std::string> sorted;
+  for (int i = 0; i < 100; ++i) {
+    sorted.push_back("line" + std::to_string(1000 + i));
+  }
+  std::vector<std::string> reversed(sorted.rbegin(), sorted.rend());
+  EngineConfig config;
+  auto a = TextSortDataMPI(sorted, config);
+  auto b = TextSortDataMPI(reversed, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, sorted);
+  EXPECT_EQ(*b, sorted);
+}
+
+TEST(TextSortTest, DuplicateKeysPreserved) {
+  std::vector<std::string> lines = {"dup", "dup", "aaa", "dup"};
+  EngineConfig config;
+  auto result = TextSortDataMPI(lines, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<std::string>{"aaa", "dup", "dup", "dup"}));
+}
+
+// ---- Normal Sort ----
+
+TEST(NormalSortTest, SeqFileInOutSortedAndComplete) {
+  const auto lines = TestCorpus(32 * 1024);
+  const std::string input = datagen::ToSeqFile(lines);
+  EngineConfig config;
+  auto datampi = NormalSortDataMPI(input, config);
+  auto mapreduce = NormalSortMapReduce(input, config);
+  ASSERT_TRUE(datampi.ok()) << datampi.status();
+  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
+  auto check = [&](const std::string& file) {
+    auto records = datagen::SeqFileReader::ReadAll(file);
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records->size(), lines.size());
+    for (size_t i = 1; i < records->size(); ++i) {
+      EXPECT_LE((*records)[i - 1].first, (*records)[i].first);
+    }
+    // Every record still has key == value (ToSeqFile invariant).
+    for (const auto& [k, v] : *records) EXPECT_EQ(k, v);
+  };
+  check(*datampi);
+  check(*mapreduce);
+}
+
+TEST(NormalSortTest, RddDriverMirrorsThePaperOomBehaviour) {
+  const auto lines = TestCorpus(24 * 1024);
+  const std::string input = datagen::ToSeqFile(lines);
+  EngineConfig config;
+  // Generous executor budget: succeeds and matches the DataMPI output.
+  auto big = NormalSortRdd(input, config, int64_t{64} << 20);
+  ASSERT_TRUE(big.ok()) << big.status();
+  auto reference = NormalSortDataMPI(input, config);
+  ASSERT_TRUE(reference.ok());
+  auto a = datagen::SeqFileReader::ReadAll(*big);
+  auto b = datagen::SeqFileReader::ReadAll(*reference);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  // Tiny executor budget: the sortByKey materialization OOMs, exactly
+  // like the paper's Spark Normal Sort runs.
+  auto small = NormalSortRdd(input, config, 16 << 10);
+  ASSERT_FALSE(small.ok());
+  EXPECT_TRUE(small.status().IsOutOfMemory()) << small.status();
+}
+
+// ---- Grep matcher property fuzz ----
+
+class GrepFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrepFuzzTest, LiteralPatternsMatchFindSemantics) {
+  // Property: for pure literal patterns, Matches(line) must equal
+  // line.find(pattern) != npos, for random lines over a tiny alphabet
+  // (which maximizes accidental matches).
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string pattern;
+    const int plen = 1 + static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < plen; ++i) {
+      pattern.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    std::string line;
+    const int llen = static_cast<int>(rng.Uniform(20));
+    for (int i = 0; i < llen; ++i) {
+      line.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    GrepPattern compiled(pattern);
+    const bool expect = line.find(pattern) != std::string::npos;
+    EXPECT_EQ(compiled.Matches(line), expect)
+        << "pattern='" << pattern << "' line='" << line << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrepFuzzTest, ::testing::Range(0, 4));
+
+TEST(GrepFuzzTest, StarPatternsAgainstHandOracle) {
+  // a*b over {a,b}: matches iff line contains 'b' (zero or more a's
+  // before a b always exists at the first 'b').
+  GrepPattern star("a*b");
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string line;
+    const int llen = static_cast<int>(rng.Uniform(12));
+    for (int i = 0; i < llen; ++i) {
+      line.push_back(rng.Bernoulli(0.5) ? 'a' : 'b');
+    }
+    const bool expect = line.find('b') != std::string::npos;
+    EXPECT_EQ(star.Matches(line), expect) << "line='" << line << "'";
+  }
+}
+
+// ---- K-means ----
+
+TEST(KmeansTest, OneIterationAgreesAcrossEngines) {
+  datagen::KmeansDataOptions data_options;
+  auto vectors = datagen::GenerateKmeansVectors(300, data_options);
+  const uint32_t dim = datagen::KmeansDimension(data_options);
+  KmeansModel model = InitialCentroids(vectors, 5, dim);
+  const KmeansModel oracle = KmeansIterationReference(vectors, model);
+  EngineConfig config;
+  auto datampi = KmeansIterationDataMPI(vectors, model, config);
+  auto mapreduce = KmeansIterationMapReduce(vectors, model, config);
+  auto rdd = KmeansIterationRdd(vectors, model, config);
+  ASSERT_TRUE(datampi.ok()) << datampi.status();
+  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
+  ASSERT_TRUE(rdd.ok()) << rdd.status();
+  EXPECT_EQ(oracle.counts, datampi->counts);
+  EXPECT_EQ(oracle.counts, mapreduce->counts);
+  EXPECT_EQ(oracle.counts, rdd->counts);
+  EXPECT_LT(MaxCentroidShift(oracle, *datampi), 1e-9);
+  EXPECT_LT(MaxCentroidShift(oracle, *mapreduce), 1e-9);
+  EXPECT_LT(MaxCentroidShift(oracle, *rdd), 1e-9);
+}
+
+TEST(KmeansTest, TrainingConvergesOnSeparableData) {
+  datagen::KmeansDataOptions data_options;
+  auto vectors = datagen::GenerateKmeansVectors(250, data_options);
+  const uint32_t dim = datagen::KmeansDimension(data_options);
+  EngineConfig config;
+  auto trained = KmeansTrainDataMPI(vectors, 5, dim, /*threshold=*/0.5,
+                                    /*max_iterations=*/20, config);
+  ASSERT_TRUE(trained.ok()) << trained.status();
+  EXPECT_LE(trained->second, 20);
+  // All points assigned; cluster sizes sum to n.
+  int64_t total = 0;
+  for (int64_t c : trained->first.counts) total += c;
+  EXPECT_EQ(total, 250);
+}
+
+TEST(KmeansTest, EmptyClusterKeepsPreviousCentroid) {
+  // Two identical far-away points and k=2 with centroid 1 unreachable.
+  std::vector<SparseVector> vectors(3);
+  vectors[0].entries = {{0, 1.0f}};
+  vectors[1].entries = {{0, 1.0f}};
+  vectors[2].entries = {{0, 1.0f}};
+  KmeansModel model;
+  model.centroids = {{1.0, 0.0}, {100.0, 0.0}};
+  model.counts = {0, 0};
+  const KmeansModel next = KmeansIterationReference(vectors, model);
+  EXPECT_EQ(next.counts[0], 3);
+  EXPECT_EQ(next.counts[1], 0);
+  EXPECT_EQ(next.centroids[1][0], 100.0) << "empty cluster unchanged";
+}
+
+TEST(KmeansTest, DistanceKernelMatchesSlowPath) {
+  datagen::KmeansDataOptions data_options;
+  auto vectors = datagen::GenerateKmeansVectors(10, data_options);
+  std::vector<double> centroid(1000, 0.0);
+  centroid[3] = 2.0;
+  centroid[999] = 1.0;
+  double norm2 = 0;
+  for (double v : centroid) norm2 += v * v;
+  for (const auto& x : vectors) {
+    EXPECT_NEAR(SparseDenseDistance2(x, centroid, norm2),
+                x.SquaredDistance(centroid), 1e-6);
+  }
+}
+
+// ---- Naive Bayes ----
+
+TEST(NaiveBayesTest, TrainersAgreeWithOracle) {
+  auto docs = datagen::GenerateBayesDocs(48 * 1024);
+  const auto oracle = TrainNaiveBayesReference(docs, 5);
+  EngineConfig config;
+  auto datampi = TrainNaiveBayesDataMPI(docs, 5, config);
+  auto mapreduce = TrainNaiveBayesMapReduce(docs, 5, config);
+  ASSERT_TRUE(datampi.ok()) << datampi.status();
+  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
+  EXPECT_TRUE(*datampi == oracle);
+  EXPECT_TRUE(*mapreduce == oracle);
+}
+
+TEST(NaiveBayesTest, ClassifierSeparatesTheSeedModels) {
+  auto train = datagen::GenerateBayesDocs(128 * 1024);
+  datagen::KmeansDataOptions holdout_options;
+  holdout_options.seed = 777;  // unseen docs
+  auto test = datagen::GenerateBayesDocs(16 * 1024, holdout_options);
+  EngineConfig config;
+  auto model = TrainNaiveBayesDataMPI(train, 5, config);
+  ASSERT_TRUE(model.ok()) << model.status();
+  const double accuracy = EvaluateAccuracy(*model, test);
+  EXPECT_GT(accuracy, 0.9) << "disjoint vocabularies must be separable";
+}
+
+TEST(NaiveBayesTest, ModelCountsAreConsistent) {
+  auto docs = datagen::GenerateBayesDocs(16 * 1024);
+  const auto model = TrainNaiveBayesReference(docs, 5);
+  EXPECT_EQ(model.total_docs(), static_cast<int64_t>(docs.size()));
+  int64_t doc_sum = 0;
+  for (int64_t c : model.doc_counts()) doc_sum += c;
+  EXPECT_EQ(doc_sum, model.total_docs());
+  int64_t term_sum = 0;
+  for (int64_t t : model.term_totals()) term_sum += t;
+  int64_t expected_terms = 0;
+  for (const auto& d : docs) {
+    expected_terms += static_cast<int64_t>(Tokenize(d.text).size());
+  }
+  EXPECT_EQ(term_sum, expected_terms);
+}
+
+}  // namespace
+}  // namespace dmb::workloads
