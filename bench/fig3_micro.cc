@@ -3,12 +3,17 @@
 //   (b) Text Sort,   8-64 GB   (all three; Spark OOMs above 8 GB)
 //   (c) WordCount,   8-64 GB   (all three)
 //   (d) Grep,        8-64 GB   (all three)
-// Prints the simulated seconds and the improvement columns the paper
-// quotes (DataMPI 29-33% / 34-42% / 47-55% / 33-42% over Hadoop).
+// The per-engine columns come from the engine registry — one simulated
+// run per registered engine — so a new engine is a new column, not a
+// new code path. Prints the simulated seconds and the improvement
+// columns the paper quotes (DataMPI 29-33% / 34-42% / 47-55% / 33-42%
+// over Hadoop).
 
+#include <map>
 #include <vector>
 
 #include "bench_util.h"
+#include "engine/registry.h"
 
 namespace dmb::bench {
 namespace {
@@ -21,28 +26,42 @@ using simfw::WorkloadProfile;
 void RunSeries(const WorkloadProfile& profile, const std::vector<int>& sizes,
                bool with_spark) {
   PrintBanner(std::cout, "Figure 3: " + profile.name);
-  TablePrinter table({"data (GB)", "Hadoop (s)", "Spark (s)", "DataMPI (s)",
-                      "DataMPI vs Hadoop", "DataMPI vs Spark"});
+  const auto& engines = engine::Engines();
+  std::vector<std::string> header = {"data (GB)"};
+  for (const auto& info : engines) {
+    header.push_back(std::string(info.display_name) + " (s)");
+  }
+  for (const auto& info : engines) {
+    if (info.framework != Framework::kDataMPI) {
+      header.push_back("DataMPI vs " + std::string(info.display_name));
+    }
+  }
+  TablePrinter table(header);
   for (int gb : sizes) {
     const int64_t bytes = static_cast<int64_t>(gb) * kGiB;
     ExperimentOptions options;
-    const auto h = SimulateWorkload(Framework::kHadoop, profile, bytes,
-                                    options);
-    const auto d = SimulateWorkload(Framework::kDataMPI, profile, bytes,
-                                    options);
-    simfw::ExperimentResult s;
-    if (with_spark) {
-      s = SimulateWorkload(Framework::kSpark, profile, bytes, options);
-    } else {
-      s.job.status = Status::NotImplemented("not evaluated in the paper");
+    std::map<Framework, simfw::SimJobResult> runs;
+    for (const auto& info : engines) {
+      if (info.framework == Framework::kSpark && !with_spark) {
+        runs[info.framework].status =
+            Status::NotImplemented("not evaluated in the paper");
+        continue;
+      }
+      runs[info.framework] =
+          SimulateWorkload(info.framework, profile, bytes, options).job;
     }
-    table.AddRow(
-        {std::to_string(gb), Cell(h.job), Cell(s.job), Cell(d.job),
-         TablePrinter::Pct(ImprovementOver(d.job.seconds, h.job.seconds)),
-         s.job.ok()
-             ? TablePrinter::Pct(ImprovementOver(d.job.seconds,
-                                                 s.job.seconds))
-             : "-"});
+    const auto& d = runs[Framework::kDataMPI];
+    std::vector<std::string> row = {std::to_string(gb)};
+    for (const auto& info : engines) row.push_back(Cell(runs[info.framework]));
+    for (const auto& info : engines) {
+      if (info.framework == Framework::kDataMPI) continue;
+      const auto& baseline = runs[info.framework];
+      row.push_back(baseline.ok() && d.ok()
+                        ? TablePrinter::Pct(
+                              ImprovementOver(d.seconds, baseline.seconds))
+                        : "-");
+    }
+    table.AddRow(row);
   }
   table.Print(std::cout);
 }

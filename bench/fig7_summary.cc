@@ -7,14 +7,17 @@
 //   5. disk I/O throughput           (Figure 4 averages)
 //   6. network throughput            (Figure 4 averages)
 //   7. memory efficiency             (Figure 4 averages)
-// Paper reference: DataMPI improves on Hadoop by 40% (micro), 54%
-// (small), 36% (apps); on Spark by 14% and 33% (micro/apps); CPU
+// Every per-engine series is produced by iterating the engine registry;
+// DataMPI's improvement is then quoted against each other registered
+// engine. Paper reference: DataMPI improves on Hadoop by 40% (micro),
+// 54% (small), 36% (apps); on Spark by 14% and 33% (micro/apps); CPU
 // 35/34/59% (DataMPI/Spark/Hadoop); net +55%/+59% vs Spark/Hadoop.
 
 #include <map>
 #include <vector>
 
 #include "bench_util.h"
+#include "engine/registry.h"
 
 namespace dmb::bench {
 namespace {
@@ -33,12 +36,28 @@ struct Accumulator {
   double Mean() const { return n ? sum / n : 0.0; }
 };
 
-double RunSeconds(Framework fw, const simfw::WorkloadProfile& p, int64_t b,
-                  int slots = 4) {
-  ExperimentOptions options;
-  options.run.slots_per_node = slots;
-  const auto r = SimulateWorkload(fw, p, b, options);
-  return r.job.ok() ? r.job.seconds : -1.0;
+/// One simulated run per registered engine; <= 0 marks a failed run.
+std::map<Framework, double> RunAllEngines(const simfw::WorkloadProfile& p,
+                                          int64_t bytes, int slots = 4) {
+  std::map<Framework, double> seconds;
+  for (const auto& info : engine::Engines()) {
+    ExperimentOptions options;
+    options.run.slots_per_node = slots;
+    const auto r = SimulateWorkload(info.framework, p, bytes, options);
+    seconds[info.framework] = r.job.ok() ? r.job.seconds : -1.0;
+  }
+  return seconds;
+}
+
+/// Folds one engine-sweep into per-baseline improvement accumulators.
+void AddImprovements(const std::map<Framework, double>& seconds,
+                     std::map<Framework, Accumulator>* vs) {
+  const double d = seconds.at(Framework::kDataMPI);
+  if (d <= 0) return;
+  for (const auto& [fw, s] : seconds) {
+    if (fw == Framework::kDataMPI || s <= 0) continue;
+    (*vs)[fw].Add(ImprovementOver(d, s));
+  }
 }
 
 }  // namespace
@@ -51,7 +70,7 @@ int main() {
   PrintTestbed(std::cout);
 
   // --- 1. Micro-benchmarks (vs Hadoop always; vs Spark where it runs).
-  Accumulator micro_vs_hadoop, micro_vs_spark;
+  std::map<Framework, Accumulator> micro_vs;
   struct MicroCase {
     const simfw::WorkloadProfile* profile;
     std::vector<int> gbs;
@@ -64,117 +83,100 @@ int main() {
   };
   for (const auto& c : micro_cases) {
     for (int gb : c.gbs) {
-      const int64_t bytes = static_cast<int64_t>(gb) * kGiB;
-      const double h = RunSeconds(simfw::Framework::kHadoop, *c.profile, bytes);
-      const double s = RunSeconds(simfw::Framework::kSpark, *c.profile, bytes);
-      const double d =
-          RunSeconds(simfw::Framework::kDataMPI, *c.profile, bytes);
-      if (h > 0 && d > 0) micro_vs_hadoop.Add(ImprovementOver(d, h));
-      if (s > 0 && d > 0) micro_vs_spark.Add(ImprovementOver(d, s));
+      AddImprovements(
+          RunAllEngines(*c.profile, static_cast<int64_t>(gb) * kGiB),
+          &micro_vs);
     }
   }
 
   // --- 2. Small jobs.
-  Accumulator small_vs_hadoop, small_vs_spark;
+  std::map<Framework, Accumulator> small_vs;
   for (const auto* profile :
        {&simfw::TextSortProfile(), &simfw::WordCountProfile(),
         &simfw::GrepProfile()}) {
-    const double h =
-        RunSeconds(simfw::Framework::kHadoop, *profile, 128 * kMiB, 1);
-    const double s =
-        RunSeconds(simfw::Framework::kSpark, *profile, 128 * kMiB, 1);
-    const double d =
-        RunSeconds(simfw::Framework::kDataMPI, *profile, 128 * kMiB, 1);
-    if (h > 0 && d > 0) small_vs_hadoop.Add(ImprovementOver(d, h));
-    if (s > 0 && d > 0) small_vs_spark.Add(ImprovementOver(d, s));
+    AddImprovements(RunAllEngines(*profile, 128 * kMiB, /*slots=*/1),
+                    &small_vs);
   }
 
   // --- 3. Applications.
-  Accumulator app_vs_hadoop, app_vs_spark;
+  std::map<Framework, Accumulator> app_vs;
   for (int gb : {8, 16, 32, 64}) {
     const int64_t bytes = static_cast<int64_t>(gb) * kGiB;
-    const double hk =
-        RunSeconds(simfw::Framework::kHadoop, simfw::KmeansProfile(), bytes);
-    const double sk =
-        RunSeconds(simfw::Framework::kSpark, simfw::KmeansProfile(), bytes);
-    const double dk =
-        RunSeconds(simfw::Framework::kDataMPI, simfw::KmeansProfile(), bytes);
-    const double hb = RunSeconds(simfw::Framework::kHadoop,
-                                 simfw::NaiveBayesProfile(), bytes);
-    const double db = RunSeconds(simfw::Framework::kDataMPI,
-                                 simfw::NaiveBayesProfile(), bytes);
-    if (hk > 0 && dk > 0) app_vs_hadoop.Add(ImprovementOver(dk, hk));
-    if (sk > 0 && dk > 0) app_vs_spark.Add(ImprovementOver(dk, sk));
-    if (hb > 0 && db > 0) app_vs_hadoop.Add(ImprovementOver(db, hb));
+    AddImprovements(RunAllEngines(simfw::KmeansProfile(), bytes), &app_vs);
+    AddImprovements(RunAllEngines(simfw::NaiveBayesProfile(), bytes),
+                    &app_vs);
   }
 
   // --- 4-7. Resource efficiency from the two Figure-4 cases.
-  std::map<simfw::Framework, Accumulator> cpu, disk, net, mem;
-  const cluster::ClusterSpec spec;
+  std::map<Framework, Accumulator> cpu, disk, net, mem;
   for (const auto& [profile, gb] :
        std::vector<std::pair<const simfw::WorkloadProfile*, int>>{
            {&simfw::TextSortProfile(), 8}, {&simfw::WordCountProfile(), 32}}) {
-    for (simfw::Framework fw :
-         {simfw::Framework::kHadoop, simfw::Framework::kSpark,
-          simfw::Framework::kDataMPI}) {
+    for (const auto& info : engine::Engines()) {
       simfw::ExperimentOptions options;
       options.run.monitor = true;
-      const auto r = SimulateWorkload(fw, *profile,
+      const auto r = SimulateWorkload(info.framework, *profile,
                                       static_cast<int64_t>(gb) * kGiB,
                                       options);
       if (!r.job.ok()) continue;
-      cpu[fw].Add(r.averages.cpu_pct);
-      disk[fw].Add(r.averages.disk_read_mbps + r.averages.disk_write_mbps);
-      net[fw].Add(r.averages.net_mbps);
-      mem[fw].Add(r.averages.mem_gb);
+      cpu[info.framework].Add(r.averages.cpu_pct);
+      disk[info.framework].Add(r.averages.disk_read_mbps +
+                               r.averages.disk_write_mbps);
+      net[info.framework].Add(r.averages.net_mbps);
+      mem[info.framework].Add(r.averages.mem_gb);
     }
   }
 
   PrintBanner(std::cout, "Figure 7: seven-pronged summary");
   TablePrinter table({"dimension", "measured", "paper"});
   table.AddRow({"micro vs Hadoop",
-                TablePrinter::Pct(micro_vs_hadoop.Mean()), "40%"});
-  table.AddRow({"micro vs Spark", TablePrinter::Pct(micro_vs_spark.Mean()),
+                TablePrinter::Pct(micro_vs[Framework::kHadoop].Mean()),
+                "40%"});
+  table.AddRow({"micro vs Spark",
+                TablePrinter::Pct(micro_vs[Framework::kSpark].Mean()),
                 "14%"});
   table.AddRow({"small jobs vs Hadoop",
-                TablePrinter::Pct(small_vs_hadoop.Mean()), "54%"});
+                TablePrinter::Pct(small_vs[Framework::kHadoop].Mean()),
+                "54%"});
   table.AddRow({"small jobs vs Spark",
-                TablePrinter::Pct(small_vs_spark.Mean()), "~0%"});
+                TablePrinter::Pct(small_vs[Framework::kSpark].Mean()),
+                "~0%"});
   table.AddRow({"applications vs Hadoop",
-                TablePrinter::Pct(app_vs_hadoop.Mean()), "36%"});
+                TablePrinter::Pct(app_vs[Framework::kHadoop].Mean()), "36%"});
   table.AddRow({"applications vs Spark",
-                TablePrinter::Pct(app_vs_spark.Mean()), "33%"});
-  auto cpu_row = [&](simfw::Framework fw) {
+                TablePrinter::Pct(app_vs[Framework::kSpark].Mean()), "33%"});
+  auto cpu_row = [&](Framework fw) {
     return TablePrinter::Num(cpu[fw].Mean(), 0) + "%";
   };
   table.AddRow({"avg CPU D/S/H",
-                cpu_row(simfw::Framework::kDataMPI) + " / " +
-                    cpu_row(simfw::Framework::kSpark) + " / " +
-                    cpu_row(simfw::Framework::kHadoop),
+                cpu_row(Framework::kDataMPI) + " / " +
+                    cpu_row(Framework::kSpark) + " / " +
+                    cpu_row(Framework::kHadoop),
                 "35% / 34% / 59%"});
-  auto net_gain = [&](simfw::Framework fw) {
-    return TablePrinter::Pct(
-        net[simfw::Framework::kDataMPI].Mean() / net[fw].Mean() - 1.0);
+  auto net_gain = [&](Framework fw) {
+    return TablePrinter::Pct(net[Framework::kDataMPI].Mean() /
+                                 net[fw].Mean() -
+                             1.0);
   };
   table.AddRow({"net throughput gain vs S/H",
-                net_gain(simfw::Framework::kSpark) + " / " +
-                    net_gain(simfw::Framework::kHadoop),
+                net_gain(Framework::kSpark) + " / " +
+                    net_gain(Framework::kHadoop),
                 "55% / 59%"});
-  auto mem_row = [&](simfw::Framework fw) {
+  auto mem_row = [&](Framework fw) {
     return TablePrinter::Num(mem[fw].Mean(), 1);
   };
   table.AddRow({"avg memory GB D/S/H",
-                mem_row(simfw::Framework::kDataMPI) + " / " +
-                    mem_row(simfw::Framework::kSpark) + " / " +
-                    mem_row(simfw::Framework::kHadoop),
+                mem_row(Framework::kDataMPI) + " / " +
+                    mem_row(Framework::kSpark) + " / " +
+                    mem_row(Framework::kHadoop),
                 "5 / 7 / 7"});
-  auto disk_row = [&](simfw::Framework fw) {
+  auto disk_row = [&](Framework fw) {
     return TablePrinter::Num(disk[fw].Mean(), 0);
   };
   table.AddRow({"avg disk MB/s D/S/H",
-                disk_row(simfw::Framework::kDataMPI) + " / " +
-                    disk_row(simfw::Framework::kSpark) + " / " +
-                    disk_row(simfw::Framework::kHadoop),
+                disk_row(Framework::kDataMPI) + " / " +
+                    disk_row(Framework::kSpark) + " / " +
+                    disk_row(Framework::kHadoop),
                 "D ~= S, ~49% over H"});
   table.Print(std::cout);
   return 0;

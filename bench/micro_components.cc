@@ -10,6 +10,7 @@
 #include "core/partitioner.h"
 #include "datagen/codec.h"
 #include "datagen/text_generator.h"
+#include "engine/registry.h"
 #include "mpilite/mpilite.h"
 #include "workloads/micro.h"
 
@@ -176,19 +177,19 @@ void BM_WordCountEngines(benchmark::State& state) {
   datagen::TextGenerator gen;
   const auto lines = gen.GenerateLines(256 << 10);
   workloads::EngineConfig config;
-  const int which = static_cast<int>(state.range(0));
+  // One generic WordCount, timed per registry entry.
+  const auto& info =
+      engine::Engines()[static_cast<size_t>(state.range(0))];
+  auto eng = info.make();
   for (auto _ : state) {
     Result<std::map<std::string, int64_t>> result =
-        which == 0   ? workloads::WordCountDataMPI(lines, config)
-        : which == 1 ? workloads::WordCountMapReduce(lines, config)
-                     : workloads::WordCountRdd(lines, config);
+        workloads::WordCount(*eng, lines, config);
     benchmark::DoNotOptimize(result);
   }
-  state.SetLabel(which == 0   ? "DataMPI"
-                 : which == 1 ? "mapreduce"
-                              : "rddlite");
+  state.SetLabel(info.name);
 }
-BENCHMARK(BM_WordCountEngines)->Arg(0)->Arg(1)->Arg(2)
+BENCHMARK(BM_WordCountEngines)
+    ->DenseRange(0, static_cast<int>(dmb::engine::Engines().size()) - 1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

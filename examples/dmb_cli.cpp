@@ -21,6 +21,7 @@
 #include "datagen/seqfile.h"
 #include "datagen/text_generator.h"
 #include "datagen/vectors.h"
+#include "engine/registry.h"
 #include "simfw/experiment.h"
 #include "simfw/profiles.h"
 #include "workloads/kmeans.h"
@@ -86,27 +87,28 @@ int RunFunctional(const Args& args) {
   datagen::TextGenerator generator;
   Stopwatch sw;
 
+  // One engine instance from the registry drives every workload; the
+  // workloads themselves are engine-agnostic.
+  auto eng = engine::MakeEngine(args.engine);
+  if (!eng.ok()) {
+    std::cerr << eng.status() << "\n";
+    return Usage();
+  }
+
   auto report = [&](const Status& st, const std::string& summary) {
     if (!st.ok()) {
       std::cerr << "FAILED: " << st << "\n";
       return 1;
     }
     std::cout << summary << "  (wall " << FormatSeconds(sw.ElapsedSeconds())
-              << ", engine " << args.engine << ")\n";
+              << ", engine " << (*eng)->name() << ")\n";
     return 0;
   };
-
-  const bool dmpi = args.engine == "datampi";
-  const bool mr = args.engine == "mapreduce";
-  const bool rdd = args.engine == "rddlite";
-  if (!dmpi && !mr && !rdd) return Usage();
 
   if (args.workload == "wordcount") {
     const auto lines = generator.GenerateLines(args.size);
     sw.Reset();
-    auto r = dmpi ? workloads::WordCountDataMPI(lines, config)
-             : mr ? workloads::WordCountMapReduce(lines, config)
-                  : workloads::WordCountRdd(lines, config);
+    auto r = workloads::WordCount(**eng, lines, config);
     return report(r.ok() ? Status::OK() : r.status(),
                   r.ok() ? std::to_string(r->size()) + " distinct words"
                          : "");
@@ -114,9 +116,7 @@ int RunFunctional(const Args& args) {
   if (args.workload == "grep") {
     const auto lines = generator.GenerateLines(args.size);
     sw.Reset();
-    auto r = dmpi ? workloads::GrepDataMPI(lines, args.pattern, config)
-             : mr ? workloads::GrepMapReduce(lines, args.pattern, config)
-                  : workloads::GrepRdd(lines, args.pattern, config);
+    auto r = workloads::Grep(**eng, lines, args.pattern, config);
     return report(r.ok() ? Status::OK() : r.status(),
                   r.ok() ? std::to_string(r->matched_lines.size()) +
                                " matching lines, " +
@@ -127,24 +127,16 @@ int RunFunctional(const Args& args) {
   if (args.workload == "textsort") {
     const auto lines = generator.GenerateLines(args.size);
     sw.Reset();
-    auto r = dmpi ? workloads::TextSortDataMPI(lines, config)
-             : mr ? workloads::TextSortMapReduce(lines, config)
-                  : workloads::TextSortRdd(lines, config);
+    auto r = workloads::TextSort(**eng, lines, config);
     return report(r.ok() ? Status::OK() : r.status(),
                   r.ok() ? std::to_string(r->size()) + " records sorted"
                          : "");
   }
   if (args.workload == "normalsort") {
-    if (rdd) {
-      std::cerr << "normalsort has no rddlite driver (mirrors the paper: "
-                   "Spark OOMs on compressed sequence input)\n";
-      return 1;
-    }
     const auto lines = generator.GenerateLines(args.size / 2);
     const std::string seqfile = datagen::ToSeqFile(lines);
     sw.Reset();
-    auto r = dmpi ? workloads::NormalSortDataMPI(seqfile, config)
-                  : workloads::NormalSortMapReduce(seqfile, config);
+    auto r = workloads::NormalSort(**eng, seqfile, config);
     return report(r.ok() ? Status::OK() : r.status(),
                   r.ok() ? FormatBytes(static_cast<int64_t>(r->size())) +
                                " sorted sequence file"
@@ -156,10 +148,7 @@ int RunFunctional(const Args& args) {
     const uint32_t dim = datagen::KmeansDimension({});
     auto model = workloads::InitialCentroids(vectors, 5, dim);
     sw.Reset();
-    auto r = dmpi ? workloads::KmeansIterationDataMPI(vectors, model, config)
-             : mr ? workloads::KmeansIterationMapReduce(vectors, model,
-                                                        config)
-                  : workloads::KmeansIterationRdd(vectors, model, config);
+    auto r = workloads::KmeansIteration(**eng, vectors, model, config);
     std::string summary;
     if (r.ok()) {
       summary = "k-means iteration over " + std::to_string(vectors_count) +
@@ -169,15 +158,9 @@ int RunFunctional(const Args& args) {
     return report(r.ok() ? Status::OK() : r.status(), summary);
   }
   if (args.workload == "bayes") {
-    if (rdd) {
-      std::cerr << "bayes has no rddlite driver (BigDataBench 2.1 has no "
-                   "Spark implementation either)\n";
-      return 1;
-    }
     auto docs = datagen::GenerateBayesDocs(args.size);
     sw.Reset();
-    auto r = dmpi ? workloads::TrainNaiveBayesDataMPI(docs, 5, config)
-                  : workloads::TrainNaiveBayesMapReduce(docs, 5, config);
+    auto r = workloads::TrainNaiveBayes(**eng, docs, 5, config);
     return report(
         r.ok() ? Status::OK() : r.status(),
         r.ok() ? "trained on " + std::to_string(docs.size()) +
@@ -199,16 +182,11 @@ int RunSimulation(const Args& args) {
   };
   auto it = profiles.find(args.workload);
   if (it == profiles.end()) return Usage();
-  simfw::Framework fw;
-  if (args.engine == "hadoop") {
-    fw = simfw::Framework::kHadoop;
-  } else if (args.engine == "spark") {
-    fw = simfw::Framework::kSpark;
-  } else if (args.engine == "datampi") {
-    fw = simfw::Framework::kDataMPI;
-  } else {
-    return Usage();
-  }
+  // The registry maps each functional engine (or its paper-system
+  // alias) to the simulated-cluster model of the same system.
+  auto info = engine::FindEngine(args.engine);
+  if (!info.ok()) return Usage();
+  const simfw::Framework fw = (*info)->framework;
 
   simfw::ExperimentOptions options;
   options.run.slots_per_node = args.slots;

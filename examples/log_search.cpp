@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "common/units.h"
 #include "datagen/text_generator.h"
+#include "engine/registry.h"
 #include "workloads/micro.h"
 
 using namespace dmb;
@@ -36,20 +37,12 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
 
-  {
+  // The exact same query runs on every registered engine.
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
     Stopwatch sw;
-    auto r = workloads::GrepDataMPI(lines, pattern, config);
-    rows.push_back({"DataMPI  ", std::move(r), sw.ElapsedSeconds()});
-  }
-  {
-    Stopwatch sw;
-    auto r = workloads::GrepMapReduce(lines, pattern, config);
-    rows.push_back({"mapreduce", std::move(r), sw.ElapsedSeconds()});
-  }
-  {
-    Stopwatch sw;
-    auto r = workloads::GrepRdd(lines, pattern, config);
-    rows.push_back({"rddlite  ", std::move(r), sw.ElapsedSeconds()});
+    auto r = workloads::Grep(*eng, lines, pattern, config);
+    rows.push_back({info.name, std::move(r), sw.ElapsedSeconds()});
   }
 
   int64_t reference_matches = -1;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "datagen/vectors.h"
+#include "engine/registry.h"
 #include "workloads/kmeans.h"
 #include "workloads/naive_bayes.h"
 
@@ -31,9 +32,14 @@ int main(int argc, char** argv) {
 
   workloads::EngineConfig config;
   config.parallelism = 4;
-  auto trained = workloads::KmeansTrainDataMPI(vectors, /*k=*/5, dim,
-                                               /*threshold=*/0.5,
-                                               /*max_iterations=*/25, config);
+  auto eng = engine::MakeEngine("datampi");
+  if (!eng.ok()) {
+    std::cerr << eng.status() << "\n";
+    return 1;
+  }
+  auto trained = workloads::KmeansTrain(**eng, vectors, /*k=*/5, dim,
+                                        /*threshold=*/0.5,
+                                        /*max_iterations=*/25, config);
   if (!trained.ok()) {
     std::cerr << "k-means failed: " << trained.status() << "\n";
     return 1;
@@ -76,7 +82,7 @@ int main(int argc, char** argv) {
   datagen::KmeansDataOptions holdout;
   holdout.seed = 4242;
   auto test_docs = datagen::GenerateBayesDocs(32 * 1024, holdout);
-  auto bayes = workloads::TrainNaiveBayesDataMPI(train_docs, 5, config);
+  auto bayes = workloads::TrainNaiveBayes(**eng, train_docs, 5, config);
   if (!bayes.ok()) {
     std::cerr << "naive bayes failed: " << bayes.status() << "\n";
     return 1;

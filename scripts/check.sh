@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI check: configure, build, run the test suite, then build every
+# bench binary explicitly (build-only; no long benchmark runs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+BENCH_TARGETS=(
+  fig2a_dfsio_tuning
+  fig2b_slots_tuning
+  fig3_micro
+  fig4_profile
+  fig5_small_jobs
+  fig6_applications
+  fig7_summary
+  ablation_pipeline
+)
+# micro_components needs google-benchmark; build it when configured.
+if [ -f build/CMakeCache.txt ] && grep -q "^benchmark_DIR:PATH=[^-]" build/CMakeCache.txt; then
+  BENCH_TARGETS+=(micro_components)
+fi
+for target in "${BENCH_TARGETS[@]}"; do
+  cmake --build build --target "$target"
+done
+
+echo "check.sh: all green"

@@ -14,13 +14,14 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    assert(!shutdown_);
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {

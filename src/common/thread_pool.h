@@ -23,8 +23,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// \brief Enqueues a task. Must not be called after Shutdown().
-  void Submit(std::function<void()> task);
+  /// \brief Enqueues a task. After Shutdown() the task is dropped and
+  /// false is returned; submitting is always memory-safe.
+  bool Submit(std::function<void()> task);
 
   /// \brief Blocks until all submitted tasks have finished executing.
   void Wait();

@@ -1,0 +1,95 @@
+#include "engine/datampi_engine.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "core/job.h"
+
+namespace dmb::engine {
+
+namespace {
+
+/// Forwards engine::MapContext emissions into a DataMPI OContext.
+class OMapContext final : public MapContext {
+ public:
+  explicit OMapContext(datampi::OContext* ctx) : ctx_(ctx) {}
+
+  Status Emit(std::string_view key, std::string_view value) override {
+    return ctx_->Emit(key, value);
+  }
+  int task_id() const override { return ctx_->task_id(); }
+
+ private:
+  datampi::OContext* ctx_;
+};
+
+class AReduceEmitter final : public ReduceEmitter {
+ public:
+  explicit AReduceEmitter(datampi::AEmitter* out) : out_(out) {}
+
+  void Emit(std::string_view key, std::string_view value) override {
+    out_->Emit(key, value);
+  }
+
+ private:
+  datampi::AEmitter* out_;
+};
+
+std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
+  return {n * static_cast<size_t>(part) / static_cast<size_t>(parts),
+          n * static_cast<size_t>(part + 1) / static_cast<size_t>(parts)};
+}
+
+}  // namespace
+
+Result<JobOutput> DataMPIEngine::Run(const JobSpec& spec) {
+  DMB_RETURN_NOT_OK(ValidateSpec(spec));
+  datampi::JobConfig config;
+  config.num_o_ranks = spec.parallelism;
+  config.num_a_ranks = spec.parallelism;
+  config.partitioner = spec.partitioner;
+  config.combiner = spec.combiner;
+  config.sort_by_key = spec.sort_by_key;
+  if (spec.memory_budget_bytes > 0) {
+    config.a_memory_budget_bytes = spec.memory_budget_bytes;
+  }
+  if (spec.spill == SpillPolicy::kAlwaysSpill) {
+    // Spilling is pressure-driven; a one-byte budget forces it per batch.
+    config.a_memory_budget_bytes = 1;
+  } else if (spec.spill == SpillPolicy::kMemoryOnly &&
+             spec.memory_budget_bytes == 0) {
+    config.a_memory_budget_bytes = INT64_MAX;
+  }
+
+  const std::vector<KVPair>& input = *spec.input;
+  datampi::DataMPIJob job(config);
+  DMB_ASSIGN_OR_RETURN(
+      datampi::JobResult result,
+      job.Run(
+          [&](datampi::OContext* ctx) -> Status {
+            OMapContext map_ctx(ctx);
+            auto [begin, end] =
+                SplitRange(input.size(), ctx->task_id(), spec.parallelism);
+            for (size_t i = begin; i < end; ++i) {
+              DMB_RETURN_NOT_OK(
+                  spec.map_fn(input[i].key, input[i].value, &map_ctx));
+            }
+            return Status::OK();
+          },
+          [&](std::string_view key, const std::vector<std::string>& values,
+              datampi::AEmitter* out) -> Status {
+            AReduceEmitter emitter(out);
+            return spec.reduce_fn(key, values, &emitter);
+          }));
+
+  JobOutput output;
+  output.partitions = std::move(result.a_outputs);
+  output.stats.map_output_records = result.stats.o_records_emitted;
+  output.stats.shuffle_bytes = result.stats.shuffle_bytes;
+  output.stats.spill_count = result.stats.a_spill_count;
+  output.stats.reduce_input_records = result.stats.a_records_received;
+  output.stats.output_records = result.stats.output_records;
+  return output;
+}
+
+}  // namespace dmb::engine

@@ -1,0 +1,21 @@
+// DataMPI adapter: runs an engine::JobSpec as a bipartite O/A job over
+// mpilite (pipelined shuffle, A-side SpillableKVBuffer).
+
+#ifndef DATAMPI_BENCH_ENGINE_DATAMPI_ENGINE_H_
+#define DATAMPI_BENCH_ENGINE_DATAMPI_ENGINE_H_
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace dmb::engine {
+
+class DataMPIEngine final : public Engine {
+ public:
+  std::string name() const override { return "datampi"; }
+  Result<JobOutput> Run(const JobSpec& spec) override;
+};
+
+}  // namespace dmb::engine
+
+#endif  // DATAMPI_BENCH_ENGINE_DATAMPI_ENGINE_H_

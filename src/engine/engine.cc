@@ -1,0 +1,69 @@
+#include "engine/engine.h"
+
+namespace dmb::engine {
+
+std::vector<KVPair> JobOutput::Merged() const {
+  std::vector<KVPair> all;
+  size_t total = 0;
+  for (const auto& part : partitions) total += part.size();
+  all.reserve(total);
+  for (const auto& part : partitions) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+Status ValidateSpec(const JobSpec& spec) {
+  if (!spec.input) {
+    return Status::InvalidArgument("JobSpec.input is not set");
+  }
+  if (!spec.map_fn) {
+    return Status::InvalidArgument("JobSpec.map_fn is not set");
+  }
+  if (!spec.reduce_fn) {
+    return Status::InvalidArgument("JobSpec.reduce_fn is not set");
+  }
+  if (spec.parallelism < 1) {
+    return Status::InvalidArgument("JobSpec.parallelism must be >= 1");
+  }
+  if (spec.memory_budget_bytes < 0) {
+    return Status::InvalidArgument("JobSpec.memory_budget_bytes < 0");
+  }
+  return Status::OK();
+}
+
+ReduceFn CombinerAsReduce(CombinerFn combiner) {
+  return [combiner = std::move(combiner)](
+             std::string_view key, const std::vector<std::string>& values,
+             ReduceEmitter* out) -> Status {
+    out->Emit(key, combiner(key, values));
+    return Status::OK();
+  };
+}
+
+std::shared_ptr<const std::vector<KVPair>> LinesAsInput(
+    const std::vector<std::string>& lines) {
+  auto input = std::make_shared<std::vector<KVPair>>();
+  input->reserve(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    input->push_back(KVPair{std::to_string(i), lines[i]});
+  }
+  return input;
+}
+
+std::shared_ptr<const std::vector<KVPair>> PairsAsInput(
+    std::vector<KVPair> records) {
+  return std::make_shared<const std::vector<KVPair>>(std::move(records));
+}
+
+std::shared_ptr<const std::vector<KVPair>> IndexInput(size_t n) {
+  auto input = std::make_shared<std::vector<KVPair>>();
+  input->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string idx = std::to_string(i);
+    input->push_back(KVPair{idx, idx});
+  }
+  return input;
+}
+
+}  // namespace dmb::engine

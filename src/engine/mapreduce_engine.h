@@ -1,0 +1,21 @@
+// Hadoop-like adapter: runs an engine::JobSpec through src/mapreduce
+// (strict map/reduce phase barrier, disk-staged shuffle runs).
+
+#ifndef DATAMPI_BENCH_ENGINE_MAPREDUCE_ENGINE_H_
+#define DATAMPI_BENCH_ENGINE_MAPREDUCE_ENGINE_H_
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace dmb::engine {
+
+class MapReduceEngine final : public Engine {
+ public:
+  std::string name() const override { return "mapreduce"; }
+  Result<JobOutput> Run(const JobSpec& spec) override;
+};
+
+}  // namespace dmb::engine
+
+#endif  // DATAMPI_BENCH_ENGINE_MAPREDUCE_ENGINE_H_

@@ -1,0 +1,263 @@
+#include "engine/rdd_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "rddlite/rdd.h"
+
+namespace dmb::engine {
+
+namespace {
+
+using StrPair = std::pair<std::string, std::string>;
+
+std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
+  return {n * static_cast<size_t>(part) / static_cast<size_t>(parts),
+          n * static_cast<size_t>(part + 1) / static_cast<size_t>(parts)};
+}
+
+bool PairLess(const StrPair& a, const StrPair& b) {
+  if (a.first != b.first) return a.first < b.first;
+  return a.second < b.second;
+}
+
+/// Collects map emissions of one partition.
+class CollectingMapContext final : public MapContext {
+ public:
+  explicit CollectingMapContext(int task_id) : task_id_(task_id) {}
+
+  Status Emit(std::string_view key, std::string_view value) override {
+    out_.emplace_back(std::string(key), std::string(value));
+    return Status::OK();
+  }
+  int task_id() const override { return task_id_; }
+
+  std::vector<StrPair> Take() { return std::move(out_); }
+
+ private:
+  int task_id_;
+  std::vector<StrPair> out_;
+};
+
+/// Narrow stage: applies the user map function (plus the map-side
+/// combiner, as Spark's combineByKey does) to this partition's slice of
+/// the input.
+class MapStageRDD final : public rddlite::RDD<StrPair> {
+ public:
+  MapStageRDD(rddlite::RddContext* ctx,
+              std::shared_ptr<const std::vector<KVPair>> input, int parts,
+              MapFn map_fn, CombinerFn combiner,
+              std::atomic<int64_t>* map_records)
+      : RDD<StrPair>(ctx, parts),
+        input_(std::move(input)),
+        map_fn_(std::move(map_fn)),
+        combiner_(std::move(combiner)),
+        map_records_(map_records) {}
+
+ protected:
+  Result<std::vector<StrPair>> DoCompute(int p) override {
+    const auto [begin, end] =
+        SplitRange(input_->size(), p, this->num_partitions());
+    CollectingMapContext ctx(p);
+    for (size_t i = begin; i < end; ++i) {
+      DMB_RETURN_NOT_OK(
+          map_fn_((*input_)[i].key, (*input_)[i].value, &ctx));
+    }
+    std::vector<StrPair> out = ctx.Take();
+    map_records_->fetch_add(static_cast<int64_t>(out.size()),
+                            std::memory_order_relaxed);
+    if (combiner_ && !out.empty()) {
+      std::sort(out.begin(), out.end(), PairLess);
+      std::vector<StrPair> combined;
+      std::vector<std::string> values;
+      size_t i = 0;
+      while (i < out.size()) {
+        const std::string& key = out[i].first;
+        values.clear();
+        while (i < out.size() && out[i].first == key) {
+          values.push_back(std::move(out[i].second));
+          ++i;
+        }
+        combined.emplace_back(key, combiner_(key, values));
+      }
+      out = std::move(combined);
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<KVPair>> input_;
+  MapFn map_fn_;
+  CombinerFn combiner_;
+  std::atomic<int64_t>* map_records_;
+};
+
+/// Wide stage: materializes the parent once, routes every pair through
+/// the spec partitioner, and charges the materialization against the
+/// executor memory budget (shuffle data is memory-resident in Spark 0.8).
+class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
+ public:
+  ShuffleStageRDD(rddlite::RDD<StrPair>::Ptr parent, int parts,
+                  std::shared_ptr<const datampi::Partitioner> partitioner,
+                  bool sort_by_key, std::atomic<int64_t>* shuffle_bytes)
+      : RDD<StrPair>(parent->context(), parts),
+        parent_(std::move(parent)),
+        partitioner_(std::move(partitioner)),
+        sort_by_key_(sort_by_key),
+        shuffle_bytes_(shuffle_bytes) {}
+
+  ~ShuffleStageRDD() override {
+    if (store_bytes_ > 0) this->ctx_->memory()->Release(store_bytes_);
+  }
+
+ protected:
+  Result<std::vector<StrPair>> DoCompute(int p) override {
+    DMB_RETURN_NOT_OK(EnsureMaterialized());
+    return store_[static_cast<size_t>(p)];
+  }
+
+ private:
+  Status EnsureMaterialized() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (materialized_) return store_status_;
+    materialized_ = true;
+    store_.resize(static_cast<size_t>(this->num_partitions()));
+    for (int pp = 0; pp < parent_->num_partitions(); ++pp) {
+      auto in = parent_->ComputePartition(pp);
+      if (!in.ok()) {
+        store_status_ = in.status();
+        return store_status_;
+      }
+      const int64_t bytes = rddlite::ApproxSizeAll(*in);
+      Status st = this->ctx_->memory()->Reserve(bytes);
+      if (!st.ok()) {
+        store_status_ = st;
+        return store_status_;
+      }
+      store_bytes_ += bytes;
+      shuffle_bytes_->fetch_add(bytes, std::memory_order_relaxed);
+      for (auto& kv : *in) {
+        const int bucket =
+            partitioner_->Partition(kv.first, this->num_partitions());
+        store_[static_cast<size_t>(bucket)].push_back(std::move(kv));
+      }
+    }
+    if (sort_by_key_) {
+      for (auto& bucket : store_) {
+        std::stable_sort(bucket.begin(), bucket.end(), PairLess);
+      }
+    }
+    return Status::OK();
+  }
+
+  rddlite::RDD<StrPair>::Ptr parent_;
+  std::shared_ptr<const datampi::Partitioner> partitioner_;
+  bool sort_by_key_;
+  std::atomic<int64_t>* shuffle_bytes_;
+  std::mutex mu_;
+  bool materialized_ = false;
+  Status store_status_;
+  std::vector<std::vector<StrPair>> store_;
+  int64_t store_bytes_ = 0;
+};
+
+class CollectingReduceEmitter final : public ReduceEmitter {
+ public:
+  void Emit(std::string_view key, std::string_view value) override {
+    out_.push_back(KVPair{std::string(key), std::string(value)});
+  }
+  std::vector<KVPair> Take() { return std::move(out_); }
+
+ private:
+  std::vector<KVPair> out_;
+};
+
+}  // namespace
+
+Result<JobOutput> RddEngine::Run(const JobSpec& spec) {
+  DMB_RETURN_NOT_OK(ValidateSpec(spec));
+  rddlite::RddContext::Options options;
+  options.slots = spec.parallelism;
+  if (spec.memory_budget_bytes > 0) {
+    options.memory_budget_bytes = spec.memory_budget_bytes;
+  }
+  rddlite::RddContext ctx(options);
+
+  std::shared_ptr<const datampi::Partitioner> partitioner = spec.partitioner;
+  if (!partitioner) {
+    partitioner = std::make_shared<datampi::HashPartitioner>();
+  }
+
+  std::atomic<int64_t> map_records{0};
+  std::atomic<int64_t> shuffle_bytes{0};
+  auto mapped = std::make_shared<MapStageRDD>(
+      &ctx, spec.input, spec.parallelism, spec.map_fn, spec.combiner,
+      &map_records);
+  auto shuffled = std::make_shared<ShuffleStageRDD>(
+      mapped, spec.parallelism, partitioner, spec.sort_by_key,
+      &shuffle_bytes);
+
+  JobOutput output;
+  output.partitions.resize(static_cast<size_t>(spec.parallelism));
+  std::atomic<int64_t> reduce_in{0}, reduce_out{0};
+  std::vector<Status> statuses(static_cast<size_t>(spec.parallelism));
+  {
+    ThreadPool pool(spec.parallelism);
+    for (int p = 0; p < spec.parallelism; ++p) {
+      pool.Submit([&, p] {
+        auto part = shuffled->ComputePartition(p);
+        if (!part.ok()) {
+          statuses[static_cast<size_t>(p)] = part.status();
+          return;
+        }
+        reduce_in.fetch_add(static_cast<int64_t>(part->size()),
+                            std::memory_order_relaxed);
+        CollectingReduceEmitter emitter;
+        Status st;
+        std::vector<std::string> values;
+        size_t i = 0;
+        while (i < part->size() && st.ok()) {
+          const std::string key = std::move((*part)[i].first);
+          values.clear();
+          if (spec.sort_by_key) {
+            values.push_back(std::move((*part)[i].second));
+            ++i;
+            while (i < part->size() && (*part)[i].first == key) {
+              values.push_back(std::move((*part)[i].second));
+              ++i;
+            }
+          } else {
+            // Arrival-order singleton groups, as DataMPI's unsorted mode.
+            values.push_back(std::move((*part)[i].second));
+            ++i;
+          }
+          st = spec.reduce_fn(key, values, &emitter);
+        }
+        if (!st.ok()) {
+          statuses[static_cast<size_t>(p)] = st;
+          return;
+        }
+        auto out = emitter.Take();
+        reduce_out.fetch_add(static_cast<int64_t>(out.size()),
+                             std::memory_order_relaxed);
+        output.partitions[static_cast<size_t>(p)] = std::move(out);
+      });
+    }
+    pool.Wait();
+  }
+  for (const auto& st : statuses) {
+    DMB_RETURN_NOT_OK(st);
+  }
+
+  output.stats.map_output_records = map_records.load();
+  output.stats.shuffle_bytes = shuffle_bytes.load();
+  output.stats.spill_count = 0;  // rddlite has no spill path (it OOMs)
+  output.stats.reduce_input_records = reduce_in.load();
+  output.stats.output_records = reduce_out.load();
+  return output;
+}
+
+}  // namespace dmb::engine

@@ -1,0 +1,23 @@
+// Spark-like adapter: runs an engine::JobSpec as an rddlite lineage —
+// a narrow map stage, a wide shuffle stage charged against the executor
+// MemoryManager (OutOfMemory on overflow, as Spark 0.8), and a parallel
+// reduce over the shuffled partitions.
+
+#ifndef DATAMPI_BENCH_ENGINE_RDD_ENGINE_H_
+#define DATAMPI_BENCH_ENGINE_RDD_ENGINE_H_
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace dmb::engine {
+
+class RddEngine final : public Engine {
+ public:
+  std::string name() const override { return "rddlite"; }
+  Result<JobOutput> Run(const JobSpec& spec) override;
+};
+
+}  // namespace dmb::engine
+
+#endif  // DATAMPI_BENCH_ENGINE_RDD_ENGINE_H_

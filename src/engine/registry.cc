@@ -1,0 +1,45 @@
+#include "engine/registry.h"
+
+#include "engine/datampi_engine.h"
+#include "engine/mapreduce_engine.h"
+#include "engine/rdd_engine.h"
+
+namespace dmb::engine {
+
+namespace {
+
+std::unique_ptr<Engine> MakeMapReduce() {
+  return std::make_unique<MapReduceEngine>();
+}
+std::unique_ptr<Engine> MakeRdd() { return std::make_unique<RddEngine>(); }
+std::unique_ptr<Engine> MakeDataMPI() {
+  return std::make_unique<DataMPIEngine>();
+}
+
+}  // namespace
+
+const std::vector<EngineInfo>& Engines() {
+  static const std::vector<EngineInfo> kEngines = {
+      {"mapreduce", "Hadoop", "hadoop", simfw::Framework::kHadoop,
+       &MakeMapReduce},
+      {"rddlite", "Spark", "spark", simfw::Framework::kSpark, &MakeRdd},
+      {"datampi", "DataMPI", "datampi", simfw::Framework::kDataMPI,
+       &MakeDataMPI},
+  };
+  return kEngines;
+}
+
+Result<const EngineInfo*> FindEngine(std::string_view name) {
+  for (const auto& info : Engines()) {
+    if (name == info.name || name == info.system) return &info;
+  }
+  return Status::NotFound("no engine named '" + std::string(name) +
+                          "' (expected datampi|mapreduce|rddlite)");
+}
+
+Result<std::unique_ptr<Engine>> MakeEngine(std::string_view name) {
+  DMB_ASSIGN_OR_RETURN(const EngineInfo* info, FindEngine(name));
+  return info->make();
+}
+
+}  // namespace dmb::engine

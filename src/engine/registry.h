@@ -1,0 +1,47 @@
+// The engine registry: the single list of runtimes under study. Bench
+// harnesses, examples and tests iterate this instead of naming engines,
+// so adding a runtime is one registry entry — not a new code path per
+// workload.
+
+#ifndef DATAMPI_BENCH_ENGINE_REGISTRY_H_
+#define DATAMPI_BENCH_ENGINE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.h"
+#include "simfw/framework.h"
+
+namespace dmb::engine {
+
+/// \brief One functional engine plus its simulator-plane counterpart.
+struct EngineInfo {
+  /// Registry / CLI name ("datampi", "mapreduce", "rddlite").
+  const char* name;
+  /// Human-readable name used in report tables.
+  const char* display_name;
+  /// The paper system this engine stands in for ("datampi", "hadoop",
+  /// "spark") — also accepted by MakeEngine as an alias.
+  const char* system;
+  /// The simulated-cluster model of the same system (src/simfw).
+  simfw::Framework framework;
+  /// Factory for a fresh engine instance.
+  std::unique_ptr<Engine> (*make)();
+};
+
+/// \brief All registered engines, in the paper's comparison order
+/// (Hadoop baseline, Spark, DataMPI).
+const std::vector<EngineInfo>& Engines();
+
+/// \brief Looks up a registry entry by name or system alias.
+Result<const EngineInfo*> FindEngine(std::string_view name);
+
+/// \brief Creates an engine by name ("datampi" | "mapreduce" |
+/// "rddlite") or system alias ("hadoop" | "spark").
+Result<std::unique_ptr<Engine>> MakeEngine(std::string_view name);
+
+}  // namespace dmb::engine
+
+#endif  // DATAMPI_BENCH_ENGINE_REGISTRY_H_

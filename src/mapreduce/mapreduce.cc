@@ -108,6 +108,7 @@ Result<MRResult> RunJob(const MRConfig& config,
 
   std::atomic<int64_t> map_records{0};
   std::atomic<int64_t> shuffle_bytes{0};
+  std::atomic<int64_t> spill_count{0};
   std::vector<Status> map_status(static_cast<size_t>(cfg.num_map_tasks));
 
   // ---- Map phase (parallel over slots). ----
@@ -144,6 +145,7 @@ Result<MRResult> RunJob(const MRConfig& config,
               map_status[static_cast<size_t>(t)] = wst;
               return;
             }
+            spill_count.fetch_add(1, std::memory_order_relaxed);
             std::lock_guard<std::mutex> lock(store.mu);
             store.run_files[static_cast<size_t>(r)].push_back(path);
           } else {
@@ -230,6 +232,7 @@ Result<MRResult> RunJob(const MRConfig& config,
 
   result.stats.map_output_records = map_records.load();
   result.stats.shuffle_bytes = shuffle_bytes.load();
+  result.stats.spill_count = spill_count.load();
   result.stats.reduce_input_records = reduce_in.load();
   result.stats.output_records = reduce_out.load();
   return result;

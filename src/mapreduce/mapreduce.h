@@ -70,6 +70,9 @@ using ReduceFn = std::function<Status(std::string_view key,
 struct MRStats {
   int64_t map_output_records = 0;
   int64_t shuffle_bytes = 0;
+  /// Map-output runs staged through the spill directory (0 when
+  /// spill_to_disk is false).
+  int64_t spill_count = 0;
   int64_t reduce_input_records = 0;
   int64_t output_records = 0;
 };

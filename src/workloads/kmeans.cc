@@ -6,16 +6,11 @@
 
 #include "common/byte_buffer.h"
 #include "common/logging.h"
-#include "core/job.h"
-#include "mapreduce/mapreduce.h"
-#include "rddlite/rdd.h"
 
 namespace dmb::workloads {
 
 namespace {
 
-using datampi::DataMPIJob;
-using datampi::JobConfig;
 using datampi::KVPair;
 
 /// A per-cluster partial aggregate: running count + sparse sum.
@@ -116,11 +111,6 @@ KmeansModel ModelFromPartials(const std::vector<KVPair>& merged,
   return next;
 }
 
-std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
-  return {n * static_cast<size_t>(part) / static_cast<size_t>(parts),
-          n * static_cast<size_t>(part + 1) / static_cast<size_t>(parts)};
-}
-
 }  // namespace
 
 double SparseDenseDistance2(const SparseVector& x,
@@ -192,119 +182,58 @@ KmeansModel KmeansIterationReference(const std::vector<SparseVector>& vectors,
   return ModelFromPartials(merged, model);
 }
 
-Result<KmeansModel> KmeansIterationDataMPI(
+namespace {
+
+/// One iteration over a prebuilt index input (KmeansTrain reuses the
+/// same input across iterations).
+Result<KmeansModel> RunIteration(
+    engine::Engine& eng,
+    std::shared_ptr<const std::vector<KVPair>> input,
     const std::vector<SparseVector>& vectors, const KmeansModel& model,
     const EngineConfig& config) {
   const auto norms = CentroidNorms(model);
-  JobConfig job_config;
-  job_config.num_o_ranks = config.parallelism;
-  job_config.num_a_ranks = config.parallelism;
-  job_config.combiner = MergePartialStrings;
-  DataMPIJob job(job_config);
-  DMB_ASSIGN_OR_RETURN(
-      datampi::JobResult result,
-      job.Run(
-          [&](datampi::OContext* ctx) -> Status {
-            auto [begin, end] =
-                SplitRange(vectors.size(), ctx->task_id(), config.parallelism);
-            // Local per-cluster accumulation, then one emit per cluster
-            // (the Mahout-transplant pattern the paper describes).
-            std::vector<Partial> partials(static_cast<size_t>(model.k()));
-            for (size_t i = begin; i < end; ++i) {
-              const int c = NearestCentroid(vectors[i], model, norms);
-              auto& p = partials[static_cast<size_t>(c)];
-              ++p.count;
-              for (const auto& [idx, w] : vectors[i].entries) {
-                p.sum[idx] += static_cast<double>(w);
-              }
-            }
-            for (int c = 0; c < model.k(); ++c) {
-              const auto& p = partials[static_cast<size_t>(c)];
-              if (p.count == 0) continue;
-              DMB_RETURN_NOT_OK(
-                  ctx->Emit(std::to_string(c), EncodePartial(p)));
-            }
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             datampi::AEmitter* out) -> Status {
-            out->Emit(key, MergePartialStrings(key, values));
-            return Status::OK();
-          }));
-  return ModelFromPartials(result.Merged(), model);
+  engine::JobSpec spec = BaseSpec(config);
+  // Records are vector indexes; the map function looks them up. Local
+  // aggregation happens in the engines' map-side combiner pass (per
+  // pipelined batch on DataMPI, per spill run on MapReduce, per
+  // partition on rddlite), which folds per-vector partials into
+  // per-cluster partials before they cross the shuffle.
+  spec.input = std::move(input);
+  spec.combiner = MergePartialStrings;
+  spec.map_fn = [&vectors, &model, &norms](
+                    std::string_view, std::string_view value,
+                    engine::MapContext* ctx) -> Status {
+    const size_t i = std::stoull(std::string(value));
+    const int c = NearestCentroid(vectors[i], model, norms);
+    return ctx->Emit(std::to_string(c),
+                     EncodePartial(PartialOfVector(vectors[i])));
+  };
+  spec.reduce_fn = engine::CombinerAsReduce(MergePartialStrings);
+  DMB_ASSIGN_OR_RETURN(engine::JobOutput out, eng.Run(spec));
+  return ModelFromPartials(out.Merged(), model);
 }
 
-Result<KmeansModel> KmeansIterationMapReduce(
-    const std::vector<SparseVector>& vectors, const KmeansModel& model,
+}  // namespace
+
+Result<KmeansModel> KmeansIteration(engine::Engine& eng,
+                                    const std::vector<SparseVector>& vectors,
+                                    const KmeansModel& model,
+                                    const EngineConfig& config) {
+  return RunIteration(eng, engine::IndexInput(vectors.size()), vectors,
+                      model, config);
+}
+
+Result<std::pair<KmeansModel, int>> KmeansTrain(
+    engine::Engine& eng, const std::vector<SparseVector>& vectors, int k,
+    uint32_t dim, double threshold, int max_iterations,
     const EngineConfig& config) {
-  const auto norms = CentroidNorms(model);
-  mapreduce::MRConfig mr;
-  mr.num_map_tasks = config.parallelism;
-  mr.num_reduce_tasks = config.parallelism;
-  mr.slots = config.parallelism;
-  mr.combiner = MergePartialStrings;
-  // Records are vector indexes; the map function looks them up.
-  std::vector<std::string> indexes(vectors.size());
-  for (size_t i = 0; i < vectors.size(); ++i) indexes[i] = std::to_string(i);
-  DMB_ASSIGN_OR_RETURN(
-      mapreduce::MRResult result,
-      mapreduce::RunMapReduce(
-          mr, indexes,
-          [&](std::string_view, std::string_view value,
-              mapreduce::MapContext* ctx) -> Status {
-            const size_t i = std::stoull(std::string(value));
-            const int c = NearestCentroid(vectors[i], model, norms);
-            ctx->Emit(std::to_string(c),
-                      EncodePartial(PartialOfVector(vectors[i])));
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             mapreduce::ReduceContext* ctx) -> Status {
-            ctx->Emit(key, MergePartialStrings(key, values));
-            return Status::OK();
-          }));
-  return ModelFromPartials(result.Merged(), model);
-}
-
-Result<KmeansModel> KmeansIterationRdd(
-    const std::vector<SparseVector>& vectors, const KmeansModel& model,
-    const EngineConfig& config) {
-  const auto norms = CentroidNorms(model);
-  rddlite::RddContext::Options options;
-  options.slots = config.parallelism;
-  rddlite::RddContext ctx(options);
-  std::vector<int64_t> indexes(vectors.size());
-  for (size_t i = 0; i < vectors.size(); ++i) {
-    indexes[i] = static_cast<int64_t>(i);
-  }
-  auto rdd = ctx.Parallelize(indexes, config.parallelism);
-  auto pairs = rdd->Map<std::pair<std::string, std::string>>(
-      [&](const int64_t& i) {
-        const auto& x = vectors[static_cast<size_t>(i)];
-        const int c = NearestCentroid(x, model, norms);
-        return std::make_pair(std::to_string(c),
-                              EncodePartial(PartialOfVector(x)));
-      });
-  auto reduced = rddlite::ReduceByKey<std::string, std::string>(
-      pairs,
-      [](const std::string& a, const std::string& b) {
-        return MergePartialStrings("", {a, b});
-      },
-      config.parallelism);
-  DMB_ASSIGN_OR_RETURN(auto collected, reduced->Collect());
-  std::vector<KVPair> merged;
-  for (auto& [k, v] : collected) merged.push_back(KVPair{k, v});
-  return ModelFromPartials(merged, model);
-}
-
-Result<std::pair<KmeansModel, int>> KmeansTrainDataMPI(
-    const std::vector<SparseVector>& vectors, int k, uint32_t dim,
-    double threshold, int max_iterations, const EngineConfig& config) {
   KmeansModel model = InitialCentroids(vectors, k, dim);
+  const auto input = engine::IndexInput(vectors.size());
   int iterations = 0;
   while (iterations < max_iterations) {
-    DMB_ASSIGN_OR_RETURN(KmeansModel next,
-                         KmeansIterationDataMPI(vectors, model, config));
+    DMB_ASSIGN_OR_RETURN(
+        KmeansModel next,
+        RunIteration(eng, input, vectors, model, config));
     ++iterations;
     const double shift = MaxCentroidShift(model, next);
     model = std::move(next);

@@ -3,8 +3,8 @@
 // Mahout-style MapReduce K-means: each iteration is one job. Map tasks
 // assign vectors to the nearest centroid and accumulate per-cluster
 // partial sums; reduce/A tasks merge partials and emit new centroids.
-// The paper measures the first training iteration; KmeansIteration*
-// implement exactly that step on each engine.
+// The paper measures the first training iteration; KmeansIteration
+// implements exactly that step once, against the unified Engine API.
 
 #ifndef DATAMPI_BENCH_WORKLOADS_KMEANS_H_
 #define DATAMPI_BENCH_WORKLOADS_KMEANS_H_
@@ -48,23 +48,22 @@ KmeansModel InitialCentroids(const std::vector<SparseVector>& vectors, int k,
 KmeansModel KmeansIterationReference(const std::vector<SparseVector>& vectors,
                                      const KmeansModel& model);
 
-/// \brief One iteration on each engine. All must agree with the oracle.
-Result<KmeansModel> KmeansIterationDataMPI(
-    const std::vector<SparseVector>& vectors, const KmeansModel& model,
-    const EngineConfig& config);
-Result<KmeansModel> KmeansIterationMapReduce(
-    const std::vector<SparseVector>& vectors, const KmeansModel& model,
-    const EngineConfig& config);
-Result<KmeansModel> KmeansIterationRdd(
-    const std::vector<SparseVector>& vectors, const KmeansModel& model,
-    const EngineConfig& config);
+/// \brief One iteration (one engine-agnostic job): map tasks assign
+/// vectors to the nearest centroid and emit per-cluster partials merged
+/// by the combiner; reduce tasks fold partials into new centroids. Must
+/// agree with the oracle on every registered engine.
+Result<KmeansModel> KmeansIteration(engine::Engine& eng,
+                                    const std::vector<SparseVector>& vectors,
+                                    const KmeansModel& model,
+                                    const EngineConfig& config);
 
 /// \brief Runs iterations until the max centroid movement falls below
 /// `threshold` or `max_iterations` is reached; returns the final model
-/// and the number of iterations executed. Uses the DataMPI engine.
-Result<std::pair<KmeansModel, int>> KmeansTrainDataMPI(
-    const std::vector<SparseVector>& vectors, int k, uint32_t dim,
-    double threshold, int max_iterations, const EngineConfig& config);
+/// and the number of iterations executed.
+Result<std::pair<KmeansModel, int>> KmeansTrain(
+    engine::Engine& eng, const std::vector<SparseVector>& vectors, int k,
+    uint32_t dim, double threshold, int max_iterations,
+    const EngineConfig& config);
 
 /// \brief Max L2 movement between two models' centroids.
 double MaxCentroidShift(const KmeansModel& a, const KmeansModel& b);

@@ -3,18 +3,15 @@
 #include <algorithm>
 
 #include "common/logging.h"
-#include "core/job.h"
 #include "datagen/seqfile.h"
-#include "mapreduce/mapreduce.h"
-#include "rddlite/rdd.h"
 
 namespace dmb::workloads {
 
 namespace {
 
-using datampi::DataMPIJob;
-using datampi::JobConfig;
 using datampi::KVPair;
+using engine::JobOutput;
+using engine::JobSpec;
 
 std::string SumCombiner(std::string_view,
                         const std::vector<std::string>& values) {
@@ -30,196 +27,6 @@ std::map<std::string, int64_t> CountsFromPairs(
   return out;
 }
 
-// Splits `lines` into `parts` contiguous ranges; returns [begin, end).
-std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
-  const size_t begin = n * static_cast<size_t>(part) /
-                       static_cast<size_t>(parts);
-  const size_t end = n * static_cast<size_t>(part + 1) /
-                     static_cast<size_t>(parts);
-  return {begin, end};
-}
-
-}  // namespace
-
-// ---- WordCount ------------------------------------------------------
-
-Result<std::map<std::string, int64_t>> WordCountDataMPI(
-    const std::vector<std::string>& lines, const EngineConfig& config) {
-  JobConfig job_config;
-  job_config.num_o_ranks = config.parallelism;
-  job_config.num_a_ranks = config.parallelism;
-  job_config.combiner = SumCombiner;
-  DataMPIJob job(job_config);
-  DMB_ASSIGN_OR_RETURN(
-      datampi::JobResult result,
-      job.Run(
-          [&](datampi::OContext* ctx) -> Status {
-            auto [begin, end] =
-                SplitRange(lines.size(), ctx->task_id(), config.parallelism);
-            for (size_t i = begin; i < end; ++i) {
-              Status st;
-              ForEachToken(lines[i], [&](std::string_view tok) {
-                if (st.ok()) st = ctx->Emit(tok, "1");
-              });
-              DMB_RETURN_NOT_OK(st);
-            }
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             datampi::AEmitter* out) -> Status {
-            out->Emit(key, SumCombiner(key, values));
-            return Status::OK();
-          }));
-  return CountsFromPairs(result.Merged());
-}
-
-Result<std::map<std::string, int64_t>> WordCountMapReduce(
-    const std::vector<std::string>& lines, const EngineConfig& config) {
-  mapreduce::MRConfig mr;
-  mr.num_map_tasks = config.parallelism;
-  mr.num_reduce_tasks = config.parallelism;
-  mr.slots = config.parallelism;
-  mr.combiner = SumCombiner;
-  DMB_ASSIGN_OR_RETURN(
-      mapreduce::MRResult result,
-      mapreduce::RunMapReduce(
-          mr, lines,
-          [](std::string_view, std::string_view line,
-             mapreduce::MapContext* ctx) -> Status {
-            ForEachToken(line,
-                         [&](std::string_view tok) { ctx->Emit(tok, "1"); });
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             mapreduce::ReduceContext* ctx) -> Status {
-            ctx->Emit(key, SumCombiner(key, values));
-            return Status::OK();
-          }));
-  return CountsFromPairs(result.Merged());
-}
-
-Result<std::map<std::string, int64_t>> WordCountRdd(
-    const std::vector<std::string>& lines, const EngineConfig& config) {
-  rddlite::RddContext::Options options;
-  options.slots = config.parallelism;
-  rddlite::RddContext ctx(options);
-  auto text = ctx.Parallelize(lines, config.parallelism);
-  auto pairs = text->FlatMap<std::pair<std::string, int64_t>>(
-      [](const std::string& line) {
-        std::vector<std::pair<std::string, int64_t>> out;
-        ForEachToken(line, [&](std::string_view tok) {
-          out.emplace_back(std::string(tok), 1);
-        });
-        return out;
-      });
-  auto counts = rddlite::ReduceByKey<std::string, int64_t>(
-      pairs, [](const int64_t& a, const int64_t& b) { return a + b; },
-      config.parallelism);
-  DMB_ASSIGN_OR_RETURN(auto collected, counts->Collect());
-  std::map<std::string, int64_t> out;
-  for (auto& [k, v] : collected) out[k] += v;
-  return out;
-}
-
-// ---- Grep -----------------------------------------------------------
-
-namespace {
-GrepResult FinishGrep(std::vector<std::string> matched, int64_t total) {
-  std::sort(matched.begin(), matched.end());
-  return GrepResult{std::move(matched), total};
-}
-}  // namespace
-
-Result<GrepResult> GrepDataMPI(const std::vector<std::string>& lines,
-                               const std::string& pattern,
-                               const EngineConfig& config) {
-  GrepPattern compiled(pattern);
-  JobConfig job_config;
-  job_config.num_o_ranks = config.parallelism;
-  job_config.num_a_ranks = config.parallelism;
-  job_config.sort_by_key = true;
-  DataMPIJob job(job_config);
-  DMB_ASSIGN_OR_RETURN(
-      datampi::JobResult result,
-      job.Run(
-          [&](datampi::OContext* ctx) -> Status {
-            auto [begin, end] =
-                SplitRange(lines.size(), ctx->task_id(), config.parallelism);
-            for (size_t i = begin; i < end; ++i) {
-              const int matches = compiled.CountMatches(lines[i]);
-              if (matches > 0) {
-                DMB_RETURN_NOT_OK(
-                    ctx->Emit(lines[i], std::to_string(matches)));
-              }
-            }
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             datampi::AEmitter* out) -> Status {
-            for (const auto& v : values) out->Emit(key, v);
-            return Status::OK();
-          }));
-  std::vector<std::string> matched;
-  int64_t total = 0;
-  for (const auto& kv : result.Merged()) {
-    matched.push_back(kv.key);
-    total += std::stoll(kv.value);
-  }
-  return FinishGrep(std::move(matched), total);
-}
-
-Result<GrepResult> GrepMapReduce(const std::vector<std::string>& lines,
-                                 const std::string& pattern,
-                                 const EngineConfig& config) {
-  GrepPattern compiled(pattern);
-  mapreduce::MRConfig mr;
-  mr.num_map_tasks = config.parallelism;
-  mr.num_reduce_tasks = config.parallelism;
-  mr.slots = config.parallelism;
-  DMB_ASSIGN_OR_RETURN(
-      mapreduce::MRResult result,
-      mapreduce::RunMapReduce(
-          mr, lines,
-          [&](std::string_view, std::string_view line,
-              mapreduce::MapContext* ctx) -> Status {
-            const int matches = compiled.CountMatches(line);
-            if (matches > 0) ctx->Emit(line, std::to_string(matches));
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             mapreduce::ReduceContext* ctx) -> Status {
-            for (const auto& v : values) ctx->Emit(key, v);
-            return Status::OK();
-          }));
-  std::vector<std::string> matched;
-  int64_t total = 0;
-  for (const auto& kv : result.Merged()) {
-    matched.push_back(kv.key);
-    total += std::stoll(kv.value);
-  }
-  return FinishGrep(std::move(matched), total);
-}
-
-Result<GrepResult> GrepRdd(const std::vector<std::string>& lines,
-                           const std::string& pattern,
-                           const EngineConfig& config) {
-  GrepPattern compiled(pattern);
-  rddlite::RddContext::Options options;
-  options.slots = config.parallelism;
-  rddlite::RddContext ctx(options);
-  auto text = ctx.Parallelize(lines, config.parallelism);
-  auto matched_rdd = text->Filter(
-      [&compiled](const std::string& line) { return compiled.Matches(line); });
-  DMB_ASSIGN_OR_RETURN(auto matched, matched_rdd->Collect());
-  int64_t total = 0;
-  for (const auto& line : matched) total += compiled.CountMatches(line);
-  return FinishGrep(std::move(matched), total);
-}
-
-// ---- Text Sort ------------------------------------------------------
-
-namespace {
-
 /// Range partitioner built from a deterministic sample of the input, as
 /// Hadoop's TotalOrderPartitioner / DataMPI sort jobs do.
 std::shared_ptr<const datampi::Partitioner> BuildRangePartitioner(
@@ -231,184 +38,126 @@ std::shared_ptr<const datampi::Partitioner> BuildRangePartitioner(
       datampi::RangePartitioner::FromSample(std::move(sample), partitions));
 }
 
+Result<JobOutput> RunSpec(engine::Engine& eng, const JobSpec& spec,
+                          engine::EngineStats* stats) {
+  DMB_ASSIGN_OR_RETURN(JobOutput out, eng.Run(spec));
+  if (stats != nullptr) *stats = out.stats;
+  return out;
+}
+
+/// Identity reduce: one output record per input record of the group.
+Status EmitAllReduce(std::string_view key,
+                     const std::vector<std::string>& values,
+                     engine::ReduceEmitter* out) {
+  for (const auto& v : values) out->Emit(key, v);
+  return Status::OK();
+}
+
 }  // namespace
 
-Result<std::vector<std::string>> TextSortDataMPI(
-    const std::vector<std::string>& lines, const EngineConfig& config) {
-  JobConfig job_config;
-  job_config.num_o_ranks = config.parallelism;
-  job_config.num_a_ranks = config.parallelism;
-  job_config.partitioner = BuildRangePartitioner(lines, config.parallelism);
-  DataMPIJob job(job_config);
-  DMB_ASSIGN_OR_RETURN(
-      datampi::JobResult result,
-      job.Run(
-          [&](datampi::OContext* ctx) -> Status {
-            auto [begin, end] =
-                SplitRange(lines.size(), ctx->task_id(), config.parallelism);
-            for (size_t i = begin; i < end; ++i) {
-              DMB_RETURN_NOT_OK(ctx->Emit(lines[i], ""));
-            }
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             datampi::AEmitter* out) -> Status {
-            for (size_t i = 0; i < values.size(); ++i) out->Emit(key, "");
-            return Status::OK();
-          }));
-  std::vector<std::string> sorted;
-  for (const auto& kv : result.Merged()) sorted.push_back(kv.key);
-  return sorted;
+engine::JobSpec BaseSpec(const EngineConfig& config) {
+  engine::JobSpec spec;
+  spec.parallelism = config.parallelism;
+  spec.memory_budget_bytes = config.memory_budget_bytes;
+  return spec;
 }
 
-Result<std::vector<std::string>> TextSortMapReduce(
-    const std::vector<std::string>& lines, const EngineConfig& config) {
-  mapreduce::MRConfig mr;
-  mr.num_map_tasks = config.parallelism;
-  mr.num_reduce_tasks = config.parallelism;
-  mr.slots = config.parallelism;
-  mr.partitioner = BuildRangePartitioner(lines, config.parallelism);
-  DMB_ASSIGN_OR_RETURN(
-      mapreduce::MRResult result,
-      mapreduce::RunMapReduce(
-          mr, lines,
-          [](std::string_view, std::string_view line,
-             mapreduce::MapContext* ctx) -> Status {
-            ctx->Emit(line, "");
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             mapreduce::ReduceContext* ctx) -> Status {
-            for (size_t i = 0; i < values.size(); ++i) ctx->Emit(key, "");
-            return Status::OK();
-          }));
-  std::vector<std::string> sorted;
-  for (const auto& kv : result.Merged()) sorted.push_back(kv.key);
-  return sorted;
+// ---- WordCount ------------------------------------------------------
+
+Result<std::map<std::string, int64_t>> WordCount(
+    engine::Engine& eng, const std::vector<std::string>& lines,
+    const EngineConfig& config, engine::EngineStats* stats) {
+  JobSpec spec = BaseSpec(config);
+  spec.input = engine::LinesAsInput(lines);
+  spec.combiner = SumCombiner;
+  spec.map_fn = [](std::string_view, std::string_view line,
+                   engine::MapContext* ctx) -> Status {
+    Status st;
+    ForEachToken(line, [&](std::string_view tok) {
+      if (st.ok()) st = ctx->Emit(tok, "1");
+    });
+    return st;
+  };
+  spec.reduce_fn = engine::CombinerAsReduce(SumCombiner);
+  DMB_ASSIGN_OR_RETURN(JobOutput out, RunSpec(eng, spec, stats));
+  return CountsFromPairs(out.Merged());
 }
 
-Result<std::vector<std::string>> TextSortRdd(
-    const std::vector<std::string>& lines, const EngineConfig& config) {
-  rddlite::RddContext::Options options;
-  options.slots = config.parallelism;
-  rddlite::RddContext ctx(options);
-  auto text = ctx.Parallelize(lines, config.parallelism);
-  auto pairs = text->Map<std::pair<std::string, int64_t>>(
-      [](const std::string& line) { return std::make_pair(line, int64_t{0}); });
-  auto sorted_rdd =
-      rddlite::SortByKey<std::string, int64_t>(pairs, config.parallelism);
-  DMB_ASSIGN_OR_RETURN(auto collected, sorted_rdd->Collect());
+// ---- Grep -----------------------------------------------------------
+
+Result<GrepResult> Grep(engine::Engine& eng,
+                        const std::vector<std::string>& lines,
+                        const std::string& pattern,
+                        const EngineConfig& config,
+                        engine::EngineStats* stats) {
+  auto compiled = std::make_shared<GrepPattern>(pattern);
+  JobSpec spec = BaseSpec(config);
+  spec.input = engine::LinesAsInput(lines);
+  spec.map_fn = [compiled](std::string_view, std::string_view line,
+                           engine::MapContext* ctx) -> Status {
+    const int matches = compiled->CountMatches(line);
+    if (matches > 0) {
+      return ctx->Emit(line, std::to_string(matches));
+    }
+    return Status::OK();
+  };
+  spec.reduce_fn = EmitAllReduce;
+  DMB_ASSIGN_OR_RETURN(JobOutput out, RunSpec(eng, spec, stats));
+  GrepResult result;
+  for (const auto& kv : out.Merged()) {
+    result.matched_lines.push_back(kv.key);
+    result.total_matches += std::stoll(kv.value);
+  }
+  std::sort(result.matched_lines.begin(), result.matched_lines.end());
+  return result;
+}
+
+// ---- Text Sort ------------------------------------------------------
+
+Result<std::vector<std::string>> TextSort(
+    engine::Engine& eng, const std::vector<std::string>& lines,
+    const EngineConfig& config, engine::EngineStats* stats) {
+  JobSpec spec = BaseSpec(config);
+  spec.input = engine::LinesAsInput(lines);
+  spec.partitioner = BuildRangePartitioner(lines, config.parallelism);
+  spec.map_fn = [](std::string_view, std::string_view line,
+                   engine::MapContext* ctx) -> Status {
+    return ctx->Emit(line, "");
+  };
+  spec.reduce_fn = EmitAllReduce;
+  DMB_ASSIGN_OR_RETURN(JobOutput out, RunSpec(eng, spec, stats));
   std::vector<std::string> sorted;
-  sorted.reserve(collected.size());
-  for (auto& [k, v] : collected) sorted.push_back(std::move(k));
+  for (auto& kv : out.Merged()) sorted.push_back(std::move(kv.key));
   return sorted;
 }
 
 // ---- Normal Sort ----------------------------------------------------
 
-namespace {
-
-Result<std::vector<KVPair>> DecodeSeqFile(const std::string& seqfile) {
+Result<std::string> NormalSort(engine::Engine& eng,
+                               const std::string& seqfile,
+                               const EngineConfig& config,
+                               engine::EngineStats* stats) {
   DMB_ASSIGN_OR_RETURN(auto records, datagen::SeqFileReader::ReadAll(seqfile));
-  std::vector<KVPair> out;
-  out.reserve(records.size());
-  for (auto& [k, v] : records) {
-    out.push_back(KVPair{std::move(k), std::move(v)});
-  }
-  return out;
-}
-
-std::string EncodeSeqFile(const std::vector<KVPair>& records) {
-  datagen::SeqFileWriter writer;
-  for (const auto& kv : records) writer.Append(kv.key, kv.value);
-  return writer.Finish();
-}
-
-std::vector<std::string> KeysOf(const std::vector<KVPair>& records) {
   std::vector<std::string> keys;
   keys.reserve(records.size());
-  for (const auto& kv : records) keys.push_back(kv.key);
-  return keys;
-}
-
-}  // namespace
-
-Result<std::string> NormalSortDataMPI(const std::string& seqfile,
-                                      const EngineConfig& config) {
-  DMB_ASSIGN_OR_RETURN(std::vector<KVPair> records, DecodeSeqFile(seqfile));
-  JobConfig job_config;
-  job_config.num_o_ranks = config.parallelism;
-  job_config.num_a_ranks = config.parallelism;
-  job_config.partitioner =
-      BuildRangePartitioner(KeysOf(records), config.parallelism);
-  DataMPIJob job(job_config);
-  DMB_ASSIGN_OR_RETURN(
-      datampi::JobResult result,
-      job.Run(
-          [&](datampi::OContext* ctx) -> Status {
-            auto [begin, end] =
-                SplitRange(records.size(), ctx->task_id(), config.parallelism);
-            for (size_t i = begin; i < end; ++i) {
-              DMB_RETURN_NOT_OK(ctx->Emit(records[i].key, records[i].value));
-            }
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             datampi::AEmitter* out) -> Status {
-            for (const auto& v : values) out->Emit(key, v);
-            return Status::OK();
-          }));
-  return EncodeSeqFile(result.Merged());
-}
-
-Result<std::string> NormalSortRdd(const std::string& seqfile,
-                                  const EngineConfig& config,
-                                  int64_t executor_budget_bytes) {
-  DMB_ASSIGN_OR_RETURN(std::vector<KVPair> records, DecodeSeqFile(seqfile));
-  rddlite::RddContext::Options options;
-  options.slots = config.parallelism;
-  options.memory_budget_bytes = executor_budget_bytes;
-  rddlite::RddContext ctx(options);
-  std::vector<std::pair<std::string, std::string>> pairs;
-  pairs.reserve(records.size());
-  for (auto& kv : records) {
-    pairs.emplace_back(std::move(kv.key), std::move(kv.value));
+  for (const auto& [k, v] : records) keys.push_back(k);
+  std::vector<KVPair> input;
+  input.reserve(records.size());
+  for (auto& [k, v] : records) {
+    input.push_back(KVPair{std::move(k), std::move(v)});
   }
-  auto rdd = ctx.Parallelize(std::move(pairs), config.parallelism);
-  auto sorted_rdd =
-      rddlite::SortByKey<std::string, std::string>(rdd, config.parallelism);
-  DMB_ASSIGN_OR_RETURN(auto collected, sorted_rdd->Collect());
-  std::vector<KVPair> out;
-  out.reserve(collected.size());
-  for (auto& [k, v] : collected) {
-    out.push_back(KVPair{std::move(k), std::move(v)});
-  }
-  return EncodeSeqFile(out);
-}
-
-Result<std::string> NormalSortMapReduce(const std::string& seqfile,
-                                        const EngineConfig& config) {
-  DMB_ASSIGN_OR_RETURN(std::vector<KVPair> records, DecodeSeqFile(seqfile));
-  mapreduce::MRConfig mr;
-  mr.num_map_tasks = config.parallelism;
-  mr.num_reduce_tasks = config.parallelism;
-  mr.slots = config.parallelism;
-  mr.partitioner = BuildRangePartitioner(KeysOf(records), config.parallelism);
-  DMB_ASSIGN_OR_RETURN(
-      mapreduce::MRResult result,
-      mapreduce::RunMapReduceKV(
-          mr, records,
-          [](std::string_view key, std::string_view value,
-             mapreduce::MapContext* ctx) -> Status {
-            ctx->Emit(key, value);
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             mapreduce::ReduceContext* ctx) -> Status {
-            for (const auto& v : values) ctx->Emit(key, v);
-            return Status::OK();
-          }));
-  return EncodeSeqFile(result.Merged());
+  JobSpec spec = BaseSpec(config);
+  spec.input = engine::PairsAsInput(std::move(input));
+  spec.partitioner = BuildRangePartitioner(keys, config.parallelism);
+  spec.map_fn = [](std::string_view key, std::string_view value,
+                   engine::MapContext* ctx) -> Status {
+    return ctx->Emit(key, value);
+  };
+  spec.reduce_fn = EmitAllReduce;
+  DMB_ASSIGN_OR_RETURN(JobOutput out, RunSpec(eng, spec, stats));
+  datagen::SeqFileWriter writer;
+  for (const auto& kv : out.Merged()) writer.Append(kv.key, kv.value);
+  return writer.Finish();
 }
 
 }  // namespace dmb::workloads

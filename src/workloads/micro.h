@@ -1,7 +1,9 @@
 // The three micro-benchmarks of the paper (Table 1): Sort (text and
-// "Normal" = compressed sequence-file), WordCount and Grep, each runnable
-// on all three functional engines (DataMPI, mapreduce, rddlite) with
-// identical results — the cross-engine agreement is asserted in tests.
+// "Normal" = compressed sequence-file), WordCount and Grep. Each is
+// implemented exactly once against the unified engine::Engine interface
+// and runs unchanged on DataMPI, the Hadoop-like MapReduce engine and
+// the Spark-like rddlite engine; cross-engine agreement is a property of
+// the engine layer, asserted over the registry in tests/engine_test.cc.
 
 #ifndef DATAMPI_BENCH_WORKLOADS_MICRO_H_
 #define DATAMPI_BENCH_WORKLOADS_MICRO_H_
@@ -12,23 +14,29 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/engine.h"
 #include "workloads/text_utils.h"
 
 namespace dmb::workloads {
 
-/// \brief Parallelism of a functional run (tasks per engine).
+/// \brief Parallelism and memory shape of a functional run.
 struct EngineConfig {
   int parallelism = 4;  // O ranks == A ranks == map tasks == partitions
+  /// Intermediate-data budget in bytes; 0 = engine default. On rddlite
+  /// this bounds the executor memory manager: undersized budgets fail
+  /// with OutOfMemory, the functional-plane analogue of the paper's
+  /// Spark Normal Sort OOMs. DataMPI spills to disk past it instead.
+  int64_t memory_budget_bytes = 0;
 };
+
+/// \brief JobSpec knobs shared by every workload below.
+engine::JobSpec BaseSpec(const EngineConfig& config);
 
 // ---- WordCount ------------------------------------------------------
 
-Result<std::map<std::string, int64_t>> WordCountDataMPI(
-    const std::vector<std::string>& lines, const EngineConfig& config);
-Result<std::map<std::string, int64_t>> WordCountMapReduce(
-    const std::vector<std::string>& lines, const EngineConfig& config);
-Result<std::map<std::string, int64_t>> WordCountRdd(
-    const std::vector<std::string>& lines, const EngineConfig& config);
+Result<std::map<std::string, int64_t>> WordCount(
+    engine::Engine& eng, const std::vector<std::string>& lines,
+    const EngineConfig& config, engine::EngineStats* stats = nullptr);
 
 // ---- Grep -----------------------------------------------------------
 
@@ -39,42 +47,27 @@ struct GrepResult {
   int64_t total_matches = 0;
 };
 
-Result<GrepResult> GrepDataMPI(const std::vector<std::string>& lines,
-                               const std::string& pattern,
-                               const EngineConfig& config);
-Result<GrepResult> GrepMapReduce(const std::vector<std::string>& lines,
-                                 const std::string& pattern,
-                                 const EngineConfig& config);
-Result<GrepResult> GrepRdd(const std::vector<std::string>& lines,
-                           const std::string& pattern,
-                           const EngineConfig& config);
+Result<GrepResult> Grep(engine::Engine& eng,
+                        const std::vector<std::string>& lines,
+                        const std::string& pattern,
+                        const EngineConfig& config,
+                        engine::EngineStats* stats = nullptr);
 
 // ---- Sort -----------------------------------------------------------
 
 /// \brief Text Sort: records are lines, sorted lexicographically;
 /// the output is globally ordered (range partitioning).
-Result<std::vector<std::string>> TextSortDataMPI(
-    const std::vector<std::string>& lines, const EngineConfig& config);
-Result<std::vector<std::string>> TextSortMapReduce(
-    const std::vector<std::string>& lines, const EngineConfig& config);
-Result<std::vector<std::string>> TextSortRdd(
-    const std::vector<std::string>& lines, const EngineConfig& config);
+Result<std::vector<std::string>> TextSort(
+    engine::Engine& eng, const std::vector<std::string>& lines,
+    const EngineConfig& config, engine::EngineStats* stats = nullptr);
 
 /// \brief Normal Sort: input is a compressed sequence file (ToSeqFile
 /// output); records are decompressed, sorted by key, and re-encoded into
 /// a compressed sequence file. Returns the output file bytes.
-Result<std::string> NormalSortDataMPI(const std::string& seqfile,
-                                      const EngineConfig& config);
-Result<std::string> NormalSortMapReduce(const std::string& seqfile,
-                                        const EngineConfig& config);
-
-/// \brief Normal Sort on the Spark-like engine. `executor_budget_bytes`
-/// bounds the rddlite memory manager; because sortByKey materializes
-/// boxed key+value records, undersized budgets fail with OutOfMemory —
-/// the functional-plane analogue of the paper's Spark Normal Sort OOMs.
-Result<std::string> NormalSortRdd(const std::string& seqfile,
-                                  const EngineConfig& config,
-                                  int64_t executor_budget_bytes);
+Result<std::string> NormalSort(engine::Engine& eng,
+                               const std::string& seqfile,
+                               const EngineConfig& config,
+                               engine::EngineStats* stats = nullptr);
 
 }  // namespace dmb::workloads
 

@@ -4,8 +4,6 @@
 #include <cmath>
 
 #include "common/logging.h"
-#include "core/job.h"
-#include "mapreduce/mapreduce.h"
 #include "workloads/text_utils.h"
 
 namespace dmb::workloads {
@@ -59,11 +57,6 @@ Result<NaiveBayesModel> ModelFromCounts(const std::vector<KVPair>& counts,
     DMB_RETURN_NOT_OK(ApplyCountToModel(&model, kv.key, std::stoll(kv.value)));
   }
   return model;
-}
-
-std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
-  return {n * static_cast<size_t>(part) / static_cast<size_t>(parts),
-          n * static_cast<size_t>(part + 1) / static_cast<size_t>(parts)};
 }
 
 }  // namespace
@@ -147,67 +140,26 @@ NaiveBayesModel TrainNaiveBayesReference(const std::vector<LabeledDoc>& docs,
   return model;
 }
 
-Result<NaiveBayesModel> TrainNaiveBayesDataMPI(
-    const std::vector<LabeledDoc>& docs, int num_classes,
-    const EngineConfig& config) {
-  datampi::JobConfig job_config;
-  job_config.num_o_ranks = config.parallelism;
-  job_config.num_a_ranks = config.parallelism;
-  job_config.combiner = SumCombiner;
-  datampi::DataMPIJob job(job_config);
-  DMB_ASSIGN_OR_RETURN(
-      datampi::JobResult result,
-      job.Run(
-          [&](datampi::OContext* ctx) -> Status {
-            auto [begin, end] =
-                SplitRange(docs.size(), ctx->task_id(), config.parallelism);
-            for (size_t i = begin; i < end; ++i) {
-              DMB_RETURN_NOT_OK(ctx->Emit(DocKey(docs[i].label), "1"));
-              Status st;
-              ForEachToken(docs[i].text, [&](std::string_view tok) {
-                if (st.ok()) st = ctx->Emit(TermKey(docs[i].label, tok), "1");
-              });
-              DMB_RETURN_NOT_OK(st);
-            }
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             datampi::AEmitter* out) -> Status {
-            out->Emit(key, SumCombiner(key, values));
-            return Status::OK();
-          }));
-  return ModelFromCounts(result.Merged(), num_classes);
-}
-
-Result<NaiveBayesModel> TrainNaiveBayesMapReduce(
-    const std::vector<LabeledDoc>& docs, int num_classes,
-    const EngineConfig& config) {
-  mapreduce::MRConfig mr;
-  mr.num_map_tasks = config.parallelism;
-  mr.num_reduce_tasks = config.parallelism;
-  mr.slots = config.parallelism;
-  mr.combiner = SumCombiner;
-  std::vector<std::string> indexes(docs.size());
-  for (size_t i = 0; i < docs.size(); ++i) indexes[i] = std::to_string(i);
-  DMB_ASSIGN_OR_RETURN(
-      mapreduce::MRResult result,
-      mapreduce::RunMapReduce(
-          mr, indexes,
-          [&](std::string_view, std::string_view value,
-              mapreduce::MapContext* ctx) -> Status {
-            const auto& doc = docs[std::stoull(std::string(value))];
-            ctx->Emit(DocKey(doc.label), "1");
-            ForEachToken(doc.text, [&](std::string_view tok) {
-              ctx->Emit(TermKey(doc.label, tok), "1");
-            });
-            return Status::OK();
-          },
-          [](std::string_view key, const std::vector<std::string>& values,
-             mapreduce::ReduceContext* ctx) -> Status {
-            ctx->Emit(key, SumCombiner(key, values));
-            return Status::OK();
-          }));
-  return ModelFromCounts(result.Merged(), num_classes);
+Result<NaiveBayesModel> TrainNaiveBayes(engine::Engine& eng,
+                                        const std::vector<LabeledDoc>& docs,
+                                        int num_classes,
+                                        const EngineConfig& config) {
+  engine::JobSpec spec = BaseSpec(config);
+  spec.input = engine::IndexInput(docs.size());
+  spec.combiner = SumCombiner;
+  spec.map_fn = [&docs](std::string_view, std::string_view value,
+                        engine::MapContext* ctx) -> Status {
+    const auto& doc = docs[std::stoull(std::string(value))];
+    DMB_RETURN_NOT_OK(ctx->Emit(DocKey(doc.label), "1"));
+    Status st;
+    ForEachToken(doc.text, [&](std::string_view tok) {
+      if (st.ok()) st = ctx->Emit(TermKey(doc.label, tok), "1");
+    });
+    return st;
+  };
+  spec.reduce_fn = engine::CombinerAsReduce(SumCombiner);
+  DMB_ASSIGN_OR_RETURN(engine::JobOutput out, eng.Run(spec));
+  return ModelFromCounts(out.Merged(), num_classes);
 }
 
 double EvaluateAccuracy(const NaiveBayesModel& model,

@@ -4,7 +4,8 @@
 // per-class term frequencies and document counts (the paper notes this
 // dominates runtime and "is similar to WordCount"); the model is a
 // multinomial Naive Bayes classifier with Laplace smoothing. Training is
-// implemented on all three engines; classification is a shared kernel.
+// implemented once against the unified Engine API and runs on every
+// registered engine; classification is a shared kernel.
 
 #ifndef DATAMPI_BENCH_WORKLOADS_NAIVE_BAYES_H_
 #define DATAMPI_BENCH_WORKLOADS_NAIVE_BAYES_H_
@@ -63,12 +64,12 @@ class NaiveBayesModel {
 NaiveBayesModel TrainNaiveBayesReference(const std::vector<LabeledDoc>& docs,
                                          int num_classes);
 
-Result<NaiveBayesModel> TrainNaiveBayesDataMPI(
-    const std::vector<LabeledDoc>& docs, int num_classes,
-    const EngineConfig& config);
-Result<NaiveBayesModel> TrainNaiveBayesMapReduce(
-    const std::vector<LabeledDoc>& docs, int num_classes,
-    const EngineConfig& config);
+/// \brief One engine-agnostic training job: counts per-class terms and
+/// documents, merged by the combiner, folded into the model.
+Result<NaiveBayesModel> TrainNaiveBayes(engine::Engine& eng,
+                                        const std::vector<LabeledDoc>& docs,
+                                        int num_classes,
+                                        const EngineConfig& config);
 
 /// \brief Fraction of docs whose predicted label matches the truth.
 double EvaluateAccuracy(const NaiveBayesModel& model,

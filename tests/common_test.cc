@@ -342,6 +342,42 @@ TEST(ThreadPoolTest, WaitBlocksUntilIdle) {
   EXPECT_EQ(done.load(), 8);
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownIsSafelyIgnored) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Wait();
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(100); }));
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(100); }));
+  EXPECT_EQ(counter.load(), 1) << "post-shutdown tasks must be dropped";
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitAndWait) {
+  // Several producer threads submit while another thread sits in Wait();
+  // every accepted task must have run by the time all waits return.
+  ThreadPool pool(4);
+  std::atomic<int> accepted{0}, executed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (pool.Submit([&executed] { executed.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread waiter([&pool] {
+    for (int i = 0; i < 10; ++i) pool.Wait();
+  });
+  for (auto& t : producers) t.join();
+  waiter.join();
+  pool.Wait();
+  EXPECT_EQ(executed.load(), accepted.load());
+  EXPECT_EQ(accepted.load(), 800);
+}
+
 // ---- TablePrinter ----
 
 TEST(TablePrinterTest, AlignsColumns) {

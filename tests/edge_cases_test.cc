@@ -13,6 +13,7 @@
 #include "datagen/codec.h"
 #include "datagen/seqfile.h"
 #include "datagen/vectors.h"
+#include "engine/registry.h"
 #include "mpilite/mpilite.h"
 #include "rddlite/rdd.h"
 #include "sim/fluid.h"
@@ -230,12 +231,15 @@ TEST(JobEdgeTest, LargeValuesSurviveThePipeline) {
 TEST(WorkloadEdgeTest, SortSingleLineAndSingleWord) {
   workloads::EngineConfig config;
   config.parallelism = 4;
-  auto one = workloads::TextSortDataMPI({"only"}, config);
-  ASSERT_TRUE(one.ok());
-  EXPECT_EQ(*one, std::vector<std::string>{"only"});
-  auto wc = workloads::WordCountDataMPI({"word"}, config);
-  ASSERT_TRUE(wc.ok());
-  EXPECT_EQ((*wc).at("word"), 1);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto one = workloads::TextSort(*eng, {"only"}, config);
+    ASSERT_TRUE(one.ok()) << info.name;
+    EXPECT_EQ(*one, std::vector<std::string>{"only"}) << info.name;
+    auto wc = workloads::WordCount(*eng, {"word"}, config);
+    ASSERT_TRUE(wc.ok()) << info.name;
+    EXPECT_EQ((*wc).at("word"), 1) << info.name;
+  }
 }
 
 TEST(WorkloadEdgeTest, KmeansWithKEqualsOne) {
@@ -257,10 +261,13 @@ TEST(WorkloadEdgeTest, NaiveBayesSingleClassAlwaysPredictsIt) {
 
 TEST(WorkloadEdgeTest, GrepPatternLongerThanAnyLine) {
   workloads::EngineConfig config;
-  auto result = workloads::GrepDataMPI(
-      {"ab", "cd"}, "abcdefghijklmnopqrstuvwxyz", config);
-  ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result->matched_lines.empty());
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = workloads::Grep(
+        *eng, {"ab", "cd"}, "abcdefghijklmnopqrstuvwxyz", config);
+    ASSERT_TRUE(result.ok()) << info.name;
+    EXPECT_TRUE(result->matched_lines.empty()) << info.name;
+  }
 }
 
 // ---- rddlite chains ----

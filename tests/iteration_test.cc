@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "datagen/vectors.h"
+#include "engine/registry.h"
 #include "workloads/kmeans.h"
 
 namespace dmb::datampi {
@@ -121,8 +122,10 @@ TEST(IterativeJobTest, KmeansViaIterativeDriverMatchesDirectTraining) {
   auto vectors = datagen::GenerateKmeansVectors(200, data_options);
   const uint32_t dim = datagen::KmeansDimension(data_options);
   workloads::EngineConfig engine_config;
-  auto direct = workloads::KmeansTrainDataMPI(vectors, 5, dim, 0.5, 10,
-                                              engine_config);
+  auto eng = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng.ok());
+  auto direct = workloads::KmeansTrain(**eng, vectors, 5, dim, 0.5, 10,
+                                       engine_config);
   ASSERT_TRUE(direct.ok());
 
   // Iterative-driver version: state is the model's cluster counts string
@@ -130,8 +133,8 @@ TEST(IterativeJobTest, KmeansViaIterativeDriverMatchesDirectTraining) {
   // iterations and compare final assignments.
   workloads::KmeansModel model = workloads::InitialCentroids(vectors, 5, dim);
   for (int i = 0; i < direct->second; ++i) {
-    auto next = workloads::KmeansIterationDataMPI(vectors, model,
-                                                  engine_config);
+    auto next = workloads::KmeansIteration(**eng, vectors, model,
+                                           engine_config);
     ASSERT_TRUE(next.ok());
     model = std::move(next).value();
   }

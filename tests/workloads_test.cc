@@ -1,6 +1,7 @@
-// Cross-engine agreement tests: every workload must produce identical
-// results on DataMPI, the Hadoop-like engine, the Spark-like engine, and
-// the single-threaded reference oracle.
+// Cross-engine agreement tests: every workload is implemented once
+// against the unified Engine interface and must produce identical
+// results on every registered engine and on the single-threaded
+// reference oracle.
 
 #include <algorithm>
 
@@ -9,6 +10,7 @@
 #include "datagen/seqfile.h"
 #include "datagen/text_generator.h"
 #include "datagen/vectors.h"
+#include "engine/registry.h"
 #include "workloads/kmeans.h"
 #include "workloads/micro.h"
 #include "workloads/naive_bayes.h"
@@ -71,22 +73,22 @@ TEST(WordCountTest, AllEnginesAgreeWithOracle) {
   const auto lines = TestCorpus(64 * 1024);
   const auto oracle = ReferenceWordCount(lines);
   EngineConfig config;
-  auto datampi = WordCountDataMPI(lines, config);
-  auto mapreduce = WordCountMapReduce(lines, config);
-  auto rdd = WordCountRdd(lines, config);
-  ASSERT_TRUE(datampi.ok()) << datampi.status();
-  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
-  ASSERT_TRUE(rdd.ok()) << rdd.status();
-  EXPECT_EQ(*datampi, oracle);
-  EXPECT_EQ(*mapreduce, oracle);
-  EXPECT_EQ(*rdd, oracle);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = WordCount(*eng, lines, config);
+    ASSERT_TRUE(result.ok()) << info.name << ": " << result.status();
+    EXPECT_EQ(*result, oracle) << info.name;
+  }
 }
 
 TEST(WordCountTest, EmptyInput) {
   EngineConfig config;
-  auto result = WordCountDataMPI({}, config);
-  ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result->empty());
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = WordCount(*eng, {}, config);
+    ASSERT_TRUE(result.ok()) << info.name;
+    EXPECT_TRUE(result->empty()) << info.name;
+  }
 }
 
 class WordCountParallelismTest : public ::testing::TestWithParam<int> {};
@@ -96,9 +98,12 @@ TEST_P(WordCountParallelismTest, ResultIndependentOfParallelism) {
   const auto oracle = ReferenceWordCount(lines);
   EngineConfig config;
   config.parallelism = GetParam();
-  auto result = WordCountDataMPI(lines, config);
-  ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_EQ(*result, oracle);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = WordCount(*eng, lines, config);
+    ASSERT_TRUE(result.ok()) << info.name << ": " << result.status();
+    EXPECT_EQ(*result, oracle) << info.name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Parallelism, WordCountParallelismTest,
@@ -113,26 +118,30 @@ TEST(GrepTest, AllEnginesAgreeWithOracle) {
   auto oracle_lines = ReferenceGrep(lines, compiled);
   std::sort(oracle_lines.begin(), oracle_lines.end());
   EngineConfig config;
-  auto datampi = GrepDataMPI(lines, pattern, config);
-  auto mapreduce = GrepMapReduce(lines, pattern, config);
-  auto rdd = GrepRdd(lines, pattern, config);
-  ASSERT_TRUE(datampi.ok()) << datampi.status();
-  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
-  ASSERT_TRUE(rdd.ok()) << rdd.status();
-  EXPECT_EQ(datampi->matched_lines, oracle_lines);
-  EXPECT_EQ(mapreduce->matched_lines, oracle_lines);
-  EXPECT_EQ(rdd->matched_lines, oracle_lines);
-  EXPECT_EQ(datampi->total_matches, mapreduce->total_matches);
-  EXPECT_EQ(datampi->total_matches, rdd->total_matches);
-  EXPECT_GT(datampi->total_matches, 0);
+  int64_t reference_matches = -1;
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = Grep(*eng, lines, pattern, config);
+    ASSERT_TRUE(result.ok()) << info.name << ": " << result.status();
+    EXPECT_EQ(result->matched_lines, oracle_lines) << info.name;
+    EXPECT_GT(result->total_matches, 0) << info.name;
+    if (reference_matches < 0) {
+      reference_matches = result->total_matches;
+    } else {
+      EXPECT_EQ(result->total_matches, reference_matches) << info.name;
+    }
+  }
 }
 
 TEST(GrepTest, NoMatches) {
   EngineConfig config;
-  auto result = GrepDataMPI({"aaa", "bbb"}, "zzz", config);
-  ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result->matched_lines.empty());
-  EXPECT_EQ(result->total_matches, 0);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = Grep(*eng, {"aaa", "bbb"}, "zzz", config);
+    ASSERT_TRUE(result.ok()) << info.name;
+    EXPECT_TRUE(result->matched_lines.empty()) << info.name;
+    EXPECT_EQ(result->total_matches, 0) << info.name;
+  }
 }
 
 // ---- Text Sort ----
@@ -142,15 +151,12 @@ TEST(TextSortTest, AllEnginesProduceSortedPermutation) {
   std::vector<std::string> expected = lines;
   std::sort(expected.begin(), expected.end());
   EngineConfig config;
-  auto datampi = TextSortDataMPI(lines, config);
-  auto mapreduce = TextSortMapReduce(lines, config);
-  auto rdd = TextSortRdd(lines, config);
-  ASSERT_TRUE(datampi.ok()) << datampi.status();
-  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
-  ASSERT_TRUE(rdd.ok()) << rdd.status();
-  EXPECT_EQ(*datampi, expected);
-  EXPECT_EQ(*mapreduce, expected);
-  EXPECT_EQ(*rdd, expected);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = TextSort(*eng, lines, config);
+    ASSERT_TRUE(result.ok()) << info.name << ": " << result.status();
+    EXPECT_EQ(*result, expected) << info.name;
+  }
 }
 
 TEST(TextSortTest, AlreadySortedAndReversedInputs) {
@@ -160,20 +166,27 @@ TEST(TextSortTest, AlreadySortedAndReversedInputs) {
   }
   std::vector<std::string> reversed(sorted.rbegin(), sorted.rend());
   EngineConfig config;
-  auto a = TextSortDataMPI(sorted, config);
-  auto b = TextSortDataMPI(reversed, config);
-  ASSERT_TRUE(a.ok());
-  ASSERT_TRUE(b.ok());
-  EXPECT_EQ(*a, sorted);
-  EXPECT_EQ(*b, sorted);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto a = TextSort(*eng, sorted, config);
+    auto b = TextSort(*eng, reversed, config);
+    ASSERT_TRUE(a.ok()) << info.name;
+    ASSERT_TRUE(b.ok()) << info.name;
+    EXPECT_EQ(*a, sorted) << info.name;
+    EXPECT_EQ(*b, sorted) << info.name;
+  }
 }
 
 TEST(TextSortTest, DuplicateKeysPreserved) {
   std::vector<std::string> lines = {"dup", "dup", "aaa", "dup"};
   EngineConfig config;
-  auto result = TextSortDataMPI(lines, config);
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(*result, (std::vector<std::string>{"aaa", "dup", "dup", "dup"}));
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = TextSort(*eng, lines, config);
+    ASSERT_TRUE(result.ok()) << info.name;
+    EXPECT_EQ(*result, (std::vector<std::string>{"aaa", "dup", "dup", "dup"}))
+        << info.name;
+  }
 }
 
 // ---- Normal Sort ----
@@ -182,40 +195,43 @@ TEST(NormalSortTest, SeqFileInOutSortedAndComplete) {
   const auto lines = TestCorpus(32 * 1024);
   const std::string input = datagen::ToSeqFile(lines);
   EngineConfig config;
-  auto datampi = NormalSortDataMPI(input, config);
-  auto mapreduce = NormalSortMapReduce(input, config);
-  ASSERT_TRUE(datampi.ok()) << datampi.status();
-  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
-  auto check = [&](const std::string& file) {
-    auto records = datagen::SeqFileReader::ReadAll(file);
-    ASSERT_TRUE(records.ok());
-    ASSERT_EQ(records->size(), lines.size());
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = NormalSort(*eng, input, config);
+    ASSERT_TRUE(result.ok()) << info.name << ": " << result.status();
+    auto records = datagen::SeqFileReader::ReadAll(*result);
+    ASSERT_TRUE(records.ok()) << info.name;
+    ASSERT_EQ(records->size(), lines.size()) << info.name;
     for (size_t i = 1; i < records->size(); ++i) {
-      EXPECT_LE((*records)[i - 1].first, (*records)[i].first);
+      EXPECT_LE((*records)[i - 1].first, (*records)[i].first) << info.name;
     }
     // Every record still has key == value (ToSeqFile invariant).
     for (const auto& [k, v] : *records) EXPECT_EQ(k, v);
-  };
-  check(*datampi);
-  check(*mapreduce);
+  }
 }
 
-TEST(NormalSortTest, RddDriverMirrorsThePaperOomBehaviour) {
+TEST(NormalSortTest, RddEngineMirrorsThePaperOomBehaviour) {
   const auto lines = TestCorpus(24 * 1024);
   const std::string input = datagen::ToSeqFile(lines);
-  EngineConfig config;
+  auto rdd = engine::MakeEngine("rddlite");
+  auto datampi = engine::MakeEngine("datampi");
+  ASSERT_TRUE(rdd.ok() && datampi.ok());
   // Generous executor budget: succeeds and matches the DataMPI output.
-  auto big = NormalSortRdd(input, config, int64_t{64} << 20);
+  EngineConfig big_config;
+  big_config.memory_budget_bytes = int64_t{64} << 20;
+  auto big = NormalSort(**rdd, input, big_config);
   ASSERT_TRUE(big.ok()) << big.status();
-  auto reference = NormalSortDataMPI(input, config);
+  auto reference = NormalSort(**datampi, input, EngineConfig{});
   ASSERT_TRUE(reference.ok());
   auto a = datagen::SeqFileReader::ReadAll(*big);
   auto b = datagen::SeqFileReader::ReadAll(*reference);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(*a, *b);
-  // Tiny executor budget: the sortByKey materialization OOMs, exactly
+  // Tiny executor budget: the shuffle materialization OOMs, exactly
   // like the paper's Spark Normal Sort runs.
-  auto small = NormalSortRdd(input, config, 16 << 10);
+  EngineConfig small_config;
+  small_config.memory_budget_bytes = 16 << 10;
+  auto small = NormalSort(**rdd, input, small_config);
   ASSERT_FALSE(small.ok());
   EXPECT_TRUE(small.status().IsOutOfMemory()) << small.status();
 }
@@ -274,18 +290,13 @@ TEST(KmeansTest, OneIterationAgreesAcrossEngines) {
   KmeansModel model = InitialCentroids(vectors, 5, dim);
   const KmeansModel oracle = KmeansIterationReference(vectors, model);
   EngineConfig config;
-  auto datampi = KmeansIterationDataMPI(vectors, model, config);
-  auto mapreduce = KmeansIterationMapReduce(vectors, model, config);
-  auto rdd = KmeansIterationRdd(vectors, model, config);
-  ASSERT_TRUE(datampi.ok()) << datampi.status();
-  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
-  ASSERT_TRUE(rdd.ok()) << rdd.status();
-  EXPECT_EQ(oracle.counts, datampi->counts);
-  EXPECT_EQ(oracle.counts, mapreduce->counts);
-  EXPECT_EQ(oracle.counts, rdd->counts);
-  EXPECT_LT(MaxCentroidShift(oracle, *datampi), 1e-9);
-  EXPECT_LT(MaxCentroidShift(oracle, *mapreduce), 1e-9);
-  EXPECT_LT(MaxCentroidShift(oracle, *rdd), 1e-9);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = KmeansIteration(*eng, vectors, model, config);
+    ASSERT_TRUE(result.ok()) << info.name << ": " << result.status();
+    EXPECT_EQ(oracle.counts, result->counts) << info.name;
+    EXPECT_LT(MaxCentroidShift(oracle, *result), 1e-9) << info.name;
+  }
 }
 
 TEST(KmeansTest, TrainingConvergesOnSeparableData) {
@@ -293,8 +304,10 @@ TEST(KmeansTest, TrainingConvergesOnSeparableData) {
   auto vectors = datagen::GenerateKmeansVectors(250, data_options);
   const uint32_t dim = datagen::KmeansDimension(data_options);
   EngineConfig config;
-  auto trained = KmeansTrainDataMPI(vectors, 5, dim, /*threshold=*/0.5,
-                                    /*max_iterations=*/20, config);
+  auto eng = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng.ok());
+  auto trained = KmeansTrain(**eng, vectors, 5, dim, /*threshold=*/0.5,
+                             /*max_iterations=*/20, config);
   ASSERT_TRUE(trained.ok()) << trained.status();
   EXPECT_LE(trained->second, 20);
   // All points assigned; cluster sizes sum to n.
@@ -334,16 +347,16 @@ TEST(KmeansTest, DistanceKernelMatchesSlowPath) {
 
 // ---- Naive Bayes ----
 
-TEST(NaiveBayesTest, TrainersAgreeWithOracle) {
+TEST(NaiveBayesTest, TrainersAgreeWithOracleOnEveryEngine) {
   auto docs = datagen::GenerateBayesDocs(48 * 1024);
   const auto oracle = TrainNaiveBayesReference(docs, 5);
   EngineConfig config;
-  auto datampi = TrainNaiveBayesDataMPI(docs, 5, config);
-  auto mapreduce = TrainNaiveBayesMapReduce(docs, 5, config);
-  ASSERT_TRUE(datampi.ok()) << datampi.status();
-  ASSERT_TRUE(mapreduce.ok()) << mapreduce.status();
-  EXPECT_TRUE(*datampi == oracle);
-  EXPECT_TRUE(*mapreduce == oracle);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto model = TrainNaiveBayes(*eng, docs, 5, config);
+    ASSERT_TRUE(model.ok()) << info.name << ": " << model.status();
+    EXPECT_TRUE(*model == oracle) << info.name;
+  }
 }
 
 TEST(NaiveBayesTest, ClassifierSeparatesTheSeedModels) {
@@ -352,7 +365,9 @@ TEST(NaiveBayesTest, ClassifierSeparatesTheSeedModels) {
   holdout_options.seed = 777;  // unseen docs
   auto test = datagen::GenerateBayesDocs(16 * 1024, holdout_options);
   EngineConfig config;
-  auto model = TrainNaiveBayesDataMPI(train, 5, config);
+  auto eng = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng.ok());
+  auto model = TrainNaiveBayes(**eng, train, 5, config);
   ASSERT_TRUE(model.ok()) << model.status();
   const double accuracy = EvaluateAccuracy(*model, test);
   EXPECT_GT(accuracy, 0.9) << "disjoint vocabularies must be separable";
