@@ -4,8 +4,11 @@
 #define DATAMPI_BENCH_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/table_printer.h"
 #include "common/units.h"
@@ -13,6 +16,82 @@
 #include "simfw/profiles.h"
 
 namespace dmb::bench {
+
+/// \brief Machine-readable benchmark results: collects (name, value,
+/// unit) metrics and writes them as a JSON document, so BENCH_*.json
+/// trajectory tracking has data. Enabled by a `--json <path>` flag.
+class BenchJson {
+ public:
+  /// \brief Scans argv for `--json <path>` (or `--json=<path>`); the
+  /// writer is disabled when the flag is absent.
+  static BenchJson FromArgs(int argc, char** argv) {
+    BenchJson json;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json.path_ = argv[i + 1];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json.path_ = arg.substr(7);
+      }
+    }
+    return json;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& name, double value,
+           const std::string& unit = "s") {
+    entries_.push_back(Entry{name, value, unit});
+  }
+
+  /// \brief Writes `{"benchmarks": [{"name":..., "value":..., "unit":...},
+  /// ...]}` to the --json path. No-op when disabled; returns false on an
+  /// unwritable path.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "bench: cannot write --json file " << path_ << "\n";
+      return false;
+    }
+    out << "{\n  \"benchmarks\": [";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+          << Escape(entries_[i].name) << "\", \"value\": "
+          << FormatDouble(entries_[i].value) << ", \"unit\": \""
+          << Escape(entries_[i].unit) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+    std::cerr << "bench: wrote " << entries_.size() << " metrics to "
+              << path_ << "\n";
+    return out.good();
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string FormatDouble(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::string path_;
+  std::vector<Entry> entries_;
+};
 
 /// \brief Prints the testbed banner (Table 2 of the paper).
 inline void PrintTestbed(std::ostream& os) {

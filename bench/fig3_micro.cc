@@ -24,7 +24,7 @@ using simfw::SimulateWorkload;
 using simfw::WorkloadProfile;
 
 void RunSeries(const WorkloadProfile& profile, const std::vector<int>& sizes,
-               bool with_spark) {
+               bool with_spark, BenchJson* json) {
   PrintBanner(std::cout, "Figure 3: " + profile.name);
   const auto& engines = engine::Engines();
   std::vector<std::string> header = {"data (GB)"};
@@ -49,6 +49,12 @@ void RunSeries(const WorkloadProfile& profile, const std::vector<int>& sizes,
       }
       runs[info.framework] =
           SimulateWorkload(info.framework, profile, bytes, options).job;
+      const auto& job = runs[info.framework];
+      if (job.ok()) {
+        json->Add("fig3/" + profile.name + "/" + info.name + "/" +
+                      std::to_string(gb) + "GB",
+                  job.seconds, "s");
+      }
     }
     const auto& d = runs[Framework::kDataMPI];
     std::vector<std::string> row = {std::to_string(gb)};
@@ -69,17 +75,18 @@ void RunSeries(const WorkloadProfile& profile, const std::vector<int>& sizes,
 }  // namespace
 }  // namespace dmb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmb;
   using namespace dmb::bench;
+  BenchJson json = BenchJson::FromArgs(argc, argv);
   PrintTestbed(std::cout);
   std::cout << "Paper reference bands: Normal Sort 29-33%, Text Sort "
                "34-42% (39% vs Spark at 8 GB), WordCount 47-55% "
                "(DataMPI ~= Spark), Grep 33-42% vs Hadoop / 19-29% vs "
                "Spark.\n";
-  RunSeries(simfw::NormalSortProfile(), {4, 8, 16, 32}, true);
-  RunSeries(simfw::TextSortProfile(), {8, 16, 32, 64}, true);
-  RunSeries(simfw::WordCountProfile(), {8, 16, 32, 64}, true);
-  RunSeries(simfw::GrepProfile(), {8, 16, 32, 64}, true);
-  return 0;
+  RunSeries(simfw::NormalSortProfile(), {4, 8, 16, 32}, true, &json);
+  RunSeries(simfw::TextSortProfile(), {8, 16, 32, 64}, true, &json);
+  RunSeries(simfw::WordCountProfile(), {8, 16, 32, 64}, true, &json);
+  RunSeries(simfw::GrepProfile(), {8, 16, 32, 64}, true, &json);
+  return json.Write() ? 0 : 1;
 }

@@ -1,0 +1,206 @@
+// Shuffle micro-benchmark: arena-backed KVSlice records vs the seed
+// string-pair representation on a WordCount-shaped shuffle.
+//
+// Both paths do the same work — collect N (word, "1") records, sort
+// them by (key, value), and walk the sorted stream grouping equal keys —
+// which is exactly the map-side stage-boundary hot path every engine
+// runs. The seed path allocates two std::strings per record and sorts
+// 64-byte string pairs; the slice path appends bytes to one KVArena and
+// sorts 24-byte slices. A third column runs the full shared
+// PartitionedCollector (partition-on-insert + merge) end to end.
+//
+// Usage: shuffle_bench [records] [--json <path>]
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/kv.h"
+#include "shuffle/collector.h"
+#include "shuffle/kv_arena.h"
+#include "shuffle/run_merger.h"
+
+namespace dmb::bench {
+namespace {
+
+/// Zipf-flavoured word ids: heavy duplication (WordCount traffic), long
+/// tail of rare words.
+std::vector<std::string> MakeWords(int64_t n) {
+  Rng rng(20140707);  // the paper's year, for reproducibility
+  std::vector<std::string> words;
+  words.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const double u =
+        static_cast<double>(rng.Uniform(1 << 20)) / (1 << 20);
+    const auto id = static_cast<int64_t>(u * u * u * 50000);
+    words.push_back("word" + std::to_string(id));
+  }
+  return words;
+}
+
+struct PathResult {
+  double seconds = 0;
+  int64_t groups = 0;
+  int64_t records = 0;
+};
+
+/// The seed representation: one KVPair (two heap strings) per record,
+/// sorted as string pairs.
+PathResult StringPairPath(const std::vector<std::string>& words) {
+  Stopwatch sw;
+  std::vector<datampi::KVPair> pairs;
+  pairs.reserve(words.size());
+  for (const auto& w : words) {
+    pairs.push_back(datampi::KVPair{w, "1"});
+  }
+  std::sort(pairs.begin(), pairs.end(), datampi::KVPairLess{});
+  PathResult r;
+  size_t i = 0;
+  while (i < pairs.size()) {
+    const std::string& key = pairs[i].key;
+    while (i < pairs.size() && pairs[i].key == key) {
+      ++r.records;
+      ++i;
+    }
+    ++r.groups;
+  }
+  r.seconds = sw.ElapsedSeconds();
+  return r;
+}
+
+/// The arena representation: bytes appended to one flat buffer, 24-byte
+/// slices sorted over it.
+PathResult ArenaSlicePath(const std::vector<std::string>& words) {
+  Stopwatch sw;
+  shuffle::KVArena arena;
+  std::vector<shuffle::KVSlice> slices;
+  slices.reserve(words.size());
+  for (const auto& w : words) {
+    slices.push_back(arena.Add(w, "1"));
+  }
+  arena.Sort(&slices);
+  PathResult r;
+  size_t i = 0;
+  while (i < slices.size()) {
+    const std::string_view key = arena.KeyOf(slices[i]);
+    while (i < slices.size() && arena.KeyOf(slices[i]) == key) {
+      ++r.records;
+      ++i;
+    }
+    ++r.groups;
+  }
+  r.seconds = sw.ElapsedSeconds();
+  return r;
+}
+
+/// The full shared shuffle path: partition-on-insert into 4 partitions,
+/// merge-iterate every partition's groups (what the engines actually
+/// run at the stage boundary).
+PathResult CollectorPath(const std::vector<std::string>& words) {
+  Stopwatch sw;
+  shuffle::CollectorOptions options;
+  options.num_partitions = 4;
+  options.partitioner = std::make_shared<datampi::HashPartitioner>();
+  options.on_budget = shuffle::BudgetAction::kUnbounded;
+  shuffle::PartitionedCollector collector(std::move(options));
+  PathResult r;
+  for (const auto& w : words) {
+    if (!collector.Add(w, "1").ok()) return r;
+  }
+  auto iterators = collector.FinishIterators();
+  if (!iterators.ok()) return r;
+  std::string key;
+  std::vector<std::string> values;
+  for (auto& it : *iterators) {
+    while (it->NextGroup(&key, &values)) {
+      r.records += static_cast<int64_t>(values.size());
+      ++r.groups;
+    }
+  }
+  r.seconds = sw.ElapsedSeconds();
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  int64_t n = 1'000'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) break;  // flags handled by BenchJson
+    try {
+      n = std::stoll(arg);
+    } catch (const std::exception&) {
+      n = 0;
+    }
+    if (n <= 0) {
+      std::cerr << "usage: shuffle_bench [records] [--json <path>]\n";
+      return 2;
+    }
+  }
+  BenchJson json = BenchJson::FromArgs(argc, argv);
+
+  PrintBanner(std::cout, "Shuffle representation micro-benchmark");
+  std::cout << "WordCount-shaped shuffle, " << n
+            << " records (collect + sort + group), best of 3 runs.\n";
+  const std::vector<std::string> words = MakeWords(n);
+
+  PathResult string_pairs, slices, collector;
+  for (int rep = 0; rep < 3; ++rep) {
+    const PathResult sp = StringPairPath(words);
+    const PathResult sl = ArenaSlicePath(words);
+    const PathResult co = CollectorPath(words);
+    if (rep == 0 || sp.seconds < string_pairs.seconds) string_pairs = sp;
+    if (rep == 0 || sl.seconds < slices.seconds) slices = sl;
+    if (rep == 0 || co.seconds < collector.seconds) collector = co;
+  }
+
+  // All paths must agree before any timing is trusted.
+  if (slices.groups != string_pairs.groups ||
+      collector.groups != string_pairs.groups ||
+      slices.records != string_pairs.records ||
+      collector.records != string_pairs.records) {
+    std::cerr << "MISMATCH between paths: string-pairs "
+              << string_pairs.groups << " groups, slices " << slices.groups
+              << ", collector " << collector.groups << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"path", "seconds", "Mrec/s", "vs string pairs"});
+  auto add_row = [&](const char* name, const PathResult& r) {
+    table.AddRow({name, TablePrinter::Num(r.seconds, 3),
+                  TablePrinter::Num(static_cast<double>(n) / 1e6 /
+                                        r.seconds,
+                                    1),
+                  TablePrinter::Pct(
+                      ImprovementOver(r.seconds, string_pairs.seconds))});
+  };
+  add_row("string pairs (seed)", string_pairs);
+  add_row("arena slices", slices);
+  add_row("partitioned collector", collector);
+  table.Print(std::cout);
+  std::cout << string_pairs.groups << " distinct keys, "
+            << string_pairs.records << " records grouped on every path.\n";
+
+  json.Add("shuffle_bench/string_pairs/" + std::to_string(n),
+           string_pairs.seconds, "s");
+  json.Add("shuffle_bench/arena_slices/" + std::to_string(n),
+           slices.seconds, "s");
+  json.Add("shuffle_bench/collector/" + std::to_string(n),
+           collector.seconds, "s");
+  if (!json.Write()) return 1;
+
+  if (slices.seconds >= string_pairs.seconds) {
+    std::cerr << "REGRESSION: slice path (" << slices.seconds
+              << "s) not faster than string pairs ("
+              << string_pairs.seconds << "s)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dmb::bench
+
+int main(int argc, char** argv) { return dmb::bench::Run(argc, argv); }

@@ -1,18 +1,21 @@
-// Quickstart: WordCount with the DataMPI library.
+// Quickstart: WordCount through the unified Engine registry.
 //
-// Demonstrates the core public API end to end:
+// Demonstrates the public API end to end:
 //   1. generate a BigDataBench-style corpus (lda_wiki1w seed model),
-//   2. run a bipartite O/A DataMPI job with a combiner,
-//   3. print the most frequent words and the job statistics.
+//   2. describe WordCount once as a JobSpec (map, reduce, combiner),
+//   3. run it unchanged on every registered engine (DataMPI, Hadoop-like
+//      MapReduce, Spark-like rddlite) — all three route their shuffle
+//      through the shared src/shuffle layer — and verify agreement,
+//   4. print the most frequent words and the unified per-engine stats.
 //
-// Build & run:  ./build/examples/quickstart [size-bytes]
+// Build & run:  ./build/quickstart [size-bytes]
 
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "common/units.h"
-#include "core/job.h"
+#include "engine/registry.h"
 #include "datagen/text_generator.h"
 #include "workloads/text_utils.h"
 
@@ -31,64 +34,73 @@ int main(int argc, char** argv) {
   std::cout << "Corpus: " << lines.size() << " lines, "
             << FormatBytes(corpus_bytes) << "\n";
 
-  // 2. Configure the bipartite job: 4 O tasks feeding 4 A tasks, with a
-  //    combiner so duplicate words collapse before they hit the wire.
-  datampi::JobConfig config;
-  config.num_o_ranks = 4;
-  config.num_a_ranks = 4;
-  config.combiner = [](std::string_view,
-                       const std::vector<std::string>& values) {
+  // 2. WordCount described once: tokenize and emit (word, 1); the
+  //    combiner collapses duplicates before the shuffle; the reduce
+  //    sums the partial counts per word.
+  engine::JobSpec spec;
+  spec.input = engine::LinesAsInput(lines);
+  spec.parallelism = 4;
+  spec.combiner = [](std::string_view, const std::vector<std::string>& vs) {
     int64_t total = 0;
-    for (const auto& v : values) total += std::stoll(v);
+    for (const auto& v : vs) total += std::stoll(v);
     return std::to_string(total);
   };
+  spec.map_fn = [](std::string_view, std::string_view line,
+                   engine::MapContext* ctx) -> Status {
+    Status st;
+    workloads::ForEachToken(line, [&](std::string_view token) {
+      if (st.ok()) st = ctx->Emit(token, "1");
+    });
+    return st;
+  };
+  spec.reduce_fn = [](std::string_view word,
+                      const std::vector<std::string>& counts,
+                      engine::ReduceEmitter* out) -> Status {
+    int64_t total = 0;
+    for (const auto& c : counts) total += std::stoll(c);
+    out->Emit(word, std::to_string(total));
+    return Status::OK();
+  };
 
-  datampi::DataMPIJob job(config);
-  auto result = job.Run(
-      // O side: tokenize this task's slice of the corpus and emit
-      // (word, 1) pairs. Emission is partitioned by key and pipelined to
-      // the A side while the loop is still running.
-      [&](datampi::OContext* ctx) -> Status {
-        const size_t begin = lines.size() * ctx->task_id() / 4;
-        const size_t end = lines.size() * (ctx->task_id() + 1) / 4;
-        for (size_t i = begin; i < end; ++i) {
-          Status st;
-          workloads::ForEachToken(lines[i], [&](std::string_view token) {
-            if (st.ok()) st = ctx->Emit(token, "1");
-          });
-          DMB_RETURN_NOT_OK(st);
-        }
-        return Status::OK();
-      },
-      // A side: one call per word with all its partial counts.
-      [](std::string_view word, const std::vector<std::string>& counts,
-         datampi::AEmitter* out) -> Status {
-        int64_t total = 0;
-        for (const auto& c : counts) total += std::stoll(c);
-        out->Emit(word, std::to_string(total));
-        return Status::OK();
-      });
-
-  if (!result.ok()) {
-    std::cerr << "job failed: " << result.status() << "\n";
-    return 1;
+  // 3. The same spec runs on every registered engine.
+  std::vector<datampi::KVPair> reference;
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto result = eng->Run(spec);
+    if (!result.ok()) {
+      std::cerr << info.name << " failed: " << result.status() << "\n";
+      return 1;
+    }
+    auto merged = result->Merged();
+    std::sort(merged.begin(), merged.end(), datampi::KVPairLess{});
+    if (reference.empty()) {
+      reference = merged;
+    } else if (merged != reference) {
+      std::cerr << "ENGINE MISMATCH: " << info.name
+                << " disagrees with " << engine::Engines()[0].name << "\n";
+      return 1;
+    }
+    const auto& stats = result->stats;
+    std::cout << "\n" << info.display_name << " (" << info.name << "):\n"
+              << "  map records emitted : " << stats.map_output_records
+              << "\n"
+              << "  shuffle bytes       : " << FormatBytes(stats.shuffle_bytes)
+              << " (combiner-compressed)\n"
+              << "  spills to disk      : " << stats.spill_count << "\n"
+              << "  distinct words      : " << stats.output_records << "\n";
   }
+  std::cout << "\nAll " << engine::Engines().size()
+            << " engines agree on every count.\n";
 
-  // 3. Report.
-  auto merged = result->Merged();
-  std::sort(merged.begin(), merged.end(),
+  // 4. Report the heavy hitters.
+  std::sort(reference.begin(), reference.end(),
             [](const datampi::KVPair& a, const datampi::KVPair& b) {
               return std::stoll(a.value) > std::stoll(b.value);
             });
   std::cout << "\nTop 10 words:\n";
-  for (size_t i = 0; i < merged.size() && i < 10; ++i) {
-    std::cout << "  " << merged[i].key << " : " << merged[i].value << "\n";
+  for (size_t i = 0; i < reference.size() && i < 10; ++i) {
+    std::cout << "  " << reference[i].key << " : " << reference[i].value
+              << "\n";
   }
-  const auto& stats = result->stats;
-  std::cout << "\nJob statistics:\n"
-            << "  O records emitted : " << stats.o_records_emitted << "\n"
-            << "  shuffle bytes     : " << FormatBytes(stats.shuffle_bytes)
-            << " (combiner-compressed)\n"
-            << "  distinct words    : " << stats.output_records << "\n";
   return 0;
 }

@@ -1,22 +1,27 @@
-// Sort pipeline with fault tolerance: the paper's Normal Sort scenario.
+// Sort pipeline: the paper's Normal Sort scenario on every engine.
 //
 // 1. Generates text and converts it to a compressed sequence file
 //    (BigDataBench's ToSeqFile, GzipCodec stood in by DmbLz).
-// 2. Runs a range-partitioned DataMPI sort with checkpointing enabled.
-// 3. Simulates an A-phase failure and re-runs *only* the A phase from
-//    the key-value checkpoint (DataMPI's checkpoint/restart feature) —
-//    the recomputed output must be identical.
+// 2. Describes a range-partitioned total-order sort once as a JobSpec
+//    (sampled split points, as Hadoop's TotalOrderPartitioner).
+// 3. Runs it on every registered engine via the registry — no example
+//    calls a runtime directly — verifying that each engine's
+//    partition-concatenated output is globally sorted and that all
+//    engines produce byte-identical results.
 //
-// Build & run:  ./build/examples/sort_pipeline [size-bytes]
+// (DataMPI's checkpoint/restart fault-tolerance path is exercised by
+// tests/core_test.cc; this example sticks to the engine-portable API.)
+//
+// Build & run:  ./build/sort_pipeline [size-bytes]
 
 #include <iostream>
+#include <vector>
 
-#include "common/temp_dir.h"
+#include "common/stopwatch.h"
 #include "common/units.h"
-#include "core/job.h"
 #include "datagen/seqfile.h"
 #include "datagen/text_generator.h"
-#include "workloads/micro.h"
+#include "engine/registry.h"
 
 using namespace dmb;
 
@@ -37,66 +42,64 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 2. Range-partitioned sort with checkpointing.
-  TempDir checkpoint_dir("sort-ckpt");
+  // 2. The sort as one engine-agnostic JobSpec: identity map, identity
+  //    reduce, range partitioner from sampled keys so concatenating the
+  //    output partitions in order is globally sorted.
+  constexpr int kParallelism = 4;
+  std::vector<datampi::KVPair> input;
   std::vector<std::string> keys;
-  for (const auto& [k, v] : *records) keys.push_back(k);
-  datampi::JobConfig config;
-  config.num_o_ranks = 4;
-  config.num_a_ranks = 4;
-  config.partitioner = std::make_shared<datampi::RangePartitioner>(
-      datampi::RangePartitioner::FromSample(keys, 4));
-  config.checkpoint_dir = checkpoint_dir.path().string();
-
-  auto a_fn = [](std::string_view key, const std::vector<std::string>& values,
-                 datampi::AEmitter* out) -> Status {
+  input.reserve(records->size());
+  for (const auto& [k, v] : *records) {
+    input.push_back(datampi::KVPair{k, v});
+    keys.push_back(k);
+  }
+  engine::JobSpec spec;
+  spec.input = engine::PairsAsInput(std::move(input));
+  spec.parallelism = kParallelism;
+  spec.partitioner = std::make_shared<datampi::RangePartitioner>(
+      datampi::RangePartitioner::FromSample(keys, kParallelism));
+  spec.map_fn = [](std::string_view key, std::string_view value,
+                   engine::MapContext* ctx) -> Status {
+    return ctx->Emit(key, value);
+  };
+  spec.reduce_fn = [](std::string_view key,
+                      const std::vector<std::string>& values,
+                      engine::ReduceEmitter* out) -> Status {
     for (const auto& v : values) out->Emit(key, v);
     return Status::OK();
   };
 
-  datampi::DataMPIJob job(config);
-  auto first = job.Run(
-      [&](datampi::OContext* ctx) -> Status {
-        const size_t begin = records->size() * ctx->task_id() / 4;
-        const size_t end = records->size() * (ctx->task_id() + 1) / 4;
-        for (size_t i = begin; i < end; ++i) {
-          DMB_RETURN_NOT_OK(
-              ctx->Emit((*records)[i].first, (*records)[i].second));
-        }
-        return Status::OK();
-      },
-      a_fn);
-  if (!first.ok()) {
-    std::cerr << "sort failed: " << first.status() << "\n";
-    return 1;
-  }
-  const auto sorted = first->Merged();
-  std::cout << "Sorted " << sorted.size() << " records across 4 A tasks ("
-            << first->stats.shuffle_batches << " pipelined batches, "
-            << FormatBytes(first->stats.shuffle_bytes) << " shuffled)\n";
-  for (size_t i = 1; i < sorted.size(); ++i) {
-    if (sorted[i - 1].key > sorted[i].key) {
-      std::cerr << "OUTPUT NOT SORTED at " << i << "\n";
+  // 3. Every registered engine runs the identical sort.
+  std::vector<datampi::KVPair> reference;
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    Stopwatch sw;
+    auto result = eng->Run(spec);
+    const double seconds = sw.ElapsedSeconds();
+    if (!result.ok()) {
+      std::cerr << info.name << " failed: " << result.status() << "\n";
       return 1;
     }
+    const auto sorted = result->Merged();
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i - 1].key > sorted[i].key) {
+        std::cerr << info.name << ": OUTPUT NOT SORTED at " << i << "\n";
+        return 1;
+      }
+    }
+    if (reference.empty()) {
+      reference = sorted;
+    } else if (sorted != reference) {
+      std::cerr << "ENGINE MISMATCH: " << info.name << "\n";
+      return 1;
+    }
+    std::cout << info.display_name << ": sorted " << sorted.size()
+              << " records across " << result->partitions.size()
+              << " partitions (" << FormatBytes(result->stats.shuffle_bytes)
+              << " shuffled, " << result->stats.spill_count << " spills) in "
+              << FormatSeconds(seconds) << "\n";
   }
-  std::cout << "Global order verified.\n";
-
-  // 3. "Fail" the A phase and restart from the checkpoint: no O work,
-  //    no shuffle — the A tasks replay their persisted input.
-  std::cout << "\nSimulating A-phase failure; restarting from checkpoint in "
-            << checkpoint_dir.path() << "\n";
-  auto replay = job.RunFromCheckpoint(a_fn);
-  if (!replay.ok()) {
-    std::cerr << "restart failed: " << replay.status() << "\n";
-    return 1;
-  }
-  if (replay->Merged() == sorted) {
-    std::cout << "Checkpoint replay reproduced the output exactly ("
-              << replay->Merged().size() << " records).\n";
-  } else {
-    std::cerr << "REPLAY MISMATCH\n";
-    return 1;
-  }
+  std::cout << "\nGlobal order verified on all " << engine::Engines().size()
+            << " engines; outputs are byte-identical.\n";
   return 0;
 }

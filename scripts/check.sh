@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# CI check: configure, build, run the test suite, then build every
-# bench binary explicitly (build-only; no long benchmark runs).
+# CI check: configure (warnings-as-errors), build, run the test suite,
+# then build every bench binary explicitly (build-only; no long
+# benchmark runs).
+#
+# CHECK_ASAN=1 additionally builds the shuffle/engine/core tests under
+# AddressSanitizer in build-asan/ and runs them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
+# The whole tree must build warning-clean under -Wall -Wextra.
+cmake -B build -S . -DDMB_WERROR=ON
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
@@ -17,6 +22,7 @@ BENCH_TARGETS=(
   fig6_applications
   fig7_summary
   ablation_pipeline
+  shuffle_bench
 )
 # micro_components needs google-benchmark; build it when configured.
 if [ -f build/CMakeCache.txt ] && grep -q "^benchmark_DIR:PATH=[^-]" build/CMakeCache.txt; then
@@ -25,5 +31,12 @@ fi
 for target in "${BENCH_TARGETS[@]}"; do
   cmake --build build --target "$target"
 done
+
+if [ "${CHECK_ASAN:-0}" = "1" ]; then
+  echo "check.sh: ASan pass (shuffle + engine + core tests)"
+  cmake -B build-asan -S . -DDMB_ASAN=ON -DDMB_WERROR=ON
+  cmake --build build-asan -j --target shuffle_test engine_test core_test
+  (cd build-asan && ctest --output-on-failure -R '^(shuffle|engine|core)_test$')
+fi
 
 echo "check.sh: all green"

@@ -1,178 +1,36 @@
 #include "core/kv_buffer.h"
 
-#include <algorithm>
-#include <queue>
-
-#include "common/byte_buffer.h"
-#include "common/logging.h"
+#include <utility>
 
 namespace dmb::datampi {
 
-namespace {
-
-/// A sorted source of KVPairs (either the in-memory vector or a run file
-/// decoded back into memory — run files are written sorted).
-class RunSource {
- public:
-  explicit RunSource(std::vector<KVPair> records)
-      : records_(std::move(records)) {}
-
-  bool Peek(const KVPair** pair) const {
-    if (pos_ >= records_.size()) return false;
-    *pair = &records_[pos_];
-    return true;
-  }
-  void Pop() { ++pos_; }
-
- private:
-  std::vector<KVPair> records_;
-  size_t pos_ = 0;
-};
-
-/// K-way merge over sorted sources, grouped by key.
-class MergingGroupIterator : public KVGroupIterator {
- public:
-  explicit MergingGroupIterator(std::vector<std::unique_ptr<RunSource>> runs)
-      : runs_(std::move(runs)) {}
-
-  bool NextGroup(std::string* key, std::vector<std::string>* values) override {
-    values->clear();
-    const KVPair* best = nullptr;
-    size_t best_idx = 0;
-    if (!FindMin(&best, &best_idx)) return false;
-    *key = best->key;
-    // Drain every record equal to this key from all runs.
-    while (FindMin(&best, &best_idx) && best->key == *key) {
-      values->push_back(best->value);
-      runs_[best_idx]->Pop();
-    }
-    return true;
-  }
-
-  const Status& status() const override { return status_; }
-
- private:
-  bool FindMin(const KVPair** best, size_t* best_idx) {
-    *best = nullptr;
-    for (size_t i = 0; i < runs_.size(); ++i) {
-      const KVPair* candidate;
-      if (!runs_[i]->Peek(&candidate)) continue;
-      if (*best == nullptr || candidate->key < (*best)->key ||
-          (candidate->key == (*best)->key &&
-           candidate->value < (*best)->value)) {
-        *best = candidate;
-        *best_idx = i;
-      }
-    }
-    return *best != nullptr;
-  }
-
-  std::vector<std::unique_ptr<RunSource>> runs_;
-  Status status_;
-};
-
-/// Arrival-order singleton-group iterator (sort_by_key = false).
-class FifoGroupIterator : public KVGroupIterator {
- public:
-  explicit FifoGroupIterator(std::vector<KVPair> records)
-      : records_(std::move(records)) {}
-
-  bool NextGroup(std::string* key, std::vector<std::string>* values) override {
-    if (pos_ >= records_.size()) return false;
-    *key = std::move(records_[pos_].key);
-    values->clear();
-    values->push_back(std::move(records_[pos_].value));
-    ++pos_;
-    return true;
-  }
-
-  const Status& status() const override { return status_; }
-
- private:
-  std::vector<KVPair> records_;
-  size_t pos_ = 0;
-  Status status_;
-};
-
-std::string EncodeRun(const std::vector<KVPair>& records) {
-  ByteBuffer buf;
-  for (const auto& kv : records) {
-    EncodeKV(&buf, kv.key, kv.value);
-  }
-  return std::string(buf.view());
+shuffle::CollectorOptions SpillableKVBuffer::ToCollectorOptions(
+    const KVBufferOptions& options) {
+  shuffle::CollectorOptions copts;
+  copts.num_partitions = 1;
+  copts.sort_by_key = options.sort_by_key;
+  copts.memory_budget_bytes = options.memory_budget_bytes;
+  copts.on_budget = shuffle::BudgetAction::kSpill;
+  copts.spill_dir = options.spill_dir;
+  return copts;
 }
-
-}  // namespace
 
 SpillableKVBuffer::SpillableKVBuffer(KVBufferOptions options)
-    : options_(options) {
-  if (options_.spill_dir != nullptr) {
-    dir_ = options_.spill_dir;
-  } else {
-    owned_dir_ = std::make_unique<TempDir>("dmb-kvbuf");
-    dir_ = owned_dir_.get();
-  }
-}
+    : collector_(ToCollectorOptions(options)) {}
 
 SpillableKVBuffer::~SpillableKVBuffer() = default;
 
 Status SpillableKVBuffer::Add(std::string_view key, std::string_view value) {
-  if (finished_) {
-    return Status::FailedPrecondition("Add after Finish");
-  }
-  memory_.push_back(KVPair{std::string(key), std::string(value)});
-  const int64_t record_bytes =
-      static_cast<int64_t>(key.size() + value.size() + 32);
-  memory_bytes_ += record_bytes;
-  bytes_added_ += static_cast<int64_t>(key.size() + value.size());
-  ++records_added_;
-  if (memory_bytes_ > options_.memory_budget_bytes && options_.sort_by_key) {
-    return SpillNow();
-  }
-  return Status::OK();
+  return collector_.Add(key, value);
 }
 
 Status SpillableKVBuffer::AddBatch(std::string_view batch) {
-  KVBatchReader reader(batch);
-  std::string_view k, v;
-  while (reader.Next(&k, &v)) {
-    DMB_RETURN_NOT_OK(Add(k, v));
-  }
-  return reader.status();
-}
-
-Status SpillableKVBuffer::SpillNow() {
-  if (memory_.empty()) return Status::OK();
-  std::sort(memory_.begin(), memory_.end(), KVPairLess{});
-  const std::string path =
-      dir_->File("run-" + std::to_string(spill_files_.size()) + ".kv");
-  const std::string encoded = EncodeRun(memory_);
-  DMB_RETURN_NOT_OK(WriteFileBytes(path, encoded));
-  spilled_bytes_ += static_cast<int64_t>(encoded.size());
-  spill_files_.push_back(path);
-  memory_.clear();
-  memory_bytes_ = 0;
-  return Status::OK();
+  return collector_.AddBatch(batch);
 }
 
 Result<std::unique_ptr<KVGroupIterator>> SpillableKVBuffer::Finish() {
-  if (finished_) {
-    return Status::FailedPrecondition("Finish called twice");
-  }
-  finished_ = true;
-  if (!options_.sort_by_key) {
-    DMB_CHECK(spill_files_.empty());
-    return {std::make_unique<FifoGroupIterator>(std::move(memory_))};
-  }
-  std::sort(memory_.begin(), memory_.end(), KVPairLess{});
-  std::vector<std::unique_ptr<RunSource>> runs;
-  runs.push_back(std::make_unique<RunSource>(std::move(memory_)));
-  for (const auto& path : spill_files_) {
-    DMB_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
-    DMB_ASSIGN_OR_RETURN(std::vector<KVPair> records, DecodeKVBatch(bytes));
-    runs.push_back(std::make_unique<RunSource>(std::move(records)));
-  }
-  return {std::make_unique<MergingGroupIterator>(std::move(runs))};
+  DMB_ASSIGN_OR_RETURN(auto iterators, collector_.FinishIterators());
+  return std::move(iterators[0]);
 }
 
 }  // namespace dmb::datampi

@@ -6,6 +6,13 @@
 // runs into a single sorted stream grouped by key — exactly the external
 // merge sort a Hadoop reduce side performs, but with DataMPI's bias
 // toward keeping data memory-resident ("data-centric" buffering).
+//
+// Since the shared-shuffle refactor this is a thin facade over the
+// src/shuffle layer: records live as KVSlices over a KVArena inside a
+// single-partition PartitionedCollector, and Finish() is RunMerger's
+// k-way merge — the same code path under the MapReduce and rddlite
+// engines, which is what makes the paper's like-for-like comparison a
+// property of shared code.
 
 #ifndef DATAMPI_BENCH_CORE_KV_BUFFER_H_
 #define DATAMPI_BENCH_CORE_KV_BUFFER_H_
@@ -17,19 +24,14 @@
 
 #include "common/status.h"
 #include "common/temp_dir.h"
-#include "core/kv.h"
+#include "shuffle/collector.h"
+#include "shuffle/run_merger.h"
 
 namespace dmb::datampi {
 
-/// \brief Iterates (key, values) groups in sorted key order.
-class KVGroupIterator {
- public:
-  virtual ~KVGroupIterator() = default;
-  /// \brief Advances to the next group; false at end-of-stream.
-  virtual bool NextGroup(std::string* key,
-                         std::vector<std::string>* values) = 0;
-  virtual const Status& status() const = 0;
-};
+/// \brief Iterates (key, values) groups in sorted key order (shared
+/// shuffle-layer type, re-exported for the DataMPI A side).
+using KVGroupIterator = shuffle::KVGroupIterator;
 
 /// \brief Buffer options.
 struct KVBufferOptions {
@@ -61,25 +63,16 @@ class SpillableKVBuffer {
   /// The buffer must not be Add()ed to afterwards.
   Result<std::unique_ptr<KVGroupIterator>> Finish();
 
-  int64_t records_added() const { return records_added_; }
-  int64_t bytes_added() const { return bytes_added_; }
-  int spill_count() const { return static_cast<int>(spill_files_.size()); }
-  int64_t spilled_bytes() const { return spilled_bytes_; }
+  int64_t records_added() const { return collector_.records_added(); }
+  int64_t bytes_added() const { return collector_.bytes_added(); }
+  int spill_count() const { return collector_.spill_count(); }
+  int64_t spilled_bytes() const { return collector_.spilled_bytes(); }
 
  private:
-  Status SpillNow();
+  static shuffle::CollectorOptions ToCollectorOptions(
+      const KVBufferOptions& options);
 
-  KVBufferOptions options_;
-  std::unique_ptr<TempDir> owned_dir_;
-  const TempDir* dir_ = nullptr;
-
-  std::vector<KVPair> memory_;
-  int64_t memory_bytes_ = 0;
-  int64_t records_added_ = 0;
-  int64_t bytes_added_ = 0;
-  int64_t spilled_bytes_ = 0;
-  std::vector<std::string> spill_files_;
-  bool finished_ = false;
+  shuffle::PartitionedCollector collector_;
 };
 
 }  // namespace dmb::datampi

@@ -85,9 +85,12 @@ struct JobSpec {
   /// engine supports it).
   bool sort_by_key = true;
   SpillPolicy spill = SpillPolicy::kEngineDefault;
-  /// Intermediate-data memory budget in bytes; 0 = engine default.
-  /// DataMPI spills past it, rddlite fails the job with OutOfMemory
-  /// (Spark 0.8 semantics), MapReduce ignores it (disk-staged runs).
+  /// Intermediate-data memory budget in bytes; 0 = engine default. All
+  /// three engines route intermediates through the shared shuffle
+  /// collector, so the budget means one thing: resident intermediate
+  /// bytes before the engine's budget action. DataMPI spills its A-side
+  /// buffer past it, MapReduce spills map-side sorted runs (io.sort.mb),
+  /// rddlite fails the job with OutOfMemory (Spark 0.8 semantics).
   int64_t memory_budget_bytes = 0;
 };
 

@@ -48,6 +48,12 @@ Result<JobOutput> MapReduceEngine::Run(const JobSpec& spec) {
   // in-memory ablation. The reduce side merges sorted runs, so grouping
   // is sorted regardless of spec.sort_by_key.
   config.spill_to_disk = spec.spill != SpillPolicy::kMemoryOnly;
+  if (spec.memory_budget_bytes > 0) {
+    // The unified budget is the map-side sort buffer (io.sort.mb):
+    // exceeding it spills intermediate sorted runs, same shared spill
+    // path as DataMPI's A side.
+    config.map_buffer_bytes = spec.memory_budget_bytes;
+  }
 
   DMB_ASSIGN_OR_RETURN(
       mapreduce::MRResult result,

@@ -1,12 +1,14 @@
 #include "engine/rdd_engine.h"
 
-#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <utility>
 
 #include "common/thread_pool.h"
 #include "rddlite/rdd.h"
+#include "shuffle/collector.h"
+#include "shuffle/run_merger.h"
 
 namespace dmb::engine {
 
@@ -19,27 +21,44 @@ std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
           n * static_cast<size_t>(part + 1) / static_cast<size_t>(parts)};
 }
 
-bool PairLess(const StrPair& a, const StrPair& b) {
-  if (a.first != b.first) return a.first < b.first;
-  return a.second < b.second;
-}
-
-/// Collects map emissions of one partition.
+/// Collects map emissions of one partition into the shared shuffle
+/// collector (arena slices, not string pairs). Without a combiner the
+/// arrival order is preserved; with one, the records are sorted,
+/// grouped and combined at Take() — Spark's map-side combineByKey.
 class CollectingMapContext final : public MapContext {
  public:
-  explicit CollectingMapContext(int task_id) : task_id_(task_id) {}
+  CollectingMapContext(int task_id, CombinerFn combiner) : task_id_(task_id) {
+    shuffle::CollectorOptions copts;
+    copts.num_partitions = 1;
+    copts.sort_by_key = combiner != nullptr;
+    copts.combiner = std::move(combiner);
+    copts.on_budget = shuffle::BudgetAction::kUnbounded;
+    collector_ =
+        std::make_unique<shuffle::PartitionedCollector>(std::move(copts));
+  }
 
   Status Emit(std::string_view key, std::string_view value) override {
-    out_.emplace_back(std::string(key), std::string(value));
-    return Status::OK();
+    return collector_->Add(key, value);
   }
   int task_id() const override { return task_id_; }
 
-  std::vector<StrPair> Take() { return std::move(out_); }
+  int64_t records() const { return collector_->records_added(); }
+
+  Result<std::vector<StrPair>> Take() {
+    DMB_ASSIGN_OR_RETURN(auto iterators, collector_->FinishIterators());
+    std::vector<StrPair> out;
+    std::string key;
+    std::vector<std::string> values;
+    while (iterators[0]->NextGroup(&key, &values)) {
+      for (auto& v : values) out.emplace_back(key, std::move(v));
+    }
+    DMB_RETURN_NOT_OK(iterators[0]->status());
+    return out;
+  }
 
  private:
   int task_id_;
-  std::vector<StrPair> out_;
+  std::unique_ptr<shuffle::PartitionedCollector> collector_;
 };
 
 /// Narrow stage: applies the user map function (plus the map-side
@@ -61,31 +80,13 @@ class MapStageRDD final : public rddlite::RDD<StrPair> {
   Result<std::vector<StrPair>> DoCompute(int p) override {
     const auto [begin, end] =
         SplitRange(input_->size(), p, this->num_partitions());
-    CollectingMapContext ctx(p);
+    CollectingMapContext ctx(p, combiner_);
     for (size_t i = begin; i < end; ++i) {
       DMB_RETURN_NOT_OK(
           map_fn_((*input_)[i].key, (*input_)[i].value, &ctx));
     }
-    std::vector<StrPair> out = ctx.Take();
-    map_records_->fetch_add(static_cast<int64_t>(out.size()),
-                            std::memory_order_relaxed);
-    if (combiner_ && !out.empty()) {
-      std::sort(out.begin(), out.end(), PairLess);
-      std::vector<StrPair> combined;
-      std::vector<std::string> values;
-      size_t i = 0;
-      while (i < out.size()) {
-        const std::string& key = out[i].first;
-        values.clear();
-        while (i < out.size() && out[i].first == key) {
-          values.push_back(std::move(out[i].second));
-          ++i;
-        }
-        combined.emplace_back(key, combiner_(key, values));
-      }
-      out = std::move(combined);
-    }
-    return out;
+    map_records_->fetch_add(ctx.records(), std::memory_order_relaxed);
+    return ctx.Take();
   }
 
  private:
@@ -95,9 +96,11 @@ class MapStageRDD final : public rddlite::RDD<StrPair> {
   std::atomic<int64_t>* map_records_;
 };
 
-/// Wide stage: materializes the parent once, routes every pair through
-/// the spec partitioner, and charges the materialization against the
-/// executor memory budget (shuffle data is memory-resident in Spark 0.8).
+/// Wide stage: materializes the parent once into the shared shuffle
+/// collector, which partitions on insert and sorts per partition. The
+/// resident bytes are charged against the executor memory budget —
+/// shuffle data is memory-resident in Spark 0.8, so exceeding it fails
+/// the job with OutOfMemory instead of spilling.
 class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
  public:
   ShuffleStageRDD(rddlite::RDD<StrPair>::Ptr parent, int parts,
@@ -124,31 +127,46 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
     std::lock_guard<std::mutex> lock(mu_);
     if (materialized_) return store_status_;
     materialized_ = true;
-    store_.resize(static_cast<size_t>(this->num_partitions()));
+    store_status_ = Materialize();
+    return store_status_;
+  }
+
+  Status Materialize() {
+    shuffle::CollectorOptions copts;
+    copts.num_partitions = this->num_partitions();
+    copts.partitioner = partitioner_;
+    copts.sort_by_key = sort_by_key_;
+    // The executor MemoryManager owns the budget decision (it is shared
+    // with cached RDDs), so the collector itself never spills or fails.
+    copts.on_budget = shuffle::BudgetAction::kUnbounded;
+    shuffle::PartitionedCollector collector(std::move(copts));
     for (int pp = 0; pp < parent_->num_partitions(); ++pp) {
-      auto in = parent_->ComputePartition(pp);
-      if (!in.ok()) {
-        store_status_ = in.status();
-        return store_status_;
+      DMB_ASSIGN_OR_RETURN(std::vector<StrPair> in,
+                           parent_->ComputePartition(pp));
+      // Reserve before inserting, so an over-budget job fails without
+      // first making the whole partition resident.
+      int64_t delta = 0;
+      for (const auto& kv : in) {
+        delta += static_cast<int64_t>(kv.first.size() + kv.second.size()) +
+                 shuffle::PartitionedCollector::kRecordOverheadBytes;
       }
-      const int64_t bytes = rddlite::ApproxSizeAll(*in);
-      Status st = this->ctx_->memory()->Reserve(bytes);
-      if (!st.ok()) {
-        store_status_ = st;
-        return store_status_;
-      }
-      store_bytes_ += bytes;
-      shuffle_bytes_->fetch_add(bytes, std::memory_order_relaxed);
-      for (auto& kv : *in) {
-        const int bucket =
-            partitioner_->Partition(kv.first, this->num_partitions());
-        store_[static_cast<size_t>(bucket)].push_back(std::move(kv));
+      DMB_RETURN_NOT_OK(this->ctx_->memory()->Reserve(delta));
+      store_bytes_ += delta;
+      for (const auto& kv : in) {
+        DMB_RETURN_NOT_OK(collector.Add(kv.first, kv.second));
       }
     }
-    if (sort_by_key_) {
-      for (auto& bucket : store_) {
-        std::stable_sort(bucket.begin(), bucket.end(), PairLess);
+    shuffle_bytes_->fetch_add(collector.encoded_input_bytes(),
+                              std::memory_order_relaxed);
+    DMB_ASSIGN_OR_RETURN(auto iterators, collector.FinishIterators());
+    store_.resize(static_cast<size_t>(this->num_partitions()));
+    std::string key;
+    std::vector<std::string> values;
+    for (size_t p = 0; p < iterators.size(); ++p) {
+      while (iterators[p]->NextGroup(&key, &values)) {
+        for (auto& v : values) store_[p].emplace_back(key, std::move(v));
       }
+      DMB_RETURN_NOT_OK(iterators[p]->status());
     }
     return Status::OK();
   }

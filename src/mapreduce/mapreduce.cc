@@ -1,43 +1,42 @@
 #include "mapreduce/mapreduce.h"
 
-#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <utility>
 
-#include "common/byte_buffer.h"
 #include "common/logging.h"
 #include "common/temp_dir.h"
 #include "common/thread_pool.h"
+#include "shuffle/collector.h"
+#include "shuffle/run_merger.h"
 
 namespace dmb::mapreduce {
 
 namespace {
 
+/// Map-side emitter backed by the shared shuffle collector: records are
+/// partitioned on insert into arena slices and spill as sorted runs
+/// under memory pressure (Hadoop's io.sort.mb behaviour).
 class MapContextImpl : public MapContext {
  public:
-  MapContextImpl(int task_id, int num_reducers,
-                 const datampi::Partitioner* partitioner)
-      : task_id_(task_id),
-        partitioner_(partitioner),
-        partitions_(static_cast<size_t>(num_reducers)) {}
+  MapContextImpl(int task_id, shuffle::PartitionedCollector* collector)
+      : task_id_(task_id), collector_(collector) {}
 
   void Emit(std::string_view key, std::string_view value) override {
-    const int p = partitioner_->Partition(
-        key, static_cast<int>(partitions_.size()));
-    partitions_[static_cast<size_t>(p)].push_back(
-        KVPair{std::string(key), std::string(value)});
+    if (!status_.ok()) return;
+    status_ = collector_->Add(key, value);
     ++records_;
   }
 
   int task_id() const override { return task_id_; }
 
-  std::vector<std::vector<KVPair>>& partitions() { return partitions_; }
+  const Status& status() const { return status_; }
   int64_t records() const { return records_; }
 
  private:
   int task_id_;
-  const datampi::Partitioner* partitioner_;
-  std::vector<std::vector<KVPair>> partitions_;
+  shuffle::PartitionedCollector* collector_;
+  Status status_;
   int64_t records_ = 0;
 };
 
@@ -52,40 +51,12 @@ class ReduceContextImpl : public ReduceContext {
   std::vector<KVPair> out_;
 };
 
-// Sorts a map task's partition, applies the combiner, and returns the
-// encoded run bytes.
-std::string PrepareRun(
-    std::vector<KVPair>* pairs,
-    const std::function<std::string(std::string_view,
-                                    const std::vector<std::string>&)>&
-        combiner) {
-  std::sort(pairs->begin(), pairs->end(), datampi::KVPairLess{});
-  ByteBuffer wire;
-  if (combiner) {
-    size_t i = 0;
-    std::vector<std::string> values;
-    while (i < pairs->size()) {
-      const std::string& key = (*pairs)[i].key;
-      values.clear();
-      while (i < pairs->size() && (*pairs)[i].key == key) {
-        values.push_back(std::move((*pairs)[i].value));
-        ++i;
-      }
-      datampi::EncodeKV(&wire, key, combiner(key, values));
-    }
-  } else {
-    for (const auto& kv : *pairs) {
-      datampi::EncodeKV(&wire, kv.key, kv.value);
-    }
-  }
-  pairs->clear();
-  return std::string(wire.view());
-}
-
 struct RunStore {
-  // runs[reducer] = list of encoded sorted runs (one per map task).
-  std::vector<std::vector<std::string>> run_bytes;  // in-memory mode
-  std::vector<std::vector<std::string>> run_files;  // disk mode (paths)
+  // runs[reducer] = sorted runs addressed to it, one entry per map-task
+  // flush or pressure spill (encoded bytes in memory mode, file paths in
+  // disk mode).
+  std::vector<std::vector<std::string>> run_bytes;
+  std::vector<std::vector<std::string>> run_files;
   std::mutex mu;
 };
 
@@ -121,36 +92,48 @@ Result<MRResult> RunJob(const MRConfig& config,
                              static_cast<size_t>(cfg.num_map_tasks);
         const size_t end = n * static_cast<size_t>(t + 1) /
                            static_cast<size_t>(cfg.num_map_tasks);
-        MapContextImpl ctx(t, cfg.num_reduce_tasks, partitioner.get());
+        shuffle::CollectorOptions copts;
+        copts.num_partitions = cfg.num_reduce_tasks;
+        copts.partitioner = partitioner;
+        copts.combiner = cfg.combiner;
+        copts.sort_by_key = true;
+        copts.memory_budget_bytes = cfg.map_buffer_bytes;
+        copts.on_budget = cfg.spill_to_disk
+                              ? shuffle::BudgetAction::kSpill
+                              : shuffle::BudgetAction::kUnbounded;
+        copts.spill_dir = &spill_dir;
+        copts.file_prefix = "map" + std::to_string(t) + "-";
+        shuffle::PartitionedCollector collector(std::move(copts));
+        MapContextImpl ctx(t, &collector);
         Status st;
         for (size_t i = begin; i < end && st.ok(); ++i) {
           st = map_fn(input[i].key, input[i].value, &ctx);
+          if (st.ok()) st = ctx.status();
         }
         if (!st.ok()) {
           map_status[static_cast<size_t>(t)] = st;
           return;
         }
         map_records.fetch_add(ctx.records(), std::memory_order_relaxed);
+        auto runs = collector.FinishRuns(cfg.spill_to_disk);
+        if (!runs.ok()) {
+          map_status[static_cast<size_t>(t)] = runs.status();
+          return;
+        }
+        shuffle_bytes.fetch_add(collector.encoded_output_bytes(),
+                                std::memory_order_relaxed);
+        spill_count.fetch_add(collector.spill_count(),
+                              std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(store.mu);
         for (int r = 0; r < cfg.num_reduce_tasks; ++r) {
-          std::string run = PrepareRun(&ctx.partitions()[static_cast<size_t>(r)],
-                                       cfg.combiner);
-          if (run.empty()) continue;
-          shuffle_bytes.fetch_add(static_cast<int64_t>(run.size()),
-                                  std::memory_order_relaxed);
-          if (cfg.spill_to_disk) {
-            const std::string path = spill_dir.File(
-                "map" + std::to_string(t) + "-r" + std::to_string(r) + ".run");
-            Status wst = WriteFileBytes(path, run);
-            if (!wst.ok()) {
-              map_status[static_cast<size_t>(t)] = wst;
-              return;
-            }
-            spill_count.fetch_add(1, std::memory_order_relaxed);
-            std::lock_guard<std::mutex> lock(store.mu);
-            store.run_files[static_cast<size_t>(r)].push_back(path);
-          } else {
-            std::lock_guard<std::mutex> lock(store.mu);
-            store.run_bytes[static_cast<size_t>(r)].push_back(std::move(run));
+          auto& partition = (*runs)[static_cast<size_t>(r)];
+          for (auto& bytes : partition.encoded_runs) {
+            store.run_bytes[static_cast<size_t>(r)].push_back(
+                std::move(bytes));
+          }
+          for (auto& path : partition.run_files) {
+            store.run_files[static_cast<size_t>(r)].push_back(
+                std::move(path));
           }
         }
       });
@@ -171,49 +154,33 @@ Result<MRResult> RunJob(const MRConfig& config,
     ThreadPool pool(cfg.slots);
     for (int r = 0; r < cfg.num_reduce_tasks; ++r) {
       pool.Submit([&, r] {
-        // Fetch + merge the sorted runs for partition r.
-        std::vector<KVPair> merged;
-        auto add_run = [&](const std::string& bytes) -> Status {
-          DMB_ASSIGN_OR_RETURN(std::vector<KVPair> pairs,
-                               datampi::DecodeKVBatch(bytes));
-          merged.insert(merged.end(),
-                        std::make_move_iterator(pairs.begin()),
-                        std::make_move_iterator(pairs.end()));
-          return Status::OK();
-        };
+        // Fetch the sorted runs addressed to partition r and stream them
+        // through the shared k-way merge (no full re-sort).
+        shuffle::RunMerger merger;
         Status st;
-        if (cfg.spill_to_disk) {
-          for (const auto& path : store.run_files[static_cast<size_t>(r)]) {
-            auto bytes = ReadFileBytes(path);
-            st = bytes.ok() ? add_run(*bytes) : bytes.status();
-            if (!st.ok()) break;
-          }
-        } else {
-          for (const auto& bytes : store.run_bytes[static_cast<size_t>(r)]) {
-            st = add_run(bytes);
-            if (!st.ok()) break;
+        for (const auto& path : store.run_files[static_cast<size_t>(r)]) {
+          st = merger.AddFileRun(path);
+          if (!st.ok()) break;
+        }
+        if (st.ok()) {
+          for (auto& bytes : store.run_bytes[static_cast<size_t>(r)]) {
+            merger.AddEncodedRun(std::move(bytes));
           }
         }
         if (!st.ok()) {
           reduce_status[static_cast<size_t>(r)] = st;
           return;
         }
-        // Runs are individually sorted; a full sort here is the merge.
-        std::sort(merged.begin(), merged.end(), datampi::KVPairLess{});
-        reduce_in.fetch_add(static_cast<int64_t>(merged.size()),
-                            std::memory_order_relaxed);
+        auto groups = merger.Merge();
         ReduceContextImpl ctx;
-        size_t i = 0;
+        std::string key;
         std::vector<std::string> values;
-        while (i < merged.size() && st.ok()) {
-          const std::string key = merged[i].key;
-          values.clear();
-          while (i < merged.size() && merged[i].key == key) {
-            values.push_back(std::move(merged[i].value));
-            ++i;
-          }
+        while (st.ok() && groups->NextGroup(&key, &values)) {
+          reduce_in.fetch_add(static_cast<int64_t>(values.size()),
+                              std::memory_order_relaxed);
           st = reduce_fn(key, values, &ctx);
         }
+        if (st.ok()) st = groups->status();
         if (!st.ok()) {
           reduce_status[static_cast<size_t>(r)] = st;
           return;

@@ -40,6 +40,10 @@ struct MRConfig {
   /// Spill map outputs through files (true = Hadoop-style disk round
   /// trip; false keeps runs in memory — used by tests/ablations).
   bool spill_to_disk = true;
+  /// Map-side sort buffer (Hadoop's io.sort.mb): a map task whose
+  /// resident output exceeds this spills an intermediate sorted run per
+  /// reducer. Only effective when spill_to_disk is true.
+  int64_t map_buffer_bytes = 64 << 20;
 };
 
 /// \brief Map-side emitter.

@@ -1,0 +1,200 @@
+#include "shuffle/collector.h"
+
+#include <utility>
+
+#include "common/byte_buffer.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "core/kv.h"
+
+namespace dmb::shuffle {
+
+PartitionedCollector::PartitionedCollector(CollectorOptions options)
+    : options_(std::move(options)),
+      arena_(std::make_shared<KVArena>()),
+      partitions_(static_cast<size_t>(options_.num_partitions)),
+      spill_files_(static_cast<size_t>(options_.num_partitions)) {
+  DMB_CHECK(options_.num_partitions >= 1);
+  DMB_CHECK(options_.partitioner != nullptr || options_.num_partitions == 1);
+}
+
+PartitionedCollector::~PartitionedCollector() = default;
+
+const TempDir* PartitionedCollector::dir() {
+  if (options_.spill_dir != nullptr) return options_.spill_dir;
+  if (!owned_dir_) owned_dir_ = std::make_unique<TempDir>("dmb-shuffle");
+  return owned_dir_.get();
+}
+
+int64_t PartitionedCollector::bytes_in_memory() const {
+  return arena_->bytes() + records_in_memory_ * kRecordOverheadBytes;
+}
+
+Status PartitionedCollector::Add(std::string_view key,
+                                 std::string_view value) {
+  if (finished_) {
+    return Status::FailedPrecondition("Add after Finish");
+  }
+  const size_t p =
+      options_.num_partitions == 1
+          ? 0
+          : static_cast<size_t>(options_.partitioner->Partition(
+                key, options_.num_partitions));
+  partitions_[p].push_back(arena_->Add(key, value));
+  ++records_added_;
+  ++records_in_memory_;
+  bytes_added_ += static_cast<int64_t>(key.size() + value.size());
+  encoded_input_bytes_ += EncodedKVSize(key.size(), value.size());
+  if (bytes_in_memory() > options_.memory_budget_bytes) {
+    switch (options_.on_budget) {
+      case BudgetAction::kSpill:
+        if (spilling_enabled()) return SpillAll();
+        break;
+      case BudgetAction::kFail:
+        return Status::OutOfMemory(
+            "shuffle collector over budget: " +
+            FormatBytes(bytes_in_memory()) + " resident > " +
+            FormatBytes(options_.memory_budget_bytes) + " budget");
+      case BudgetAction::kUnbounded:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status PartitionedCollector::AddBatch(std::string_view batch) {
+  datampi::KVBatchReader reader(batch);
+  std::string_view k, v;
+  while (reader.Next(&k, &v)) {
+    DMB_RETURN_NOT_OK(Add(k, v));
+  }
+  return reader.status();
+}
+
+std::vector<KVSlice> PartitionedCollector::CombineResident(size_t p,
+                                                           KVArena* out) {
+  auto& slices = partitions_[p];
+  std::vector<KVSlice> combined;
+  if (slices.empty()) return combined;
+  arena_->Sort(&slices);
+  std::vector<std::string> values;
+  size_t i = 0;
+  while (i < slices.size()) {
+    const std::string_view key = arena_->KeyOf(slices[i]);
+    values.clear();
+    while (i < slices.size() && arena_->KeyOf(slices[i]) == key) {
+      values.emplace_back(arena_->ValueOf(slices[i]));
+      ++i;
+    }
+    combined.push_back(out->Add(key, options_.combiner(key, values)));
+  }
+  return combined;
+}
+
+std::string PartitionedCollector::EncodeResident(size_t p) {
+  auto& slices = partitions_[p];
+  if (slices.empty()) return {};
+  ByteBuffer wire;
+  if (options_.sort_by_key && options_.combiner) {
+    KVArena combined;
+    for (const KVSlice& s : CombineResident(p, &combined)) {
+      datampi::EncodeKV(&wire, combined.KeyOf(s), combined.ValueOf(s));
+    }
+  } else {
+    // Unsorted collectors encode in arrival order without grouping
+    // (only reachable through FinishRuns; combiners require sorting).
+    if (options_.sort_by_key) arena_->Sort(&slices);
+    for (const KVSlice& s : slices) {
+      datampi::EncodeKV(&wire, arena_->KeyOf(s), arena_->ValueOf(s));
+    }
+  }
+  encoded_output_bytes_ += static_cast<int64_t>(wire.size());
+  return std::string(wire.view());
+}
+
+Status PartitionedCollector::SpillAll() {
+  if (records_in_memory_ == 0) return Status::OK();
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    std::string encoded = EncodeResident(p);
+    if (encoded.empty()) continue;
+    const std::string path = dir()->File(
+        options_.file_prefix + "run-" + std::to_string(spill_count_) +
+        ".kv");
+    DMB_RETURN_NOT_OK(WriteFileBytes(path, encoded));
+    ++spill_count_;
+    spilled_bytes_ += static_cast<int64_t>(encoded.size());
+    spill_files_[p].push_back(path);
+    partitions_[p].clear();
+  }
+  records_in_memory_ = 0;
+  arena_->Clear();
+  return Status::OK();
+}
+
+Result<std::vector<std::unique_ptr<KVGroupIterator>>>
+PartitionedCollector::FinishIterators() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  finished_ = true;
+  std::vector<std::unique_ptr<KVGroupIterator>> iterators;
+  iterators.reserve(partitions_.size());
+  const bool combine = options_.sort_by_key && options_.combiner != nullptr;
+  auto combined_arena = combine ? std::make_shared<KVArena>() : nullptr;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    if (!options_.sort_by_key) {
+      DMB_CHECK(spill_files_[p].empty());
+      iterators.push_back(
+          RunMerger::Fifo(arena_, std::move(partitions_[p])));
+      continue;
+    }
+    RunMerger merger;
+    if (combine) {
+      // Combine the resident data exactly as a spill would have (so the
+      // merged stream is independent of whether a spill happened), but
+      // into a fresh arena run — no encode/decode round trip.
+      merger.AddArenaRun(combined_arena,
+                         CombineResident(p, combined_arena.get()));
+      partitions_[p].clear();
+    } else {
+      arena_->Sort(&partitions_[p]);
+      merger.AddArenaRun(arena_, std::move(partitions_[p]));
+    }
+    for (const auto& path : spill_files_[p]) {
+      DMB_RETURN_NOT_OK(merger.AddFileRun(path));
+    }
+    iterators.push_back(merger.Merge());
+  }
+  // Once every partition is combined the pre-combine bytes are dead;
+  // nothing above shares arena_ in that mode.
+  if (combine) arena_->Clear();
+  return iterators;
+}
+
+Result<std::vector<PartitionedCollector::PartitionRuns>>
+PartitionedCollector::FinishRuns(bool to_disk) {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  finished_ = true;
+  std::vector<PartitionRuns> runs(partitions_.size());
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    runs[p].run_files = std::move(spill_files_[p]);
+    std::string encoded = EncodeResident(p);
+    if (encoded.empty()) continue;
+    if (to_disk) {
+      const std::string path = dir()->File(
+          options_.file_prefix + "run-" + std::to_string(spill_count_) +
+          ".kv");
+      DMB_RETURN_NOT_OK(WriteFileBytes(path, encoded));
+      ++spill_count_;
+      spilled_bytes_ += static_cast<int64_t>(encoded.size());
+      runs[p].run_files.push_back(path);
+    } else {
+      runs[p].encoded_runs.push_back(std::move(encoded));
+    }
+  }
+  return runs;
+}
+
+}  // namespace dmb::shuffle

@@ -1,0 +1,161 @@
+// PartitionedCollector: map-side collection for every engine's shuffle.
+//
+// Records are partitioned on insert (no second routing pass), stored as
+// KVSlices over one shared KVArena (no per-record string allocations),
+// and — when the memory budget is exceeded — sorted, combined and
+// spilled as one run file per partition. Sealing the collector yields
+// either per-partition KVGroupIterators (resident data merged with the
+// spill runs by RunMerger) or per-partition encoded runs for engines
+// that stage map output across a task barrier (Hadoop-style).
+//
+// The budget reaction is pluggable, which is what lets JobSpec's
+// memory_budget_bytes mean the same thing on every engine: DataMPI and
+// MapReduce spill past it (kSpill); a collector that owns its budget
+// can instead fail with OutOfMemory (kFail, Spark 0.8 semantics) —
+// the rddlite engine adapter runs its collector kUnbounded and
+// reserves the projected growth (key + value + kRecordOverheadBytes
+// per record) from the shared executor MemoryManager before inserting,
+// which is what fails its jobs with OutOfMemory.
+
+#ifndef DATAMPI_BENCH_SHUFFLE_COLLECTOR_H_
+#define DATAMPI_BENCH_SHUFFLE_COLLECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/temp_dir.h"
+#include "core/partitioner.h"
+#include "shuffle/kv_arena.h"
+#include "shuffle/run_merger.h"
+
+namespace dmb::shuffle {
+
+/// \brief Combiner: (key, values) -> combined value, applied per
+/// partition at spill/seal time (incremental combining).
+using CombinerFn = std::function<std::string(
+    std::string_view key, const std::vector<std::string>& values)>;
+
+/// \brief What happens when bytes_in_memory() exceeds the budget.
+enum class BudgetAction {
+  /// Sort/combine resident data and spill one run file per partition.
+  kSpill,
+  /// Fail the Add() with Status::OutOfMemory (Spark 0.8 semantics).
+  kFail,
+  /// Budget is advisory only; never spill, never fail.
+  kUnbounded,
+};
+
+struct CollectorOptions {
+  int num_partitions = 1;
+  /// Partition router; may be null only when num_partitions == 1.
+  std::shared_ptr<const datampi::Partitioner> partitioner;
+  /// Optional combiner applied at spill/seal time.
+  CombinerFn combiner;
+  /// Sorted (key, value) runs and grouped merge output. When false the
+  /// collector keeps arrival order, yields singleton groups, and cannot
+  /// spill (kSpill degrades to kUnbounded; kFail still applies).
+  bool sort_by_key = true;
+  /// Approximate in-memory bytes before `on_budget` triggers.
+  int64_t memory_budget_bytes = 64 << 20;
+  BudgetAction on_budget = BudgetAction::kSpill;
+  /// Directory for spill run files; null = private TempDir on demand.
+  const TempDir* spill_dir = nullptr;
+  /// Prefix for run file names (disambiguates collectors sharing a
+  /// spill_dir, e.g. concurrent map tasks).
+  std::string file_prefix;
+};
+
+/// \brief The collector. Not thread-safe; one instance per task.
+class PartitionedCollector {
+ public:
+  /// Per-record bookkeeping overhead charged against the memory budget
+  /// on top of the raw key+value payload (slice + vector slot; matches
+  /// the seed SpillableKVBuffer estimate so spill-trigger behaviour is
+  /// comparable). bytes_in_memory() grows by exactly
+  /// key.size() + value.size() + kRecordOverheadBytes per Add, so
+  /// callers owning an external budget can reserve before inserting.
+  static constexpr int64_t kRecordOverheadBytes = 32;
+
+  explicit PartitionedCollector(CollectorOptions options);
+  ~PartitionedCollector();
+
+  PartitionedCollector(const PartitionedCollector&) = delete;
+  PartitionedCollector& operator=(const PartitionedCollector&) = delete;
+
+  /// \brief Routes one record to its partition (may spill or fail per
+  /// the budget action).
+  Status Add(std::string_view key, std::string_view value);
+
+  /// \brief Adds every record of an EncodeKV-framed batch. Records
+  /// preceding a corruption are retained; the corruption is returned.
+  Status AddBatch(std::string_view batch);
+
+  /// \brief Sorted runs of one partition after sealing: encoded batches
+  /// in memory and/or run files on disk.
+  struct PartitionRuns {
+    std::vector<std::string> encoded_runs;
+    std::vector<std::string> run_files;
+  };
+
+  /// \brief Seals the collector and returns one grouped iterator per
+  /// partition (resident data + spill runs merged). No further Add().
+  Result<std::vector<std::unique_ptr<KVGroupIterator>>> FinishIterators();
+
+  /// \brief Seals the collector and returns every partition's runs,
+  /// with resident data sorted/combined/encoded (written to disk when
+  /// `to_disk`). Used by engines that stage runs across a task barrier.
+  Result<std::vector<PartitionRuns>> FinishRuns(bool to_disk);
+
+  int num_partitions() const { return options_.num_partitions; }
+  int64_t records_added() const { return records_added_; }
+  /// Raw key+value payload bytes added.
+  int64_t bytes_added() const { return bytes_added_; }
+  /// Arena payload plus per-record bookkeeping overhead (the quantity
+  /// compared against memory_budget_bytes).
+  int64_t bytes_in_memory() const;
+  /// Run files written to disk (pressure spills + FinishRuns flushes).
+  int spill_count() const { return spill_count_; }
+  int64_t spilled_bytes() const { return spilled_bytes_; }
+  /// EncodeKV wire size of everything Added (pre-combine) — the uniform
+  /// shuffle_bytes accounting for engines without their own wire.
+  int64_t encoded_input_bytes() const { return encoded_input_bytes_; }
+  /// Encoded bytes of all runs produced (post-combine).
+  int64_t encoded_output_bytes() const { return encoded_output_bytes_; }
+
+ private:
+  bool spilling_enabled() const {
+    return options_.sort_by_key &&
+           options_.on_budget == BudgetAction::kSpill;
+  }
+  /// Sorts + combines partition p's resident slices into an encoded run.
+  std::string EncodeResident(size_t p);
+  /// Sorts partition p's resident slices and folds each key's values
+  /// through the combiner into `out`, returning the combined (sorted)
+  /// slices. Requires sort_by_key and a combiner.
+  std::vector<KVSlice> CombineResident(size_t p, KVArena* out);
+  Status SpillAll();
+  const TempDir* dir();
+
+  CollectorOptions options_;
+  std::unique_ptr<TempDir> owned_dir_;
+  std::shared_ptr<KVArena> arena_;
+  std::vector<std::vector<KVSlice>> partitions_;
+  std::vector<std::vector<std::string>> spill_files_;  // per partition
+
+  int64_t records_added_ = 0;
+  int64_t bytes_added_ = 0;
+  int64_t records_in_memory_ = 0;
+  int spill_count_ = 0;
+  int64_t spilled_bytes_ = 0;
+  int64_t encoded_input_bytes_ = 0;
+  int64_t encoded_output_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace dmb::shuffle
+
+#endif  // DATAMPI_BENCH_SHUFFLE_COLLECTOR_H_

@@ -1,0 +1,14 @@
+#include "shuffle/kv_arena.h"
+
+#include <algorithm>
+
+namespace dmb::shuffle {
+
+void KVArena::Sort(std::vector<KVSlice>* slices) const {
+  std::sort(slices->begin(), slices->end(),
+            [this](const KVSlice& a, const KVSlice& b) {
+              return SliceLess(a, b);
+            });
+}
+
+}  // namespace dmb::shuffle

@@ -1,0 +1,210 @@
+#include "shuffle/run_merger.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/temp_dir.h"
+#include "core/kv.h"
+
+namespace dmb::shuffle {
+
+namespace {
+
+/// A positioned cursor over one sorted run. Peeked views stay valid
+/// until the next Pop().
+class RunCursor {
+ public:
+  virtual ~RunCursor() = default;
+  virtual bool has_current() const = 0;
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+  virtual void Pop() = 0;
+  virtual const Status& status() const = 0;
+};
+
+class ArenaCursor final : public RunCursor {
+ public:
+  ArenaCursor(std::shared_ptr<const KVArena> arena,
+              std::vector<KVSlice> slices)
+      : arena_(std::move(arena)), slices_(std::move(slices)) {}
+
+  bool has_current() const override { return pos_ < slices_.size(); }
+  std::string_view key() const override {
+    return arena_->KeyOf(slices_[pos_]);
+  }
+  std::string_view value() const override {
+    return arena_->ValueOf(slices_[pos_]);
+  }
+  void Pop() override { ++pos_; }
+  const Status& status() const override { return status_; }
+
+ private:
+  std::shared_ptr<const KVArena> arena_;
+  std::vector<KVSlice> slices_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+/// Streams over an owned EncodeKV batch; record views alias the owned
+/// bytes, so no per-record allocation during the merge.
+class EncodedCursor final : public RunCursor {
+ public:
+  explicit EncodedCursor(std::string bytes)
+      : bytes_(std::move(bytes)), reader_(bytes_) {
+    Advance();
+  }
+
+  bool has_current() const override { return has_current_; }
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+  void Pop() override { Advance(); }
+  const Status& status() const override { return status_; }
+
+ private:
+  void Advance() {
+    has_current_ = reader_.Next(&key_, &value_);
+    if (!has_current_ && !reader_.status().ok()) {
+      status_ = reader_.status().WithContext("merging encoded run");
+    }
+  }
+
+  std::string bytes_;
+  datampi::KVBatchReader reader_;
+  std::string_view key_, value_;
+  bool has_current_ = false;
+  Status status_;
+};
+
+/// Heap-based k-way merge, grouped by key. The heap orders cursors by
+/// (key, value, run index) so output is deterministic regardless of how
+/// records were distributed over runs.
+class MergingGroupIterator final : public KVGroupIterator {
+ public:
+  explicit MergingGroupIterator(
+      std::vector<std::unique_ptr<RunCursor>> cursors)
+      : cursors_(std::move(cursors)) {
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      if (cursors_[i]->has_current()) {
+        heap_.push_back(i);
+      } else if (!cursors_[i]->status().ok()) {
+        status_ = cursors_[i]->status();
+      }
+    }
+    std::make_heap(heap_.begin(), heap_.end(), HeapGreater{this});
+  }
+
+  bool NextGroup(std::string* key,
+                 std::vector<std::string>* values) override {
+    values->clear();
+    if (!status_.ok() || heap_.empty()) return false;
+    key->assign(cursors_[heap_.front()]->key());
+    while (!heap_.empty() && cursors_[heap_.front()]->key() == *key) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{this});
+      const size_t idx = heap_.back();
+      values->emplace_back(cursors_[idx]->value());
+      cursors_[idx]->Pop();
+      if (cursors_[idx]->has_current()) {
+        std::push_heap(heap_.begin(), heap_.end(), HeapGreater{this});
+      } else {
+        heap_.pop_back();
+        if (!cursors_[idx]->status().ok()) {
+          status_ = cursors_[idx]->status();
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  /// std::push_heap et al. expect a max-heap comparator; inverting it
+  /// keeps the smallest (key, value, index) at the front.
+  struct HeapGreater {
+    const MergingGroupIterator* it;
+    bool operator()(size_t a, size_t b) const {
+      const RunCursor& ca = *it->cursors_[a];
+      const RunCursor& cb = *it->cursors_[b];
+      if (ca.key() != cb.key()) return ca.key() > cb.key();
+      if (ca.value() != cb.value()) return ca.value() > cb.value();
+      return a > b;
+    }
+  };
+
+  std::vector<std::unique_ptr<RunCursor>> cursors_;
+  std::vector<size_t> heap_;
+  Status status_;
+};
+
+/// Arrival-order singleton groups over arena slices.
+class FifoGroupIterator final : public KVGroupIterator {
+ public:
+  FifoGroupIterator(std::shared_ptr<const KVArena> arena,
+                    std::vector<KVSlice> slices)
+      : arena_(std::move(arena)), slices_(std::move(slices)) {}
+
+  bool NextGroup(std::string* key,
+                 std::vector<std::string>* values) override {
+    if (pos_ >= slices_.size()) return false;
+    key->assign(arena_->KeyOf(slices_[pos_]));
+    values->clear();
+    values->emplace_back(arena_->ValueOf(slices_[pos_]));
+    ++pos_;
+    return true;
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  std::shared_ptr<const KVArena> arena_;
+  std::vector<KVSlice> slices_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace
+
+void RunMerger::AddArenaRun(std::shared_ptr<const KVArena> arena,
+                            std::vector<KVSlice> slices) {
+  if (slices.empty()) return;
+  arena_runs_.push_back(ArenaRun{std::move(arena), std::move(slices)});
+}
+
+void RunMerger::AddEncodedRun(std::string bytes) {
+  if (bytes.empty()) return;
+  encoded_runs_.push_back(std::move(bytes));
+}
+
+Status RunMerger::AddFileRun(const std::string& path) {
+  DMB_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  AddEncodedRun(std::move(bytes));
+  return Status::OK();
+}
+
+size_t RunMerger::run_count() const {
+  return arena_runs_.size() + encoded_runs_.size();
+}
+
+std::unique_ptr<KVGroupIterator> RunMerger::Merge() {
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  cursors.reserve(run_count());
+  for (auto& run : arena_runs_) {
+    cursors.push_back(std::make_unique<ArenaCursor>(std::move(run.arena),
+                                                    std::move(run.slices)));
+  }
+  for (auto& bytes : encoded_runs_) {
+    cursors.push_back(std::make_unique<EncodedCursor>(std::move(bytes)));
+  }
+  arena_runs_.clear();
+  encoded_runs_.clear();
+  return std::make_unique<MergingGroupIterator>(std::move(cursors));
+}
+
+std::unique_ptr<KVGroupIterator> RunMerger::Fifo(
+    std::shared_ptr<const KVArena> arena, std::vector<KVSlice> slices) {
+  return std::make_unique<FifoGroupIterator>(std::move(arena),
+                                             std::move(slices));
+}
+
+}  // namespace dmb::shuffle

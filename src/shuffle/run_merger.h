@@ -1,0 +1,83 @@
+// RunMerger: the single external k-way merge behind every engine's
+// reduce-side grouping.
+//
+// A "run" is a (key, value)-sorted sequence of records. Runs come in
+// three forms — arena-resident slices, encoded in-memory batches, and
+// spill files on disk — and RunMerger merges any mix of them into one
+// KVGroupIterator stream of (key, values) groups in sorted key order.
+// This is the one implementation of the external merge sort that the
+// seed repo carried three times (SpillableKVBuffer::Finish, the
+// mapreduce reduce-side sort, and the rdd groupBy).
+
+#ifndef DATAMPI_BENCH_SHUFFLE_RUN_MERGER_H_
+#define DATAMPI_BENCH_SHUFFLE_RUN_MERGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "shuffle/kv_arena.h"
+
+namespace dmb::shuffle {
+
+/// \brief Iterates (key, values) groups. Sorted-merge iterators yield
+/// groups in ascending key order with values ascending within a group;
+/// FIFO iterators yield singleton groups in arrival order.
+class KVGroupIterator {
+ public:
+  virtual ~KVGroupIterator() = default;
+  /// \brief Advances to the next group; false at end-of-stream or error
+  /// (check status() after the loop).
+  virtual bool NextGroup(std::string* key,
+                         std::vector<std::string>* values) = 0;
+  virtual const Status& status() const = 0;
+};
+
+/// \brief Accumulates sorted runs, then merges them. One-shot: Merge()
+/// consumes the accumulated runs.
+class RunMerger {
+ public:
+  RunMerger() = default;
+  RunMerger(const RunMerger&) = delete;
+  RunMerger& operator=(const RunMerger&) = delete;
+  RunMerger(RunMerger&&) = default;
+  RunMerger& operator=(RunMerger&&) = default;
+
+  /// \brief Adds an arena-resident run. `slices` must already be sorted
+  /// in (key, value) order over `arena`. Zero-copy: the merge reads
+  /// straight out of the arena.
+  void AddArenaRun(std::shared_ptr<const KVArena> arena,
+                   std::vector<KVSlice> slices);
+
+  /// \brief Adds an EncodeKV-framed batch whose records are sorted.
+  /// Decoding is streaming and zero-copy into the owned bytes.
+  void AddEncodedRun(std::string bytes);
+
+  /// \brief Reads a spill file written by PartitionedCollector (an
+  /// EncodeKV-framed sorted batch) and adds it as a run.
+  Status AddFileRun(const std::string& path);
+
+  size_t run_count() const;
+
+  /// \brief Merges all added runs (heap-based k-way merge). Corruption
+  /// in an encoded run surfaces through the iterator's status().
+  std::unique_ptr<KVGroupIterator> Merge();
+
+  /// \brief Arrival-order singleton-group iterator over arena slices
+  /// (the sort_by_key = false path; no merge involved).
+  static std::unique_ptr<KVGroupIterator> Fifo(
+      std::shared_ptr<const KVArena> arena, std::vector<KVSlice> slices);
+
+ private:
+  struct ArenaRun {
+    std::shared_ptr<const KVArena> arena;
+    std::vector<KVSlice> slices;
+  };
+  std::vector<ArenaRun> arena_runs_;
+  std::vector<std::string> encoded_runs_;
+};
+
+}  // namespace dmb::shuffle
+
+#endif  // DATAMPI_BENCH_SHUFFLE_RUN_MERGER_H_

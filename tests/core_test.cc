@@ -192,6 +192,82 @@ TEST(KvBufferTest, AddAfterFinishFails) {
   EXPECT_FALSE(buffer.Add("b", "2").ok());
 }
 
+TEST(KvBufferTest, UnsortedModeNeverSpillsEvenUnderPressure) {
+  KVBufferOptions options;
+  options.sort_by_key = false;
+  options.memory_budget_bytes = 16;  // would spill every Add if sorted
+  SpillableKVBuffer buffer(options);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        buffer.Add("k" + std::to_string(499 - i), std::to_string(i)).ok());
+  }
+  EXPECT_EQ(buffer.spill_count(), 0);
+  EXPECT_EQ(buffer.spilled_bytes(), 0);
+  auto groups = buffer.Finish();
+  ASSERT_TRUE(groups.ok());
+  std::string key;
+  std::vector<std::string> values;
+  int i = 0;
+  while ((*groups)->NextGroup(&key, &values)) {
+    EXPECT_EQ(key, "k" + std::to_string(499 - i)) << "arrival order";
+    EXPECT_EQ(values, std::vector<std::string>{std::to_string(i)});
+    ++i;
+  }
+  EXPECT_EQ(i, 500);
+}
+
+TEST(KvBufferTest, AddBatchOnCorruptBatchKeepsPrefixAndReportsError) {
+  ByteBuffer wire;
+  EncodeKV(&wire, "good", "record");
+  std::string batch(wire.view());
+  batch += '\xff';  // dangling varint continuation: truncated length
+
+  SpillableKVBuffer buffer;
+  const Status st = buffer.AddBatch(batch);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(buffer.records_added(), 1) << "records before the corruption "
+                                          "must be retained";
+  auto groups = buffer.Finish();
+  ASSERT_TRUE(groups.ok());
+  std::string key;
+  std::vector<std::string> values;
+  ASSERT_TRUE((*groups)->NextGroup(&key, &values));
+  EXPECT_EQ(key, "good");
+  EXPECT_FALSE((*groups)->NextGroup(&key, &values));
+}
+
+TEST(KvBufferTest, AddBatchOnTruncatedValueReportsError) {
+  ByteBuffer wire;
+  EncodeKV(&wire, "key", "a-value-that-gets-cut");
+  const std::string_view full = wire.view();
+  SpillableKVBuffer buffer;
+  EXPECT_FALSE(buffer.AddBatch(full.substr(0, full.size() - 5)).ok());
+  EXPECT_EQ(buffer.records_added(), 0);
+}
+
+TEST(KvBufferTest, ZeroByteKeysAndValuesSurviveSpillRoundTrip) {
+  KVBufferOptions options;
+  options.memory_budget_bytes = 1;  // spill after every record
+  SpillableKVBuffer buffer(options);
+  ASSERT_TRUE(buffer.Add("", "1").ok());
+  ASSERT_TRUE(buffer.Add("k", "").ok());
+  ASSERT_TRUE(buffer.Add("", "2").ok());
+  ASSERT_TRUE(buffer.Add("", "").ok());
+  EXPECT_GT(buffer.spill_count(), 0);
+  auto groups = buffer.Finish();
+  ASSERT_TRUE(groups.ok());
+  std::string key;
+  std::vector<std::string> values;
+  ASSERT_TRUE((*groups)->NextGroup(&key, &values));
+  EXPECT_EQ(key, "");
+  EXPECT_EQ(values, (std::vector<std::string>{"", "1", "2"}));
+  ASSERT_TRUE((*groups)->NextGroup(&key, &values));
+  EXPECT_EQ(key, "k");
+  EXPECT_EQ(values, (std::vector<std::string>{""}));
+  EXPECT_FALSE((*groups)->NextGroup(&key, &values));
+  EXPECT_TRUE((*groups)->status().ok());
+}
+
 // ---- The job engine ----
 
 TEST(DataMPIJobTest, WordCountEndToEnd) {

@@ -1,0 +1,393 @@
+// Tests for the shared shuffle subsystem (src/shuffle): the KVArena
+// slice representation, the PartitionedCollector (partition-on-insert,
+// incremental combining, pressure spills, budget actions) and the
+// RunMerger k-way merge — the one stage-boundary implementation under
+// all three engines.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/byte_buffer.h"
+#include "common/random.h"
+#include "common/temp_dir.h"
+#include "core/kv.h"
+#include "shuffle/collector.h"
+#include "shuffle/kv_arena.h"
+#include "shuffle/run_merger.h"
+
+namespace dmb::shuffle {
+namespace {
+
+// ---- KVArena ----
+
+TEST(KvArenaTest, AddAndLookupRoundTrip) {
+  KVArena arena;
+  const KVSlice a = arena.Add("apple", "1");
+  const KVSlice b = arena.Add("banana", "22");
+  EXPECT_EQ(arena.KeyOf(a), "apple");
+  EXPECT_EQ(arena.ValueOf(a), "1");
+  EXPECT_EQ(arena.KeyOf(b), "banana");
+  EXPECT_EQ(arena.ValueOf(b), "22");
+  EXPECT_EQ(arena.bytes(), static_cast<int64_t>(5 + 1 + 6 + 2));
+}
+
+TEST(KvArenaTest, ZeroByteKeysAndValues) {
+  KVArena arena;
+  const KVSlice empty_key = arena.Add("", "v");
+  const KVSlice empty_val = arena.Add("k", "");
+  const KVSlice empty_both = arena.Add("", "");
+  EXPECT_EQ(arena.KeyOf(empty_key), "");
+  EXPECT_EQ(arena.ValueOf(empty_key), "v");
+  EXPECT_EQ(arena.KeyOf(empty_val), "k");
+  EXPECT_EQ(arena.ValueOf(empty_val), "");
+  EXPECT_EQ(arena.KeyOf(empty_both), "");
+  EXPECT_EQ(arena.ValueOf(empty_both), "");
+}
+
+TEST(KvArenaTest, SlicesStayValidAcrossGrowth) {
+  KVArena arena;
+  const KVSlice first = arena.Add("first-key", "first-value");
+  // Force many reallocations of the backing buffer.
+  for (int i = 0; i < 10000; ++i) {
+    arena.Add("key-" + std::to_string(i), std::string(100, 'x'));
+  }
+  EXPECT_EQ(arena.KeyOf(first), "first-key");
+  EXPECT_EQ(arena.ValueOf(first), "first-value");
+}
+
+TEST(KvArenaTest, SortOrdersByKeyThenValue) {
+  KVArena arena;
+  std::vector<KVSlice> slices;
+  slices.push_back(arena.Add("b", "2"));
+  slices.push_back(arena.Add("a", "9"));
+  slices.push_back(arena.Add("b", "1"));
+  slices.push_back(arena.Add("a", "0"));
+  arena.Sort(&slices);
+  std::vector<std::string> flat;
+  for (const auto& s : slices) {
+    flat.push_back(std::string(arena.KeyOf(s)) + ":" +
+                   std::string(arena.ValueOf(s)));
+  }
+  EXPECT_EQ(flat, (std::vector<std::string>{"a:0", "a:9", "b:1", "b:2"}));
+}
+
+TEST(KvArenaTest, EncodedKVSizeMatchesEncodeKV) {
+  for (size_t klen : {size_t{0}, size_t{1}, size_t{127}, size_t{128},
+                      size_t{20000}}) {
+    for (size_t vlen : {size_t{0}, size_t{5}, size_t{300}}) {
+      ByteBuffer buf;
+      datampi::EncodeKV(&buf, std::string(klen, 'k'), std::string(vlen, 'v'));
+      EXPECT_EQ(EncodedKVSize(klen, vlen), static_cast<int64_t>(buf.size()))
+          << klen << "," << vlen;
+    }
+  }
+}
+
+// ---- RunMerger ----
+
+std::vector<std::pair<std::string, std::vector<std::string>>> Drain(
+    KVGroupIterator* it) {
+  std::vector<std::pair<std::string, std::vector<std::string>>> out;
+  std::string key;
+  std::vector<std::string> values;
+  while (it->NextGroup(&key, &values)) {
+    out.emplace_back(key, values);
+  }
+  return out;
+}
+
+TEST(RunMergerTest, MergesMixedRunKindsGroupedAndSorted) {
+  TempDir dir("shuffle-test");
+
+  // Arena run: (a,1) (c,3).
+  auto arena = std::make_shared<KVArena>();
+  std::vector<KVSlice> slices;
+  slices.push_back(arena->Add("a", "1"));
+  slices.push_back(arena->Add("c", "3"));
+
+  // Encoded run: (a,2) (b,1).
+  ByteBuffer encoded;
+  datampi::EncodeKV(&encoded, "a", "2");
+  datampi::EncodeKV(&encoded, "b", "1");
+
+  // File run: (b,0) (d,4).
+  ByteBuffer file_bytes;
+  datampi::EncodeKV(&file_bytes, "b", "0");
+  datampi::EncodeKV(&file_bytes, "d", "4");
+  const std::string path = dir.File("run.kv");
+  ASSERT_TRUE(WriteFileBytes(path, file_bytes.view()).ok());
+
+  RunMerger merger;
+  merger.AddArenaRun(arena, std::move(slices));
+  merger.AddEncodedRun(std::string(encoded.view()));
+  ASSERT_TRUE(merger.AddFileRun(path).ok());
+  EXPECT_EQ(merger.run_count(), 3u);
+
+  auto it = merger.Merge();
+  const auto groups = Drain(it.get());
+  ASSERT_TRUE(it->status().ok()) << it->status();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].first, "a");
+  EXPECT_EQ(groups[0].second, (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(groups[1].first, "b");
+  EXPECT_EQ(groups[1].second, (std::vector<std::string>{"0", "1"}));
+  EXPECT_EQ(groups[2].first, "c");
+  EXPECT_EQ(groups[3].first, "d");
+}
+
+TEST(RunMergerTest, ManyRunsRandomizedAgainstOracle) {
+  Rng rng(77);
+  std::map<std::string, std::vector<std::string>> oracle;
+  RunMerger merger;
+  for (int run = 0; run < 13; ++run) {
+    auto arena = std::make_shared<KVArena>();
+    std::vector<KVSlice> slices;
+    const int n = 1 + static_cast<int>(rng.Uniform(120));
+    for (int i = 0; i < n; ++i) {
+      const std::string key = "k" + std::to_string(rng.Uniform(40));
+      const std::string value = std::to_string(rng.Uniform(1000));
+      slices.push_back(arena->Add(key, value));
+      oracle[key].push_back(value);
+    }
+    arena->Sort(&slices);
+    merger.AddArenaRun(std::move(arena), std::move(slices));
+  }
+  auto it = merger.Merge();
+  std::string key;
+  std::vector<std::string> values;
+  auto expected = oracle.begin();
+  while (it->NextGroup(&key, &values)) {
+    ASSERT_NE(expected, oracle.end());
+    EXPECT_EQ(key, expected->first);
+    std::sort(expected->second.begin(), expected->second.end());
+    EXPECT_EQ(values, expected->second) << key;
+    ++expected;
+  }
+  EXPECT_TRUE(it->status().ok());
+  EXPECT_EQ(expected, oracle.end());
+}
+
+TEST(RunMergerTest, CorruptEncodedRunSurfacesThroughStatus) {
+  ByteBuffer good;
+  datampi::EncodeKV(&good, "a", "1");
+  std::string bytes(good.view());
+  bytes += '\xff';  // dangling varint continuation byte
+
+  RunMerger merger;
+  merger.AddEncodedRun(std::move(bytes));
+  auto it = merger.Merge();
+  std::string key;
+  std::vector<std::string> values;
+  while (it->NextGroup(&key, &values)) {
+  }
+  EXPECT_FALSE(it->status().ok());
+}
+
+TEST(RunMergerTest, FifoPreservesArrivalOrder) {
+  auto arena = std::make_shared<KVArena>();
+  std::vector<KVSlice> slices;
+  for (int i = 0; i < 8; ++i) {
+    slices.push_back(
+        arena->Add("k" + std::to_string(7 - i), std::to_string(i)));
+  }
+  auto it = RunMerger::Fifo(arena, std::move(slices));
+  const auto groups = Drain(it.get());
+  ASSERT_EQ(groups.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(groups[static_cast<size_t>(i)].first,
+              "k" + std::to_string(7 - i));
+    EXPECT_EQ(groups[static_cast<size_t>(i)].second,
+              std::vector<std::string>{std::to_string(i)});
+  }
+}
+
+// ---- PartitionedCollector ----
+
+TEST(CollectorTest, RoutesRecordsPerPartitioner) {
+  CollectorOptions options;
+  options.num_partitions = 4;
+  options.partitioner = std::make_shared<datampi::HashPartitioner>();
+  PartitionedCollector collector(options);
+  datampi::HashPartitioner reference;
+  std::vector<std::set<std::string>> expected(4);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key" + std::to_string(rng.Uniform(90));
+    ASSERT_TRUE(collector.Add(key, "v").ok());
+    expected[static_cast<size_t>(reference.Partition(key, 4))].insert(key);
+  }
+  auto iterators = collector.FinishIterators();
+  ASSERT_TRUE(iterators.ok());
+  ASSERT_EQ(iterators->size(), 4u);
+  for (size_t p = 0; p < 4; ++p) {
+    std::set<std::string> seen;
+    std::string key;
+    std::vector<std::string> values;
+    while ((*iterators)[p]->NextGroup(&key, &values)) {
+      seen.insert(key);
+    }
+    EXPECT_EQ(seen, expected[p]) << "partition " << p;
+  }
+}
+
+TEST(CollectorTest, SpillsUnderPressureAndCombinesIncrementally) {
+  CollectorOptions options;
+  options.num_partitions = 2;
+  options.partitioner = std::make_shared<datampi::HashPartitioner>();
+  options.memory_budget_bytes = 2048;  // force many spills
+  options.combiner = [](std::string_view,
+                        const std::vector<std::string>& values) {
+    int64_t total = 0;
+    for (const auto& v : values) total += std::stoll(v);
+    return std::to_string(total);
+  };
+  PartitionedCollector collector(options);
+  std::map<std::string, int64_t> expected;
+  Rng rng(11);
+  for (int i = 0; i < 4000; ++i) {
+    const std::string key = "w" + std::to_string(rng.Uniform(50));
+    ASSERT_TRUE(collector.Add(key, "1").ok());
+    ++expected[key];
+  }
+  EXPECT_GT(collector.spill_count(), 0);
+  EXPECT_GT(collector.spilled_bytes(), 0);
+  EXPECT_EQ(collector.records_added(), 4000);
+  // Incremental combining: every spill collapses duplicates, so the
+  // encoded output is far smaller than the raw input encoding.
+  EXPECT_LT(collector.encoded_output_bytes(),
+            collector.encoded_input_bytes());
+
+  auto iterators = collector.FinishIterators();
+  ASSERT_TRUE(iterators.ok());
+  std::map<std::string, int64_t> got;
+  for (auto& it : *iterators) {
+    std::string key;
+    std::vector<std::string> values;
+    while (it->NextGroup(&key, &values)) {
+      // Values are partial sums (one per combined run).
+      for (const auto& v : values) got[key] += std::stoll(v);
+    }
+    ASSERT_TRUE(it->status().ok());
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(CollectorTest, BudgetActionFailReturnsOutOfMemory) {
+  CollectorOptions options;
+  options.memory_budget_bytes = 256;
+  options.on_budget = BudgetAction::kFail;
+  PartitionedCollector collector(options);
+  Status st;
+  for (int i = 0; i < 1000 && st.ok(); ++i) {
+    st = collector.Add("key" + std::to_string(i), "some value payload");
+  }
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsOutOfMemory()) << st;
+}
+
+TEST(CollectorTest, UnsortedCollectorNeverSpills) {
+  CollectorOptions options;
+  options.sort_by_key = false;
+  options.memory_budget_bytes = 64;  // would spill constantly if sorted
+  PartitionedCollector collector(options);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "k" + std::to_string(199 - i);
+    ASSERT_TRUE(collector.Add(key, std::to_string(i)).ok());
+    keys.push_back(key);
+  }
+  EXPECT_EQ(collector.spill_count(), 0);
+  auto iterators = collector.FinishIterators();
+  ASSERT_TRUE(iterators.ok());
+  std::string key;
+  std::vector<std::string> values;
+  size_t i = 0;
+  while ((*iterators)[0]->NextGroup(&key, &values)) {
+    ASSERT_LT(i, keys.size());
+    EXPECT_EQ(key, keys[i]) << "arrival order must be preserved";
+    ++i;
+  }
+  EXPECT_EQ(i, keys.size());
+}
+
+TEST(CollectorTest, FinishRunsRoundTripsThroughMergerDiskAndMemory) {
+  for (const bool to_disk : {true, false}) {
+    CollectorOptions options;
+    options.num_partitions = 3;
+    options.partitioner = std::make_shared<datampi::HashPartitioner>();
+    options.memory_budget_bytes = 1024;
+    options.on_budget =
+        to_disk ? BudgetAction::kSpill : BudgetAction::kUnbounded;
+    PartitionedCollector collector(options);
+    std::map<std::string, int> expected;
+    Rng rng(21);
+    for (int i = 0; i < 1500; ++i) {
+      const std::string key = "r" + std::to_string(rng.Uniform(64));
+      ASSERT_TRUE(collector.Add(key, "x").ok());
+      ++expected[key];
+    }
+    auto runs = collector.FinishRuns(to_disk);
+    ASSERT_TRUE(runs.ok());
+    ASSERT_EQ(runs->size(), 3u);
+    if (to_disk) {
+      EXPECT_GT(collector.spill_count(), 0);
+    }
+
+    std::map<std::string, int> got;
+    for (auto& partition : *runs) {
+      RunMerger merger;
+      for (const auto& path : partition.run_files) {
+        ASSERT_TRUE(merger.AddFileRun(path).ok());
+      }
+      for (auto& bytes : partition.encoded_runs) {
+        merger.AddEncodedRun(std::move(bytes));
+      }
+      auto it = merger.Merge();
+      std::string key;
+      std::vector<std::string> values;
+      while (it->NextGroup(&key, &values)) {
+        got[key] += static_cast<int>(values.size());
+      }
+      ASSERT_TRUE(it->status().ok());
+    }
+    EXPECT_EQ(got, expected) << "to_disk=" << to_disk;
+  }
+}
+
+TEST(CollectorTest, ZeroByteRecordsSurviveSpillAndMerge) {
+  CollectorOptions options;
+  options.memory_budget_bytes = 1;  // spill after every record
+  PartitionedCollector collector(options);
+  ASSERT_TRUE(collector.Add("", "empty-key").ok());
+  ASSERT_TRUE(collector.Add("empty-value", "").ok());
+  ASSERT_TRUE(collector.Add("", "").ok());
+  ASSERT_TRUE(collector.Add("k", "v").ok());
+  EXPECT_GT(collector.spill_count(), 0);
+  auto iterators = collector.FinishIterators();
+  ASSERT_TRUE(iterators.ok());
+  const auto groups = Drain((*iterators)[0].get());
+  ASSERT_TRUE((*iterators)[0]->status().ok());
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].first, "");
+  EXPECT_EQ(groups[0].second, (std::vector<std::string>{"", "empty-key"}));
+  EXPECT_EQ(groups[1].first, "empty-value");
+  EXPECT_EQ(groups[1].second, (std::vector<std::string>{""}));
+  EXPECT_EQ(groups[2].first, "k");
+}
+
+TEST(CollectorTest, AddAfterFinishFails) {
+  PartitionedCollector collector(CollectorOptions{});
+  ASSERT_TRUE(collector.Add("a", "1").ok());
+  ASSERT_TRUE(collector.FinishIterators().ok());
+  EXPECT_FALSE(collector.Add("b", "2").ok());
+  EXPECT_FALSE(collector.FinishIterators().ok());
+}
+
+}  // namespace
+}  // namespace dmb::shuffle
