@@ -63,10 +63,11 @@ void AddImprovements(const std::map<Framework, double>& seconds,
 }  // namespace
 }  // namespace dmb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmb;
   using namespace dmb::bench;
 
+  BenchJson json = BenchJson::FromArgs(argc, argv);
   PrintTestbed(std::cout);
 
   // --- 1. Micro-benchmarks (vs Hadoop always; vs Spark where it runs).
@@ -179,5 +180,34 @@ int main() {
                     disk_row(Framework::kHadoop),
                 "D ~= S, ~49% over H"});
   table.Print(std::cout);
+
+  // A baseline that never ran has no accumulator: skip its metric
+  // rather than recording a fake 0.0.
+  auto add_mean = [&json](const std::string& name,
+                          const std::map<Framework, Accumulator>& by_fw,
+                          Framework fw, const std::string& unit) {
+    const auto it = by_fw.find(fw);
+    if (it == by_fw.end() || it->second.n == 0) return;
+    json.Add(name, it->second.Mean(), unit);
+  };
+  add_mean("fig7/micro_vs_hadoop", micro_vs, Framework::kHadoop, "fraction");
+  add_mean("fig7/micro_vs_spark", micro_vs, Framework::kSpark, "fraction");
+  add_mean("fig7/small_jobs_vs_hadoop", small_vs, Framework::kHadoop,
+           "fraction");
+  add_mean("fig7/small_jobs_vs_spark", small_vs, Framework::kSpark,
+           "fraction");
+  add_mean("fig7/apps_vs_hadoop", app_vs, Framework::kHadoop, "fraction");
+  add_mean("fig7/apps_vs_spark", app_vs, Framework::kSpark, "fraction");
+  for (const auto& [fw, name] :
+       std::vector<std::pair<Framework, std::string>>{
+           {Framework::kDataMPI, "datampi"},
+           {Framework::kSpark, "spark"},
+           {Framework::kHadoop, "hadoop"}}) {
+    add_mean("fig7/cpu_pct/" + name, cpu, fw, "%");
+    add_mean("fig7/net_mbps/" + name, net, fw, "MB/s");
+    add_mean("fig7/disk_mbps/" + name, disk, fw, "MB/s");
+    add_mean("fig7/mem_gb/" + name, mem, fw, "GB");
+  }
+  if (!json.Write()) return 1;
   return 0;
 }

@@ -1,9 +1,17 @@
 // Component micro-benchmarks (google-benchmark): the building blocks of
 // the DataMPI library and data generators. Not a paper figure; used to
 // watch for regressions in the hot paths.
+//
+// Accepts `--json <path>` (same flag as every other bench harness) in
+// addition to the native --benchmark_* flags: per-benchmark seconds per
+// iteration are collected through a reporter and written as BenchJson.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "core/kv_buffer.h"
@@ -192,6 +200,52 @@ BENCHMARK(BM_WordCountEngines)
     ->DenseRange(0, static_cast<int>(dmb::engine::Engines().size()) - 1)
     ->Unit(benchmark::kMillisecond);
 
+/// Console output as usual, plus every run mirrored into BenchJson.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollectingReporter(dmb::bench::BenchJson* json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      json_->Add("micro_components/" + run.benchmark_name(),
+                 run.real_accumulated_time /
+                     static_cast<double>(run.iterations),
+                 "s/iter");
+    }
+  }
+
+ private:
+  dmb::bench::BenchJson* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split off --json before benchmark::Initialize, which rejects flags
+  // it does not know.
+  dmb::bench::BenchJson json = dmb::bench::BenchJson::FromArgs(argc, argv);
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) continue;
+    bench_args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_args.data())) {
+    return 1;
+  }
+  JsonCollectingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json.Write()) return 1;
+  return 0;
+}

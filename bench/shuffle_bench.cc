@@ -9,6 +9,12 @@
 // sorts 24-byte slices. A third column runs the full shared
 // PartitionedCollector (partition-on-insert + merge) end to end.
 //
+// A second phase benchmarks the reduce-side merge over spilled runs:
+// the same records are forced through >= 8 block-compressed run files
+// (src/io spill format) and heap-merged back via StreamingRunReaders,
+// reporting records merged/s and the peak resident run memory — which
+// must stay bounded by num_runs x block_size, not total spill size.
+//
 // Usage: shuffle_bench [records] [--json <path>]
 
 #include <algorithm>
@@ -16,9 +22,11 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/hash.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/kv.h"
+#include "io/block_file.h"
 #include "shuffle/collector.h"
 #include "shuffle/kv_arena.h"
 #include "shuffle/run_merger.h"
@@ -124,6 +132,104 @@ PathResult CollectorPath(const std::vector<std::string>& words) {
   return r;
 }
 
+/// A (key, values) stream fingerprint: order-sensitive, so two streams
+/// agree iff they yield the same groups in the same order.
+struct StreamDigest {
+  uint64_t hash = 0;
+  int64_t groups = 0;
+  int64_t records = 0;
+  void Add(const std::string& key, const std::vector<std::string>& values) {
+    hash = HashCombine(hash, Hash64(key));
+    for (const auto& v : values) hash = HashCombine(hash, Hash64(v));
+    ++groups;
+    records += static_cast<int64_t>(values.size());
+  }
+};
+
+struct MergeResult {
+  Status status;
+  double seconds = 0;
+  int64_t runs = 0;
+  int64_t spilled_raw_bytes = 0;
+  int64_t spilled_disk_bytes = 0;
+  int64_t blocks_read = 0;
+  int64_t peak_resident_bytes = 0;
+  StreamDigest digest;
+};
+
+/// Spills every record through the block-compressed run-file format
+/// (budget sized for >= 8 runs), then streams the k-way merge back.
+MergeResult SpillAndMergePhase(const std::vector<std::string>& words,
+                               int64_t block_bytes, io::Codec codec) {
+  MergeResult r;
+  shuffle::CollectorOptions options;
+  options.num_partitions = 1;
+  options.on_budget = shuffle::BudgetAction::kSpill;
+  options.spill_io.block_bytes = block_bytes;
+  options.spill_io.codec = codec;
+  // Aim for ~11 pressure spills + the FinishRuns flush = 12 runs, each
+  // spanning many blocks (the budget is on bytes_in_memory, i.e.
+  // payload + per-record overhead — the same quantity Add() checks).
+  int64_t in_memory = 0;
+  for (const auto& w : words) {
+    in_memory += static_cast<int64_t>(w.size()) + 1 +
+                 shuffle::PartitionedCollector::kRecordOverheadBytes;
+  }
+  options.memory_budget_bytes = std::max<int64_t>(in_memory / 11, 1);
+  shuffle::PartitionedCollector collector(std::move(options));
+  for (const auto& w : words) {
+    r.status = collector.Add(w, "1");
+    if (!r.status.ok()) return r;
+  }
+  auto runs = collector.FinishRuns(/*to_disk=*/true);
+  if (!runs.ok()) {
+    r.status = runs.status();
+    return r;
+  }
+  r.runs = static_cast<int64_t>((*runs)[0].run_files.size());
+  r.spilled_raw_bytes = collector.spilled_raw_bytes();
+  r.spilled_disk_bytes = collector.spilled_bytes();
+
+  Stopwatch sw;
+  shuffle::RunMerger merger;
+  for (const auto& path : (*runs)[0].run_files) {
+    r.status = merger.AddFileRun(path);
+    if (!r.status.ok()) return r;
+  }
+  auto it = merger.Merge();
+  std::string key;
+  std::vector<std::string> values;
+  while (it->NextGroup(&key, &values)) {
+    r.digest.Add(key, values);
+  }
+  r.status = it->status();
+  if (!r.status.ok()) return r;
+  r.seconds = sw.ElapsedSeconds();
+  r.blocks_read = it->blocks_read();
+  r.peak_resident_bytes = it->peak_resident_run_bytes();
+  return r;
+}
+
+/// The in-memory oracle of the merge phase: same records, never spilled.
+Result<StreamDigest> InMemoryDigest(const std::vector<std::string>& words) {
+  StreamDigest digest;
+  shuffle::CollectorOptions options;
+  options.num_partitions = 1;
+  options.on_budget = shuffle::BudgetAction::kUnbounded;
+  shuffle::PartitionedCollector collector(std::move(options));
+  for (const auto& w : words) {
+    DMB_RETURN_NOT_OK(collector.Add(w, "1"));
+  }
+  DMB_ASSIGN_OR_RETURN(auto iterators, collector.FinishIterators());
+  std::string key;
+  std::vector<std::string> values;
+  while (iterators[0]->NextGroup(&key, &values)) {
+    digest.Add(key, values);
+  }
+  DMB_RETURN_NOT_OK(iterators[0]->status());
+  return digest;
+}
+
 int Run(int argc, char** argv) {
   int64_t n = 1'000'000;
   for (int i = 1; i < argc; ++i) {
@@ -183,12 +289,91 @@ int Run(int argc, char** argv) {
   std::cout << string_pairs.groups << " distinct keys, "
             << string_pairs.records << " records grouped on every path.\n";
 
+  // ---- Merge phase: spilled block-compressed runs, streamed back. ----
+  const int64_t block_bytes = 16 << 10;
+  PrintBanner(std::cout, "Reduce-side merge over spilled runs");
+  MergeResult merge = SpillAndMergePhase(words, block_bytes, io::Codec::kLz);
+  if (!merge.status.ok()) {
+    std::cerr << "merge phase FAILED: " << merge.status << "\n";
+    return 1;
+  }
+  if (merge.runs < 8) {
+    std::cerr << "merge phase FAILED: only " << merge.runs
+              << " spilled runs (need >= 8)\n";
+    return 1;
+  }
+  const Result<StreamDigest> oracle_result = InMemoryDigest(words);
+  if (!oracle_result.ok()) {
+    std::cerr << "in-memory oracle FAILED: " << oracle_result.status()
+              << "\n";
+    return 1;
+  }
+  const StreamDigest& oracle = *oracle_result;
+  if (merge.digest.hash != oracle.hash ||
+      merge.digest.groups != oracle.groups ||
+      merge.digest.records != oracle.records) {
+    std::cerr << "MISMATCH: streamed merge of spilled runs disagrees with "
+                 "the in-memory merge\n";
+    return 1;
+  }
+  const int64_t peak_bound = merge.runs * block_bytes;
+  const double merge_mrec_s =
+      static_cast<double>(merge.digest.records) / 1e6 / merge.seconds;
+  TablePrinter merge_table({"metric", "value"});
+  merge_table.AddRow({"spilled runs", std::to_string(merge.runs)});
+  merge_table.AddRow(
+      {"spill bytes raw", FormatBytes(merge.spilled_raw_bytes)});
+  merge_table.AddRow(
+      {"spill bytes on disk", FormatBytes(merge.spilled_disk_bytes)});
+  merge_table.AddRow({"blocks read", std::to_string(merge.blocks_read)});
+  merge_table.AddRow({"merge seconds", TablePrinter::Num(merge.seconds, 3)});
+  merge_table.AddRow({"merged Mrec/s", TablePrinter::Num(merge_mrec_s, 1)});
+  merge_table.AddRow(
+      {"peak resident run memory", FormatBytes(merge.peak_resident_bytes)});
+  merge_table.AddRow({"bound (runs x block_size)", FormatBytes(peak_bound)});
+  merge_table.Print(std::cout);
+  std::cout << "Streamed merge output matches the in-memory merge ("
+            << merge.digest.groups << " groups, checksums verified on "
+            << merge.blocks_read << " blocks).\n";
+  if (merge.peak_resident_bytes > peak_bound) {
+    std::cerr << "REGRESSION: peak resident run memory "
+              << merge.peak_resident_bytes << " exceeds runs x block_size "
+              << peak_bound << "\n";
+    return 1;
+  }
+  // Only meaningful when runs span multiple blocks; with one block per
+  // run (tiny record counts) the resident set IS the whole spill.
+  if (merge.blocks_read > merge.runs &&
+      merge.peak_resident_bytes >= merge.spilled_raw_bytes) {
+    std::cerr << "REGRESSION: merge held the whole spill resident ("
+              << merge.peak_resident_bytes << " bytes vs "
+              << merge.spilled_raw_bytes << " spilled)\n";
+    return 1;
+  }
+
   json.Add("shuffle_bench/string_pairs/" + std::to_string(n),
            string_pairs.seconds, "s");
   json.Add("shuffle_bench/arena_slices/" + std::to_string(n),
            slices.seconds, "s");
   json.Add("shuffle_bench/collector/" + std::to_string(n),
            collector.seconds, "s");
+  json.Add("shuffle_bench/merge/seconds/" + std::to_string(n), merge.seconds,
+           "s");
+  json.Add("shuffle_bench/merge/records_per_s/" + std::to_string(n),
+           static_cast<double>(merge.digest.records) / merge.seconds,
+           "rec/s");
+  json.Add("shuffle_bench/merge/runs/" + std::to_string(n),
+           static_cast<double>(merge.runs), "runs");
+  json.Add("shuffle_bench/merge/blocks_read/" + std::to_string(n),
+           static_cast<double>(merge.blocks_read), "blocks");
+  json.Add("shuffle_bench/merge/peak_resident_bytes/" + std::to_string(n),
+           static_cast<double>(merge.peak_resident_bytes), "bytes");
+  json.Add("shuffle_bench/merge/peak_bound_bytes/" + std::to_string(n),
+           static_cast<double>(peak_bound), "bytes");
+  json.Add("shuffle_bench/merge/spill_bytes_raw/" + std::to_string(n),
+           static_cast<double>(merge.spilled_raw_bytes), "bytes");
+  json.Add("shuffle_bench/merge/spill_bytes_on_disk/" + std::to_string(n),
+           static_cast<double>(merge.spilled_disk_bytes), "bytes");
   if (!json.Write()) return 1;
 
   if (slices.seconds >= string_pairs.seconds) {

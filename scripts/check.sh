@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI check: configure (warnings-as-errors), build, run the test suite,
+# run the io/shuffle tests again under UBSan (-DDMB_SANITIZE=undefined),
 # then build every bench binary explicitly (build-only; no long
 # benchmark runs).
 #
-# CHECK_ASAN=1 additionally builds the shuffle/engine/core tests under
-# AddressSanitizer in build-asan/ and runs them.
+# CHECK_ASAN=1 additionally builds the io/shuffle/engine/core tests
+# under AddressSanitizer in build-asan/ and runs them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +13,13 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . -DDMB_WERROR=ON
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+# The spill I/O layer does enough byte-twiddling (varints, checksums,
+# block codecs) that its tests also run under UBSan on every check.
+echo "check.sh: UBSan pass (io + shuffle tests)"
+cmake -B build-ubsan -S . -DDMB_SANITIZE=undefined -DDMB_WERROR=ON
+cmake --build build-ubsan -j --target io_test shuffle_test
+(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle)_test$')
 
 BENCH_TARGETS=(
   fig2a_dfsio_tuning
@@ -33,10 +41,10 @@ for target in "${BENCH_TARGETS[@]}"; do
 done
 
 if [ "${CHECK_ASAN:-0}" = "1" ]; then
-  echo "check.sh: ASan pass (shuffle + engine + core tests)"
+  echo "check.sh: ASan pass (io + shuffle + engine + core tests)"
   cmake -B build-asan -S . -DDMB_ASAN=ON -DDMB_WERROR=ON
-  cmake --build build-asan -j --target shuffle_test engine_test core_test
-  (cd build-asan && ctest --output-on-failure -R '^(shuffle|engine|core)_test$')
+  cmake --build build-asan -j --target io_test shuffle_test engine_test core_test
+  (cd build-asan && ctest --output-on-failure -R '^(io|shuffle|engine|core)_test$')
 fi
 
 echo "check.sh: all green"

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/temp_dir.h"
 #include "mpilite/mpilite.h"
+#include "shuffle/kv_arena.h"
 
 namespace dmb::datampi {
 
@@ -22,6 +23,9 @@ struct SharedState {
   std::atomic<int64_t> shuffle_batches{0};
   std::atomic<int64_t> a_records{0};
   std::atomic<int64_t> a_spills{0};
+  std::atomic<int64_t> a_spill_bytes_raw{0};
+  std::atomic<int64_t> a_spill_bytes_on_disk{0};
+  std::atomic<int64_t> a_blocks_read{0};
   std::atomic<int64_t> output_records{0};
   std::atomic<int> max_wave{0};
   std::mutex output_mu;
@@ -39,10 +43,11 @@ class OContextImpl : public OContext {
   Status Emit(std::string_view key, std::string_view value) override {
     const int p = partitioner_->Partition(key, config_.num_a_ranks);
     auto& part = partitions_[static_cast<size_t>(p)];
-    part.pairs.push_back(KVPair{std::string(key), std::string(value)});
-    part.bytes += static_cast<int64_t>(key.size() + value.size() + 8);
+    part.slices.push_back(part.arena.Add(key, value));
     shared_->o_records.fetch_add(1, std::memory_order_relaxed);
-    if (part.bytes >= config_.send_buffer_bytes) {
+    if (part.arena.bytes() +
+            static_cast<int64_t>(part.slices.size()) * kSliceOverheadBytes >=
+        config_.send_buffer_bytes) {
       return FlushPartition(p);
     }
     return Status::OK();
@@ -62,38 +67,49 @@ class OContextImpl : public OContext {
   }
 
  private:
+  /// Budget charge per buffered record beyond the raw payload (the
+  /// slice itself), mirroring the seed's +8/record estimate closely
+  /// enough to keep flush cadence comparable.
+  static constexpr int64_t kSliceOverheadBytes = 8;
+
+  /// Per-partition pipeline buffer on the shuffle layer's arena path:
+  /// payload bytes in one flat KVArena, records as 24-byte slices —
+  /// the same representation PartitionedCollector uses, instead of the
+  /// seed's per-batch std::vector<KVPair> re-sort.
   struct PartitionBuffer {
-    std::vector<KVPair> pairs;
-    int64_t bytes = 0;
+    shuffle::KVArena arena;
+    std::vector<shuffle::KVSlice> slices;
   };
 
   Status FlushPartition(int p) {
     auto& part = partitions_[static_cast<size_t>(p)];
-    if (part.pairs.empty()) return Status::OK();
+    if (part.slices.empty()) return Status::OK();
     ByteBuffer wire;
     if (config_.combiner) {
       // Group the batch locally and combine each key's values before the
-      // pairs hit the wire (WordCount-style traffic reduction).
-      std::sort(part.pairs.begin(), part.pairs.end(), KVPairLess{});
+      // pairs hit the wire (WordCount-style traffic reduction). Sorting
+      // moves slices with cached key prefixes, not string pairs.
+      part.arena.Sort(&part.slices);
       size_t i = 0;
       std::vector<std::string> values;
-      while (i < part.pairs.size()) {
-        const std::string& key = part.pairs[i].key;
+      while (i < part.slices.size()) {
+        const std::string_view key = part.arena.KeyOf(part.slices[i]);
         values.clear();
-        while (i < part.pairs.size() && part.pairs[i].key == key) {
-          values.push_back(std::move(part.pairs[i].value));
+        while (i < part.slices.size() &&
+               part.arena.KeyOf(part.slices[i]) == key) {
+          values.emplace_back(part.arena.ValueOf(part.slices[i]));
           ++i;
         }
         const std::string combined = config_.combiner(key, values);
         EncodeKV(&wire, key, combined);
       }
     } else {
-      for (const auto& kv : part.pairs) {
-        EncodeKV(&wire, kv.key, kv.value);
+      for (const auto& s : part.slices) {
+        EncodeKV(&wire, part.arena.KeyOf(s), part.arena.ValueOf(s));
       }
     }
-    part.pairs.clear();
-    part.bytes = 0;
+    part.slices.clear();
+    part.arena.Clear();
     shared_->shuffle_bytes.fetch_add(static_cast<int64_t>(wire.size()),
                                      std::memory_order_relaxed);
     shared_->shuffle_batches.fetch_add(1, std::memory_order_relaxed);
@@ -161,6 +177,10 @@ Status ReduceBuffer(const JobConfig& config, int a_rank,
                               std::memory_order_relaxed);
   shared->a_spills.fetch_add(buffer->spill_count(),
                              std::memory_order_relaxed);
+  shared->a_spill_bytes_raw.fetch_add(buffer->spilled_raw_bytes(),
+                                      std::memory_order_relaxed);
+  shared->a_spill_bytes_on_disk.fetch_add(buffer->spilled_bytes(),
+                                          std::memory_order_relaxed);
   DMB_ASSIGN_OR_RETURN(std::unique_ptr<KVGroupIterator> groups,
                        buffer->Finish());
   VectorEmitter emitter;
@@ -170,6 +190,8 @@ Status ReduceBuffer(const JobConfig& config, int a_rank,
     DMB_RETURN_NOT_OK(a_fn(key, values, &emitter));
   }
   DMB_RETURN_NOT_OK(groups->status());
+  shared->a_blocks_read.fetch_add(groups->blocks_read(),
+                                  std::memory_order_relaxed);
   shared->output_records.fetch_add(static_cast<int64_t>(emitter.size()),
                                    std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shared->output_mu);
@@ -183,6 +205,7 @@ Status RunATask(const JobConfig& config, mpi::Comm& world, int a_rank,
   KVBufferOptions options;
   options.memory_budget_bytes = config.a_memory_budget_bytes;
   options.sort_by_key = config.sort_by_key;
+  options.spill_io = config.spill_io;
   SpillableKVBuffer buffer(options);
   std::string checkpoint;
   int eos_seen = 0;
@@ -255,6 +278,9 @@ Result<JobResult> DataMPIJob::Run(OTaskFn o_fn, AGroupFn a_fn) {
   result.stats.shuffle_batches = shared.shuffle_batches.load();
   result.stats.a_records_received = shared.a_records.load();
   result.stats.a_spill_count = shared.a_spills.load();
+  result.stats.a_spill_bytes_raw = shared.a_spill_bytes_raw.load();
+  result.stats.a_spill_bytes_on_disk = shared.a_spill_bytes_on_disk.load();
+  result.stats.a_blocks_read = shared.a_blocks_read.load();
   result.stats.output_records = shared.output_records.load();
   result.stats.o_waves = shared.max_wave.load();
   return result;
@@ -276,6 +302,7 @@ Result<JobResult> DataMPIJob::RunFromCheckpoint(AGroupFn a_fn) {
     KVBufferOptions options;
     options.memory_budget_bytes = config.a_memory_budget_bytes;
     options.sort_by_key = config.sort_by_key;
+    options.spill_io = config.spill_io;
     SpillableKVBuffer buffer(options);
     DMB_RETURN_NOT_OK(buffer.AddBatch(bytes));
     return ReduceBuffer(config, a_rank, &buffer, &shared, a_fn);
@@ -286,6 +313,9 @@ Result<JobResult> DataMPIJob::RunFromCheckpoint(AGroupFn a_fn) {
   result.a_outputs = std::move(shared.a_outputs);
   result.stats.a_records_received = shared.a_records.load();
   result.stats.a_spill_count = shared.a_spills.load();
+  result.stats.a_spill_bytes_raw = shared.a_spill_bytes_raw.load();
+  result.stats.a_spill_bytes_on_disk = shared.a_spill_bytes_on_disk.load();
+  result.stats.a_blocks_read = shared.a_blocks_read.load();
   result.stats.output_records = shared.output_records.load();
   return result;
 }

@@ -46,6 +46,8 @@ struct JobConfig {
   int64_t send_buffer_bytes = 1 << 20;
   /// A-side memory budget per A task before spilling to disk.
   int64_t a_memory_budget_bytes = 64 << 20;
+  /// Spill run-file block size and codec (src/io block format).
+  io::BlockFileOptions spill_io;
   /// Sorted grouping at the A side (false = arrival order, no grouping).
   bool sort_by_key = true;
   /// Partitioner; null = HashPartitioner.
@@ -92,6 +94,12 @@ struct JobStats {
   int64_t shuffle_batches = 0;
   int64_t a_records_received = 0;
   int64_t a_spill_count = 0;
+  /// Encoded run bytes spilled by A tasks (before block compression).
+  int64_t a_spill_bytes_raw = 0;
+  /// Run-file bytes on disk (after block compression + framing).
+  int64_t a_spill_bytes_on_disk = 0;
+  /// Run-file blocks decoded by the A-side streaming merges.
+  int64_t a_blocks_read = 0;
   int64_t output_records = 0;
   int o_waves = 0;
 };

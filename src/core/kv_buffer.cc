@@ -12,6 +12,7 @@ shuffle::CollectorOptions SpillableKVBuffer::ToCollectorOptions(
   copts.memory_budget_bytes = options.memory_budget_bytes;
   copts.on_budget = shuffle::BudgetAction::kSpill;
   copts.spill_dir = options.spill_dir;
+  copts.spill_io = options.spill_io;
   return copts;
 }
 

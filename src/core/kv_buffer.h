@@ -42,6 +42,8 @@ struct KVBufferOptions {
   bool sort_by_key = true;
   /// Directory for run files; when null a private TempDir is created.
   const TempDir* spill_dir = nullptr;
+  /// Run-file block size and codec (src/io spill format).
+  io::BlockFileOptions spill_io;
 };
 
 /// \brief The spillable buffer.
@@ -66,7 +68,12 @@ class SpillableKVBuffer {
   int64_t records_added() const { return collector_.records_added(); }
   int64_t bytes_added() const { return collector_.bytes_added(); }
   int spill_count() const { return collector_.spill_count(); }
+  /// Run-file bytes on disk (post block compression).
   int64_t spilled_bytes() const { return collector_.spilled_bytes(); }
+  /// Encoded run bytes before block compression.
+  int64_t spilled_raw_bytes() const {
+    return collector_.spilled_raw_bytes();
+  }
 
  private:
   static shuffle::CollectorOptions ToCollectorOptions(

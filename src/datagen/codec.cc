@@ -97,6 +97,14 @@ std::string LzCompress(std::string_view input) {
 Result<std::string> LzDecompress(std::string_view input,
                                  size_t decompressed_size) {
   std::string out;
+  DMB_RETURN_NOT_OK(LzDecompressInto(input, decompressed_size, &out));
+  return out;
+}
+
+Status LzDecompressInto(std::string_view input, size_t decompressed_size,
+                        std::string* out_ptr) {
+  std::string& out = *out_ptr;
+  out.clear();
   out.reserve(decompressed_size);
   size_t ip = 0;
   const size_t in_size = input.size();
@@ -144,7 +152,7 @@ Result<std::string> LzDecompress(std::string_view input,
                               std::to_string(out.size()) + " expected " +
                               std::to_string(decompressed_size));
   }
-  return out;
+  return Status::OK();
 }
 
 std::string FrameCompress(std::string_view input) {

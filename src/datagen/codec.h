@@ -23,6 +23,11 @@ std::string LzCompress(std::string_view input);
 Result<std::string> LzDecompress(std::string_view input,
                                  size_t decompressed_size);
 
+/// \brief Decompresses into `out` (cleared first), reusing its capacity
+/// — the allocation-free form for hot loops decoding many blocks.
+Status LzDecompressInto(std::string_view input, size_t decompressed_size,
+                        std::string* out);
+
 /// \brief Self-describing frame: varint original size + compressed bytes.
 std::string FrameCompress(std::string_view input);
 

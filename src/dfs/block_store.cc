@@ -1,0 +1,116 @@
+#include "dfs/block_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace dmb::dfs {
+
+namespace {
+
+/// Hex of a 64-bit hash — flat, filesystem-safe store file names for
+/// arbitrary logical paths.
+std::string HexName(uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+BlockStore::BlockStore(std::string root_dir, io::BlockFileOptions options)
+    : root_dir_(std::move(root_dir)), options_(options) {
+  // Same bounds BlockWriter enforces on its own copy — Put() also
+  // chunks the payload by this value, so 0 must not reach the loop.
+  options_.block_bytes =
+      std::clamp<int64_t>(options_.block_bytes, 1, int64_t{1} << 30);
+}
+
+std::string BlockStore::StorePath(const std::string& path) const {
+  return root_dir_ + "/" + HexName(Hash64(path)) + ".blk";
+}
+
+Status BlockStore::Put(const std::string& path, std::string_view payload) {
+  // Write to a temp name and rename on success, so a failed overwrite
+  // never destroys the previously stored payload.
+  const std::string final_path = StorePath(path);
+  const auto owner = owners_.find(final_path);
+  if (owner != owners_.end() && owner->second != path) {
+    return Status::Internal("path hash collision: '" + path + "' vs '" +
+                            owner->second + "'");
+  }
+  const std::string tmp_path = final_path + ".tmp";
+  io::BlockWriter writer(tmp_path, options_);
+  // Chunk the payload at block granularity: each chunk is one record,
+  // so blocks hold exactly one chunk and Get() decodes block by block.
+  const size_t chunk = static_cast<size_t>(options_.block_bytes);
+  Status st;
+  for (size_t off = 0; st.ok() && off < payload.size(); off += chunk) {
+    st = writer.AppendRecord(
+        payload.substr(off, std::min(chunk, payload.size() - off)));
+  }
+  if (st.ok()) st = writer.Finish();
+  if (st.ok()) {
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+      st = Status::IOError("rename " + tmp_path + " -> " + final_path +
+                           ": " + ec.message());
+    }
+  }
+  if (!st.ok()) {
+    std::remove(tmp_path.c_str());  // no orphaned partial writes
+    return st;
+  }
+  auto [it, inserted] = files_.try_emplace(path);
+  if (!inserted) {
+    raw_bytes_ -= it->second.raw_bytes;
+    stored_bytes_ -= it->second.stored_bytes;
+  }
+  it->second.raw_bytes = writer.stats().raw_bytes;
+  it->second.stored_bytes = writer.stats().file_bytes;
+  raw_bytes_ += it->second.raw_bytes;
+  stored_bytes_ += it->second.stored_bytes;
+  owners_[final_path] = path;
+  return Status::OK();
+}
+
+Result<std::string> BlockStore::Get(const std::string& path) const {
+  if (!files_.count(path)) {
+    return Status::NotFound("no such stored file: " + path);
+  }
+  DMB_ASSIGN_OR_RETURN(io::BlockReader reader,
+                       io::BlockReader::Open(StorePath(path)));
+  std::string payload;
+  payload.reserve(static_cast<size_t>(reader.stats().raw_bytes));
+  std::string block;
+  for (size_t i = 0; i < reader.block_count(); ++i) {
+    DMB_RETURN_NOT_OK(reader.ReadBlock(i, &block));
+    payload += block;
+  }
+  return payload;
+}
+
+bool BlockStore::Exists(const std::string& path) const {
+  return files_.count(path) != 0;
+}
+
+Status BlockStore::Delete(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such stored file: " + path);
+  }
+  raw_bytes_ -= it->second.raw_bytes;
+  stored_bytes_ -= it->second.stored_bytes;
+  files_.erase(it);
+  owners_.erase(StorePath(path));
+  std::remove(StorePath(path).c_str());
+  return Status::OK();
+}
+
+}  // namespace dmb::dfs

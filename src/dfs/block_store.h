@@ -1,0 +1,74 @@
+// BlockStore: real payload storage for DFS files, on the spill I/O
+// block format.
+//
+// The Namenode tracks only metadata (block placement, sizes); the
+// simulated data path moves fluid volumes, not bytes. BlockStore is the
+// datanode-side complement for the scenarios that need actual content
+// within one process run — golden outputs, generated inputs staged on
+// "DFS" — and it reuses io::BlockWriter / io::BlockReader, so stored
+// payloads get the same chunked layout, CRC32 checksums and optional
+// block compression as shuffle spill files, for free. The path -> file
+// index is in-memory only (logical paths are stored hashed, so it is
+// not reconstructible from root_dir); cross-process restore would need
+// a persisted manifest.
+
+#ifndef DATAMPI_BENCH_DFS_BLOCK_STORE_H_
+#define DATAMPI_BENCH_DFS_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "io/block_file.h"
+
+namespace dmb::dfs {
+
+/// \brief Local file store addressed by hashed logical path (store
+/// files are named by Hash64 of the path; a hash collision between two
+/// live paths is detected and refused at Put time). Not thread-safe.
+class BlockStore {
+ public:
+  /// \param root_dir existing directory the store files live under.
+  /// \param options block size (the chunking unit, analogous to the DFS
+  ///   block size but independently tunable) and codec.
+  explicit BlockStore(std::string root_dir,
+                      io::BlockFileOptions options = io::BlockFileOptions{});
+
+  /// \brief Stores `payload` under logical `path` (overwrites).
+  Status Put(const std::string& path, std::string_view payload);
+
+  /// \brief Reads a stored payload back, verifying every block's
+  /// checksum; Corruption on any damage, NotFound for unknown paths.
+  Result<std::string> Get(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+  Status Delete(const std::string& path);
+
+  int64_t file_count() const { return static_cast<int64_t>(files_.size()); }
+  /// Logical payload bytes stored.
+  int64_t raw_bytes() const { return raw_bytes_; }
+  /// Bytes on disk (after block compression + framing).
+  int64_t stored_bytes() const { return stored_bytes_; }
+
+ private:
+  std::string StorePath(const std::string& path) const;
+
+  std::string root_dir_;
+  io::BlockFileOptions options_;
+  struct Entry {
+    int64_t raw_bytes = 0;
+    int64_t stored_bytes = 0;
+  };
+  std::map<std::string, Entry> files_;
+  /// store file name -> owning logical path, so a Hash64 collision
+  /// between two live paths errors instead of silently aliasing files.
+  std::map<std::string, std::string> owners_;
+  int64_t raw_bytes_ = 0;
+  int64_t stored_bytes_ = 0;
+};
+
+}  // namespace dmb::dfs
+
+#endif  // DATAMPI_BENCH_DFS_BLOCK_STORE_H_

@@ -50,6 +50,7 @@ Result<JobOutput> DataMPIEngine::Run(const JobSpec& spec) {
   config.partitioner = spec.partitioner;
   config.combiner = spec.combiner;
   config.sort_by_key = spec.sort_by_key;
+  config.spill_io = SpillIoOptions(spec);
   if (spec.memory_budget_bytes > 0) {
     config.a_memory_budget_bytes = spec.memory_budget_bytes;
   }
@@ -87,6 +88,9 @@ Result<JobOutput> DataMPIEngine::Run(const JobSpec& spec) {
   output.stats.map_output_records = result.stats.o_records_emitted;
   output.stats.shuffle_bytes = result.stats.shuffle_bytes;
   output.stats.spill_count = result.stats.a_spill_count;
+  output.stats.spill_bytes_raw = result.stats.a_spill_bytes_raw;
+  output.stats.spill_bytes_on_disk = result.stats.a_spill_bytes_on_disk;
+  output.stats.blocks_read = result.stats.a_blocks_read;
   output.stats.reduce_input_records = result.stats.a_records_received;
   output.stats.output_records = result.stats.output_records;
   return output;

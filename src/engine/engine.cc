@@ -29,7 +29,17 @@ Status ValidateSpec(const JobSpec& spec) {
   if (spec.memory_budget_bytes < 0) {
     return Status::InvalidArgument("JobSpec.memory_budget_bytes < 0");
   }
+  if (spec.spill_block_bytes < 0) {
+    return Status::InvalidArgument("JobSpec.spill_block_bytes < 0");
+  }
   return Status::OK();
+}
+
+io::BlockFileOptions SpillIoOptions(const JobSpec& spec) {
+  io::BlockFileOptions options;
+  if (spec.spill_block_bytes > 0) options.block_bytes = spec.spill_block_bytes;
+  options.codec = spec.spill_codec;
+  return options;
 }
 
 ReduceFn CombinerAsReduce(CombinerFn combiner) {

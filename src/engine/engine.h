@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "core/kv.h"
 #include "core/partitioner.h"
+#include "io/block_file.h"
 
 namespace dmb::engine {
 
@@ -92,6 +93,13 @@ struct JobSpec {
   /// buffer past it, MapReduce spills map-side sorted runs (io.sort.mb),
   /// rddlite fails the job with OutOfMemory (Spark 0.8 semantics).
   int64_t memory_budget_bytes = 0;
+  /// Spill run-file block size in bytes; 0 = the io-layer default
+  /// (64 KiB). Every engine writes spills in the same checksummed block
+  /// format, so this also bounds reduce-side resident memory per run.
+  int64_t spill_block_bytes = 0;
+  /// Block codec for spill run files (io::Codec::kNone disables
+  /// compression; default LZ).
+  io::Codec spill_codec = io::Codec::kLz;
 };
 
 /// \brief Unified execution statistics (summed over tasks).
@@ -99,6 +107,9 @@ struct EngineStats {
   int64_t map_output_records = 0;   // map/O-side emitted records
   int64_t shuffle_bytes = 0;        // bytes crossing the stage boundary
   int64_t spill_count = 0;          // intermediate spills to disk
+  int64_t spill_bytes_raw = 0;      // spilled run bytes pre-compression
+  int64_t spill_bytes_on_disk = 0;  // spill run-file bytes on disk
+  int64_t blocks_read = 0;          // run-file blocks decoded in merges
   int64_t reduce_input_records = 0; // reduce/A-side received records
   int64_t output_records = 0;       // final emitted records
 };
@@ -128,6 +139,10 @@ class Engine {
 
 /// \brief Shared spec validation used by every adapter.
 Status ValidateSpec(const JobSpec& spec);
+
+/// \brief Spill run-file options from a spec's I/O knobs (the shared
+/// translation every adapter applies).
+io::BlockFileOptions SpillIoOptions(const JobSpec& spec);
 
 /// \brief Builds a reduce function that emits the combiner's fold of
 /// each group — the standard reduce of counting-style jobs.

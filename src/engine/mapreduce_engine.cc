@@ -44,6 +44,7 @@ Result<JobOutput> MapReduceEngine::Run(const JobSpec& spec) {
   config.slots = spec.parallelism;
   config.partitioner = spec.partitioner;
   config.combiner = spec.combiner;
+  config.spill_io = SpillIoOptions(spec);
   // Hadoop always stages runs through disk; kMemoryOnly is the tested
   // in-memory ablation. The reduce side merges sorted runs, so grouping
   // is sorted regardless of spec.sort_by_key.
@@ -75,6 +76,9 @@ Result<JobOutput> MapReduceEngine::Run(const JobSpec& spec) {
   output.stats.map_output_records = result.stats.map_output_records;
   output.stats.shuffle_bytes = result.stats.shuffle_bytes;
   output.stats.spill_count = result.stats.spill_count;
+  output.stats.spill_bytes_raw = result.stats.spill_bytes_raw;
+  output.stats.spill_bytes_on_disk = result.stats.spill_bytes_on_disk;
+  output.stats.blocks_read = result.stats.blocks_read;
   output.stats.reduce_input_records = result.stats.reduce_input_records;
   output.stats.output_records = result.stats.output_records;
   return output;

@@ -272,7 +272,10 @@ Result<JobOutput> RddEngine::Run(const JobSpec& spec) {
 
   output.stats.map_output_records = map_records.load();
   output.stats.shuffle_bytes = shuffle_bytes.load();
-  output.stats.spill_count = 0;  // rddlite has no spill path (it OOMs)
+  // rddlite has no spill path (it OOMs), so the spill I/O stats —
+  // spill_count, spill_bytes_raw/on_disk, blocks_read — stay 0 and
+  // JobSpec's spill_block_bytes/spill_codec knobs have nothing to tune.
+  output.stats.spill_count = 0;
   output.stats.reduce_input_records = reduce_in.load();
   output.stats.output_records = reduce_out.load();
   return output;

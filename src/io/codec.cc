@@ -1,0 +1,58 @@
+#include "io/codec.h"
+
+#include "datagen/codec.h"
+
+namespace dmb::io {
+
+const char* CodecName(Codec codec) {
+  switch (codec) {
+    case Codec::kNone:
+      return "none";
+    case Codec::kLz:
+      return "lz";
+  }
+  return "unknown";
+}
+
+Result<Codec> ParseCodec(std::string_view name) {
+  if (name == "none") return Codec::kNone;
+  if (name == "lz") return Codec::kLz;
+  return Status::InvalidArgument("unknown spill codec: " + std::string(name));
+}
+
+bool IsKnownCodec(uint8_t id) {
+  return id == static_cast<uint8_t>(Codec::kNone) ||
+         id == static_cast<uint8_t>(Codec::kLz);
+}
+
+void Compress(Codec codec, std::string_view input, std::string* out) {
+  switch (codec) {
+    case Codec::kNone:
+      out->assign(input);
+      return;
+    case Codec::kLz:
+      *out = datagen::LzCompress(input);
+      return;
+  }
+  out->assign(input);
+}
+
+Status Decompress(Codec codec, std::string_view input, size_t raw_len,
+                  std::string* out) {
+  switch (codec) {
+    case Codec::kNone:
+      if (input.size() != raw_len) {
+        return Status::Corruption("stored block length " +
+                                  std::to_string(input.size()) +
+                                  " != raw length " + std::to_string(raw_len));
+      }
+      out->assign(input);
+      return Status::OK();
+    case Codec::kLz:
+      return datagen::LzDecompressInto(input, raw_len, out);
+  }
+  return Status::Corruption("unknown codec id " +
+                            std::to_string(static_cast<int>(codec)));
+}
+
+}  // namespace dmb::io

@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3 polynomial) for spill-file block integrity.
+//
+// Every block a run file stores carries a checksum of its on-disk
+// payload, and the footer carries one of the block index, so a torn
+// write, truncated file, or flipped bit surfaces as Status::Corruption
+// instead of silently wrong merge output.
+
+#ifndef DATAMPI_BENCH_IO_CRC32_H_
+#define DATAMPI_BENCH_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dmb::io {
+
+/// \brief CRC-32 of a byte range. Pass a previous result as `seed` to
+/// checksum data in chunks (Crc32(b, Crc32(a)) == Crc32(a+b)).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace dmb::io
+
+#endif  // DATAMPI_BENCH_IO_CRC32_H_

@@ -1,0 +1,66 @@
+#include "io/run_file.h"
+
+#include <utility>
+
+namespace dmb::io {
+
+// ---- SpillFileWriter -------------------------------------------------
+
+SpillFileWriter::SpillFileWriter(const std::string& path,
+                                 BlockFileOptions options)
+    : writer_(path, options) {}
+
+Status SpillFileWriter::Add(std::string_view key, std::string_view value) {
+  scratch_.Clear();
+  datampi::EncodeKV(&scratch_, key, value);
+  return writer_.AppendRecord(scratch_.view());
+}
+
+Status SpillFileWriter::Finish() { return writer_.Finish(); }
+
+// ---- StreamingRunReader ----------------------------------------------
+
+Result<std::unique_ptr<StreamingRunReader>> StreamingRunReader::Open(
+    const std::string& path) {
+  DMB_ASSIGN_OR_RETURN(BlockReader reader, BlockReader::Open(path));
+  return std::unique_ptr<StreamingRunReader>(
+      new StreamingRunReader(std::move(reader)));
+}
+
+bool StreamingRunReader::LoadNextBlock() {
+  if (next_block_ >= reader_.block_count()) return false;
+  const size_t i = next_block_++;
+  Status st = reader_.ReadBlock(i, &block_);
+  if (!st.ok()) {
+    status_ = st;
+    return false;
+  }
+  ++blocks_read_;
+  records_in_block_ = reader_.block(i).record_count;
+  records_seen_ = 0;
+  records_ = datampi::KVBatchReader(block_);
+  return true;
+}
+
+bool StreamingRunReader::Next(std::string_view* key, std::string_view* value) {
+  if (!status_.ok()) return false;
+  for (;;) {
+    if (records_.Next(key, value)) {
+      ++records_seen_;
+      return true;
+    }
+    if (!records_.status().ok()) {
+      status_ = records_.status().WithContext("decoding run-file block");
+      return false;
+    }
+    if (records_seen_ != records_in_block_) {
+      status_ = Status::Corruption(
+          "block decoded " + std::to_string(records_seen_) +
+          " records, index promised " + std::to_string(records_in_block_));
+      return false;
+    }
+    if (!LoadNextBlock()) return false;
+  }
+}
+
+}  // namespace dmb::io

@@ -1,0 +1,102 @@
+// Spill-run files: the KV layer over the block-file container.
+//
+// SpillFileWriter is the facade every spill site uses (the shuffle
+// collector's budget action, FinishRuns' disk staging): it frames each
+// (key, value) record with the repo's EncodeKV varint framing and
+// appends it to a BlockWriter, so a run file is a sequence of
+// independently decodable, checksummed, optionally compressed blocks of
+// KV records. StreamingRunReader is the matching pull iterator: it
+// decodes one block at a time, so merging k spilled runs keeps at most
+// k x block_size bytes resident instead of the total spilled volume.
+
+#ifndef DATAMPI_BENCH_IO_RUN_FILE_H_
+#define DATAMPI_BENCH_IO_RUN_FILE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/byte_buffer.h"
+#include "common/status.h"
+#include "core/kv.h"
+#include "io/block_file.h"
+
+namespace dmb::io {
+
+/// \brief Writes sorted (or arrival-order) KV records as a run file.
+class SpillFileWriter {
+ public:
+  explicit SpillFileWriter(const std::string& path,
+                           BlockFileOptions options = BlockFileOptions{});
+
+  SpillFileWriter(const SpillFileWriter&) = delete;
+  SpillFileWriter& operator=(const SpillFileWriter&) = delete;
+
+  /// \brief Appends one record (EncodeKV framing inside the block).
+  Status Add(std::string_view key, std::string_view value);
+
+  /// \brief Seals the file (block flush + footer + trailer).
+  Status Finish();
+
+  int64_t records() const { return writer_.stats().records; }
+  /// Encoded KV bytes before block compression.
+  int64_t raw_bytes() const { return writer_.stats().raw_bytes; }
+  /// Bytes on disk after Finish() (0 before).
+  int64_t file_bytes() const { return writer_.stats().file_bytes; }
+  int64_t blocks() const { return writer_.stats().blocks; }
+
+ private:
+  BlockWriter writer_;
+  ByteBuffer scratch_;
+};
+
+/// \brief Pull iterator over a run file holding one decoded block in
+/// memory at a time. Views returned by Next() stay valid until the next
+/// Next() call.
+class StreamingRunReader {
+ public:
+  /// \brief Opens `path` and validates the container (magic, footer
+  /// checksum, block index).
+  static Result<std::unique_ptr<StreamingRunReader>> Open(
+      const std::string& path);
+
+  /// \brief Advances to the next record; false at end-of-file or error
+  /// (check status() after the loop).
+  bool Next(std::string_view* key, std::string_view* value);
+
+  const Status& status() const { return status_; }
+
+  /// \brief Blocks decoded so far.
+  int64_t blocks_read() const { return blocks_read_; }
+  /// \brief Raw bytes of the currently resident block.
+  int64_t resident_bytes() const {
+    return static_cast<int64_t>(block_.size());
+  }
+  /// \brief Largest raw block in the file — this reader's worst-case
+  /// resident footprint.
+  int64_t max_block_raw_bytes() const {
+    return reader_.max_block_raw_bytes();
+  }
+  /// \brief Total records in the file per the footer index.
+  int64_t total_records() const { return reader_.stats().records; }
+
+ private:
+  explicit StreamingRunReader(BlockReader reader)
+      : reader_(std::move(reader)) {}
+
+  /// Loads block `next_block_` into block_ and rewinds the KV cursor.
+  bool LoadNextBlock();
+
+  BlockReader reader_;
+  std::string block_;
+  datampi::KVBatchReader records_{std::string_view()};
+  int64_t records_in_block_ = 0;  // records the index promised
+  int64_t records_seen_ = 0;      // records decoded from block_
+  size_t next_block_ = 0;
+  int64_t blocks_read_ = 0;
+  Status status_;
+};
+
+}  // namespace dmb::io
+
+#endif  // DATAMPI_BENCH_IO_RUN_FILE_H_

@@ -80,6 +80,9 @@ Result<MRResult> RunJob(const MRConfig& config,
   std::atomic<int64_t> map_records{0};
   std::atomic<int64_t> shuffle_bytes{0};
   std::atomic<int64_t> spill_count{0};
+  std::atomic<int64_t> spill_bytes_raw{0};
+  std::atomic<int64_t> spill_bytes_on_disk{0};
+  std::atomic<int64_t> blocks_read{0};
   std::vector<Status> map_status(static_cast<size_t>(cfg.num_map_tasks));
 
   // ---- Map phase (parallel over slots). ----
@@ -103,6 +106,7 @@ Result<MRResult> RunJob(const MRConfig& config,
                               : shuffle::BudgetAction::kUnbounded;
         copts.spill_dir = &spill_dir;
         copts.file_prefix = "map" + std::to_string(t) + "-";
+        copts.spill_io = cfg.spill_io;
         shuffle::PartitionedCollector collector(std::move(copts));
         MapContextImpl ctx(t, &collector);
         Status st;
@@ -124,6 +128,10 @@ Result<MRResult> RunJob(const MRConfig& config,
                                 std::memory_order_relaxed);
         spill_count.fetch_add(collector.spill_count(),
                               std::memory_order_relaxed);
+        spill_bytes_raw.fetch_add(collector.spilled_raw_bytes(),
+                                  std::memory_order_relaxed);
+        spill_bytes_on_disk.fetch_add(collector.spilled_bytes(),
+                                      std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(store.mu);
         for (int r = 0; r < cfg.num_reduce_tasks; ++r) {
           auto& partition = (*runs)[static_cast<size_t>(r)];
@@ -181,6 +189,8 @@ Result<MRResult> RunJob(const MRConfig& config,
           st = reduce_fn(key, values, &ctx);
         }
         if (st.ok()) st = groups->status();
+        blocks_read.fetch_add(groups->blocks_read(),
+                              std::memory_order_relaxed);
         if (!st.ok()) {
           reduce_status[static_cast<size_t>(r)] = st;
           return;
@@ -200,6 +210,9 @@ Result<MRResult> RunJob(const MRConfig& config,
   result.stats.map_output_records = map_records.load();
   result.stats.shuffle_bytes = shuffle_bytes.load();
   result.stats.spill_count = spill_count.load();
+  result.stats.spill_bytes_raw = spill_bytes_raw.load();
+  result.stats.spill_bytes_on_disk = spill_bytes_on_disk.load();
+  result.stats.blocks_read = blocks_read.load();
   result.stats.reduce_input_records = reduce_in.load();
   result.stats.output_records = reduce_out.load();
   return result;

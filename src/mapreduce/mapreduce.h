@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "core/kv.h"
 #include "core/partitioner.h"
+#include "io/block_file.h"
 
 namespace dmb::mapreduce {
 
@@ -44,6 +45,8 @@ struct MRConfig {
   /// resident output exceeds this spills an intermediate sorted run per
   /// reducer. Only effective when spill_to_disk is true.
   int64_t map_buffer_bytes = 64 << 20;
+  /// Spill run-file block size and codec (src/io block format).
+  io::BlockFileOptions spill_io;
 };
 
 /// \brief Map-side emitter.
@@ -77,6 +80,12 @@ struct MRStats {
   /// Map-output runs staged through the spill directory (0 when
   /// spill_to_disk is false).
   int64_t spill_count = 0;
+  /// Encoded run bytes spilled map-side (before block compression).
+  int64_t spill_bytes_raw = 0;
+  /// Run-file bytes on disk (after block compression + framing).
+  int64_t spill_bytes_on_disk = 0;
+  /// Run-file blocks decoded by the reduce-side streaming merges.
+  int64_t blocks_read = 0;
   int64_t reduce_input_records = 0;
   int64_t output_records = 0;
 };

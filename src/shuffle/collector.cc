@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/units.h"
 #include "core/kv.h"
+#include "io/run_file.h"
 
 namespace dmb::shuffle {
 
@@ -91,38 +92,61 @@ std::vector<KVSlice> PartitionedCollector::CombineResident(size_t p,
   return combined;
 }
 
-std::string PartitionedCollector::EncodeResident(size_t p) {
+Status PartitionedCollector::ForEachResident(
+    size_t p, const std::function<Status(std::string_view key,
+                                         std::string_view value)>& sink) {
   auto& slices = partitions_[p];
-  if (slices.empty()) return {};
-  ByteBuffer wire;
   if (options_.sort_by_key && options_.combiner) {
     KVArena combined;
     for (const KVSlice& s : CombineResident(p, &combined)) {
-      datampi::EncodeKV(&wire, combined.KeyOf(s), combined.ValueOf(s));
+      DMB_RETURN_NOT_OK(sink(combined.KeyOf(s), combined.ValueOf(s)));
     }
   } else {
-    // Unsorted collectors encode in arrival order without grouping
+    // Unsorted collectors emit in arrival order without grouping
     // (only reachable through FinishRuns; combiners require sorting).
     if (options_.sort_by_key) arena_->Sort(&slices);
     for (const KVSlice& s : slices) {
-      datampi::EncodeKV(&wire, arena_->KeyOf(s), arena_->ValueOf(s));
+      DMB_RETURN_NOT_OK(sink(arena_->KeyOf(s), arena_->ValueOf(s)));
     }
   }
+  return Status::OK();
+}
+
+std::string PartitionedCollector::EncodeResident(size_t p) {
+  if (partitions_[p].empty()) return {};
+  ByteBuffer wire;
+  const Status st =
+      ForEachResident(p, [&wire](std::string_view key, std::string_view value) {
+        datampi::EncodeKV(&wire, key, value);
+        return Status::OK();
+      });
+  DMB_CHECK(st.ok());  // the encoding sink cannot fail
   encoded_output_bytes_ += static_cast<int64_t>(wire.size());
   return std::string(wire.view());
+}
+
+Result<std::string> PartitionedCollector::WriteRunFile(size_t p) {
+  if (partitions_[p].empty()) return std::string();
+  const std::string path = dir()->File(
+      options_.file_prefix + "run-" + std::to_string(spill_count_) + ".kv");
+  io::SpillFileWriter writer(path, options_.spill_io);
+  DMB_RETURN_NOT_OK(ForEachResident(
+      p, [&writer](std::string_view key, std::string_view value) {
+        return writer.Add(key, value);
+      }));
+  DMB_RETURN_NOT_OK(writer.Finish());
+  ++spill_count_;
+  spilled_raw_bytes_ += writer.raw_bytes();
+  spilled_bytes_ += writer.file_bytes();
+  encoded_output_bytes_ += writer.raw_bytes();
+  return path;
 }
 
 Status PartitionedCollector::SpillAll() {
   if (records_in_memory_ == 0) return Status::OK();
   for (size_t p = 0; p < partitions_.size(); ++p) {
-    std::string encoded = EncodeResident(p);
-    if (encoded.empty()) continue;
-    const std::string path = dir()->File(
-        options_.file_prefix + "run-" + std::to_string(spill_count_) +
-        ".kv");
-    DMB_RETURN_NOT_OK(WriteFileBytes(path, encoded));
-    ++spill_count_;
-    spilled_bytes_ += static_cast<int64_t>(encoded.size());
+    DMB_ASSIGN_OR_RETURN(const std::string path, WriteRunFile(p));
+    if (path.empty()) continue;
     spill_files_[p].push_back(path);
     partitions_[p].clear();
   }
@@ -180,18 +204,12 @@ PartitionedCollector::FinishRuns(bool to_disk) {
   std::vector<PartitionRuns> runs(partitions_.size());
   for (size_t p = 0; p < partitions_.size(); ++p) {
     runs[p].run_files = std::move(spill_files_[p]);
-    std::string encoded = EncodeResident(p);
-    if (encoded.empty()) continue;
     if (to_disk) {
-      const std::string path = dir()->File(
-          options_.file_prefix + "run-" + std::to_string(spill_count_) +
-          ".kv");
-      DMB_RETURN_NOT_OK(WriteFileBytes(path, encoded));
-      ++spill_count_;
-      spilled_bytes_ += static_cast<int64_t>(encoded.size());
-      runs[p].run_files.push_back(path);
+      DMB_ASSIGN_OR_RETURN(const std::string path, WriteRunFile(p));
+      if (!path.empty()) runs[p].run_files.push_back(path);
     } else {
-      runs[p].encoded_runs.push_back(std::move(encoded));
+      std::string encoded = EncodeResident(p);
+      if (!encoded.empty()) runs[p].encoded_runs.push_back(std::move(encoded));
     }
   }
   return runs;

@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "common/temp_dir.h"
 #include "core/partitioner.h"
+#include "io/block_file.h"
 #include "shuffle/kv_arena.h"
 #include "shuffle/run_merger.h"
 
@@ -67,6 +68,9 @@ struct CollectorOptions {
   /// Prefix for run file names (disambiguates collectors sharing a
   /// spill_dir, e.g. concurrent map tasks).
   std::string file_prefix;
+  /// Run-file I/O tuning: block size and codec of the checksummed
+  /// block format every spill is written in (src/io).
+  io::BlockFileOptions spill_io;
 };
 
 /// \brief The collector. Not thread-safe; one instance per task.
@@ -119,7 +123,10 @@ class PartitionedCollector {
   int64_t bytes_in_memory() const;
   /// Run files written to disk (pressure spills + FinishRuns flushes).
   int spill_count() const { return spill_count_; }
+  /// Bytes of run files on disk (after block compression + framing).
   int64_t spilled_bytes() const { return spilled_bytes_; }
+  /// Encoded run bytes handed to the spill writer (pre-compression).
+  int64_t spilled_raw_bytes() const { return spilled_raw_bytes_; }
   /// EncodeKV wire size of everything Added (pre-combine) — the uniform
   /// shuffle_bytes accounting for engines without their own wire.
   int64_t encoded_input_bytes() const { return encoded_input_bytes_; }
@@ -131,8 +138,19 @@ class PartitionedCollector {
     return options_.sort_by_key &&
            options_.on_budget == BudgetAction::kSpill;
   }
+  /// Applies the sort/combine policy to partition p's resident slices
+  /// and feeds each record of the resulting run to `sink` in run order
+  /// (the one definition of what a run contains, shared by the encoded
+  /// and on-disk spill paths).
+  Status ForEachResident(
+      size_t p,
+      const std::function<Status(std::string_view key,
+                                 std::string_view value)>& sink);
   /// Sorts + combines partition p's resident slices into an encoded run.
   std::string EncodeResident(size_t p);
+  /// Writes partition p's sorted/combined resident slices as a run file
+  /// (io::SpillFileWriter block format); "" when the partition is empty.
+  Result<std::string> WriteRunFile(size_t p);
   /// Sorts partition p's resident slices and folds each key's values
   /// through the combiner into `out`, returning the combined (sorted)
   /// slices. Requires sort_by_key and a combiner.
@@ -151,6 +169,7 @@ class PartitionedCollector {
   int64_t records_in_memory_ = 0;
   int spill_count_ = 0;
   int64_t spilled_bytes_ = 0;
+  int64_t spilled_raw_bytes_ = 0;
   int64_t encoded_input_bytes_ = 0;
   int64_t encoded_output_bytes_ = 0;
   bool finished_ = false;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "common/temp_dir.h"
 #include "core/kv.h"
 
 namespace dmb::shuffle {
@@ -20,6 +19,9 @@ class RunCursor {
   virtual std::string_view value() const = 0;
   virtual void Pop() = 0;
   virtual const Status& status() const = 0;
+  /// Streaming-state accessors; in-memory cursors report 0.
+  virtual int64_t blocks_read() const { return 0; }
+  virtual int64_t resident_block_bytes() const { return 0; }
 };
 
 class ArenaCursor final : public RunCursor {
@@ -75,6 +77,45 @@ class EncodedCursor final : public RunCursor {
   Status status_;
 };
 
+/// Streams over a run file one decoded block at a time. The reader is
+/// released as soon as the run is exhausted so its last block stops
+/// counting against resident merge memory.
+class FileCursor final : public RunCursor {
+ public:
+  explicit FileCursor(std::unique_ptr<io::StreamingRunReader> reader)
+      : reader_(std::move(reader)) {
+    Advance();
+  }
+
+  bool has_current() const override { return has_current_; }
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+  void Pop() override { Advance(); }
+  const Status& status() const override { return status_; }
+  int64_t blocks_read() const override { return blocks_read_; }
+  int64_t resident_block_bytes() const override {
+    return reader_ ? reader_->resident_bytes() : 0;
+  }
+
+ private:
+  void Advance() {
+    has_current_ = reader_->Next(&key_, &value_);
+    blocks_read_ = reader_->blocks_read();
+    if (!has_current_) {
+      if (!reader_->status().ok()) {
+        status_ = reader_->status().WithContext("merging file run");
+      }
+      reader_.reset();
+    }
+  }
+
+  std::unique_ptr<io::StreamingRunReader> reader_;
+  std::string_view key_, value_;
+  bool has_current_ = false;
+  int64_t blocks_read_ = 0;
+  Status status_;
+};
+
 /// Heap-based k-way merge, grouped by key. The heap orders cursors by
 /// (key, value, run index) so output is deterministic regardless of how
 /// records were distributed over runs.
@@ -82,14 +123,18 @@ class MergingGroupIterator final : public KVGroupIterator {
  public:
   explicit MergingGroupIterator(
       std::vector<std::unique_ptr<RunCursor>> cursors)
-      : cursors_(std::move(cursors)) {
+      : cursors_(std::move(cursors)),
+        resident_by_cursor_(cursors_.size(), 0) {
     for (size_t i = 0; i < cursors_.size(); ++i) {
       if (cursors_[i]->has_current()) {
         heap_.push_back(i);
       } else if (!cursors_[i]->status().ok()) {
         status_ = cursors_[i]->status();
       }
+      resident_by_cursor_[i] = cursors_[i]->resident_block_bytes();
+      resident_ += resident_by_cursor_[i];
     }
+    peak_resident_ = resident_;
     std::make_heap(heap_.begin(), heap_.end(), HeapGreater{this});
   }
 
@@ -103,6 +148,7 @@ class MergingGroupIterator final : public KVGroupIterator {
       const size_t idx = heap_.back();
       values->emplace_back(cursors_[idx]->value());
       cursors_[idx]->Pop();
+      ObserveResidency(idx);
       if (cursors_[idx]->has_current()) {
         std::push_heap(heap_.begin(), heap_.end(), HeapGreater{this});
       } else {
@@ -118,6 +164,14 @@ class MergingGroupIterator final : public KVGroupIterator {
 
   const Status& status() const override { return status_; }
 
+  int64_t blocks_read() const override {
+    int64_t total = 0;
+    for (const auto& cursor : cursors_) total += cursor->blocks_read();
+    return total;
+  }
+
+  int64_t peak_resident_run_bytes() const override { return peak_resident_; }
+
  private:
   /// std::push_heap et al. expect a max-heap comparator; inverting it
   /// keeps the smallest (key, value, index) at the front.
@@ -132,8 +186,22 @@ class MergingGroupIterator final : public KVGroupIterator {
     }
   };
 
+  /// Residency only changes when the cursor just popped loads or drops
+  /// a block, so the total is maintained incrementally — one cheap call
+  /// on the popped cursor per record instead of an O(num_runs) sweep
+  /// per group.
+  void ObserveResidency(size_t idx) {
+    const int64_t now = cursors_[idx]->resident_block_bytes();
+    resident_ += now - resident_by_cursor_[idx];
+    resident_by_cursor_[idx] = now;
+    if (resident_ > peak_resident_) peak_resident_ = resident_;
+  }
+
   std::vector<std::unique_ptr<RunCursor>> cursors_;
   std::vector<size_t> heap_;
+  std::vector<int64_t> resident_by_cursor_;
+  int64_t resident_ = 0;
+  int64_t peak_resident_ = 0;
   Status status_;
 };
 
@@ -177,13 +245,15 @@ void RunMerger::AddEncodedRun(std::string bytes) {
 }
 
 Status RunMerger::AddFileRun(const std::string& path) {
-  DMB_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
-  AddEncodedRun(std::move(bytes));
+  DMB_ASSIGN_OR_RETURN(std::unique_ptr<io::StreamingRunReader> reader,
+                       io::StreamingRunReader::Open(path));
+  if (reader->total_records() == 0) return Status::OK();
+  file_runs_.push_back(std::move(reader));
   return Status::OK();
 }
 
 size_t RunMerger::run_count() const {
-  return arena_runs_.size() + encoded_runs_.size();
+  return arena_runs_.size() + encoded_runs_.size() + file_runs_.size();
 }
 
 std::unique_ptr<KVGroupIterator> RunMerger::Merge() {
@@ -196,8 +266,12 @@ std::unique_ptr<KVGroupIterator> RunMerger::Merge() {
   for (auto& bytes : encoded_runs_) {
     cursors.push_back(std::make_unique<EncodedCursor>(std::move(bytes)));
   }
+  for (auto& reader : file_runs_) {
+    cursors.push_back(std::make_unique<FileCursor>(std::move(reader)));
+  }
   arena_runs_.clear();
   encoded_runs_.clear();
+  file_runs_.clear();
   return std::make_unique<MergingGroupIterator>(std::move(cursors));
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/run_file.h"
 #include "shuffle/kv_arena.h"
 
 namespace dmb::shuffle {
@@ -32,6 +33,14 @@ class KVGroupIterator {
   virtual bool NextGroup(std::string* key,
                          std::vector<std::string>* values) = 0;
   virtual const Status& status() const = 0;
+
+  /// \brief Run-file blocks decoded while iterating (0 for in-memory
+  /// iterators) — the uniform EngineStats::blocks_read source.
+  virtual int64_t blocks_read() const { return 0; }
+  /// \brief Peak bytes of decoded run-file blocks resident at once
+  /// across this merge's streaming file runs. Bounded by
+  /// num_file_runs x max block size — the reduce-side memory guarantee.
+  virtual int64_t peak_resident_run_bytes() const { return 0; }
 };
 
 /// \brief Accumulates sorted runs, then merges them. One-shot: Merge()
@@ -54,8 +63,9 @@ class RunMerger {
   /// Decoding is streaming and zero-copy into the owned bytes.
   void AddEncodedRun(std::string bytes);
 
-  /// \brief Reads a spill file written by PartitionedCollector (an
-  /// EncodeKV-framed sorted batch) and adds it as a run.
+  /// \brief Opens a run file written by the spill I/O subsystem
+  /// (io::SpillFileWriter block format) and adds it as a *streaming*
+  /// run: the merge holds at most one decoded block of it in memory.
   Status AddFileRun(const std::string& path);
 
   size_t run_count() const;
@@ -76,6 +86,7 @@ class RunMerger {
   };
   std::vector<ArenaRun> arena_runs_;
   std::vector<std::string> encoded_runs_;
+  std::vector<std::unique_ptr<io::StreamingRunReader>> file_runs_;
 };
 
 }  // namespace dmb::shuffle

@@ -1,8 +1,14 @@
 // Tests for the HDFS model: namenode placement invariants, read/write
-// data-path timing sanity, and DFSIO behaviour.
+// data-path timing sanity, DFSIO behaviour, and the BlockStore payload
+// path (checksummed block files under the logical filesystem).
+
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+#include "common/temp_dir.h"
+#include "dfs/block_store.h"
 #include "dfs/dfsio.h"
 #include "dfs/hdfs_model.h"
 #include "dfs/namenode.h"
@@ -229,6 +235,59 @@ TEST(DfsioTest, ReadModeUsesReadPath) {
   DfsioOptions wopt = options;
   wopt.read_mode = false;
   EXPECT_GT(result.throughput_mbps, RunDfsio(wopt).throughput_mbps);
+}
+
+TEST(BlockStoreTest, PutGetRoundTripWithCompression) {
+  TempDir dir("dfs-store");
+  io::BlockFileOptions options;
+  options.block_bytes = 4096;
+  options.codec = io::Codec::kLz;
+  BlockStore store(dir.path().string(), options);
+
+  // Compressible payload spanning several blocks.
+  std::string payload;
+  for (int i = 0; i < 2000; ++i) {
+    payload += "line " + std::to_string(i % 37) + " of the corpus\n";
+  }
+  ASSERT_TRUE(store.Put("/data/part-00000", payload).ok());
+  EXPECT_TRUE(store.Exists("/data/part-00000"));
+  EXPECT_EQ(store.raw_bytes(), static_cast<int64_t>(payload.size()));
+  EXPECT_LT(store.stored_bytes(), store.raw_bytes())
+      << "LZ blocks should compress the repetitive payload";
+
+  auto got = store.Get("/data/part-00000");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, payload);
+
+  // Overwrite shrinks the accounting to the new payload.
+  ASSERT_TRUE(store.Put("/data/part-00000", "tiny").ok());
+  EXPECT_EQ(store.raw_bytes(), 4);
+  EXPECT_EQ(store.file_count(), 1);
+
+  EXPECT_TRUE(store.Get("/missing").status().IsNotFound());
+  ASSERT_TRUE(store.Delete("/data/part-00000").ok());
+  EXPECT_EQ(store.file_count(), 0);
+  EXPECT_EQ(store.raw_bytes(), 0);
+  EXPECT_TRUE(store.Delete("/data/part-00000").IsNotFound());
+}
+
+TEST(BlockStoreTest, EmptyPayloadAndBinaryPayloadRoundTrip) {
+  TempDir dir("dfs-store");
+  BlockStore store(dir.path().string());
+  ASSERT_TRUE(store.Put("/empty", "").ok());
+  auto empty = store.Get("/empty");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, "");
+
+  Rng rng(3);
+  std::string binary;
+  for (int i = 0; i < 100000; ++i) {
+    binary.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  ASSERT_TRUE(store.Put("/bin", binary).ok());
+  auto got = store.Get("/bin");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, binary);
 }
 
 }  // namespace

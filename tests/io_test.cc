@@ -1,0 +1,301 @@
+// Tests for the spill I/O subsystem (src/io): the checksummed
+// block-compressed run-file format, its streaming reader, and the
+// failure modes the format exists to catch — truncation and bit damage
+// must surface as a clean Status, never as silently wrong records.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/temp_dir.h"
+#include "io/block_file.h"
+#include "io/codec.h"
+#include "io/crc32.h"
+#include "io/run_file.h"
+
+namespace dmb::io {
+namespace {
+
+using Record = std::pair<std::string, std::string>;
+
+/// Random records with adversarial sizes: zero-byte keys/values, keys
+/// longer than a block, compressible and incompressible payloads.
+std::vector<Record> MakeRecords(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> records;
+  records.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string key, value;
+    const uint64_t klen = rng.Uniform(64);
+    for (uint64_t j = 0; j < klen; ++j) {
+      key.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    switch (rng.Uniform(4)) {
+      case 0:
+        value.assign(static_cast<size_t>(rng.Uniform(2000)), 'r');
+        break;
+      case 1:  // incompressible
+        for (uint64_t j = 0, m = rng.Uniform(500); j < m; ++j) {
+          value.push_back(static_cast<char>(rng.Uniform(256)));
+        }
+        break;
+      case 2:  // zero-byte value
+        break;
+      default:
+        value = "v" + std::to_string(rng.Uniform(1000));
+    }
+    records.emplace_back(std::move(key), std::move(value));
+  }
+  return records;
+}
+
+std::string WriteRun(const TempDir& dir, const std::string& name,
+                     const std::vector<Record>& records,
+                     BlockFileOptions options) {
+  const std::string path = dir.File(name);
+  SpillFileWriter writer(path, options);
+  for (const auto& [k, v] : records) {
+    EXPECT_TRUE(writer.Add(k, v).ok());
+  }
+  EXPECT_TRUE(writer.Finish().ok());
+  return path;
+}
+
+std::vector<Record> ReadRun(const std::string& path, Status* status) {
+  std::vector<Record> out;
+  auto reader = StreamingRunReader::Open(path);
+  if (!reader.ok()) {
+    *status = reader.status();
+    return out;
+  }
+  std::string_view k, v;
+  while ((*reader)->Next(&k, &v)) {
+    out.emplace_back(std::string(k), std::string(v));
+  }
+  *status = (*reader)->status();
+  return out;
+}
+
+TEST(Crc32Test, KnownVectorAndChunking) {
+  // The canonical CRC-32 ("IEEE") check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  const std::string data = "the quick brown fox";
+  EXPECT_EQ(Crc32(data.substr(4), Crc32(data.substr(0, 4))), Crc32(data));
+}
+
+TEST(CodecTest, NamesRoundTrip) {
+  for (Codec codec : {Codec::kNone, Codec::kLz}) {
+    auto parsed = ParseCodec(CodecName(codec));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, codec);
+  }
+  EXPECT_FALSE(ParseCodec("zstd").ok());
+}
+
+TEST(RunFileTest, RoundTripFuzzAcrossCodecsAndBlockSizes) {
+  TempDir dir("io-test");
+  int file = 0;
+  for (const Codec codec : {Codec::kNone, Codec::kLz}) {
+    for (const int64_t block_bytes : {int64_t{1}, int64_t{64}, int64_t{4096},
+                                      int64_t{1} << 20}) {
+      for (const int n : {0, 1, 7, 500}) {
+        const auto records =
+            MakeRecords(n, 1000u * static_cast<uint64_t>(file) + 7);
+        BlockFileOptions options;
+        options.codec = codec;
+        options.block_bytes = block_bytes;
+        const std::string path = WriteRun(
+            dir, "run" + std::to_string(file++) + ".kv", records, options);
+        Status status;
+        const auto got = ReadRun(path, &status);
+        ASSERT_TRUE(status.ok())
+            << status << " codec=" << CodecName(codec)
+            << " block_bytes=" << block_bytes << " n=" << n;
+        EXPECT_EQ(got, records)
+            << "codec=" << CodecName(codec) << " block_bytes=" << block_bytes;
+      }
+    }
+  }
+}
+
+TEST(RunFileTest, StreamingReaderHoldsOneBlockAndCountsBlocks) {
+  TempDir dir("io-test");
+  const auto records = MakeRecords(400, 42);
+  BlockFileOptions options;
+  options.block_bytes = 512;
+  options.codec = Codec::kLz;
+  const std::string path = WriteRun(dir, "run.kv", records, options);
+
+  auto reader = StreamingRunReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ((*reader)->total_records(), 400);
+  const int64_t max_block = (*reader)->max_block_raw_bytes();
+  EXPECT_GT(max_block, 0);
+  std::string_view k, v;
+  int64_t n = 0;
+  while ((*reader)->Next(&k, &v)) {
+    ++n;
+    EXPECT_LE((*reader)->resident_bytes(), max_block);
+  }
+  ASSERT_TRUE((*reader)->status().ok()) << (*reader)->status();
+  EXPECT_EQ(n, 400);
+  EXPECT_GT((*reader)->blocks_read(), 1);
+  // Blocks respect the target size: each raw block is <= block_bytes
+  // unless a single record is larger (none is, here: keys <= 63 bytes
+  // appear with values <= 2000... so allow the documented bound).
+  auto block_reader = BlockReader::Open(path);
+  ASSERT_TRUE(block_reader.ok());
+  int64_t longest_record = 0;
+  for (const auto& [key, value] : records) {
+    longest_record = std::max(
+        longest_record, static_cast<int64_t>(key.size() + value.size() + 10));
+  }
+  for (size_t i = 0; i < block_reader->block_count(); ++i) {
+    EXPECT_LE(block_reader->block(i).raw_len,
+              std::max(options.block_bytes, longest_record));
+  }
+}
+
+TEST(RunFileTest, TruncatedFilesFailCleanly) {
+  TempDir dir("io-test");
+  const auto records = MakeRecords(120, 9);
+  BlockFileOptions options;
+  options.block_bytes = 256;
+  const std::string path = WriteRun(dir, "run.kv", records, options);
+  Status status;
+  const auto full = ReadRun(path, &status);
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(full.size(), records.size());
+  std::string bytes;
+  {
+    auto r = ReadFileBytes(path);
+    ASSERT_TRUE(r.ok());
+    bytes = std::move(r).value();
+  }
+  // Every truncation point must yield a clean error — a shorter file
+  // can never produce a successful full read.
+  for (size_t len = 0; len < bytes.size(); len += 13) {
+    const std::string trunc_path = dir.File("trunc.kv");
+    ASSERT_TRUE(WriteFileBytes(trunc_path, bytes.substr(0, len)).ok());
+    Status trunc_status;
+    ReadRun(trunc_path, &trunc_status);
+    EXPECT_FALSE(trunc_status.ok()) << "truncated to " << len << " bytes";
+  }
+}
+
+TEST(RunFileTest, EverySingleBitFlipIsDetected) {
+  TempDir dir("io-test");
+  const auto records = MakeRecords(60, 5);
+  BlockFileOptions options;
+  options.block_bytes = 256;
+  options.codec = Codec::kLz;
+  const std::string path = WriteRun(dir, "run.kv", records, options);
+  std::string bytes;
+  {
+    auto r = ReadFileBytes(path);
+    ASSERT_TRUE(r.ok());
+    bytes = std::move(r).value();
+  }
+  // Flip one bit per byte position (rotating which bit) and require a
+  // non-OK status from open or the record scan: block payloads are
+  // CRC-checked, headers are cross-checked against the footer index,
+  // the footer carries its own CRC, and the trailer is magic+length.
+  const std::string flip_path = dir.File("flipped.kv");
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string damaged = bytes;
+    damaged[i] = static_cast<char>(damaged[i] ^ (1u << (i % 8)));
+    ASSERT_TRUE(WriteFileBytes(flip_path, damaged).ok());
+    Status status;
+    ReadRun(flip_path, &status);
+    EXPECT_FALSE(status.ok()) << "bit flip at byte " << i << " undetected";
+  }
+}
+
+TEST(RunFileTest, NonBlockFilesAreRejected) {
+  TempDir dir("io-test");
+  const std::string path = dir.File("legacy.kv");
+  ASSERT_TRUE(WriteFileBytes(path, "raw EncodeKV bytes, no trailer").ok());
+  auto reader = StreamingRunReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(StreamingRunReader::Open(dir.File("missing.kv")).ok());
+}
+
+TEST(RunFileTest, IncompressibleBlocksFallBackToRawStorage) {
+  TempDir dir("io-test");
+  Rng rng(77);
+  std::string noise;
+  for (int i = 0; i < 4000; ++i) {
+    noise.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  BlockFileOptions options;
+  options.codec = Codec::kLz;
+  options.block_bytes = 1024;
+  const std::string path = dir.File("noise.kv");
+  SpillFileWriter writer(path, options);
+  ASSERT_TRUE(writer.Add("k", noise).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  // The file must not blow up past raw size + framing overhead.
+  EXPECT_LT(writer.file_bytes(), writer.raw_bytes() + 256);
+  Status status;
+  const auto got = ReadRun(path, &status);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second, noise);
+}
+
+TEST(BlockFileTest, WriterStatsMatchReaderStats) {
+  TempDir dir("io-test");
+  BlockFileOptions options;
+  options.block_bytes = 128;
+  const std::string path = dir.File("stats.blk");
+  BlockWriter writer(path, options);
+  int64_t raw = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::string record = "record-" + std::to_string(i * i);
+    raw += static_cast<int64_t>(record.size());
+    ASSERT_TRUE(writer.AppendRecord(record).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.stats().records, 50);
+  EXPECT_EQ(writer.stats().raw_bytes, raw);
+
+  auto reader = BlockReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->stats().records, 50);
+  EXPECT_EQ(reader->stats().raw_bytes, raw);
+  EXPECT_EQ(reader->stats().blocks, writer.stats().blocks);
+  EXPECT_EQ(reader->stats().file_bytes, writer.stats().file_bytes);
+}
+
+TEST(BlockFileTest, FinishAndAppendAfterFinishAreGuarded) {
+  TempDir dir("io-test");
+  BlockWriter writer(dir.File("guard.blk"));
+  ASSERT_TRUE(writer.AppendRecord("x").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_FALSE(writer.AppendRecord("y").ok());
+  EXPECT_FALSE(writer.Finish().ok());
+}
+
+TEST(BlockFileTest, ZeroLengthRecordsAreRejected) {
+  // The payload has no per-record framing, so an empty record would be
+  // unrepresentable (record_count with no bytes behind it). KV layers
+  // frame records themselves — zero-byte keys/values round-trip fine
+  // (covered by the fuzz test); the raw empty record must be refused.
+  TempDir dir("io-test");
+  BlockWriter writer(dir.File("empty.blk"));
+  EXPECT_TRUE(writer.AppendRecord("").IsInvalidArgument());
+  ASSERT_TRUE(writer.AppendRecord("x").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.stats().records, 1);
+}
+
+}  // namespace
+}  // namespace dmb::io

@@ -17,6 +17,7 @@
 #include "common/random.h"
 #include "common/temp_dir.h"
 #include "core/kv.h"
+#include "io/run_file.h"
 #include "shuffle/collector.h"
 #include "shuffle/kv_arena.h"
 #include "shuffle/run_merger.h"
@@ -116,12 +117,14 @@ TEST(RunMergerTest, MergesMixedRunKindsGroupedAndSorted) {
   datampi::EncodeKV(&encoded, "a", "2");
   datampi::EncodeKV(&encoded, "b", "1");
 
-  // File run: (b,0) (d,4).
-  ByteBuffer file_bytes;
-  datampi::EncodeKV(&file_bytes, "b", "0");
-  datampi::EncodeKV(&file_bytes, "d", "4");
+  // File run: (b,0) (d,4), in the spill block format.
   const std::string path = dir.File("run.kv");
-  ASSERT_TRUE(WriteFileBytes(path, file_bytes.view()).ok());
+  {
+    io::SpillFileWriter writer(path);
+    ASSERT_TRUE(writer.Add("b", "0").ok());
+    ASSERT_TRUE(writer.Add("d", "4").ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
 
   RunMerger merger;
   merger.AddArenaRun(arena, std::move(slices));
@@ -379,6 +382,80 @@ TEST(CollectorTest, ZeroByteRecordsSurviveSpillAndMerge) {
   EXPECT_EQ(groups[1].first, "empty-value");
   EXPECT_EQ(groups[1].second, (std::vector<std::string>{""}));
   EXPECT_EQ(groups[2].first, "k");
+}
+
+// The grouped merge output must not depend on whether runs stayed
+// resident (kUnbounded), were spilled to block-compressed run files and
+// streamed back (kSpill under pressure), or sat under a kFail budget
+// that never fired — across codecs and block sizes.
+TEST(CollectorTest, StreamingAndInMemoryMergesAreEquivalent) {
+  struct Config {
+    BudgetAction action;
+    int64_t budget;
+    io::Codec codec;
+    int64_t block_bytes;
+  };
+  const std::vector<Config> configs = {
+      {BudgetAction::kUnbounded, 1 << 20, io::Codec::kLz, 64 << 10},
+      {BudgetAction::kSpill, 2048, io::Codec::kLz, 512},
+      {BudgetAction::kSpill, 2048, io::Codec::kNone, 256},
+      {BudgetAction::kSpill, 512, io::Codec::kLz, 64 << 10},
+      {BudgetAction::kFail, 1 << 20, io::Codec::kLz, 1024},
+  };
+  std::vector<std::vector<std::pair<std::string, std::vector<std::string>>>>
+      streams;
+  for (const Config& config : configs) {
+    CollectorOptions options;
+    options.num_partitions = 2;
+    options.partitioner = std::make_shared<datampi::HashPartitioner>();
+    options.memory_budget_bytes = config.budget;
+    options.on_budget = config.action;
+    options.spill_io.codec = config.codec;
+    options.spill_io.block_bytes = config.block_bytes;
+    PartitionedCollector collector(options);
+    Rng rng(1234);  // same record stream for every config
+    for (int i = 0; i < 3000; ++i) {
+      ASSERT_TRUE(collector
+                      .Add("key" + std::to_string(rng.Uniform(97)),
+                           "value-" + std::to_string(rng.Uniform(10)))
+                      .ok());
+    }
+    if (config.action == BudgetAction::kSpill) {
+      EXPECT_GT(collector.spill_count(), 0);
+    }
+    auto iterators = collector.FinishIterators();
+    ASSERT_TRUE(iterators.ok()) << iterators.status();
+    std::vector<std::pair<std::string, std::vector<std::string>>> stream;
+    for (auto& it : *iterators) {
+      std::string key;
+      std::vector<std::string> values;
+      while (it->NextGroup(&key, &values)) {
+        stream.emplace_back(key, values);
+      }
+      ASSERT_TRUE(it->status().ok()) << it->status();
+    }
+    streams.push_back(std::move(stream));
+  }
+  for (size_t i = 1; i < streams.size(); ++i) {
+    EXPECT_EQ(streams[i], streams[0]) << "config " << i;
+  }
+}
+
+TEST(CollectorTest, SpillFilesAreBlockCompressed) {
+  CollectorOptions options;
+  options.memory_budget_bytes = 4096;
+  options.spill_io.codec = io::Codec::kLz;
+  PartitionedCollector collector(options);
+  // Heavily repetitive values compress well.
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(
+        collector.Add("key" + std::to_string(i % 7), std::string(40, 'x'))
+            .ok());
+  }
+  EXPECT_GT(collector.spill_count(), 0);
+  EXPECT_GT(collector.spilled_raw_bytes(), 0);
+  EXPECT_LT(collector.spilled_bytes(), collector.spilled_raw_bytes() / 2)
+      << "LZ blocks should compress repetitive spill data";
 }
 
 TEST(CollectorTest, AddAfterFinishFails) {
