@@ -1,9 +1,11 @@
 // dmb_cli: command-line driver for the whole library.
 //
 // Functional mode (real data through the in-process engines):
-//   dmb_cli run <wordcount|grep|textsort|normalsort|kmeans|bayes>
+//   dmb_cli run <wordcount|grep|greptopk|textsort|normalsort|kmeans|bayes>
 //           <datampi|mapreduce|rddlite> [--size 8MB] [--parallelism 4]
-//           [--pattern ab]
+//           [--pattern ab] [--topk 10]
+// greptopk prints the uniform per-stage plan stats (shuffle bytes,
+// spills, wall time) after the summary line.
 //
 // Simulation mode (the paper's testbed):
 //   dmb_cli sim <textsort|normalsort|wordcount|grep|kmeans|bayes>
@@ -24,6 +26,7 @@
 #include "engine/registry.h"
 #include "simfw/experiment.h"
 #include "simfw/profiles.h"
+#include "workloads/grep_topk.h"
 #include "workloads/kmeans.h"
 #include "workloads/micro.h"
 #include "workloads/naive_bayes.h"
@@ -40,14 +43,16 @@ struct Args {
   int slots = 4;
   int64_t block_mb = 256;
   std::string pattern = "ab";
+  int topk = 10;
 };
 
 int Usage() {
   std::cerr
       << "usage:\n"
-      << "  dmb_cli run <wordcount|grep|textsort|normalsort|kmeans|bayes>"
+      << "  dmb_cli run <wordcount|grep|greptopk|textsort|normalsort|"
+      << "kmeans|bayes>"
       << " <datampi|mapreduce|rddlite> [--size 8MB] [--parallelism 4]"
-      << " [--pattern ab]\n"
+      << " [--pattern ab] [--topk 10]\n"
       << "  dmb_cli sim <textsort|normalsort|wordcount|grep|kmeans|bayes>"
       << " <hadoop|spark|datampi> [--gb 8] [--slots 4] [--block 256]\n";
   return 2;
@@ -74,6 +79,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->block_mb = std::stoll(value);
     } else if (flag == "--pattern") {
       args->pattern = value;
+    } else if (flag == "--topk") {
+      args->topk = std::stoi(value);
     } else {
       return false;
     }
@@ -104,6 +111,19 @@ int RunFunctional(const Args& args) {
               << ", engine " << (*eng)->name() << ")\n";
     return 0;
   };
+  // Per-stage breakdown of a multi-stage plan (uniform EngineStats).
+  auto print_stages = [](const engine::EngineStats& stats) {
+    std::cout << "  " << stats.stage_count << " stage(s) executed:\n";
+    for (const auto& stage : stats.stages) {
+      std::cout << "    " << stage.name << ": "
+                << FormatBytes(stage.shuffle_bytes) << " shuffled, "
+                << stage.spill_count << " spills ("
+                << FormatBytes(stage.spill_bytes_on_disk) << " on disk), "
+                << stage.output_records << " records out, "
+                << FormatSeconds(stage.wall_seconds)
+                << (stage.skipped ? " [skipped]" : "") << "\n";
+    }
+  };
 
   if (args.workload == "wordcount") {
     const auto lines = generator.GenerateLines(args.size);
@@ -123,6 +143,20 @@ int RunFunctional(const Args& args) {
                                std::to_string(r->total_matches) +
                                " occurrences"
                          : "");
+  }
+  if (args.workload == "greptopk") {
+    const auto lines = generator.GenerateLines(args.size);
+    sw.Reset();
+    engine::EngineStats stats;
+    auto r = workloads::GrepTopK(**eng, lines, args.pattern, args.topk,
+                                 config, &stats);
+    const int rc = report(
+        r.ok() ? Status::OK() : r.status(),
+        r.ok() ? "top " + std::to_string(r->top.size()) + " of " +
+                     std::to_string(r->total_matches) + " matches"
+               : "");
+    if (rc == 0) print_stages(stats);
+    return rc;
   }
   if (args.workload == "textsort") {
     const auto lines = generator.GenerateLines(args.size);

@@ -1,22 +1,28 @@
-// Sort pipeline: the paper's Normal Sort scenario on every engine.
+// Sort pipeline: the paper's Normal Sort scenario on every engine,
+// expressed as a multi-stage Plan (sample -> partition -> sort).
 //
 // 1. Generates text and converts it to a compressed sequence file
 //    (BigDataBench's ToSeqFile, GzipCodec stood in by DmbLz).
-// 2. Describes a range-partitioned total-order sort once as a JobSpec
-//    (sampled split points, as Hadoop's TotalOrderPartitioner).
-// 3. Runs it on every registered engine via the registry — no example
-//    calls a runtime directly — verifying that each engine's
-//    partition-concatenated output is globally sorted and that all
-//    engines produce byte-identical results.
-//
-// (DataMPI's checkpoint/restart fault-tolerance path is exercised by
-// tests/core_test.cc; this example sticks to the engine-portable API.)
+// 2. Describes the total-order sort as a two-stage Plan:
+//      * "sample" — a map/reduce step that thins the keys by hash,
+//        exactly what Hadoop's TotalOrderPartitioner sampling job does;
+//      * "sort"   — the range-partitioned sort. Its partitioner is not
+//        known at plan-build time: a state edge hands the sample stage's
+//        output to the sort stage's binder, which builds the
+//        RangePartitioner from the sampled keys.
+// 3. Runs the identical plan on every registered engine via the
+//    registry, verifying the concatenated output is globally sorted and
+//    byte-identical across engines, and printing the per-stage stats
+//    (wall time, shuffle bytes, spills). rddlite runs with a deliberately
+//    small memory budget in "Spark 0.9+" spill mode, so its wide stage
+//    spills run files instead of dying with OutOfMemory.
 //
 // Build & run:  ./build/sort_pipeline [size-bytes]
 
 #include <iostream>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/stopwatch.h"
 #include "common/units.h"
 #include "datagen/seqfile.h"
@@ -24,6 +30,68 @@
 #include "engine/registry.h"
 
 using namespace dmb;
+
+namespace {
+
+constexpr int kParallelism = 4;
+
+/// The two-stage total-order sort over `input`.
+runtime::Plan SortPlan(std::shared_ptr<const std::vector<datampi::KVPair>>
+                           input,
+                       int64_t memory_budget_bytes) {
+  runtime::Plan plan;
+
+  runtime::StageSpec sample;
+  sample.name = "sample";
+  sample.job.input = input;
+  sample.job.parallelism = kParallelism;
+  sample.job.map_fn = [](std::string_view key, std::string_view,
+                         engine::MapContext* ctx) -> Status {
+    // Deterministic ~1/64 key sample, as the TotalOrderPartitioner's
+    // sampling job.
+    if (Hash64(key) % 64 == 0) return ctx->Emit(key, "");
+    return Status::OK();
+  };
+  sample.job.reduce_fn = [](std::string_view key,
+                            const std::vector<std::string>&,
+                            engine::ReduceEmitter* out) -> Status {
+    out->Emit(key, "");
+    return Status::OK();
+  };
+  const int sample_id = plan.AddStage(std::move(sample));
+
+  runtime::StageSpec sort;
+  sort.name = "sort";
+  sort.job.input = input;
+  sort.job.parallelism = kParallelism;
+  sort.job.memory_budget_bytes = memory_budget_bytes;
+  sort.job.rdd_shuffle_spill = true;  // Spark 0.9+ mode: spill, not OOM
+  sort.job.map_fn = [](std::string_view key, std::string_view value,
+                       engine::MapContext* ctx) -> Status {
+    return ctx->Emit(key, value);
+  };
+  sort.job.reduce_fn = [](std::string_view key,
+                          const std::vector<std::string>& values,
+                          engine::ReduceEmitter* out) -> Status {
+    for (const auto& v : values) out->Emit(key, v);
+    return Status::OK();
+  };
+  sort.binder = [](const std::vector<datampi::KVPair>& sampled,
+                   engine::JobSpec* job) -> Status {
+    std::vector<std::string> keys;
+    keys.reserve(sampled.size());
+    for (const auto& kv : sampled) keys.push_back(kv.key);
+    job->partitioner = std::make_shared<datampi::RangePartitioner>(
+        datampi::RangePartitioner::FromSample(std::move(keys),
+                                              job->parallelism));
+    return Status::OK();
+  };
+  plan.AddStage(std::move(sort),
+                {{sample_id, runtime::EdgeKind::kState}});
+  return plan;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const int64_t bytes = argc > 1 ? ParseBytes(argv[1]) : 2 * kMiB;
@@ -42,39 +110,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 2. The sort as one engine-agnostic JobSpec: identity map, identity
-  //    reduce, range partitioner from sampled keys so concatenating the
-  //    output partitions in order is globally sorted.
-  constexpr int kParallelism = 4;
   std::vector<datampi::KVPair> input;
-  std::vector<std::string> keys;
   input.reserve(records->size());
   for (const auto& [k, v] : *records) {
     input.push_back(datampi::KVPair{k, v});
-    keys.push_back(k);
   }
-  engine::JobSpec spec;
-  spec.input = engine::PairsAsInput(std::move(input));
-  spec.parallelism = kParallelism;
-  spec.partitioner = std::make_shared<datampi::RangePartitioner>(
-      datampi::RangePartitioner::FromSample(keys, kParallelism));
-  spec.map_fn = [](std::string_view key, std::string_view value,
-                   engine::MapContext* ctx) -> Status {
-    return ctx->Emit(key, value);
-  };
-  spec.reduce_fn = [](std::string_view key,
-                      const std::vector<std::string>& values,
-                      engine::ReduceEmitter* out) -> Status {
-    for (const auto& v : values) out->Emit(key, v);
-    return Status::OK();
-  };
+  const auto shared_input = engine::PairsAsInput(std::move(input));
+  // A budget well below the shuffle volume: DataMPI and MapReduce spill
+  // past it as always; rddlite's wide stage spills too (Spark 0.9+
+  // mode) instead of failing with OutOfMemory.
+  const int64_t budget = std::max<int64_t>(64 << 10, bytes / 8);
 
-  // 3. Every registered engine runs the identical sort.
+  // 3. Every registered engine runs the identical two-stage plan.
   std::vector<datampi::KVPair> reference;
   for (const auto& info : engine::Engines()) {
     auto eng = info.make();
     Stopwatch sw;
-    auto result = eng->Run(spec);
+    auto result = eng->RunPlan(SortPlan(shared_input, budget));
     const double seconds = sw.ElapsedSeconds();
     if (!result.ok()) {
       std::cerr << info.name << " failed: " << result.status() << "\n";
@@ -95,9 +147,16 @@ int main(int argc, char** argv) {
     }
     std::cout << info.display_name << ": sorted " << sorted.size()
               << " records across " << result->partitions.size()
-              << " partitions (" << FormatBytes(result->stats.shuffle_bytes)
-              << " shuffled, " << result->stats.spill_count << " spills) in "
-              << FormatSeconds(seconds) << "\n";
+              << " partitions in " << FormatSeconds(seconds) << " ("
+              << result->stats.stage_count << " stages)\n";
+    for (const auto& stage : result->stats.stages) {
+      std::cout << "    stage " << stage.name << ": "
+                << FormatBytes(stage.shuffle_bytes) << " shuffled, "
+                << stage.spill_count << " spills ("
+                << FormatBytes(stage.spill_bytes_on_disk) << " on disk), "
+                << stage.output_records << " records out, "
+                << FormatSeconds(stage.wall_seconds) << "\n";
+    }
   }
   std::cout << "\nGlobal order verified on all " << engine::Engines().size()
             << " engines; outputs are byte-identical.\n";

@@ -9,17 +9,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# The whole tree must build warning-clean under -Wall -Wextra.
-cmake -B build -S . -DDMB_WERROR=ON
+# The whole tree must build warning-clean under -Wall -Wextra. The
+# build type is pinned: GCC 12 emits -Wrestrict false positives on
+# operator+(const char*, string&&) at -O3, so a stale Release cache
+# would turn them into -Werror failures the default RelWithDebInfo
+# (-O2) build never sees.
+cmake -B build -S . -DDMB_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 # The spill I/O layer does enough byte-twiddling (varints, checksums,
-# block codecs) that its tests also run under UBSan on every check.
-echo "check.sh: UBSan pass (io + shuffle tests)"
+# block codecs) that its tests also run under UBSan on every check; the
+# stage-DAG runtime joins them because its scheduler is the one
+# concurrent component above the engines.
+echo "check.sh: UBSan pass (io + shuffle + runtime tests)"
 cmake -B build-ubsan -S . -DDMB_SANITIZE=undefined -DDMB_WERROR=ON
-cmake --build build-ubsan -j --target io_test shuffle_test
-(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle)_test$')
+cmake --build build-ubsan -j --target io_test shuffle_test runtime_test
+(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle|runtime)_test$')
 
 BENCH_TARGETS=(
   fig2a_dfsio_tuning
@@ -41,10 +47,10 @@ for target in "${BENCH_TARGETS[@]}"; do
 done
 
 if [ "${CHECK_ASAN:-0}" = "1" ]; then
-  echo "check.sh: ASan pass (io + shuffle + engine + core tests)"
+  echo "check.sh: ASan pass (io + shuffle + engine + core + runtime tests)"
   cmake -B build-asan -S . -DDMB_ASAN=ON -DDMB_WERROR=ON
-  cmake --build build-asan -j --target io_test shuffle_test engine_test core_test
-  (cd build-asan && ctest --output-on-failure -R '^(io|shuffle|engine|core)_test$')
+  cmake --build build-asan -j --target io_test shuffle_test engine_test core_test runtime_test
+  (cd build-asan && ctest --output-on-failure -R '^(io|shuffle|engine|core|runtime)_test$')
 fi
 
 echo "check.sh: all green"

@@ -28,7 +28,10 @@ std::string FormatBytes(int64_t bytes) {
 std::string FormatSeconds(double seconds) {
   char buf[64];
   if (seconds < 0) {
-    return "-" + FormatSeconds(-seconds);
+    // snprintf like FormatBytes, not operator+(const char*, string&&):
+    // GCC 12 flags the latter with a -Wrestrict false positive at -O3.
+    std::snprintf(buf, sizeof(buf), "-%s", FormatSeconds(-seconds).c_str());
+    return buf;
   }
   if (seconds < 120.0) {
     std::snprintf(buf, sizeof(buf), "%.1f s", seconds);

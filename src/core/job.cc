@@ -6,6 +6,7 @@
 #include "common/byte_buffer.h"
 #include "common/logging.h"
 #include "common/temp_dir.h"
+#include "io/run_file.h"
 #include "mpilite/mpilite.h"
 #include "shuffle/kv_arena.h"
 
@@ -200,6 +201,10 @@ Status ReduceBuffer(const JobConfig& config, int a_rank,
   return Status::OK();
 }
 
+std::string CheckpointPath(const JobConfig& config, int a_rank) {
+  return config.checkpoint_dir + "/a-" + std::to_string(a_rank) + ".ckpt";
+}
+
 Status RunATask(const JobConfig& config, mpi::Comm& world, int a_rank,
                 SharedState* shared, const AGroupFn& a_fn) {
   KVBufferOptions options;
@@ -207,7 +212,14 @@ Status RunATask(const JobConfig& config, mpi::Comm& world, int a_rank,
   options.sort_by_key = config.sort_by_key;
   options.spill_io = config.spill_io;
   SpillableKVBuffer buffer(options);
-  std::string checkpoint;
+  // Checkpoints stream through the io block format (checksummed,
+  // optionally compressed blocks of EncodeKV records), so a restart can
+  // detect any corruption instead of replaying damaged shuffle data.
+  std::unique_ptr<io::SpillFileWriter> ckpt;
+  if (!config.checkpoint_dir.empty()) {
+    ckpt = std::make_unique<io::SpillFileWriter>(
+        CheckpointPath(config, a_rank), config.spill_io);
+  }
   int eos_seen = 0;
   while (eos_seen < config.num_o_ranks) {
     DMB_ASSIGN_OR_RETURN(mpi::Message msg, world.Recv());
@@ -216,15 +228,21 @@ Status RunATask(const JobConfig& config, mpi::Comm& world, int a_rank,
       continue;
     }
     DMB_CHECK(msg.tag == kDataTag);
-    if (!config.checkpoint_dir.empty()) {
-      checkpoint += msg.payload;  // concatenated batches stay decodable
+    if (ckpt != nullptr) {
+      // One decode feeds both sinks (no batch re-parse in the buffer).
+      KVBatchReader reader(msg.payload);
+      std::string_view key, value;
+      while (reader.Next(&key, &value)) {
+        DMB_RETURN_NOT_OK(ckpt->Add(key, value));
+        DMB_RETURN_NOT_OK(buffer.Add(key, value));
+      }
+      DMB_RETURN_NOT_OK(reader.status());
+    } else {
+      DMB_RETURN_NOT_OK(buffer.AddBatch(msg.payload));
     }
-    DMB_RETURN_NOT_OK(buffer.AddBatch(msg.payload));
   }
-  if (!config.checkpoint_dir.empty()) {
-    const std::string path =
-        config.checkpoint_dir + "/a-" + std::to_string(a_rank) + ".ckpt";
-    DMB_RETURN_NOT_OK(WriteFileBytes(path, checkpoint));
+  if (ckpt != nullptr) {
+    DMB_RETURN_NOT_OK(ckpt->Finish());
   }
   return ReduceBuffer(config, a_rank, &buffer, shared, a_fn);
 }
@@ -296,15 +314,22 @@ Result<JobResult> DataMPIJob::RunFromCheckpoint(AGroupFn a_fn) {
   mpi::World world(config_.num_a_ranks);
   Status run_status = world.Run([&](mpi::Comm& comm) -> Status {
     const int a_rank = comm.rank();
-    const std::string path =
-        config.checkpoint_dir + "/a-" + std::to_string(a_rank) + ".ckpt";
-    DMB_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+    // Open validates the container (magic, footer checksum); every block
+    // read below is CRC-verified, so a damaged checkpoint surfaces as
+    // Corruption instead of silently feeding the restarted A phase.
+    DMB_ASSIGN_OR_RETURN(
+        std::unique_ptr<io::StreamingRunReader> reader,
+        io::StreamingRunReader::Open(CheckpointPath(config, a_rank)));
     KVBufferOptions options;
     options.memory_budget_bytes = config.a_memory_budget_bytes;
     options.sort_by_key = config.sort_by_key;
     options.spill_io = config.spill_io;
     SpillableKVBuffer buffer(options);
-    DMB_RETURN_NOT_OK(buffer.AddBatch(bytes));
+    std::string_view key, value;
+    while (reader->Next(&key, &value)) {
+      DMB_RETURN_NOT_OK(buffer.Add(key, value));
+    }
+    DMB_RETURN_NOT_OK(reader->status());
     return ReduceBuffer(config, a_rank, &buffer, &shared, a_fn);
   });
   DMB_RETURN_NOT_OK(run_status);

@@ -42,7 +42,7 @@ std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
 
 }  // namespace
 
-Result<JobOutput> DataMPIEngine::Run(const JobSpec& spec) {
+Result<JobOutput> DataMPIEngine::RunStage(const JobSpec& spec) {
   DMB_RETURN_NOT_OK(ValidateSpec(spec));
   datampi::JobConfig config;
   config.num_o_ranks = spec.parallelism;
@@ -62,15 +62,24 @@ Result<JobOutput> DataMPIEngine::Run(const JobSpec& spec) {
     config.a_memory_budget_bytes = INT64_MAX;
   }
 
-  const std::vector<KVPair>& input = *spec.input;
   datampi::DataMPIJob job(config);
   DMB_ASSIGN_OR_RETURN(
       datampi::JobResult result,
       job.Run(
           [&](datampi::OContext* ctx) -> Status {
             OMapContext map_ctx(ctx);
+            // Pre-split inputs (narrow plan edges) pin split i to O task
+            // i; a flat input is sliced evenly across the O tasks.
+            const std::vector<KVPair>& input =
+                spec.input_splits
+                    ? (*spec.input_splits)[static_cast<size_t>(
+                          ctx->task_id())]
+                    : *spec.input;
             auto [begin, end] =
-                SplitRange(input.size(), ctx->task_id(), spec.parallelism);
+                spec.input_splits
+                    ? std::pair<size_t, size_t>{0, input.size()}
+                    : SplitRange(input.size(), ctx->task_id(),
+                                 spec.parallelism);
             for (size_t i = begin; i < end; ++i) {
               DMB_RETURN_NOT_OK(
                   spec.map_fn(input[i].key, input[i].value, &map_ctx));

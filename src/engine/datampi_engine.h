@@ -13,7 +13,7 @@ namespace dmb::engine {
 class DataMPIEngine final : public Engine {
  public:
   std::string name() const override { return "datampi"; }
-  Result<JobOutput> Run(const JobSpec& spec) override;
+  Result<JobOutput> RunStage(const JobSpec& spec) override;
 };
 
 }  // namespace dmb::engine

@@ -1,8 +1,13 @@
 #include "engine/engine.h"
 
+#include <utility>
+
+#include "runtime/scheduler.h"
+
 namespace dmb::engine {
 
-std::vector<KVPair> JobOutput::Merged() const {
+std::vector<KVPair> MergedPartitions(
+    const std::vector<std::vector<KVPair>>& partitions) {
   std::vector<KVPair> all;
   size_t total = 0;
   for (const auto& part : partitions) total += part.size();
@@ -13,9 +18,34 @@ std::vector<KVPair> JobOutput::Merged() const {
   return all;
 }
 
+std::vector<KVPair> JobOutput::Merged() const {
+  return MergedPartitions(partitions);
+}
+
+Result<JobOutput> Engine::Run(const JobSpec& spec) {
+  runtime::Plan plan;
+  runtime::StageSpec stage;
+  stage.name = "job";
+  stage.job = spec;
+  plan.AddStage(std::move(stage));
+  DMB_ASSIGN_OR_RETURN(runtime::PlanOutput out, RunPlan(plan));
+  JobOutput job;
+  job.partitions = std::move(out.partitions);
+  job.stats = std::move(out.stats);
+  return job;
+}
+
+Result<runtime::PlanOutput> Engine::RunPlan(const runtime::Plan& plan) {
+  return runtime::StageScheduler(this, plan).Execute();
+}
+
 Status ValidateSpec(const JobSpec& spec) {
-  if (!spec.input) {
+  if (!spec.input && !spec.input_splits) {
     return Status::InvalidArgument("JobSpec.input is not set");
+  }
+  if (spec.input && spec.input_splits) {
+    return Status::InvalidArgument(
+        "JobSpec.input and input_splits are both set");
   }
   if (!spec.map_fn) {
     return Status::InvalidArgument("JobSpec.map_fn is not set");
@@ -25,6 +55,11 @@ Status ValidateSpec(const JobSpec& spec) {
   }
   if (spec.parallelism < 1) {
     return Status::InvalidArgument("JobSpec.parallelism must be >= 1");
+  }
+  if (spec.input_splits &&
+      static_cast<int>(spec.input_splits->size()) != spec.parallelism) {
+    return Status::InvalidArgument(
+        "JobSpec.input_splits must hold exactly one split per task");
   }
   if (spec.memory_budget_bytes < 0) {
     return Status::InvalidArgument("JobSpec.memory_budget_bytes < 0");

@@ -1,128 +1,36 @@
 // The unified Engine abstraction: one job API over the three runtimes
 // under study (DataMPI, Hadoop-like MapReduce, Spark-like rddlite).
 //
-// A job is described once as a JobSpec — input records, a map (O) and a
-// reduce (A) function, a partitioner, an optional combiner, parallelism,
-// a spill policy and a memory budget — and runs unchanged on any Engine
-// implementation. JobOutput carries the per-partition key-value outputs
-// plus a unified EngineStats block, so workloads are written exactly once
-// and cross-engine agreement (the paper's like-for-like comparison) is a
+// A job is described once as a JobSpec (engine/types.h) and runs
+// unchanged on any Engine implementation. Since the stage-DAG runtime
+// (src/runtime) the engine surface is three methods:
+//
+//   * RunStage(JobSpec)  — the engine-specific primitive: one
+//     map/shuffle/reduce round. Each adapter implements exactly this.
+//   * RunPlan(Plan)      — executes a multi-stage plan; the default
+//     implementation drives the runtime::StageScheduler over RunStage,
+//     so every adapter gets multi-stage execution for free.
+//   * Run(JobSpec)       — the degenerate one-stage plan: it wraps the
+//     spec into a Plan and goes through RunPlan, so single jobs and
+//     pipelines share one code path (and one stats shape).
+//
+// JobOutput carries the per-partition key-value outputs plus a unified
+// EngineStats block, so workloads are written exactly once and
+// cross-engine agreement (the paper's like-for-like comparison) is a
 // property of the layer instead of an ad-hoc assertion per workload.
 
 #ifndef DATAMPI_BENCH_ENGINE_ENGINE_H_
 #define DATAMPI_BENCH_ENGINE_ENGINE_H_
 
-#include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "common/status.h"
-#include "core/kv.h"
-#include "core/partitioner.h"
-#include "io/block_file.h"
+#include "engine/types.h"
+#include "runtime/plan.h"
 
 namespace dmb::engine {
-
-using datampi::KVPair;
-
-/// \brief Map-side emitter handed to the user map function. Emit can fail
-/// (DataMPI pipelines batches to the A side while the map task runs).
-class MapContext {
- public:
-  virtual ~MapContext() = default;
-  virtual Status Emit(std::string_view key, std::string_view value) = 0;
-  /// \brief The logical map/O task executing this record's split.
-  virtual int task_id() const = 0;
-};
-
-/// \brief Reduce-side output collector.
-class ReduceEmitter {
- public:
-  virtual ~ReduceEmitter() = default;
-  virtual void Emit(std::string_view key, std::string_view value) = 0;
-};
-
-/// \brief Map function: one call per input record.
-using MapFn = std::function<Status(std::string_view key,
-                                   std::string_view value, MapContext* ctx)>;
-/// \brief Reduce function: one call per (key, values) group.
-using ReduceFn = std::function<Status(std::string_view key,
-                                      const std::vector<std::string>& values,
-                                      ReduceEmitter* out)>;
-/// \brief Optional combiner: (key, values) -> combined value.
-using CombinerFn = std::function<std::string(
-    std::string_view key, const std::vector<std::string>& values)>;
-
-/// \brief Where intermediate (shuffled) data may live.
-enum class SpillPolicy {
-  /// Engine default: MapReduce spills map runs to disk (Hadoop), DataMPI
-  /// spills only on A-side memory pressure, rddlite never spills (OOM).
-  kEngineDefault,
-  /// Keep intermediates memory-resident where the engine supports it.
-  kMemoryOnly,
-  /// Force the disk round trip where the engine supports it (Hadoop
-  /// style); rddlite has no spill path and ignores this.
-  kAlwaysSpill,
-};
-
-/// \brief One engine-agnostic job description.
-struct JobSpec {
-  /// Input records; every record is passed to `map_fn` exactly once.
-  /// Shared so one input can run on several engines without copying.
-  std::shared_ptr<const std::vector<KVPair>> input;
-  MapFn map_fn;
-  ReduceFn reduce_fn;
-  /// Map tasks == reduce tasks == output partitions == worker slots.
-  int parallelism = 4;
-  /// Partitioner for the shuffle; null = stable hash partitioning.
-  std::shared_ptr<const datampi::Partitioner> partitioner;
-  /// Optional combiner applied to intermediate data before the shuffle.
-  CombinerFn combiner;
-  /// Group keys in sorted order at the reduce side (all engines honour
-  /// sorted grouping; false permits arrival-order grouping where the
-  /// engine supports it).
-  bool sort_by_key = true;
-  SpillPolicy spill = SpillPolicy::kEngineDefault;
-  /// Intermediate-data memory budget in bytes; 0 = engine default. All
-  /// three engines route intermediates through the shared shuffle
-  /// collector, so the budget means one thing: resident intermediate
-  /// bytes before the engine's budget action. DataMPI spills its A-side
-  /// buffer past it, MapReduce spills map-side sorted runs (io.sort.mb),
-  /// rddlite fails the job with OutOfMemory (Spark 0.8 semantics).
-  int64_t memory_budget_bytes = 0;
-  /// Spill run-file block size in bytes; 0 = the io-layer default
-  /// (64 KiB). Every engine writes spills in the same checksummed block
-  /// format, so this also bounds reduce-side resident memory per run.
-  int64_t spill_block_bytes = 0;
-  /// Block codec for spill run files (io::Codec::kNone disables
-  /// compression; default LZ).
-  io::Codec spill_codec = io::Codec::kLz;
-};
-
-/// \brief Unified execution statistics (summed over tasks).
-struct EngineStats {
-  int64_t map_output_records = 0;   // map/O-side emitted records
-  int64_t shuffle_bytes = 0;        // bytes crossing the stage boundary
-  int64_t spill_count = 0;          // intermediate spills to disk
-  int64_t spill_bytes_raw = 0;      // spilled run bytes pre-compression
-  int64_t spill_bytes_on_disk = 0;  // spill run-file bytes on disk
-  int64_t blocks_read = 0;          // run-file blocks decoded in merges
-  int64_t reduce_input_records = 0; // reduce/A-side received records
-  int64_t output_records = 0;       // final emitted records
-};
-
-/// \brief Result of a run: per-partition outputs + stats. With a range
-/// partitioner, concatenating partitions in order is globally sorted.
-struct JobOutput {
-  std::vector<std::vector<KVPair>> partitions;
-  EngineStats stats;
-
-  /// \brief Concatenation of all partitions in partition order.
-  std::vector<KVPair> Merged() const;
-};
 
 /// \brief The engine interface every adapter implements.
 class Engine {
@@ -133,8 +41,18 @@ class Engine {
   /// "rddlite").
   virtual std::string name() const = 0;
 
-  /// \brief Runs the job to completion.
-  virtual Result<JobOutput> Run(const JobSpec& spec) = 0;
+  /// \brief Runs one job to completion as the degenerate one-stage plan.
+  Result<JobOutput> Run(const JobSpec& spec);
+
+  /// \brief Executes a multi-stage plan: independent stages run
+  /// concurrently, stage outputs feed consumers over narrow/wide/state
+  /// edges, and the output stage's partitions are returned with
+  /// per-stage stats.
+  virtual Result<runtime::PlanOutput> RunPlan(const runtime::Plan& plan);
+
+  /// \brief The engine-specific single-stage primitive: one
+  /// map/shuffle/reduce round over the spec's input (or input_splits).
+  virtual Result<JobOutput> RunStage(const JobSpec& spec) = 0;
 };
 
 /// \brief Shared spec validation used by every adapter.

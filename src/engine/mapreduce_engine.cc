@@ -36,7 +36,7 @@ class MRReduceEmitter final : public ReduceEmitter {
 
 }  // namespace
 
-Result<JobOutput> MapReduceEngine::Run(const JobSpec& spec) {
+Result<JobOutput> MapReduceEngine::RunStage(const JobSpec& spec) {
   DMB_RETURN_NOT_OK(ValidateSpec(spec));
   mapreduce::MRConfig config;
   config.num_map_tasks = spec.parallelism;
@@ -56,20 +56,24 @@ Result<JobOutput> MapReduceEngine::Run(const JobSpec& spec) {
     config.map_buffer_bytes = spec.memory_budget_bytes;
   }
 
+  auto map_fn = [&](std::string_view key, std::string_view value,
+                    mapreduce::MapContext* ctx) -> Status {
+    MRMapContext map_ctx(ctx);
+    return spec.map_fn(key, value, &map_ctx);
+  };
+  auto reduce_fn = [&](std::string_view key,
+                       const std::vector<std::string>& values,
+                       mapreduce::ReduceContext* ctx) -> Status {
+    MRReduceEmitter emitter(ctx);
+    return spec.reduce_fn(key, values, &emitter);
+  };
   DMB_ASSIGN_OR_RETURN(
       mapreduce::MRResult result,
-      mapreduce::RunMapReduceKV(
-          config, *spec.input,
-          [&](std::string_view key, std::string_view value,
-              mapreduce::MapContext* ctx) -> Status {
-            MRMapContext map_ctx(ctx);
-            return spec.map_fn(key, value, &map_ctx);
-          },
-          [&](std::string_view key, const std::vector<std::string>& values,
-              mapreduce::ReduceContext* ctx) -> Status {
-            MRReduceEmitter emitter(ctx);
-            return spec.reduce_fn(key, values, &emitter);
-          }));
+      spec.input_splits
+          ? mapreduce::RunMapReduceSplits(config, *spec.input_splits,
+                                          map_fn, reduce_fn)
+          : mapreduce::RunMapReduceKV(config, *spec.input, map_fn,
+                                      reduce_fn));
 
   JobOutput output;
   output.partitions = std::move(result.reduce_outputs);

@@ -63,27 +63,33 @@ class CollectingMapContext final : public MapContext {
 
 /// Narrow stage: applies the user map function (plus the map-side
 /// combiner, as Spark's combineByKey does) to this partition's slice of
-/// the input.
+/// the input — or, with pre-assigned splits (narrow plan edges), to the
+/// split pinned to this partition.
 class MapStageRDD final : public rddlite::RDD<StrPair> {
  public:
   MapStageRDD(rddlite::RddContext* ctx,
-              std::shared_ptr<const std::vector<KVPair>> input, int parts,
-              MapFn map_fn, CombinerFn combiner,
+              std::shared_ptr<const std::vector<KVPair>> input,
+              std::shared_ptr<const std::vector<std::vector<KVPair>>> splits,
+              int parts, MapFn map_fn, CombinerFn combiner,
               std::atomic<int64_t>* map_records)
       : RDD<StrPair>(ctx, parts),
         input_(std::move(input)),
+        splits_(std::move(splits)),
         map_fn_(std::move(map_fn)),
         combiner_(std::move(combiner)),
         map_records_(map_records) {}
 
  protected:
   Result<std::vector<StrPair>> DoCompute(int p) override {
+    const std::vector<KVPair>& records =
+        splits_ ? (*splits_)[static_cast<size_t>(p)] : *input_;
     const auto [begin, end] =
-        SplitRange(input_->size(), p, this->num_partitions());
+        splits_ ? std::pair<size_t, size_t>{0, records.size()}
+                : SplitRange(records.size(), p, this->num_partitions());
     CollectingMapContext ctx(p, combiner_);
     for (size_t i = begin; i < end; ++i) {
       DMB_RETURN_NOT_OK(
-          map_fn_((*input_)[i].key, (*input_)[i].value, &ctx));
+          map_fn_(records[i].key, records[i].value, &ctx));
     }
     map_records_->fetch_add(ctx.records(), std::memory_order_relaxed);
     return ctx.Take();
@@ -91,26 +97,48 @@ class MapStageRDD final : public rddlite::RDD<StrPair> {
 
  private:
   std::shared_ptr<const std::vector<KVPair>> input_;
+  std::shared_ptr<const std::vector<std::vector<KVPair>>> splits_;
   MapFn map_fn_;
   CombinerFn combiner_;
   std::atomic<int64_t>* map_records_;
 };
 
+/// Spill-mode counters surfaced into EngineStats.
+struct ShuffleSpillStats {
+  std::atomic<int64_t> spill_count{0};
+  std::atomic<int64_t> spill_bytes_raw{0};
+  std::atomic<int64_t> spill_bytes_on_disk{0};
+  std::atomic<int64_t> blocks_read{0};
+};
+
 /// Wide stage: materializes the parent once into the shared shuffle
-/// collector, which partitions on insert and sorts per partition. The
-/// resident bytes are charged against the executor memory budget —
-/// shuffle data is memory-resident in Spark 0.8, so exceeding it fails
-/// the job with OutOfMemory instead of spilling.
+/// collector, which partitions on insert and sorts per partition. Two
+/// modes:
+///   * Spark 0.8 (default): the resident bytes are reserved from the
+///     executor MemoryManager — shuffle data is memory-resident, so
+///     exceeding the budget fails the job with OutOfMemory.
+///   * Spark 0.9+ (spill_past_budget): the collector owns the budget
+///     and spills sorted, checksummed run files past it; partitions are
+///     then drained lazily through the streaming k-way merge, so the
+///     resident footprint stays bounded by runs x block size.
 class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
  public:
+  struct Options {
+    std::shared_ptr<const datampi::Partitioner> partitioner;
+    bool sort_by_key = true;
+    bool spill_past_budget = false;
+    int64_t memory_budget_bytes = 64 << 20;
+    io::BlockFileOptions spill_io;
+  };
+
   ShuffleStageRDD(rddlite::RDD<StrPair>::Ptr parent, int parts,
-                  std::shared_ptr<const datampi::Partitioner> partitioner,
-                  bool sort_by_key, std::atomic<int64_t>* shuffle_bytes)
+                  Options options, std::atomic<int64_t>* shuffle_bytes,
+                  ShuffleSpillStats* spill_stats)
       : RDD<StrPair>(parent->context(), parts),
         parent_(std::move(parent)),
-        partitioner_(std::move(partitioner)),
-        sort_by_key_(sort_by_key),
-        shuffle_bytes_(shuffle_bytes) {}
+        options_(std::move(options)),
+        shuffle_bytes_(shuffle_bytes),
+        spill_stats_(spill_stats) {}
 
   ~ShuffleStageRDD() override {
     if (store_bytes_ > 0) this->ctx_->memory()->Release(store_bytes_);
@@ -119,7 +147,32 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
  protected:
   Result<std::vector<StrPair>> DoCompute(int p) override {
     DMB_RETURN_NOT_OK(EnsureMaterialized());
-    return store_[static_cast<size_t>(p)];
+    // store_ / iterators_ are immutable after EnsureMaterialized (whose
+    // mutex is the visibility barrier), so partitions materialize
+    // concurrently; the lock below only guards iterator ownership.
+    if (!options_.spill_past_budget) {
+      return store_[static_cast<size_t>(p)];
+    }
+    // Spill mode: each partition is drained from its merge iterator
+    // exactly once, so only the consumer ever holds the decoded records.
+    std::unique_ptr<shuffle::KVGroupIterator> iterator;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      iterator = std::move(iterators_[static_cast<size_t>(p)]);
+    }
+    if (!iterator) {
+      return Status::Internal("rdd shuffle partition drained twice");
+    }
+    std::vector<StrPair> out;
+    std::string key;
+    std::vector<std::string> values;
+    while (iterator->NextGroup(&key, &values)) {
+      for (auto& v : values) out.emplace_back(key, std::move(v));
+    }
+    DMB_RETURN_NOT_OK(iterator->status());
+    spill_stats_->blocks_read.fetch_add(iterator->blocks_read(),
+                                        std::memory_order_relaxed);
+    return out;
   }
 
  private:
@@ -134,31 +187,56 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
   Status Materialize() {
     shuffle::CollectorOptions copts;
     copts.num_partitions = this->num_partitions();
-    copts.partitioner = partitioner_;
-    copts.sort_by_key = sort_by_key_;
-    // The executor MemoryManager owns the budget decision (it is shared
-    // with cached RDDs), so the collector itself never spills or fails.
-    copts.on_budget = shuffle::BudgetAction::kUnbounded;
-    shuffle::PartitionedCollector collector(std::move(copts));
+    copts.partitioner = options_.partitioner;
+    copts.sort_by_key = options_.sort_by_key;
+    if (options_.spill_past_budget) {
+      // Spark 0.9+ mode: the collector enforces the budget itself and
+      // spills run files (io block format) under pressure.
+      copts.on_budget = shuffle::BudgetAction::kSpill;
+      copts.memory_budget_bytes = options_.memory_budget_bytes;
+      copts.spill_io = options_.spill_io;
+      copts.file_prefix = "rdd-shuffle-";
+    } else {
+      // Spark 0.8: the executor MemoryManager owns the budget decision
+      // (it is shared with cached RDDs), so the collector itself never
+      // spills or fails.
+      copts.on_budget = shuffle::BudgetAction::kUnbounded;
+    }
+    collector_ =
+        std::make_unique<shuffle::PartitionedCollector>(std::move(copts));
     for (int pp = 0; pp < parent_->num_partitions(); ++pp) {
       DMB_ASSIGN_OR_RETURN(std::vector<StrPair> in,
                            parent_->ComputePartition(pp));
-      // Reserve before inserting, so an over-budget job fails without
-      // first making the whole partition resident.
-      int64_t delta = 0;
-      for (const auto& kv : in) {
-        delta += static_cast<int64_t>(kv.first.size() + kv.second.size()) +
-                 shuffle::PartitionedCollector::kRecordOverheadBytes;
+      if (!options_.spill_past_budget) {
+        // Reserve before inserting, so an over-budget job fails without
+        // first making the whole partition resident.
+        int64_t delta = 0;
+        for (const auto& kv : in) {
+          delta += static_cast<int64_t>(kv.first.size() + kv.second.size()) +
+                   shuffle::PartitionedCollector::kRecordOverheadBytes;
+        }
+        DMB_RETURN_NOT_OK(this->ctx_->memory()->Reserve(delta));
+        store_bytes_ += delta;
       }
-      DMB_RETURN_NOT_OK(this->ctx_->memory()->Reserve(delta));
-      store_bytes_ += delta;
       for (const auto& kv : in) {
-        DMB_RETURN_NOT_OK(collector.Add(kv.first, kv.second));
+        DMB_RETURN_NOT_OK(collector_->Add(kv.first, kv.second));
       }
     }
-    shuffle_bytes_->fetch_add(collector.encoded_input_bytes(),
+    shuffle_bytes_->fetch_add(collector_->encoded_input_bytes(),
                               std::memory_order_relaxed);
-    DMB_ASSIGN_OR_RETURN(auto iterators, collector.FinishIterators());
+    DMB_ASSIGN_OR_RETURN(auto iterators, collector_->FinishIterators());
+    spill_stats_->spill_count.fetch_add(collector_->spill_count(),
+                                        std::memory_order_relaxed);
+    spill_stats_->spill_bytes_raw.fetch_add(collector_->spilled_raw_bytes(),
+                                            std::memory_order_relaxed);
+    spill_stats_->spill_bytes_on_disk.fetch_add(collector_->spilled_bytes(),
+                                                std::memory_order_relaxed);
+    if (options_.spill_past_budget) {
+      // Keep the iterators (and the collector owning their runs); each
+      // partition streams out on first DoCompute.
+      iterators_ = std::move(iterators);
+      return Status::OK();
+    }
     store_.resize(static_cast<size_t>(this->num_partitions()));
     std::string key;
     std::vector<std::string> values;
@@ -172,12 +250,16 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
   }
 
   rddlite::RDD<StrPair>::Ptr parent_;
-  std::shared_ptr<const datampi::Partitioner> partitioner_;
-  bool sort_by_key_;
+  Options options_;
   std::atomic<int64_t>* shuffle_bytes_;
+  ShuffleSpillStats* spill_stats_;
   std::mutex mu_;
   bool materialized_ = false;
   Status store_status_;
+  /// Collector kept alive in spill mode: the merge iterators stream out
+  /// of its arena and run files.
+  std::unique_ptr<shuffle::PartitionedCollector> collector_;
+  std::vector<std::unique_ptr<shuffle::KVGroupIterator>> iterators_;
   std::vector<std::vector<StrPair>> store_;
   int64_t store_bytes_ = 0;
 };
@@ -195,7 +277,7 @@ class CollectingReduceEmitter final : public ReduceEmitter {
 
 }  // namespace
 
-Result<JobOutput> RddEngine::Run(const JobSpec& spec) {
+Result<JobOutput> RddEngine::RunStage(const JobSpec& spec) {
   DMB_RETURN_NOT_OK(ValidateSpec(spec));
   rddlite::RddContext::Options options;
   options.slots = spec.parallelism;
@@ -204,19 +286,27 @@ Result<JobOutput> RddEngine::Run(const JobSpec& spec) {
   }
   rddlite::RddContext ctx(options);
 
-  std::shared_ptr<const datampi::Partitioner> partitioner = spec.partitioner;
-  if (!partitioner) {
-    partitioner = std::make_shared<datampi::HashPartitioner>();
+  ShuffleStageRDD::Options shuffle_options;
+  shuffle_options.partitioner = spec.partitioner;
+  if (!shuffle_options.partitioner) {
+    shuffle_options.partitioner = std::make_shared<datampi::HashPartitioner>();
   }
+  shuffle_options.sort_by_key = spec.sort_by_key;
+  shuffle_options.spill_past_budget = spec.rdd_shuffle_spill;
+  if (spec.memory_budget_bytes > 0) {
+    shuffle_options.memory_budget_bytes = spec.memory_budget_bytes;
+  }
+  shuffle_options.spill_io = SpillIoOptions(spec);
 
   std::atomic<int64_t> map_records{0};
   std::atomic<int64_t> shuffle_bytes{0};
+  ShuffleSpillStats spill_stats;
   auto mapped = std::make_shared<MapStageRDD>(
-      &ctx, spec.input, spec.parallelism, spec.map_fn, spec.combiner,
-      &map_records);
+      &ctx, spec.input, spec.input_splits, spec.parallelism, spec.map_fn,
+      spec.combiner, &map_records);
   auto shuffled = std::make_shared<ShuffleStageRDD>(
-      mapped, spec.parallelism, partitioner, spec.sort_by_key,
-      &shuffle_bytes);
+      mapped, spec.parallelism, std::move(shuffle_options), &shuffle_bytes,
+      &spill_stats);
 
   JobOutput output;
   output.partitions.resize(static_cast<size_t>(spec.parallelism));
@@ -272,10 +362,13 @@ Result<JobOutput> RddEngine::Run(const JobSpec& spec) {
 
   output.stats.map_output_records = map_records.load();
   output.stats.shuffle_bytes = shuffle_bytes.load();
-  // rddlite has no spill path (it OOMs), so the spill I/O stats —
-  // spill_count, spill_bytes_raw/on_disk, blocks_read — stay 0 and
-  // JobSpec's spill_block_bytes/spill_codec knobs have nothing to tune.
-  output.stats.spill_count = 0;
+  // Without rdd_shuffle_spill rddlite has no spill path (it OOMs), so
+  // these stay 0; in Spark 0.9+ mode they report the wide stage's
+  // pressure spills and the streaming merge's block reads.
+  output.stats.spill_count = spill_stats.spill_count.load();
+  output.stats.spill_bytes_raw = spill_stats.spill_bytes_raw.load();
+  output.stats.spill_bytes_on_disk = spill_stats.spill_bytes_on_disk.load();
+  output.stats.blocks_read = spill_stats.blocks_read.load();
   output.stats.reduce_input_records = reduce_in.load();
   output.stats.output_records = reduce_out.load();
   return output;

@@ -1,7 +1,11 @@
 // Spark-like adapter: runs an engine::JobSpec as an rddlite lineage —
-// a narrow map stage, a wide shuffle stage charged against the executor
-// MemoryManager (OutOfMemory on overflow, as Spark 0.8), and a parallel
-// reduce over the shuffled partitions.
+// a narrow map stage, a wide shuffle stage, and a parallel reduce over
+// the shuffled partitions. The wide stage has two modes: memory-resident
+// and charged against the executor MemoryManager (OutOfMemory on
+// overflow, as Spark 0.8 — the paper's behaviour), or, with
+// JobSpec::rdd_shuffle_spill, routed through the spilling shuffle
+// collector so pressure writes checksummed run files instead ("Spark
+// 0.9+" external shuffle).
 
 #ifndef DATAMPI_BENCH_ENGINE_RDD_ENGINE_H_
 #define DATAMPI_BENCH_ENGINE_RDD_ENGINE_H_
@@ -15,7 +19,7 @@ namespace dmb::engine {
 class RddEngine final : public Engine {
  public:
   std::string name() const override { return "rddlite"; }
-  Result<JobOutput> Run(const JobSpec& spec) override;
+  Result<JobOutput> RunStage(const JobSpec& spec) override;
 };
 
 }  // namespace dmb::engine

@@ -62,11 +62,17 @@ struct RunStore {
 
 Result<MRResult> RunJob(const MRConfig& config,
                         const std::vector<KVPair>& input,
+                        const std::vector<std::vector<KVPair>>* splits,
                         const MapFn& map_fn, const ReduceFn& reduce_fn) {
   MRConfig cfg = config;
   DMB_CHECK(cfg.num_map_tasks >= 1);
   DMB_CHECK(cfg.num_reduce_tasks >= 1);
   DMB_CHECK(cfg.slots >= 1);
+  if (splits != nullptr &&
+      static_cast<int>(splits->size()) != cfg.num_map_tasks) {
+    return Status::InvalidArgument(
+        "RunMapReduceSplits: one split per map task required");
+  }
   std::shared_ptr<const datampi::Partitioner> partitioner = cfg.partitioner;
   if (!partitioner) {
     partitioner = std::make_shared<datampi::HashPartitioner>();
@@ -91,10 +97,18 @@ Result<MRResult> RunJob(const MRConfig& config,
     const size_t n = input.size();
     for (int t = 0; t < cfg.num_map_tasks; ++t) {
       pool.Submit([&, t] {
-        const size_t begin = n * static_cast<size_t>(t) /
-                             static_cast<size_t>(cfg.num_map_tasks);
-        const size_t end = n * static_cast<size_t>(t + 1) /
-                           static_cast<size_t>(cfg.num_map_tasks);
+        // Pre-split inputs (narrow plan edges) pin split t to map task
+        // t; a flat input is sliced contiguously.
+        const std::vector<KVPair>& task_input =
+            splits != nullptr ? (*splits)[static_cast<size_t>(t)] : input;
+        const size_t begin =
+            splits != nullptr ? 0
+                              : n * static_cast<size_t>(t) /
+                                    static_cast<size_t>(cfg.num_map_tasks);
+        const size_t end =
+            splits != nullptr ? task_input.size()
+                              : n * static_cast<size_t>(t + 1) /
+                                    static_cast<size_t>(cfg.num_map_tasks);
         shuffle::CollectorOptions copts;
         copts.num_partitions = cfg.num_reduce_tasks;
         copts.partitioner = partitioner;
@@ -111,7 +125,7 @@ Result<MRResult> RunJob(const MRConfig& config,
         MapContextImpl ctx(t, &collector);
         Status st;
         for (size_t i = begin; i < end && st.ok(); ++i) {
-          st = map_fn(input[i].key, input[i].value, &ctx);
+          st = map_fn(task_input[i].key, task_input[i].value, &ctx);
           if (st.ok()) st = ctx.status();
         }
         if (!st.ok()) {
@@ -237,14 +251,21 @@ Result<MRResult> RunMapReduce(const MRConfig& config,
   for (size_t i = 0; i < input.size(); ++i) {
     kv_input.push_back(KVPair{std::to_string(i), input[i]});
   }
-  return RunJob(config, kv_input, map_fn, reduce_fn);
+  return RunJob(config, kv_input, /*splits=*/nullptr, map_fn, reduce_fn);
 }
 
 Result<MRResult> RunMapReduceKV(const MRConfig& config,
                                 const std::vector<KVPair>& input,
                                 const MapFn& map_fn,
                                 const ReduceFn& reduce_fn) {
-  return RunJob(config, input, map_fn, reduce_fn);
+  return RunJob(config, input, /*splits=*/nullptr, map_fn, reduce_fn);
+}
+
+Result<MRResult> RunMapReduceSplits(
+    const MRConfig& config, const std::vector<std::vector<KVPair>>& splits,
+    const MapFn& map_fn, const ReduceFn& reduce_fn) {
+  static const std::vector<KVPair> kNoFlatInput;
+  return RunJob(config, kNoFlatInput, &splits, map_fn, reduce_fn);
 }
 
 }  // namespace dmb::mapreduce

@@ -111,6 +111,13 @@ Result<MRResult> RunMapReduceKV(const MRConfig& config,
                                 const MapFn& map_fn,
                                 const ReduceFn& reduce_fn);
 
+/// \brief Variant taking pre-assigned input splits: map task t consumes
+/// splits[t] (splits.size() must equal num_map_tasks). Used by the
+/// runtime's narrow plan edges to keep a parent stage's partitioning.
+Result<MRResult> RunMapReduceSplits(
+    const MRConfig& config, const std::vector<std::vector<KVPair>>& splits,
+    const MapFn& map_fn, const ReduceFn& reduce_fn);
+
 }  // namespace dmb::mapreduce
 
 #endif  // DATAMPI_BENCH_MAPREDUCE_MAPREDUCE_H_

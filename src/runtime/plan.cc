@@ -1,0 +1,83 @@
+#include "runtime/plan.h"
+
+namespace dmb::runtime {
+
+int Plan::AddStage(StageSpec spec, std::vector<StageInput> inputs) {
+  const int id = static_cast<int>(stages_.size());
+  if (spec.name.empty()) spec.name = "stage-" + std::to_string(id);
+  stages_.push_back(Stage{std::move(spec), std::move(inputs)});
+  return id;
+}
+
+Status Plan::Validate() const {
+  if (stages_.empty()) {
+    return Status::InvalidArgument("plan has no stages");
+  }
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const Stage& stage = stages_[i];
+    const std::string where = "stage '" + stage.spec.name + "'";
+    int state_edges = 0;
+    int narrow_edges = 0;
+    int wide_edges = 0;
+    for (const StageInput& in : stage.inputs) {
+      if (in.stage < 0 || in.stage >= static_cast<int>(i)) {
+        // AddStage appends, so a valid edge always points at an earlier
+        // id — which is what keeps every plan acyclic by construction.
+        return Status::InvalidArgument(
+            where + ": input edge references stage " +
+            std::to_string(in.stage) + " (must name an earlier stage)");
+      }
+      switch (in.kind) {
+        case EdgeKind::kState:
+          ++state_edges;
+          break;
+        case EdgeKind::kNarrow:
+          ++narrow_edges;
+          break;
+        case EdgeKind::kWide:
+          ++wide_edges;
+          break;
+      }
+    }
+    if (state_edges > 1) {
+      return Status::InvalidArgument(where + ": more than one state edge");
+    }
+    if (state_edges == 1 && !stage.spec.binder) {
+      return Status::InvalidArgument(
+          where + ": a state edge requires a binder to consume it");
+    }
+    if (narrow_edges > 0 && wide_edges > 0) {
+      return Status::InvalidArgument(
+          where + ": narrow and wide data edges cannot be mixed");
+    }
+    const bool has_data_edges = narrow_edges + wide_edges > 0;
+    if (has_data_edges &&
+        (stage.spec.job.input || stage.spec.job.input_splits)) {
+      return Status::InvalidArgument(
+          where + ": a stage fed by data edges cannot also carry a root "
+                  "input");
+    }
+    if (narrow_edges > 0 && !stage.spec.binder) {
+      // With a binder the parallelism may legitimately change at bind
+      // time; the scheduler re-checks split alignment at run time.
+      for (const StageInput& in : stage.inputs) {
+        if (in.kind != EdgeKind::kNarrow) continue;
+        const Stage& parent = stages_[static_cast<size_t>(in.stage)];
+        if (parent.spec.job.parallelism != stage.spec.job.parallelism) {
+          return Status::InvalidArgument(
+              where + ": narrow edge from '" + parent.spec.name +
+              "' needs equal parallelism (" +
+              std::to_string(parent.spec.job.parallelism) + " vs " +
+              std::to_string(stage.spec.job.parallelism) + ")");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<KVPair> PlanOutput::Merged() const {
+  return engine::MergedPartitions(partitions);
+}
+
+}  // namespace dmb::runtime

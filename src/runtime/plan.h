@@ -1,0 +1,117 @@
+// Multi-stage job plans: the shared stage-DAG runtime's job description.
+//
+// A Plan is a DAG of stages, each a JobSpec-shaped map/shuffle/reduce
+// step, connected by edges that say how a parent stage's output reaches
+// its consumer:
+//
+//   * narrow — partition-aligned, in-memory handoff: parent output
+//     partition p becomes the child's map split p (JobSpec.input_splits;
+//     requires equal parallelism). No gather, no re-split, no disk —
+//     the pipelined stage coupling the paper credits DataMPI for.
+//   * wide — a materialization barrier: every parent partition is
+//     gathered and re-split evenly across the child's map tasks, whose
+//     emissions then cross the child's own shuffle (partitioner / sort /
+//     combiner) — the Hadoop-style job boundary.
+//   * state — the parent's merged output is handed to the child's
+//     binder, not its record input. The binder rewrites the stage's
+//     JobSpec before it runs (e.g. a range partitioner built from a
+//     sampling stage, or an iteration's map function closed over the
+//     model folded from the previous round). A binder that clears
+//     map_fn turns the stage into a pass-through (used by converged
+//     iterations): the state parent's partitions are forwarded
+//     unchanged.
+//
+// Stages are appended with AddStage, whose input edges may only
+// reference already-added stages — a plan is acyclic by construction.
+// The last-added stage is the plan's output stage; every stage still
+// executes (independent branches run concurrently on the scheduler).
+
+#ifndef DATAMPI_BENCH_RUNTIME_PLAN_H_
+#define DATAMPI_BENCH_RUNTIME_PLAN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/types.h"
+
+namespace dmb::runtime {
+
+using datampi::KVPair;
+
+/// \brief How a parent stage's output reaches a consuming stage.
+enum class EdgeKind {
+  kNarrow,
+  kWide,
+  kState,
+};
+
+/// \brief One incoming edge of a stage.
+struct StageInput {
+  int stage = -1;
+  EdgeKind kind = EdgeKind::kWide;
+};
+
+/// \brief Late binding hook: called by the scheduler when the stage's
+/// inputs are ready, with the merged output of its state parent (empty
+/// when the stage has none). Mutates the stage's JobSpec copy before it
+/// runs; clearing job->map_fn skips the stage (pass-through — requires
+/// a state parent to forward, InvalidArgument otherwise). Binders along
+/// a state chain run strictly in dependency order, so they may share
+/// driver-side state through their closures.
+using StageBinder =
+    std::function<Status(const std::vector<KVPair>& state,
+                         engine::JobSpec* job)>;
+
+/// \brief One stage: a name, a JobSpec-shaped step and an optional
+/// binder. `job.input` may be left empty for stages fed by data edges.
+struct StageSpec {
+  std::string name;
+  engine::JobSpec job;
+  StageBinder binder;
+};
+
+/// \brief The stage DAG.
+class Plan {
+ public:
+  struct Stage {
+    StageSpec spec;
+    std::vector<StageInput> inputs;
+  };
+
+  /// \brief Appends a stage and returns its id. `inputs` may only
+  /// reference ids returned by earlier AddStage calls (checked by
+  /// Validate); an empty name defaults to "stage-<id>".
+  int AddStage(StageSpec spec, std::vector<StageInput> inputs = {});
+
+  /// \brief Structural validation: edge ids in range (and < the stage's
+  /// own id), at most one state edge per stage, no mixing of narrow and
+  /// wide data edges into one stage, state edges have a binder, stages
+  /// with data edges carry no root input, and narrow parents match the
+  /// consumer's parallelism (when no binder can change it).
+  Status Validate() const;
+
+  const std::vector<Stage>& stages() const { return stages_; }
+  bool empty() const { return stages_.empty(); }
+  /// \brief The stage whose output is the plan's output (last added).
+  int output_stage() const { return static_cast<int>(stages_.size()) - 1; }
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+/// \brief Result of a plan run: the output stage's partitions plus the
+/// unified stats summed over executed stages, with the per-stage
+/// breakdown in EngineStats::stages.
+struct PlanOutput {
+  std::vector<std::vector<KVPair>> partitions;
+  engine::EngineStats stats;
+
+  /// \brief Concatenation of all partitions in partition order.
+  std::vector<KVPair> Merged() const;
+};
+
+}  // namespace dmb::runtime
+
+#endif  // DATAMPI_BENCH_RUNTIME_PLAN_H_

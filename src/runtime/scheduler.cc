@@ -1,0 +1,244 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace dmb::runtime {
+
+namespace {
+
+using engine::JobOutput;
+using engine::JobSpec;
+
+/// Execution record of one stage.
+struct StageState {
+  int remaining_deps = 0;
+  bool skipped = false;
+  /// Shared because a pass-through stage forwards its state parent's
+  /// output without copying.
+  std::shared_ptr<JobOutput> output;
+  engine::StageStats stats;
+};
+
+/// Runs one stage: bind, assemble input, execute. `states` of all input
+/// stages are final (the scheduler only submits ready stages).
+Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
+                   const std::vector<std::unique_ptr<StageState>>& states,
+                   StageState* state) {
+  Stopwatch sw;
+  state->stats.name = stage.spec.name;
+  JobSpec job = stage.spec.job;
+
+  const StageState* state_parent = nullptr;
+  std::vector<const StageState*> data_parents;
+  bool narrow = false;
+  for (const StageInput& in : stage.inputs) {
+    const StageState* parent = states[static_cast<size_t>(in.stage)].get();
+    if (in.kind == EdgeKind::kState) {
+      state_parent = parent;
+    } else {
+      narrow = in.kind == EdgeKind::kNarrow;
+      data_parents.push_back(parent);
+    }
+  }
+
+  if (stage.spec.binder) {
+    std::vector<KVPair> bind_state;
+    if (state_parent != nullptr) bind_state = state_parent->output->Merged();
+    DMB_RETURN_NOT_OK(stage.spec.binder(bind_state, &job));
+    if (!job.map_fn) {
+      if (state_parent == nullptr) {
+        return Status::InvalidArgument(
+            "stage '" + stage.spec.name +
+            "': binder cleared map_fn but the stage has no state parent "
+            "to forward");
+      }
+      // Pass-through: the binder declined to run (e.g. a converged
+      // iteration); forward the state parent's partitions unchanged.
+      state->output = state_parent->output;
+      state->skipped = true;
+      state->stats.skipped = true;
+      state->stats.wall_seconds = sw.ElapsedSeconds();
+      return Status::OK();
+    }
+  }
+
+  if (!data_parents.empty()) {
+    if (narrow) {
+      std::shared_ptr<const std::vector<std::vector<KVPair>>> splits;
+      if (data_parents.size() == 1) {
+        // Zero-copy handoff: alias the parent's partitions directly.
+        const auto& parent_out = data_parents[0]->output;
+        splits = std::shared_ptr<const std::vector<std::vector<KVPair>>>(
+            parent_out, &parent_out->partitions);
+      } else {
+        auto combined = std::make_shared<std::vector<std::vector<KVPair>>>(
+            data_parents[0]->output->partitions.size());
+        for (const StageState* parent : data_parents) {
+          const auto& parts = parent->output->partitions;
+          if (parts.size() != combined->size()) {
+            return Status::InvalidArgument(
+                "stage '" + stage.spec.name +
+                "': narrow parents disagree on partition count");
+          }
+          for (size_t p = 0; p < parts.size(); ++p) {
+            auto& split = (*combined)[p];
+            split.insert(split.end(), parts[p].begin(), parts[p].end());
+          }
+        }
+        splits = std::move(combined);
+      }
+      if (static_cast<int>(splits->size()) != job.parallelism) {
+        return Status::InvalidArgument(
+            "stage '" + stage.spec.name + "': narrow input has " +
+            std::to_string(splits->size()) + " partitions but parallelism " +
+            std::to_string(job.parallelism));
+      }
+      job.input_splits = std::move(splits);
+    } else {
+      // Wide edge: materialization barrier — gather every parent
+      // partition and let the stage's own shuffle redistribute.
+      auto gathered = std::make_shared<std::vector<KVPair>>();
+      for (const StageState* parent : data_parents) {
+        for (const auto& part : parent->output->partitions) {
+          gathered->insert(gathered->end(), part.begin(), part.end());
+        }
+      }
+      job.input = std::move(gathered);
+    }
+  }
+
+  // Statuses propagate verbatim: a workload's error message survives the
+  // plan layer exactly as it survives a single Run.
+  DMB_ASSIGN_OR_RETURN(JobOutput out, engine->RunStage(job));
+  state->stats.shuffle_bytes = out.stats.shuffle_bytes;
+  state->stats.spill_count = out.stats.spill_count;
+  state->stats.spill_bytes_on_disk = out.stats.spill_bytes_on_disk;
+  state->stats.output_records = out.stats.output_records;
+  state->stats.wall_seconds = sw.ElapsedSeconds();
+  state->output = std::make_shared<JobOutput>(std::move(out));
+  return Status::OK();
+}
+
+/// Sums executed stages into the plan-wide stats and takes the output
+/// stage's partitions (moved when exclusively owned — a pass-through
+/// chain may still share them with the forwarding parent).
+PlanOutput AssembleOutput(
+    const Plan& plan,
+    const std::vector<std::unique_ptr<StageState>>& states) {
+  PlanOutput out;
+  out.stats.stage_count = 0;
+  for (const auto& state : states) {
+    const StageState& s = *state;
+    out.stats.stages.push_back(s.stats);
+    if (s.skipped) continue;
+    ++out.stats.stage_count;
+    const engine::EngineStats& st = s.output->stats;
+    out.stats.map_output_records += st.map_output_records;
+    out.stats.shuffle_bytes += st.shuffle_bytes;
+    out.stats.spill_count += st.spill_count;
+    out.stats.spill_bytes_raw += st.spill_bytes_raw;
+    out.stats.spill_bytes_on_disk += st.spill_bytes_on_disk;
+    out.stats.blocks_read += st.blocks_read;
+    out.stats.reduce_input_records += st.reduce_input_records;
+    out.stats.output_records += st.output_records;
+  }
+  auto& final_output =
+      states[static_cast<size_t>(plan.output_stage())]->output;
+  if (final_output.use_count() == 1) {
+    out.partitions = std::move(final_output->partitions);
+  } else {
+    out.partitions = final_output->partitions;
+  }
+  return out;
+}
+
+}  // namespace
+
+StageScheduler::StageScheduler(engine::Engine* engine, const Plan& plan,
+                               SchedulerOptions options)
+    : engine_(engine), plan_(plan), options_(options) {}
+
+Result<PlanOutput> StageScheduler::Execute() {
+  DMB_RETURN_NOT_OK(plan_.Validate());
+  const auto& stages = plan_.stages();
+  const size_t n = stages.size();
+
+  std::vector<std::unique_ptr<StageState>> states;
+  if (n == 1) {
+    // Fast path for the degenerate one-stage plan (every Engine::Run):
+    // no thread pool, no scheduling state — just the stage.
+    states.push_back(std::make_unique<StageState>());
+    DMB_RETURN_NOT_OK(RunOneStage(engine_, stages[0], states,
+                                  states[0].get()));
+    return AssembleOutput(plan_, states);
+  }
+  std::vector<std::vector<int>> children(n);
+  states.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    states.push_back(std::make_unique<StageState>());
+    // Count each parent once even when it feeds several edges (e.g. a
+    // stage consuming a parent as both data and state).
+    std::vector<int> parents;
+    for (const StageInput& in : stages[i].inputs) parents.push_back(in.stage);
+    std::sort(parents.begin(), parents.end());
+    parents.erase(std::unique(parents.begin(), parents.end()),
+                  parents.end());
+    states[i]->remaining_deps = static_cast<int>(parents.size());
+    for (int p : parents) children[static_cast<size_t>(p)].push_back(
+        static_cast<int>(i));
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  Status error;
+  int in_flight = 0;
+  size_t done_count = 0;
+
+  ThreadPool pool(std::max(1, options_.max_concurrent_stages));
+  // Submits stage `sid` (mu held). The stage task re-locks to publish
+  // its result and hand newly-ready children back to the pool.
+  std::function<void(int)> submit = [&](int sid) {
+    StageState* state = states[static_cast<size_t>(sid)].get();
+    ++in_flight;
+    pool.Submit([&, sid, state] {
+      Status st = RunOneStage(engine_, stages[static_cast<size_t>(sid)],
+                              states, state);
+      std::lock_guard<std::mutex> lock(mu);
+      ++done_count;
+      --in_flight;
+      if (!st.ok()) {
+        if (error.ok()) error = st;
+      } else if (error.ok()) {
+        for (int child : children[static_cast<size_t>(sid)]) {
+          StageState* cs = states[static_cast<size_t>(child)].get();
+          if (--cs->remaining_deps == 0) submit(child);
+        }
+      }
+      cv.notify_all();
+    });
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t i = 0; i < n; ++i) {
+      if (states[i]->remaining_deps == 0) submit(static_cast<int>(i));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] {
+      return in_flight == 0 && (done_count == n || !error.ok());
+    });
+  }
+  pool.Shutdown();
+  DMB_RETURN_NOT_OK(error);
+  return AssembleOutput(plan_, states);
+}
+
+}  // namespace dmb::runtime

@@ -1,0 +1,47 @@
+// StageScheduler: the one executor behind every engine's RunPlan.
+//
+// Stages run as tasks on a shared ThreadPool in dependency order:
+// a stage is submitted the moment its last input stage finishes, so
+// independent branches of the DAG execute concurrently while chains
+// stay sequential. Per stage the scheduler (1) hands the state parent's
+// merged output to the binder, (2) assembles the record input — narrow
+// edges share the parent's partitions as pre-aligned input_splits, wide
+// edges gather and re-split — and (3) calls Engine::RunStage. A failing
+// stage cancels everything not yet submitted and its status is returned
+// verbatim (workload errors keep their message across the plan layer).
+
+#ifndef DATAMPI_BENCH_RUNTIME_SCHEDULER_H_
+#define DATAMPI_BENCH_RUNTIME_SCHEDULER_H_
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "runtime/plan.h"
+
+namespace dmb::runtime {
+
+/// \brief Scheduler tuning.
+struct SchedulerOptions {
+  /// Stage tasks running at once (each stage still fans out its own
+  /// task-level parallelism inside the engine).
+  int max_concurrent_stages = 4;
+};
+
+/// \brief One-shot executor of a Plan against an Engine.
+class StageScheduler {
+ public:
+  StageScheduler(engine::Engine* engine, const Plan& plan,
+                 SchedulerOptions options = SchedulerOptions{});
+
+  /// \brief Runs every stage of the plan; returns the output stage's
+  /// partitions plus summed + per-stage stats.
+  Result<PlanOutput> Execute();
+
+ private:
+  engine::Engine* engine_;
+  const Plan& plan_;
+  SchedulerOptions options_;
+};
+
+}  // namespace dmb::runtime
+
+#endif  // DATAMPI_BENCH_RUNTIME_SCHEDULER_H_

@@ -1,0 +1,117 @@
+#include "workloads/grep_topk.h"
+
+#include <memory>
+
+#include "runtime/plan.h"
+
+namespace dmb::workloads {
+
+namespace {
+
+/// Key prefix ordering the top-k stage: ascending sort of
+/// (kCountCeiling - count) zero-padded is descending count order.
+constexpr int64_t kCountCeiling = int64_t{1} << 60;
+
+std::string InvertedCountKey(int64_t count, std::string_view line) {
+  std::string key = std::to_string(kCountCeiling - count);
+  key.insert(0, 19 - key.size(), '0');
+  key.push_back('\x01');
+  key.append(line);
+  return key;
+}
+
+/// The total-matches record sorts after every inverted-count key
+/// ('~' > any digit), so the reduce task sees it once the top list is
+/// already emitted.
+constexpr std::string_view kTotalKey = "~total";
+
+std::string SumCombiner(std::string_view,
+                        const std::vector<std::string>& values) {
+  int64_t total = 0;
+  for (const auto& v : values) total += std::stoll(v);
+  return std::to_string(total);
+}
+
+}  // namespace
+
+Result<GrepTopKResult> GrepTopK(engine::Engine& eng,
+                                const std::vector<std::string>& lines,
+                                const std::string& pattern, int k,
+                                const EngineConfig& config,
+                                engine::EngineStats* stats) {
+  if (k < 1) {
+    return Status::InvalidArgument("GrepTopK: k must be >= 1");
+  }
+  auto compiled = std::make_shared<GrepPattern>(pattern);
+  runtime::Plan plan;
+
+  // Stage 1: matched lines with summed occurrence counts.
+  runtime::StageSpec grep;
+  grep.name = "grep";
+  grep.job = BaseSpec(config);
+  grep.job.input = engine::LinesAsInput(lines);
+  grep.job.combiner = SumCombiner;
+  grep.job.map_fn = [compiled](std::string_view, std::string_view line,
+                               engine::MapContext* ctx) -> Status {
+    const int matches = compiled->CountMatches(line);
+    if (matches > 0) {
+      return ctx->Emit(line, std::to_string(matches));
+    }
+    return Status::OK();
+  };
+  grep.job.reduce_fn = engine::CombinerAsReduce(SumCombiner);
+  const int grep_id = plan.AddStage(std::move(grep));
+
+  // Stage 2: one sorted partition in descending-count order; the reduce
+  // task emits the first k groups plus the fold of the total record.
+  runtime::StageSpec topk;
+  topk.name = "topk";
+  topk.job = BaseSpec(config);
+  topk.job.parallelism = 1;
+  topk.job.map_fn = [](std::string_view line, std::string_view count,
+                       engine::MapContext* ctx) -> Status {
+    DMB_RETURN_NOT_OK(ctx->Emit(InvertedCountKey(std::stoll(
+                                    std::string(count)), line),
+                                count));
+    return ctx->Emit(kTotalKey, count);
+  };
+  topk.job.combiner = [](std::string_view key,
+                         const std::vector<std::string>& values) {
+    if (key == kTotalKey) return SumCombiner(key, values);
+    return values.front();
+  };
+  auto emitted = std::make_shared<int64_t>(0);
+  topk.job.reduce_fn = [k, emitted](std::string_view key,
+                                    const std::vector<std::string>& values,
+                                    engine::ReduceEmitter* out) -> Status {
+    if (key == kTotalKey) {
+      out->Emit(key, SumCombiner(key, values));
+      return Status::OK();
+    }
+    if (*emitted < k) {
+      ++*emitted;
+      out->Emit(key, values.front());
+    }
+    return Status::OK();
+  };
+  plan.AddStage(std::move(topk), {{grep_id, runtime::EdgeKind::kWide}});
+
+  DMB_ASSIGN_OR_RETURN(runtime::PlanOutput out, eng.RunPlan(plan));
+  if (stats != nullptr) *stats = out.stats;
+
+  GrepTopKResult result;
+  for (const auto& kv : out.Merged()) {
+    if (kv.key == kTotalKey) {
+      result.total_matches = std::stoll(kv.value);
+      continue;
+    }
+    const size_t sep = kv.key.find('\x01');
+    if (sep == std::string::npos) {
+      return Status::Corruption("GrepTopK: malformed top-k key");
+    }
+    result.top.emplace_back(kv.key.substr(sep + 1), std::stoll(kv.value));
+  }
+  return result;
+}
+
+}  // namespace dmb::workloads

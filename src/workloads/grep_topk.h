@@ -1,0 +1,41 @@
+// Grep -> top-k: a two-stage pipeline over the stage-DAG runtime.
+//
+// Stage 1 is the paper's Grep micro-benchmark (matching lines with
+// occurrence counts, map-side combined); stage 2 re-keys each matched
+// line by an order-inverted, zero-padded count and funnels everything
+// into a single sorted partition, so the reduce side streams the lines
+// in descending-count order and keeps the first k — Hadoop's classic
+// "second job for the top list" expressed as one Plan instead of two
+// hand-chained jobs.
+
+#ifndef DATAMPI_BENCH_WORKLOADS_GREP_TOPK_H_
+#define DATAMPI_BENCH_WORKLOADS_GREP_TOPK_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "workloads/micro.h"
+
+namespace dmb::workloads {
+
+/// \brief Top matched lines by occurrence count (descending, ties by
+/// line ascending) plus the total match count across all lines.
+struct GrepTopKResult {
+  std::vector<std::pair<std::string, int64_t>> top;
+  int64_t total_matches = 0;
+};
+
+/// \brief Runs the grep -> top-k plan; `stats` (optional) receives the
+/// plan-wide EngineStats including the per-stage breakdown.
+Result<GrepTopKResult> GrepTopK(engine::Engine& eng,
+                                const std::vector<std::string>& lines,
+                                const std::string& pattern, int k,
+                                const EngineConfig& config,
+                                engine::EngineStats* stats = nullptr);
+
+}  // namespace dmb::workloads
+
+#endif  // DATAMPI_BENCH_WORKLOADS_GREP_TOPK_H_

@@ -6,6 +6,7 @@
 
 #include "common/byte_buffer.h"
 #include "common/logging.h"
+#include "runtime/plan.h"
 
 namespace dmb::workloads {
 
@@ -184,33 +185,37 @@ KmeansModel KmeansIterationReference(const std::vector<SparseVector>& vectors,
 
 namespace {
 
-/// One iteration over a prebuilt index input (KmeansTrain reuses the
-/// same input across iterations).
-Result<KmeansModel> RunIteration(
-    engine::Engine& eng,
-    std::shared_ptr<const std::vector<KVPair>> input,
-    const std::vector<SparseVector>& vectors, const KmeansModel& model,
-    const EngineConfig& config) {
-  const auto norms = CentroidNorms(model);
-  engine::JobSpec spec = BaseSpec(config);
-  // Records are vector indexes; the map function looks them up. Local
-  // aggregation happens in the engines' map-side combiner pass (per
-  // pipelined batch on DataMPI, per spill run on MapReduce, per
-  // partition on rddlite), which folds per-vector partials into
-  // per-cluster partials before they cross the shuffle.
-  spec.input = std::move(input);
-  spec.combiner = MergePartialStrings;
-  spec.map_fn = [&vectors, &model, &norms](
-                    std::string_view, std::string_view value,
-                    engine::MapContext* ctx) -> Status {
+/// Builds one iteration's map function: assign each vector to its
+/// nearest centroid of `model` and emit the per-vector partial. The
+/// model (and its norms) are captured by value — the chain state keeps
+/// mutating after binding.
+engine::MapFn AssignMapFn(const std::vector<SparseVector>& vectors,
+                          KmeansModel model) {
+  auto norms = CentroidNorms(model);
+  return [&vectors, model = std::move(model), norms = std::move(norms)](
+             std::string_view, std::string_view value,
+             engine::MapContext* ctx) -> Status {
     const size_t i = std::stoull(std::string(value));
     const int c = NearestCentroid(vectors[i], model, norms);
     return ctx->Emit(std::to_string(c),
                      EncodePartial(PartialOfVector(vectors[i])));
   };
+}
+
+/// The JobSpec shape shared by every iteration stage. Records are vector
+/// indexes; the map function looks them up. Local aggregation happens in
+/// the engines' map-side combiner pass (per pipelined batch on DataMPI,
+/// per spill run on MapReduce, per partition on rddlite), which folds
+/// per-vector partials into per-cluster partials before they cross the
+/// shuffle.
+engine::JobSpec IterationSpec(
+    const EngineConfig& config,
+    std::shared_ptr<const std::vector<KVPair>> input) {
+  engine::JobSpec spec = BaseSpec(config);
+  spec.input = std::move(input);
+  spec.combiner = MergePartialStrings;
   spec.reduce_fn = engine::CombinerAsReduce(MergePartialStrings);
-  DMB_ASSIGN_OR_RETURN(engine::JobOutput out, eng.Run(spec));
-  return ModelFromPartials(out.Merged(), model);
+  return spec;
 }
 
 }  // namespace
@@ -219,27 +224,78 @@ Result<KmeansModel> KmeansIteration(engine::Engine& eng,
                                     const std::vector<SparseVector>& vectors,
                                     const KmeansModel& model,
                                     const EngineConfig& config) {
-  return RunIteration(eng, engine::IndexInput(vectors.size()), vectors,
-                      model, config);
+  engine::JobSpec spec =
+      IterationSpec(config, engine::IndexInput(vectors.size()));
+  spec.map_fn = AssignMapFn(vectors, model);
+  DMB_ASSIGN_OR_RETURN(engine::JobOutput out, eng.Run(spec));
+  return ModelFromPartials(out.Merged(), model);
 }
 
 Result<std::pair<KmeansModel, int>> KmeansTrain(
     engine::Engine& eng, const std::vector<SparseVector>& vectors, int k,
     uint32_t dim, double threshold, int max_iterations,
     const EngineConfig& config) {
-  KmeansModel model = InitialCentroids(vectors, k, dim);
-  const auto input = engine::IndexInput(vectors.size());
-  int iterations = 0;
-  while (iterations < max_iterations) {
-    DMB_ASSIGN_OR_RETURN(
-        KmeansModel next,
-        RunIteration(eng, input, vectors, model, config));
-    ++iterations;
-    const double shift = MaxCentroidShift(model, next);
-    model = std::move(next);
-    if (shift < threshold) break;
+  if (max_iterations < 1) {
+    return std::make_pair(InitialCentroids(vectors, k, dim), 0);
   }
-  return std::make_pair(std::move(model), iterations);
+  const auto input = engine::IndexInput(vectors.size());
+
+  // The whole training run is ONE plan: max_iterations stages chained by
+  // state edges. Each stage's binder folds the previous stage's partials
+  // into the model, checks convergence, and either binds the next
+  // assignment map or skips the stage (pass-through) — the scheduler
+  // runs binders of a state chain strictly in dependency order, so they
+  // may share the driver-side model through this chain struct.
+  struct Chain {
+    KmeansModel model;
+    double threshold = 0.0;
+    bool converged = false;
+    int iterations = 0;
+  };
+  auto chain = std::make_shared<Chain>();
+  chain->model = InitialCentroids(vectors, k, dim);
+  chain->threshold = threshold;
+  chain->iterations = 1;  // stage 0 always runs
+
+  runtime::Plan plan;
+  int prev = -1;
+  for (int i = 0; i < max_iterations; ++i) {
+    runtime::StageSpec stage;
+    stage.name = "kmeans-iter-" + std::to_string(i);
+    stage.job = IterationSpec(config, input);
+    std::vector<runtime::StageInput> inputs;
+    if (i == 0) {
+      stage.job.map_fn = AssignMapFn(vectors, chain->model);
+    } else {
+      inputs.push_back({prev, runtime::EdgeKind::kState});
+      stage.binder = [&vectors, chain](const std::vector<KVPair>& state,
+                                       engine::JobSpec* job) -> Status {
+        if (chain->converged) {
+          job->map_fn = nullptr;  // pass the final partials through
+          return Status::OK();
+        }
+        KmeansModel next = ModelFromPartials(state, chain->model);
+        const double shift = MaxCentroidShift(chain->model, next);
+        chain->model = std::move(next);
+        if (shift < chain->threshold) {
+          chain->converged = true;
+          job->map_fn = nullptr;
+          return Status::OK();
+        }
+        ++chain->iterations;
+        job->map_fn = AssignMapFn(vectors, chain->model);
+        return Status::OK();
+      };
+    }
+    prev = plan.AddStage(std::move(stage), std::move(inputs));
+  }
+
+  DMB_ASSIGN_OR_RETURN(runtime::PlanOutput out, eng.RunPlan(plan));
+  // The plan output is the last executed iteration's partials (skipped
+  // stages forward them). Folding is idempotent, so this is exact both
+  // when training converged and when it ran out of iterations.
+  KmeansModel model = ModelFromPartials(out.Merged(), chain->model);
+  return std::make_pair(std::move(model), chain->iterations);
 }
 
 double MaxCentroidShift(const KmeansModel& a, const KmeansModel& b) {

@@ -59,6 +59,7 @@ engine::JobSpec BaseSpec(const EngineConfig& config) {
   engine::JobSpec spec;
   spec.parallelism = config.parallelism;
   spec.memory_budget_bytes = config.memory_budget_bytes;
+  spec.rdd_shuffle_spill = config.rdd_shuffle_spill;
   return spec;
 }
 

@@ -27,6 +27,10 @@ struct EngineConfig {
   /// with OutOfMemory, the functional-plane analogue of the paper's
   /// Spark Normal Sort OOMs. DataMPI spills to disk past it instead.
   int64_t memory_budget_bytes = 0;
+  /// "Spark 0.9+" mode: rddlite's wide stage spills checksummed run
+  /// files past the budget instead of failing with OutOfMemory
+  /// (JobSpec::rdd_shuffle_spill). No effect on the other engines.
+  bool rdd_shuffle_spill = false;
 };
 
 /// \brief JobSpec knobs shared by every workload below.

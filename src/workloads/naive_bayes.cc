@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "runtime/plan.h"
 #include "workloads/text_utils.h"
 
 namespace dmb::workloads {
@@ -15,14 +16,30 @@ using datampi::KVPair;
 // Count keys on the wire:
 //   "t<label>\x01<term>" -> term count within class
 //   "d<label>"           -> document count of class
+//   "s<label>"           -> per-class term total (summary stage)
 std::string TermKey(int label, std::string_view term) {
-  std::string key = "t" + std::to_string(label);
+  std::string key;
+  key.push_back('t');
+  key.append(std::to_string(label));
   key.push_back('\x01');
   key.append(term);
   return key;
 }
 
-std::string DocKey(int label) { return "d" + std::to_string(label); }
+std::string DocKey(int label) {
+  std::string key;
+  key.push_back('d');
+  key.append(std::to_string(label));
+  return key;
+}
+
+std::string TotalKey(std::string_view label) {
+  std::string key;
+  key.reserve(label.size() + 1);
+  key.push_back('s');
+  key.append(label);
+  return key;
+}
 
 std::string SumCombiner(std::string_view,
                         const std::vector<std::string>& values) {
@@ -53,8 +70,24 @@ Status ApplyCountToModel(NaiveBayesModel* model, std::string_view key,
 Result<NaiveBayesModel> ModelFromCounts(const std::vector<KVPair>& counts,
                                         int num_classes) {
   NaiveBayesModel model(num_classes);
+  std::vector<int64_t> totals;  // per-class term totals from "s" records
   for (const auto& kv : counts) {
+    if (!kv.key.empty() && kv.key[0] == 's') {
+      const int label = std::stoi(kv.key.substr(1));
+      if (label < 0 || label >= num_classes) {
+        return Status::Corruption("bad NB summary label");
+      }
+      if (totals.empty()) totals.assign(static_cast<size_t>(num_classes), 0);
+      totals[static_cast<size_t>(label)] += std::stoll(kv.value);
+      continue;
+    }
     DMB_RETURN_NOT_OK(ApplyCountToModel(&model, kv.key, std::stoll(kv.value)));
+  }
+  // The summary stage's per-class totals must agree with the detailed
+  // term counts they were derived from — an end-to-end integrity check
+  // on the plan's narrow handoff.
+  if (!totals.empty() && totals != model.term_totals()) {
+    return Status::Corruption("NB summary totals disagree with term counts");
   }
   return model;
 }
@@ -144,11 +177,19 @@ Result<NaiveBayesModel> TrainNaiveBayes(engine::Engine& eng,
                                         const std::vector<LabeledDoc>& docs,
                                         int num_classes,
                                         const EngineConfig& config) {
-  engine::JobSpec spec = BaseSpec(config);
-  spec.input = engine::IndexInput(docs.size());
-  spec.combiner = SumCombiner;
-  spec.map_fn = [&docs](std::string_view, std::string_view value,
-                        engine::MapContext* ctx) -> Status {
+  // Mahout-style two-job pipeline as one plan: a counting stage builds
+  // the per-class term/document counts, then a summary stage — fed over
+  // a narrow edge, so each count partition stays pinned to its task —
+  // passes the counts through and folds per-class term totals on top.
+  runtime::Plan plan;
+
+  runtime::StageSpec count;
+  count.name = "nb-count";
+  count.job = BaseSpec(config);
+  count.job.input = engine::IndexInput(docs.size());
+  count.job.combiner = SumCombiner;
+  count.job.map_fn = [&docs](std::string_view, std::string_view value,
+                             engine::MapContext* ctx) -> Status {
     const auto& doc = docs[std::stoull(std::string(value))];
     DMB_RETURN_NOT_OK(ctx->Emit(DocKey(doc.label), "1"));
     Status st;
@@ -157,8 +198,45 @@ Result<NaiveBayesModel> TrainNaiveBayes(engine::Engine& eng,
     });
     return st;
   };
-  spec.reduce_fn = engine::CombinerAsReduce(SumCombiner);
-  DMB_ASSIGN_OR_RETURN(engine::JobOutput out, eng.Run(spec));
+  count.job.reduce_fn = engine::CombinerAsReduce(SumCombiner);
+  const int count_id = plan.AddStage(std::move(count));
+
+  runtime::StageSpec summary;
+  summary.name = "nb-totals";
+  summary.job = BaseSpec(config);
+  summary.job.map_fn = [](std::string_view key, std::string_view value,
+                          engine::MapContext* ctx) -> Status {
+    DMB_RETURN_NOT_OK(ctx->Emit(key, value));
+    if (!key.empty() && key[0] == 't') {
+      const size_t sep = key.find('\x01');
+      if (sep == std::string_view::npos) {
+        return Status::Corruption("bad NB term key");
+      }
+      return ctx->Emit(TotalKey(key.substr(1, sep - 1)), value);
+    }
+    return Status::OK();
+  };
+  // Count keys are unique after the counting stage, so only the summary
+  // keys actually fold; everything else passes through unchanged.
+  summary.job.combiner = [](std::string_view key,
+                            const std::vector<std::string>& values) {
+    if (!key.empty() && key[0] == 's') return SumCombiner(key, values);
+    return values.front();
+  };
+  summary.job.reduce_fn = [](std::string_view key,
+                             const std::vector<std::string>& values,
+                             engine::ReduceEmitter* out) -> Status {
+    if (!key.empty() && key[0] == 's') {
+      out->Emit(key, SumCombiner(key, values));
+      return Status::OK();
+    }
+    for (const auto& v : values) out->Emit(key, v);
+    return Status::OK();
+  };
+  plan.AddStage(std::move(summary),
+                {{count_id, runtime::EdgeKind::kNarrow}});
+
+  DMB_ASSIGN_OR_RETURN(runtime::PlanOutput out, eng.RunPlan(plan));
   return ModelFromCounts(out.Merged(), num_classes);
 }
 

@@ -17,6 +17,15 @@
 namespace dmb::datampi {
 namespace {
 
+/// "<prefix><n>" test keys. Built by append instead of
+/// operator+(const char*, std::string&&), which GCC 12 flags with a
+/// -Wrestrict false positive at -O3.
+std::string NumberedKey(const char* prefix, int64_t n) {
+  std::string key(prefix);
+  key.append(std::to_string(n));
+  return key;
+}
+
 // ---- KV batch encoding ----
 
 TEST(KvTest, BatchRoundTrip) {
@@ -58,7 +67,7 @@ TEST(PartitionerTest, HashIsStableAndInRange) {
   HashPartitioner hp;
   for (int parts : {1, 2, 7, 32}) {
     for (int i = 0; i < 1000; ++i) {
-      const std::string key = "key-" + std::to_string(i);
+      const std::string key = NumberedKey("key-", i);
       const int p = hp.Partition(key, parts);
       EXPECT_GE(p, 0);
       EXPECT_LT(p, parts);
@@ -145,7 +154,8 @@ TEST(KvBufferTest, SpillsUnderMemoryPressureAndMergesCorrectly) {
   Rng rng(5);
   std::map<std::string, int> expected;
   for (int i = 0; i < 3000; ++i) {
-    const std::string key = "k" + std::to_string(rng.Uniform(200));
+    const std::string key =
+        NumberedKey("k", static_cast<int64_t>(rng.Uniform(200)));
     ASSERT_TRUE(buffer.Add(key, "v").ok());
     ++expected[key];
   }
@@ -170,7 +180,7 @@ TEST(KvBufferTest, FifoModePreservesArrivalOrder) {
   options.sort_by_key = false;
   SpillableKVBuffer buffer(options);
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(buffer.Add("k" + std::to_string(9 - i), std::to_string(i))
+    ASSERT_TRUE(buffer.Add(NumberedKey("k", 9 - i), std::to_string(i))
                     .ok());
   }
   auto groups = buffer.Finish();
@@ -199,7 +209,7 @@ TEST(KvBufferTest, UnsortedModeNeverSpillsEvenUnderPressure) {
   SpillableKVBuffer buffer(options);
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(
-        buffer.Add("k" + std::to_string(499 - i), std::to_string(i)).ok());
+        buffer.Add(NumberedKey("k", 499 - i), std::to_string(i)).ok());
   }
   EXPECT_EQ(buffer.spill_count(), 0);
   EXPECT_EQ(buffer.spilled_bytes(), 0);
@@ -209,7 +219,7 @@ TEST(KvBufferTest, UnsortedModeNeverSpillsEvenUnderPressure) {
   std::vector<std::string> values;
   int i = 0;
   while ((*groups)->NextGroup(&key, &values)) {
-    EXPECT_EQ(key, "k" + std::to_string(499 - i)) << "arrival order";
+    EXPECT_EQ(key, NumberedKey("k", 499 - i)) << "arrival order";
     EXPECT_EQ(values, std::vector<std::string>{std::to_string(i)});
     ++i;
   }
@@ -371,7 +381,8 @@ TEST(DataMPIJobTest, RangePartitionedSortIsGloballyOrdered) {
   Rng rng(23);
   std::vector<std::string> keys;
   for (int i = 0; i < 2000; ++i) {
-    keys.push_back("k" + std::to_string(rng.Uniform(100000)));
+    keys.push_back(
+        NumberedKey("k", static_cast<int64_t>(rng.Uniform(100000))));
   }
   JobConfig config;
   config.num_o_ranks = 4;
@@ -416,7 +427,7 @@ TEST(DataMPIJobTest, CheckpointRestartReproducesAOutput) {
   auto first = job.Run(
       [](OContext* ctx) -> Status {
         for (int i = 0; i < 50; ++i) {
-          DMB_RETURN_NOT_OK(ctx->Emit("k" + std::to_string(i % 7), "v"));
+          DMB_RETURN_NOT_OK(ctx->Emit(NumberedKey("k", i % 7), "v"));
         }
         return Status::OK();
       },
@@ -433,6 +444,46 @@ TEST(DataMPIJobTest, CheckpointRestartReproducesAOutput) {
   EXPECT_EQ(sort_pairs(first->Merged()), sort_pairs(second->Merged()));
 }
 
+TEST(DataMPIJobTest, CorruptCheckpointFailsRestartWithChecksumError) {
+  TempDir dir("dmb-ckpt-corrupt");
+  JobConfig config;
+  config.num_o_ranks = 2;
+  config.num_a_ranks = 2;
+  config.checkpoint_dir = dir.path().string();
+  DataMPIJob job(config);
+  auto a_fn = [](std::string_view key, const std::vector<std::string>& values,
+                 AEmitter* out) -> Status {
+    out->Emit(key, std::to_string(values.size()));
+    return Status::OK();
+  };
+  auto first = job.Run(
+      [](OContext* ctx) -> Status {
+        for (int i = 0; i < 200; ++i) {
+          DMB_RETURN_NOT_OK(
+              ctx->Emit(NumberedKey("key-", i % 13), "payload"));
+        }
+        return Status::OK();
+      },
+      a_fn);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  // Flip one byte in the middle of one A task's checkpoint file. The
+  // checkpoints are io block files, so the restart must detect the
+  // damage (block CRC / footer validation) instead of replaying it.
+  const std::string path = dir.File("a-0.ckpt");
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  ASSERT_GT(bytes->size(), 0u);
+  (*bytes)[bytes->size() / 2] ^= 0x40;
+  ASSERT_TRUE(WriteFileBytes(path, *bytes).ok());
+
+  auto restarted = job.RunFromCheckpoint(a_fn);
+  ASSERT_FALSE(restarted.ok()) << "corrupt checkpoint must not restart";
+  EXPECT_TRUE(restarted.status().code() == StatusCode::kCorruption ||
+              restarted.status().IsIOError())
+      << restarted.status();
+}
+
 TEST(DataMPIJobTest, SpillingJobStillProducesCorrectOutput) {
   JobConfig config;
   config.num_o_ranks = 2;
@@ -443,7 +494,7 @@ TEST(DataMPIJobTest, SpillingJobStillProducesCorrectOutput) {
       [](OContext* ctx) -> Status {
         for (int i = 0; i < 2000; ++i) {
           DMB_RETURN_NOT_OK(ctx->Emit(
-              "key-" + std::to_string((ctx->task_id() * 2000 + i) % 97),
+              NumberedKey("key-", (ctx->task_id() * 2000 + i) % 97),
               "1"));
         }
         return Status::OK();

@@ -1,0 +1,513 @@
+// Tests for the stage-DAG runtime (src/runtime): plan validation, DAG
+// topologies (chain, diamond, independent branches), narrow-edge task
+// alignment, state edges + binders (pass-through skipping), error
+// propagation from a failing mid-plan stage, cross-engine byte-identical
+// agreement of a 3-stage plan, the Run == one-stage-plan equivalence,
+// and rddlite's spilling wide stage ("Spark 0.9+" mode) under a tiny
+// memory budget.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/registry.h"
+#include "runtime/scheduler.h"
+#include "workloads/text_utils.h"
+
+namespace dmb::runtime {
+namespace {
+
+using datampi::KVPair;
+using engine::JobSpec;
+using engine::MapContext;
+using engine::ReduceEmitter;
+
+std::vector<std::string> RandomLines(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string line;
+    const int words = 1 + static_cast<int>(rng.Uniform(8));
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) line.push_back(' ');
+      const int len = 1 + static_cast<int>(rng.Uniform(4));
+      for (int c = 0; c < len; ++c) {
+        line.push_back(static_cast<char>('a' + rng.Uniform(5)));
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+Status EmitAllReduce(std::string_view key,
+                     const std::vector<std::string>& values,
+                     ReduceEmitter* out) {
+  for (const auto& v : values) out->Emit(key, v);
+  return Status::OK();
+}
+
+Status SumReduce(std::string_view key, const std::vector<std::string>& values,
+                 ReduceEmitter* out) {
+  int64_t total = 0;
+  for (const auto& v : values) total += std::stoll(v);
+  out->Emit(key, std::to_string(total));
+  return Status::OK();
+}
+
+/// Identity stage shape over `parallelism` tasks.
+JobSpec PassThroughJob(int parallelism) {
+  JobSpec job;
+  job.parallelism = parallelism;
+  job.map_fn = [](std::string_view key, std::string_view value,
+                  MapContext* ctx) -> Status {
+    return ctx->Emit(key, value);
+  };
+  job.reduce_fn = EmitAllReduce;
+  return job;
+}
+
+/// Word-counting stage shape.
+JobSpec CountingJob(int parallelism) {
+  JobSpec job;
+  job.parallelism = parallelism;
+  job.map_fn = [](std::string_view, std::string_view line,
+                  MapContext* ctx) -> Status {
+    Status st;
+    workloads::ForEachToken(line, [&](std::string_view tok) {
+      if (st.ok()) st = ctx->Emit(tok, "1");
+    });
+    return st;
+  };
+  job.reduce_fn = SumReduce;
+  return job;
+}
+
+// ---- Plan validation ----
+
+TEST(PlanValidationTest, EdgeMustReferenceEarlierStage) {
+  Plan plan;
+  StageSpec stage;
+  stage.job = PassThroughJob(2);
+  stage.job.input = engine::LinesAsInput({"a"});
+  plan.AddStage(std::move(stage), {{5, EdgeKind::kWide}});
+  auto st = plan.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+
+  Plan self_edge;
+  StageSpec loop;
+  loop.job = PassThroughJob(2);
+  self_edge.AddStage(std::move(loop), {{0, EdgeKind::kWide}});
+  EXPECT_TRUE(self_edge.Validate().IsInvalidArgument());
+}
+
+TEST(PlanValidationTest, StateEdgeRequiresBinder) {
+  Plan plan;
+  StageSpec source;
+  source.job = PassThroughJob(2);
+  source.job.input = engine::LinesAsInput({"a"});
+  const int src = plan.AddStage(std::move(source));
+  StageSpec sink;
+  sink.job = PassThroughJob(2);
+  sink.job.input = engine::LinesAsInput({"b"});
+  plan.AddStage(std::move(sink), {{src, EdgeKind::kState}});
+  EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+}
+
+TEST(PlanValidationTest, MixedDataEdgeKindsAreRejected) {
+  Plan plan;
+  StageSpec a;
+  a.job = PassThroughJob(2);
+  a.job.input = engine::LinesAsInput({"a"});
+  const int ida = plan.AddStage(std::move(a));
+  StageSpec b;
+  b.job = PassThroughJob(2);
+  b.job.input = engine::LinesAsInput({"b"});
+  const int idb = plan.AddStage(std::move(b));
+  StageSpec sink;
+  sink.job = PassThroughJob(2);
+  plan.AddStage(std::move(sink),
+                {{ida, EdgeKind::kNarrow}, {idb, EdgeKind::kWide}});
+  EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+}
+
+TEST(PlanValidationTest, NarrowEdgeNeedsMatchingParallelism) {
+  Plan plan;
+  StageSpec a;
+  a.job = PassThroughJob(4);
+  a.job.input = engine::LinesAsInput({"a"});
+  const int ida = plan.AddStage(std::move(a));
+  StageSpec sink;
+  sink.job = PassThroughJob(2);
+  plan.AddStage(std::move(sink), {{ida, EdgeKind::kNarrow}});
+  EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+}
+
+TEST(PlanValidationTest, DataEdgeAndRootInputAreExclusive) {
+  Plan plan;
+  StageSpec a;
+  a.job = PassThroughJob(2);
+  a.job.input = engine::LinesAsInput({"a"});
+  const int ida = plan.AddStage(std::move(a));
+  StageSpec sink;
+  sink.job = PassThroughJob(2);
+  sink.job.input = engine::LinesAsInput({"b"});
+  plan.AddStage(std::move(sink), {{ida, EdgeKind::kWide}});
+  EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+}
+
+TEST(PlanValidationTest, EmptyPlanIsRejected) {
+  Plan plan;
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto r = eng->RunPlan(plan);
+    ASSERT_FALSE(r.ok()) << info.name;
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << info.name;
+  }
+}
+
+// ---- Run is the degenerate one-stage plan ----
+
+TEST(RuntimeTest, RunEqualsOneStagePlan) {
+  const auto lines = RandomLines(11, 200);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    JobSpec job = CountingJob(3);
+    job.input = engine::LinesAsInput(lines);
+    auto direct = eng->Run(job);
+    ASSERT_TRUE(direct.ok()) << info.name << ": " << direct.status();
+    EXPECT_EQ(direct->stats.stage_count, 1) << info.name;
+    ASSERT_EQ(direct->stats.stages.size(), 1u) << info.name;
+    EXPECT_EQ(direct->stats.stages[0].name, "job") << info.name;
+    EXPECT_GT(direct->stats.stages[0].output_records, 0) << info.name;
+
+    Plan plan;
+    StageSpec stage;
+    stage.job = CountingJob(3);
+    stage.job.input = engine::LinesAsInput(lines);
+    plan.AddStage(std::move(stage));
+    auto planned = eng->RunPlan(plan);
+    ASSERT_TRUE(planned.ok()) << info.name << ": " << planned.status();
+    EXPECT_EQ(planned->partitions, direct->partitions) << info.name;
+  }
+}
+
+// ---- Chain topology + cross-engine byte-identical agreement ----
+
+/// 3-stage chain: wordcount -> re-key by count (wide) -> single sorted
+/// partition (wide, parallelism 1) so the final merged output is
+/// byte-identical across engines by construction.
+Plan ThreeStageChain(const std::vector<std::string>& lines) {
+  Plan plan;
+  StageSpec count;
+  count.name = "count";
+  count.job = CountingJob(3);
+  count.job.input = engine::LinesAsInput(lines);
+  const int count_id = plan.AddStage(std::move(count));
+
+  StageSpec rekey;
+  rekey.name = "rekey";
+  rekey.job.parallelism = 3;
+  rekey.job.map_fn = [](std::string_view word, std::string_view count,
+                        MapContext* ctx) -> Status {
+    std::string key(count);
+    key.insert(0, 12 - std::min<size_t>(12, key.size()), '0');
+    key.push_back('\x01');
+    key.append(word);
+    return ctx->Emit(key, "1");
+  };
+  rekey.job.reduce_fn = EmitAllReduce;
+  const int rekey_id =
+      plan.AddStage(std::move(rekey), {{count_id, EdgeKind::kWide}});
+
+  StageSpec gather;
+  gather.name = "gather";
+  gather.job = PassThroughJob(1);
+  plan.AddStage(std::move(gather), {{rekey_id, EdgeKind::kWide}});
+  return plan;
+}
+
+TEST(RuntimeTest, ThreeStageChainIsByteIdenticalAcrossEngines) {
+  const auto lines = RandomLines(23, 300);
+  std::vector<KVPair> reference;
+  std::string reference_engine;
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto out = eng->RunPlan(ThreeStageChain(lines));
+    ASSERT_TRUE(out.ok()) << info.name << ": " << out.status();
+    EXPECT_EQ(out->stats.stage_count, 3) << info.name;
+    ASSERT_EQ(out->stats.stages.size(), 3u) << info.name;
+    EXPECT_EQ(out->stats.stages[0].name, "count");
+    EXPECT_GT(out->stats.stages[0].shuffle_bytes, 0) << info.name;
+    EXPECT_GT(out->stats.stages[2].output_records, 0) << info.name;
+    const auto merged = out->Merged();
+    ASSERT_FALSE(merged.empty()) << info.name;
+    if (reference.empty()) {
+      reference = merged;
+      reference_engine = info.name;
+    } else {
+      EXPECT_EQ(merged, reference)
+          << info.name << " vs " << reference_engine;
+    }
+  }
+}
+
+// ---- Narrow edges keep the parent's partitioning ----
+
+TEST(RuntimeTest, NarrowEdgeAlignsParentPartitionsWithTasks) {
+  // Source: range-partitioned by first letter so every output partition
+  // holds a known key range. Narrow consumer: each map task tags its
+  // records with its task id; every key must be seen by exactly the
+  // task matching its source partition.
+  const int parallelism = 3;
+  std::vector<std::string> sample = {"a", "f", "k", "p", "z"};
+  auto partitioner = std::make_shared<datampi::RangePartitioner>(
+      datampi::RangePartitioner::FromSample(sample, parallelism));
+  const auto lines = RandomLines(37, 200);
+
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    Plan plan;
+    StageSpec source;
+    source.name = "source";
+    source.job = CountingJob(parallelism);
+    source.job.input = engine::LinesAsInput(lines);
+    source.job.partitioner = partitioner;
+    const int src = plan.AddStage(std::move(source));
+
+    StageSpec tag;
+    tag.name = "tag";
+    tag.job.parallelism = parallelism;
+    tag.job.map_fn = [](std::string_view word, std::string_view,
+                        MapContext* ctx) -> Status {
+      return ctx->Emit(word, std::to_string(ctx->task_id()));
+    };
+    tag.job.reduce_fn = EmitAllReduce;
+    plan.AddStage(std::move(tag), {{src, EdgeKind::kNarrow}});
+
+    auto out = eng->RunPlan(plan);
+    ASSERT_TRUE(out.ok()) << info.name << ": " << out.status();
+    int64_t checked = 0;
+    for (const auto& kv : out->Merged()) {
+      EXPECT_EQ(std::stoi(kv.value),
+                partitioner->Partition(kv.key, parallelism))
+          << info.name << " key " << kv.key;
+      ++checked;
+    }
+    EXPECT_GT(checked, 0) << info.name;
+  }
+}
+
+// ---- Diamond + independent branches ----
+
+TEST(RuntimeTest, DiamondTopologyMergesBothBranches) {
+  const auto lines = RandomLines(51, 150);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    Plan plan;
+    StageSpec source;
+    source.name = "source";
+    source.job = PassThroughJob(2);
+    source.job.input = engine::LinesAsInput(lines);
+    const int src = plan.AddStage(std::move(source));
+
+    auto branch = [&](const char* name, const char* prefix) {
+      StageSpec stage;
+      stage.name = name;
+      stage.job.parallelism = 2;
+      stage.job.map_fn = [prefix](std::string_view key, std::string_view,
+                                  MapContext* ctx) -> Status {
+        return ctx->Emit(std::string(prefix) + std::string(key), "1");
+      };
+      stage.job.reduce_fn = SumReduce;
+      return plan.AddStage(std::move(stage), {{src, EdgeKind::kWide}});
+    };
+    const int left = branch("left", "L");
+    const int right = branch("right", "R");
+
+    StageSpec join;
+    join.name = "join";
+    join.job = PassThroughJob(1);
+    plan.AddStage(std::move(join), {{left, EdgeKind::kWide},
+                                    {right, EdgeKind::kWide}});
+    auto out = eng->RunPlan(plan);
+    ASSERT_TRUE(out.ok()) << info.name << ": " << out.status();
+    EXPECT_EQ(out->stats.stage_count, 4) << info.name;
+    int64_t left_records = 0, right_records = 0;
+    for (const auto& kv : out->Merged()) {
+      ASSERT_FALSE(kv.key.empty());
+      if (kv.key[0] == 'L') ++left_records;
+      if (kv.key[0] == 'R') ++right_records;
+    }
+    // The diamond's join sees both branches, which tagged the same
+    // records with different prefixes.
+    EXPECT_GT(left_records, 0) << info.name;
+    EXPECT_EQ(left_records, right_records) << info.name;
+  }
+}
+
+TEST(RuntimeTest, IndependentBranchesAllExecute) {
+  auto eng = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng.ok());
+  Plan plan;
+  for (int chain = 0; chain < 2; ++chain) {
+    StageSpec a;
+    a.name = "chain" + std::to_string(chain) + "-a";
+    a.job = CountingJob(2);
+    a.job.input = engine::LinesAsInput(RandomLines(60 + chain, 80));
+    const int ida = plan.AddStage(std::move(a));
+    StageSpec b;
+    b.name = "chain" + std::to_string(chain) + "-b";
+    b.job = PassThroughJob(2);
+    plan.AddStage(std::move(b), {{ida, EdgeKind::kWide}});
+  }
+  auto out = (*eng)->RunPlan(plan);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // All four stages ran even though only the last chain feeds the plan
+  // output.
+  EXPECT_EQ(out->stats.stage_count, 4);
+  for (const auto& stage : out->stats.stages) {
+    EXPECT_GT(stage.output_records, 0) << stage.name;
+  }
+  EXPECT_FALSE(out->Merged().empty());
+}
+
+// ---- State edges: binders and pass-through skipping ----
+
+TEST(RuntimeTest, BinderSeesStateAndCanSkipStages) {
+  const auto lines = RandomLines(71, 100);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    Plan plan;
+    StageSpec count;
+    count.name = "count";
+    count.job = CountingJob(2);
+    count.job.input = engine::LinesAsInput(lines);
+    const int count_id = plan.AddStage(std::move(count));
+
+    // The skipping stage forwards the counting stage's output.
+    StageSpec skipped;
+    skipped.name = "skipped";
+    skipped.job = PassThroughJob(2);
+    skipped.binder = [](const std::vector<KVPair>& state,
+                        engine::JobSpec* job) -> Status {
+      if (state.empty()) {
+        return Status::Internal("binder saw no state");
+      }
+      job->map_fn = nullptr;  // decline to run
+      return Status::OK();
+    };
+    plan.AddStage(std::move(skipped), {{count_id, EdgeKind::kState}});
+
+    auto out = eng->RunPlan(plan);
+    ASSERT_TRUE(out.ok()) << info.name << ": " << out.status();
+    EXPECT_EQ(out->stats.stage_count, 1) << info.name;
+    ASSERT_EQ(out->stats.stages.size(), 2u) << info.name;
+    EXPECT_FALSE(out->stats.stages[0].skipped) << info.name;
+    EXPECT_TRUE(out->stats.stages[1].skipped) << info.name;
+
+    // The forwarded output equals the counting stage's own output.
+    auto direct_spec = CountingJob(2);
+    direct_spec.input = engine::LinesAsInput(lines);
+    auto direct = info.make()->Run(direct_spec);
+    ASSERT_TRUE(direct.ok()) << info.name;
+    EXPECT_EQ(out->partitions, direct->partitions) << info.name;
+  }
+}
+
+TEST(RuntimeTest, BinderErrorFailsThePlan) {
+  auto eng = engine::MakeEngine("mapreduce");
+  ASSERT_TRUE(eng.ok());
+  Plan plan;
+  StageSpec source;
+  source.job = PassThroughJob(2);
+  source.job.input = engine::LinesAsInput({"a", "b"});
+  const int src = plan.AddStage(std::move(source));
+  StageSpec sink;
+  sink.job = PassThroughJob(2);
+  sink.binder = [](const std::vector<KVPair>&, engine::JobSpec*) -> Status {
+    return Status::Internal("binder boom");
+  };
+  plan.AddStage(std::move(sink), {{src, EdgeKind::kState}});
+  auto out = (*eng)->RunPlan(plan);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().message(), "binder boom");
+}
+
+// ---- Error propagation from a failing mid-plan stage ----
+
+TEST(RuntimeTest, MidPlanStageErrorPropagatesOnEveryEngine) {
+  const auto lines = RandomLines(83, 60);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    Plan plan;
+    StageSpec source;
+    source.name = "source";
+    source.job = PassThroughJob(2);
+    source.job.input = engine::LinesAsInput(lines);
+    const int src = plan.AddStage(std::move(source));
+
+    StageSpec boom;
+    boom.name = "boom";
+    boom.job.parallelism = 2;
+    boom.job.map_fn = [](std::string_view, std::string_view,
+                         MapContext*) -> Status {
+      return Status::Internal("stage boom");
+    };
+    boom.job.reduce_fn = EmitAllReduce;
+    const int boom_id =
+        plan.AddStage(std::move(boom), {{src, EdgeKind::kWide}});
+
+    StageSpec never;
+    never.name = "never";
+    never.job = PassThroughJob(2);
+    plan.AddStage(std::move(never), {{boom_id, EdgeKind::kWide}});
+
+    auto out = eng->RunPlan(plan);
+    ASSERT_FALSE(out.ok()) << info.name;
+    EXPECT_EQ(out.status().message(), "stage boom") << info.name;
+  }
+}
+
+// ---- rddlite wide-stage spill round trip ----
+
+TEST(RuntimeTest, RddWideStageSpillsInsteadOfOomUnderTinyBudget) {
+  const auto lines = RandomLines(97, 2000);
+  auto rdd = engine::MakeEngine("rddlite");
+  ASSERT_TRUE(rdd.ok());
+
+  JobSpec sort = PassThroughJob(4);
+  sort.input = engine::LinesAsInput(lines);
+
+  // Reference: unbounded run.
+  auto reference = (*rdd)->Run(sort);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // Spark 0.8 semantics: a budget below the shuffle size dies with OOM.
+  JobSpec tight = sort;
+  tight.memory_budget_bytes = 16 << 10;
+  auto oom = engine::MakeEngine("rddlite").value()->Run(tight);
+  ASSERT_FALSE(oom.ok());
+  EXPECT_TRUE(oom.status().IsOutOfMemory()) << oom.status();
+
+  // Spark 0.9+ mode: same budget, but the wide stage spills run files
+  // and the job finishes with byte-identical output.
+  JobSpec spill = tight;
+  spill.rdd_shuffle_spill = true;
+  spill.spill_block_bytes = 4 << 10;
+  auto spilled = engine::MakeEngine("rddlite").value()->Run(spill);
+  ASSERT_TRUE(spilled.ok()) << spilled.status();
+  EXPECT_GT(spilled->stats.spill_count, 0);
+  EXPECT_GT(spilled->stats.spill_bytes_raw, 0);
+  EXPECT_GT(spilled->stats.spill_bytes_on_disk, 0);
+  EXPECT_GT(spilled->stats.blocks_read, 0);
+  EXPECT_EQ(spilled->partitions, reference->partitions);
+}
+
+}  // namespace
+}  // namespace dmb::runtime
