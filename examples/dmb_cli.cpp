@@ -44,6 +44,7 @@ struct Args {
   int64_t block_mb = 256;
   std::string pattern = "ab";
   int topk = 10;
+  bool pipeline = false;
 };
 
 int Usage() {
@@ -52,7 +53,7 @@ int Usage() {
       << "  dmb_cli run <wordcount|grep|greptopk|textsort|normalsort|"
       << "kmeans|bayes>"
       << " <datampi|mapreduce|rddlite> [--size 8MB] [--parallelism 4]"
-      << " [--pattern ab] [--topk 10]\n"
+      << " [--pattern ab] [--topk 10] [--pipeline on (greptopk)]\n"
       << "  dmb_cli sim <textsort|normalsort|wordcount|grep|kmeans|bayes>"
       << " <hadoop|spark|datampi> [--gb 8] [--slots 4] [--block 256]\n";
   return 2;
@@ -81,6 +82,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->pattern = value;
     } else if (flag == "--topk") {
       args->topk = std::stoi(value);
+    } else if (flag == "--pipeline") {
+      // Batch-pipeline narrow plan edges (greptopk): downstream stages
+      // start on the first emitted batches instead of whole partitions.
+      args->pipeline = value == "on" || value == "true" || value == "1";
     } else {
       return false;
     }
@@ -91,6 +96,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 int RunFunctional(const Args& args) {
   workloads::EngineConfig config;
   config.parallelism = args.parallelism;
+  config.pipeline_narrow_edges = args.pipeline;
   datagen::TextGenerator generator;
   Stopwatch sw;
 
@@ -121,7 +127,11 @@ int RunFunctional(const Args& args) {
                 << FormatBytes(stage.spill_bytes_on_disk) << " on disk), "
                 << stage.output_records << " records out, "
                 << FormatSeconds(stage.wall_seconds)
-                << (stage.skipped ? " [skipped]" : "") << "\n";
+                << (stage.skipped || stage.pipelined
+                        ? std::string(" [") +
+                              engine::StageModeLabel(stage) + "]"
+                        : "")
+                << "\n";
     }
   };
 

@@ -1,21 +1,29 @@
 // Sort pipeline: the paper's Normal Sort scenario on every engine,
-// expressed as a multi-stage Plan (sample -> partition -> sort).
+// expressed as a multi-stage Plan (sample -> partition -> sort ->
+// deliver), run once with barrier stage handoffs and once with the
+// pipelined narrow edge.
 //
 // 1. Generates text and converts it to a compressed sequence file
 //    (BigDataBench's ToSeqFile, GzipCodec stood in by DmbLz).
-// 2. Describes the total-order sort as a two-stage Plan:
-//      * "sample" — a map/reduce step that thins the keys by hash,
+// 2. Describes the total-order sort as a three-stage Plan:
+//      * "sample"  — a map/reduce step that thins the keys by hash,
 //        exactly what Hadoop's TotalOrderPartitioner sampling job does;
-//      * "sort"   — the range-partitioned sort. Its partitioner is not
-//        known at plan-build time: a state edge hands the sample stage's
-//        output to the sort stage's binder, which builds the
+//      * "sort"    — the range-partitioned sort. Its partitioner is not
+//        known at plan-build time: a state edge hands the sample
+//        stage's output to the sort stage's binder, which builds the
 //        RangePartitioner from the sampled keys.
+//      * "deliver" — the output/marshalling pass over the sorted
+//        partitions (same range partitioner, so global order is
+//        preserved). Its input edge is narrow and partition-aligned —
+//        with PlanOptions::pipeline_narrow_edges the deliver stage
+//        starts on the sort stage's first emitted batches instead of
+//        waiting at a whole-partition barrier.
 // 3. Runs the identical plan on every registered engine via the
-//    registry, verifying the concatenated output is globally sorted and
-//    byte-identical across engines, and printing the per-stage stats
-//    (wall time, shuffle bytes, spills). rddlite runs with a deliberately
-//    small memory budget in "Spark 0.9+" spill mode, so its wide stage
-//    spills run files instead of dying with OutOfMemory.
+//    registry in both modes, verifying the concatenated output is
+//    globally sorted and byte-identical across engines *and* across
+//    modes, and printing the per-stage stats. rddlite runs with a
+//    deliberately small memory budget in "Spark 0.9+" spill mode, so
+//    its wide stage spills run files instead of dying with OutOfMemory.
 //
 // Build & run:  ./build/sort_pipeline [size-bytes]
 
@@ -35,10 +43,29 @@ namespace {
 
 constexpr int kParallelism = 4;
 
-/// The two-stage total-order sort over `input`.
+Status IdentityReduce(std::string_view key,
+                      const std::vector<std::string>& values,
+                      engine::ReduceEmitter* out) {
+  for (const auto& v : values) out->Emit(key, v);
+  return Status::OK();
+}
+
+/// Binds a RangePartitioner built from the sample stage's output.
+Status BindRangePartitioner(const std::vector<datampi::KVPair>& sampled,
+                            engine::JobSpec* job) {
+  std::vector<std::string> keys;
+  keys.reserve(sampled.size());
+  for (const auto& kv : sampled) keys.push_back(kv.key);
+  job->partitioner = std::make_shared<datampi::RangePartitioner>(
+      datampi::RangePartitioner::FromSample(std::move(keys),
+                                            job->parallelism));
+  return Status::OK();
+}
+
+/// The three-stage total-order sort over `input`.
 runtime::Plan SortPlan(std::shared_ptr<const std::vector<datampi::KVPair>>
                            input,
-                       int64_t memory_budget_bytes) {
+                       int64_t memory_budget_bytes, bool pipelined) {
   runtime::Plan plan;
 
   runtime::StageSpec sample;
@@ -70,24 +97,30 @@ runtime::Plan SortPlan(std::shared_ptr<const std::vector<datampi::KVPair>>
                        engine::MapContext* ctx) -> Status {
     return ctx->Emit(key, value);
   };
-  sort.job.reduce_fn = [](std::string_view key,
-                          const std::vector<std::string>& values,
-                          engine::ReduceEmitter* out) -> Status {
-    for (const auto& v : values) out->Emit(key, v);
-    return Status::OK();
+  sort.job.reduce_fn = IdentityReduce;
+  sort.binder = BindRangePartitioner;
+  const int sort_id = plan.AddStage(std::move(sort),
+                                    {{sample_id, runtime::EdgeKind::kState}});
+
+  // Output/marshalling pass: same range partitioner (second state edge
+  // from the sample stage), so records stay in their globally-ordered
+  // partitions. The sort -> deliver edge is narrow and therefore
+  // pipelineable: deliver's map tasks start while sort is still
+  // reducing.
+  runtime::StageSpec deliver;
+  deliver.name = "deliver";
+  deliver.job.parallelism = kParallelism;
+  deliver.job.map_fn = [](std::string_view key, std::string_view value,
+                          engine::MapContext* ctx) -> Status {
+    return ctx->Emit(key, value);
   };
-  sort.binder = [](const std::vector<datampi::KVPair>& sampled,
-                   engine::JobSpec* job) -> Status {
-    std::vector<std::string> keys;
-    keys.reserve(sampled.size());
-    for (const auto& kv : sampled) keys.push_back(kv.key);
-    job->partitioner = std::make_shared<datampi::RangePartitioner>(
-        datampi::RangePartitioner::FromSample(std::move(keys),
-                                              job->parallelism));
-    return Status::OK();
-  };
-  plan.AddStage(std::move(sort),
-                {{sample_id, runtime::EdgeKind::kState}});
+  deliver.job.reduce_fn = IdentityReduce;
+  deliver.binder = BindRangePartitioner;
+  plan.AddStage(std::move(deliver),
+                {{sort_id, runtime::EdgeKind::kNarrow},
+                 {sample_id, runtime::EdgeKind::kState}});
+
+  plan.options().pipeline_narrow_edges = pipelined;
   return plan;
 }
 
@@ -121,44 +154,61 @@ int main(int argc, char** argv) {
   // mode) instead of failing with OutOfMemory.
   const int64_t budget = std::max<int64_t>(64 << 10, bytes / 8);
 
-  // 3. Every registered engine runs the identical two-stage plan.
+  // 3. Every registered engine runs the identical three-stage plan,
+  // with barrier handoffs and with the pipelined narrow edge.
   std::vector<datampi::KVPair> reference;
   for (const auto& info : engine::Engines()) {
-    auto eng = info.make();
-    Stopwatch sw;
-    auto result = eng->RunPlan(SortPlan(shared_input, budget));
-    const double seconds = sw.ElapsedSeconds();
-    if (!result.ok()) {
-      std::cerr << info.name << " failed: " << result.status() << "\n";
-      return 1;
-    }
-    const auto sorted = result->Merged();
-    for (size_t i = 1; i < sorted.size(); ++i) {
-      if (sorted[i - 1].key > sorted[i].key) {
-        std::cerr << info.name << ": OUTPUT NOT SORTED at " << i << "\n";
+    std::vector<datampi::KVPair> barrier_sorted;
+    for (const bool pipelined : {false, true}) {
+      auto eng = info.make();
+      Stopwatch sw;
+      auto result = eng->RunPlan(SortPlan(shared_input, budget, pipelined));
+      const double seconds = sw.ElapsedSeconds();
+      if (!result.ok()) {
+        std::cerr << info.name << " failed: " << result.status() << "\n";
         return 1;
       }
-    }
-    if (reference.empty()) {
-      reference = sorted;
-    } else if (sorted != reference) {
-      std::cerr << "ENGINE MISMATCH: " << info.name << "\n";
-      return 1;
-    }
-    std::cout << info.display_name << ": sorted " << sorted.size()
-              << " records across " << result->partitions.size()
-              << " partitions in " << FormatSeconds(seconds) << " ("
-              << result->stats.stage_count << " stages)\n";
-    for (const auto& stage : result->stats.stages) {
-      std::cout << "    stage " << stage.name << ": "
-                << FormatBytes(stage.shuffle_bytes) << " shuffled, "
-                << stage.spill_count << " spills ("
-                << FormatBytes(stage.spill_bytes_on_disk) << " on disk), "
-                << stage.output_records << " records out, "
-                << FormatSeconds(stage.wall_seconds) << "\n";
+      const auto sorted = result->Merged();
+      for (size_t i = 1; i < sorted.size(); ++i) {
+        if (sorted[i - 1].key > sorted[i].key) {
+          std::cerr << info.name << ": OUTPUT NOT SORTED at " << i << "\n";
+          return 1;
+        }
+      }
+      if (!pipelined) {
+        barrier_sorted = sorted;
+        if (reference.empty()) {
+          reference = sorted;
+        } else if (sorted != reference) {
+          std::cerr << "ENGINE MISMATCH: " << info.name << "\n";
+          return 1;
+        }
+      } else if (sorted != barrier_sorted) {
+        std::cerr << "PIPELINED/BARRIER MISMATCH: " << info.name << "\n";
+        return 1;
+      }
+      std::cout << info.display_name << " ("
+                << (pipelined ? "pipelined" : "barrier") << "): sorted "
+                << sorted.size() << " records across "
+                << result->partitions.size() << " partitions in "
+                << FormatSeconds(seconds) << " ("
+                << result->stats.stage_count << " stages)\n";
+      for (const auto& stage : result->stats.stages) {
+        std::cout << "    stage " << stage.name << ": "
+                  << FormatBytes(stage.shuffle_bytes) << " shuffled, "
+                  << stage.spill_count << " spills ("
+                  << FormatBytes(stage.spill_bytes_on_disk) << " on disk), "
+                  << stage.output_records << " records out, "
+                  << FormatSeconds(stage.wall_seconds)
+                  << (stage.skipped || stage.pipelined
+                          ? std::string(" [") +
+                                engine::StageModeLabel(stage) + "]"
+                          : "")
+                  << "\n";
+      }
     }
   }
   std::cout << "\nGlobal order verified on all " << engine::Engines().size()
-            << " engines; outputs are byte-identical.\n";
+            << " engines, barrier and pipelined outputs byte-identical.\n";
   return 0;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI check: configure (warnings-as-errors), build, run the test suite,
 # run the io/shuffle tests again under UBSan (-DDMB_SANITIZE=undefined),
-# then build every bench binary explicitly (build-only; no long
-# benchmark runs).
+# run the runtime tests under TSan (-DDMB_SANITIZE=thread — the batch
+# channel and stage scheduler are the tree's heavily concurrent
+# producer/consumer structures), then build every bench binary
+# explicitly (build-only; no long benchmark runs).
 #
 # CHECK_ASAN=1 additionally builds the io/shuffle/engine/core tests
 # under AddressSanitizer in build-asan/ and runs them.
@@ -26,6 +28,14 @@ echo "check.sh: UBSan pass (io + shuffle + runtime tests)"
 cmake -B build-ubsan -S . -DDMB_SANITIZE=undefined -DDMB_WERROR=ON
 cmake --build build-ubsan -j --target io_test shuffle_test runtime_test
 (cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle|runtime)_test$')
+
+# The pipelined narrow edges run a bounded producer/consumer channel
+# between concurrently executing stages — runtime_test must stay clean
+# under ThreadSanitizer (races, lock-order inversions, cv misuse).
+echo "check.sh: TSan pass (runtime tests)"
+cmake -B build-tsan -S . -DDMB_SANITIZE=thread -DDMB_WERROR=ON
+cmake --build build-tsan -j --target runtime_test
+(cd build-tsan && ctest --output-on-failure -R '^runtime_test$')
 
 BENCH_TARGETS=(
   fig2a_dfsio_tuning

@@ -126,16 +126,23 @@ class OContextImpl : public OContext {
   int task_id_ = -1;
 };
 
+/// A-side output collector: the shared stream-aware tee behind an
+/// AEmitter face (retains a_outputs and/or streams into the job's
+/// output channel; a push failure is sticky in status()).
 class VectorEmitter : public AEmitter {
  public:
+  VectorEmitter(shuffle::BatchStreamWriter* stream, bool retain)
+      : tee_(stream, retain) {}
+
   void Emit(std::string_view key, std::string_view value) override {
-    out_.push_back(KVPair{std::string(key), std::string(value)});
+    tee_.Collect(key, value);
   }
-  std::vector<KVPair> Take() { return std::move(out_); }
-  size_t size() const { return out_.size(); }
+  std::vector<KVPair> Take() { return tee_.Take(); }
+  int64_t records() const { return tee_.records(); }
+  const Status& status() const { return tee_.status(); }
 
  private:
-  std::vector<KVPair> out_;
+  shuffle::StreamTeeCollector tee_;
 };
 
 Status RunOTasks(const JobConfig& config, mpi::Comm& world,
@@ -184,20 +191,28 @@ Status ReduceBuffer(const JobConfig& config, int a_rank,
                                           std::memory_order_relaxed);
   DMB_ASSIGN_OR_RETURN(std::unique_ptr<KVGroupIterator> groups,
                        buffer->Finish());
-  VectorEmitter emitter;
+  std::unique_ptr<shuffle::BatchStreamWriter> stream;
+  if (config.output_stream != nullptr) {
+    stream = std::make_unique<shuffle::BatchStreamWriter>(
+        config.output_stream.get(), a_rank);
+  }
+  VectorEmitter emitter(stream.get(), !config.stream_output_only);
   std::string key;
   std::vector<std::string> values;
   while (groups->NextGroup(&key, &values)) {
     DMB_RETURN_NOT_OK(a_fn(key, values, &emitter));
+    DMB_RETURN_NOT_OK(emitter.status());
   }
   DMB_RETURN_NOT_OK(groups->status());
+  if (stream != nullptr) {
+    DMB_RETURN_NOT_OK(stream->Finish());
+  }
   shared->a_blocks_read.fetch_add(groups->blocks_read(),
                                   std::memory_order_relaxed);
-  shared->output_records.fetch_add(static_cast<int64_t>(emitter.size()),
+  shared->output_records.fetch_add(emitter.records(),
                                    std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shared->output_mu);
   shared->a_outputs[static_cast<size_t>(a_rank)] = emitter.Take();
-  (void)config;
   return Status::OK();
 }
 
@@ -281,6 +296,13 @@ Result<JobResult> DataMPIJob::Run(OTaskFn o_fn, AGroupFn a_fn) {
     } else {
       st = RunATask(config, comm, comm.rank() - config.num_o_ranks, &shared,
                     a_fn);
+    }
+    if (!st.ok() && config.output_stream != nullptr) {
+      // A failing task must unblock sibling A tasks that may be parked
+      // on the output stream's backpressure window, or the job (and its
+      // downstream consumer) would never terminate. The error travels
+      // verbatim: siblings fail their next Push with it.
+      config.output_stream->Cancel(st);
     }
     // Intra-group barrier: all tasks of a communicator finish together
     // (mirrors DataMPI's synchronized phase completion).

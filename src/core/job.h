@@ -30,6 +30,7 @@
 #include "core/kv.h"
 #include "core/kv_buffer.h"
 #include "core/partitioner.h"
+#include "shuffle/batch_channel.h"
 
 namespace dmb::datampi {
 
@@ -60,6 +61,15 @@ struct JobConfig {
   /// Optional checkpoint directory: when set, every A task persists its
   /// received (pre-reduce) data, enabling RunFromCheckpoint().
   std::string checkpoint_dir;
+  /// Optional streaming output sink: A task p pushes its emitted records
+  /// into channel partition p in batches *while it reduces* and closes
+  /// the partition when done — the producer half of a pipelined narrow
+  /// stage edge (the same overlap Emit() gives the O->A shuffle, one
+  /// stage boundary further downstream).
+  std::shared_ptr<shuffle::BatchChannelGroup> output_stream;
+  /// With output_stream: skip materializing a_outputs entirely (the
+  /// stream is the only reader of this job's output).
+  bool stream_output_only = false;
 };
 
 /// \brief Emit-side context handed to O task functions.

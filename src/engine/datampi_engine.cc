@@ -51,6 +51,8 @@ Result<JobOutput> DataMPIEngine::RunStage(const JobSpec& spec) {
   config.combiner = spec.combiner;
   config.sort_by_key = spec.sort_by_key;
   config.spill_io = SpillIoOptions(spec);
+  config.output_stream = spec.stream_output;
+  config.stream_output_only = spec.stream_output_only;
   if (spec.memory_budget_bytes > 0) {
     config.a_memory_budget_bytes = spec.memory_budget_bytes;
   }
@@ -68,6 +70,18 @@ Result<JobOutput> DataMPIEngine::RunStage(const JobSpec& spec) {
       job.Run(
           [&](datampi::OContext* ctx) -> Status {
             OMapContext map_ctx(ctx);
+            if (spec.stream_input) {
+              // Pipelined narrow edge: O task i pulls partition i's
+              // batches while the upstream stage is still producing
+              // them, emitting into this job's own O->A pipeline as it
+              // goes — cross-stage overlap on top of DataMPI's
+              // intra-stage overlap.
+              return shuffle::DrainChannel(
+                  spec.stream_input.get(), ctx->task_id(),
+                  [&](std::string_view key, std::string_view value) {
+                    return spec.map_fn(key, value, &map_ctx);
+                  });
+            }
             // Pre-split inputs (narrow plan edges) pin split i to O task
             // i; a flat input is sliced evenly across the O tasks.
             const std::vector<KVPair>& input =

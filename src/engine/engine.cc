@@ -40,12 +40,31 @@ Result<runtime::PlanOutput> Engine::RunPlan(const runtime::Plan& plan) {
 }
 
 Status ValidateSpec(const JobSpec& spec) {
-  if (!spec.input && !spec.input_splits) {
+  const int sources = (spec.input ? 1 : 0) + (spec.input_splits ? 1 : 0) +
+                      (spec.stream_input ? 1 : 0);
+  if (sources == 0) {
     return Status::InvalidArgument("JobSpec.input is not set");
   }
-  if (spec.input && spec.input_splits) {
+  if (sources > 1) {
     return Status::InvalidArgument(
-        "JobSpec.input and input_splits are both set");
+        "JobSpec: exactly one of input / input_splits / stream_input may "
+        "be set");
+  }
+  if (spec.stream_input &&
+      spec.stream_input->partitions() != spec.parallelism) {
+    return Status::InvalidArgument(
+        "JobSpec.stream_input must hold exactly one channel partition per "
+        "task");
+  }
+  if (spec.stream_output &&
+      spec.stream_output->partitions() != spec.parallelism) {
+    return Status::InvalidArgument(
+        "JobSpec.stream_output must hold exactly one channel partition per "
+        "task");
+  }
+  if (spec.stream_output_only && !spec.stream_output) {
+    return Status::InvalidArgument(
+        "JobSpec.stream_output_only requires stream_output");
   }
   if (!spec.map_fn) {
     return Status::InvalidArgument("JobSpec.map_fn is not set");

@@ -45,6 +45,8 @@ Result<JobOutput> MapReduceEngine::RunStage(const JobSpec& spec) {
   config.partitioner = spec.partitioner;
   config.combiner = spec.combiner;
   config.spill_io = SpillIoOptions(spec);
+  config.output_stream = spec.stream_output;
+  config.stream_output_only = spec.stream_output_only;
   // Hadoop always stages runs through disk; kMemoryOnly is the tested
   // in-memory ablation. The reduce side merges sorted runs, so grouping
   // is sorted regardless of spec.sort_by_key.
@@ -69,11 +71,14 @@ Result<JobOutput> MapReduceEngine::RunStage(const JobSpec& spec) {
   };
   DMB_ASSIGN_OR_RETURN(
       mapreduce::MRResult result,
-      spec.input_splits
-          ? mapreduce::RunMapReduceSplits(config, *spec.input_splits,
-                                          map_fn, reduce_fn)
-          : mapreduce::RunMapReduceKV(config, *spec.input, map_fn,
-                                      reduce_fn));
+      spec.stream_input
+          ? mapreduce::RunMapReduceStream(config, spec.stream_input, map_fn,
+                                          reduce_fn)
+          : spec.input_splits
+                ? mapreduce::RunMapReduceSplits(config, *spec.input_splits,
+                                                map_fn, reduce_fn)
+                : mapreduce::RunMapReduceKV(config, *spec.input, map_fn,
+                                            reduce_fn));
 
   JobOutput output;
   output.partitions = std::move(result.reduce_outputs);

@@ -70,23 +70,36 @@ class MapStageRDD final : public rddlite::RDD<StrPair> {
   MapStageRDD(rddlite::RddContext* ctx,
               std::shared_ptr<const std::vector<KVPair>> input,
               std::shared_ptr<const std::vector<std::vector<KVPair>>> splits,
+              std::shared_ptr<shuffle::BatchChannelGroup> stream,
               int parts, MapFn map_fn, CombinerFn combiner,
               std::atomic<int64_t>* map_records)
       : RDD<StrPair>(ctx, parts),
         input_(std::move(input)),
         splits_(std::move(splits)),
+        stream_(std::move(stream)),
         map_fn_(std::move(map_fn)),
         combiner_(std::move(combiner)),
         map_records_(map_records) {}
 
  protected:
   Result<std::vector<StrPair>> DoCompute(int p) override {
+    CollectingMapContext ctx(p, combiner_);
+    if (stream_) {
+      // Pipelined narrow edge: pull partition p's batches while the
+      // upstream stage is still producing them.
+      DMB_RETURN_NOT_OK(shuffle::DrainChannel(
+          stream_.get(), p,
+          [&](std::string_view key, std::string_view value) {
+            return map_fn_(key, value, &ctx);
+          }));
+      map_records_->fetch_add(ctx.records(), std::memory_order_relaxed);
+      return ctx.Take();
+    }
     const std::vector<KVPair>& records =
         splits_ ? (*splits_)[static_cast<size_t>(p)] : *input_;
     const auto [begin, end] =
         splits_ ? std::pair<size_t, size_t>{0, records.size()}
                 : SplitRange(records.size(), p, this->num_partitions());
-    CollectingMapContext ctx(p, combiner_);
     for (size_t i = begin; i < end; ++i) {
       DMB_RETURN_NOT_OK(
           map_fn_(records[i].key, records[i].value, &ctx));
@@ -98,6 +111,7 @@ class MapStageRDD final : public rddlite::RDD<StrPair> {
  private:
   std::shared_ptr<const std::vector<KVPair>> input_;
   std::shared_ptr<const std::vector<std::vector<KVPair>>> splits_;
+  std::shared_ptr<shuffle::BatchChannelGroup> stream_;
   MapFn map_fn_;
   CombinerFn combiner_;
   std::atomic<int64_t>* map_records_;
@@ -264,15 +278,23 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
   int64_t store_bytes_ = 0;
 };
 
+/// Reduce-side collector: the shared stream-aware tee behind a
+/// ReduceEmitter face (retains the partition and/or streams into the
+/// job's output channel; a push failure is sticky in status()).
 class CollectingReduceEmitter final : public ReduceEmitter {
  public:
+  CollectingReduceEmitter(shuffle::BatchStreamWriter* stream, bool retain)
+      : tee_(stream, retain) {}
+
   void Emit(std::string_view key, std::string_view value) override {
-    out_.push_back(KVPair{std::string(key), std::string(value)});
+    tee_.Collect(key, value);
   }
-  std::vector<KVPair> Take() { return std::move(out_); }
+  std::vector<KVPair> Take() { return tee_.Take(); }
+  int64_t records() const { return tee_.records(); }
+  const Status& status() const { return tee_.status(); }
 
  private:
-  std::vector<KVPair> out_;
+  shuffle::StreamTeeCollector tee_;
 };
 
 }  // namespace
@@ -302,8 +324,8 @@ Result<JobOutput> RddEngine::RunStage(const JobSpec& spec) {
   std::atomic<int64_t> shuffle_bytes{0};
   ShuffleSpillStats spill_stats;
   auto mapped = std::make_shared<MapStageRDD>(
-      &ctx, spec.input, spec.input_splits, spec.parallelism, spec.map_fn,
-      spec.combiner, &map_records);
+      &ctx, spec.input, spec.input_splits, spec.stream_input,
+      spec.parallelism, spec.map_fn, spec.combiner, &map_records);
   auto shuffled = std::make_shared<ShuffleStageRDD>(
       mapped, spec.parallelism, std::move(shuffle_options), &shuffle_bytes,
       &spill_stats);
@@ -318,12 +340,21 @@ Result<JobOutput> RddEngine::RunStage(const JobSpec& spec) {
       pool.Submit([&, p] {
         auto part = shuffled->ComputePartition(p);
         if (!part.ok()) {
+          // Unblock sibling tasks parked on the output stream's
+          // backpressure window (and the downstream consumer).
+          if (spec.stream_output) spec.stream_output->Cancel(part.status());
           statuses[static_cast<size_t>(p)] = part.status();
           return;
         }
         reduce_in.fetch_add(static_cast<int64_t>(part->size()),
                             std::memory_order_relaxed);
-        CollectingReduceEmitter emitter;
+        std::unique_ptr<shuffle::BatchStreamWriter> out_stream;
+        if (spec.stream_output) {
+          out_stream = std::make_unique<shuffle::BatchStreamWriter>(
+              spec.stream_output.get(), p);
+        }
+        CollectingReduceEmitter emitter(out_stream.get(),
+                                        !spec.stream_output_only);
         Status st;
         std::vector<std::string> values;
         size_t i = 0;
@@ -343,14 +374,16 @@ Result<JobOutput> RddEngine::RunStage(const JobSpec& spec) {
             ++i;
           }
           st = spec.reduce_fn(key, values, &emitter);
+          if (st.ok()) st = emitter.status();
         }
+        if (st.ok() && out_stream != nullptr) st = out_stream->Finish();
         if (!st.ok()) {
+          if (spec.stream_output) spec.stream_output->Cancel(st);
           statuses[static_cast<size_t>(p)] = st;
           return;
         }
         auto out = emitter.Take();
-        reduce_out.fetch_add(static_cast<int64_t>(out.size()),
-                             std::memory_order_relaxed);
+        reduce_out.fetch_add(emitter.records(), std::memory_order_relaxed);
         output.partitions[static_cast<size_t>(p)] = std::move(out);
       });
     }

@@ -21,6 +21,7 @@
 #include "core/kv.h"
 #include "core/partitioner.h"
 #include "io/block_file.h"
+#include "shuffle/batch_channel.h"
 
 namespace dmb::engine {
 
@@ -78,6 +79,23 @@ struct JobSpec {
   /// how the runtime's narrow plan edges hand a parent stage's output
   /// partitions to aligned map tasks without a gather + re-split.
   std::shared_ptr<const std::vector<std::vector<KVPair>>> input_splits;
+  /// Streaming input (pipelined narrow plan edges): map task i pulls
+  /// record batches from channel partition i while the producing stage
+  /// is still running, until the producer closes the partition. Exactly
+  /// one of input / input_splits / stream_input must be set, and
+  /// stream_input->partitions() must equal `parallelism`.
+  std::shared_ptr<shuffle::BatchChannelGroup> stream_input;
+  /// Streaming output sink: reduce task p pushes its emitted records
+  /// into channel partition p in `stream_output->batch_records()`-sized
+  /// batches as it reduces, and closes the partition when done — the
+  /// producer half of a pipelined narrow edge. Output partitions are
+  /// still materialized in JobOutput unless stream_output_only is set.
+  std::shared_ptr<shuffle::BatchChannelGroup> stream_output;
+  /// With stream_output set: do not materialize output partitions at
+  /// all (the stream is the only reader). Saves the full intermediate
+  /// copy on exclusively-pipelined edges; JobOutput.partitions come
+  /// back empty.
+  bool stream_output_only = false;
   MapFn map_fn;
   ReduceFn reduce_fn;
   /// Map tasks == reduce tasks == output partitions == worker slots.
@@ -127,7 +145,19 @@ struct StageStats {
   /// Pass-through stage: its binder declined to run (e.g. a converged
   /// iteration) and the state parent's output was forwarded unchanged.
   bool skipped = false;
+  /// The stage's input arrived over a pipelined narrow edge (batch
+  /// channel) instead of a whole-partition barrier handoff.
+  bool pipelined = false;
 };
+
+/// \brief How a stage executed, for per-stage tables ("skipped" wins
+/// over "pipelined": a skipped stage never consumed its input at all).
+/// One definition so the CLI, examples and benches cannot drift.
+inline const char* StageModeLabel(const StageStats& stage) {
+  if (stage.skipped) return "skipped";
+  if (stage.pipelined) return "pipelined";
+  return "barrier";
+}
 
 /// \brief Unified execution statistics (summed over tasks and stages).
 struct EngineStats {

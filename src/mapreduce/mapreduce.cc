@@ -40,15 +40,23 @@ class MapContextImpl : public MapContext {
   int64_t records_ = 0;
 };
 
+/// Reduce-side collector: the shared stream-aware tee behind a
+/// ReduceContext face (retains reduce_outputs and/or streams into the
+/// job's output channel; a push failure is sticky in status()).
 class ReduceContextImpl : public ReduceContext {
  public:
+  ReduceContextImpl(shuffle::BatchStreamWriter* stream, bool retain)
+      : tee_(stream, retain) {}
+
   void Emit(std::string_view key, std::string_view value) override {
-    out_.push_back(KVPair{std::string(key), std::string(value)});
+    tee_.Collect(key, value);
   }
-  std::vector<KVPair> Take() { return std::move(out_); }
+  std::vector<KVPair> Take() { return tee_.Take(); }
+  int64_t records() const { return tee_.records(); }
+  const Status& status() const { return tee_.status(); }
 
  private:
-  std::vector<KVPair> out_;
+  shuffle::StreamTeeCollector tee_;
 };
 
 struct RunStore {
@@ -63,6 +71,7 @@ struct RunStore {
 Result<MRResult> RunJob(const MRConfig& config,
                         const std::vector<KVPair>& input,
                         const std::vector<std::vector<KVPair>>* splits,
+                        shuffle::BatchChannelGroup* stream,
                         const MapFn& map_fn, const ReduceFn& reduce_fn) {
   MRConfig cfg = config;
   DMB_CHECK(cfg.num_map_tasks >= 1);
@@ -72,6 +81,10 @@ Result<MRResult> RunJob(const MRConfig& config,
       static_cast<int>(splits->size()) != cfg.num_map_tasks) {
     return Status::InvalidArgument(
         "RunMapReduceSplits: one split per map task required");
+  }
+  if (stream != nullptr && stream->partitions() != cfg.num_map_tasks) {
+    return Status::InvalidArgument(
+        "RunMapReduceStream: one channel partition per map task required");
   }
   std::shared_ptr<const datampi::Partitioner> partitioner = cfg.partitioner;
   if (!partitioner) {
@@ -124,6 +137,18 @@ Result<MRResult> RunJob(const MRConfig& config,
         shuffle::PartitionedCollector collector(std::move(copts));
         MapContextImpl ctx(t, &collector);
         Status st;
+        if (stream != nullptr) {
+          // Pipelined narrow edge: pull partition t's batches while the
+          // upstream stage is still producing them. The map->reduce
+          // barrier below is untouched — Hadoop semantics start at this
+          // job's own shuffle.
+          st = shuffle::DrainChannel(
+              stream, t,
+              [&](std::string_view key, std::string_view value) {
+                Status s = map_fn(key, value, &ctx);
+                return s.ok() ? ctx.status() : s;
+              });
+        }
         for (size_t i = begin; i < end && st.ok(); ++i) {
           st = map_fn(task_input[i].key, task_input[i].value, &ctx);
           if (st.ok()) st = ctx.status();
@@ -190,28 +215,39 @@ Result<MRResult> RunJob(const MRConfig& config,
           }
         }
         if (!st.ok()) {
+          if (cfg.output_stream != nullptr) cfg.output_stream->Cancel(st);
           reduce_status[static_cast<size_t>(r)] = st;
           return;
         }
         auto groups = merger.Merge();
-        ReduceContextImpl ctx;
+        std::unique_ptr<shuffle::BatchStreamWriter> out_stream;
+        if (cfg.output_stream != nullptr) {
+          out_stream = std::make_unique<shuffle::BatchStreamWriter>(
+              cfg.output_stream.get(), r);
+        }
+        ReduceContextImpl ctx(out_stream.get(), !cfg.stream_output_only);
         std::string key;
         std::vector<std::string> values;
         while (st.ok() && groups->NextGroup(&key, &values)) {
           reduce_in.fetch_add(static_cast<int64_t>(values.size()),
                               std::memory_order_relaxed);
           st = reduce_fn(key, values, &ctx);
+          if (st.ok()) st = ctx.status();
         }
         if (st.ok()) st = groups->status();
+        if (st.ok() && out_stream != nullptr) st = out_stream->Finish();
         blocks_read.fetch_add(groups->blocks_read(),
                               std::memory_order_relaxed);
         if (!st.ok()) {
+          // Unblock sibling reduce tasks parked on the output stream's
+          // backpressure window (and the downstream consumer): they
+          // fail their next Push/Pull with this error verbatim.
+          if (cfg.output_stream != nullptr) cfg.output_stream->Cancel(st);
           reduce_status[static_cast<size_t>(r)] = st;
           return;
         }
         auto out = ctx.Take();
-        reduce_out.fetch_add(static_cast<int64_t>(out.size()),
-                             std::memory_order_relaxed);
+        reduce_out.fetch_add(ctx.records(), std::memory_order_relaxed);
         result.reduce_outputs[static_cast<size_t>(r)] = std::move(out);
       });
     }
@@ -251,21 +287,36 @@ Result<MRResult> RunMapReduce(const MRConfig& config,
   for (size_t i = 0; i < input.size(); ++i) {
     kv_input.push_back(KVPair{std::to_string(i), input[i]});
   }
-  return RunJob(config, kv_input, /*splits=*/nullptr, map_fn, reduce_fn);
+  return RunJob(config, kv_input, /*splits=*/nullptr, /*stream=*/nullptr,
+                map_fn, reduce_fn);
 }
 
 Result<MRResult> RunMapReduceKV(const MRConfig& config,
                                 const std::vector<KVPair>& input,
                                 const MapFn& map_fn,
                                 const ReduceFn& reduce_fn) {
-  return RunJob(config, input, /*splits=*/nullptr, map_fn, reduce_fn);
+  return RunJob(config, input, /*splits=*/nullptr, /*stream=*/nullptr,
+                map_fn, reduce_fn);
 }
 
 Result<MRResult> RunMapReduceSplits(
     const MRConfig& config, const std::vector<std::vector<KVPair>>& splits,
     const MapFn& map_fn, const ReduceFn& reduce_fn) {
   static const std::vector<KVPair> kNoFlatInput;
-  return RunJob(config, kNoFlatInput, &splits, map_fn, reduce_fn);
+  return RunJob(config, kNoFlatInput, &splits, /*stream=*/nullptr, map_fn,
+                reduce_fn);
+}
+
+Result<MRResult> RunMapReduceStream(
+    const MRConfig& config,
+    const std::shared_ptr<shuffle::BatchChannelGroup>& source,
+    const MapFn& map_fn, const ReduceFn& reduce_fn) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("RunMapReduceStream: null source");
+  }
+  static const std::vector<KVPair> kNoFlatInput;
+  return RunJob(config, kNoFlatInput, /*splits=*/nullptr, source.get(),
+                map_fn, reduce_fn);
 }
 
 }  // namespace dmb::mapreduce

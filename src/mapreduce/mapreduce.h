@@ -20,6 +20,7 @@
 #include "core/kv.h"
 #include "core/partitioner.h"
 #include "io/block_file.h"
+#include "shuffle/batch_channel.h"
 
 namespace dmb::mapreduce {
 
@@ -47,6 +48,15 @@ struct MRConfig {
   int64_t map_buffer_bytes = 64 << 20;
   /// Spill run-file block size and codec (src/io block format).
   io::BlockFileOptions spill_io;
+  /// Optional streaming output sink: reduce task r pushes its emitted
+  /// records into channel partition r in batches while it reduces and
+  /// closes the partition when done (the producer half of a pipelined
+  /// narrow stage edge). Note the map->reduce barrier inside the job is
+  /// unchanged — Hadoop semantics end at the stage boundary.
+  std::shared_ptr<shuffle::BatchChannelGroup> output_stream;
+  /// With output_stream: skip materializing reduce_outputs (the stream
+  /// is the only reader of this job's output).
+  bool stream_output_only = false;
 };
 
 /// \brief Map-side emitter.
@@ -116,6 +126,15 @@ Result<MRResult> RunMapReduceKV(const MRConfig& config,
 /// runtime's narrow plan edges to keep a parent stage's partitioning.
 Result<MRResult> RunMapReduceSplits(
     const MRConfig& config, const std::vector<std::vector<KVPair>>& splits,
+    const MapFn& map_fn, const ReduceFn& reduce_fn);
+
+/// \brief Variant taking a streaming split source: map task t pulls
+/// record batches from channel partition t while the producing stage is
+/// still emitting them (source->partitions() must equal num_map_tasks).
+/// Used by the runtime's pipelined narrow edges.
+Result<MRResult> RunMapReduceStream(
+    const MRConfig& config,
+    const std::shared_ptr<shuffle::BatchChannelGroup>& source,
     const MapFn& map_fn, const ReduceFn& reduce_fn);
 
 }  // namespace dmb::mapreduce

@@ -13,6 +13,14 @@ Status Plan::Validate() const {
   if (stages_.empty()) {
     return Status::InvalidArgument("plan has no stages");
   }
+  if (options_.pipeline_batch_records < 1) {
+    return Status::InvalidArgument(
+        "PlanOptions.pipeline_batch_records must be >= 1");
+  }
+  if (options_.pipeline_channel_batches < 1) {
+    return Status::InvalidArgument(
+        "PlanOptions.pipeline_channel_batches must be >= 1");
+  }
   for (size_t i = 0; i < stages_.size(); ++i) {
     const Stage& stage = stages_[i];
     const std::string where = "stage '" + stage.spec.name + "'";

@@ -72,6 +72,24 @@ struct StageSpec {
   StageBinder binder;
 };
 
+/// \brief Plan-level execution knobs (consumed by the StageScheduler).
+struct PlanOptions {
+  /// Pipeline narrow edges at batch granularity: the consumer of a
+  /// single-parent narrow edge is submitted while its producer is still
+  /// running and pulls record batches from a bounded per-partition
+  /// channel (DataMPI-style cross-stage overlap). Off = every edge is a
+  /// whole-partition barrier handoff (the pre-pipelining behaviour);
+  /// output is byte-identical either way. Wide and state edges, and
+  /// stages with several data parents, always use the barrier path.
+  bool pipeline_narrow_edges = false;
+  /// Producer-side flush granularity of a pipelined edge (records per
+  /// batch).
+  int pipeline_batch_records = 1024;
+  /// Per-partition backpressure bound of a pipelined edge: a producer
+  /// blocks while the consumer is this many batches behind.
+  int pipeline_channel_batches = 8;
+};
+
 /// \brief The stage DAG.
 class Plan {
  public:
@@ -97,8 +115,12 @@ class Plan {
   /// \brief The stage whose output is the plan's output (last added).
   int output_stage() const { return static_cast<int>(stages_.size()) - 1; }
 
+  PlanOptions& options() { return options_; }
+  const PlanOptions& options() const { return options_; }
+
  private:
   std::vector<Stage> stages_;
+  PlanOptions options_;
 };
 
 /// \brief Result of a plan run: the output stage's partitions plus the

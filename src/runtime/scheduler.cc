@@ -8,6 +8,7 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "shuffle/batch_channel.h"
 
 namespace dmb::runtime {
 
@@ -18,16 +19,38 @@ using engine::JobSpec;
 
 /// Execution record of one stage.
 struct StageState {
+  /// Parents that must still release this stage. A barrier parent
+  /// releases on completion; a pipelined producer releases on submit.
   int remaining_deps = 0;
+  /// Guards against double submission: a pipelined producer may zero a
+  /// consumer's remaining_deps while the initial seeding loop is still
+  /// walking the stages.
+  bool submitted = false;
   bool skipped = false;
+  /// Completion handler ran (guarded by the scheduler mutex); gates the
+  /// early release of `output`.
+  bool done = false;
+  /// Child stages that have not completed yet; at zero (and done) an
+  /// intermediate stage's `output` is dropped.
+  int alive_consumers = 0;
   /// Shared because a pass-through stage forwards its state parent's
   /// output without copying.
   std::shared_ptr<JobOutput> output;
+  /// Stats copied out of `output` so it can be released early.
+  engine::EngineStats run_stats;
   engine::StageStats stats;
+  /// Producer half of a pipelined narrow edge out of this stage.
+  std::shared_ptr<shuffle::BatchChannelGroup> out_channel;
+  /// Consumer half of a pipelined narrow edge into this stage.
+  std::shared_ptr<shuffle::BatchChannelGroup> in_channel;
+  /// Producer side: no other reader of the materialized output exists,
+  /// so the engine skips materializing it (stream is the only copy).
+  bool stream_only = false;
 };
 
-/// Runs one stage: bind, assemble input, execute. `states` of all input
-/// stages are final (the scheduler only submits ready stages).
+/// Runs one stage: bind, assemble input, execute. `states` of all
+/// barrier input stages are final; a pipelined producer is merely
+/// running (its channel is attached instead of its partitions).
 Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
                    const std::vector<std::unique_ptr<StageState>>& states,
                    StageState* state) {
@@ -37,16 +60,30 @@ Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
 
   const StageState* state_parent = nullptr;
   std::vector<const StageState*> data_parents;
-  bool narrow = false;
+  int narrow_edges = 0;
+  int wide_edges = 0;
   for (const StageInput& in : stage.inputs) {
     const StageState* parent = states[static_cast<size_t>(in.stage)].get();
     if (in.kind == EdgeKind::kState) {
       state_parent = parent;
     } else {
-      narrow = in.kind == EdgeKind::kNarrow;
+      if (in.kind == EdgeKind::kNarrow) {
+        ++narrow_edges;
+      } else {
+        ++wide_edges;
+      }
       data_parents.push_back(parent);
     }
   }
+  if (narrow_edges > 0 && wide_edges > 0) {
+    // Plan::Validate rejects this shape up front; derive the routing
+    // from a count instead of the old last-edge-wins flag so a future
+    // validation gap can never silently misroute one parent's data.
+    return Status::Internal(
+        "stage '" + stage.spec.name +
+        "': mixed narrow and wide data edges reached the scheduler");
+  }
+  const bool narrow = narrow_edges > 0;
 
   if (stage.spec.binder) {
     std::vector<KVPair> bind_state;
@@ -64,12 +101,42 @@ Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
       state->output = state_parent->output;
       state->skipped = true;
       state->stats.skipped = true;
+      if (state->out_channel) {
+        // A pipelined consumer is already pulling: feed it the
+        // forwarded partitions (one batch each) so the stream carries
+        // the same bytes the barrier handoff would have.
+        const auto& parts = state_parent->output->partitions;
+        if (static_cast<int>(parts.size()) !=
+            state->out_channel->partitions()) {
+          return Status::InvalidArgument(
+              "stage '" + stage.spec.name + "': pass-through forwards " +
+              std::to_string(parts.size()) +
+              " partitions but its pipelined consumer expects " +
+              std::to_string(state->out_channel->partitions()));
+        }
+        for (size_t p = 0; p < parts.size(); ++p) {
+          DMB_RETURN_NOT_OK(state->out_channel->Push(
+              static_cast<int>(p), std::vector<KVPair>(parts[p])));
+        }
+      }
       state->stats.wall_seconds = sw.ElapsedSeconds();
       return Status::OK();
     }
   }
 
-  if (!data_parents.empty()) {
+  if (state->in_channel) {
+    // Pipelined narrow edge: the producer is still running; map task p
+    // pulls partition p's batches from the channel instead of aliasing
+    // materialized partitions.
+    if (job.parallelism != state->in_channel->partitions()) {
+      return Status::InvalidArgument(
+          "stage '" + stage.spec.name + "': pipelined narrow input has " +
+          std::to_string(state->in_channel->partitions()) +
+          " partitions but parallelism " + std::to_string(job.parallelism));
+    }
+    job.stream_input = state->in_channel;
+    state->stats.pipelined = true;
+  } else if (!data_parents.empty()) {
     if (narrow) {
       std::shared_ptr<const std::vector<std::vector<KVPair>>> splits;
       if (data_parents.size() == 1) {
@@ -114,9 +181,24 @@ Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
     }
   }
 
+  if (state->out_channel) {
+    // Producer half of a pipelined edge: reduce tasks stream their
+    // output into the channel as they emit.
+    if (job.parallelism != state->out_channel->partitions()) {
+      return Status::InvalidArgument(
+          "stage '" + stage.spec.name +
+          "': binder changed the parallelism of a pipelined producer (" +
+          std::to_string(state->out_channel->partitions()) + " -> " +
+          std::to_string(job.parallelism) + ")");
+    }
+    job.stream_output = state->out_channel;
+    job.stream_output_only = state->stream_only;
+  }
+
   // Statuses propagate verbatim: a workload's error message survives the
   // plan layer exactly as it survives a single Run.
   DMB_ASSIGN_OR_RETURN(JobOutput out, engine->RunStage(job));
+  state->run_stats = out.stats;
   state->stats.shuffle_bytes = out.stats.shuffle_bytes;
   state->stats.spill_count = out.stats.spill_count;
   state->stats.spill_bytes_on_disk = out.stats.spill_bytes_on_disk;
@@ -139,7 +221,10 @@ PlanOutput AssembleOutput(
     out.stats.stages.push_back(s.stats);
     if (s.skipped) continue;
     ++out.stats.stage_count;
-    const engine::EngineStats& st = s.output->stats;
+    // Summed from the copy taken at run time: the stage's JobOutput may
+    // already have been released (dropped once its last consumer
+    // finished).
+    const engine::EngineStats& st = s.run_stats;
     out.stats.map_output_records += st.map_output_records;
     out.stats.shuffle_bytes += st.shuffle_bytes;
     out.stats.spill_count += st.spill_count;
@@ -163,12 +248,14 @@ PlanOutput AssembleOutput(
 
 StageScheduler::StageScheduler(engine::Engine* engine, const Plan& plan,
                                SchedulerOptions options)
-    : engine_(engine), plan_(plan), options_(options) {}
+    : engine_(engine), plan_(plan), options_(std::move(options)) {}
 
 Result<PlanOutput> StageScheduler::Execute() {
   DMB_RETURN_NOT_OK(plan_.Validate());
   const auto& stages = plan_.stages();
   const size_t n = stages.size();
+  const PlanOptions& popts = plan_.options();
+  const int output_stage = plan_.output_stage();
 
   std::vector<std::unique_ptr<StageState>> states;
   if (n == 1) {
@@ -179,7 +266,9 @@ Result<PlanOutput> StageScheduler::Execute() {
                                   states[0].get()));
     return AssembleOutput(plan_, states);
   }
+
   std::vector<std::vector<int>> children(n);
+  std::vector<std::vector<int>> parents_of(n);
   states.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     states.push_back(std::make_unique<StageState>());
@@ -193,6 +282,80 @@ Result<PlanOutput> StageScheduler::Execute() {
     states[i]->remaining_deps = static_cast<int>(parents.size());
     for (int p : parents) children[static_cast<size_t>(p)].push_back(
         static_cast<int>(i));
+    parents_of[i] = std::move(parents);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    states[i]->alive_consumers = static_cast<int>(children[i].size());
+  }
+
+  // Pipelining analysis: stage c consumes producer p over the batch
+  // channel iff the plan opted in, c's record input is exactly one
+  // narrow edge from p, none of c's other parents needs p *final*
+  // first (a state edge from p itself, or any parent downstream of p —
+  // such a consumer could not start pulling until p completed, so the
+  // producer would block on backpressure forever), and p does not
+  // already feed another pipelined consumer. Everything else keeps the
+  // barrier handoff.
+  std::vector<int> pipe_child(n, -1);  // producer -> consumer
+
+  // True iff `to` is reachable from `from` over parent->child edges.
+  // Edges always point at higher stage ids, so the walk is a simple
+  // forward sweep.
+  auto downstream_of = [&](int from, int to) {
+    std::vector<int> frontier{from};
+    std::vector<bool> seen(n, false);
+    while (!frontier.empty()) {
+      const int node = frontier.back();
+      frontier.pop_back();
+      if (node == to) return true;
+      for (int child : children[static_cast<size_t>(node)]) {
+        if (child <= to && !seen[static_cast<size_t>(child)]) {
+          seen[static_cast<size_t>(child)] = true;
+          frontier.push_back(child);
+        }
+      }
+    }
+    return false;
+  };
+
+  bool any_pipelined = false;
+  if (popts.pipeline_narrow_edges) {
+    for (size_t i = 0; i < n; ++i) {
+      int data_edges = 0;
+      int narrow_parent = -1;
+      bool all_narrow = true;
+      int state_parent = -1;
+      for (const StageInput& in : stages[i].inputs) {
+        if (in.kind == EdgeKind::kState) {
+          state_parent = in.stage;
+        } else {
+          ++data_edges;
+          narrow_parent = in.stage;
+          if (in.kind != EdgeKind::kNarrow) all_narrow = false;
+        }
+      }
+      if (data_edges != 1 || !all_narrow) continue;
+      // The binder consumes its state parent *final*: a state edge from
+      // the producer itself can never stream.
+      if (state_parent == narrow_parent) continue;
+      bool blocked_parent = false;
+      for (int parent : parents_of[i]) {
+        if (parent != narrow_parent &&
+            downstream_of(narrow_parent, parent)) {
+          // This parent transitively waits for the producer to
+          // complete, so the consumer could not start pulling until
+          // the producer finished — the producer would park on
+          // backpressure forever. Keep the barrier handoff.
+          blocked_parent = true;
+          break;
+        }
+      }
+      if (blocked_parent) continue;
+      if (pipe_child[static_cast<size_t>(narrow_parent)] != -1) continue;
+      pipe_child[static_cast<size_t>(narrow_parent)] =
+          static_cast<int>(i);
+      any_pipelined = true;
+    }
   }
 
   std::mutex mu;
@@ -201,24 +364,96 @@ Result<PlanOutput> StageScheduler::Execute() {
   int in_flight = 0;
   size_t done_count = 0;
 
-  ThreadPool pool(std::max(1, options_.max_concurrent_stages));
+  // With pipelined edges every stage of the plan may legitimately be
+  // resident at once (producers block on backpressure until their
+  // consumers run), so the pool must never be the reason a consumer
+  // cannot start.
+  const int pool_threads =
+      any_pipelined
+          ? std::max(options_.max_concurrent_stages, static_cast<int>(n))
+          : std::max(1, options_.max_concurrent_stages);
+  ThreadPool pool(pool_threads);
+
+  // Drops an intermediate stage's retained output once it is done and
+  // its last consumer completed (mu held).
+  auto maybe_release = [&](int sid) {
+    StageState* s = states[static_cast<size_t>(sid)].get();
+    if (!s->done || s->alive_consumers > 0 || sid == output_stage ||
+        !s->output) {
+      return;
+    }
+    s->output.reset();
+    if (options_.on_stage_output_released) {
+      options_.on_stage_output_released(sid);
+    }
+  };
+
   // Submits stage `sid` (mu held). The stage task re-locks to publish
   // its result and hand newly-ready children back to the pool.
   std::function<void(int)> submit = [&](int sid) {
     StageState* state = states[static_cast<size_t>(sid)].get();
+    if (state->submitted) return;
+    state->submitted = true;
+    const int pc = pipe_child[static_cast<size_t>(sid)];
+    if (pc != -1) {
+      // This stage produces into a pipelined edge: create the channel
+      // and release the consumer now — per-edge readiness instead of
+      // "submit only when all deps are final".
+      shuffle::BatchChannelGroup::Options copts;
+      copts.partitions = stages[static_cast<size_t>(sid)].spec.job.parallelism;
+      copts.batch_records =
+          static_cast<size_t>(popts.pipeline_batch_records);
+      copts.max_buffered_batches =
+          static_cast<size_t>(popts.pipeline_channel_batches);
+      auto channel = std::make_shared<shuffle::BatchChannelGroup>(copts);
+      state->out_channel = channel;
+      // When the pipelined consumer is the only reader, the stream is
+      // the output: skip materializing the partitions entirely.
+      state->stream_only =
+          children[static_cast<size_t>(sid)].size() == 1 &&
+          sid != output_stage;
+      StageState* cs = states[static_cast<size_t>(pc)].get();
+      cs->in_channel = channel;
+      if (--cs->remaining_deps == 0) submit(pc);
+    }
     ++in_flight;
     pool.Submit([&, sid, state] {
       Status st = RunOneStage(engine_, stages[static_cast<size_t>(sid)],
                               states, state);
+      // Producer side: close every still-open partition — a clean close
+      // ends the consumer's pull loop, an error reaches it verbatim.
+      if (state->out_channel) state->out_channel->CloseAll(st);
+      // Consumer side: a failed consumer aborts its producer's pushes
+      // with the same error; a successful one (e.g. a skipped
+      // pass-through that never drained) lets them drop silently.
+      if (state->in_channel) state->in_channel->Cancel(st);
       std::lock_guard<std::mutex> lock(mu);
       ++done_count;
       --in_flight;
+      state->done = true;
       if (!st.ok()) {
-        if (error.ok()) error = st;
+        if (error.ok()) {
+          error = st;
+          // Unblock every pipelined stage still in flight: producers
+          // stuck on backpressure fail their next Push, consumers
+          // waiting on a never-submitted producer fail their next Pull.
+          for (const auto& other : states) {
+            if (other->out_channel) other->out_channel->Cancel(error);
+          }
+        }
       } else if (error.ok()) {
         for (int child : children[static_cast<size_t>(sid)]) {
+          if (child == pipe_child[static_cast<size_t>(sid)]) continue;
           StageState* cs = states[static_cast<size_t>(child)].get();
           if (--cs->remaining_deps == 0) submit(child);
+        }
+        // Early release: this stage may already be drained (no
+        // consumers), and its parents may have just lost their last
+        // consumer.
+        maybe_release(sid);
+        for (int parent : parents_of[static_cast<size_t>(sid)]) {
+          StageState* ps = states[static_cast<size_t>(parent)].get();
+          if (--ps->alive_consumers == 0) maybe_release(parent);
         }
       }
       cv.notify_all();

@@ -1,17 +1,33 @@
 // StageScheduler: the one executor behind every engine's RunPlan.
 //
-// Stages run as tasks on a shared ThreadPool in dependency order:
-// a stage is submitted the moment its last input stage finishes, so
-// independent branches of the DAG execute concurrently while chains
-// stay sequential. Per stage the scheduler (1) hands the state parent's
-// merged output to the binder, (2) assembles the record input — narrow
-// edges share the parent's partitions as pre-aligned input_splits, wide
-// edges gather and re-split — and (3) calls Engine::RunStage. A failing
-// stage cancels everything not yet submitted and its status is returned
-// verbatim (workload errors keep their message across the plan layer).
+// Stages run as tasks on a shared ThreadPool with per-edge readiness:
+// by default a stage is submitted the moment its last input stage
+// finishes, so independent branches of the DAG execute concurrently
+// while chains stay sequential. With Plan::options()
+// .pipeline_narrow_edges set, a single-parent narrow edge releases its
+// consumer when the producer *starts* instead: the producer's reduce
+// tasks push record batches into a bounded per-partition channel
+// (shuffle::BatchChannelGroup) and the consumer's partition-aligned map
+// tasks pull them while the producer is still running — the paper's
+// DataMPI-style overlap across stage boundaries, with byte-identical
+// output. Wide edges, state edges and multi-parent narrow stages keep
+// the barrier handoff.
+//
+// Per stage the scheduler (1) hands the state parent's merged output to
+// the binder, (2) assembles the record input — pipelined edges attach
+// the batch channel, barrier narrow edges share the parent's partitions
+// as pre-aligned input_splits, wide edges gather and re-split — and
+// (3) calls Engine::RunStage. A failing stage cancels everything not
+// yet submitted, closes/cancels every in-flight batch channel (a
+// mid-stream producer failure reaches its consumer verbatim, and vice
+// versa) and its status is returned verbatim. Intermediate stage
+// outputs are dropped as soon as their last consuming child completes
+// (child refcount), so deep plans do not hold every stage's data live.
 
 #ifndef DATAMPI_BENCH_RUNTIME_SCHEDULER_H_
 #define DATAMPI_BENCH_RUNTIME_SCHEDULER_H_
+
+#include <functional>
 
 #include "common/status.h"
 #include "engine/engine.h"
@@ -22,8 +38,14 @@ namespace dmb::runtime {
 /// \brief Scheduler tuning.
 struct SchedulerOptions {
   /// Stage tasks running at once (each stage still fans out its own
-  /// task-level parallelism inside the engine).
+  /// task-level parallelism inside the engine). With pipelined narrow
+  /// edges the pool is widened to the plan's stage count so a producer
+  /// blocked on backpressure can never starve its consumer of a thread.
   int max_concurrent_stages = 4;
+  /// Test/observability hook: invoked (under the scheduler lock) when
+  /// an intermediate stage's retained output is dropped because its
+  /// last consuming child completed.
+  std::function<void(int stage_id)> on_stage_output_released;
 };
 
 /// \brief One-shot executor of a Plan against an Engine.

@@ -1,0 +1,151 @@
+#include "shuffle/batch_channel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dmb::shuffle {
+
+BatchChannelGroup::BatchChannelGroup(Options options)
+    : options_(options),
+      parts_(static_cast<size_t>(std::max(1, options.partitions))) {
+  DMB_CHECK(options_.partitions >= 1);
+  DMB_CHECK(options_.batch_records >= 1);
+  DMB_CHECK(options_.max_buffered_batches >= 1);
+}
+
+Status BatchChannelGroup::Push(int partition, std::vector<KVPair> batch) {
+  if (batch.empty()) return Status::OK();
+  if (partition < 0 || partition >= options_.partitions) {
+    return Status::InvalidArgument("batch channel: partition out of range");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  Partition& part = parts_[static_cast<size_t>(partition)];
+  for (;;) {
+    if (cancelled_) {
+      // Consumer abort: an error status kills the producer verbatim; an
+      // OK status means the consumer no longer needs the stream and the
+      // batch is dropped silently.
+      return cancel_status_;
+    }
+    if (part.closed) {
+      return Status::Internal("batch channel: push after close");
+    }
+    if (part.queue.size() < options_.max_buffered_batches) break;
+    part.space_cv.wait(lock);
+  }
+  ++batches_pushed_;
+  records_pushed_ += static_cast<int64_t>(batch.size());
+  part.queue.push_back(std::move(batch));
+  max_buffered_seen_ = std::max(max_buffered_seen_, part.queue.size());
+  part.data_cv.notify_one();
+  return Status::OK();
+}
+
+void BatchChannelGroup::Close(int partition, const Status& status) {
+  if (partition < 0 || partition >= options_.partitions) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Partition& part = parts_[static_cast<size_t>(partition)];
+  if (part.closed) return;  // the first close (and its status) wins
+  part.closed = true;
+  part.close_status = status;
+  part.data_cv.notify_all();
+  part.space_cv.notify_all();
+}
+
+void BatchChannelGroup::CloseAll(const Status& status) {
+  for (int p = 0; p < options_.partitions; ++p) Close(p, status);
+}
+
+Result<bool> BatchChannelGroup::Pull(int partition,
+                                     std::vector<KVPair>* batch) {
+  if (partition < 0 || partition >= options_.partitions) {
+    return Status::InvalidArgument("batch channel: partition out of range");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  Partition& part = parts_[static_cast<size_t>(partition)];
+  for (;;) {
+    if (!part.queue.empty()) {
+      *batch = std::move(part.queue.front());
+      part.queue.pop_front();
+      part.space_cv.notify_one();
+      return true;
+    }
+    if (part.closed) {
+      // Buffered batches drain first, then the close status surfaces:
+      // a clean end returns false, a producer failure propagates
+      // verbatim.
+      DMB_RETURN_NOT_OK(part.close_status);
+      return false;
+    }
+    if (cancelled_ && !cancel_status_.ok()) return cancel_status_;
+    part.data_cv.wait(lock);
+  }
+}
+
+void BatchChannelGroup::Cancel(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_) return;
+  cancelled_ = true;
+  cancel_status_ = status;
+  for (auto& part : parts_) {
+    part.data_cv.notify_all();
+    part.space_cv.notify_all();
+  }
+}
+
+size_t BatchChannelGroup::max_buffered_batches_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_buffered_seen_;
+}
+
+int64_t BatchChannelGroup::batches_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_pushed_;
+}
+
+int64_t BatchChannelGroup::records_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_pushed_;
+}
+
+BatchStreamWriter::BatchStreamWriter(BatchChannelGroup* sink, int partition)
+    : sink_(sink), partition_(partition) {
+  batch_.reserve(sink_->batch_records());
+}
+
+Status BatchStreamWriter::Add(std::string_view key, std::string_view value) {
+  batch_.push_back(KVPair{std::string(key), std::string(value)});
+  if (batch_.size() >= sink_->batch_records()) {
+    std::vector<KVPair> full;
+    full.reserve(sink_->batch_records());
+    batch_.swap(full);
+    return sink_->Push(partition_, std::move(full));
+  }
+  return Status::OK();
+}
+
+Status BatchStreamWriter::Finish() {
+  if (!batch_.empty()) {
+    DMB_RETURN_NOT_OK(sink_->Push(partition_, std::move(batch_)));
+    batch_.clear();
+  }
+  sink_->Close(partition_, Status::OK());
+  return Status::OK();
+}
+
+Status DrainChannel(BatchChannelGroup* source, int partition,
+                    const std::function<Status(std::string_view key,
+                                               std::string_view value)>& fn) {
+  std::vector<KVPair> batch;
+  for (;;) {
+    DMB_ASSIGN_OR_RETURN(bool more, source->Pull(partition, &batch));
+    if (!more) return Status::OK();
+    for (const KVPair& kv : batch) {
+      DMB_RETURN_NOT_OK(fn(kv.key, kv.value));
+    }
+  }
+}
+
+}  // namespace dmb::shuffle

@@ -1,0 +1,172 @@
+// BatchChannelGroup: the bounded per-partition batch channel behind the
+// runtime's pipelined narrow edges (DataMPI-style stage overlap).
+//
+// A producing stage's reduce task p pushes its output records into
+// partition p as fixed-size batches *while it is still reducing*; the
+// consuming stage's partition-aligned map task p pulls them before the
+// producer finishes. Each partition is a bounded SPSC queue:
+//
+//   * backpressure — Push() blocks while a partition already buffers
+//     `max_buffered_batches`, so a slow consumer bounds the producer's
+//     resident intermediate data instead of letting it balloon;
+//   * termination — the producer Close()s a partition when its output is
+//     complete; Pull() then drains the remaining queue and returns false;
+//   * error propagation — a Close() with a non-OK status is delivered to
+//     the consumer verbatim on its next Pull(), so a mid-stream producer
+//     failure cancels the consumer with the original error message;
+//   * consumer abort — Cancel() unblocks producers: with an error status
+//     every pending and future Push() fails with it (a dead consumer
+//     kills the producer), with an OK status pushes are silently dropped
+//     (the consumer finished without needing the rest, e.g. a skipped
+//     pass-through stage).
+//
+// The group is engine-agnostic: it sits below src/engine so JobSpec can
+// carry one as a streaming input source / output sink on any engine.
+
+#ifndef DATAMPI_BENCH_SHUFFLE_BATCH_CHANNEL_H_
+#define DATAMPI_BENCH_SHUFFLE_BATCH_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/kv.h"
+
+namespace dmb::shuffle {
+
+using datampi::KVPair;
+
+/// \brief One channel per output partition of a producing stage.
+class BatchChannelGroup {
+ public:
+  struct Options {
+    int partitions = 1;
+    /// Producer-side flush granularity used by BatchStreamWriter.
+    size_t batch_records = 1024;
+    /// Per-partition bound: Push() blocks while this many batches are
+    /// already buffered (the backpressure window).
+    size_t max_buffered_batches = 8;
+  };
+
+  explicit BatchChannelGroup(Options options);
+
+  int partitions() const { return options_.partitions; }
+  size_t batch_records() const { return options_.batch_records; }
+  size_t max_buffered_batches() const { return options_.max_buffered_batches; }
+
+  /// \brief Producer: appends one batch to `partition`, blocking while
+  /// the partition is at its buffering bound. Returns the Cancel()
+  /// status when the consumer aborted (OK = batch silently dropped).
+  Status Push(int partition, std::vector<KVPair> batch);
+
+  /// \brief Producer: no more batches for `partition`. Idempotent (the
+  /// first close wins); a non-OK status reaches the consumer verbatim.
+  void Close(int partition, const Status& status);
+
+  /// \brief Closes every still-open partition (the scheduler's safety
+  /// net after the producing stage returns, on success or failure).
+  void CloseAll(const Status& status);
+
+  /// \brief Consumer: blocks for the next batch of `partition`. Returns
+  /// true with a batch, false at clean end-of-partition, or the
+  /// producer's close error verbatim.
+  Result<bool> Pull(int partition, std::vector<KVPair>* batch);
+
+  /// \brief Aborts the stream from either side. Pending and future
+  /// Push()es return `status` (a dead consumer — or a failed sibling
+  /// producer task — propagates its error to everyone parked on the
+  /// backpressure window), and a Pull() finding no data fails with it
+  /// too; an OK status drops pushes silently instead (the consumer
+  /// finished without needing the rest).
+  void Cancel(const Status& status);
+
+  /// \brief High-water mark of buffered batches in any one partition
+  /// (observability + the backpressure-bound tests).
+  size_t max_buffered_batches_seen() const;
+  int64_t batches_pushed() const;
+  int64_t records_pushed() const;
+
+ private:
+  struct Partition {
+    std::deque<std::vector<KVPair>> queue;
+    bool closed = false;
+    Status close_status;
+    std::condition_variable data_cv;
+    std::condition_variable space_cv;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<Partition> parts_;
+  bool cancelled_ = false;
+  Status cancel_status_;
+  size_t max_buffered_seen_ = 0;
+  int64_t batches_pushed_ = 0;
+  int64_t records_pushed_ = 0;
+};
+
+/// \brief Producer-side helper: accumulates records for one partition
+/// and pushes a batch every `batch_records()`; Finish() flushes the
+/// remainder and closes the partition cleanly. Engines wrap their
+/// reduce emitters with one of these per reduce task.
+class BatchStreamWriter {
+ public:
+  BatchStreamWriter(BatchChannelGroup* sink, int partition);
+
+  Status Add(std::string_view key, std::string_view value);
+  /// \brief Flushes the tail batch and Close()s the partition with OK.
+  Status Finish();
+
+ private:
+  BatchChannelGroup* sink_;
+  int partition_;
+  std::vector<KVPair> batch_;
+};
+
+/// \brief Shared body of the engines' stream-aware reduce collectors:
+/// counts every emission, tees it into the stream while the stream is
+/// healthy (a Push failure — cancelled consumer — is sticky and
+/// surfaces via status(), checked by the engine after each reduce
+/// call), and retains it for the materialized output unless the stream
+/// is the job's only reader. One implementation so the subtle ordering
+/// (count always, push only while ok, retain only when materializing)
+/// cannot drift between the engines.
+class StreamTeeCollector {
+ public:
+  StreamTeeCollector(BatchStreamWriter* stream, bool retain)
+      : stream_(stream), retain_(retain) {}
+
+  void Collect(std::string_view key, std::string_view value) {
+    ++records_;
+    if (stream_ != nullptr && status_.ok()) {
+      status_ = stream_->Add(key, value);
+    }
+    if (retain_) out_.push_back(KVPair{std::string(key), std::string(value)});
+  }
+  std::vector<KVPair> Take() { return std::move(out_); }
+  int64_t records() const { return records_; }
+  const Status& status() const { return status_; }
+
+ private:
+  BatchStreamWriter* stream_;
+  bool retain_;
+  int64_t records_ = 0;
+  Status status_;
+  std::vector<KVPair> out_;
+};
+
+/// \brief Consumer-side pull loop shared by the engines' map drivers:
+/// pulls every batch of `partition`, invoking `fn` once per record,
+/// until the producer closes the partition (or its error propagates).
+Status DrainChannel(BatchChannelGroup* source, int partition,
+                    const std::function<Status(std::string_view key,
+                                               std::string_view value)>& fn);
+
+}  // namespace dmb::shuffle
+
+#endif  // DATAMPI_BENCH_SHUFFLE_BATCH_CHANNEL_H_

@@ -25,6 +25,18 @@ std::string InvertedCountKey(int64_t count, std::string_view line) {
 /// already emitted.
 constexpr std::string_view kTotalKey = "~total";
 
+/// Routes every key to partition 0: the top-k funnel. Keeping the top-k
+/// stage at the grep stage's parallelism with this partitioner (instead
+/// of a wide gather into a parallelism-1 stage) makes the grep->topk
+/// edge narrow and partition-aligned — and therefore pipelineable: the
+/// top-k map tasks start re-keying matches while the grep stage is
+/// still producing them.
+class FunnelPartitioner final : public datampi::Partitioner {
+ public:
+  int Partition(std::string_view, int) const override { return 0; }
+  std::string name() const override { return "funnel"; }
+};
+
 std::string SumCombiner(std::string_view,
                         const std::vector<std::string>& values) {
   int64_t total = 0;
@@ -62,12 +74,16 @@ Result<GrepTopKResult> GrepTopK(engine::Engine& eng,
   grep.job.reduce_fn = engine::CombinerAsReduce(SumCombiner);
   const int grep_id = plan.AddStage(std::move(grep));
 
-  // Stage 2: one sorted partition in descending-count order; the reduce
-  // task emits the first k groups plus the fold of the total record.
+  // Stage 2: funnel everything into one sorted partition in
+  // descending-count order; reduce task 0 emits the first k groups plus
+  // the fold of the total record. The edge is narrow (same parallelism,
+  // partition-aligned) so the plan can pipeline it: with
+  // config.pipeline_narrow_edges the top-k map tasks pull the grep
+  // stage's matches batch by batch while it is still reducing.
   runtime::StageSpec topk;
   topk.name = "topk";
   topk.job = BaseSpec(config);
-  topk.job.parallelism = 1;
+  topk.job.partitioner = std::make_shared<FunnelPartitioner>();
   topk.job.map_fn = [](std::string_view line, std::string_view count,
                        engine::MapContext* ctx) -> Status {
     DMB_RETURN_NOT_OK(ctx->Emit(InvertedCountKey(std::stoll(
@@ -94,7 +110,11 @@ Result<GrepTopKResult> GrepTopK(engine::Engine& eng,
     }
     return Status::OK();
   };
-  plan.AddStage(std::move(topk), {{grep_id, runtime::EdgeKind::kWide}});
+  plan.AddStage(std::move(topk), {{grep_id, runtime::EdgeKind::kNarrow}});
+  plan.options().pipeline_narrow_edges = config.pipeline_narrow_edges;
+  // Grep emits small records at a high rate: larger batches keep the
+  // channel's synchronization cost well below the overlap it buys.
+  plan.options().pipeline_batch_records = 4096;
 
   DMB_ASSIGN_OR_RETURN(runtime::PlanOutput out, eng.RunPlan(plan));
   if (stats != nullptr) *stats = out.stats;

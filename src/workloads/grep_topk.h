@@ -3,10 +3,13 @@
 // Stage 1 is the paper's Grep micro-benchmark (matching lines with
 // occurrence counts, map-side combined); stage 2 re-keys each matched
 // line by an order-inverted, zero-padded count and funnels everything
-// into a single sorted partition, so the reduce side streams the lines
-// in descending-count order and keeps the first k — Hadoop's classic
+// into a single sorted partition (a partition-0 partitioner at the grep
+// stage's parallelism), so reduce task 0 streams the lines in
+// descending-count order and keeps the first k — Hadoop's classic
 // "second job for the top list" expressed as one Plan instead of two
-// hand-chained jobs.
+// hand-chained jobs. The grep->topk edge is narrow and partition-
+// aligned; with EngineConfig::pipeline_narrow_edges the plan pipelines
+// it at batch granularity (top-k starts on the first emitted matches).
 
 #ifndef DATAMPI_BENCH_WORKLOADS_GREP_TOPK_H_
 #define DATAMPI_BENCH_WORKLOADS_GREP_TOPK_H_

@@ -31,6 +31,11 @@ struct EngineConfig {
   /// files past the budget instead of failing with OutOfMemory
   /// (JobSpec::rdd_shuffle_spill). No effect on the other engines.
   bool rdd_shuffle_spill = false;
+  /// Multi-stage plans only: pipeline narrow edges at batch granularity
+  /// (PlanOptions::pipeline_narrow_edges) — downstream stages start on
+  /// the upstream stage's first emitted batches instead of waiting for
+  /// whole partitions. Byte-identical output; off = barrier handoff.
+  bool pipeline_narrow_edges = false;
 };
 
 /// \brief JobSpec knobs shared by every workload below.

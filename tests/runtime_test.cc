@@ -7,14 +7,20 @@
 // memory budget.
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
 #include "engine/registry.h"
 #include "runtime/scheduler.h"
+#include "shuffle/batch_channel.h"
+#include "workloads/grep_topk.h"
 #include "workloads/text_utils.h"
 
 namespace dmb::runtime {
@@ -120,20 +126,55 @@ TEST(PlanValidationTest, StateEdgeRequiresBinder) {
 }
 
 TEST(PlanValidationTest, MixedDataEdgeKindsAreRejected) {
+  // Regression: RunOneStage used to route *all* data parents by
+  // whichever edge kind appeared last, so a mixed narrow+wide stage
+  // would silently misroute one parent's data. Both edge orders must be
+  // rejected up front (and the scheduler independently refuses the
+  // shape should validation ever regress).
+  for (const bool narrow_first : {true, false}) {
+    Plan plan;
+    StageSpec a;
+    a.job = PassThroughJob(2);
+    a.job.input = engine::LinesAsInput({"a"});
+    const int ida = plan.AddStage(std::move(a));
+    StageSpec b;
+    b.job = PassThroughJob(2);
+    b.job.input = engine::LinesAsInput({"b"});
+    const int idb = plan.AddStage(std::move(b));
+    StageSpec sink;
+    sink.job = PassThroughJob(2);
+    std::vector<StageInput> inputs =
+        narrow_first
+            ? std::vector<StageInput>{{ida, EdgeKind::kNarrow},
+                                      {idb, EdgeKind::kWide}}
+            : std::vector<StageInput>{{ida, EdgeKind::kWide},
+                                      {idb, EdgeKind::kNarrow}};
+    plan.AddStage(std::move(sink), std::move(inputs));
+    EXPECT_TRUE(plan.Validate().IsInvalidArgument())
+        << (narrow_first ? "narrow,wide" : "wide,narrow");
+
+    // The whole plan API refuses to run it, on every engine.
+    auto eng = engine::MakeEngine("datampi");
+    ASSERT_TRUE(eng.ok());
+    auto out = (*eng)->RunPlan(plan);
+    ASSERT_FALSE(out.ok());
+    EXPECT_TRUE(out.status().IsInvalidArgument());
+  }
+}
+
+TEST(PlanValidationTest, PipelineOptionBoundsAreValidated) {
   Plan plan;
-  StageSpec a;
-  a.job = PassThroughJob(2);
-  a.job.input = engine::LinesAsInput({"a"});
-  const int ida = plan.AddStage(std::move(a));
-  StageSpec b;
-  b.job = PassThroughJob(2);
-  b.job.input = engine::LinesAsInput({"b"});
-  const int idb = plan.AddStage(std::move(b));
-  StageSpec sink;
-  sink.job = PassThroughJob(2);
-  plan.AddStage(std::move(sink),
-                {{ida, EdgeKind::kNarrow}, {idb, EdgeKind::kWide}});
+  StageSpec stage;
+  stage.job = PassThroughJob(2);
+  stage.job.input = engine::LinesAsInput({"a"});
+  plan.AddStage(std::move(stage));
+  plan.options().pipeline_batch_records = 0;
   EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+  plan.options().pipeline_batch_records = 16;
+  plan.options().pipeline_channel_batches = 0;
+  EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+  plan.options().pipeline_channel_batches = 2;
+  EXPECT_TRUE(plan.Validate().ok());
 }
 
 TEST(PlanValidationTest, NarrowEdgeNeedsMatchingParallelism) {
@@ -507,6 +548,407 @@ TEST(RuntimeTest, RddWideStageSpillsInsteadOfOomUnderTinyBudget) {
   EXPECT_GT(spilled->stats.spill_bytes_on_disk, 0);
   EXPECT_GT(spilled->stats.blocks_read, 0);
   EXPECT_EQ(spilled->partitions, reference->partitions);
+}
+
+// ---- Pipelined narrow edges (batch channel) ----
+
+/// count -> rekey chain over a narrow edge; used both in barrier and
+/// pipelined mode (byte-identical output required).
+Plan NarrowChain(const std::vector<std::string>& lines, int parallelism) {
+  Plan plan;
+  StageSpec count;
+  count.name = "count";
+  count.job = CountingJob(parallelism);
+  count.job.input = engine::LinesAsInput(lines);
+  const int count_id = plan.AddStage(std::move(count));
+
+  StageSpec rekey;
+  rekey.name = "rekey";
+  rekey.job.parallelism = parallelism;
+  rekey.job.map_fn = [](std::string_view word, std::string_view count,
+                        MapContext* ctx) -> Status {
+    std::string key(count);
+    key.insert(0, 12 - std::min<size_t>(12, key.size()), '0');
+    key.push_back('\x01');
+    key.append(word);
+    return ctx->Emit(key, count);
+  };
+  rekey.job.reduce_fn = EmitAllReduce;
+  const int rekey_id =
+      plan.AddStage(std::move(rekey), {{count_id, EdgeKind::kNarrow}});
+
+  StageSpec gather;
+  gather.name = "gather";
+  gather.job = PassThroughJob(1);
+  plan.AddStage(std::move(gather), {{rekey_id, EdgeKind::kWide}});
+  return plan;
+}
+
+TEST(PipelineTest, PipelinedNarrowEdgeIsByteIdenticalOnEveryEngine) {
+  const auto lines = RandomLines(113, 400);
+  std::vector<std::vector<KVPair>> reference;
+  for (const auto& info : engine::Engines()) {
+    Plan barrier = NarrowChain(lines, 3);
+    auto barrier_out = info.make()->RunPlan(barrier);
+    ASSERT_TRUE(barrier_out.ok()) << info.name << ": "
+                                  << barrier_out.status();
+    EXPECT_FALSE(barrier_out->stats.stages[1].pipelined) << info.name;
+
+    Plan pipelined = NarrowChain(lines, 3);
+    pipelined.options().pipeline_narrow_edges = true;
+    // Tiny batches + a tight bound so the test exercises many pushes,
+    // pulls and backpressure stalls, not one bulk transfer.
+    pipelined.options().pipeline_batch_records = 7;
+    pipelined.options().pipeline_channel_batches = 2;
+    auto pipelined_out = info.make()->RunPlan(pipelined);
+    ASSERT_TRUE(pipelined_out.ok()) << info.name << ": "
+                                    << pipelined_out.status();
+    EXPECT_TRUE(pipelined_out->stats.stages[1].pipelined) << info.name;
+    EXPECT_FALSE(pipelined_out->stats.stages[0].pipelined) << info.name;
+
+    EXPECT_EQ(pipelined_out->partitions, barrier_out->partitions)
+        << info.name;
+    // Pipelined mode must not change what the stages compute.
+    EXPECT_EQ(pipelined_out->stats.output_records,
+              barrier_out->stats.output_records)
+        << info.name;
+    if (reference.empty()) {
+      reference = pipelined_out->partitions;
+    } else {
+      EXPECT_EQ(pipelined_out->partitions, reference) << info.name;
+    }
+  }
+}
+
+TEST(PipelineTest, ChainedPipelinedEdgesOverlapThreeStages) {
+  // source -> double -> tag, all narrow and all pipelined: the middle
+  // stage consumes and produces streams at the same time.
+  const auto lines = RandomLines(127, 300);
+  for (const auto& info : engine::Engines()) {
+    auto build = [&](bool pipeline) {
+      Plan plan;
+      StageSpec source;
+      source.name = "source";
+      source.job = CountingJob(2);
+      source.job.input = engine::LinesAsInput(lines);
+      const int src = plan.AddStage(std::move(source));
+      StageSpec doubled;
+      doubled.name = "double";
+      doubled.job.parallelism = 2;
+      doubled.job.map_fn = [](std::string_view word, std::string_view count,
+                              MapContext* ctx) -> Status {
+        return ctx->Emit(word, std::to_string(2 * std::stoll(
+                                   std::string(count))));
+      };
+      doubled.job.reduce_fn = EmitAllReduce;
+      const int dbl =
+          plan.AddStage(std::move(doubled), {{src, EdgeKind::kNarrow}});
+      StageSpec tag;
+      tag.name = "tag";
+      tag.job = PassThroughJob(2);
+      plan.AddStage(std::move(tag), {{dbl, EdgeKind::kNarrow}});
+      plan.options().pipeline_narrow_edges = pipeline;
+      plan.options().pipeline_batch_records = 5;
+      plan.options().pipeline_channel_batches = 2;
+      return plan;
+    };
+    auto barrier = info.make()->RunPlan(build(false));
+    ASSERT_TRUE(barrier.ok()) << info.name << ": " << barrier.status();
+    auto pipelined = info.make()->RunPlan(build(true));
+    ASSERT_TRUE(pipelined.ok()) << info.name << ": " << pipelined.status();
+    EXPECT_EQ(pipelined->partitions, barrier->partitions) << info.name;
+    EXPECT_TRUE(pipelined->stats.stages[1].pipelined) << info.name;
+    EXPECT_TRUE(pipelined->stats.stages[2].pipelined) << info.name;
+  }
+}
+
+TEST(PipelineTest, MidStreamProducerFailureCancelsConsumerVerbatim) {
+  const auto lines = RandomLines(131, 400);
+  for (const auto& info : engine::Engines()) {
+    Plan plan;
+    StageSpec source;
+    source.name = "source";
+    source.job = CountingJob(2);
+    source.job.input = engine::LinesAsInput(lines);
+    // Fail mid-reduce, after some groups were already streamed to the
+    // consumer: the consumer must surface the producer's error
+    // verbatim, not hang and not return partial output.
+    auto groups_seen = std::make_shared<std::atomic<int>>(0);
+    source.job.reduce_fn = [groups_seen](
+                               std::string_view key,
+                               const std::vector<std::string>& values,
+                               ReduceEmitter* out) -> Status {
+      if (groups_seen->fetch_add(1) > 20) {
+        return Status::Internal("producer boom");
+      }
+      return SumReduce(key, values, out);
+    };
+    const int src = plan.AddStage(std::move(source));
+    StageSpec sink;
+    sink.name = "sink";
+    sink.job = PassThroughJob(2);
+    plan.AddStage(std::move(sink), {{src, EdgeKind::kNarrow}});
+    plan.options().pipeline_narrow_edges = true;
+    plan.options().pipeline_batch_records = 3;
+    plan.options().pipeline_channel_batches = 2;
+
+    auto out = info.make()->RunPlan(plan);
+    ASSERT_FALSE(out.ok()) << info.name;
+    EXPECT_EQ(out.status().message(), "producer boom") << info.name;
+  }
+}
+
+TEST(PipelineTest, FailingConsumerAbortsBlockedProducer) {
+  // The consumer dies on its first record while the producer still has
+  // everything to push through a 1-batch window: the producer must be
+  // unblocked (Cancel) instead of deadlocking on backpressure, and the
+  // consumer's error must win.
+  const auto lines = RandomLines(137, 500);
+  for (const auto& info : engine::Engines()) {
+    Plan plan;
+    StageSpec source;
+    source.name = "source";
+    source.job = CountingJob(2);
+    source.job.input = engine::LinesAsInput(lines);
+    const int src = plan.AddStage(std::move(source));
+    StageSpec sink;
+    sink.name = "sink";
+    sink.job.parallelism = 2;
+    sink.job.map_fn = [](std::string_view, std::string_view,
+                         MapContext*) -> Status {
+      return Status::Internal("consumer boom");
+    };
+    sink.job.reduce_fn = EmitAllReduce;
+    plan.AddStage(std::move(sink), {{src, EdgeKind::kNarrow}});
+    plan.options().pipeline_narrow_edges = true;
+    plan.options().pipeline_batch_records = 2;
+    plan.options().pipeline_channel_batches = 1;
+
+    auto out = info.make()->RunPlan(plan);
+    ASSERT_FALSE(out.ok()) << info.name;
+    EXPECT_EQ(out.status().message(), "consumer boom") << info.name;
+  }
+}
+
+TEST(PipelineTest, SkippedProducerForwardsStateOutputIntoTheStream) {
+  // count -> (state) skipped -> (narrow, pipelined) sink: the skipped
+  // pass-through has no reduce tasks of its own, so the scheduler feeds
+  // the forwarded partitions into the channel itself.
+  const auto lines = RandomLines(139, 150);
+  for (const auto& info : engine::Engines()) {
+    auto build = [&](bool pipeline) {
+      Plan plan;
+      StageSpec count;
+      count.name = "count";
+      count.job = CountingJob(2);
+      count.job.input = engine::LinesAsInput(lines);
+      const int count_id = plan.AddStage(std::move(count));
+      StageSpec skipped;
+      skipped.name = "skipped";
+      skipped.job = PassThroughJob(2);
+      skipped.binder = [](const std::vector<KVPair>&,
+                          engine::JobSpec* job) -> Status {
+        job->map_fn = nullptr;  // decline to run
+        return Status::OK();
+      };
+      const int skip_id =
+          plan.AddStage(std::move(skipped), {{count_id, EdgeKind::kState}});
+      StageSpec sink;
+      sink.name = "sink";
+      sink.job = PassThroughJob(2);
+      plan.AddStage(std::move(sink), {{skip_id, EdgeKind::kNarrow}});
+      plan.options().pipeline_narrow_edges = pipeline;
+      plan.options().pipeline_batch_records = 4;
+      return plan;
+    };
+    auto barrier = info.make()->RunPlan(build(false));
+    ASSERT_TRUE(barrier.ok()) << info.name << ": " << barrier.status();
+    auto pipelined = info.make()->RunPlan(build(true));
+    ASSERT_TRUE(pipelined.ok()) << info.name << ": " << pipelined.status();
+    EXPECT_TRUE(pipelined->stats.stages[1].skipped) << info.name;
+    EXPECT_EQ(pipelined->partitions, barrier->partitions) << info.name;
+  }
+}
+
+TEST(PipelineTest, GrepTopKPipelinedMatchesBarrier) {
+  const auto lines = RandomLines(149, 600);
+  for (const auto& info : engine::Engines()) {
+    workloads::EngineConfig barrier_config;
+    auto eng = info.make();
+    auto barrier = workloads::GrepTopK(*eng, lines, "ab", 5, barrier_config);
+    ASSERT_TRUE(barrier.ok()) << info.name << ": " << barrier.status();
+
+    workloads::EngineConfig pipelined_config;
+    pipelined_config.pipeline_narrow_edges = true;
+    engine::EngineStats stats;
+    auto pipelined =
+        workloads::GrepTopK(*eng, lines, "ab", 5, pipelined_config, &stats);
+    ASSERT_TRUE(pipelined.ok()) << info.name << ": " << pipelined.status();
+    EXPECT_EQ(pipelined->top, barrier->top) << info.name;
+    EXPECT_EQ(pipelined->total_matches, barrier->total_matches) << info.name;
+    ASSERT_EQ(stats.stages.size(), 2u) << info.name;
+    EXPECT_TRUE(stats.stages[1].pipelined) << info.name;
+  }
+}
+
+TEST(PipelineTest, ConsumerWaitingOnProducersDescendantFallsBackToBarrier) {
+  // P -> B (wide), and C takes a narrow edge from P *plus* a state edge
+  // from B. C cannot start pulling until B finishes, and B waits for P
+  // to complete — pipelining P -> C would park P on backpressure
+  // forever (regression: the eligibility analysis must see the
+  // transitive dependency and keep the barrier handoff).
+  const auto lines = RandomLines(157, 2500);
+  for (const auto& info : engine::Engines()) {
+    Plan plan;
+    StageSpec p;
+    p.name = "p";
+    p.job = CountingJob(2);
+    p.job.input = engine::LinesAsInput(lines);
+    const int pid = plan.AddStage(std::move(p));
+    StageSpec b;
+    b.name = "b";
+    b.job = PassThroughJob(2);
+    const int bid = plan.AddStage(std::move(b), {{pid, EdgeKind::kWide}});
+    StageSpec c;
+    c.name = "c";
+    c.job = PassThroughJob(2);
+    c.binder = [](const std::vector<KVPair>& state,
+                  engine::JobSpec*) -> Status {
+      return state.empty() ? Status::Internal("binder saw no state")
+                           : Status::OK();
+    };
+    plan.AddStage(std::move(c), {{pid, EdgeKind::kNarrow},
+                                 {bid, EdgeKind::kState}});
+    plan.options().pipeline_narrow_edges = true;
+    // A tiny window: if P -> C were (incorrectly) pipelined, P would
+    // block after the first batches and the plan would hang.
+    plan.options().pipeline_batch_records = 2;
+    plan.options().pipeline_channel_batches = 1;
+
+    auto out = info.make()->RunPlan(plan);
+    ASSERT_TRUE(out.ok()) << info.name << ": " << out.status();
+    EXPECT_FALSE(out->stats.stages[2].pipelined) << info.name;
+    EXPECT_FALSE(out->Merged().empty()) << info.name;
+  }
+}
+
+// ---- Batch channel semantics (backpressure, cancel) ----
+
+TEST(BatchChannelTest, SlowConsumerNeverBuffersMoreThanTheBound) {
+  shuffle::BatchChannelGroup::Options options;
+  options.partitions = 1;
+  options.batch_records = 4;
+  options.max_buffered_batches = 2;
+  shuffle::BatchChannelGroup channel(options);
+
+  constexpr int kBatches = 50;
+  std::thread producer([&] {
+    for (int i = 0; i < kBatches; ++i) {
+      std::vector<KVPair> batch;
+      batch.push_back(KVPair{std::to_string(i), "v"});
+      ASSERT_TRUE(channel.Push(0, std::move(batch)).ok());
+    }
+    channel.Close(0, Status::OK());
+  });
+
+  // Slow consumer: yield between pulls so the producer keeps running
+  // into the bound.
+  std::vector<KVPair> batch;
+  int pulled = 0;
+  for (;;) {
+    auto more = channel.Pull(0, &batch);
+    ASSERT_TRUE(more.ok()) << more.status();
+    if (!*more) break;
+    EXPECT_EQ(batch[0].key, std::to_string(pulled));
+    ++pulled;
+    std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(pulled, kBatches);
+  EXPECT_EQ(channel.records_pushed(), kBatches);
+  // The backpressure guarantee: the producer was never more than
+  // max_buffered_batches ahead of the consumer.
+  EXPECT_LE(channel.max_buffered_batches_seen(), 2u);
+}
+
+TEST(BatchChannelTest, CloseWithErrorReachesConsumerAfterBufferedBatches) {
+  shuffle::BatchChannelGroup::Options options;
+  options.partitions = 1;
+  shuffle::BatchChannelGroup channel(options);
+  ASSERT_TRUE(channel.Push(0, {KVPair{"k", "v"}}).ok());
+  channel.Close(0, Status::Internal("mid-stream boom"));
+
+  std::vector<KVPair> batch;
+  auto first = channel.Pull(0, &batch);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);  // the buffered batch drains first
+  auto second = channel.Pull(0, &batch);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().message(), "mid-stream boom");
+}
+
+TEST(BatchChannelTest, OkCancelDropsPushesErrorCancelFailsThem) {
+  shuffle::BatchChannelGroup::Options options;
+  options.partitions = 1;
+  options.max_buffered_batches = 1;
+  shuffle::BatchChannelGroup dropper(options);
+  dropper.Cancel(Status::OK());
+  // Pushes are dropped silently (consumer finished without the data) —
+  // even past the bound, so a producer can never block on a dead
+  // consumer.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(dropper.Push(0, {KVPair{"k", "v"}}).ok());
+  }
+  EXPECT_EQ(dropper.batches_pushed(), 0);
+
+  shuffle::BatchChannelGroup failer(options);
+  failer.Cancel(Status::Internal("consumer died"));
+  auto st = failer.Push(0, {KVPair{"k", "v"}});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "consumer died");
+}
+
+// ---- Early release of intermediate stage outputs ----
+
+TEST(RuntimeTest, IntermediateOutputsAreReleasedWhenLastConsumerFinishes) {
+  // chain: a -> b -> c (wide edges). a must be released once b is done,
+  // b once c is done; c is the plan output and is never released early.
+  const auto lines = RandomLines(151, 120);
+  Plan plan;
+  StageSpec a;
+  a.name = "a";
+  a.job = CountingJob(2);
+  a.job.input = engine::LinesAsInput(lines);
+  const int ida = plan.AddStage(std::move(a));
+  StageSpec b;
+  b.name = "b";
+  b.job = PassThroughJob(2);
+  const int idb = plan.AddStage(std::move(b), {{ida, EdgeKind::kWide}});
+  StageSpec c;
+  c.name = "c";
+  c.job = PassThroughJob(1);
+  plan.AddStage(std::move(c), {{idb, EdgeKind::kWide}});
+
+  auto eng = engine::MakeEngine("mapreduce");
+  ASSERT_TRUE(eng.ok());
+  std::mutex mu;
+  std::vector<int> released;
+  SchedulerOptions options;
+  options.on_stage_output_released = [&](int stage_id) {
+    std::lock_guard<std::mutex> lock(mu);
+    released.push_back(stage_id);
+  };
+  StageScheduler scheduler(eng->get(), plan, options);
+  auto out = scheduler.Execute();
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_FALSE(out->Merged().empty());
+  // Both intermediate outputs were dropped before the plan finished;
+  // the output stage's never is.
+  EXPECT_EQ(released, (std::vector<int>{ida, idb}));
+  // Stats survive the release: the summed plan stats still include the
+  // released stages.
+  EXPECT_EQ(out->stats.stage_count, 3);
+  EXPECT_GT(out->stats.stages[0].output_records, 0);
 }
 
 }  // namespace
