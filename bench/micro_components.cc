@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "datagen/text_generator.h"
 #include "engine/registry.h"
 #include "mpilite/mpilite.h"
+#include "shuffle/kv_arena.h"
 #include "workloads/micro.h"
 
 namespace {
@@ -72,6 +74,27 @@ void BM_LzCompress(benchmark::State& state) {
 }
 BENCHMARK(BM_LzCompress)->Arg(64 << 10)->Arg(1 << 20);
 
+/// Random bytes never match: exercises the match finder's step-skip
+/// path and the incompressible-block cost a spill writer pays before
+/// falling back to storing raw.
+void BM_LzCompressIncompressible(benchmark::State& state) {
+  Rng rng(6);
+  std::string data(static_cast<size_t>(state.range(0)), '\0');
+  for (size_t i = 0; i + 8 <= data.size(); i += 8) {
+    const uint64_t v = rng.Next64();
+    std::memcpy(&data[i], &v, 8);
+  }
+  datagen::LzCompressor compressor;
+  std::string out;
+  for (auto _ : state) {
+    compressor.Compress(data, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzCompressIncompressible)->Arg(64 << 10)->Arg(1 << 20);
+
 void BM_LzDecompress(benchmark::State& state) {
   const std::string corpus = MakeCorpus(state.range(0));
   const std::string compressed = datagen::LzCompress(corpus);
@@ -83,6 +106,51 @@ void BM_LzDecompress(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_LzDecompress)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_MakeKeyPrefix(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back("key-" + std::to_string(rng.Uniform(1 << 20)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shuffle::MakeKeyPrefix(keys[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_MakeKeyPrefix);
+
+/// The slice sort in both flavours: MSB radix on the cached prefixes
+/// (what KVArena::Sort runs) vs the comparator-only baseline.
+void BM_ArenaSort(benchmark::State& state) {
+  const bool radix = state.range(1) != 0;
+  const auto records = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  shuffle::KVArena arena;
+  std::vector<shuffle::KVSlice> base;
+  base.reserve(records);
+  for (size_t i = 0; i < records; ++i) {
+    base.push_back(
+        arena.Add("key-" + std::to_string(rng.Uniform(1 << 20)), "1"));
+  }
+  for (auto _ : state) {
+    std::vector<shuffle::KVSlice> slices = base;
+    if (radix) {
+      arena.Sort(&slices);
+    } else {
+      arena.SortComparator(&slices);
+    }
+    benchmark::DoNotOptimize(slices.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records));
+  state.SetLabel(radix ? "radix" : "std::sort");
+}
+BENCHMARK(BM_ArenaSort)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1});
 
 void BM_HashPartitioner(benchmark::State& state) {
   datampi::HashPartitioner partitioner;

@@ -18,6 +18,7 @@
 // Usage: shuffle_bench [records] [--json <path>]
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -210,6 +211,85 @@ MergeResult SpillAndMergePhase(const std::vector<std::string>& words,
   return r;
 }
 
+// ---- Sort section: std::sort vs MSB radix on the arena slices. ----
+
+/// Key distributions that stress different radix behaviours: `uniform`
+/// spreads records across all 256 top buckets (radix's best case),
+/// `shared_prefix` makes every key agree on more than 8 leading bytes
+/// (the counting passes discover single-bucket levels and the
+/// comparator finishes), `skewed` duplicates a small hot key set
+/// (WordCount-shaped, exercises equal-run handling).
+std::vector<std::string> MakeSortKeys(std::string_view dist, int64_t n) {
+  Rng rng(4022014);
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    if (dist == "uniform") {
+      char buf[16];
+      uint64_t a = rng.Next64();
+      uint64_t b = rng.Next64();
+      std::memcpy(buf, &a, 8);
+      std::memcpy(buf + 8, &b, 8);
+      keys.emplace_back(buf, sizeof(buf));
+    } else if (dist == "shared_prefix") {
+      keys.push_back("dmb-shuffle-2014-" + std::to_string(rng.Next64()));
+    } else {  // skewed
+      const double u = rng.NextDouble();
+      keys.push_back("k" + std::to_string(
+                               static_cast<int64_t>(u * u * u * 20000)));
+    }
+  }
+  return keys;
+}
+
+struct SortTimings {
+  double std_seconds = 0;
+  double radix_seconds = 0;
+  bool identical = false;  // radix output byte-identical to std::sort
+};
+
+/// Best-of-3 timing of both sorts over identical slice vectors, plus a
+/// record-by-record equivalence check of the two outputs.
+SortTimings TimeSorts(const std::vector<std::string>& keys) {
+  shuffle::KVArena arena;
+  std::vector<shuffle::KVSlice> base;
+  base.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    // Distinct values force (key, value) tiebreaks among duplicates.
+    base.push_back(arena.Add(keys[i], std::to_string(i & 0xFF)));
+  }
+  SortTimings t;
+  std::vector<shuffle::KVSlice> std_out;
+  std::vector<shuffle::KVSlice> radix_out;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<shuffle::KVSlice> a = base;
+    Stopwatch sw_std;
+    arena.SortComparator(&a);
+    const double std_s = sw_std.ElapsedSeconds();
+    std::vector<shuffle::KVSlice> b = base;
+    Stopwatch sw_radix;
+    arena.Sort(&b);
+    const double radix_s = sw_radix.ElapsedSeconds();
+    if (rep == 0 || std_s < t.std_seconds) t.std_seconds = std_s;
+    if (rep == 0 || radix_s < t.radix_seconds) t.radix_seconds = radix_s;
+    if (rep == 0) {
+      std_out = std::move(a);
+      radix_out = std::move(b);
+    }
+  }
+  t.identical = true;
+  for (size_t i = 0; i < std_out.size(); ++i) {
+    // Compare record bytes, not slice offsets: fully equal records may
+    // legitimately land in either order (neither sort is stable).
+    if (arena.KeyOf(std_out[i]) != arena.KeyOf(radix_out[i]) ||
+        arena.ValueOf(std_out[i]) != arena.ValueOf(radix_out[i])) {
+      t.identical = false;
+      break;
+    }
+  }
+  return t;
+}
+
 /// The in-memory oracle of the merge phase: same records, never spilled.
 Result<StreamDigest> InMemoryDigest(const std::vector<std::string>& words) {
   StreamDigest digest;
@@ -348,6 +428,40 @@ int Run(int argc, char** argv) {
     std::cerr << "REGRESSION: merge held the whole spill resident ("
               << merge.peak_resident_bytes << " bytes vs "
               << merge.spilled_raw_bytes << " spilled)\n";
+    return 1;
+  }
+
+  // ---- Sort section: comparator baseline vs MSB radix. ----
+  PrintBanner(std::cout, "Arena slice sort: std::sort vs MSB radix");
+  const char* kSortDists[] = {"uniform", "shared_prefix", "skewed"};
+  TablePrinter sort_table(
+      {"distribution", "std::sort s", "radix s", "radix speedup"});
+  double uniform_speedup = 0;
+  for (const char* dist : kSortDists) {
+    const std::vector<std::string> keys = MakeSortKeys(dist, n);
+    const SortTimings t = TimeSorts(keys);
+    if (!t.identical) {
+      std::cerr << "MISMATCH: radix sort output differs from std::sort on "
+                << dist << " keys\n";
+      return 1;
+    }
+    const double speedup = t.std_seconds / t.radix_seconds;
+    if (std::string_view(dist) == "uniform") uniform_speedup = speedup;
+    sort_table.AddRow({dist, TablePrinter::Num(t.std_seconds, 3),
+                       TablePrinter::Num(t.radix_seconds, 3),
+                       TablePrinter::Num(speedup, 2) + "x"});
+    const std::string prefix =
+        "shuffle_bench/sort/" + std::string(dist) + "/";
+    json.Add(prefix + "std/" + std::to_string(n), t.std_seconds, "s");
+    json.Add(prefix + "radix/" + std::to_string(n), t.radix_seconds, "s");
+  }
+  sort_table.Print(std::cout);
+  std::cout << "Radix output verified record-identical to std::sort on "
+               "every distribution.\n";
+  if (uniform_speedup < 1.0) {
+    std::cerr << "REGRESSION: radix sort slower than std::sort on uniform "
+                 "random keys ("
+              << uniform_speedup << "x)\n";
     return 1;
   }
 

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare two BenchJson files and fail on perf regressions.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--tolerance FRAC]
+
+Both files use the shared bench harness format:
+  {"benchmarks": [{"name": ..., "value": ..., "unit": ...}, ...]}
+
+Direction is inferred from the unit: time-like units ("s", "s/iter",
+"ms") regress when they grow, throughput-like units ("rec/s", "*/s")
+regress when they shrink, and anything else ("bytes", "runs", "blocks")
+is informational only — printed, never failed on.
+
+The tolerance is deliberately generous (default 50%): this gate exists
+to catch "the sort got 3x slower" structural regressions on shared CI
+hardware, not 5% noise. Override with --tolerance or the BENCH_DIFF_TOL
+environment variable (a fraction, e.g. 0.25). Time metrics whose
+baseline is below --floor seconds (default 100ns) are informational
+regardless of delta: single-digit-nanosecond benchmarks swing +/-50%
+with CPU frequency state alone.
+
+Metrics present on only one side are reported but never fail the gate,
+so adding a benchmark does not require regenerating baselines in the
+same commit.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+LOWER_IS_BETTER = {"s", "s/iter", "ms"}
+
+
+def direction(unit):
+    """+1 higher-is-better, -1 lower-is-better, 0 informational."""
+    if unit in LOWER_IS_BETTER:
+        return -1
+    if unit.endswith("/s"):
+        return +1
+    return 0
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        out[entry["name"]] = (float(entry["value"]), entry.get("unit", ""))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_DIFF_TOL", "0.5")),
+        help="allowed fractional regression (default 0.5, or BENCH_DIFF_TOL)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1e-7,
+        help="time metrics with a baseline below this many seconds are "
+        "informational only (default 1e-7)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    regressions = []
+    width = max((len(n) for n in baseline), default=20)
+    print(f"bench_diff: tolerance {args.tolerance:.0%}")
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"{name:<{width}}  {baseline[name][0]:>12.4g}  "
+                  f"{'(gone)':>12}  -")
+            continue
+        if name not in baseline:
+            print(f"{name:<{width}}  {'(new)':>12}  "
+                  f"{current[name][0]:>12.4g}  -")
+            continue
+        base_value, base_unit = baseline[name]
+        cur_value, cur_unit = current[name]
+        delta = (cur_value - base_value) / base_value if base_value else 0.0
+        sign = direction(base_unit if base_unit == cur_unit else "")
+        if sign == -1 and base_value < args.floor:
+            sign = 0  # sub-floor timings are all noise
+        verdict = ""
+        if sign == -1 and delta > args.tolerance:
+            verdict = "REGRESSION"
+        elif sign == +1 and delta < -args.tolerance:
+            verdict = "REGRESSION"
+        elif sign == 0:
+            verdict = "(info)"
+        if verdict == "REGRESSION":
+            regressions.append(name)
+        print(f"{name:<{width}}  {base_value:>12.4g}  {cur_value:>12.4g}  "
+              f"{delta:+.1%} {verdict}")
+
+    if regressions:
+        print(f"bench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for name in regressions:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print("bench_diff: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

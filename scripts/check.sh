@@ -23,11 +23,13 @@ cmake --build build -j
 # The spill I/O layer does enough byte-twiddling (varints, checksums,
 # block codecs) that its tests also run under UBSan on every check; the
 # stage-DAG runtime joins them because its scheduler is the one
-# concurrent component above the engines.
-echo "check.sh: UBSan pass (io + shuffle + runtime tests)"
+# concurrent component above the engines, and the datagen tests cover
+# the LZ match finder's pointer/offset arithmetic (radix sort and the
+# hash-chain compressor both live under these suites).
+echo "check.sh: UBSan pass (io + shuffle + runtime + datagen tests)"
 cmake -B build-ubsan -S . -DDMB_SANITIZE=undefined -DDMB_WERROR=ON
-cmake --build build-ubsan -j --target io_test shuffle_test runtime_test
-(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle|runtime)_test$')
+cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_test
+(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle|runtime|datagen)_test$')
 
 # The pipelined narrow edges run a bounded producer/consumer channel
 # between concurrently executing stages — runtime_test must stay clean
@@ -55,6 +57,23 @@ fi
 for target in "${BENCH_TARGETS[@]}"; do
   cmake --build build --target "$target"
 done
+
+# Perf trajectory: re-run the JSON-emitting bench harnesses and diff
+# against the committed baselines. The tolerance is generous by design
+# (structural regressions, not noise) and tunable via BENCH_DIFF_TOL;
+# CHECK_NO_BENCH=1 skips the gate entirely on machines where wall-clock
+# timing is meaningless. Refresh baselines with the same commands,
+# writing to BENCH_shuffle.json / BENCH_micro.json directly.
+if [ "${CHECK_NO_BENCH:-0}" != "1" ]; then
+  echo "check.sh: bench-diff gate (vs BENCH_shuffle.json / BENCH_micro.json)"
+  ./build/shuffle_bench --json build/bench_shuffle_current.json > /dev/null
+  python3 scripts/bench_diff.py BENCH_shuffle.json build/bench_shuffle_current.json
+  if [ -x build/micro_components ]; then
+    ./build/micro_components --benchmark_min_time=0.05 \
+      --json build/bench_micro_current.json > /dev/null 2>&1
+    python3 scripts/bench_diff.py BENCH_micro.json build/bench_micro_current.json
+  fi
+fi
 
 if [ "${CHECK_ASAN:-0}" = "1" ]; then
   echo "check.sh: ASan pass (io + shuffle + engine + core + runtime tests)"

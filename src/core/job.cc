@@ -42,15 +42,18 @@ class OContextImpl : public OContext {
         partitions_(static_cast<size_t>(config.num_a_ranks)) {}
 
   Status Emit(std::string_view key, std::string_view value) override {
-    const int p = partitioner_->Partition(key, config_.num_a_ranks);
-    auto& part = partitions_[static_cast<size_t>(p)];
-    part.slices.push_back(part.arena.Add(key, value));
     shared_->o_records.fetch_add(1, std::memory_order_relaxed);
-    if (part.arena.bytes() +
-            static_cast<int64_t>(part.slices.size()) * kSliceOverheadBytes >=
-        config_.send_buffer_bytes) {
-      return FlushPartition(p);
+    if (config_.num_a_ranks == 1) {
+      // Single A rank: no routing decision to batch.
+      auto& part = partitions_[0];
+      part.slices.push_back(part.arena.Add(key, value));
+      return MaybeFlush(0);
     }
+    // Stage and route kEmitBatchRecords at a time: one virtual
+    // PartitionBatch call (tight hash + route loops) replaces a virtual
+    // Partition per record, at the cost of one extra arena copy.
+    staged_slices_.push_back(staging_.Add(key, value));
+    if (staged_slices_.size() >= kEmitBatchRecords) return RouteStaged();
     return Status::OK();
   }
 
@@ -61,6 +64,7 @@ class OContextImpl : public OContext {
   void set_partitioner(const Partitioner* p) { partitioner_ = p; }
 
   Status FlushAll() {
+    DMB_RETURN_NOT_OK(RouteStaged());
     for (int p = 0; p < config_.num_a_ranks; ++p) {
       DMB_RETURN_NOT_OK(FlushPartition(p));
     }
@@ -72,6 +76,9 @@ class OContextImpl : public OContext {
   /// slice itself), mirroring the seed's +8/record estimate closely
   /// enough to keep flush cadence comparable.
   static constexpr int64_t kSliceOverheadBytes = 8;
+  /// Emits staged before one batched routing pass (matches
+  /// shuffle::PartitionedCollector::kRouteBatchRecords).
+  static constexpr size_t kEmitBatchRecords = 256;
 
   /// Per-partition pipeline buffer on the shuffle layer's arena path:
   /// payload bytes in one flat KVArena, records as 24-byte slices —
@@ -81,6 +88,44 @@ class OContextImpl : public OContext {
     shuffle::KVArena arena;
     std::vector<shuffle::KVSlice> slices;
   };
+
+  /// Routes every staged record to its partition buffer in one batched
+  /// partitioner call, then runs the flush checks once per batch (a
+  /// buffer may overshoot send_buffer_bytes by at most one staged
+  /// batch, which the wire format does not care about).
+  Status RouteStaged() {
+    const size_t n = staged_slices_.size();
+    if (n == 0) return Status::OK();
+    staged_keys_.resize(n);
+    staged_parts_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      staged_keys_[i] = staging_.KeyOf(staged_slices_[i]);
+    }
+    partitioner_->PartitionBatch(staged_keys_.data(), n, config_.num_a_ranks,
+                                 staged_parts_.data());
+    for (size_t i = 0; i < n; ++i) {
+      auto& part = partitions_[static_cast<size_t>(staged_parts_[i])];
+      const shuffle::KVSlice& s = staged_slices_[i];
+      part.slices.push_back(
+          part.arena.Add(staging_.KeyOf(s), staging_.ValueOf(s)));
+    }
+    staged_slices_.clear();
+    staging_.Clear();
+    for (int p = 0; p < config_.num_a_ranks; ++p) {
+      DMB_RETURN_NOT_OK(MaybeFlush(p));
+    }
+    return Status::OK();
+  }
+
+  Status MaybeFlush(int p) {
+    const auto& part = partitions_[static_cast<size_t>(p)];
+    if (part.arena.bytes() +
+            static_cast<int64_t>(part.slices.size()) * kSliceOverheadBytes >=
+        config_.send_buffer_bytes) {
+      return FlushPartition(p);
+    }
+    return Status::OK();
+  }
 
   Status FlushPartition(int p) {
     auto& part = partitions_[static_cast<size_t>(p)];
@@ -122,6 +167,12 @@ class OContextImpl : public OContext {
   mpi::Comm* world_;
   SharedState* shared_;
   std::vector<PartitionBuffer> partitions_;
+  /// Arrival-order records awaiting one batched routing pass, plus the
+  /// scratch arrays the pass reuses.
+  shuffle::KVArena staging_;
+  std::vector<shuffle::KVSlice> staged_slices_;
+  std::vector<std::string_view> staged_keys_;
+  std::vector<int> staged_parts_;
   const Partitioner* partitioner_ = nullptr;
   int task_id_ = -1;
 };

@@ -13,6 +13,27 @@ int HashPartitioner::Partition(std::string_view key,
   return static_cast<int>(Hash64(key) % static_cast<uint64_t>(num_partitions));
 }
 
+void HashPartitioner::PartitionBatch(const std::string_view* keys, size_t n,
+                                     int num_partitions, int* out) const {
+  assert(num_partitions >= 1);
+  // Hash and route as two tight passes over a stack chunk: the hash
+  // loop has no virtual calls to inhibit inlining, and the modulo loop
+  // is a pure int stream the compiler can vectorize.
+  constexpr size_t kChunk = 128;
+  uint64_t hashes[kChunk];
+  const auto parts = static_cast<uint64_t>(num_partitions);
+  while (n > 0) {
+    const size_t m = n < kChunk ? n : kChunk;
+    for (size_t i = 0; i < m; ++i) hashes[i] = Hash64(keys[i]);
+    for (size_t i = 0; i < m; ++i) {
+      out[i] = static_cast<int>(hashes[i] % parts);
+    }
+    keys += m;
+    out += m;
+    n -= m;
+  }
+}
+
 RangePartitioner::RangePartitioner(std::vector<std::string> splits)
     : splits_(std::move(splits)) {
   assert(std::is_sorted(splits_.begin(), splits_.end()));

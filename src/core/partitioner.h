@@ -20,6 +20,19 @@ class Partitioner {
  public:
   virtual ~Partitioner() = default;
   virtual int Partition(std::string_view key, int num_partitions) const = 0;
+
+  /// \brief Batched form: fills out[i] with the partition of keys[i].
+  /// One virtual dispatch per batch instead of per record — the shuffle
+  /// hot path routes map output through this. The default loops over
+  /// Partition; hash partitioning overrides it with separated hash and
+  /// route passes.
+  virtual void PartitionBatch(const std::string_view* keys, size_t n,
+                              int num_partitions, int* out) const {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = Partition(keys[i], num_partitions);
+    }
+  }
+
   virtual std::string name() const = 0;
 };
 
@@ -27,6 +40,8 @@ class Partitioner {
 class HashPartitioner : public Partitioner {
  public:
   int Partition(std::string_view key, int num_partitions) const override;
+  void PartitionBatch(const std::string_view* keys, size_t n,
+                      int num_partitions, int* out) const override;
   std::string name() const override { return "hash"; }
 };
 

@@ -1,5 +1,6 @@
 #include "datagen/codec.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -12,6 +13,11 @@ namespace {
 constexpr size_t kMinMatch = 4;
 constexpr size_t kMaxOffset = 65535;
 constexpr int kHashBits = 16;
+/// Chain candidates examined per position (newest first, best kept).
+constexpr int kMaxProbes = 4;
+/// After 1 << kSkipShift consecutive positions without a match the scan
+/// step starts growing, so incompressible regions cost ~O(n / step).
+constexpr size_t kSkipShift = 6;
 
 inline uint32_t Read32(const char* p) {
   uint32_t v;
@@ -53,44 +59,75 @@ void EmitSequence(std::string* out, const char* lit_begin, size_t lit_len,
 
 }  // namespace
 
-std::string LzCompress(std::string_view input) {
-  std::string out;
-  out.reserve(input.size() / 2 + 16);
+void LzCompressor::Compress(std::string_view input, std::string* out) {
+  out->clear();
+  out->reserve(input.size() / 2 + 16);
   const char* base = input.data();
   const size_t n = input.size();
   if (n < kMinMatch + 4) {
-    EmitSequence(&out, base, n, 0, 0);
-    return out;
+    EmitSequence(out, base, n, 0, 0);
+    return;
   }
 
-  std::vector<int32_t> table(size_t{1} << kHashBits, -1);
+  // head_ must forget the previous block; prev_ need not, because a
+  // chain only ever reaches positions inserted during this call (every
+  // insert writes prev_[pos] before pos becomes reachable via head_).
+  if (head_.empty()) head_.resize(size_t{1} << kHashBits);
+  std::fill(head_.begin(), head_.end(), -1);
+  if (prev_.size() < n) prev_.resize(n);
+
   size_t pos = 0;
   size_t anchor = 0;
   // Leave a 4-byte tail so Read32 never crosses the end.
   const size_t match_limit = n - 4;
+  size_t misses = 0;  // consecutive positions without a match
 
   while (pos < match_limit) {
-    const uint32_t h = HashPrefix(Read32(base + pos));
-    const int32_t cand = table[h];
-    table[h] = static_cast<int32_t>(pos);
-    if (cand >= 0 && pos - static_cast<size_t>(cand) <= kMaxOffset &&
-        Read32(base + cand) == Read32(base + pos)) {
-      // Extend the match.
-      size_t match_len = 4;
-      while (pos + match_len < n &&
-             base[static_cast<size_t>(cand) + match_len] ==
-                 base[pos + match_len]) {
-        ++match_len;
+    const uint32_t seq = Read32(base + pos);
+    const uint32_t h = HashPrefix(seq);
+    prev_[pos] = head_[h];
+    head_[h] = static_cast<int32_t>(pos);
+
+    // Walk the chain newest-first and keep the longest match. Offsets
+    // only grow along the chain, so the first one past kMaxOffset ends
+    // the walk.
+    size_t best_len = 0;
+    size_t best_off = 0;
+    int32_t cand = prev_[pos];
+    for (int probe = 0; probe < kMaxProbes && cand >= 0; ++probe) {
+      const size_t cpos = static_cast<size_t>(cand);
+      if (pos - cpos > kMaxOffset) break;
+      if (Read32(base + cpos) == seq) {
+        size_t len = 4;
+        while (pos + len < n && base[cpos + len] == base[pos + len]) {
+          ++len;
+        }
+        if (len > best_len) {
+          best_len = len;
+          best_off = pos - cpos;
+        }
       }
-      EmitSequence(&out, base + anchor, pos - anchor, match_len,
-                   pos - static_cast<size_t>(cand));
-      pos += match_len;
+      cand = prev_[cpos];
+    }
+
+    if (best_len >= kMinMatch) {
+      EmitSequence(out, base + anchor, pos - anchor, best_len, best_off);
+      pos += best_len;
       anchor = pos;
+      misses = 0;
     } else {
-      ++pos;
+      // Step-skip: literal-heavy data widens the stride (positions
+      // skipped over are not inserted, like LZ4's acceleration).
+      pos += 1 + (misses++ >> kSkipShift);
     }
   }
-  EmitSequence(&out, base + anchor, n - anchor, 0, 0);
+  EmitSequence(out, base + anchor, n - anchor, 0, 0);
+}
+
+std::string LzCompress(std::string_view input) {
+  LzCompressor compressor;
+  std::string out;
+  compressor.Compress(input, &out);
   return out;
 }
 

@@ -7,15 +7,34 @@
 #ifndef DATAMPI_BENCH_DATAGEN_CODEC_H_
 #define DATAMPI_BENCH_DATAGEN_CODEC_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
 namespace dmb::datagen {
 
-/// \brief Compresses `input`. Output grows by at most ~input/255 + 16
-/// bytes for incompressible data.
+/// \brief Stateful compressor that reuses its match-finder arrays
+/// (hash heads + chain links) across calls — the form a block writer
+/// holds for the lifetime of one stream, so compressing N blocks costs
+/// one allocation instead of N. The match finder walks a short hash
+/// chain (best of kMaxProbes candidates) and step-skips through
+/// incompressible regions. Output decodes with LzDecompress.
+class LzCompressor {
+ public:
+  /// \brief Compresses `input` into `out` (cleared first, capacity
+  /// reused). Output grows by at most ~input/255 + 16 bytes for
+  /// incompressible data.
+  void Compress(std::string_view input, std::string* out);
+
+ private:
+  std::vector<int32_t> head_;  // hash -> most recent inserted position
+  std::vector<int32_t> prev_;  // position -> previous same-hash position
+};
+
+/// \brief One-shot convenience over LzCompressor.
 std::string LzCompress(std::string_view input);
 
 /// \brief Decompresses data produced by LzCompress. `decompressed_size`

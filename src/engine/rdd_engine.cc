@@ -232,9 +232,7 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
         DMB_RETURN_NOT_OK(this->ctx_->memory()->Reserve(delta));
         store_bytes_ += delta;
       }
-      for (const auto& kv : in) {
-        DMB_RETURN_NOT_OK(collector_->Add(kv.first, kv.second));
-      }
+      DMB_RETURN_NOT_OK(collector_->AddBatch(in));
     }
     shuffle_bytes_->fetch_add(collector_->encoded_input_bytes(),
                               std::memory_order_relaxed);

@@ -86,7 +86,7 @@ Status BlockWriter::FlushBlock() {
   if (pending_.empty()) return Status::OK();
   Codec codec = options_.codec;
   if (codec != Codec::kNone) {
-    Compress(codec, pending_, &scratch_);
+    compressor_.Compress(codec, pending_, &scratch_);
     // Incompressible block: store raw, marked kNone in its header.
     if (scratch_.size() >= pending_.size()) codec = Codec::kNone;
   }

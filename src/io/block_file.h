@@ -104,6 +104,7 @@ class BlockWriter {
   std::string pending_;        // raw payload of the open block
   int64_t pending_records_ = 0;
   std::string scratch_;        // compression output, reused across blocks
+  Compressor compressor_;      // match-finder state, reused across blocks
 
   struct IndexEntry {
     int64_t offset = 0;

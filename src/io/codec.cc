@@ -26,12 +26,17 @@ bool IsKnownCodec(uint8_t id) {
 }
 
 void Compress(Codec codec, std::string_view input, std::string* out) {
+  Compressor().Compress(codec, input, out);
+}
+
+void Compressor::Compress(Codec codec, std::string_view input,
+                          std::string* out) {
   switch (codec) {
     case Codec::kNone:
       out->assign(input);
       return;
     case Codec::kLz:
-      *out = datagen::LzCompress(input);
+      lz_.Compress(input, out);
       return;
   }
   out->assign(input);

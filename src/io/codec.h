@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "datagen/codec.h"
 
 namespace dmb::io {
 
@@ -38,6 +39,18 @@ bool IsKnownCodec(uint8_t id);
 /// \brief Compresses `input` with `codec` into `out` (replaced, not
 /// appended). kNone copies.
 void Compress(Codec codec, std::string_view input, std::string* out);
+
+/// \brief Stateful form of Compress: reuses the LZ match-finder arrays
+/// across calls, so a block writer compressing many blocks in one
+/// stream pays one hash-table allocation per stream, not per block.
+class Compressor {
+ public:
+  /// Same contract as the free Compress.
+  void Compress(Codec codec, std::string_view input, std::string* out);
+
+ private:
+  datagen::LzCompressor lz_;
+};
 
 /// \brief Decompresses `input` into exactly `raw_len` bytes, written to
 /// `out` (cleared first, capacity reused — no steady-state allocation

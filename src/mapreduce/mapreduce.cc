@@ -14,8 +14,9 @@ namespace dmb::mapreduce {
 
 namespace {
 
-/// Map-side emitter backed by the shared shuffle collector: records are
-/// partitioned on insert into arena slices and spill as sorted runs
+/// Map-side emitter backed by the shared shuffle collector: records
+/// land in arena slices, are routed to partitions in batches (the
+/// collector's deferred PartitionBatch path) and spill as sorted runs
 /// under memory pressure (Hadoop's io.sort.mb behaviour).
 class MapContextImpl : public MapContext {
  public:

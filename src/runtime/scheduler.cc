@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "shuffle/batch_channel.h"
@@ -372,6 +373,13 @@ Result<PlanOutput> StageScheduler::Execute() {
       any_pipelined
           ? std::max(options_.max_concurrent_stages, static_cast<int>(n))
           : std::max(1, options_.max_concurrent_stages);
+  // The width decision is per plan: only a plan that actually pipelined
+  // an edge may claim more threads than max_concurrent_stages. A
+  // barrier-only plan widening the pool would silently oversubscribe
+  // every Execute() on wide DAGs.
+  DMB_CHECK(any_pipelined ||
+            pool_threads <= std::max(1, options_.max_concurrent_stages));
+  if (options_.on_pool_width) options_.on_pool_width(pool_threads);
   ThreadPool pool(pool_threads);
 
   // Drops an intermediate stage's retained output once it is done and

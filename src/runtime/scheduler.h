@@ -46,6 +46,10 @@ struct SchedulerOptions {
   /// an intermediate stage's retained output is dropped because its
   /// last consuming child completed.
   std::function<void(int stage_id)> on_stage_output_released;
+  /// Test/observability hook: invoked once per Execute() with the
+  /// stage-pool width chosen for this plan (widened past
+  /// max_concurrent_stages only when an edge actually pipelines).
+  std::function<void(int pool_threads)> on_pool_width;
 };
 
 /// \brief One-shot executor of a Plan against an Engine.

@@ -31,17 +31,34 @@ int64_t PartitionedCollector::bytes_in_memory() const {
   return arena_->bytes() + records_in_memory_ * kRecordOverheadBytes;
 }
 
+void PartitionedCollector::RouteStaged() {
+  const size_t n = staged_.size();
+  if (n == 0) return;
+  staged_keys_.resize(n);
+  staged_parts_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    staged_keys_[i] = arena_->KeyOf(staged_[i]);
+  }
+  options_.partitioner->PartitionBatch(staged_keys_.data(), n,
+                                       options_.num_partitions,
+                                       staged_parts_.data());
+  for (size_t i = 0; i < n; ++i) {
+    partitions_[static_cast<size_t>(staged_parts_[i])].push_back(staged_[i]);
+  }
+  staged_.clear();
+}
+
 Status PartitionedCollector::Add(std::string_view key,
                                  std::string_view value) {
   if (finished_) {
     return Status::FailedPrecondition("Add after Finish");
   }
-  const size_t p =
-      options_.num_partitions == 1
-          ? 0
-          : static_cast<size_t>(options_.partitioner->Partition(
-                key, options_.num_partitions));
-  partitions_[p].push_back(arena_->Add(key, value));
+  if (options_.num_partitions == 1) {
+    partitions_[0].push_back(arena_->Add(key, value));
+  } else {
+    staged_.push_back(arena_->Add(key, value));
+    if (staged_.size() >= kRouteBatchRecords) RouteStaged();
+  }
   ++records_added_;
   ++records_in_memory_;
   bytes_added_ += static_cast<int64_t>(key.size() + value.size());
@@ -70,6 +87,16 @@ Status PartitionedCollector::AddBatch(std::string_view batch) {
     DMB_RETURN_NOT_OK(Add(k, v));
   }
   return reader.status();
+}
+
+Status PartitionedCollector::AddBatch(
+    const std::pair<std::string, std::string>* records, size_t n) {
+  // Add() stages multi-partition records, so the whole batch routes
+  // through PartitionBatch in kRouteBatchRecords chunks.
+  for (size_t i = 0; i < n; ++i) {
+    DMB_RETURN_NOT_OK(Add(records[i].first, records[i].second));
+  }
+  return Status::OK();
 }
 
 std::vector<KVSlice> PartitionedCollector::CombineResident(size_t p,
@@ -144,6 +171,7 @@ Result<std::string> PartitionedCollector::WriteRunFile(size_t p) {
 
 Status PartitionedCollector::SpillAll() {
   if (records_in_memory_ == 0) return Status::OK();
+  RouteStaged();
   for (size_t p = 0; p < partitions_.size(); ++p) {
     DMB_ASSIGN_OR_RETURN(const std::string path, WriteRunFile(p));
     if (path.empty()) continue;
@@ -161,6 +189,7 @@ PartitionedCollector::FinishIterators() {
     return Status::FailedPrecondition("Finish called twice");
   }
   finished_ = true;
+  RouteStaged();
   std::vector<std::unique_ptr<KVGroupIterator>> iterators;
   iterators.reserve(partitions_.size());
   const bool combine = options_.sort_by_key && options_.combiner != nullptr;
@@ -201,6 +230,7 @@ PartitionedCollector::FinishRuns(bool to_disk) {
     return Status::FailedPrecondition("Finish called twice");
   }
   finished_ = true;
+  RouteStaged();
   std::vector<PartitionRuns> runs(partitions_.size());
   for (size_t p = 0; p < partitions_.size(); ++p) {
     runs[p].run_files = std::move(spill_files_[p]);

@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -91,12 +92,25 @@ class PartitionedCollector {
   PartitionedCollector& operator=(const PartitionedCollector&) = delete;
 
   /// \brief Routes one record to its partition (may spill or fail per
-  /// the budget action).
+  /// the budget action). With more than one partition the record's
+  /// bytes land in the arena immediately but partition routing is
+  /// deferred: staged records are routed kRouteBatchRecords at a time
+  /// through Partitioner::PartitionBatch — one virtual dispatch and a
+  /// tight hash + route loop per batch instead of per record.
   Status Add(std::string_view key, std::string_view value);
 
   /// \brief Adds every record of an EncodeKV-framed batch. Records
   /// preceding a corruption are retained; the corruption is returned.
   Status AddBatch(std::string_view batch);
+
+  /// \brief Adds a batch of decoded records (the rdd wide stage hands
+  /// whole parent partitions through here; routing is batched).
+  Status AddBatch(const std::pair<std::string, std::string>* records,
+                  size_t n);
+  Status AddBatch(
+      const std::vector<std::pair<std::string, std::string>>& records) {
+    return AddBatch(records.data(), records.size());
+  }
 
   /// \brief Sorted runs of one partition after sealing: encoded batches
   /// in memory and/or run files on disk.
@@ -133,11 +147,19 @@ class PartitionedCollector {
   /// Encoded bytes of all runs produced (post-combine).
   int64_t encoded_output_bytes() const { return encoded_output_bytes_; }
 
+  /// \brief Records routed per PartitionBatch call on the deferred
+  /// routing path (multi-partition collectors only).
+  static constexpr size_t kRouteBatchRecords = 256;
+
  private:
   bool spilling_enabled() const {
     return options_.sort_by_key &&
            options_.on_budget == BudgetAction::kSpill;
   }
+  /// Routes every staged slice to its partition in one batched
+  /// partitioner call. Must run before anything reads partitions_
+  /// (spill, combine, seal).
+  void RouteStaged();
   /// Applies the sort/combine policy to partition p's resident slices
   /// and feeds each record of the resulting run to `sink` in run order
   /// (the one definition of what a run contains, shared by the encoded
@@ -163,6 +185,11 @@ class PartitionedCollector {
   std::shared_ptr<KVArena> arena_;
   std::vector<std::vector<KVSlice>> partitions_;
   std::vector<std::vector<std::string>> spill_files_;  // per partition
+  /// Arrival-order slices not yet routed to a partition, plus the
+  /// scratch arrays the batched routing reuses across flushes.
+  std::vector<KVSlice> staged_;
+  std::vector<std::string_view> staged_keys_;
+  std::vector<int> staged_parts_;
 
   int64_t records_added_ = 0;
   int64_t bytes_added_ = 0;

@@ -1,14 +1,128 @@
 #include "shuffle/kv_arena.h"
 
 #include <algorithm>
+#include <array>
 
 namespace dmb::shuffle {
 
-void KVArena::Sort(std::vector<KVSlice>* slices) const {
+namespace {
+
+/// Below this size a bucket is cheaper to finish with comparison sort
+/// than with another counting pass.
+constexpr size_t kRadixCutoff = 96;
+/// key_prefix holds 8 key bytes; depth 8 means the prefix is exhausted.
+constexpr int kPrefixBytes = 8;
+
+/// Byte `depth` (0 = most significant) of the big-endian prefix.
+inline unsigned PrefixByte(uint64_t prefix, int depth) {
+  return static_cast<unsigned>(prefix >> (56 - 8 * depth)) & 0xFFu;
+}
+
+}  // namespace
+
+void KVArena::SortComparator(std::vector<KVSlice>* slices) const {
   std::sort(slices->begin(), slices->end(),
             [this](const KVSlice& a, const KVSlice& b) {
               return SliceLess(a, b);
             });
+}
+
+void KVArena::Sort(std::vector<KVSlice>* slices) const {
+  // American-flag MSB radix on the cached prefix bytes. Each frame is
+  // one (range, depth) bucket; depth bounds the explicit recursion at
+  // kPrefixBytes, so stack use is trivial.
+  struct Frame {
+    KVSlice* begin;
+    size_t size;
+    int depth;
+  };
+  auto comparison_sort = [this](KVSlice* begin, size_t size) {
+    std::sort(begin, begin + size, [this](const KVSlice& a, const KVSlice& b) {
+      return SliceLess(a, b);
+    });
+  };
+  if (slices->size() <= kRadixCutoff) {
+    comparison_sort(slices->data(), slices->size());
+    return;
+  }
+
+  std::vector<Frame> stack;
+  stack.push_back(Frame{slices->data(), slices->size(), 0});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.size <= kRadixCutoff) {
+      // Small bucket: SliceLess resolves the remaining prefix bytes and
+      // any full-key/value ties in one comparison pass.
+      comparison_sort(f.begin, f.size);
+      continue;
+    }
+    if (f.depth == kPrefixBytes) {
+      // Every record here shares the whole 8-byte prefix; only the full
+      // (key, value) bytes can order them.
+      comparison_sort(f.begin, f.size);
+      continue;
+    }
+
+    std::array<size_t, 256> count{};
+    for (size_t i = 0; i < f.size; ++i) {
+      ++count[PrefixByte(f.begin[i].key_prefix, f.depth)];
+    }
+
+    // Single-bucket level (heavy shared prefixes): descend without the
+    // permutation pass — unless the records agree on the whole
+    // remaining prefix, in which case no counting pass can separate
+    // them and the comparator takes over immediately.
+    if (std::any_of(count.begin(), count.end(),
+                    [&](size_t c) { return c == f.size; })) {
+      const uint64_t first = f.begin[0].key_prefix;
+      const bool all_equal =
+          std::all_of(f.begin + 1, f.begin + f.size,
+                      [&](const KVSlice& s) { return s.key_prefix == first; });
+      if (all_equal) {
+        comparison_sort(f.begin, f.size);
+      } else {
+        stack.push_back(Frame{f.begin, f.size, f.depth + 1});
+      }
+      continue;
+    }
+
+    // bucket_next[b] is the cursor where bucket b places its next
+    // element; bucket_end[b] is one past its final slot.
+    std::array<size_t, 256> bucket_next;
+    std::array<size_t, 256> bucket_end;
+    size_t total = 0;
+    for (int b = 0; b < 256; ++b) {
+      bucket_next[static_cast<size_t>(b)] = total;
+      total += count[static_cast<size_t>(b)];
+      bucket_end[static_cast<size_t>(b)] = total;
+    }
+
+    // American-flag in-place permutation: repeatedly displace the slice
+    // at the current bucket's cursor into its home bucket until the
+    // element landing back here belongs here.
+    for (int b = 0; b < 256; ++b) {
+      const size_t bi = static_cast<size_t>(b);
+      while (bucket_next[bi] < bucket_end[bi]) {
+        KVSlice v = f.begin[bucket_next[bi]];
+        unsigned d = PrefixByte(v.key_prefix, f.depth);
+        while (d != static_cast<unsigned>(b)) {
+          std::swap(v, f.begin[bucket_next[d]++]);
+          d = PrefixByte(v.key_prefix, f.depth);
+        }
+        f.begin[bucket_next[bi]++] = v;
+      }
+    }
+
+    size_t offset = 0;
+    for (int b = 0; b < 256; ++b) {
+      const size_t c = count[static_cast<size_t>(b)];
+      if (c > 1) {
+        stack.push_back(Frame{f.begin + offset, c, f.depth + 1});
+      }
+      offset += c;
+    }
+  }
 }
 
 }  // namespace dmb::shuffle

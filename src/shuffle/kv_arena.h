@@ -14,6 +14,7 @@
 #define DATAMPI_BENCH_SHUFFLE_KV_ARENA_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,11 +41,28 @@ struct KVSlice {
 /// lexicographic order of a and b; equal prefixes need a full compare.
 inline uint64_t MakeKeyPrefix(std::string_view key) {
   uint64_t p = 0;
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__) && \
+    defined(__ORDER_BIG_ENDIAN__) &&                               \
+    (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__ ||                  \
+     __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__)
+  // One memcpy + byte swap instead of a per-byte shift loop. Copying
+  // into the low bytes of a zeroed word preserves the zero-pad
+  // semantics for keys shorter than 8 bytes.
+  if (key.size() >= 8) {
+    std::memcpy(&p, key.data(), 8);
+  } else if (!key.empty()) {
+    std::memcpy(&p, key.data(), key.size());
+  }
+#if __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  p = __builtin_bswap64(p);
+#endif
+#else
   const size_t n = key.size() < 8 ? key.size() : 8;
   for (size_t i = 0; i < n; ++i) {
     p |= static_cast<uint64_t>(static_cast<unsigned char>(key[i]))
          << (56 - 8 * i);
   }
+#endif
   return p;
 }
 
@@ -96,7 +114,19 @@ class KVArena {
   }
 
   /// \brief Sorts slices in (key, value) order over this arena.
+  ///
+  /// In-place MSB-radix (American flag) over the cached key_prefix,
+  /// byte at a time: most records are placed without touching the
+  /// arena. Small buckets and runs whose keys share the whole 8-byte
+  /// prefix fall back to comparison sort (SliceLess), which settles
+  /// them on the full (key, value) bytes — the same deterministic
+  /// cross-engine total order as the comparator path.
   void Sort(std::vector<KVSlice>* slices) const;
+
+  /// \brief The pre-radix comparator path (std::sort over SliceLess).
+  /// Kept as the equivalence oracle for tests and the speedup baseline
+  /// for shuffle_bench's sort section.
+  void SortComparator(std::vector<KVSlice>* slices) const;
 
  private:
   std::string data_;

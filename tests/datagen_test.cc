@@ -220,6 +220,59 @@ TEST_P(CodecFuzzTest, RandomStructuredInputsRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest, ::testing::Range(0, 16));
 
+TEST(CodecTest, CompressorReuseAcrossBlocksMatchesOneShot) {
+  // One LzCompressor compressing a stream of blocks (the block-writer
+  // usage) must produce exactly what a fresh compressor produces per
+  // block: no match-finder state may leak between blocks.
+  Rng rng(99);
+  LzCompressor shared;
+  std::string reused;
+  for (int block = 0; block < 12; ++block) {
+    std::string input;
+    const size_t target = 1 + rng.Uniform(40000);
+    while (input.size() < target) {
+      if (rng.Bernoulli(0.4) && !input.empty()) {
+        const size_t offset = 1 + rng.Uniform(input.size());
+        const size_t len = 1 + rng.Uniform(200);
+        const size_t from = input.size() - offset;
+        for (size_t i = 0; i < len; ++i) input.push_back(input[from + i]);
+      } else {
+        const size_t len = 1 + rng.Uniform(30);
+        for (size_t i = 0; i < len; ++i) {
+          input.push_back(static_cast<char>(rng.Uniform(256)));
+        }
+      }
+    }
+    shared.Compress(input, &reused);
+    EXPECT_EQ(reused, LzCompress(input)) << "block " << block;
+    auto out = LzDecompress(reused, input.size());
+    ASSERT_TRUE(out.ok()) << out.status();
+    EXPECT_EQ(*out, input) << "block " << block;
+  }
+}
+
+TEST(CodecTest, StepSkipRegionsRoundTrip) {
+  // Long incompressible stretches engage the widening scan step; the
+  // compressible tail after them must still round-trip (the skip may
+  // cost ratio, never correctness).
+  Rng rng(7);
+  std::string input;
+  for (int seg = 0; seg < 6; ++seg) {
+    for (int i = 0; i < 20000; ++i) {
+      input.push_back(static_cast<char>(rng.Next64() & 0xFF));
+    }
+    for (int i = 0; i < 5000; ++i) {
+      input.push_back(static_cast<char>('a' + (i % 7)));
+    }
+  }
+  const std::string compressed = LzCompress(input);
+  auto out = LzDecompress(compressed, input.size());
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, input);
+  // The repetitive segments still found their matches.
+  EXPECT_LT(compressed.size(), input.size());
+}
+
 TEST(CodecTest, FrameFormatRoundTrip) {
   const std::string input = "framed payload framed payload";
   const std::string frame = FrameCompress(input);

@@ -951,5 +951,69 @@ TEST(RuntimeTest, IntermediateOutputsAreReleasedWhenLastConsumerFinishes) {
   EXPECT_GT(out->stats.stages[0].output_records, 0);
 }
 
+// ---- Stage pool width is a per-plan decision ----
+
+TEST(RuntimeTest, BarrierOnlyPlanDoesNotWidenStagePool) {
+  // Pipelining is requested but every edge is wide, so nothing actually
+  // pipelines — the pool must stay at max_concurrent_stages even though
+  // the plan has more stages than that.
+  const auto lines = RandomLines(61, 60);
+  Plan plan;
+  StageSpec src;
+  src.name = "src";
+  src.job = CountingJob(2);
+  src.job.input = engine::LinesAsInput(lines);
+  int prev = plan.AddStage(std::move(src));
+  for (int i = 0; i < 4; ++i) {
+    StageSpec s;
+    s.name = "s" + std::to_string(i);
+    s.job = PassThroughJob(2);
+    prev = plan.AddStage(std::move(s), {{prev, EdgeKind::kWide}});
+  }
+  plan.options().pipeline_narrow_edges = true;
+
+  auto eng = engine::MakeEngine("mapreduce");
+  ASSERT_TRUE(eng.ok());
+  SchedulerOptions options;
+  options.max_concurrent_stages = 2;
+  int width = 0;
+  options.on_pool_width = [&](int pool_threads) { width = pool_threads; };
+  StageScheduler scheduler(eng->get(), plan, options);
+  auto out = scheduler.Execute();
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(width, 2);
+}
+
+TEST(RuntimeTest, PipelinedPlanWidensStagePoolToStageCount) {
+  // A chain that actually pipelines may hold every stage resident at
+  // once (producers park on backpressure until consumers run), so the
+  // pool widens to the stage count — and only then.
+  const auto lines = RandomLines(67, 60);
+  Plan plan;
+  StageSpec src;
+  src.name = "src";
+  src.job = CountingJob(2);
+  src.job.input = engine::LinesAsInput(lines);
+  int prev = plan.AddStage(std::move(src));
+  for (int i = 0; i < 2; ++i) {
+    StageSpec s;
+    s.name = "s" + std::to_string(i);
+    s.job = PassThroughJob(2);
+    prev = plan.AddStage(std::move(s), {{prev, EdgeKind::kNarrow}});
+  }
+  plan.options().pipeline_narrow_edges = true;
+
+  auto eng = engine::MakeEngine("mapreduce");
+  ASSERT_TRUE(eng.ok());
+  SchedulerOptions options;
+  options.max_concurrent_stages = 1;
+  int width = 0;
+  options.on_pool_width = [&](int pool_threads) { width = pool_threads; };
+  StageScheduler scheduler(eng->get(), plan, options);
+  auto out = scheduler.Execute();
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(width, 3);
+}
+
 }  // namespace
 }  // namespace dmb::runtime

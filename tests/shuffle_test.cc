@@ -78,6 +78,88 @@ TEST(KvArenaTest, SortOrdersByKeyThenValue) {
   EXPECT_EQ(flat, (std::vector<std::string>{"a:0", "a:9", "b:1", "b:2"}));
 }
 
+// The radix sort must agree with the comparator sort record-for-record.
+// Offsets may differ among fully equal records (neither sort is
+// stable), so the comparison is over (key, value) bytes.
+void ExpectSortsAgree(const KVArena& arena,
+                      const std::vector<KVSlice>& slices,
+                      const std::string& label) {
+  std::vector<KVSlice> by_comparator = slices;
+  arena.SortComparator(&by_comparator);
+  std::vector<KVSlice> by_radix = slices;
+  arena.Sort(&by_radix);
+  ASSERT_EQ(by_comparator.size(), by_radix.size()) << label;
+  for (size_t i = 0; i < by_comparator.size(); ++i) {
+    ASSERT_EQ(arena.KeyOf(by_comparator[i]), arena.KeyOf(by_radix[i]))
+        << label << " at " << i;
+    ASSERT_EQ(arena.ValueOf(by_comparator[i]), arena.ValueOf(by_radix[i]))
+        << label << " at " << i;
+  }
+}
+
+TEST(KvArenaTest, RadixSortHandlesAdversarialKeyShapes) {
+  // Every shape the prefix logic can get wrong: empty keys, keys
+  // shorter than the 8-byte prefix, keys equal in the first 8 bytes
+  // but diverging later, embedded NULs (which must not collide with
+  // the zero-padding of short keys), and duplicate keys whose order is
+  // decided by the value.
+  KVArena arena;
+  std::vector<KVSlice> slices;
+  auto add = [&](std::string_view k, std::string_view v) {
+    slices.push_back(arena.Add(k, v));
+  };
+  add("", "z");
+  add("", "a");
+  add(std::string_view("\x00", 1), "1");
+  add(std::string_view("\x00\x00", 2), "1");
+  add("a", "1");
+  add(std::string_view("a\x00", 2), "1");
+  add(std::string_view("a\x00\x00z", 4), "1");
+  add("prefix18", "same 8, differ after");
+  add("prefix18-suffix-b", "1");
+  add("prefix18-suffix-a", "1");
+  add("prefix18-suffix-a", "0");
+  add("dup", "3");
+  add("dup", "1");
+  add("dup", "2");
+  ExpectSortsAgree(arena, slices, "adversarial");
+}
+
+TEST(KvArenaTest, RadixSortMatchesComparatorSortFuzz) {
+  Rng rng(20140708);
+  for (int round = 0; round < 20; ++round) {
+    KVArena arena;
+    std::vector<KVSlice> slices;
+    // Large enough to recurse past the comparator cutoff on several
+    // levels; mixed shapes so buckets are uneven.
+    const int n = 200 + static_cast<int>(rng.Uniform(3000));
+    for (int i = 0; i < n; ++i) {
+      std::string key;
+      switch (rng.Uniform(4)) {
+        case 0:  // short binary keys (zero-pad vs real NUL bytes)
+          for (uint64_t j = rng.Uniform(8); j > 0; --j) {
+            key.push_back(static_cast<char>(rng.Uniform(4)));
+          }
+          break;
+        case 1:  // heavy shared prefix, diverging past 8 bytes
+          key = "shared-prefix-" + std::to_string(rng.Uniform(64));
+          break;
+        case 2:  // duplicates from a tiny key space
+          key = "k" + std::to_string(rng.Uniform(16));
+          break;
+        default:  // random binary, embedded NULs included
+          for (uint64_t j = rng.Uniform(20); j > 0; --j) {
+            key.push_back(static_cast<char>(rng.Uniform(256)));
+          }
+          break;
+      }
+      // Small value space so duplicate keys also collide on values.
+      slices.push_back(arena.Add(key, std::to_string(rng.Uniform(8))));
+    }
+    ExpectSortsAgree(arena, slices, "round " + std::to_string(round));
+  }
+}
+
 TEST(KvArenaTest, EncodedKVSizeMatchesEncodeKV) {
   for (size_t klen : {size_t{0}, size_t{1}, size_t{127}, size_t{128},
                       size_t{20000}}) {
