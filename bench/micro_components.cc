@@ -43,6 +43,44 @@ void BM_Hash64(benchmark::State& state) {
 }
 BENCHMARK(BM_Hash64)->Arg(64)->Arg(4096)->Arg(1 << 20);
 
+/// Short shuffle-key-shaped strings for the scalar-vs-batch hash pair:
+/// the batch path must win here, where per-call overhead dominates.
+std::vector<std::string> MakeHashKeys(size_t n) {
+  Rng rng(9);
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("word" + std::to_string(rng.Uniform(50000)));
+  }
+  return keys;
+}
+
+void BM_HashScalar(benchmark::State& state) {
+  const auto keys = MakeHashKeys(static_cast<size_t>(state.range(0)));
+  std::vector<uint64_t> out(keys.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < keys.size(); ++i) out[i] = Hash64(keys[i]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashScalar)->Arg(1024)->Arg(65536);
+
+/// Same keys, same hashes (bit-identical to Hash64), 4-wide interleaved.
+void BM_HashBatch(benchmark::State& state) {
+  const auto keys = MakeHashKeys(static_cast<size_t>(state.range(0)));
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  std::vector<uint64_t> out(keys.size());
+  for (auto _ : state) {
+    Hash64Batch(views.data(), views.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashBatch)->Arg(1024)->Arg(65536);
+
 void BM_ZipfSample(benchmark::State& state) {
   ZipfSampler zipf(100000, 1.0);
   Rng rng(1);

@@ -20,10 +20,12 @@
 #include <algorithm>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/hash.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/kv.h"
@@ -290,6 +292,126 @@ SortTimings TimeSorts(const std::vector<std::string>& keys) {
   return t;
 }
 
+// ---- Threads axis: the same phases at 1 thread vs the machine. ----
+
+/// Serial vs parallel arena sort over identical slice vectors, best of
+/// 3, with a record-by-record equivalence check (the parallel sort is
+/// byte-identical to the serial one by contract).
+struct AxisSortTimings {
+  double serial_seconds = 0;
+  double parallel_seconds = 0;
+  int64_t spawned = 0;
+  bool identical = false;
+};
+
+AxisSortTimings TimeSortAxis(const std::vector<std::string>& keys,
+                             ParallelContext* parallel) {
+  shuffle::KVArena arena;
+  std::vector<shuffle::KVSlice> base;
+  base.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    base.push_back(arena.Add(keys[i], std::to_string(i & 0xFF)));
+  }
+  AxisSortTimings t;
+  std::vector<shuffle::KVSlice> serial_out;
+  std::vector<shuffle::KVSlice> parallel_out;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<shuffle::KVSlice> a = base;
+    Stopwatch sw_serial;
+    arena.Sort(&a);
+    const double serial_s = sw_serial.ElapsedSeconds();
+    std::vector<shuffle::KVSlice> b = base;
+    int64_t spawned = 0;
+    Stopwatch sw_parallel;
+    arena.Sort(&b, parallel, &spawned);
+    const double parallel_s = sw_parallel.ElapsedSeconds();
+    if (rep == 0 || serial_s < t.serial_seconds) t.serial_seconds = serial_s;
+    if (rep == 0 || parallel_s < t.parallel_seconds) {
+      t.parallel_seconds = parallel_s;
+    }
+    if (rep == 0) {
+      t.spawned = spawned;
+      serial_out = std::move(a);
+      parallel_out = std::move(b);
+    }
+  }
+  t.identical = true;
+  for (size_t i = 0; i < serial_out.size(); ++i) {
+    if (arena.KeyOf(serial_out[i]) != arena.KeyOf(parallel_out[i]) ||
+        arena.ValueOf(serial_out[i]) != arena.ValueOf(parallel_out[i])) {
+      t.identical = false;
+      break;
+    }
+  }
+  return t;
+}
+
+/// Collector-to-sealed-runs plus the k-way merge back, with an optional
+/// ParallelContext: 4 hash partitions under spill pressure, everything
+/// forced to disk, then every partition merged in order into one
+/// order-sensitive digest. Serial and parallel runs partition and sort
+/// identically, so their digests must agree exactly.
+struct SealedRunsResult {
+  Status status;
+  double collect_seconds = 0;  // Add() loop + FinishRuns(to_disk)
+  double merge_seconds = 0;
+  int64_t runs = 0;
+  int64_t parallel_tasks = 0;
+  StreamDigest digest;
+};
+
+SealedRunsResult CollectorToSealedRuns(const std::vector<std::string>& words,
+                                       ParallelContext* parallel) {
+  SealedRunsResult r;
+  shuffle::CollectorOptions options;
+  options.num_partitions = 4;
+  options.partitioner = std::make_shared<datampi::HashPartitioner>();
+  options.on_budget = shuffle::BudgetAction::kSpill;
+  options.spill_io.block_bytes = 16 << 10;
+  options.spill_io.codec = io::Codec::kLz;
+  options.parallel = parallel;
+  int64_t in_memory = 0;
+  for (const auto& w : words) {
+    in_memory += static_cast<int64_t>(w.size()) + 1 +
+                 shuffle::PartitionedCollector::kRecordOverheadBytes;
+  }
+  options.memory_budget_bytes = std::max<int64_t>(in_memory / 11, 1);
+  shuffle::PartitionedCollector collector(std::move(options));
+  Stopwatch sw;
+  for (const auto& w : words) {
+    r.status = collector.Add(w, "1");
+    if (!r.status.ok()) return r;
+  }
+  auto runs = collector.FinishRuns(/*to_disk=*/true);
+  if (!runs.ok()) {
+    r.status = runs.status();
+    return r;
+  }
+  r.collect_seconds = sw.ElapsedSeconds();
+  r.parallel_tasks = collector.parallel_tasks();
+
+  Stopwatch merge_sw;
+  for (const auto& part : *runs) {
+    shuffle::RunMerger merger;
+    merger.SetParallel(parallel);
+    for (const auto& path : part.run_files) {
+      r.status = merger.AddFileRun(path);
+      if (!r.status.ok()) return r;
+    }
+    r.runs += static_cast<int64_t>(part.run_files.size());
+    auto it = merger.Merge();
+    std::string key;
+    std::vector<std::string> values;
+    while (it->NextGroup(&key, &values)) {
+      r.digest.Add(key, values);
+    }
+    r.status = it->status();
+    if (!r.status.ok()) return r;
+  }
+  r.merge_seconds = merge_sw.ElapsedSeconds();
+  return r;
+}
+
 /// The in-memory oracle of the merge phase: same records, never spilled.
 Result<StreamDigest> InMemoryDigest(const std::vector<std::string>& words) {
   StreamDigest digest;
@@ -463,6 +585,109 @@ int Run(int argc, char** argv) {
                  "random keys ("
               << uniform_speedup << "x)\n";
     return 1;
+  }
+
+  // ---- Threads axis: serial vs one worker per hardware thread. ----
+  PrintBanner(std::cout, "Intra-task parallelism: 1 thread vs the machine");
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  ParallelContext::Options popts;
+  popts.threads = 0;  // resolve to hardware_concurrency
+  ParallelContext context(popts);
+  std::cout << hw << " hardware thread" << (hw == 1 ? "" : "s")
+            << (context.enabled()
+                    ? ": parallel columns use the shared pool.\n"
+                    : ": pool disabled, parallel columns run serially.\n");
+
+  const AxisSortTimings axis_sort =
+      TimeSortAxis(MakeSortKeys("uniform", n), &context);
+  if (!axis_sort.identical) {
+    std::cerr << "MISMATCH: parallel sort output differs from serial\n";
+    return 1;
+  }
+  const SealedRunsResult sealed_serial = CollectorToSealedRuns(words, nullptr);
+  if (!sealed_serial.status.ok()) {
+    std::cerr << "serial sealed-runs FAILED: " << sealed_serial.status << "\n";
+    return 1;
+  }
+  const SealedRunsResult sealed_parallel =
+      CollectorToSealedRuns(words, &context);
+  if (!sealed_parallel.status.ok()) {
+    std::cerr << "parallel sealed-runs FAILED: " << sealed_parallel.status
+              << "\n";
+    return 1;
+  }
+  if (sealed_parallel.digest.hash != sealed_serial.digest.hash ||
+      sealed_parallel.digest.groups != sealed_serial.digest.groups ||
+      sealed_parallel.digest.records != sealed_serial.digest.records ||
+      sealed_parallel.runs != sealed_serial.runs) {
+    std::cerr << "MISMATCH: parallel collector/merge disagrees with serial ("
+              << sealed_parallel.digest.groups << " vs "
+              << sealed_serial.digest.groups << " groups, "
+              << sealed_parallel.runs << " vs " << sealed_serial.runs
+              << " runs)\n";
+    return 1;
+  }
+  if (sealed_serial.digest.records != string_pairs.records) {
+    std::cerr << "MISMATCH: sealed-runs phase lost records ("
+              << sealed_serial.digest.records << " vs "
+              << string_pairs.records << ")\n";
+    return 1;
+  }
+
+  TablePrinter axis_table({"phase", "serial s", "parallel s", "speedup"});
+  auto axis_row = [&](const char* name, double serial_s, double parallel_s) {
+    axis_table.AddRow({name, TablePrinter::Num(serial_s, 3),
+                       TablePrinter::Num(parallel_s, 3),
+                       TablePrinter::Num(serial_s / parallel_s, 2) + "x"});
+  };
+  axis_row("radix sort (uniform)", axis_sort.serial_seconds,
+           axis_sort.parallel_seconds);
+  axis_row("collector -> sealed runs", sealed_serial.collect_seconds,
+           sealed_parallel.collect_seconds);
+  axis_row("merge sealed runs", sealed_serial.merge_seconds,
+           sealed_parallel.merge_seconds);
+  axis_table.Print(std::cout);
+  std::cout << "Parallel sort verified record-identical; parallel "
+               "collector/merge digest matches serial ("
+            << sealed_serial.digest.groups << " groups over "
+            << sealed_serial.runs << " runs); "
+            << sealed_parallel.parallel_tasks << " pool tasks.\n";
+
+  json.Add("shuffle_bench/threads/sort/serial/" + std::to_string(n),
+           axis_sort.serial_seconds, "s");
+  json.Add("shuffle_bench/threads/sort/parallel/" + std::to_string(n),
+           axis_sort.parallel_seconds, "s");
+  json.Add("shuffle_bench/threads/collect/serial/" + std::to_string(n),
+           sealed_serial.collect_seconds, "s");
+  json.Add("shuffle_bench/threads/collect/parallel/" + std::to_string(n),
+           sealed_parallel.collect_seconds, "s");
+  json.Add("shuffle_bench/threads/merge/serial/" + std::to_string(n),
+           sealed_serial.merge_seconds, "s");
+  json.Add("shuffle_bench/threads/merge/parallel/" + std::to_string(n),
+           sealed_parallel.merge_seconds, "s");
+
+  // The speedup gates only bind where the hardware can deliver them;
+  // serial correctness (digest equality above) binds everywhere.
+  if (context.enabled() && hw >= 4 && n >= 1'000'000) {
+    if (sealed_parallel.parallel_tasks <= 0) {
+      std::cerr << "REGRESSION: parallel collector spawned no pool tasks\n";
+      return 1;
+    }
+    const double sort_speedup =
+        axis_sort.serial_seconds / axis_sort.parallel_seconds;
+    if (sort_speedup < 1.5) {
+      std::cerr << "REGRESSION: parallel sort speedup " << sort_speedup
+                << "x < 1.5x on " << hw << " threads\n";
+      return 1;
+    }
+    const double collect_speedup = sealed_serial.collect_seconds /
+                                   sealed_parallel.collect_seconds;
+    if (collect_speedup < 1.5) {
+      std::cerr << "REGRESSION: collector-to-sealed-runs speedup "
+                << collect_speedup << "x < 1.5x on " << hw << " threads\n";
+      return 1;
+    }
   }
 
   json.Add("shuffle_bench/string_pairs/" + std::to_string(n),

@@ -2,6 +2,7 @@
 """Compare two BenchJson files and fail on perf regressions.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--tolerance FRAC]
+       bench_diff.py BASELINE.json CURRENT.json --update
 
 Both files use the shared bench harness format:
   {"benchmarks": [{"name": ..., "value": ..., "unit": ...}, ...]}
@@ -22,6 +23,11 @@ with CPU frequency state alone.
 Metrics present on only one side are reported but never fail the gate,
 so adding a benchmark does not require regenerating baselines in the
 same commit.
+
+--update rewrites BASELINE in place from CURRENT (after printing the
+diff, without failing on regressions): the accepted way to refresh a
+committed BENCH_*.json when a change legitimately moves the numbers or
+adds metrics. Review the printed deltas before committing the result.
 """
 
 import argparse
@@ -67,6 +73,12 @@ def main():
         help="time metrics with a baseline below this many seconds are "
         "informational only (default 1e-7)",
     )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite BASELINE from CURRENT after printing the diff "
+        "(never fails; refreshes committed baselines in place)",
+    )
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -102,6 +114,20 @@ def main():
             regressions.append(name)
         print(f"{name:<{width}}  {base_value:>12.4g}  {cur_value:>12.4g}  "
               f"{delta:+.1%} {verdict}")
+
+    if args.update:
+        # Same one-entry-per-line shape the bench harnesses emit, so the
+        # committed baseline diffs line-per-metric in review.
+        lines = [
+            json.dumps({"name": name, "value": value, "unit": unit})
+            for name, (value, unit) in current.items()
+        ]
+        with open(args.baseline, "w") as f:
+            f.write('{\n  "benchmarks": [\n    ')
+            f.write(',\n    '.join(lines))
+            f.write('\n  ]\n}\n')
+        print(f"bench_diff: wrote {len(current)} entries to {args.baseline}")
+        return 0
 
     if regressions:
         print(f"bench_diff: {len(regressions)} regression(s) beyond "

@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
 # CI check: configure (warnings-as-errors), build, run the test suite,
 # run the io/shuffle tests again under UBSan (-DDMB_SANITIZE=undefined),
-# run the runtime tests under TSan (-DDMB_SANITIZE=thread — the batch
-# channel and stage scheduler are the tree's heavily concurrent
-# producer/consumer structures), then build every bench binary
-# explicitly (build-only; no long benchmark runs).
+# run the shuffle/io/runtime tests under TSan (-DDMB_SANITIZE=thread —
+# the intra-task parallel sort/spill/merge paths, the batch channel and
+# the stage scheduler are the tree's heavily concurrent structures),
+# then build every bench binary explicitly (build-only; no long
+# benchmark runs) and diff the JSON bench harnesses against the
+# committed BENCH_*.json baselines.
 #
-# CHECK_ASAN=1 additionally builds the io/shuffle/engine/core tests
-# under AddressSanitizer in build-asan/ and runs them.
+# Usage: scripts/check.sh        (no arguments; knobs via environment)
+#
+#   CHECK_ASAN=1      also build the io/shuffle/engine/core/runtime
+#                     tests under AddressSanitizer and run them.
+#   CHECK_NO_BENCH=1  skip the bench-diff perf gate entirely (machines
+#                     where wall-clock timing is meaningless: emulators,
+#                     heavily shared CI runners).
+#   BENCH_DIFF_TOL=F  fractional perf-regression tolerance for the
+#                     bench-diff gate (default 0.5 = 50%; see
+#                     scripts/bench_diff.py, which also takes --update
+#                     to refresh the committed baselines in place).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,10 +45,14 @@ cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_
 # The pipelined narrow edges run a bounded producer/consumer channel
 # between concurrently executing stages — runtime_test must stay clean
 # under ThreadSanitizer (races, lock-order inversions, cv misuse).
-echo "check.sh: TSan pass (runtime tests)"
+# shuffle_test and io_test join it: the intra-task parallelism layer
+# (parallel radix sub-sorts, overlapped spill-block encoding, concurrent
+# partition spills, merge-time block prefetch) shares one ParallelContext
+# pool across tasks and must be race-free at every thread count.
+echo "check.sh: TSan pass (shuffle + io + runtime tests)"
 cmake -B build-tsan -S . -DDMB_SANITIZE=thread -DDMB_WERROR=ON
-cmake --build build-tsan -j --target runtime_test
-(cd build-tsan && ctest --output-on-failure -R '^runtime_test$')
+cmake --build build-tsan -j --target shuffle_test io_test runtime_test
+(cd build-tsan && ctest --output-on-failure -R '^(shuffle|io|runtime)_test$')
 
 BENCH_TARGETS=(
   fig2a_dfsio_tuning
@@ -62,8 +77,9 @@ done
 # against the committed baselines. The tolerance is generous by design
 # (structural regressions, not noise) and tunable via BENCH_DIFF_TOL;
 # CHECK_NO_BENCH=1 skips the gate entirely on machines where wall-clock
-# timing is meaningless. Refresh baselines with the same commands,
-# writing to BENCH_shuffle.json / BENCH_micro.json directly.
+# timing is meaningless. Refresh baselines by appending --update to the
+# bench_diff.py invocations below (rewrites the committed BENCH_*.json
+# from the fresh run after printing the diff).
 if [ "${CHECK_NO_BENCH:-0}" != "1" ]; then
   echo "check.sh: bench-diff gate (vs BENCH_shuffle.json / BENCH_micro.json)"
   ./build/shuffle_bench --json build/bench_shuffle_current.json > /dev/null

@@ -18,6 +18,15 @@ inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
   return Hash64(s.data(), s.size(), seed);
 }
 
+/// \brief Hashes `n` keys into `out`, bit-identical to calling Hash64
+/// on each. Quads of consecutive same-length keys run through a 4-wide
+/// interleaved kernel — four independent lane states advanced in
+/// lockstep, which the compiler can autovectorize — so batch hashing of
+/// fixed-width keys (the common partitioner input) beats the scalar
+/// loop; mixed-length stretches fall back to scalar per key.
+void Hash64Batch(const std::string_view* keys, size_t n, uint64_t* out,
+                 uint64_t seed = 0);
+
 /// \brief Finalizer-style mix of a 64-bit integer (splitmix64 finalizer).
 uint64_t Mix64(uint64_t x);
 

@@ -21,12 +21,37 @@ bool ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+  progress_cv_.notify_all();
   return true;
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::RunUntil(const std::function<bool()>& done) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (done()) return;
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      lock.unlock();
+      task();
+      lock.lock();
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      progress_cv_.notify_all();
+      continue;
+    }
+    // Queue empty but not done: the predicate depends on tasks running
+    // in workers (or other helpers); sleep until something completes or
+    // new helpable work arrives.
+    progress_cv_.wait(lock,
+                      [this, &done] { return done() || !queue_.empty(); });
+  }
 }
 
 void ThreadPool::Shutdown() {
@@ -36,6 +61,7 @@ void ThreadPool::Shutdown() {
     shutdown_ = true;
   }
   work_cv_.notify_all();
+  progress_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -61,6 +87,7 @@ void ThreadPool::WorkerLoop() {
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
+    progress_cv_.notify_all();
   }
 }
 

@@ -30,6 +30,18 @@ class ThreadPool {
   /// \brief Blocks until all submitted tasks have finished executing.
   void Wait();
 
+  /// \brief Help-while-wait join: runs queued tasks on the *calling*
+  /// thread until `done()` returns true, sleeping between tasks only
+  /// when the queue is empty (woken by every submit and completion).
+  ///
+  /// This is what makes nested submission deadlock-free: a task (or an
+  /// outside caller) blocked joining sub-tasks it submitted to this pool
+  /// makes progress by executing them inline even when every worker is
+  /// busy — or itself parked in RunUntil. `done` is evaluated under the
+  /// pool lock and must be cheap and non-blocking (read an atomic; do
+  /// not take locks that tasks hold while touching this pool).
+  void RunUntil(const std::function<bool()>& done);
+
   /// \brief Stops accepting tasks, drains the queue, joins workers.
   /// Called automatically by the destructor.
   void Shutdown();
@@ -42,6 +54,10 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
+  /// Notified on every submit and every task completion (unlike
+  /// work_cv_, which only signals new work): RunUntil predicates
+  /// typically flip when a task *finishes*.
+  std::condition_variable progress_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   int active_ = 0;

@@ -28,6 +28,7 @@ struct SharedState {
   std::atomic<int64_t> a_spill_bytes_on_disk{0};
   std::atomic<int64_t> a_blocks_read{0};
   std::atomic<int64_t> output_records{0};
+  std::atomic<int64_t> parallel_tasks{0};
   std::atomic<int> max_wave{0};
   std::mutex output_mu;
   std::vector<std::vector<KVPair>> a_outputs;
@@ -135,7 +136,11 @@ class OContextImpl : public OContext {
       // Group the batch locally and combine each key's values before the
       // pairs hit the wire (WordCount-style traffic reduction). Sorting
       // moves slices with cached key prefixes, not string pairs.
-      part.arena.Sort(&part.slices);
+      int64_t spawned = 0;
+      part.arena.Sort(&part.slices, config_.parallel, &spawned);
+      if (spawned > 0) {
+        shared_->parallel_tasks.fetch_add(spawned, std::memory_order_relaxed);
+      }
       size_t i = 0;
       std::vector<std::string> values;
       while (i < part.slices.size()) {
@@ -260,6 +265,9 @@ Status ReduceBuffer(const JobConfig& config, int a_rank,
   }
   shared->a_blocks_read.fetch_add(groups->blocks_read(),
                                   std::memory_order_relaxed);
+  // After the group sweep: Finish()-time parallel sorts are counted too.
+  shared->parallel_tasks.fetch_add(buffer->parallel_tasks(),
+                                   std::memory_order_relaxed);
   shared->output_records.fetch_add(emitter.records(),
                                    std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shared->output_mu);
@@ -277,6 +285,7 @@ Status RunATask(const JobConfig& config, mpi::Comm& world, int a_rank,
   options.memory_budget_bytes = config.a_memory_budget_bytes;
   options.sort_by_key = config.sort_by_key;
   options.spill_io = config.spill_io;
+  options.parallel = config.parallel;
   SpillableKVBuffer buffer(options);
   // Checkpoints stream through the io block format (checksummed,
   // optionally compressed blocks of EncodeKV records), so a restart can
@@ -373,6 +382,7 @@ Result<JobResult> DataMPIJob::Run(OTaskFn o_fn, AGroupFn a_fn) {
   result.stats.a_spill_bytes_on_disk = shared.a_spill_bytes_on_disk.load();
   result.stats.a_blocks_read = shared.a_blocks_read.load();
   result.stats.output_records = shared.output_records.load();
+  result.stats.parallel_shuffle_tasks = shared.parallel_tasks.load();
   result.stats.o_waves = shared.max_wave.load();
   return result;
 }
@@ -397,6 +407,7 @@ Result<JobResult> DataMPIJob::RunFromCheckpoint(AGroupFn a_fn) {
     options.memory_budget_bytes = config.a_memory_budget_bytes;
     options.sort_by_key = config.sort_by_key;
     options.spill_io = config.spill_io;
+    options.parallel = config.parallel;
     SpillableKVBuffer buffer(options);
     std::string_view key, value;
     while (reader->Next(&key, &value)) {
@@ -415,6 +426,7 @@ Result<JobResult> DataMPIJob::RunFromCheckpoint(AGroupFn a_fn) {
   result.stats.a_spill_bytes_on_disk = shared.a_spill_bytes_on_disk.load();
   result.stats.a_blocks_read = shared.a_blocks_read.load();
   result.stats.output_records = shared.output_records.load();
+  result.stats.parallel_shuffle_tasks = shared.parallel_tasks.load();
   return result;
 }
 

@@ -70,6 +70,12 @@ struct JobConfig {
   /// With output_stream: skip materializing a_outputs entirely (the
   /// stream is the only reader of this job's output).
   bool stream_output_only = false;
+  /// Intra-task parallelism context (borrowed, may be null; typically
+  /// the engine-owned pool shared by every task of the job). When set,
+  /// O-side combiner flushes sort in parallel and A-side buffers spill
+  /// with concurrent sorts, overlapped block encoding and merge-time
+  /// prefetch. Output and run-file bytes are identical either way.
+  ParallelContext* parallel = nullptr;
 };
 
 /// \brief Emit-side context handed to O task functions.
@@ -111,6 +117,9 @@ struct JobStats {
   /// Run-file blocks decoded by the A-side streaming merges.
   int64_t a_blocks_read = 0;
   int64_t output_records = 0;
+  /// Intra-task pool work units fanned out by O-side combiner sorts and
+  /// A-side buffers (0 when config.parallel is null).
+  int64_t parallel_shuffle_tasks = 0;
   int o_waves = 0;
 };
 

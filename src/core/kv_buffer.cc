@@ -13,6 +13,7 @@ shuffle::CollectorOptions SpillableKVBuffer::ToCollectorOptions(
   copts.on_budget = shuffle::BudgetAction::kSpill;
   copts.spill_dir = options.spill_dir;
   copts.spill_io = options.spill_io;
+  copts.parallel = options.parallel;
   return copts;
 }
 

@@ -44,6 +44,11 @@ struct KVBufferOptions {
   const TempDir* spill_dir = nullptr;
   /// Run-file block size and codec (src/io spill format).
   io::BlockFileOptions spill_io;
+  /// Intra-task parallelism context (borrowed, may be null): arms
+  /// parallel spill sorts, overlapped spill-block encoding and
+  /// merge-time block prefetch in the underlying collector. Bytes and
+  /// group order are identical with or without it.
+  ParallelContext* parallel = nullptr;
 };
 
 /// \brief The spillable buffer.
@@ -74,6 +79,9 @@ class SpillableKVBuffer {
   int64_t spilled_raw_bytes() const {
     return collector_.spilled_raw_bytes();
   }
+  /// Intra-task pool work units the collector fanned out (0 when the
+  /// buffer runs serial).
+  int64_t parallel_tasks() const { return collector_.parallel_tasks(); }
 
  private:
   static shuffle::CollectorOptions ToCollectorOptions(

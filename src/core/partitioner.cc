@@ -16,15 +16,16 @@ int HashPartitioner::Partition(std::string_view key,
 void HashPartitioner::PartitionBatch(const std::string_view* keys, size_t n,
                                      int num_partitions, int* out) const {
   assert(num_partitions >= 1);
-  // Hash and route as two tight passes over a stack chunk: the hash
-  // loop has no virtual calls to inhibit inlining, and the modulo loop
-  // is a pure int stream the compiler can vectorize.
+  // Hash and route as two tight passes over a stack chunk: Hash64Batch
+  // runs same-length key quads through its 4-wide interleaved kernel,
+  // and the modulo loop is a pure int stream the compiler can
+  // vectorize.
   constexpr size_t kChunk = 128;
   uint64_t hashes[kChunk];
   const auto parts = static_cast<uint64_t>(num_partitions);
   while (n > 0) {
     const size_t m = n < kChunk ? n : kChunk;
-    for (size_t i = 0; i < m; ++i) hashes[i] = Hash64(keys[i]);
+    Hash64Batch(keys, m, hashes);
     for (size_t i = 0; i < m; ++i) {
       out[i] = static_cast<int>(hashes[i] % parts);
     }

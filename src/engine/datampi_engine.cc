@@ -44,7 +44,12 @@ std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
 
 Result<JobOutput> DataMPIEngine::RunStage(const JobSpec& spec) {
   DMB_RETURN_NOT_OK(ValidateSpec(spec));
+  // Held for the stage's duration: a concurrent stage with different
+  // knobs may swap the engine's cache, and the shared_ptr keeps this
+  // stage's pool alive until its tasks finish.
+  std::shared_ptr<ParallelContext> parallel = ShuffleParallel(spec);
   datampi::JobConfig config;
+  config.parallel = parallel.get();
   config.num_o_ranks = spec.parallelism;
   config.num_a_ranks = spec.parallelism;
   config.partitioner = spec.partitioner;
@@ -116,6 +121,7 @@ Result<JobOutput> DataMPIEngine::RunStage(const JobSpec& spec) {
   output.stats.blocks_read = result.stats.a_blocks_read;
   output.stats.reduce_input_records = result.stats.a_records_received;
   output.stats.output_records = result.stats.output_records;
+  output.stats.parallel_shuffle_tasks = result.stats.parallel_shuffle_tasks;
   return output;
 }
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/parallel.h"
 #include "runtime/scheduler.h"
 
 namespace dmb::engine {
@@ -37,6 +38,24 @@ Result<JobOutput> Engine::Run(const JobSpec& spec) {
 
 Result<runtime::PlanOutput> Engine::RunPlan(const runtime::Plan& plan) {
   return runtime::StageScheduler(this, plan).Execute();
+}
+
+std::shared_ptr<ParallelContext> Engine::ShuffleParallel(const JobSpec& spec) {
+  if (spec.shuffle_threads == 1) return nullptr;
+  std::lock_guard<std::mutex> lock(parallel_mu_);
+  if (parallel_cache_ == nullptr || parallel_threads_ != spec.shuffle_threads ||
+      parallel_sort_threshold_ != spec.parallel_sort_threshold ||
+      parallel_inflight_ != spec.max_inflight_spill_blocks) {
+    ParallelContext::Options options;
+    options.threads = spec.shuffle_threads;
+    options.max_inflight_blocks = spec.max_inflight_spill_blocks;
+    options.parallel_sort_threshold = spec.parallel_sort_threshold;
+    parallel_cache_ = std::make_shared<ParallelContext>(options);
+    parallel_threads_ = spec.shuffle_threads;
+    parallel_sort_threshold_ = spec.parallel_sort_threshold;
+    parallel_inflight_ = spec.max_inflight_spill_blocks;
+  }
+  return parallel_cache_;
 }
 
 Status ValidateSpec(const JobSpec& spec) {
@@ -85,6 +104,15 @@ Status ValidateSpec(const JobSpec& spec) {
   }
   if (spec.spill_block_bytes < 0) {
     return Status::InvalidArgument("JobSpec.spill_block_bytes < 0");
+  }
+  if (spec.shuffle_threads < 0) {
+    return Status::InvalidArgument("JobSpec.shuffle_threads < 0");
+  }
+  if (spec.parallel_sort_threshold < 0) {
+    return Status::InvalidArgument("JobSpec.parallel_sort_threshold < 0");
+  }
+  if (spec.max_inflight_spill_blocks < 0) {
+    return Status::InvalidArgument("JobSpec.max_inflight_spill_blocks < 0");
   }
   return Status::OK();
 }

@@ -23,12 +23,17 @@
 #define DATAMPI_BENCH_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/types.h"
 #include "runtime/plan.h"
+
+namespace dmb {
+class ParallelContext;
+}  // namespace dmb
 
 namespace dmb::engine {
 
@@ -53,6 +58,26 @@ class Engine {
   /// \brief The engine-specific single-stage primitive: one
   /// map/shuffle/reduce round over the spec's input (or input_splits).
   virtual Result<JobOutput> RunStage(const JobSpec& spec) = 0;
+
+ protected:
+  /// \brief The engine-owned intra-task shuffle pool for the spec's
+  /// parallelism knobs (shuffle_threads / parallel_sort_threshold /
+  /// max_inflight_spill_blocks), or null when the spec is serial
+  /// (shuffle_threads == 1). One context is cached and shared across
+  /// stages with the same knobs — including concurrently scheduled plan
+  /// stages — so a plan cannot oversubscribe the machine with one pool
+  /// per stage. Adapters hold the returned shared_ptr for the stage's
+  /// duration: a concurrent stage with different knobs swaps the cache,
+  /// and the shared_ptr keeps the old context (and its in-flight
+  /// budget) alive until every stage using it finishes.
+  std::shared_ptr<ParallelContext> ShuffleParallel(const JobSpec& spec);
+
+ private:
+  std::mutex parallel_mu_;
+  std::shared_ptr<ParallelContext> parallel_cache_;
+  int parallel_threads_ = 0;
+  int64_t parallel_sort_threshold_ = 0;
+  int parallel_inflight_ = 0;
 };
 
 /// \brief Shared spec validation used by every adapter.

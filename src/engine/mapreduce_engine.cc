@@ -38,7 +38,12 @@ class MRReduceEmitter final : public ReduceEmitter {
 
 Result<JobOutput> MapReduceEngine::RunStage(const JobSpec& spec) {
   DMB_RETURN_NOT_OK(ValidateSpec(spec));
+  // Held for the stage's duration: a concurrent stage with different
+  // knobs may swap the engine's cache, and the shared_ptr keeps this
+  // stage's pool alive until its tasks finish.
+  std::shared_ptr<ParallelContext> parallel = ShuffleParallel(spec);
   mapreduce::MRConfig config;
+  config.parallel = parallel.get();
   config.num_map_tasks = spec.parallelism;
   config.num_reduce_tasks = spec.parallelism;
   config.slots = spec.parallelism;
@@ -90,6 +95,7 @@ Result<JobOutput> MapReduceEngine::RunStage(const JobSpec& spec) {
   output.stats.blocks_read = result.stats.blocks_read;
   output.stats.reduce_input_records = result.stats.reduce_input_records;
   output.stats.output_records = result.stats.output_records;
+  output.stats.parallel_shuffle_tasks = result.stats.parallel_shuffle_tasks;
   return output;
 }
 

@@ -27,12 +27,15 @@ std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
 /// grouped and combined at Take() — Spark's map-side combineByKey.
 class CollectingMapContext final : public MapContext {
  public:
-  CollectingMapContext(int task_id, CombinerFn combiner) : task_id_(task_id) {
+  CollectingMapContext(int task_id, CombinerFn combiner,
+                       ParallelContext* parallel)
+      : task_id_(task_id) {
     shuffle::CollectorOptions copts;
     copts.num_partitions = 1;
     copts.sort_by_key = combiner != nullptr;
     copts.combiner = std::move(combiner);
     copts.on_budget = shuffle::BudgetAction::kUnbounded;
+    copts.parallel = parallel;
     collector_ =
         std::make_unique<shuffle::PartitionedCollector>(std::move(copts));
   }
@@ -43,6 +46,7 @@ class CollectingMapContext final : public MapContext {
   int task_id() const override { return task_id_; }
 
   int64_t records() const { return collector_->records_added(); }
+  int64_t parallel_tasks() const { return collector_->parallel_tasks(); }
 
   Result<std::vector<StrPair>> Take() {
     DMB_ASSIGN_OR_RETURN(auto iterators, collector_->FinishIterators());
@@ -72,18 +76,21 @@ class MapStageRDD final : public rddlite::RDD<StrPair> {
               std::shared_ptr<const std::vector<std::vector<KVPair>>> splits,
               std::shared_ptr<shuffle::BatchChannelGroup> stream,
               int parts, MapFn map_fn, CombinerFn combiner,
-              std::atomic<int64_t>* map_records)
+              ParallelContext* parallel, std::atomic<int64_t>* map_records,
+              std::atomic<int64_t>* parallel_tasks)
       : RDD<StrPair>(ctx, parts),
         input_(std::move(input)),
         splits_(std::move(splits)),
         stream_(std::move(stream)),
         map_fn_(std::move(map_fn)),
         combiner_(std::move(combiner)),
-        map_records_(map_records) {}
+        parallel_(parallel),
+        map_records_(map_records),
+        parallel_tasks_(parallel_tasks) {}
 
  protected:
   Result<std::vector<StrPair>> DoCompute(int p) override {
-    CollectingMapContext ctx(p, combiner_);
+    CollectingMapContext ctx(p, combiner_, parallel_);
     if (stream_) {
       // Pipelined narrow edge: pull partition p's batches while the
       // upstream stage is still producing them.
@@ -92,8 +99,7 @@ class MapStageRDD final : public rddlite::RDD<StrPair> {
           [&](std::string_view key, std::string_view value) {
             return map_fn_(key, value, &ctx);
           }));
-      map_records_->fetch_add(ctx.records(), std::memory_order_relaxed);
-      return ctx.Take();
+      return Finish(&ctx);
     }
     const std::vector<KVPair>& records =
         splits_ ? (*splits_)[static_cast<size_t>(p)] : *input_;
@@ -104,17 +110,26 @@ class MapStageRDD final : public rddlite::RDD<StrPair> {
       DMB_RETURN_NOT_OK(
           map_fn_(records[i].key, records[i].value, &ctx));
     }
-    map_records_->fetch_add(ctx.records(), std::memory_order_relaxed);
-    return ctx.Take();
+    return Finish(&ctx);
   }
 
  private:
+  Result<std::vector<StrPair>> Finish(CollectingMapContext* ctx) {
+    map_records_->fetch_add(ctx->records(), std::memory_order_relaxed);
+    auto out = ctx->Take();
+    parallel_tasks_->fetch_add(ctx->parallel_tasks(),
+                               std::memory_order_relaxed);
+    return out;
+  }
+
   std::shared_ptr<const std::vector<KVPair>> input_;
   std::shared_ptr<const std::vector<std::vector<KVPair>>> splits_;
   std::shared_ptr<shuffle::BatchChannelGroup> stream_;
   MapFn map_fn_;
   CombinerFn combiner_;
+  ParallelContext* parallel_;
   std::atomic<int64_t>* map_records_;
+  std::atomic<int64_t>* parallel_tasks_;
 };
 
 /// Spill-mode counters surfaced into EngineStats.
@@ -123,6 +138,7 @@ struct ShuffleSpillStats {
   std::atomic<int64_t> spill_bytes_raw{0};
   std::atomic<int64_t> spill_bytes_on_disk{0};
   std::atomic<int64_t> blocks_read{0};
+  std::atomic<int64_t> parallel_tasks{0};
 };
 
 /// Wide stage: materializes the parent once into the shared shuffle
@@ -143,6 +159,8 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
     bool spill_past_budget = false;
     int64_t memory_budget_bytes = 64 << 20;
     io::BlockFileOptions spill_io;
+    /// Borrowed intra-task parallelism context (may be null).
+    ParallelContext* parallel = nullptr;
   };
 
   ShuffleStageRDD(rddlite::RDD<StrPair>::Ptr parent, int parts,
@@ -203,6 +221,7 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
     copts.num_partitions = this->num_partitions();
     copts.partitioner = options_.partitioner;
     copts.sort_by_key = options_.sort_by_key;
+    copts.parallel = options_.parallel;
     if (options_.spill_past_budget) {
       // Spark 0.9+ mode: the collector enforces the budget itself and
       // spills run files (io block format) under pressure.
@@ -243,6 +262,8 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
                                             std::memory_order_relaxed);
     spill_stats_->spill_bytes_on_disk.fetch_add(collector_->spilled_bytes(),
                                                 std::memory_order_relaxed);
+    spill_stats_->parallel_tasks.fetch_add(collector_->parallel_tasks(),
+                                           std::memory_order_relaxed);
     if (options_.spill_past_budget) {
       // Keep the iterators (and the collector owning their runs); each
       // partition streams out on first DoCompute.
@@ -299,6 +320,10 @@ class CollectingReduceEmitter final : public ReduceEmitter {
 
 Result<JobOutput> RddEngine::RunStage(const JobSpec& spec) {
   DMB_RETURN_NOT_OK(ValidateSpec(spec));
+  // Held for the stage's duration: a concurrent stage with different
+  // knobs may swap the engine's cache, and the shared_ptr keeps this
+  // stage's pool alive until its tasks finish.
+  std::shared_ptr<ParallelContext> parallel = ShuffleParallel(spec);
   rddlite::RddContext::Options options;
   options.slots = spec.parallelism;
   if (spec.memory_budget_bytes > 0) {
@@ -317,13 +342,15 @@ Result<JobOutput> RddEngine::RunStage(const JobSpec& spec) {
     shuffle_options.memory_budget_bytes = spec.memory_budget_bytes;
   }
   shuffle_options.spill_io = SpillIoOptions(spec);
+  shuffle_options.parallel = parallel.get();
 
   std::atomic<int64_t> map_records{0};
   std::atomic<int64_t> shuffle_bytes{0};
   ShuffleSpillStats spill_stats;
   auto mapped = std::make_shared<MapStageRDD>(
       &ctx, spec.input, spec.input_splits, spec.stream_input,
-      spec.parallelism, spec.map_fn, spec.combiner, &map_records);
+      spec.parallelism, spec.map_fn, spec.combiner, parallel.get(),
+      &map_records, &spill_stats.parallel_tasks);
   auto shuffled = std::make_shared<ShuffleStageRDD>(
       mapped, spec.parallelism, std::move(shuffle_options), &shuffle_bytes,
       &spill_stats);
@@ -402,6 +429,7 @@ Result<JobOutput> RddEngine::RunStage(const JobSpec& spec) {
   output.stats.blocks_read = spill_stats.blocks_read.load();
   output.stats.reduce_input_records = reduce_in.load();
   output.stats.output_records = reduce_out.load();
+  output.stats.parallel_shuffle_tasks = spill_stats.parallel_tasks.load();
   return output;
 }
 

@@ -132,6 +132,22 @@ struct JobSpec {
   /// Block codec for spill run files (io::Codec::kNone disables
   /// compression; default LZ).
   io::Codec spill_codec = io::Codec::kLz;
+  /// Intra-task shuffle parallelism: worker threads a single task's
+  /// shuffle work may fan out to (parallel radix sort, concurrent
+  /// partition spills, overlapped spill-block compression, merge-time
+  /// block prefetch). 1 (default) = the classic serial path; 0 = one
+  /// per hardware thread; >= 2 = exactly that many workers, shared
+  /// engine-wide so concurrent tasks cannot oversubscribe. Run output,
+  /// run-file bytes and merge order are identical at every setting.
+  int shuffle_threads = 1;
+  /// Records above which one sort fans its radix buckets out to the
+  /// shuffle pool; 0 = the library default (64K records). Ignored when
+  /// shuffle_threads == 1.
+  int64_t parallel_sort_threshold = 0;
+  /// Cap on spill blocks in flight (sealed but not yet written) per
+  /// overlapped spill writer; 0 = 2 x shuffle threads. Bounds the extra
+  /// resident memory of overlapped spilling.
+  int max_inflight_spill_blocks = 0;
 };
 
 /// \brief One stage's slice of a plan run (EngineStats::stages entry).
@@ -141,6 +157,7 @@ struct StageStats {
   int64_t spill_count = 0;          // stage's intermediate disk spills
   int64_t spill_bytes_on_disk = 0;  // stage's spill run-file bytes
   int64_t output_records = 0;       // stage's emitted records
+  int64_t parallel_shuffle_tasks = 0;  // intra-task pool tasks spawned
   double wall_seconds = 0.0;        // stage wall time (bind + execute)
   /// Pass-through stage: its binder declined to run (e.g. a converged
   /// iteration) and the state parent's output was forwarded unchanged.
@@ -169,6 +186,10 @@ struct EngineStats {
   int64_t blocks_read = 0;          // run-file blocks decoded in merges
   int64_t reduce_input_records = 0; // reduce/A-side received records
   int64_t output_records = 0;       // final emitted records
+  /// Intra-task shuffle work units run on the engine's shared pool
+  /// (fanned-out radix sub-sorts, concurrent partition spills,
+  /// overlapped spill blocks). 0 when JobSpec.shuffle_threads == 1.
+  int64_t parallel_shuffle_tasks = 0;
   /// Stages actually executed (1 for a plain Run; skipped pass-through
   /// stages of a plan are not counted).
   int64_t stage_count = 1;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/byte_buffer.h"
+#include "common/parallel.h"
 #include "io/crc32.h"
 
 namespace dmb::io {
@@ -49,7 +50,25 @@ BlockWriter::BlockWriter(const std::string& path, BlockFileOptions options)
   }
 }
 
-BlockWriter::~BlockWriter() = default;
+BlockWriter::~BlockWriter() { AbandonJobs(); }
+
+bool BlockWriter::overlapped() const {
+  return options_.parallel != nullptr && options_.parallel->enabled();
+}
+
+std::unique_ptr<Compressor> BlockWriter::TakeCompressor() {
+  std::lock_guard<std::mutex> lock(compressors_mu_);
+  if (free_compressors_.empty()) return std::make_unique<Compressor>();
+  std::unique_ptr<Compressor> compressor =
+      std::move(free_compressors_.back());
+  free_compressors_.pop_back();
+  return compressor;
+}
+
+void BlockWriter::ReturnCompressor(std::unique_ptr<Compressor> compressor) {
+  std::lock_guard<std::mutex> lock(compressors_mu_);
+  free_compressors_.push_back(std::move(compressor));
+}
 
 Status BlockWriter::AppendRecord(std::string_view record) {
   DMB_RETURN_NOT_OK(status_);
@@ -84,6 +103,7 @@ Status BlockWriter::AppendRecord(std::string_view record) {
 
 Status BlockWriter::FlushBlock() {
   if (pending_.empty()) return Status::OK();
+  if (overlapped()) return SubmitBlockJob();
   Codec codec = options_.codec;
   if (codec != Codec::kNone) {
     compressor_.Compress(codec, pending_, &scratch_);
@@ -119,12 +139,140 @@ Status BlockWriter::FlushBlock() {
   return Status::OK();
 }
 
+// ---- Overlapped pipeline ---------------------------------------------
+//
+// The calling thread seals pending_ into sequence-ordered BlockJobs and
+// keeps appending; pool workers compress + checksum each job; the
+// calling thread writes completed jobs strictly in submission order.
+// Same blocks, same per-block codec decision, same order — the file
+// bytes are identical to the serial path for any thread count.
+//
+// Budget: each in-flight job holds one shared inflight-block slot. A
+// writer at its cap (or finding the budget empty) retires its own front
+// job first — it never parks on the shared budget while holding
+// completed jobs only it can write, which is what makes N concurrent
+// spill writers on one budget deadlock-free.
+
+Status BlockWriter::SubmitBlockJob() {
+  ParallelContext* ctx = options_.parallel;
+  const size_t cap = static_cast<size_t>(options_.max_inflight_blocks > 0
+                                             ? options_.max_inflight_blocks
+                                             : ctx->max_inflight_blocks());
+  DMB_RETURN_NOT_OK(DrainJobs(/*all=*/false));
+  while (jobs_.size() >= cap || !ctx->TryAcquireBlockSlot()) {
+    if (!jobs_.empty()) {
+      BlockJob* front = jobs_.front().get();
+      if (!front->done.load(std::memory_order_acquire)) {
+        ctx->pool()->RunUntil([front] {
+          return front->done.load(std::memory_order_acquire);
+        });
+      }
+      DMB_RETURN_NOT_OK(DrainJobs(/*all=*/false));
+    } else {
+      // Holding no jobs means holding no slots: blocking on the shared
+      // budget (helping the pool meanwhile) cannot deadlock.
+      ctx->AcquireBlockSlot();
+      break;
+    }
+  }
+
+  auto job = std::make_unique<BlockJob>();
+  job->raw = std::move(pending_);
+  job->records = pending_records_;
+  pending_.clear();
+  pending_records_ = 0;
+  BlockJob* j = job.get();
+  jobs_.push_back(std::move(job));
+  const Codec want = options_.codec;
+  auto compress = [this, j, want] {
+    Codec codec = want;
+    if (codec != Codec::kNone) {
+      std::unique_ptr<Compressor> compressor = TakeCompressor();
+      compressor->Compress(codec, j->raw, &j->compressed);
+      // Incompressible block: store raw, marked kNone in its header.
+      if (j->compressed.size() >= j->raw.size()) codec = Codec::kNone;
+      ReturnCompressor(std::move(compressor));
+    }
+    j->codec = codec;
+    j->crc = Crc32(j->stored());
+    j->done.store(true, std::memory_order_release);
+  };
+  if (ctx->pool()->Submit(compress)) {
+    ctx->CountSpawnedTask();
+  } else {
+    compress();  // pool shutting down: seal the block inline
+  }
+  return Status::OK();
+}
+
+Status BlockWriter::DrainJobs(bool all) {
+  ParallelContext* ctx = options_.parallel;
+  while (!jobs_.empty()) {
+    BlockJob* front = jobs_.front().get();
+    if (!front->done.load(std::memory_order_acquire)) {
+      if (!all) return Status::OK();
+      ctx->pool()->RunUntil(
+          [front] { return front->done.load(std::memory_order_acquire); });
+    }
+    std::unique_ptr<BlockJob> job = std::move(jobs_.front());
+    jobs_.pop_front();
+    const Status st = WriteJob(job.get());
+    ctx->ReleaseBlockSlot();
+    if (!st.ok()) {
+      status_ = st;
+      AbandonJobs();
+      return status_;
+    }
+  }
+  return Status::OK();
+}
+
+Status BlockWriter::WriteJob(BlockJob* job) {
+  const std::string& stored = job->stored();
+  ByteBuffer header;
+  header.AppendU32(static_cast<uint32_t>(job->records));
+  header.AppendU32(static_cast<uint32_t>(job->raw.size()));
+  header.AppendU32(static_cast<uint32_t>(stored.size()));
+  header.AppendByte(static_cast<uint8_t>(job->codec));
+  header.AppendU32(job->crc);
+  Status st = WriteAll(&out_, header.data(), header.size(), path_);
+  if (st.ok()) st = WriteAll(&out_, stored.data(), stored.size(), path_);
+  DMB_RETURN_NOT_OK(st);
+
+  IndexEntry entry;
+  entry.offset = offset_;
+  entry.stored_len = static_cast<int64_t>(stored.size());
+  entry.raw_len = static_cast<int64_t>(job->raw.size());
+  entry.record_count = job->records;
+  entry.codec = job->codec;
+  index_.push_back(entry);
+  offset_ += kBlockHeaderBytes + entry.stored_len;
+  ++stats_.blocks;
+  ++stats_.overlapped_blocks;
+  return Status::OK();
+}
+
+void BlockWriter::AbandonJobs() {
+  if (jobs_.empty()) return;
+  ParallelContext* ctx = options_.parallel;
+  while (!jobs_.empty()) {
+    BlockJob* front = jobs_.front().get();
+    if (!front->done.load(std::memory_order_acquire)) {
+      ctx->pool()->RunUntil(
+          [front] { return front->done.load(std::memory_order_acquire); });
+    }
+    jobs_.pop_front();
+    ctx->ReleaseBlockSlot();
+  }
+}
+
 Status BlockWriter::Finish() {
   DMB_RETURN_NOT_OK(status_);
   if (finished_) {
     return Status::FailedPrecondition("Finish called twice");
   }
   DMB_RETURN_NOT_OK(FlushBlock());
+  if (overlapped()) DMB_RETURN_NOT_OK(DrainJobs(/*all=*/true));
   finished_ = true;
 
   ByteBuffer footer;

@@ -28,13 +28,21 @@
 #ifndef DATAMPI_BENCH_IO_BLOCK_FILE_H_
 #define DATAMPI_BENCH_IO_BLOCK_FILE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "io/codec.h"
+
+namespace dmb {
+class ParallelContext;
+}
 
 namespace dmb::io {
 
@@ -54,6 +62,16 @@ struct BlockFileOptions {
   /// reduce-side resident memory per run). Must be >= 1.
   int64_t block_bytes = 64 << 10;
   Codec codec = Codec::kLz;
+  /// Non-owning; when set (and enabled), BlockWriter overlaps block
+  /// compression + checksumming with the caller's appends: sealed
+  /// blocks are compressed on pool workers and written in order by the
+  /// calling thread. File bytes are identical to the serial path.
+  /// Readers ignore it (StreamingRunReader takes its own context).
+  ParallelContext* parallel = nullptr;
+  /// Per-writer cap on blocks in flight (sealed but not yet written);
+  /// 0 = the context's max_inflight_blocks. Bounds the writer's extra
+  /// resident memory to roughly this many raw+compressed blocks.
+  int max_inflight_blocks = 0;
 };
 
 /// \brief Counters a writer accumulates (also recomputed by readers).
@@ -64,6 +82,9 @@ struct BlockFileStats {
   int64_t raw_bytes = 0;
   /// Total file bytes on disk (headers + payloads + footer + trailer).
   int64_t file_bytes = 0;
+  /// Blocks whose compression + CRC ran on a pool worker (writer-side
+  /// only; readers report 0).
+  int64_t overlapped_blocks = 0;
 };
 
 /// \brief Streaming writer of opaque records into checksummed blocks.
@@ -93,7 +114,34 @@ class BlockWriter {
   const BlockFileStats& stats() const { return stats_; }
 
  private:
+  /// One sealed block travelling through the overlapped pipeline:
+  /// raw payload in, (codec, stored payload, crc) out, `done` last.
+  struct BlockJob {
+    std::string raw;
+    int64_t records = 0;
+    std::string compressed;
+    Codec codec = Codec::kNone;
+    uint32_t crc = 0;
+    std::atomic<bool> done{false};
+
+    const std::string& stored() const {
+      return codec == Codec::kNone ? raw : compressed;
+    }
+  };
+
   Status FlushBlock();
+  /// Seals pending_ into a BlockJob on the pool (overlapped path).
+  Status SubmitBlockJob();
+  /// Writes completed jobs from the front of the pipeline; with `all`,
+  /// waits (help-while-wait) until every job is written.
+  Status DrainJobs(bool all);
+  /// Writes one completed job: header + stored payload + index entry.
+  Status WriteJob(BlockJob* job);
+  /// Joins outstanding jobs without writing (error paths, destructor).
+  void AbandonJobs();
+  std::unique_ptr<Compressor> TakeCompressor();
+  void ReturnCompressor(std::unique_ptr<Compressor> compressor);
+  bool overlapped() const;
 
   std::string path_;
   BlockFileOptions options_;
@@ -105,6 +153,14 @@ class BlockWriter {
   int64_t pending_records_ = 0;
   std::string scratch_;        // compression output, reused across blocks
   Compressor compressor_;      // match-finder state, reused across blocks
+
+  /// Overlapped-path state: jobs in submission order (written in this
+  /// order, so file bytes match the serial path), plus a free list of
+  /// compressors so concurrent jobs reuse match-finder state without
+  /// sharing it.
+  std::deque<std::unique_ptr<BlockJob>> jobs_;
+  std::mutex compressors_mu_;
+  std::vector<std::unique_ptr<Compressor>> free_compressors_;
 
   struct IndexEntry {
     int64_t offset = 0;

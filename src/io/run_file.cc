@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/parallel.h"
+
 namespace dmb::io {
 
 // ---- SpillFileWriter -------------------------------------------------
@@ -27,7 +29,70 @@ Result<std::unique_ptr<StreamingRunReader>> StreamingRunReader::Open(
       new StreamingRunReader(std::move(reader)));
 }
 
+StreamingRunReader::~StreamingRunReader() {
+  // A worker may still be decoding into prefetch_block_; join before the
+  // members it touches are destroyed.
+  JoinPrefetch();
+}
+
+void StreamingRunReader::EnablePrefetch(ParallelContext* context) {
+  if (context == nullptr || !context->enabled()) return;
+  if (blocks_read_ > 0 || prefetch_inflight_) return;  // too late
+  parallel_ = context;
+}
+
+void StreamingRunReader::StartPrefetch() {
+  if (next_block_ >= reader_.block_count()) return;
+  prefetch_index_ = next_block_++;
+  prefetch_done_.store(false, std::memory_order_relaxed);
+  prefetch_inflight_ = true;
+  auto task = [this] {
+    prefetch_status_ = reader_.ReadBlock(prefetch_index_, &prefetch_block_);
+    if (prefetch_status_.ok()) {
+      prefetch_resident_.store(static_cast<int64_t>(prefetch_block_.size()),
+                               std::memory_order_relaxed);
+    }
+    prefetch_done_.store(true, std::memory_order_release);
+  };
+  if (parallel_->pool()->Submit(task)) {
+    parallel_->CountSpawnedTask();
+  } else {
+    task();  // pool shutting down: decode inline
+  }
+}
+
+void StreamingRunReader::JoinPrefetch() {
+  if (!prefetch_inflight_) return;
+  if (!prefetch_done_.load(std::memory_order_acquire)) {
+    parallel_->pool()->RunUntil(
+        [this] { return prefetch_done_.load(std::memory_order_acquire); });
+  }
+  prefetch_inflight_ = false;
+}
+
 bool StreamingRunReader::LoadNextBlock() {
+  if (parallel_ != nullptr) {
+    // Prime the pipeline on the first call; afterwards a lookahead is
+    // always in flight until the file is exhausted.
+    if (!prefetch_inflight_) {
+      if (next_block_ >= reader_.block_count()) return false;
+      StartPrefetch();
+    }
+    JoinPrefetch();
+    if (!prefetch_status_.ok()) {
+      status_ = prefetch_status_;
+      return false;
+    }
+    block_.swap(prefetch_block_);
+    prefetch_resident_.store(0, std::memory_order_relaxed);
+    const size_t i = prefetch_index_;
+    ++blocks_read_;
+    records_in_block_ = reader_.block(i).record_count;
+    records_seen_ = 0;
+    records_ = datampi::KVBatchReader(block_);
+    StartPrefetch();
+    return true;
+  }
   if (next_block_ >= reader_.block_count()) return false;
   const size_t i = next_block_++;
   Status st = reader_.ReadBlock(i, &block_);

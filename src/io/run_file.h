@@ -12,6 +12,7 @@
 #ifndef DATAMPI_BENCH_IO_RUN_FILE_H_
 #define DATAMPI_BENCH_IO_RUN_FILE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -20,6 +21,10 @@
 #include "common/status.h"
 #include "core/kv.h"
 #include "io/block_file.h"
+
+namespace dmb {
+class ParallelContext;
+}
 
 namespace dmb::io {
 
@@ -44,6 +49,11 @@ class SpillFileWriter {
   /// Bytes on disk after Finish() (0 before).
   int64_t file_bytes() const { return writer_.stats().file_bytes; }
   int64_t blocks() const { return writer_.stats().blocks; }
+  /// Blocks compressed + checksummed on pool workers (overlapped spill
+  /// pipeline; 0 on the serial path).
+  int64_t overlapped_blocks() const {
+    return writer_.stats().overlapped_blocks;
+  }
 
  private:
   BlockWriter writer_;
@@ -60,17 +70,29 @@ class StreamingRunReader {
   static Result<std::unique_ptr<StreamingRunReader>> Open(
       const std::string& path);
 
+  ~StreamingRunReader();
+
   /// \brief Advances to the next record; false at end-of-file or error
   /// (check status() after the loop).
   bool Next(std::string_view* key, std::string_view* value);
+
+  /// \brief Reads + decodes each following block on `context`'s pool
+  /// while the caller consumes the resident one (one block of
+  /// lookahead). Call before the first Next(); no-op on a null or
+  /// serial context. Record order and status behaviour are identical
+  /// to the serial path; resident_bytes() counts the lookahead block,
+  /// so a prefetching merge holds at most 2 x block_size per run.
+  void EnablePrefetch(ParallelContext* context);
 
   const Status& status() const { return status_; }
 
   /// \brief Blocks decoded so far.
   int64_t blocks_read() const { return blocks_read_; }
-  /// \brief Raw bytes of the currently resident block.
+  /// \brief Raw bytes of the currently resident block, plus the
+  /// prefetched lookahead block when one is ready.
   int64_t resident_bytes() const {
-    return static_cast<int64_t>(block_.size());
+    return static_cast<int64_t>(block_.size()) +
+           prefetch_resident_.load(std::memory_order_relaxed);
   }
   /// \brief Largest raw block in the file — this reader's worst-case
   /// resident footprint.
@@ -86,6 +108,12 @@ class StreamingRunReader {
 
   /// Loads block `next_block_` into block_ and rewinds the KV cursor.
   bool LoadNextBlock();
+  /// Hands the read+decode of block `next_block_` to the pool. At most
+  /// one prefetch is ever in flight, so the worker is the only thread
+  /// touching reader_ / prefetch_block_ until `prefetch_done_` flips.
+  void StartPrefetch();
+  /// Joins an in-flight prefetch (help-while-wait).
+  void JoinPrefetch();
 
   BlockReader reader_;
   std::string block_;
@@ -95,6 +123,14 @@ class StreamingRunReader {
   size_t next_block_ = 0;
   int64_t blocks_read_ = 0;
   Status status_;
+
+  ParallelContext* parallel_ = nullptr;  // null = serial reads
+  std::string prefetch_block_;
+  Status prefetch_status_;
+  size_t prefetch_index_ = 0;
+  bool prefetch_inflight_ = false;
+  std::atomic<bool> prefetch_done_{false};
+  std::atomic<int64_t> prefetch_resident_{0};
 };
 
 }  // namespace dmb::io

@@ -103,6 +103,7 @@ Result<MRResult> RunJob(const MRConfig& config,
   std::atomic<int64_t> spill_bytes_raw{0};
   std::atomic<int64_t> spill_bytes_on_disk{0};
   std::atomic<int64_t> blocks_read{0};
+  std::atomic<int64_t> parallel_tasks{0};
   std::vector<Status> map_status(static_cast<size_t>(cfg.num_map_tasks));
 
   // ---- Map phase (parallel over slots). ----
@@ -135,6 +136,7 @@ Result<MRResult> RunJob(const MRConfig& config,
         copts.spill_dir = &spill_dir;
         copts.file_prefix = "map" + std::to_string(t) + "-";
         copts.spill_io = cfg.spill_io;
+        copts.parallel = cfg.parallel;
         shuffle::PartitionedCollector collector(std::move(copts));
         MapContextImpl ctx(t, &collector);
         Status st;
@@ -172,6 +174,8 @@ Result<MRResult> RunJob(const MRConfig& config,
                                   std::memory_order_relaxed);
         spill_bytes_on_disk.fetch_add(collector.spilled_bytes(),
                                       std::memory_order_relaxed);
+        parallel_tasks.fetch_add(collector.parallel_tasks(),
+                                 std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(store.mu);
         for (int r = 0; r < cfg.num_reduce_tasks; ++r) {
           auto& partition = (*runs)[static_cast<size_t>(r)];
@@ -205,6 +209,7 @@ Result<MRResult> RunJob(const MRConfig& config,
         // Fetch the sorted runs addressed to partition r and stream them
         // through the shared k-way merge (no full re-sort).
         shuffle::RunMerger merger;
+        merger.SetParallel(cfg.parallel);
         Status st;
         for (const auto& path : store.run_files[static_cast<size_t>(r)]) {
           st = merger.AddFileRun(path);
@@ -266,6 +271,7 @@ Result<MRResult> RunJob(const MRConfig& config,
   result.stats.blocks_read = blocks_read.load();
   result.stats.reduce_input_records = reduce_in.load();
   result.stats.output_records = reduce_out.load();
+  result.stats.parallel_shuffle_tasks = parallel_tasks.load();
   return result;
 }
 

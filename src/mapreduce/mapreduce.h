@@ -22,6 +22,10 @@
 #include "io/block_file.h"
 #include "shuffle/batch_channel.h"
 
+namespace dmb {
+class ParallelContext;
+}  // namespace dmb
+
 namespace dmb::mapreduce {
 
 using datampi::KVPair;
@@ -57,6 +61,12 @@ struct MRConfig {
   /// With output_stream: skip materializing reduce_outputs (the stream
   /// is the only reader of this job's output).
   bool stream_output_only = false;
+  /// Intra-task parallelism context (borrowed, may be null; typically
+  /// the engine-owned pool shared across tasks). When set, map tasks
+  /// sort and spill their runs with pool fan-out and reduce merges
+  /// prefetch run blocks. Run bytes and merge order are identical
+  /// either way.
+  ParallelContext* parallel = nullptr;
 };
 
 /// \brief Map-side emitter.
@@ -98,6 +108,9 @@ struct MRStats {
   int64_t blocks_read = 0;
   int64_t reduce_input_records = 0;
   int64_t output_records = 0;
+  /// Intra-task pool work units fanned out by map-side collectors (0
+  /// when config.parallel is null).
+  int64_t parallel_shuffle_tasks = 0;
 };
 
 /// \brief Job result: per-reducer outputs (part-00000 style) + stats.

@@ -204,6 +204,7 @@ Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
   state->stats.spill_count = out.stats.spill_count;
   state->stats.spill_bytes_on_disk = out.stats.spill_bytes_on_disk;
   state->stats.output_records = out.stats.output_records;
+  state->stats.parallel_shuffle_tasks = out.stats.parallel_shuffle_tasks;
   state->stats.wall_seconds = sw.ElapsedSeconds();
   state->output = std::make_shared<JobOutput>(std::move(out));
   return Status::OK();
@@ -234,6 +235,7 @@ PlanOutput AssembleOutput(
     out.stats.blocks_read += st.blocks_read;
     out.stats.reduce_input_records += st.reduce_input_records;
     out.stats.output_records += st.output_records;
+    out.stats.parallel_shuffle_tasks += st.parallel_shuffle_tasks;
   }
   auto& final_output =
       states[static_cast<size_t>(plan.output_stage())]->output;

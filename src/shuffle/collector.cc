@@ -4,6 +4,7 @@
 
 #include "common/byte_buffer.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/units.h"
 #include "core/kv.h"
 #include "io/run_file.h"
@@ -17,6 +18,12 @@ PartitionedCollector::PartitionedCollector(CollectorOptions options)
       spill_files_(static_cast<size_t>(options_.num_partitions)) {
   DMB_CHECK(options_.num_partitions >= 1);
   DMB_CHECK(options_.partitioner != nullptr || options_.num_partitions == 1);
+  // One knob arms the whole intra-task pipeline: spill writers overlap
+  // block encoding on the same context unless the caller tuned them
+  // separately.
+  if (options_.parallel != nullptr && options_.spill_io.parallel == nullptr) {
+    options_.spill_io.parallel = options_.parallel;
+  }
 }
 
 PartitionedCollector::~PartitionedCollector() = default;
@@ -99,12 +106,20 @@ Status PartitionedCollector::AddBatch(
   return Status::OK();
 }
 
+void PartitionedCollector::SortSlices(std::vector<KVSlice>* slices) {
+  int64_t spawned = 0;
+  arena_->Sort(slices, options_.parallel, &spawned);
+  if (spawned != 0) {
+    parallel_tasks_.fetch_add(spawned, std::memory_order_relaxed);
+  }
+}
+
 std::vector<KVSlice> PartitionedCollector::CombineResident(size_t p,
                                                            KVArena* out) {
   auto& slices = partitions_[p];
   std::vector<KVSlice> combined;
   if (slices.empty()) return combined;
-  arena_->Sort(&slices);
+  SortSlices(&slices);
   std::vector<std::string> values;
   size_t i = 0;
   while (i < slices.size()) {
@@ -131,7 +146,7 @@ Status PartitionedCollector::ForEachResident(
   } else {
     // Unsorted collectors emit in arrival order without grouping
     // (only reachable through FinishRuns; combiners require sorting).
-    if (options_.sort_by_key) arena_->Sort(&slices);
+    if (options_.sort_by_key) SortSlices(&slices);
     for (const KVSlice& s : slices) {
       DMB_RETURN_NOT_OK(sink(arena_->KeyOf(s), arena_->ValueOf(s)));
     }
@@ -152,30 +167,105 @@ std::string PartitionedCollector::EncodeResident(size_t p) {
   return std::string(wire.view());
 }
 
-Result<std::string> PartitionedCollector::WriteRunFile(size_t p) {
-  if (partitions_[p].empty()) return std::string();
-  const std::string path = dir()->File(
-      options_.file_prefix + "run-" + std::to_string(spill_count_) + ".kv");
+std::string PartitionedCollector::NextRunPath() {
+  return dir()->File(options_.file_prefix + "run-" +
+                     std::to_string(spill_count_++) + ".kv");
+}
+
+Status PartitionedCollector::WriteRunFileTo(size_t p, const std::string& path,
+                                            int64_t* raw_bytes,
+                                            int64_t* file_bytes,
+                                            int64_t* overlapped_blocks) {
   io::SpillFileWriter writer(path, options_.spill_io);
   DMB_RETURN_NOT_OK(ForEachResident(
       p, [&writer](std::string_view key, std::string_view value) {
         return writer.Add(key, value);
       }));
   DMB_RETURN_NOT_OK(writer.Finish());
-  ++spill_count_;
-  spilled_raw_bytes_ += writer.raw_bytes();
-  spilled_bytes_ += writer.file_bytes();
-  encoded_output_bytes_ += writer.raw_bytes();
+  *raw_bytes = writer.raw_bytes();
+  *file_bytes = writer.file_bytes();
+  *overlapped_blocks = writer.overlapped_blocks();
+  return Status::OK();
+}
+
+Result<std::string> PartitionedCollector::WriteRunFile(size_t p) {
+  if (partitions_[p].empty()) return std::string();
+  const std::string path = NextRunPath();
+  int64_t raw_bytes = 0;
+  int64_t file_bytes = 0;
+  int64_t overlapped_blocks = 0;
+  DMB_RETURN_NOT_OK(
+      WriteRunFileTo(p, path, &raw_bytes, &file_bytes, &overlapped_blocks));
+  spilled_raw_bytes_ += raw_bytes;
+  spilled_bytes_ += file_bytes;
+  encoded_output_bytes_ += raw_bytes;
+  parallel_tasks_.fetch_add(overlapped_blocks, std::memory_order_relaxed);
   return path;
+}
+
+Status PartitionedCollector::WriteAllRunFiles(std::vector<std::string>* paths) {
+  paths->assign(partitions_.size(), std::string());
+  size_t non_empty = 0;
+  for (const auto& slices : partitions_) {
+    if (!slices.empty()) ++non_empty;
+  }
+  ParallelContext* ctx = options_.parallel;
+  if (ctx == nullptr || !ctx->enabled() || non_empty <= 1) {
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      DMB_ASSIGN_OR_RETURN((*paths)[p], WriteRunFile(p));
+    }
+    return Status::OK();
+  }
+  // Mint run-file names serially in partition order — exactly the names
+  // the serial loop would produce — then write the partitions
+  // concurrently. Each task touches only its own partition's slices and
+  // its own writer; shared counters fold afterwards in partition order,
+  // so every stat and every file byte matches the serial path.
+  struct SpillResult {
+    int64_t raw_bytes = 0;
+    int64_t file_bytes = 0;
+    int64_t overlapped_blocks = 0;
+    Status status;
+  };
+  std::vector<SpillResult> results(partitions_.size());
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    if (!partitions_[p].empty()) (*paths)[p] = NextRunPath();
+  }
+  {
+    TaskGroup group(ctx);
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      if ((*paths)[p].empty()) continue;
+      SpillResult* result = &results[p];
+      const std::string* path = &(*paths)[p];
+      group.Run([this, p, path, result] {
+        result->status =
+            WriteRunFileTo(p, *path, &result->raw_bytes, &result->file_bytes,
+                           &result->overlapped_blocks);
+      });
+    }
+    group.Wait();
+    parallel_tasks_.fetch_add(group.spawned(), std::memory_order_relaxed);
+  }
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    if ((*paths)[p].empty()) continue;
+    DMB_RETURN_NOT_OK(results[p].status);
+    spilled_raw_bytes_ += results[p].raw_bytes;
+    spilled_bytes_ += results[p].file_bytes;
+    encoded_output_bytes_ += results[p].raw_bytes;
+    parallel_tasks_.fetch_add(results[p].overlapped_blocks,
+                              std::memory_order_relaxed);
+  }
+  return Status::OK();
 }
 
 Status PartitionedCollector::SpillAll() {
   if (records_in_memory_ == 0) return Status::OK();
   RouteStaged();
+  std::vector<std::string> paths;
+  DMB_RETURN_NOT_OK(WriteAllRunFiles(&paths));
   for (size_t p = 0; p < partitions_.size(); ++p) {
-    DMB_ASSIGN_OR_RETURN(const std::string path, WriteRunFile(p));
-    if (path.empty()) continue;
-    spill_files_[p].push_back(path);
+    if (paths[p].empty()) continue;
+    spill_files_[p].push_back(std::move(paths[p]));
     partitions_[p].clear();
   }
   records_in_memory_ = 0;
@@ -190,10 +280,38 @@ PartitionedCollector::FinishIterators() {
   }
   finished_ = true;
   RouteStaged();
+  const bool combine = options_.sort_by_key && options_.combiner != nullptr;
+  // Sort/combine every partition's resident slices first — the
+  // CPU-heavy part of sealing, fanned out across partitions when a
+  // context is available. Combine mode gets a per-partition output
+  // arena so concurrent tasks never share one; the combined slices are
+  // parked back in partitions_[p] for the (serial, in-order) merger
+  // assembly below.
+  std::vector<std::shared_ptr<KVArena>> combined_arenas;
+  if (options_.sort_by_key) {
+    if (combine) combined_arenas.resize(partitions_.size());
+    TaskGroup group(options_.parallel);
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      if (partitions_[p].empty()) continue;
+      group.Run([this, p, combine, &combined_arenas] {
+        if (combine) {
+          // Combine the resident data exactly as a spill would have (so
+          // the merged stream is independent of whether a spill
+          // happened), but into a fresh arena run — no encode/decode
+          // round trip.
+          auto out = std::make_shared<KVArena>();
+          partitions_[p] = CombineResident(p, out.get());
+          combined_arenas[p] = std::move(out);
+        } else {
+          SortSlices(&partitions_[p]);
+        }
+      });
+    }
+    group.Wait();
+    parallel_tasks_.fetch_add(group.spawned(), std::memory_order_relaxed);
+  }
   std::vector<std::unique_ptr<KVGroupIterator>> iterators;
   iterators.reserve(partitions_.size());
-  const bool combine = options_.sort_by_key && options_.combiner != nullptr;
-  auto combined_arena = combine ? std::make_shared<KVArena>() : nullptr;
   for (size_t p = 0; p < partitions_.size(); ++p) {
     if (!options_.sort_by_key) {
       DMB_CHECK(spill_files_[p].empty());
@@ -202,15 +320,12 @@ PartitionedCollector::FinishIterators() {
       continue;
     }
     RunMerger merger;
+    merger.SetParallel(options_.parallel);
     if (combine) {
-      // Combine the resident data exactly as a spill would have (so the
-      // merged stream is independent of whether a spill happened), but
-      // into a fresh arena run — no encode/decode round trip.
-      merger.AddArenaRun(combined_arena,
-                         CombineResident(p, combined_arena.get()));
-      partitions_[p].clear();
+      if (combined_arenas[p] != nullptr) {
+        merger.AddArenaRun(combined_arenas[p], std::move(partitions_[p]));
+      }
     } else {
-      arena_->Sort(&partitions_[p]);
       merger.AddArenaRun(arena_, std::move(partitions_[p]));
     }
     for (const auto& path : spill_files_[p]) {
@@ -232,12 +347,18 @@ PartitionedCollector::FinishRuns(bool to_disk) {
   finished_ = true;
   RouteStaged();
   std::vector<PartitionRuns> runs(partitions_.size());
-  for (size_t p = 0; p < partitions_.size(); ++p) {
-    runs[p].run_files = std::move(spill_files_[p]);
-    if (to_disk) {
-      DMB_ASSIGN_OR_RETURN(const std::string path, WriteRunFile(p));
-      if (!path.empty()) runs[p].run_files.push_back(path);
-    } else {
+  if (to_disk) {
+    std::vector<std::string> paths;
+    DMB_RETURN_NOT_OK(WriteAllRunFiles(&paths));
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      runs[p].run_files = std::move(spill_files_[p]);
+      if (!paths[p].empty()) {
+        runs[p].run_files.push_back(std::move(paths[p]));
+      }
+    }
+  } else {
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      runs[p].run_files = std::move(spill_files_[p]);
       std::string encoded = EncodeResident(p);
       if (!encoded.empty()) runs[p].encoded_runs.push_back(std::move(encoded));
     }

@@ -20,6 +20,7 @@
 #ifndef DATAMPI_BENCH_SHUFFLE_COLLECTOR_H_
 #define DATAMPI_BENCH_SHUFFLE_COLLECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -33,6 +34,10 @@
 #include "io/block_file.h"
 #include "shuffle/kv_arena.h"
 #include "shuffle/run_merger.h"
+
+namespace dmb {
+class ParallelContext;
+}
 
 namespace dmb::shuffle {
 
@@ -72,6 +77,15 @@ struct CollectorOptions {
   /// Run-file I/O tuning: block size and codec of the checksummed
   /// block format every spill is written in (src/io).
   io::BlockFileOptions spill_io;
+  /// Non-owning intra-task parallelism context (null or serial = the
+  /// classic single-threaded path). When enabled, large sorts fan out
+  /// across the pool, non-empty partitions spill concurrently (run-file
+  /// names and bytes stay identical to the serial path), spill writers
+  /// overlap block encoding with appends, and merge-time file runs
+  /// prefetch one block of lookahead. Requires the combiner (if any) to
+  /// tolerate concurrent calls on different partitions — the same bar
+  /// engines already set for concurrent map tasks.
+  ParallelContext* parallel = nullptr;
 };
 
 /// \brief The collector. Not thread-safe; one instance per task.
@@ -146,6 +160,12 @@ class PartitionedCollector {
   int64_t encoded_input_bytes() const { return encoded_input_bytes_; }
   /// Encoded bytes of all runs produced (post-combine).
   int64_t encoded_output_bytes() const { return encoded_output_bytes_; }
+  /// Units of work this collector ran on the parallel context's pool:
+  /// fanned-out radix sub-sorts + concurrent partition spills +
+  /// overlapped spill blocks. 0 on the serial path.
+  int64_t parallel_tasks() const {
+    return parallel_tasks_.load(std::memory_order_relaxed);
+  }
 
   /// \brief Records routed per PartitionBatch call on the deferred
   /// routing path (multi-partition collectors only).
@@ -170,9 +190,29 @@ class PartitionedCollector {
                                  std::string_view value)>& sink);
   /// Sorts + combines partition p's resident slices into an encoded run.
   std::string EncodeResident(size_t p);
+  /// Sorts `slices` through the parallel-aware arena sort, accumulating
+  /// fanned-out sub-sorts into parallel_tasks_. Safe to call from
+  /// concurrent per-partition tasks (counter is atomic; the sort itself
+  /// help-waits on the shared pool).
+  void SortSlices(std::vector<KVSlice>* slices);
+  /// Reserves the next run-file path ("<prefix>run-<n>.kv") and bumps
+  /// spill_count_ — the one place run names are minted, so concurrent
+  /// spills pre-assign names in partition order and match serial naming.
+  std::string NextRunPath();
+  /// Writes partition p's sorted/combined resident slices to `path`
+  /// without touching shared counters (runs on pool workers); the
+  /// written/raw/overlapped byte counts come back through the out
+  /// params for the caller to fold in partition order.
+  Status WriteRunFileTo(size_t p, const std::string& path,
+                        int64_t* raw_bytes, int64_t* file_bytes,
+                        int64_t* overlapped_blocks);
   /// Writes partition p's sorted/combined resident slices as a run file
   /// (io::SpillFileWriter block format); "" when the partition is empty.
   Result<std::string> WriteRunFile(size_t p);
+  /// Writes every non-empty partition's resident run file — concurrently
+  /// when the context allows — into (*paths)[p] ("" for empty
+  /// partitions). Stats fold in partition order either way.
+  Status WriteAllRunFiles(std::vector<std::string>* paths);
   /// Sorts partition p's resident slices and folds each key's values
   /// through the combiner into `out`, returning the combined (sorted)
   /// slices. Requires sort_by_key and a combiner.
@@ -199,6 +239,7 @@ class PartitionedCollector {
   int64_t spilled_raw_bytes_ = 0;
   int64_t encoded_input_bytes_ = 0;
   int64_t encoded_output_bytes_ = 0;
+  std::atomic<int64_t> parallel_tasks_{0};
   bool finished_ = false;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "common/parallel.h"
+
 namespace dmb::shuffle {
 
 namespace {
@@ -12,6 +14,11 @@ namespace {
 constexpr size_t kRadixCutoff = 96;
 /// key_prefix holds 8 key bytes; depth 8 means the prefix is exhausted.
 constexpr int kPrefixBytes = 8;
+/// Child buckets smaller than this stay on the calling thread even when
+/// a pool is available: a sub-millisecond sub-sort isn't worth a queue
+/// round trip. At 1M uniform records the 256 top-level buckets hold
+/// ~4K records each, comfortably above this.
+constexpr size_t kParallelGrainRecords = 1024;
 
 /// Byte `depth` (0 = most significant) of the big-endian prefix.
 inline unsigned PrefixByte(uint64_t prefix, int depth) {
@@ -28,6 +35,29 @@ void KVArena::SortComparator(std::vector<KVSlice>* slices) const {
 }
 
 void KVArena::Sort(std::vector<KVSlice>* slices) const {
+  SortRange(slices->data(), slices->size(), 0, nullptr, 0);
+}
+
+void KVArena::Sort(std::vector<KVSlice>* slices, ParallelContext* parallel,
+                   int64_t* spawned) const {
+  if (parallel == nullptr || !parallel->enabled() ||
+      static_cast<int64_t>(slices->size()) <
+          parallel->parallel_sort_threshold()) {
+    Sort(slices);
+    return;
+  }
+  // The calling thread runs the top-level counting/permutation passes
+  // and hands large disjoint buckets to the pool; the join helps drain
+  // the pool, so this is safe to call from inside a pool task.
+  TaskGroup group(parallel);
+  SortRange(slices->data(), slices->size(), 0, &group, kParallelGrainRecords);
+  group.Wait();
+  if (spawned != nullptr) *spawned += group.spawned();
+}
+
+void KVArena::SortRange(KVSlice* range_begin, size_t range_size,
+                        int range_depth, TaskGroup* group,
+                        size_t spawn_min) const {
   // American-flag MSB radix on the cached prefix bytes. Each frame is
   // one (range, depth) bucket; depth bounds the explicit recursion at
   // kPrefixBytes, so stack use is trivial.
@@ -41,13 +71,13 @@ void KVArena::Sort(std::vector<KVSlice>* slices) const {
       return SliceLess(a, b);
     });
   };
-  if (slices->size() <= kRadixCutoff) {
-    comparison_sort(slices->data(), slices->size());
+  if (range_size <= kRadixCutoff) {
+    comparison_sort(range_begin, range_size);
     return;
   }
 
   std::vector<Frame> stack;
-  stack.push_back(Frame{slices->data(), slices->size(), 0});
+  stack.push_back(Frame{range_begin, range_size, range_depth});
   while (!stack.empty()) {
     const Frame f = stack.back();
     stack.pop_back();
@@ -118,7 +148,17 @@ void KVArena::Sort(std::vector<KVSlice>* slices) const {
     for (int b = 0; b < 256; ++b) {
       const size_t c = count[static_cast<size_t>(b)];
       if (c > 1) {
-        stack.push_back(Frame{f.begin + offset, c, f.depth + 1});
+        KVSlice* const child = f.begin + offset;
+        const int child_depth = f.depth + 1;
+        if (group != nullptr && c >= spawn_min) {
+          // Disjoint range: the sub-sort reads only arena bytes (shared,
+          // immutable here) and writes only its own slice range.
+          group->Run([this, child, c, child_depth] {
+            SortRange(child, c, child_depth, nullptr, 0);
+          });
+        } else {
+          stack.push_back(Frame{child, c, child_depth});
+        }
       }
       offset += c;
     }

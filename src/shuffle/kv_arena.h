@@ -19,6 +19,11 @@
 #include <string_view>
 #include <vector>
 
+namespace dmb {
+class ParallelContext;
+class TaskGroup;
+}
+
 namespace dmb::shuffle {
 
 /// \brief One record as offsets into a KVArena. Plain indices stay valid
@@ -123,12 +128,30 @@ class KVArena {
   /// cross-engine total order as the comparator path.
   void Sort(std::vector<KVSlice>* slices) const;
 
+  /// \brief Parallel variant: large slices (above the context's
+  /// parallel_sort_threshold) fan the radix buckets out to the shared
+  /// pool as independent sub-sorts, joining before return. Buckets are
+  /// disjoint ranges running the identical serial algorithm, so the
+  /// result is byte-identical to Sort(slices) for every thread count.
+  /// A null/serial context (or a small slice) is exactly the serial
+  /// path. `spawned` (optional) is incremented by the number of
+  /// sub-sorts handed to the pool.
+  void Sort(std::vector<KVSlice>* slices, ParallelContext* parallel,
+            int64_t* spawned = nullptr) const;
+
   /// \brief The pre-radix comparator path (std::sort over SliceLess).
   /// Kept as the equivalence oracle for tests and the speedup baseline
   /// for shuffle_bench's sort section.
   void SortComparator(std::vector<KVSlice>* slices) const;
 
  private:
+  /// The radix frame loop over [begin, begin + size) starting at
+  /// `depth`. With a group, child buckets of at least `spawn_min`
+  /// records are handed to the pool as serial sub-sorts instead of the
+  /// local stack (only the root call fans out; sub-sorts never nest).
+  void SortRange(KVSlice* begin, size_t size, int depth, TaskGroup* group,
+                 size_t spawn_min) const;
+
   std::string data_;
 };
 

@@ -205,6 +205,127 @@ class MergingGroupIterator final : public KVGroupIterator {
   Status status_;
 };
 
+/// Tournament (loser) tree k-way merge, grouped by key — the same
+/// (key, value, run index) total order as MergingGroupIterator, which
+/// stays around as its equivalence oracle. Internal nodes tree_[1..k-1]
+/// hold the losers of their matches; leaves are implicit (node k + i is
+/// cursor i) and the overall winner lives in winner_. Advancing the
+/// winner replays one leaf-to-root path with a single comparison per
+/// level, where a binary heap's pop + push costs up to two — and the
+/// path indices are the same every time a given cursor wins, so the
+/// node array stays hot.
+class LoserTreeGroupIterator final : public KVGroupIterator {
+ public:
+  explicit LoserTreeGroupIterator(
+      std::vector<std::unique_ptr<RunCursor>> cursors)
+      : cursors_(std::move(cursors)),
+        resident_by_cursor_(cursors_.size(), 0),
+        k_(cursors_.size()) {
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      if (!cursors_[i]->has_current() && !cursors_[i]->status().ok()) {
+        status_ = cursors_[i]->status();
+      }
+      resident_by_cursor_[i] = cursors_[i]->resident_block_bytes();
+      resident_ += resident_by_cursor_[i];
+    }
+    peak_resident_ = resident_;
+    if (k_ >= 2) {
+      tree_.assign(k_, 0);
+      winner_ = Build(1);
+    }
+  }
+
+  bool NextGroup(std::string* key,
+                 std::vector<std::string>* values) override {
+    values->clear();
+    if (!status_.ok() || k_ == 0 || !cursors_[winner_]->has_current()) {
+      return false;
+    }
+    key->assign(cursors_[winner_]->key());
+    while (cursors_[winner_]->has_current() &&
+           cursors_[winner_]->key() == *key) {
+      const size_t idx = winner_;
+      values->emplace_back(cursors_[idx]->value());
+      cursors_[idx]->Pop();
+      ObserveResidency(idx);
+      if (!cursors_[idx]->has_current() && !cursors_[idx]->status().ok()) {
+        status_ = cursors_[idx]->status();
+        return false;
+      }
+      Replay(idx);
+    }
+    return true;
+  }
+
+  const Status& status() const override { return status_; }
+
+  int64_t blocks_read() const override {
+    int64_t total = 0;
+    for (const auto& cursor : cursors_) total += cursor->blocks_read();
+    return total;
+  }
+
+  int64_t peak_resident_run_bytes() const override { return peak_resident_; }
+
+ private:
+  /// Exhausted cursors rank as +infinity, so they sink into the loser
+  /// slots and never win again. Live ties are broken by run index,
+  /// which is what makes the merge order a total one.
+  bool Less(size_t a, size_t b) const {
+    const RunCursor& ca = *cursors_[a];
+    const RunCursor& cb = *cursors_[b];
+    if (!ca.has_current()) return false;
+    if (!cb.has_current()) return true;
+    if (ca.key() != cb.key()) return ca.key() < cb.key();
+    if (ca.value() != cb.value()) return ca.value() < cb.value();
+    return a < b;
+  }
+
+  /// Plays the subtree rooted at `node` bottom-up: stores each match's
+  /// loser at its node and returns the subtree's winner. Nodes >= k_
+  /// are the implicit leaves (cursor node - k_).
+  size_t Build(size_t node) {
+    if (node >= k_) return node - k_;
+    const size_t a = Build(2 * node);
+    const size_t b = Build(2 * node + 1);
+    if (Less(b, a)) {
+      tree_[node] = a;
+      return b;
+    }
+    tree_[node] = b;
+    return a;
+  }
+
+  /// Re-seeds cursor `cursor`'s leaf and replays its path to the root:
+  /// at each node the smaller of (climbing winner, stored loser) climbs
+  /// on and the other stays as the node's new loser.
+  void Replay(size_t cursor) {
+    size_t winner = cursor;
+    for (size_t node = (cursor + k_) / 2; node >= 1; node /= 2) {
+      if (Less(tree_[node], winner)) std::swap(winner, tree_[node]);
+    }
+    winner_ = winner;
+  }
+
+  /// Residency only changes when the cursor just popped loads or drops
+  /// a block; same incremental accounting as MergingGroupIterator.
+  void ObserveResidency(size_t idx) {
+    const int64_t now = cursors_[idx]->resident_block_bytes();
+    resident_ += now - resident_by_cursor_[idx];
+    resident_by_cursor_[idx] = now;
+    if (resident_ > peak_resident_) peak_resident_ = resident_;
+  }
+
+  std::vector<std::unique_ptr<RunCursor>> cursors_;
+  std::vector<int64_t> resident_by_cursor_;
+  const size_t k_;
+  std::vector<size_t> tree_;  // losers; [0] unused, leaves implicit
+  size_t winner_ = 0;
+  int64_t resident_ = 0;
+  int64_t peak_resident_ = 0;
+  Status status_;
+};
+
 /// Arrival-order singleton groups over arena slices.
 class FifoGroupIterator final : public KVGroupIterator {
  public:
@@ -267,12 +388,18 @@ std::unique_ptr<KVGroupIterator> RunMerger::Merge() {
     cursors.push_back(std::make_unique<EncodedCursor>(std::move(bytes)));
   }
   for (auto& reader : file_runs_) {
+    // Prefetch must be armed before the cursor decodes its first
+    // record (EnablePrefetch is a no-op once reading starts).
+    if (parallel_ != nullptr) reader->EnablePrefetch(parallel_);
     cursors.push_back(std::make_unique<FileCursor>(std::move(reader)));
   }
   arena_runs_.clear();
   encoded_runs_.clear();
   file_runs_.clear();
-  return std::make_unique<MergingGroupIterator>(std::move(cursors));
+  if (algorithm_ == MergeAlgorithm::kHeap) {
+    return std::make_unique<MergingGroupIterator>(std::move(cursors));
+  }
+  return std::make_unique<LoserTreeGroupIterator>(std::move(cursors));
 }
 
 std::unique_ptr<KVGroupIterator> RunMerger::Fifo(

@@ -20,7 +20,23 @@
 #include "io/run_file.h"
 #include "shuffle/kv_arena.h"
 
+namespace dmb {
+class ParallelContext;
+}
+
 namespace dmb::shuffle {
+
+/// \brief Which k-way merge drives a sorted MergingGroupIterator.
+enum class MergeAlgorithm {
+  /// Tournament (loser) tree: popping the winner replays one
+  /// leaf-to-root path of k-1 internal nodes with ONE comparison each —
+  /// about half the comparisons of a binary-heap pop+push, and each
+  /// record's path touches the same contiguous node array. The default.
+  kLoserTree,
+  /// Binary-heap merge — the original implementation, kept as the
+  /// equivalence oracle for the loser tree. Byte-identical output.
+  kHeap,
+};
 
 /// \brief Iterates (key, values) groups. Sorted-merge iterators yield
 /// groups in ascending key order with values ascending within a group;
@@ -70,8 +86,21 @@ class RunMerger {
 
   size_t run_count() const;
 
-  /// \brief Merges all added runs (heap-based k-way merge). Corruption
-  /// in an encoded run surfaces through the iterator's status().
+  /// \brief Selects the merge implementation (default kLoserTree). The
+  /// output stream is identical either way — (key, value, run index)
+  /// total order — so this only trades comparison counts.
+  void SetAlgorithm(MergeAlgorithm algorithm) { algorithm_ = algorithm; }
+
+  /// \brief Arms one-block read-ahead on every file run at Merge()
+  /// time: each run's next block is read + decompressed on the
+  /// context's pool while the merge consumes the resident one. No-op
+  /// when null or serial. Order, statuses and blocks_read() are
+  /// identical to serial merging; peak resident memory grows to at most
+  /// 2 x block size per file run.
+  void SetParallel(ParallelContext* parallel) { parallel_ = parallel; }
+
+  /// \brief Merges all added runs (k-way merge per SetAlgorithm).
+  /// Corruption in a run surfaces through the iterator's status().
   std::unique_ptr<KVGroupIterator> Merge();
 
   /// \brief Arrival-order singleton-group iterator over arena slices
@@ -87,6 +116,8 @@ class RunMerger {
   std::vector<ArenaRun> arena_runs_;
   std::vector<std::string> encoded_runs_;
   std::vector<std::unique_ptr<io::StreamingRunReader>> file_runs_;
+  MergeAlgorithm algorithm_ = MergeAlgorithm::kLoserTree;
+  ParallelContext* parallel_ = nullptr;
 };
 
 }  // namespace dmb::shuffle

@@ -60,6 +60,7 @@ engine::JobSpec BaseSpec(const EngineConfig& config) {
   spec.parallelism = config.parallelism;
   spec.memory_budget_bytes = config.memory_budget_bytes;
   spec.rdd_shuffle_spill = config.rdd_shuffle_spill;
+  spec.shuffle_threads = config.shuffle_threads;
   return spec;
 }
 

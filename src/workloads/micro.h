@@ -36,6 +36,11 @@ struct EngineConfig {
   /// the upstream stage's first emitted batches instead of waiting for
   /// whole partitions. Byte-identical output; off = barrier handoff.
   bool pipeline_narrow_edges = false;
+  /// Intra-task shuffle parallelism (JobSpec::shuffle_threads): 1 =
+  /// serial (default), 0 = one worker per hardware thread, >= 2 = that
+  /// many workers shared engine-wide. Results are identical at every
+  /// setting; only task-internal sort/spill/merge wall time changes.
+  int shuffle_threads = 1;
 };
 
 /// \brief JobSpec knobs shared by every workload below.

@@ -12,6 +12,7 @@
 
 #include "common/byte_buffer.h"
 #include "common/hash.h"
+#include "common/parallel.h"
 #include "common/properties.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -376,6 +377,85 @@ TEST(ThreadPoolTest, ConcurrentSubmitAndWait) {
   pool.Wait();
   EXPECT_EQ(executed.load(), accepted.load());
   EXPECT_EQ(accepted.load(), 800);
+}
+
+TEST(ThreadPoolTest, RunUntilExecutesQueuedWorkInline) {
+  // Regression for the nested-submit deadlock: the single worker
+  // submits a sub-task and then joins it. Before help-while-wait joins
+  // (RunUntil), the worker would block forever — no second worker
+  // exists to run the sub-task.
+  ThreadPool pool(1);
+  std::atomic<bool> inner_done{false};
+  std::atomic<bool> outer_done{false};
+  pool.Submit([&] {
+    pool.Submit([&inner_done] { inner_done.store(true); });
+    pool.RunUntil([&inner_done] { return inner_done.load(); });
+    outer_done.store(true);
+  });
+  pool.Wait();
+  EXPECT_TRUE(inner_done.load());
+  EXPECT_TRUE(outer_done.load());
+}
+
+// ---- ParallelContext / TaskGroup ----
+
+TEST(ParallelContextTest, NestedTaskGroupJoinsDoNotDeadlock) {
+  // More joining tasks than workers: every outer task parks in an inner
+  // TaskGroup::Wait, which must help drain the queue (the cv-blocking
+  // join this replaced deadlocked here).
+  ParallelContext::Options options;
+  options.threads = 2;
+  ParallelContext context(options);
+  ASSERT_TRUE(context.enabled());
+  std::atomic<int> leaves{0};
+  TaskGroup outer(&context);
+  for (int i = 0; i < 8; ++i) {
+    outer.Run([&context, &leaves] {
+      TaskGroup inner(&context);
+      for (int j = 0; j < 4; ++j) {
+        inner.Run([&leaves] { leaves.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(leaves.load(), 32);
+  EXPECT_EQ(outer.spawned(), 8);
+  EXPECT_GE(context.tasks_spawned(), 8);
+}
+
+TEST(ParallelContextTest, BlockSlotBudgetIsEnforced) {
+  ParallelContext::Options options;
+  options.threads = 2;
+  options.max_inflight_blocks = 2;
+  ParallelContext context(options);
+  EXPECT_EQ(context.max_inflight_blocks(), 2);
+  EXPECT_TRUE(context.TryAcquireBlockSlot());
+  EXPECT_TRUE(context.TryAcquireBlockSlot());
+  EXPECT_FALSE(context.TryAcquireBlockSlot()) << "budget must cap at 2";
+  context.ReleaseBlockSlot();
+  EXPECT_TRUE(context.TryAcquireBlockSlot());
+  context.ReleaseBlockSlot();
+  context.ReleaseBlockSlot();
+}
+
+TEST(ParallelContextTest, SerialContextRunsEverythingInline) {
+  ParallelContext::Options options;
+  options.threads = 1;
+  ParallelContext context(options);
+  EXPECT_FALSE(context.enabled());
+  EXPECT_EQ(context.pool(), nullptr);
+  // The budget never blocks a serial caller.
+  EXPECT_TRUE(context.TryAcquireBlockSlot());
+  context.ReleaseBlockSlot();
+  int runs = 0;
+  TaskGroup group(&context);
+  EXPECT_FALSE(group.parallel());
+  group.Run([&runs] { ++runs; });
+  EXPECT_EQ(runs, 1) << "serial Run must execute inline, immediately";
+  group.Wait();
+  EXPECT_EQ(group.spawned(), 0);
+  EXPECT_EQ(context.tasks_spawned(), 0);
 }
 
 // ---- TablePrinter ----

@@ -208,6 +208,43 @@ TEST(EngineRunTest, MapErrorsPropagateFromEveryEngine) {
   }
 }
 
+TEST(EngineRunTest, ShuffleThreadsDoNotChangeResults) {
+  const auto lines = RandomLines(/*seed=*/321, /*n=*/400);
+  for (const auto& info : Engines()) {
+    // Serial baseline: the default spec must never touch the pool.
+    auto serial_eng = info.make();
+    JobSpec serial_spec = CountingSpec(lines);
+    serial_spec.spill = SpillPolicy::kAlwaysSpill;
+    auto serial = serial_eng->Run(serial_spec);
+    ASSERT_TRUE(serial.ok()) << info.name << ": " << serial.status();
+    EXPECT_EQ(serial->stats.parallel_shuffle_tasks, 0) << info.name;
+    auto reference = serial->Merged();
+    std::sort(reference.begin(), reference.end(), datampi::KVPairLess{});
+    ASSERT_FALSE(reference.empty()) << info.name;
+
+    for (int threads : {0, 4}) {
+      auto eng = info.make();
+      JobSpec spec = CountingSpec(lines);
+      spec.spill = SpillPolicy::kAlwaysSpill;
+      spec.shuffle_threads = threads;
+      // Tiny threshold so even these small task-local sorts fan out.
+      spec.parallel_sort_threshold = 1;
+      auto out = eng->Run(spec);
+      ASSERT_TRUE(out.ok())
+          << info.name << " threads=" << threads << ": " << out.status();
+      auto merged = out->Merged();
+      std::sort(merged.begin(), merged.end(), datampi::KVPairLess{});
+      EXPECT_EQ(merged, reference) << info.name << " threads=" << threads;
+      // threads=0 resolves to hardware_concurrency, which may be 1 on a
+      // constrained host; only an explicit multi-thread run must report
+      // pool work.
+      if (threads >= 2) {
+        EXPECT_GT(out->stats.parallel_shuffle_tasks, 0) << info.name;
+      }
+    }
+  }
+}
+
 // ---- Workloads through the unified API, randomized ----
 
 class EngineAgreementTest : public ::testing::TestWithParam<int> {};

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/temp_dir.h"
 #include "io/block_file.h"
@@ -282,6 +283,93 @@ TEST(BlockFileTest, FinishAndAppendAfterFinishAreGuarded) {
   ASSERT_TRUE(writer.Finish().ok());
   EXPECT_FALSE(writer.AppendRecord("y").ok());
   EXPECT_FALSE(writer.Finish().ok());
+}
+
+TEST(RunFileTest, OverlappedWriterIsByteIdenticalToSerial) {
+  // The overlapped spill pipeline (blocks compressed + checksummed on
+  // pool workers, written in submission order by the caller) must
+  // produce the exact bytes of the serial writer — the determinism
+  // contract every spill site relies on.
+  TempDir dir("io-test");
+  ParallelContext::Options popts;
+  popts.threads = 4;
+  popts.max_inflight_blocks = 3;
+  ParallelContext context(popts);
+  int file = 0;
+  for (const Codec codec : {Codec::kNone, Codec::kLz}) {
+    for (const int64_t block_bytes : {int64_t{256}, int64_t{4096}}) {
+      const auto records =
+          MakeRecords(600, 5000u + static_cast<uint64_t>(file));
+      BlockFileOptions serial_options;
+      serial_options.codec = codec;
+      serial_options.block_bytes = block_bytes;
+      const std::string serial_path =
+          WriteRun(dir, "serial" + std::to_string(file) + ".kv", records,
+                   serial_options);
+
+      BlockFileOptions overlapped_options = serial_options;
+      overlapped_options.parallel = &context;
+      const std::string overlapped_path =
+          dir.File("overlapped" + std::to_string(file) + ".kv");
+      SpillFileWriter writer(overlapped_path, overlapped_options);
+      for (const auto& [k, v] : records) {
+        ASSERT_TRUE(writer.Add(k, v).ok());
+      }
+      ASSERT_TRUE(writer.Finish().ok());
+      EXPECT_GT(writer.overlapped_blocks(), 0)
+          << "pipeline must actually engage";
+
+      auto serial_bytes = ReadFileBytes(serial_path);
+      auto overlapped_bytes = ReadFileBytes(overlapped_path);
+      ASSERT_TRUE(serial_bytes.ok());
+      ASSERT_TRUE(overlapped_bytes.ok());
+      EXPECT_EQ(*overlapped_bytes, *serial_bytes)
+          << "codec=" << CodecName(codec) << " block_bytes=" << block_bytes;
+      ++file;
+    }
+  }
+}
+
+TEST(RunFileTest, PrefetchingReaderMatchesSerialAndBoundsResidency) {
+  TempDir dir("io-test");
+  const auto records = MakeRecords(500, 99);
+  BlockFileOptions options;
+  options.block_bytes = 512;
+  options.codec = Codec::kLz;
+  const std::string path = WriteRun(dir, "run.kv", records, options);
+
+  Status serial_status;
+  const auto serial = ReadRun(path, &serial_status);
+  ASSERT_TRUE(serial_status.ok()) << serial_status;
+  int64_t serial_blocks = 0;
+  {
+    auto reader = StreamingRunReader::Open(path);
+    ASSERT_TRUE(reader.ok());
+    std::string_view k, v;
+    while ((*reader)->Next(&k, &v)) {
+    }
+    serial_blocks = (*reader)->blocks_read();
+  }
+
+  ParallelContext::Options popts;
+  popts.threads = 2;
+  ParallelContext context(popts);
+  auto reader = StreamingRunReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  (*reader)->EnablePrefetch(&context);
+  const int64_t max_block = (*reader)->max_block_raw_bytes();
+  std::vector<Record> got;
+  std::string_view k, v;
+  while ((*reader)->Next(&k, &v)) {
+    got.emplace_back(std::string(k), std::string(v));
+    // One resident block + at most one lookahead block.
+    EXPECT_LE((*reader)->resident_bytes(), 2 * max_block);
+  }
+  ASSERT_TRUE((*reader)->status().ok()) << (*reader)->status();
+  EXPECT_EQ(got, serial);
+  EXPECT_GT(serial_blocks, 1);
+  EXPECT_EQ((*reader)->blocks_read(), serial_blocks)
+      << "prefetch must not change block accounting";
 }
 
 TEST(BlockFileTest, ZeroLengthRecordsAreRejected) {

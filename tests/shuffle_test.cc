@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/byte_buffer.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/temp_dir.h"
 #include "core/kv.h"
@@ -160,6 +161,69 @@ TEST(KvArenaTest, RadixSortMatchesComparatorSortFuzz) {
   }
 }
 
+TEST(KvArenaTest, ParallelSortIsByteIdenticalToSerial) {
+  // The parallel sort fans the top-level radix buckets out to the pool;
+  // its contract is exact equality with the serial sort — same slice
+  // sequence, including the order of fully equal records — at every
+  // thread count and threshold.
+  Rng rng(424242);
+  KVArena arena;
+  std::vector<KVSlice> slices;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    std::string key;
+    switch (rng.Uniform(4)) {
+      case 0:
+        key = "shared-prefix-" + std::to_string(rng.Uniform(64));
+        break;
+      case 1:
+        key = "k" + std::to_string(rng.Uniform(16));
+        break;
+      case 2:
+        for (uint64_t j = rng.Uniform(12); j > 0; --j) {
+          key.push_back(static_cast<char>(rng.Uniform(256)));
+        }
+        break;
+      default:
+        key = std::to_string(rng.Uniform(100000));
+        break;
+    }
+    slices.push_back(arena.Add(key, std::to_string(rng.Uniform(8))));
+  }
+  std::vector<KVSlice> serial = slices;
+  arena.Sort(&serial);
+
+  auto same_slice = [](const KVSlice& a, const KVSlice& b) {
+    return a.key_prefix == b.key_prefix && a.key_off == b.key_off &&
+           a.key_len == b.key_len && a.val_off == b.val_off &&
+           a.val_len == b.val_len;
+  };
+  for (const int threads : {1, 2, 8}) {
+    for (const int64_t threshold : {int64_t{1}, int64_t{4096}, int64_t{1}
+                                                                  << 20}) {
+      ParallelContext::Options options;
+      options.threads = threads;
+      options.parallel_sort_threshold = threshold;
+      ParallelContext context(options);
+      std::vector<KVSlice> sorted = slices;
+      int64_t spawned = 0;
+      arena.Sort(&sorted, &context, &spawned);
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " threshold=" + std::to_string(threshold);
+      if (threads > 1 && threshold < n) {
+        EXPECT_GT(spawned, 0) << label;
+      } else {
+        EXPECT_EQ(spawned, 0) << label;
+      }
+      ASSERT_EQ(sorted.size(), serial.size()) << label;
+      for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(same_slice(sorted[i], serial[i]))
+            << label << " diverges at " << i;
+      }
+    }
+  }
+}
+
 TEST(KvArenaTest, EncodedKVSizeMatchesEncodeKV) {
   for (size_t klen : {size_t{0}, size_t{1}, size_t{127}, size_t{128},
                       size_t{20000}}) {
@@ -256,6 +320,75 @@ TEST(RunMergerTest, ManyRunsRandomizedAgainstOracle) {
   }
   EXPECT_TRUE(it->status().ok());
   EXPECT_EQ(expected, oracle.end());
+}
+
+TEST(RunMergerTest, LoserTreeAndHeapMergeIdentically) {
+  // The loser tree is the default merge; the binary heap is kept as the
+  // equivalence oracle. Both must produce the same group stream —
+  // including value order inside a group, which the run-index tiebreak
+  // pins down — over fuzzed mixes of arena, encoded and file runs.
+  Rng rng(5150);
+  TempDir dir("shuffle-test");
+  int file = 0;
+  for (int round = 0; round < 12; ++round) {
+    RunMerger loser_tree;
+    RunMerger heap;
+    heap.SetAlgorithm(MergeAlgorithm::kHeap);
+    const int run_count = 1 + static_cast<int>(rng.Uniform(24));
+    for (int run = 0; run < run_count; ++run) {
+      // One sorted record set, fed identically to both mergers.
+      std::vector<std::pair<std::string, std::string>> records;
+      const int n = static_cast<int>(rng.Uniform(150));
+      for (int i = 0; i < n; ++i) {
+        records.emplace_back("k" + std::to_string(rng.Uniform(30)),
+                             std::to_string(rng.Uniform(1000)));
+      }
+      std::sort(records.begin(), records.end());
+      switch (rng.Uniform(3)) {
+        case 0: {  // arena runs
+          auto arena_a = std::make_shared<KVArena>();
+          auto arena_b = std::make_shared<KVArena>();
+          std::vector<KVSlice> slices_a, slices_b;
+          for (const auto& [k, v] : records) {
+            slices_a.push_back(arena_a->Add(k, v));
+            slices_b.push_back(arena_b->Add(k, v));
+          }
+          loser_tree.AddArenaRun(std::move(arena_a), std::move(slices_a));
+          heap.AddArenaRun(std::move(arena_b), std::move(slices_b));
+          break;
+        }
+        case 1: {  // encoded runs
+          ByteBuffer encoded;
+          for (const auto& [k, v] : records) {
+            datampi::EncodeKV(&encoded, k, v);
+          }
+          loser_tree.AddEncodedRun(std::string(encoded.view()));
+          heap.AddEncodedRun(std::string(encoded.view()));
+          break;
+        }
+        default: {  // file runs (shared file, two readers)
+          const std::string path =
+              dir.File("run" + std::to_string(file++) + ".kv");
+          io::SpillFileWriter writer(path);
+          for (const auto& [k, v] : records) {
+            ASSERT_TRUE(writer.Add(k, v).ok());
+          }
+          ASSERT_TRUE(writer.Finish().ok());
+          ASSERT_TRUE(loser_tree.AddFileRun(path).ok());
+          ASSERT_TRUE(heap.AddFileRun(path).ok());
+          break;
+        }
+      }
+    }
+    auto tree_it = loser_tree.Merge();
+    auto heap_it = heap.Merge();
+    const auto tree_groups = Drain(tree_it.get());
+    const auto heap_groups = Drain(heap_it.get());
+    ASSERT_TRUE(tree_it->status().ok()) << tree_it->status();
+    ASSERT_TRUE(heap_it->status().ok()) << heap_it->status();
+    ASSERT_EQ(tree_groups, heap_groups)
+        << "round " << round << " (" << run_count << " runs)";
+  }
 }
 
 TEST(RunMergerTest, CorruptEncodedRunSurfacesThroughStatus) {
@@ -538,6 +671,65 @@ TEST(CollectorTest, SpillFilesAreBlockCompressed) {
   EXPECT_GT(collector.spilled_raw_bytes(), 0);
   EXPECT_LT(collector.spilled_bytes(), collector.spilled_raw_bytes() / 2)
       << "LZ blocks should compress repetitive spill data";
+}
+
+TEST(CollectorTest, ParallelCollectorSpillsByteIdenticalRunFiles) {
+  // With a ParallelContext the collector sorts slices on the pool,
+  // spills sealed partitions concurrently and encodes spill blocks
+  // overlapped — and must still write the exact run-file bytes (names
+  // included) of the serial collector, in any thread configuration.
+  auto run_files_by_name = [](ParallelContext* context,
+                              int64_t* parallel_tasks) {
+    CollectorOptions options;
+    options.num_partitions = 3;
+    options.partitioner = std::make_shared<datampi::HashPartitioner>();
+    options.memory_budget_bytes = 2048;
+    options.on_budget = BudgetAction::kSpill;
+    options.spill_io.block_bytes = 512;
+    options.parallel = context;
+    PartitionedCollector collector(options);
+    Rng rng(20140807);  // same record stream for every configuration
+    for (int i = 0; i < 4000; ++i) {
+      EXPECT_TRUE(collector
+                      .Add("key" + std::to_string(rng.Uniform(97)),
+                           "value-" + std::to_string(rng.Uniform(50)))
+                      .ok());
+    }
+    auto runs = collector.FinishRuns(/*to_disk=*/true);
+    EXPECT_TRUE(runs.ok()) << runs.status();
+    EXPECT_GT(collector.spill_count(), 0);
+    std::map<std::string, std::string> by_name;
+    for (const auto& partition : *runs) {
+      for (const auto& path : partition.run_files) {
+        auto bytes = ReadFileBytes(path);
+        EXPECT_TRUE(bytes.ok()) << bytes.status();
+        const size_t slash = path.find_last_of('/');
+        by_name[path.substr(slash + 1)] = std::move(*bytes);
+      }
+    }
+    if (parallel_tasks != nullptr) {
+      *parallel_tasks = collector.parallel_tasks();
+    }
+    return by_name;
+  };
+
+  const auto serial = run_files_by_name(nullptr, nullptr);
+  ASSERT_GT(serial.size(), 1u);
+  for (const int threads : {2, 8}) {
+    ParallelContext::Options options;
+    options.threads = threads;
+    options.parallel_sort_threshold = 1;  // fan out even the small sorts
+    ParallelContext context(options);
+    int64_t parallel_tasks = 0;
+    const auto parallel = run_files_by_name(&context, &parallel_tasks);
+    EXPECT_GT(parallel_tasks, 0) << "threads=" << threads;
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
+    for (const auto& [name, bytes] : serial) {
+      const auto it = parallel.find(name);
+      ASSERT_NE(it, parallel.end()) << name << " threads=" << threads;
+      EXPECT_EQ(it->second, bytes) << name << " threads=" << threads;
+    }
+  }
 }
 
 TEST(CollectorTest, AddAfterFinishFails) {
