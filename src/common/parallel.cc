@@ -44,7 +44,15 @@ void ParallelContext::AcquireBlockSlot() {
   if (TryAcquireBlockSlot()) return;
   // Full: drain pool work inline until a release frees a slot. The
   // compression tasks holding slots never block, so they always finish.
-  pool_->RunUntil([this] { return TryAcquireBlockSlot(); });
+  // RunUntil guarantees a successful TryAcquireBlockSlot is the last
+  // evaluation, so the slot it took is the one this caller owns.
+  while (!pool_->RunUntil([this] { return TryAcquireBlockSlot(); })) {
+    // Pool shut down mid-wait: ReleaseBlockSlot's wake Submit is now
+    // refused, but the slot counter itself is pool-independent and
+    // other writer threads still release — poll it.
+    if (TryAcquireBlockSlot()) return;
+    std::this_thread::yield();
+  }
 }
 
 void ParallelContext::ReleaseBlockSlot() {
@@ -77,9 +85,16 @@ void TaskGroup::Run(std::function<void()> fn) {
 
 void TaskGroup::Wait() {
   if (context_ == nullptr) return;
-  if (pending_.load(std::memory_order_acquire) == 0) return;
-  context_->pool()->RunUntil(
-      [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (context_->pool()->RunUntil([this] {
+          return pending_.load(std::memory_order_acquire) == 0;
+        })) {
+      return;
+    }
+    // Pool shut down mid-wait: workers drain already-queued tasks
+    // before exiting, so the last decrement lands shortly — poll.
+    std::this_thread::yield();
+  }
 }
 
 }  // namespace dmb

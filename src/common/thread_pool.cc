@@ -30,10 +30,10 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::RunUntil(const std::function<bool()>& done) {
+bool ThreadPool::RunUntil(const std::function<bool()>& done) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (done()) return;
+    if (done()) return true;
     if (!queue_.empty()) {
       std::function<void()> task = std::move(queue_.front());
       queue_.pop_front();
@@ -48,9 +48,19 @@ void ThreadPool::RunUntil(const std::function<bool()>& done) {
     }
     // Queue empty but not done: the predicate depends on tasks running
     // in workers (or other helpers); sleep until something completes or
-    // new helpable work arrives.
-    progress_cv_.wait(lock,
-                      [this, &done] { return done() || !queue_.empty(); });
+    // new helpable work arrives. `ok` latches the wait predicate's own
+    // done() evaluation — a side-effecting predicate (try-acquire) must
+    // not be called again after it succeeds, or the first acquisition
+    // leaks.
+    bool ok = false;
+    progress_cv_.wait(lock, [this, &done, &ok] {
+      return (ok = done()) || !queue_.empty() ||
+             (shutdown_ && active_ == 0);
+    });
+    if (ok) return true;
+    // Shut down with nothing queued or running: no completion will ever
+    // notify progress_cv_ again, so parking would sleep forever.
+    if (queue_.empty() && shutdown_ && active_ == 0) return false;
   }
 }
 

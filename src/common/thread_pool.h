@@ -40,7 +40,18 @@ class ThreadPool {
   /// busy — or itself parked in RunUntil. `done` is evaluated under the
   /// pool lock and must be cheap and non-blocking (read an atomic; do
   /// not take locks that tasks hold while touching this pool).
-  void RunUntil(const std::function<bool()>& done);
+  ///
+  /// `done` may be side-effecting (e.g. a try-acquire): once an
+  /// evaluation returns true it is never evaluated again and RunUntil
+  /// returns true immediately — exactly one successful evaluation per
+  /// call.
+  ///
+  /// \return true when `done()` held; false when the pool shut down,
+  /// the queue drained, and no task is still running — i.e. the pool
+  /// can deliver no further progress. Callers whose predicate flips on
+  /// non-pool events (another thread releasing a resource) must then
+  /// fall back to polling that state directly.
+  bool RunUntil(const std::function<bool()>& done);
 
   /// \brief Stops accepting tasks, drains the queue, joins workers.
   /// Called automatically by the destructor.

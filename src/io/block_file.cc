@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "common/byte_buffer.h"
@@ -161,12 +162,7 @@ Status BlockWriter::SubmitBlockJob() {
   DMB_RETURN_NOT_OK(DrainJobs(/*all=*/false));
   while (jobs_.size() >= cap || !ctx->TryAcquireBlockSlot()) {
     if (!jobs_.empty()) {
-      BlockJob* front = jobs_.front().get();
-      if (!front->done.load(std::memory_order_acquire)) {
-        ctx->pool()->RunUntil([front] {
-          return front->done.load(std::memory_order_acquire);
-        });
-      }
+      WaitJobDone(jobs_.front().get());
       DMB_RETURN_NOT_OK(DrainJobs(/*all=*/false));
     } else {
       // Holding no jobs means holding no slots: blocking on the shared
@@ -197,12 +193,27 @@ Status BlockWriter::SubmitBlockJob() {
     j->crc = Crc32(j->stored());
     j->done.store(true, std::memory_order_release);
   };
-  if (ctx->pool()->Submit(compress)) {
+  j->on_pool = ctx->pool()->Submit(compress);
+  if (j->on_pool) {
     ctx->CountSpawnedTask();
   } else {
     compress();  // pool shutting down: seal the block inline
   }
   return Status::OK();
+}
+
+void BlockWriter::WaitJobDone(BlockJob* job) {
+  ParallelContext* ctx = options_.parallel;
+  while (!job->done.load(std::memory_order_acquire)) {
+    // A false RunUntil (pool shut down, nothing queued or running)
+    // with done still unset can only be a transient race with the
+    // closure's final store — poll until it lands.
+    if (!ctx->pool()->RunUntil([job] {
+          return job->done.load(std::memory_order_acquire);
+        })) {
+      std::this_thread::yield();
+    }
+  }
 }
 
 Status BlockWriter::DrainJobs(bool all) {
@@ -211,8 +222,7 @@ Status BlockWriter::DrainJobs(bool all) {
     BlockJob* front = jobs_.front().get();
     if (!front->done.load(std::memory_order_acquire)) {
       if (!all) return Status::OK();
-      ctx->pool()->RunUntil(
-          [front] { return front->done.load(std::memory_order_acquire); });
+      WaitJobDone(front);
     }
     std::unique_ptr<BlockJob> job = std::move(jobs_.front());
     jobs_.pop_front();
@@ -248,7 +258,7 @@ Status BlockWriter::WriteJob(BlockJob* job) {
   index_.push_back(entry);
   offset_ += kBlockHeaderBytes + entry.stored_len;
   ++stats_.blocks;
-  ++stats_.overlapped_blocks;
+  if (job->on_pool) ++stats_.overlapped_blocks;
   return Status::OK();
 }
 
@@ -256,11 +266,7 @@ void BlockWriter::AbandonJobs() {
   if (jobs_.empty()) return;
   ParallelContext* ctx = options_.parallel;
   while (!jobs_.empty()) {
-    BlockJob* front = jobs_.front().get();
-    if (!front->done.load(std::memory_order_acquire)) {
-      ctx->pool()->RunUntil(
-          [front] { return front->done.load(std::memory_order_acquire); });
-    }
+    WaitJobDone(jobs_.front().get());
     jobs_.pop_front();
     ctx->ReleaseBlockSlot();
   }

@@ -122,6 +122,10 @@ class BlockWriter {
     std::string compressed;
     Codec codec = Codec::kNone;
     uint32_t crc = 0;
+    /// True when the compress closure was accepted by the pool; false
+    /// when it ran inline (Submit refused during shutdown). Only such
+    /// pool-run blocks count as overlapped in stats.
+    bool on_pool = false;
     std::atomic<bool> done{false};
 
     const std::string& stored() const {
@@ -137,6 +141,8 @@ class BlockWriter {
   Status DrainJobs(bool all);
   /// Writes one completed job: header + stored payload + index entry.
   Status WriteJob(BlockJob* job);
+  /// Helps the pool until `job`'s compress closure has completed.
+  void WaitJobDone(BlockJob* job);
   /// Joins outstanding jobs without writing (error paths, destructor).
   void AbandonJobs();
   std::unique_ptr<Compressor> TakeCompressor();

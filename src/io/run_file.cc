@@ -1,5 +1,6 @@
 #include "io/run_file.h"
 
+#include <thread>
 #include <utility>
 
 #include "common/parallel.h"
@@ -63,9 +64,15 @@ void StreamingRunReader::StartPrefetch() {
 
 void StreamingRunReader::JoinPrefetch() {
   if (!prefetch_inflight_) return;
-  if (!prefetch_done_.load(std::memory_order_acquire)) {
-    parallel_->pool()->RunUntil(
-        [this] { return prefetch_done_.load(std::memory_order_acquire); });
+  while (!prefetch_done_.load(std::memory_order_acquire)) {
+    // A false RunUntil (pool shut down, nothing queued or running) with
+    // the prefetch still unset can only be a transient race with the
+    // task's final store — poll until it lands.
+    if (!parallel_->pool()->RunUntil([this] {
+          return prefetch_done_.load(std::memory_order_acquire);
+        })) {
+      std::this_thread::yield();
+    }
   }
   prefetch_inflight_ = false;
 }

@@ -2,6 +2,7 @@
 // byte buffers, time series, properties, temp dirs, thread pool.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <numeric>
@@ -397,6 +398,52 @@ TEST(ThreadPoolTest, RunUntilExecutesQueuedWorkInline) {
   EXPECT_TRUE(outer_done.load());
 }
 
+TEST(ThreadPoolTest, RunUntilSideEffectingPredicateConsumesExactlyOnce) {
+  // Regression: RunUntil used to re-evaluate done() at the top of its
+  // loop after the cv wait predicate already returned true. With a
+  // side-effecting predicate (a try-acquire) the first success was
+  // consumed and lost — here the helper would eat the only token and
+  // then park forever waiting for a second one.
+  ThreadPool pool(2);
+  std::atomic<int> tokens{0};
+  std::thread helper([&] {
+    EXPECT_TRUE(pool.RunUntil([&tokens] {
+      int t = tokens.load(std::memory_order_relaxed);
+      while (t > 0) {
+        if (tokens.compare_exchange_weak(t, t - 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return true;
+        }
+      }
+      return false;
+    }));
+  });
+  // Let the helper park on an empty queue, then produce one token and
+  // wake it the way ReleaseBlockSlot does.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  tokens.fetch_add(1, std::memory_order_release);
+  pool.Submit([] {});
+  helper.join();
+  EXPECT_EQ(tokens.load(), 0) << "exactly one token consumed";
+}
+
+TEST(ThreadPoolTest, RunUntilReturnsFalseAfterShutdown) {
+  // A helper whose predicate can never be satisfied by pool work must
+  // unpark (returning false) when the pool shuts down instead of
+  // sleeping forever on a cv nothing will signal again.
+  ThreadPool pool(1);
+  std::atomic<bool> helper_returned{false};
+  std::thread helper([&] {
+    EXPECT_FALSE(pool.RunUntil([] { return false; }));
+    helper_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.Shutdown();
+  helper.join();
+  EXPECT_TRUE(helper_returned.load());
+}
+
 // ---- ParallelContext / TaskGroup ----
 
 TEST(ParallelContextTest, NestedTaskGroupJoinsDoNotDeadlock) {
@@ -435,6 +482,46 @@ TEST(ParallelContextTest, BlockSlotBudgetIsEnforced) {
   EXPECT_FALSE(context.TryAcquireBlockSlot()) << "budget must cap at 2";
   context.ReleaseBlockSlot();
   EXPECT_TRUE(context.TryAcquireBlockSlot());
+  context.ReleaseBlockSlot();
+  context.ReleaseBlockSlot();
+}
+
+TEST(ParallelContextTest, BlockSlotBudgetDoesNotLeakUnderContention) {
+  // Regression: AcquireBlockSlot passes a side-effecting try-acquire as
+  // RunUntil's predicate; a double evaluation per wake leaked the slot
+  // taken by the first call, draining the budget until every writer
+  // deadlocked here. Hammer the budget from more threads than slots and
+  // verify the full budget survives.
+  ParallelContext::Options options;
+  options.threads = 4;
+  options.max_inflight_blocks = 3;
+  ParallelContext context(options);
+  ASSERT_TRUE(context.enabled());
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&context, &in_flight, &max_seen] {
+      for (int i = 0; i < 500; ++i) {
+        context.AcquireBlockSlot();
+        const int now = in_flight.fetch_add(1) + 1;
+        int seen = max_seen.load();
+        while (now > seen && !max_seen.compare_exchange_weak(seen, now)) {
+        }
+        in_flight.fetch_sub(1);
+        context.ReleaseBlockSlot();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_LE(max_seen.load(), 3) << "budget cap exceeded";
+  // The full budget must be back afterwards: exactly 3 immediate
+  // acquires succeed.
+  EXPECT_TRUE(context.TryAcquireBlockSlot());
+  EXPECT_TRUE(context.TryAcquireBlockSlot());
+  EXPECT_TRUE(context.TryAcquireBlockSlot());
+  EXPECT_FALSE(context.TryAcquireBlockSlot()) << "a slot leaked back in";
+  context.ReleaseBlockSlot();
   context.ReleaseBlockSlot();
   context.ReleaseBlockSlot();
 }
