@@ -1,0 +1,155 @@
+// Multi-tenant job service load generator: fires thousands of small
+// grep / wordcount / top-k jobs at one JobServer across several tenants
+// and reports sustained throughput plus tail latency, with one tenant
+// deliberately over-subscribed on memory so admission rejections and
+// budget queueing happen under load (they must not dent the other
+// tenants' throughput — the isolation property service_test asserts).
+//
+//   service_bench [--engine name] [--jobs N] [--workers W] [--json path]
+
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "engine/registry.h"
+#include "service/job_server.h"
+#include "service/small_jobs.h"
+
+namespace {
+
+using namespace dmb;
+using namespace dmb::service;
+
+std::vector<std::string> SyntheticLines(int n, unsigned seed) {
+  static const char* kWords[] = {"data",  "shuffle", "stage",  "spill",
+                                 "merge", "tenant",  "budget", "error",
+                                 "batch", "record"};
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> word(0, 9);
+  std::uniform_int_distribution<int> len(3, 8);
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string line;
+    const int words = len(rng);
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) line += ' ';
+      line += kWords[word(rng)];
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string engine_name = "datampi";
+  int total_jobs = 2000;
+  int workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      total_jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    }
+  }
+  bench::BenchJson json = bench::BenchJson::FromArgs(argc, argv);
+
+  Result<std::unique_ptr<engine::Engine>> engine =
+      engine::MakeEngine(engine_name);
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
+
+  const std::vector<std::string> lines = SyntheticLines(512, 42);
+  const auto records = MakeLineRecords(lines);
+
+  JobServerOptions options;
+  options.worker_threads = workers;
+  options.default_charge_bytes = kMiB;
+  JobServer server(engine->get(), options);
+  // Four tenants: alpha carries double weight, delta's quota admits
+  // only two of its 1 MiB jobs at a time (budget queueing) and rejects
+  // its occasional 16 MiB requests outright (memory pressure).
+  server.ConfigureTenant("alpha", {2.0, 8 * kMiB});
+  server.ConfigureTenant("beta", {1.0, 8 * kMiB});
+  server.ConfigureTenant("gamma", {1.0, 8 * kMiB});
+  server.ConfigureTenant("delta", {1.0, 2 * kMiB});
+  const char* tenants[] = {"alpha", "beta", "gamma", "delta"};
+
+  std::cout << "service_bench: " << total_jobs << " small jobs, 4 tenants, "
+            << workers << " workers, engine " << engine_name << "\n";
+
+  Stopwatch timer;
+  std::vector<JobId> ids;
+  ids.reserve(static_cast<size_t>(total_jobs));
+  int submit_rejected = 0;
+  for (int i = 0; i < total_jobs; ++i) {
+    JobRequest request;
+    request.tenant = tenants[i % 4];
+    request.priority = i % 3;
+    switch (i % 10) {
+      case 0:
+      case 1:
+        request.plan = SmallTopKPlan(records, 5, 2);
+        break;
+      case 2:
+      case 3:
+      case 4:
+        request.plan = SmallWordCountPlan(records, 2);
+        break;
+      default:
+        request.plan = SmallGrepPlan(records, "tenant", 2);
+        break;
+    }
+    // Every 16th delta job demands 16 MiB against its 2 MiB quota:
+    // rejected at Submit, never occupying a worker.
+    if (i % 4 == 3 && i % 16 == 15) request.memory_budget_bytes = 16 * kMiB;
+    Result<JobId> id = server.Submit(std::move(request));
+    if (id.ok()) {
+      ids.push_back(*id);
+    } else {
+      ++submit_rejected;
+    }
+  }
+  int completed = 0, failed = 0;
+  for (JobId id : ids) {
+    Result<JobResult> result = server.Wait(id);
+    if (result.ok() && result->status.ok()) {
+      ++completed;
+    } else {
+      ++failed;
+    }
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  ServerStats stats = server.Stats();
+  server.Shutdown();
+
+  const double throughput = completed / elapsed;
+  std::cout << "  completed " << completed << " jobs in " << elapsed
+            << " s (" << throughput << " jobs/s), " << submit_rejected
+            << " rejected at submit, " << failed << " failed\n";
+  std::cout << "  latency p50 " << stats.p50_total_seconds * 1e3
+            << " ms, p99 " << stats.p99_total_seconds * 1e3 << " ms\n";
+  for (const auto& [name, t] : stats.tenants) {
+    std::cout << "    tenant " << name << ": completed " << t.completed
+              << ", rejected " << t.rejected << ", " << t.jobs_per_second
+              << " jobs/s, p99 " << t.p99_total_seconds * 1e3 << " ms\n";
+  }
+
+  json.Add("service/jobs_per_second", throughput, "jobs/s");
+  json.Add("service/p50_latency", stats.p50_total_seconds * 1e3, "ms");
+  json.Add("service/p99_latency", stats.p99_total_seconds * 1e3, "ms");
+  json.Add("service/rejected_jobs", static_cast<double>(stats.rejected),
+           "jobs");
+  if (!json.Write()) return 1;
+  return failed > 0 ? 1 : 0;
+}

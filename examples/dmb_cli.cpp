@@ -11,6 +11,11 @@
 //   dmb_cli sim <textsort|normalsort|wordcount|grep|kmeans|bayes>
 //           <hadoop|spark|datampi> [--gb 8] [--slots 4] [--block 256]
 //
+// Job-service mode (multi-tenant JobServer demo — see README "Job
+// service"): drives a mixed grep/wordcount/top-k load from four tenants
+// through one shared server and prints the ServerStats snapshot:
+//   dmb_cli serve <datampi|mapreduce|rddlite> [--jobs 400] [--workers 4]
+//
 // Exit code 0 on success; non-zero on failure (including simulated OOM).
 
 #include <cstring>
@@ -24,6 +29,8 @@
 #include "datagen/text_generator.h"
 #include "datagen/vectors.h"
 #include "engine/registry.h"
+#include "service/job_server.h"
+#include "service/small_jobs.h"
 #include "simfw/experiment.h"
 #include "simfw/profiles.h"
 #include "workloads/grep_topk.h"
@@ -45,6 +52,8 @@ struct Args {
   std::string pattern = "ab";
   int topk = 10;
   bool pipeline = false;
+  int jobs = 400;
+  int workers = 4;
 };
 
 int Usage() {
@@ -55,16 +64,27 @@ int Usage() {
       << " <datampi|mapreduce|rddlite> [--size 8MB] [--parallelism 4]"
       << " [--pattern ab] [--topk 10] [--pipeline on (greptopk)]\n"
       << "  dmb_cli sim <textsort|normalsort|wordcount|grep|kmeans|bayes>"
-      << " <hadoop|spark|datampi> [--gb 8] [--slots 4] [--block 256]\n";
+      << " <hadoop|spark|datampi> [--gb 8] [--slots 4] [--block 256]\n"
+      << "  dmb_cli serve <datampi|mapreduce|rddlite>"
+      << " [--jobs 400] [--workers 4]\n";
   return 2;
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
-  if (argc < 4) return false;
+  if (argc < 3) return false;
   args->mode = argv[1];
-  args->workload = argv[2];
-  args->engine = argv[3];
-  for (int i = 4; i + 1 < argc; i += 2) {
+  // serve takes no workload: the engine follows the mode directly.
+  int flags_start;
+  if (args->mode == "serve") {
+    args->engine = argv[2];
+    flags_start = 3;
+  } else {
+    if (argc < 4) return false;
+    args->workload = argv[2];
+    args->engine = argv[3];
+    flags_start = 4;
+  }
+  for (int i = flags_start; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const std::string value = argv[i + 1];
     if (flag == "--size") {
@@ -86,6 +106,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       // Batch-pipeline narrow plan edges (greptopk): downstream stages
       // start on the first emitted batches instead of whole partitions.
       args->pipeline = value == "on" || value == "true" || value == "1";
+    } else if (flag == "--jobs") {
+      args->jobs = std::stoi(value);
+    } else if (flag == "--workers") {
+      args->workers = std::stoi(value);
     } else {
       return false;
     }
@@ -254,6 +278,76 @@ int RunSimulation(const Args& args) {
   return 0;
 }
 
+int RunServe(const Args& args) {
+  auto eng = engine::MakeEngine(args.engine);
+  if (!eng.ok()) {
+    std::cerr << eng.status() << "\n";
+    return Usage();
+  }
+
+  datagen::TextGenerator generator;
+  const auto lines = generator.GenerateLines(64 * kKiB);
+  const auto records = service::MakeLineRecords(lines);
+
+  service::JobServerOptions options;
+  options.worker_threads = args.workers;
+  service::JobServer server(eng->get(), options);
+  // Four tenants sharing the server: alpha carries double weight,
+  // delta's small quota forces budget queueing under load.
+  server.ConfigureTenant("alpha", {2.0, 8 * kMiB});
+  server.ConfigureTenant("beta", {1.0, 8 * kMiB});
+  server.ConfigureTenant("gamma", {1.0, 8 * kMiB});
+  server.ConfigureTenant("delta", {1.0, 2 * kMiB});
+  const char* tenants[] = {"alpha", "beta", "gamma", "delta"};
+
+  Stopwatch sw;
+  std::vector<service::JobId> ids;
+  ids.reserve(static_cast<size_t>(args.jobs));
+  for (int i = 0; i < args.jobs; ++i) {
+    service::JobRequest request;
+    request.tenant = tenants[i % 4];
+    request.priority = i % 3;
+    switch (i % 5) {
+      case 0:
+        request.plan =
+            service::SmallTopKPlan(records, args.topk, args.parallelism);
+        break;
+      case 1:
+      case 2:
+        request.plan = service::SmallWordCountPlan(records, args.parallelism);
+        break;
+      default:
+        request.plan =
+            service::SmallGrepPlan(records, args.pattern, args.parallelism);
+        break;
+    }
+    auto id = server.Submit(std::move(request));
+    if (id.ok()) ids.push_back(*id);
+  }
+  int failed = 0;
+  for (service::JobId id : ids) {
+    auto result = server.Wait(id);
+    if (!result.ok() || !result->status.ok()) ++failed;
+  }
+  const double elapsed = sw.ElapsedSeconds();
+  const service::ServerStats stats = server.Stats();
+  server.Shutdown();
+
+  std::cout << stats.completed << "/" << args.jobs << " jobs completed in "
+            << FormatSeconds(elapsed) << " ("
+            << static_cast<int>(stats.completed / elapsed) << " jobs/s, "
+            << "p50 " << FormatSeconds(stats.p50_total_seconds) << ", p99 "
+            << FormatSeconds(stats.p99_total_seconds) << ", engine "
+            << (*eng)->name() << ")\n";
+  for (const auto& [name, t] : stats.tenants) {
+    std::cout << "  tenant " << name << ": " << t.completed << " completed, "
+              << t.rejected << " rejected, " << t.cancelled << " cancelled, "
+              << "p99 " << FormatSeconds(t.p99_total_seconds) << ", quota "
+              << FormatBytes(t.quota_bytes) << "\n";
+  }
+  return failed > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,5 +355,6 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) return Usage();
   if (args.mode == "run") return RunFunctional(args);
   if (args.mode == "sim") return RunSimulation(args);
+  if (args.mode == "serve") return RunServe(args);
   return Usage();
 }

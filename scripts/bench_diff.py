@@ -20,9 +20,12 @@ baseline is below --floor seconds (default 100ns) are informational
 regardless of delta: single-digit-nanosecond benchmarks swing +/-50%
 with CPU frequency state alone.
 
-Metrics present on only one side are reported but never fail the gate,
-so adding a benchmark does not require regenerating baselines in the
-same commit.
+Metrics present on only one side are reported as informational lines
+("(new)" / "(gone)") but never fail the gate, so adding a benchmark
+does not require regenerating baselines in the same commit. A missing
+or unreadable baseline FILE is likewise informational: every current
+metric prints as "(new)" and the gate passes (pair with --update to
+seed the baseline on first run).
 
 --update rewrites BASELINE in place from CURRENT (after printing the
 diff, without failing on regressions): the accepted way to refresh a
@@ -47,11 +50,21 @@ def direction(unit):
     return 0
 
 
-def load(path):
-    with open(path) as f:
-        doc = json.load(f)
+def load(path, missing_ok=False):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        if not missing_ok:
+            raise
+        print(f"bench_diff: no usable baseline at {path} ({err}); "
+              "all current metrics are informational (new)")
+        return {}
     out = {}
     for entry in doc.get("benchmarks", []):
+        if "name" not in entry or "value" not in entry:
+            print(f"bench_diff: skipping malformed entry in {path}: {entry}")
+            continue
         out[entry["name"]] = (float(entry["value"]), entry.get("unit", ""))
     return out
 
@@ -81,7 +94,7 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
+    baseline = load(args.baseline, missing_ok=True)
     current = load(args.current)
 
     regressions = []
@@ -91,11 +104,11 @@ def main():
     for name in sorted(set(baseline) | set(current)):
         if name not in current:
             print(f"{name:<{width}}  {baseline[name][0]:>12.4g}  "
-                  f"{'(gone)':>12}  -")
+                  f"{'(gone)':>12}  - (info)")
             continue
         if name not in baseline:
             print(f"{name:<{width}}  {'(new)':>12}  "
-                  f"{current[name][0]:>12.4g}  -")
+                  f"{current[name][0]:>12.4g}  - (info)")
             continue
         base_value, base_unit = baseline[name]
         cur_value, cur_unit = current[name]

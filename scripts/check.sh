@@ -36,11 +36,13 @@ cmake --build build -j
 # stage-DAG runtime joins them because its scheduler is the one
 # concurrent component above the engines, and the datagen tests cover
 # the LZ match finder's pointer/offset arithmetic (radix sort and the
-# hash-chain compressor both live under these suites).
-echo "check.sh: UBSan pass (io + shuffle + runtime + datagen tests)"
+# hash-chain compressor both live under these suites). service_test
+# joins every sanitizer pass: the JobServer's admission/dispatch/cancel
+# paths cross worker, reaper, and scheduler threads.
+echo "check.sh: UBSan pass (io + shuffle + runtime + datagen + service tests)"
 cmake -B build-ubsan -S . -DDMB_SANITIZE=undefined -DDMB_WERROR=ON
-cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_test
-(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle|runtime|datagen)_test$')
+cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_test service_test
+(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle|runtime|datagen|service)_test$')
 
 # The pipelined narrow edges run a bounded producer/consumer channel
 # between concurrently executing stages — runtime_test must stay clean
@@ -49,10 +51,10 @@ cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_
 # (parallel radix sub-sorts, overlapped spill-block encoding, concurrent
 # partition spills, merge-time block prefetch) shares one ParallelContext
 # pool across tasks and must be race-free at every thread count.
-echo "check.sh: TSan pass (shuffle + io + runtime tests)"
+echo "check.sh: TSan pass (shuffle + io + runtime + service tests)"
 cmake -B build-tsan -S . -DDMB_SANITIZE=thread -DDMB_WERROR=ON
-cmake --build build-tsan -j --target shuffle_test io_test runtime_test
-(cd build-tsan && ctest --output-on-failure -R '^(shuffle|io|runtime)_test$')
+cmake --build build-tsan -j --target shuffle_test io_test runtime_test service_test
+(cd build-tsan && ctest --output-on-failure -R '^(shuffle|io|runtime|service)_test$')
 
 BENCH_TARGETS=(
   fig2a_dfsio_tuning
@@ -64,6 +66,7 @@ BENCH_TARGETS=(
   fig7_summary
   ablation_pipeline
   shuffle_bench
+  service_bench
 )
 # micro_components needs google-benchmark; build it when configured.
 if [ -f build/CMakeCache.txt ] && grep -q "^benchmark_DIR:PATH=[^-]" build/CMakeCache.txt; then
@@ -81,9 +84,11 @@ done
 # bench_diff.py invocations below (rewrites the committed BENCH_*.json
 # from the fresh run after printing the diff).
 if [ "${CHECK_NO_BENCH:-0}" != "1" ]; then
-  echo "check.sh: bench-diff gate (vs BENCH_shuffle.json / BENCH_micro.json)"
+  echo "check.sh: bench-diff gate (vs BENCH_shuffle.json / BENCH_service.json / BENCH_micro.json)"
   ./build/shuffle_bench --json build/bench_shuffle_current.json > /dev/null
   python3 scripts/bench_diff.py BENCH_shuffle.json build/bench_shuffle_current.json
+  ./build/service_bench --jobs 1000 --json build/bench_service_current.json > /dev/null
+  python3 scripts/bench_diff.py BENCH_service.json build/bench_service_current.json
   if [ -x build/micro_components ]; then
     ./build/micro_components --benchmark_min_time=0.05 \
       --json build/bench_micro_current.json > /dev/null 2>&1
@@ -92,10 +97,10 @@ if [ "${CHECK_NO_BENCH:-0}" != "1" ]; then
 fi
 
 if [ "${CHECK_ASAN:-0}" = "1" ]; then
-  echo "check.sh: ASan pass (io + shuffle + engine + core + runtime tests)"
+  echo "check.sh: ASan pass (io + shuffle + engine + core + runtime + service tests)"
   cmake -B build-asan -S . -DDMB_ASAN=ON -DDMB_WERROR=ON
-  cmake --build build-asan -j --target io_test shuffle_test engine_test core_test runtime_test
-  (cd build-asan && ctest --output-on-failure -R '^(io|shuffle|engine|core|runtime)_test$')
+  cmake --build build-asan -j --target io_test shuffle_test engine_test core_test runtime_test service_test
+  (cd build-asan && ctest --output-on-failure -R '^(io|shuffle|engine|core|runtime|service)_test$')
 fi
 
 echo "check.sh: all green"

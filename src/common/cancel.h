@@ -1,0 +1,89 @@
+// CancelToken: cooperative, thread-safe cancellation shared between a
+// job's owner (a client, a deadline timer, the JobServer) and the code
+// running it (StageScheduler stages, engine map/reduce loops).
+//
+// The first Cancel(status) wins: the token latches that status forever
+// and every registered callback fires exactly once with it. Running
+// code observes cancellation two ways:
+//
+//   * polling — cancelled() is a single atomic load, cheap enough for
+//     per-record checks in the engines' map/reduce hot loops;
+//   * callbacks — AddCallback registers a function invoked on Cancel
+//     (immediately, on the cancelling thread; or on the registering
+//     thread when the token is already cancelled). The StageScheduler
+//     uses this to cancel in-flight batch channels, so producers parked
+//     on backpressure and consumers parked on an empty channel unblock
+//     the moment the job is cancelled — the same unblocking path a
+//     stage failure takes.
+//
+// RemoveCallback blocks until a concurrently-firing callback has
+// finished, so a caller may free state the callback captures right
+// after it returns. A callback must therefore never call back into its
+// own token's Remove (self-deadlock) and must not block for long — it
+// runs inline on whoever called Cancel.
+
+#ifndef DATAMPI_BENCH_COMMON_CANCEL_H_
+#define DATAMPI_BENCH_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace dmb {
+
+/// \brief One cancellation domain (one job). Shared by std::shared_ptr;
+/// a null token pointer means "never cancelled" everywhere it is
+/// accepted.
+class CancelToken {
+ public:
+  using Callback = std::function<void(const Status& status)>;
+  using CallbackId = uint64_t;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// \brief Cancels with `status` (non-OK; Status::Cancelled for a
+  /// client cancel or deadline, but any code is latched verbatim).
+  /// Only the first call takes effect; it runs every registered
+  /// callback inline and returns true. Later calls are no-ops.
+  bool Cancel(Status status);
+
+  /// \brief True once Cancel ran (acquire; pairs with the release store
+  /// in Cancel, so status() is stable afterwards). One relaxed-ish
+  /// atomic load — fits per-record hot loops.
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// \brief OK before cancellation; afterwards the latched cancel
+  /// status verbatim.
+  Status status() const;
+
+  /// \brief Registers `fn` to run on cancellation; if the token is
+  /// already cancelled, runs it inline before returning. Returns an id
+  /// for RemoveCallback (0 when the callback already ran).
+  CallbackId AddCallback(Callback fn);
+
+  /// \brief Unregisters `fn` and blocks until any in-flight invocation
+  /// of the token's callbacks has completed: after return the callback
+  /// is not running and never will, so its captures may be destroyed.
+  /// Accepts the 0 id (no-op).
+  void RemoveCallback(CallbackId id);
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  std::condition_variable callbacks_done_cv_;
+  bool callbacks_running_ = false;
+  Status status_;
+  CallbackId next_id_ = 1;
+  std::map<CallbackId, Callback> callbacks_;
+};
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_CANCEL_H_

@@ -1,0 +1,114 @@
+// Histogram: a fixed-size, geometric-bucket latency histogram for the
+// service layer's p50/p99 reporting (HdrHistogram-flavoured, no deps).
+//
+// Buckets grow by a constant ratio (~7% per bucket), so any recorded
+// value lands in a bucket whose bounds are within ~7% of it — accurate
+// enough for tail-latency percentiles while the whole histogram stays a
+// flat array of counters (cheap to copy into a ServerStats snapshot).
+// Values spanning 1e-6 .. ~1e9 in the chosen unit are resolved; values
+// outside clamp into the first / last bucket. Exact min/max/sum are
+// tracked on the side, and percentiles are clamped into [min, max] so
+// p0/p100 are exact.
+//
+// Not internally synchronized: the JobServer records under its own
+// mutex; Merge() folds per-thread or per-tenant histograms together.
+
+#ifndef DATAMPI_BENCH_COMMON_HISTOGRAM_H_
+#define DATAMPI_BENCH_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dmb {
+
+class Histogram {
+ public:
+  Histogram() : counts_(kBuckets, 0) {}
+
+  void Record(double value) {
+    counts_[BucketOf(value)] += 1;
+    ++count_;
+    sum_ += value;
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    max_ = count_ == 1 ? value : std::max(max_, value);
+  }
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// \brief Value at quantile `q` in [0, 1] (0.5 = median, 0.99 = p99):
+  /// the geometric midpoint of the first bucket whose cumulative count
+  /// reaches q x count, clamped into the exact [min, max]. 0 when empty.
+  double Percentile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
+    const int64_t rank =
+        std::max<int64_t>(1, static_cast<int64_t>(std::ceil(
+                                 q * static_cast<double>(count_))));
+    int64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen >= rank) {
+        return std::clamp(BucketMid(i), min_, max_);
+      }
+    }
+    return max_;
+  }
+
+  /// \brief Folds `other` into this histogram (same bucket layout by
+  /// construction).
+  void Merge(const Histogram& other) {
+    for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    if (other.count_ > 0) {
+      min_ = count_ > 0 ? std::min(min_, other.min_) : other.min_;
+      max_ = count_ > 0 ? std::max(max_, other.max_) : other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void Reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+  }
+
+ private:
+  // 512 buckets at 7%/bucket cover a dynamic range of
+  // 1.07^512 ~ 5e15 above kMinValue.
+  static constexpr int kBuckets = 512;
+  static constexpr double kMinValue = 1e-6;
+  static constexpr double kGrowth = 1.07;
+
+  static size_t BucketOf(double value) {
+    if (!(value > kMinValue)) return 0;  // also catches NaN and <= 0
+    const double idx = std::log(value / kMinValue) / std::log(kGrowth);
+    return std::min<size_t>(static_cast<size_t>(idx), kBuckets - 1);
+  }
+
+  static double BucketMid(size_t bucket) {
+    // Geometric midpoint of [kMin x g^b, kMin x g^(b+1)).
+    return kMinValue * std::pow(kGrowth, static_cast<double>(bucket) + 0.5);
+  }
+
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_HISTOGRAM_H_

@@ -44,6 +44,10 @@ std::pair<size_t, size_t> SplitRange(size_t n, int part, int parts) {
 
 Result<JobOutput> DataMPIEngine::RunStage(const JobSpec& spec) {
   DMB_RETURN_NOT_OK(ValidateSpec(spec));
+  if (spec.cancel && spec.cancel->cancelled()) return spec.cancel->status();
+  // Cooperative cancellation: checked per map record / reduce group.
+  const MapFn user_map = CancellableMap(spec.map_fn, spec.cancel);
+  const ReduceFn user_reduce = CancellableReduce(spec.reduce_fn, spec.cancel);
   // Held for the stage's duration: a concurrent stage with different
   // knobs may swap the engine's cache, and the shared_ptr keeps this
   // stage's pool alive until its tasks finish.
@@ -84,7 +88,7 @@ Result<JobOutput> DataMPIEngine::RunStage(const JobSpec& spec) {
               return shuffle::DrainChannel(
                   spec.stream_input.get(), ctx->task_id(),
                   [&](std::string_view key, std::string_view value) {
-                    return spec.map_fn(key, value, &map_ctx);
+                    return user_map(key, value, &map_ctx);
                   });
             }
             // Pre-split inputs (narrow plan edges) pin split i to O task
@@ -101,14 +105,14 @@ Result<JobOutput> DataMPIEngine::RunStage(const JobSpec& spec) {
                                  spec.parallelism);
             for (size_t i = begin; i < end; ++i) {
               DMB_RETURN_NOT_OK(
-                  spec.map_fn(input[i].key, input[i].value, &map_ctx));
+                  user_map(input[i].key, input[i].value, &map_ctx));
             }
             return Status::OK();
           },
           [&](std::string_view key, const std::vector<std::string>& values,
               datampi::AEmitter* out) -> Status {
             AReduceEmitter emitter(out);
-            return spec.reduce_fn(key, values, &emitter);
+            return user_reduce(key, values, &emitter);
           }));
 
   JobOutput output;

@@ -37,7 +37,12 @@ Result<JobOutput> Engine::Run(const JobSpec& spec) {
 }
 
 Result<runtime::PlanOutput> Engine::RunPlan(const runtime::Plan& plan) {
-  return runtime::StageScheduler(this, plan).Execute();
+  return RunPlan(plan, runtime::SchedulerOptions{});
+}
+
+Result<runtime::PlanOutput> Engine::RunPlan(
+    const runtime::Plan& plan, const runtime::SchedulerOptions& options) {
+  return runtime::StageScheduler(this, plan, options).Execute();
 }
 
 std::shared_ptr<ParallelContext> Engine::ShuffleParallel(const JobSpec& spec) {
@@ -122,6 +127,26 @@ io::BlockFileOptions SpillIoOptions(const JobSpec& spec) {
   if (spec.spill_block_bytes > 0) options.block_bytes = spec.spill_block_bytes;
   options.codec = spec.spill_codec;
   return options;
+}
+
+MapFn CancellableMap(MapFn fn, std::shared_ptr<CancelToken> cancel) {
+  if (cancel == nullptr) return fn;
+  return [fn = std::move(fn), cancel = std::move(cancel)](
+             std::string_view key, std::string_view value,
+             MapContext* ctx) -> Status {
+    if (cancel->cancelled()) return cancel->status();
+    return fn(key, value, ctx);
+  };
+}
+
+ReduceFn CancellableReduce(ReduceFn fn, std::shared_ptr<CancelToken> cancel) {
+  if (cancel == nullptr) return fn;
+  return [fn = std::move(fn), cancel = std::move(cancel)](
+             std::string_view key, const std::vector<std::string>& values,
+             ReduceEmitter* out) -> Status {
+    if (cancel->cancelled()) return cancel->status();
+    return fn(key, values, out);
+  };
 }
 
 ReduceFn CombinerAsReduce(CombinerFn combiner) {

@@ -35,6 +35,10 @@ namespace dmb {
 class ParallelContext;
 }  // namespace dmb
 
+namespace dmb::runtime {
+struct SchedulerOptions;
+}  // namespace dmb::runtime
+
 namespace dmb::engine {
 
 /// \brief The engine interface every adapter implements.
@@ -53,7 +57,13 @@ class Engine {
   /// concurrently, stage outputs feed consumers over narrow/wide/state
   /// edges, and the output stage's partitions are returned with
   /// per-stage stats.
-  virtual Result<runtime::PlanOutput> RunPlan(const runtime::Plan& plan);
+  Result<runtime::PlanOutput> RunPlan(const runtime::Plan& plan);
+
+  /// \brief RunPlan with explicit scheduler tuning: the JobServer uses
+  /// this to hand every job one shared stage pool and its per-job
+  /// CancelToken (runtime/scheduler.h for the options).
+  virtual Result<runtime::PlanOutput> RunPlan(
+      const runtime::Plan& plan, const runtime::SchedulerOptions& options);
 
   /// \brief The engine-specific single-stage primitive: one
   /// map/shuffle/reduce round over the spec's input (or input_splits).
@@ -82,6 +92,16 @@ class Engine {
 
 /// \brief Shared spec validation used by every adapter.
 Status ValidateSpec(const JobSpec& spec);
+
+/// \brief Wraps `fn` so it fails with the token's status once the token
+/// cancels — the per-record cooperative cancellation check every engine
+/// adapter applies to the user map function (an atomic load per record;
+/// `fn` is returned unchanged when `cancel` is null).
+MapFn CancellableMap(MapFn fn, std::shared_ptr<CancelToken> cancel);
+
+/// \brief The reduce-side counterpart: checked once per (key, values)
+/// group.
+ReduceFn CancellableReduce(ReduceFn fn, std::shared_ptr<CancelToken> cancel);
 
 /// \brief Spill run-file options from a spec's I/O knobs (the shared
 /// translation every adapter applies).

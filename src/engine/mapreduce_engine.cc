@@ -38,6 +38,10 @@ class MRReduceEmitter final : public ReduceEmitter {
 
 Result<JobOutput> MapReduceEngine::RunStage(const JobSpec& spec) {
   DMB_RETURN_NOT_OK(ValidateSpec(spec));
+  if (spec.cancel && spec.cancel->cancelled()) return spec.cancel->status();
+  // Cooperative cancellation: checked per map record / reduce group.
+  const MapFn user_map = CancellableMap(spec.map_fn, spec.cancel);
+  const ReduceFn user_reduce = CancellableReduce(spec.reduce_fn, spec.cancel);
   // Held for the stage's duration: a concurrent stage with different
   // knobs may swap the engine's cache, and the shared_ptr keeps this
   // stage's pool alive until its tasks finish.
@@ -66,13 +70,13 @@ Result<JobOutput> MapReduceEngine::RunStage(const JobSpec& spec) {
   auto map_fn = [&](std::string_view key, std::string_view value,
                     mapreduce::MapContext* ctx) -> Status {
     MRMapContext map_ctx(ctx);
-    return spec.map_fn(key, value, &map_ctx);
+    return user_map(key, value, &map_ctx);
   };
   auto reduce_fn = [&](std::string_view key,
                        const std::vector<std::string>& values,
                        mapreduce::ReduceContext* ctx) -> Status {
     MRReduceEmitter emitter(ctx);
-    return spec.reduce_fn(key, values, &emitter);
+    return user_reduce(key, values, &emitter);
   };
   DMB_ASSIGN_OR_RETURN(
       mapreduce::MRResult result,

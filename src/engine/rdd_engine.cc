@@ -320,6 +320,10 @@ class CollectingReduceEmitter final : public ReduceEmitter {
 
 Result<JobOutput> RddEngine::RunStage(const JobSpec& spec) {
   DMB_RETURN_NOT_OK(ValidateSpec(spec));
+  if (spec.cancel && spec.cancel->cancelled()) return spec.cancel->status();
+  // Cooperative cancellation: checked per map record / reduce group.
+  const MapFn user_map = CancellableMap(spec.map_fn, spec.cancel);
+  const ReduceFn user_reduce = CancellableReduce(spec.reduce_fn, spec.cancel);
   // Held for the stage's duration: a concurrent stage with different
   // knobs may swap the engine's cache, and the shared_ptr keeps this
   // stage's pool alive until its tasks finish.
@@ -349,7 +353,7 @@ Result<JobOutput> RddEngine::RunStage(const JobSpec& spec) {
   ShuffleSpillStats spill_stats;
   auto mapped = std::make_shared<MapStageRDD>(
       &ctx, spec.input, spec.input_splits, spec.stream_input,
-      spec.parallelism, spec.map_fn, spec.combiner, parallel.get(),
+      spec.parallelism, user_map, spec.combiner, parallel.get(),
       &map_records, &spill_stats.parallel_tasks);
   auto shuffled = std::make_shared<ShuffleStageRDD>(
       mapped, spec.parallelism, std::move(shuffle_options), &shuffle_bytes,
@@ -398,7 +402,7 @@ Result<JobOutput> RddEngine::RunStage(const JobSpec& spec) {
             values.push_back(std::move((*part)[i].second));
             ++i;
           }
-          st = spec.reduce_fn(key, values, &emitter);
+          st = user_reduce(key, values, &emitter);
           if (st.ok()) st = emitter.status();
         }
         if (st.ok() && out_stream != nullptr) st = out_stream->Finish();

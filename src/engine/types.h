@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/kv.h"
 #include "core/partitioner.h"
@@ -148,6 +149,14 @@ struct JobSpec {
   /// overlapped spill writer; 0 = 2 x shuffle threads. Bounds the extra
   /// resident memory of overlapped spilling.
   int max_inflight_spill_blocks = 0;
+  /// Cooperative cancellation: when the token fires, every engine stops
+  /// at its next map record / reduce group and the job fails with the
+  /// token's status (Status::Cancelled for client cancels and deadline
+  /// expiry) — the first-class kill switch behind the JobServer's
+  /// per-job cancellation. Null = never cancelled. On a plan, the
+  /// scheduler threads SchedulerOptions::cancel into every stage's spec,
+  /// so a single token covers the whole job.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// \brief One stage's slice of a plan run (EngineStats::stages entry).

@@ -54,10 +54,19 @@ struct StageState {
 /// running (its channel is attached instead of its partitions).
 Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
                    const std::vector<std::unique_ptr<StageState>>& states,
-                   StageState* state) {
+                   StageState* state,
+                   const std::shared_ptr<CancelToken>& cancel) {
   Stopwatch sw;
   state->stats.name = stage.spec.name;
   JobSpec job = stage.spec.job;
+  // The job-level token reaches every stage's engine run (per-record
+  // checks); a stage-spec token someone set explicitly wins.
+  if (job.cancel == nullptr) job.cancel = cancel;
+  if (job.cancel && job.cancel->cancelled()) {
+    // Cancelled between submission and execution: don't run the binder
+    // or touch the engine at all.
+    return job.cancel->status();
+  }
 
   const StageState* state_parent = nullptr;
   std::vector<const StageState*> data_parents;
@@ -255,6 +264,11 @@ StageScheduler::StageScheduler(engine::Engine* engine, const Plan& plan,
 
 Result<PlanOutput> StageScheduler::Execute() {
   DMB_RETURN_NOT_OK(plan_.Validate());
+  // A token that fired before the first stage submits cancels the plan
+  // outright — nothing runs, the token's status comes back verbatim.
+  if (options_.cancel && options_.cancel->cancelled()) {
+    return options_.cancel->status();
+  }
   const auto& stages = plan_.stages();
   const size_t n = stages.size();
   const PlanOptions& popts = plan_.options();
@@ -266,7 +280,7 @@ Result<PlanOutput> StageScheduler::Execute() {
     // no thread pool, no scheduling state — just the stage.
     states.push_back(std::make_unique<StageState>());
     DMB_RETURN_NOT_OK(RunOneStage(engine_, stages[0], states,
-                                  states[0].get()));
+                                  states[0].get(), options_.cancel));
     return AssembleOutput(plan_, states);
   }
 
@@ -382,7 +396,17 @@ Result<PlanOutput> StageScheduler::Execute() {
   DMB_CHECK(any_pipelined ||
             pool_threads <= std::max(1, options_.max_concurrent_stages));
   if (options_.on_pool_width) options_.on_pool_width(pool_threads);
-  ThreadPool pool(pool_threads);
+  // Barrier-only plans may run their stage tasks on a caller-provided
+  // shared pool (the JobServer multiplexing many plans over one pool);
+  // a pipelined plan needs threads >= its stage count to itself — a
+  // producer parked on backpressure holds its thread — so it always
+  // builds a private pool.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options_.stage_pool;
+  if (pool == nullptr || any_pipelined) {
+    owned_pool = std::make_unique<ThreadPool>(pool_threads);
+    pool = owned_pool.get();
+  }
 
   // Drops an intermediate stage's retained output once it is done and
   // its last consumer completed (mu held).
@@ -427,9 +451,9 @@ Result<PlanOutput> StageScheduler::Execute() {
       if (--cs->remaining_deps == 0) submit(pc);
     }
     ++in_flight;
-    pool.Submit([&, sid, state] {
+    const bool accepted = pool->Submit([&, sid, state] {
       Status st = RunOneStage(engine_, stages[static_cast<size_t>(sid)],
-                              states, state);
+                              states, state, options_.cancel);
       // Producer side: close every still-open partition — a clean close
       // ends the consumer's pull loop, an error reaches it verbatim.
       if (state->out_channel) state->out_channel->CloseAll(st);
@@ -468,7 +492,37 @@ Result<PlanOutput> StageScheduler::Execute() {
       }
       cv.notify_all();
     });
+    if (!accepted) {
+      // A shared pool shut down under us (server teardown). Fail the
+      // plan instead of waiting forever for a task that will never run.
+      --in_flight;
+      if (error.ok()) {
+        error = Status::Cancelled(
+            "stage pool shut down before stage '" +
+            stages[static_cast<size_t>(sid)].spec.name + "' could run");
+      }
+    }
   };
+
+  // Cancellation fans out exactly like a stage failure: latch the
+  // token's status as the plan error (nothing else is submitted) and
+  // cancel every in-flight batch channel so blocked producers/consumers
+  // unblock; running stages stop at their next record via the token in
+  // their JobSpec.
+  CancelToken::CallbackId cancel_cb = 0;
+  if (options_.cancel) {
+    cancel_cb = options_.cancel->AddCallback([&](const Status& st) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (error.ok()) {
+        error = st;
+        for (const auto& other : states) {
+          if (other->out_channel) other->out_channel->Cancel(st);
+        }
+      }
+      cv.notify_all();
+    });
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu);
     for (size_t i = 0; i < n; ++i) {
@@ -481,7 +535,10 @@ Result<PlanOutput> StageScheduler::Execute() {
       return in_flight == 0 && (done_count == n || !error.ok());
     });
   }
-  pool.Shutdown();
+  if (owned_pool) owned_pool->Shutdown();
+  // After removal the callback can no longer run, so the locals it
+  // captures (mu, error, states) are safe to destroy.
+  if (options_.cancel) options_.cancel->RemoveCallback(cancel_cb);
   DMB_RETURN_NOT_OK(error);
   return AssembleOutput(plan_, states);
 }

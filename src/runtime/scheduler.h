@@ -28,8 +28,11 @@
 #define DATAMPI_BENCH_RUNTIME_SCHEDULER_H_
 
 #include <functional>
+#include <memory>
 
+#include "common/cancel.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "engine/engine.h"
 #include "runtime/plan.h"
 
@@ -42,6 +45,26 @@ struct SchedulerOptions {
   /// edges the pool is widened to the plan's stage count so a producer
   /// blocked on backpressure can never starve its consumer of a thread.
   int max_concurrent_stages = 4;
+  /// Per-job cancellation: when the token fires, no further stage is
+  /// submitted, every in-flight batch channel is cancelled with the
+  /// token's status (unblocking producers parked on backpressure and
+  /// consumers parked on an empty channel — the same path a stage
+  /// failure takes), running stages stop at their next record via the
+  /// engines' per-record checks, and Execute returns the token's status
+  /// verbatim. The token is also threaded into each stage's JobSpec, so
+  /// a token that fires before the first stage submits cancels the plan
+  /// without running anything.
+  std::shared_ptr<CancelToken> cancel;
+  /// Shared stage pool: stage tasks of this Execute run on this pool
+  /// instead of a private one — how the JobServer multiplexes many
+  /// concurrent plans over one pool of stage threads. Barrier stages
+  /// never block each other (a stage is submitted only when its inputs
+  /// are complete), so sharing is deadlock-free; a plan that pipelines
+  /// an edge ignores this and builds its own pool sized to the stage
+  /// count, because its producers *do* park on backpressure and could
+  /// otherwise starve every other plan's stages. Not owned; must
+  /// outlive the Execute call. Null = private pool (the default).
+  ThreadPool* stage_pool = nullptr;
   /// Test/observability hook: invoked (under the scheduler lock) when
   /// an intermediate stage's retained output is dropped because its
   /// last consuming child completed.

@@ -1,0 +1,82 @@
+#include "service/fair_queue.h"
+
+namespace dmb::service {
+
+void WeightedFairQueue::SetWeight(const std::string& tenant, double weight) {
+  if (weight <= 0.0) weight = 1.0;
+  tenants_[tenant].weight = weight;
+}
+
+void WeightedFairQueue::Push(const QueueItem& item) {
+  TenantState& state = tenants_[item.tenant];
+  OrderKey key{-item.priority, next_seq_++};
+  state.queued.emplace(key, item);
+  state.queued_bytes += item.charge_bytes;
+  index_.emplace(item.id, std::make_pair(item.tenant, key));
+  ++size_;
+}
+
+std::optional<QueueItem> WeightedFairQueue::PopNext(
+    const std::function<bool(const QueueItem&)>& admissible) {
+  TenantState* best = nullptr;
+  double best_ratio = 0.0;
+  uint64_t best_seq = 0;
+  for (auto& [name, state] : tenants_) {
+    if (state.queued.empty()) continue;
+    const QueueItem& head = state.queued.begin()->second;
+    if (admissible && !admissible(head)) continue;
+    const double ratio = static_cast<double>(state.running) / state.weight;
+    const uint64_t seq = state.queued.begin()->first.second;
+    if (best == nullptr || ratio < best_ratio ||
+        (ratio == best_ratio && seq < best_seq)) {
+      best = &state;
+      best_ratio = ratio;
+      best_seq = seq;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  auto it = best->queued.begin();
+  QueueItem item = std::move(it->second);
+  best->queued_bytes -= item.charge_bytes;
+  best->queued.erase(it);
+  ++best->running;
+  index_.erase(item.id);
+  --size_;
+  return item;
+}
+
+bool WeightedFairQueue::Remove(uint64_t id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  TenantState& state = tenants_[it->second.first];
+  auto qit = state.queued.find(it->second.second);
+  if (qit != state.queued.end()) {
+    state.queued_bytes -= qit->second.charge_bytes;
+    state.queued.erase(qit);
+    --size_;
+  }
+  index_.erase(it);
+  return true;
+}
+
+void WeightedFairQueue::Release(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.running > 0) --it->second.running;
+}
+
+int WeightedFairQueue::Running(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.running;
+}
+
+size_t WeightedFairQueue::TenantQueued(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.queued.size();
+}
+
+int64_t WeightedFairQueue::TenantQueuedBytes(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.queued_bytes;
+}
+
+}  // namespace dmb::service

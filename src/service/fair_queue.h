@@ -1,0 +1,88 @@
+// WeightedFairQueue: the JobServer's dispatch order.
+//
+// Jobs queue per tenant; within a tenant the order is strict (priority
+// descending, then submission order). Across tenants the queue picks
+// the tenant with the smallest running/weight ratio among those whose
+// head job passes the caller's admissibility check (budget), so a
+// tenant whose head cannot be charged right now parks — its queue
+// drains as its own running jobs release budget — while every other
+// tenant keeps dispatching. Ties break toward the earliest-submitted
+// head, which keeps a cold tenant from starving behind a hot one of
+// equal ratio.
+//
+// Not internally synchronized: the JobServer calls every method under
+// its own mutex (admission, dispatch and release must be atomic with
+// the budget ledger anyway).
+
+#ifndef DATAMPI_BENCH_SERVICE_FAIR_QUEUE_H_
+#define DATAMPI_BENCH_SERVICE_FAIR_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace dmb::service {
+
+/// \brief One queued job, as the fairness layer sees it.
+struct QueueItem {
+  uint64_t id = 0;
+  std::string tenant;
+  int priority = 0;          // higher dispatches first within the tenant
+  int64_t charge_bytes = 0;  // budget charge, shown to the admissibility check
+};
+
+/// \brief Weighted fair, priority-ordered multi-tenant queue.
+class WeightedFairQueue {
+ public:
+  /// \brief Sets a tenant's fair-share weight (> 0; default 1.0).
+  /// Creates the tenant entry if it does not exist yet.
+  void SetWeight(const std::string& tenant, double weight);
+
+  /// \brief Enqueues an item behind the tenant's equal-or-higher
+  /// priority jobs.
+  void Push(const QueueItem& item);
+
+  /// \brief Dispatches the fairest admissible head job, marking its
+  /// tenant as running one more job. `admissible` is consulted only for
+  /// each tenant's head (per-tenant order is never reordered by
+  /// budget); returns nullopt when no tenant's head passes.
+  std::optional<QueueItem> PopNext(
+      const std::function<bool(const QueueItem&)>& admissible);
+
+  /// \brief Removes a still-queued job (cancellation). False if the id
+  /// is not queued (already dispatched or never enqueued).
+  bool Remove(uint64_t id);
+
+  /// \brief A job dispatched from `tenant` finished; decrements its
+  /// running count (the fairness numerator).
+  void Release(const std::string& tenant);
+
+  size_t size() const { return size_; }
+  int Running(const std::string& tenant) const;
+  size_t TenantQueued(const std::string& tenant) const;
+  int64_t TenantQueuedBytes(const std::string& tenant) const;
+
+ private:
+  // Map key orders (priority desc, seq asc) via (-priority, seq).
+  using OrderKey = std::pair<int, uint64_t>;
+
+  struct TenantState {
+    double weight = 1.0;
+    int running = 0;
+    int64_t queued_bytes = 0;
+    std::map<OrderKey, QueueItem> queued;
+  };
+
+  std::map<std::string, TenantState> tenants_;
+  std::unordered_map<uint64_t, std::pair<std::string, OrderKey>> index_;
+  uint64_t next_seq_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dmb::service
+
+#endif  // DATAMPI_BENCH_SERVICE_FAIR_QUEUE_H_

@@ -1,0 +1,273 @@
+// JobServer: a multi-tenant job service over one shared stage runtime.
+//
+// Clients Submit JobRequests (tenant, priority, a runtime::Plan, an
+// optional deadline); the server runs them on a single engine through
+// the shared StageScheduler machinery and hands results back through
+// Wait. Three layers gate a request between Submit and execution:
+//
+//   * admission — per-tenant queue bounds (jobs and queued charge
+//     bytes) reject at Submit with ResourceExhausted, as does a job
+//     whose charge exceeds its tenant's entire quota (it could never
+//     run). A global in-flight bound is enforced at dispatch.
+//   * budget — a TenantBudget ledger charges each job's
+//     memory_budget_bytes against its tenant's quota when the job is
+//     dispatched and releases it when the job finishes (or is
+//     cancelled). A tenant whose quota is exhausted queues until its
+//     own running jobs release budget; it never blocks other tenants'
+//     dispatch (see WeightedFairQueue).
+//   * fairness — dispatch order is weighted fair across tenants,
+//     priority-then-FIFO within one (src/service/fair_queue.h).
+//
+// Every job gets a CancelToken threaded through SchedulerOptions into
+// each stage's JobSpec: Cancel(id) (or deadline expiry, watched by a
+// reaper thread) stops a running plan mid-stage — in-flight batch
+// channels are cancelled exactly like a stage failure, engines stop at
+// their next record — and the job's Wait result carries the token's
+// Status::Cancelled verbatim, with its budget released. Barrier-only
+// plans multiplex their stage tasks over the server's shared stage
+// pool; a plan that pipelines narrow edges gets its private pool (its
+// producers park on backpressure and may not hold shared threads).
+
+#ifndef DATAMPI_BENCH_SERVICE_JOB_SERVER_H_
+#define DATAMPI_BENCH_SERVICE_JOB_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "runtime/plan.h"
+#include "service/fair_queue.h"
+
+namespace dmb::service {
+
+using JobId = uint64_t;
+
+/// \brief Per-tenant resource policy.
+struct TenantConfig {
+  /// Fair-share weight (> 0): a tenant with weight 2 dispatches twice
+  /// as often as a weight-1 tenant under contention.
+  double weight = 1.0;
+  /// Memory quota: the sum of charge bytes of the tenant's running
+  /// jobs never exceeds this.
+  int64_t quota_bytes = 256LL << 20;
+};
+
+/// \brief One job submission.
+struct JobRequest {
+  std::string tenant;
+  /// Higher dispatches first within the tenant (cross-tenant order is
+  /// fairness-driven, not priority-driven).
+  int priority = 0;
+  runtime::Plan plan;
+  /// Wall-clock deadline from Submit, in milliseconds; past it the job
+  /// is cancelled (queued or running) and Wait returns
+  /// Status::Cancelled. 0 = no deadline.
+  int64_t deadline_ms = 0;
+  /// Budget charge against the tenant quota while the job runs; 0 =
+  /// derived from the plan (max stage memory_budget_bytes, minimum
+  /// JobServerOptions::default_charge_bytes).
+  int64_t memory_budget_bytes = 0;
+};
+
+/// \brief Per-job service-side latency breakdown.
+struct JobStats {
+  double admit_seconds = 0;  // Submit's admission bookkeeping
+  double queue_seconds = 0;  // admitted -> dispatched to a worker
+  double run_seconds = 0;    // dispatched -> finished
+  double total_seconds = 0;  // Submit -> finished
+  int64_t charged_bytes = 0; // budget held while running
+};
+
+/// \brief What Wait returns: the plan's result (output valid only when
+/// status is OK) plus the service-side latency breakdown.
+struct JobResult {
+  Status status = Status::OK();
+  runtime::PlanOutput output;
+  JobStats stats;
+};
+
+/// \brief One tenant's slice of a ServerStats snapshot.
+struct TenantStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;  // finished OK
+  int64_t rejected = 0;   // refused at Submit (admission or quota)
+  int64_t cancelled = 0;  // client cancel, deadline, or shutdown
+  int64_t failed = 0;     // finished with a non-cancel error
+  int64_t queued = 0;     // waiting to dispatch, right now
+  int64_t running = 0;    // dispatched, not yet finished, right now
+  int64_t in_use_bytes = 0;    // budget currently charged
+  int64_t quota_bytes = 0;
+  double jobs_per_second = 0;  // completed / server uptime
+  double p50_total_seconds = 0;  // Submit->finish latency percentiles
+  double p99_total_seconds = 0;  // over completed jobs
+};
+
+/// \brief Aggregate service counters (Stats snapshot).
+struct ServerStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t cancelled = 0;
+  int64_t failed = 0;
+  int64_t queued = 0;
+  int64_t running = 0;
+  double uptime_seconds = 0;
+  double jobs_per_second = 0;
+  double p50_total_seconds = 0;
+  double p99_total_seconds = 0;
+  std::map<std::string, TenantStats> tenants;
+};
+
+/// \brief Server shape.
+struct JobServerOptions {
+  /// Concurrent jobs (each worker drives one plan at a time); also the
+  /// global in-flight admission bound.
+  int worker_threads = 4;
+  /// Shared stage pool width for barrier-only plans; 0 = 2x workers.
+  int stage_pool_threads = 0;
+  /// Per-tenant admission bounds, enforced at Submit.
+  int max_queued_jobs_per_tenant = 1024;
+  int64_t max_queued_bytes_per_tenant = 512LL << 20;
+  /// Charge for jobs that declare no budget of their own.
+  int64_t default_charge_bytes = 1LL << 20;
+  /// Policy for tenants never passed to ConfigureTenant.
+  TenantConfig default_tenant;
+  /// SchedulerOptions::max_concurrent_stages for each plan run.
+  int max_concurrent_stages = 4;
+};
+
+/// \brief Tracks one tenant's charged budget against its quota.
+/// Caller-synchronized (the JobServer mutex).
+class TenantBudget {
+ public:
+  explicit TenantBudget(int64_t quota_bytes) : quota_(quota_bytes) {}
+
+  /// \brief Charges `bytes` if it fits; false leaves the ledger as-is.
+  bool TryCharge(int64_t bytes) {
+    if (in_use_ + bytes > quota_) return false;
+    in_use_ += bytes;
+    return true;
+  }
+  void Release(int64_t bytes) { in_use_ = in_use_ > bytes ? in_use_ - bytes : 0; }
+
+  int64_t in_use() const { return in_use_; }
+  int64_t quota() const { return quota_; }
+  void set_quota(int64_t quota_bytes) { quota_ = quota_bytes; }
+
+ private:
+  int64_t quota_;
+  int64_t in_use_ = 0;
+};
+
+/// \brief The multi-tenant job service.
+class JobServer {
+ public:
+  JobServer(engine::Engine* engine, JobServerOptions options = {});
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// \brief Sets a tenant's weight and quota (before or after its first
+  /// Submit; a quota change applies to future charges).
+  void ConfigureTenant(const std::string& tenant, TenantConfig config);
+
+  /// \brief Admits a job. ResourceExhausted = rejected (queue bounds,
+  /// or a charge no quota could ever fit); FailedPrecondition after
+  /// Shutdown; InvalidArgument for a malformed request.
+  Result<JobId> Submit(JobRequest request);
+
+  /// \brief Blocks until the job finishes and consumes its result
+  /// (a second Wait on the same id returns NotFound).
+  Result<JobResult> Wait(JobId id);
+
+  /// \brief Cancels a queued or running job with Status::Cancelled.
+  /// False if the id already finished or never existed. Queued jobs
+  /// finish immediately; running jobs stop at the engines' next record
+  /// and their budget is released when the plan unwinds.
+  bool Cancel(JobId id);
+
+  /// \brief Point-in-time counters.
+  ServerStats Stats() const;
+
+  /// \brief Stops admission, cancels every queued job ("server
+  /// shutting down"), lets running jobs finish, joins all threads.
+  /// Unconsumed results stay retrievable via Wait until destruction.
+  void Shutdown();
+
+ private:
+  enum class JobState { kQueued, kRunning, kDone };
+
+  struct Job {
+    JobId id = 0;
+    std::string tenant;
+    int64_t charge = 0;
+    int64_t deadline_ms = 0;
+    runtime::Plan plan;
+    std::shared_ptr<CancelToken> cancel;
+    JobState state = JobState::kQueued;
+    std::chrono::steady_clock::time_point submit_tp;
+    std::chrono::steady_clock::time_point dispatch_tp;
+    double admit_seconds = 0;
+    bool waited = false;      // a Wait call owns this job's result
+    JobResult result;         // valid once state == kDone
+  };
+
+  struct Tenant {
+    TenantConfig config;
+    TenantBudget budget{0};
+    TenantStats counters;     // the accumulating subset of TenantStats
+    Histogram latency;        // total_seconds of completed jobs
+  };
+
+  Tenant& GetTenant(const std::string& name);  // mu_ held
+  void WorkerLoop();
+  void ReaperLoop();
+  /// Finalizes a still-queued job (cancel/deadline/shutdown), mu_ held.
+  void FinishQueuedJob(Job* job, Status status);
+  /// Cancels by id with an arbitrary status; shared by Cancel, the
+  /// deadline reaper and Shutdown.
+  bool CancelWithStatus(JobId id, const Status& status);
+
+  engine::Engine* const engine_;
+  const JobServerOptions options_;
+  const std::chrono::steady_clock::time_point start_tp_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue/budget/shutdown
+  std::condition_variable done_cv_;   // waiters: job completions
+  std::condition_variable reaper_cv_; // reaper: new deadline/shutdown
+  bool shutdown_ = false;
+  JobId next_id_ = 1;
+  int running_jobs_ = 0;
+  WeightedFairQueue queue_;
+  std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
+  std::map<std::string, Tenant> tenants_;
+  Histogram latency_;  // global completed-job total_seconds
+  // (deadline, id) min-heap; lazily skips jobs that finished early.
+  using Deadline = std::pair<std::chrono::steady_clock::time_point, JobId>;
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>>
+      deadlines_;
+
+  std::unique_ptr<ThreadPool> stage_pool_;
+  std::vector<std::thread> workers_;
+  std::thread reaper_;
+};
+
+}  // namespace dmb::service
+
+#endif  // DATAMPI_BENCH_SERVICE_JOB_SERVER_H_

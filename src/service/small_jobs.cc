@@ -1,0 +1,153 @@
+#include "service/small_jobs.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+
+#include "workloads/text_utils.h"
+
+namespace dmb::service {
+
+namespace {
+
+using engine::JobSpec;
+using engine::MapContext;
+using engine::ReduceEmitter;
+using runtime::KVPair;
+
+int64_t SumCounts(const std::vector<std::string>& values) {
+  int64_t total = 0;
+  for (const std::string& v : values) total += std::atoll(v.c_str());
+  return total;
+}
+
+JobSpec BaseSpec(std::shared_ptr<const std::vector<KVPair>> input,
+                 int parallelism, int64_t memory_budget_bytes) {
+  JobSpec spec;
+  spec.input = std::move(input);
+  spec.parallelism = parallelism;
+  spec.memory_budget_bytes = memory_budget_bytes;
+  return spec;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<KVPair>> MakeLineRecords(
+    const std::vector<std::string>& lines) {
+  auto records = std::make_shared<std::vector<KVPair>>();
+  records->reserve(lines.size());
+  for (const std::string& line : lines) records->push_back({line, ""});
+  return records;
+}
+
+runtime::Plan SmallGrepPlan(
+    std::shared_ptr<const std::vector<KVPair>> input,
+    const std::string& pattern, int parallelism,
+    int64_t memory_budget_bytes) {
+  auto matcher = std::make_shared<workloads::GrepPattern>(pattern);
+  JobSpec spec = BaseSpec(std::move(input), parallelism, memory_budget_bytes);
+  spec.map_fn = [matcher](std::string_view key, std::string_view,
+                          MapContext* ctx) -> Status {
+    const int matches = matcher->CountMatches(key);
+    if (matches == 0) return Status::OK();
+    return ctx->Emit(key, std::to_string(matches));
+  };
+  spec.reduce_fn = [](std::string_view key,
+                      const std::vector<std::string>& values,
+                      ReduceEmitter* out) -> Status {
+    out->Emit(key, std::to_string(SumCounts(values)));
+    return Status::OK();
+  };
+  runtime::Plan plan;
+  plan.AddStage({"grep", std::move(spec), nullptr});
+  return plan;
+}
+
+namespace {
+
+JobSpec WordCountSpec(std::shared_ptr<const std::vector<KVPair>> input,
+                      int parallelism, int64_t memory_budget_bytes) {
+  JobSpec spec = BaseSpec(std::move(input), parallelism, memory_budget_bytes);
+  spec.map_fn = [](std::string_view key, std::string_view,
+                   MapContext* ctx) -> Status {
+    Status st = Status::OK();
+    workloads::ForEachToken(key, [&](std::string_view word) {
+      if (st.ok()) st = ctx->Emit(word, "1");
+    });
+    return st;
+  };
+  spec.combiner = [](std::string_view,
+                     const std::vector<std::string>& values) -> std::string {
+    return std::to_string(SumCounts(values));
+  };
+  spec.reduce_fn = [](std::string_view key,
+                      const std::vector<std::string>& values,
+                      ReduceEmitter* out) -> Status {
+    out->Emit(key, std::to_string(SumCounts(values)));
+    return Status::OK();
+  };
+  return spec;
+}
+
+}  // namespace
+
+runtime::Plan SmallWordCountPlan(
+    std::shared_ptr<const std::vector<KVPair>> input, int parallelism,
+    int64_t memory_budget_bytes) {
+  runtime::Plan plan;
+  plan.AddStage({"wordcount",
+                 WordCountSpec(std::move(input), parallelism,
+                               memory_budget_bytes),
+                 nullptr});
+  return plan;
+}
+
+runtime::Plan SmallTopKPlan(
+    std::shared_ptr<const std::vector<KVPair>> input, int k, int parallelism,
+    int64_t memory_budget_bytes) {
+  runtime::Plan plan;
+  const int counts = plan.AddStage(
+      {"wordcount",
+       WordCountSpec(std::move(input), parallelism, memory_budget_bytes),
+       nullptr});
+
+  // Wide single-partition selection: every (word, count) record funnels
+  // to one reduce group, which keeps the top k.
+  JobSpec select;
+  select.parallelism = 1;
+  select.memory_budget_bytes = memory_budget_bytes;
+  select.map_fn = [](std::string_view word, std::string_view count,
+                     MapContext* ctx) -> Status {
+    return ctx->Emit("k", std::string(word) + "\t" + std::string(count));
+  };
+  select.reduce_fn = [k](std::string_view,
+                         const std::vector<std::string>& values,
+                         ReduceEmitter* out) -> Status {
+    std::vector<std::pair<int64_t, std::string>> ranked;
+    ranked.reserve(values.size());
+    for (const std::string& v : values) {
+      const size_t tab = v.find('\t');
+      if (tab == std::string::npos) {
+        return Status::Internal("top-k stage: malformed record '" + v + "'");
+      }
+      ranked.emplace_back(std::atoll(v.c_str() + tab + 1), v.substr(0, tab));
+    }
+    const size_t keep = std::min<size_t>(static_cast<size_t>(k),
+                                         ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    for (size_t i = 0; i < keep; ++i) {
+      out->Emit(ranked[i].second, std::to_string(ranked[i].first));
+    }
+    return Status::OK();
+  };
+  plan.AddStage({"topk", std::move(select), nullptr},
+                {{counts, runtime::EdgeKind::kWide}});
+  return plan;
+}
+
+}  // namespace dmb::service

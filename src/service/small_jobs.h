@@ -1,0 +1,48 @@
+// Small-job plan builders for the multi-tenant job service: the tiny
+// grep / wordcount / top-k requests the service bench and tests fire at
+// a JobServer by the thousand. Each builder returns a self-contained
+// runtime::Plan over a shared in-memory input, so many jobs can
+// reference one dataset without copying it per request. Grep and
+// wordcount are single-stage; top-k is a two-stage DAG (wordcount, then
+// a wide single-partition selection stage), so a service workload mix
+// exercises both the one-shot and the multi-stage scheduler paths.
+
+#ifndef DATAMPI_BENCH_SERVICE_SMALL_JOBS_H_
+#define DATAMPI_BENCH_SERVICE_SMALL_JOBS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/plan.h"
+
+namespace dmb::service {
+
+/// \brief Wraps lines as (line, "") records shareable across jobs.
+std::shared_ptr<const std::vector<runtime::KVPair>> MakeLineRecords(
+    const std::vector<std::string>& lines);
+
+/// \brief Single-stage grep: output records are (matching line, match
+/// count within the line), grouped sorted so partitions concatenate to
+/// the lexicographically ordered match list.
+runtime::Plan SmallGrepPlan(
+    std::shared_ptr<const std::vector<runtime::KVPair>> input,
+    const std::string& pattern, int parallelism,
+    int64_t memory_budget_bytes = 0);
+
+/// \brief Single-stage word count: output records are (word, count).
+runtime::Plan SmallWordCountPlan(
+    std::shared_ptr<const std::vector<runtime::KVPair>> input,
+    int parallelism, int64_t memory_budget_bytes = 0);
+
+/// \brief Two-stage top-k: a wordcount stage feeding a wide,
+/// single-partition stage that keeps the k most frequent words (count
+/// descending, then word ascending). Output records are (word, count)
+/// in rank order.
+runtime::Plan SmallTopKPlan(
+    std::shared_ptr<const std::vector<runtime::KVPair>> input, int k,
+    int parallelism, int64_t memory_budget_bytes = 0);
+
+}  // namespace dmb::service
+
+#endif  // DATAMPI_BENCH_SERVICE_SMALL_JOBS_H_

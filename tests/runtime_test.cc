@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -1013,6 +1014,173 @@ TEST(RuntimeTest, PipelinedPlanWidensStagePoolToStageCount) {
   auto out = scheduler.Execute();
   ASSERT_TRUE(out.ok()) << out.status();
   EXPECT_EQ(width, 3);
+}
+
+// ---- Per-job cancellation (SchedulerOptions::cancel) ----
+
+TEST(CancelTest, CancelBeforeFirstStageSubmitsRunsNothing) {
+  // A token that fired before Execute cancels the plan without running
+  // a single map record, and its status comes back verbatim.
+  const auto lines = RandomLines(171, 50);
+  for (const auto& info : engine::Engines()) {
+    auto records_mapped = std::make_shared<std::atomic<int>>(0);
+    Plan plan;
+    StageSpec count;
+    count.job = CountingJob(2);
+    count.job.input = engine::LinesAsInput(lines);
+    auto inner = count.job.map_fn;
+    count.job.map_fn = [records_mapped, inner](
+                           std::string_view key, std::string_view value,
+                           MapContext* ctx) -> Status {
+      records_mapped->fetch_add(1);
+      return inner(key, value, ctx);
+    };
+    const int src = plan.AddStage(std::move(count));
+    StageSpec sink;
+    sink.job = PassThroughJob(2);
+    plan.AddStage(std::move(sink), {{src, EdgeKind::kNarrow}});
+
+    SchedulerOptions options;
+    options.cancel = std::make_shared<CancelToken>();
+    options.cancel->Cancel(Status::Cancelled("cancelled before submit"));
+    auto out = info.make()->RunPlan(plan, options);
+    ASSERT_FALSE(out.ok()) << info.name;
+    EXPECT_EQ(out.status().code(), StatusCode::kCancelled) << info.name;
+    EXPECT_EQ(out.status().message(), "cancelled before submit") << info.name;
+    EXPECT_EQ(records_mapped->load(), 0) << info.name;
+  }
+}
+
+TEST(CancelTest, CancelMidPlanUnblocksPipelinedProducerAndConsumer) {
+  // A pipelined plan parked on both sides of a 1-batch channel window —
+  // the producer on backpressure, the consumer grinding slowly through
+  // records — must unwind promptly when the token fires, returning the
+  // token's status verbatim (the same fan-out as a stage failure).
+  const auto lines = RandomLines(173, 1500);
+  for (const auto& info : engine::Engines()) {
+    Plan plan;
+    StageSpec source;
+    source.name = "source";
+    source.job = CountingJob(2);
+    source.job.input = engine::LinesAsInput(lines);
+    const int src = plan.AddStage(std::move(source));
+    auto sink_seen = std::make_shared<std::atomic<int>>(0);
+    StageSpec sink;
+    sink.name = "sink";
+    sink.job.parallelism = 2;
+    sink.job.map_fn = [sink_seen](std::string_view key, std::string_view value,
+                                  MapContext* ctx) -> Status {
+      sink_seen->fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return ctx->Emit(key, value);
+    };
+    sink.job.reduce_fn = EmitAllReduce;
+    plan.AddStage(std::move(sink), {{src, EdgeKind::kNarrow}});
+    plan.options().pipeline_narrow_edges = true;
+    plan.options().pipeline_batch_records = 2;
+    plan.options().pipeline_channel_batches = 1;
+
+    SchedulerOptions options;
+    options.cancel = std::make_shared<CancelToken>();
+    auto eng = info.make();
+    Result<PlanOutput> out = Status::Internal("not run");
+    std::thread runner(
+        [&] { out = eng->RunPlan(plan, options); });
+    // Wait until records are flowing (producer is far ahead of the
+    // 1-batch window by then), then pull the plug.
+    while (sink_seen->load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    options.cancel->Cancel(Status::Cancelled("client cancel"));
+    runner.join();
+    ASSERT_FALSE(out.ok()) << info.name;
+    EXPECT_EQ(out.status().code(), StatusCode::kCancelled) << info.name;
+    EXPECT_EQ(out.status().message(), "client cancel") << info.name;
+  }
+}
+
+TEST(CancelTest, DeadlineExpiryStatusSurfacesVerbatim) {
+  // Deadline enforcement is just a timer firing the token: the exact
+  // Cancelled status it carries must be what Execute returns.
+  const auto lines = RandomLines(179, 800);
+  for (const auto& info : engine::Engines()) {
+    Plan plan;
+    StageSpec slow;
+    slow.job = CountingJob(2);
+    slow.job.input = engine::LinesAsInput(lines);
+    auto inner = slow.job.map_fn;
+    slow.job.map_fn = [inner](std::string_view key, std::string_view value,
+                              MapContext* ctx) -> Status {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return inner(key, value, ctx);
+    };
+    plan.AddStage(std::move(slow));
+
+    SchedulerOptions options;
+    options.cancel = std::make_shared<CancelToken>();
+    std::thread deadline([cancel = options.cancel] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      cancel->Cancel(Status::Cancelled("deadline of 20ms exceeded"));
+    });
+    auto out = info.make()->RunPlan(plan, options);
+    deadline.join();
+    ASSERT_FALSE(out.ok()) << info.name;
+    EXPECT_EQ(out.status().message(), "deadline of 20ms exceeded")
+        << info.name;
+  }
+}
+
+TEST(RuntimeTest, ConcurrentRunPlansShareShuffleParallelCacheSafely) {
+  // Engine::ShuffleParallel caches one ParallelContext keyed on the
+  // spec's knobs; concurrent RunPlan calls with different knobs churn
+  // that cache. Every run must still be correct (each call holds its
+  // own shared_ptr while its tasks execute) — and TSan must stay quiet
+  // over this test in check.sh's race pass.
+  const auto lines = RandomLines(181, 400);
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    auto build = [&](int shuffle_threads) {
+      Plan plan;
+      StageSpec count;
+      count.job = CountingJob(2);
+      count.job.input = engine::LinesAsInput(lines);
+      count.job.shuffle_threads = shuffle_threads;
+      // Per-thread thresholds force distinct cache keys, so the cache
+      // is actually swapped while other runs hold the old context.
+      count.job.parallel_sort_threshold = 16 * shuffle_threads;
+      plan.AddStage(std::move(count));
+      return plan;
+    };
+    auto reference = eng->RunPlan(build(1));
+    ASSERT_TRUE(reference.ok()) << info.name << ": " << reference.status();
+
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 3;
+    std::vector<Status> failures(kThreads, Status::OK());
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int round = 0; round < kRounds; ++round) {
+          const Plan plan = build(2 + (t + round) % 3);
+          auto out = eng->RunPlan(plan);
+          if (!out.ok()) {
+            failures[static_cast<size_t>(t)] = out.status();
+            return;
+          }
+          if (out->partitions != reference->partitions) {
+            failures[static_cast<size_t>(t)] =
+                Status::Internal("output mismatch");
+            return;
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const Status& st : failures) {
+      EXPECT_TRUE(st.ok()) << info.name << ": " << st;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,562 @@
+// Tests for the multi-tenant job service (src/service): Histogram
+// percentiles, WeightedFairQueue ordering/fairness, and the JobServer
+// end to end on every engine — admission rejections, per-tenant budget
+// isolation under load (an over-quota tenant's rejections never stall
+// the other tenants), mid-run cancellation that frees budget and
+// surfaces Status::Cancelled, deadline expiry, and result correctness
+// of the small-job plans against the single-threaded references.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "engine/registry.h"
+#include "service/fair_queue.h"
+#include "service/job_server.h"
+#include "service/small_jobs.h"
+#include "workloads/text_utils.h"
+
+namespace dmb::service {
+namespace {
+
+constexpr int64_t kMiB = 1 << 20;
+
+// ---- Histogram ----
+
+TEST(HistogramTest, TracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  h.Record(0.5);
+  h.Record(1.5);
+  h.Record(1.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+}
+
+TEST(HistogramTest, PercentilesAreBucketAccurate) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 1e-3);  // 1ms .. 1s
+  // Geometric buckets are ~7% wide: percentiles land within that.
+  EXPECT_NEAR(h.Percentile(0.5), 0.5, 0.5 * 0.10);
+  EXPECT_NEAR(h.Percentile(0.99), 0.99, 0.99 * 0.10);
+  // p0/p100 clamp to the exact extremes.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1.0);
+}
+
+TEST(HistogramTest, MergeFoldsCountsAndExtremes) {
+  Histogram a, b;
+  a.Record(0.1);
+  b.Record(0.9);
+  b.Record(0.5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.min(), 0.1);
+  EXPECT_DOUBLE_EQ(a.max(), 0.9);
+}
+
+// ---- WeightedFairQueue ----
+
+std::optional<QueueItem> PopAny(WeightedFairQueue& q) {
+  return q.PopNext([](const QueueItem&) { return true; });
+}
+
+TEST(FairQueueTest, PriorityThenFifoWithinTenant) {
+  WeightedFairQueue q;
+  q.Push({1, "a", 0, 0});
+  q.Push({2, "a", 5, 0});
+  q.Push({3, "a", 5, 0});
+  q.Push({4, "a", 1, 0});
+  std::vector<uint64_t> order;
+  while (auto item = PopAny(q)) order.push_back(item->id);
+  EXPECT_EQ(order, (std::vector<uint64_t>{2, 3, 4, 1}));
+}
+
+TEST(FairQueueTest, DispatchIsWeightedAcrossTenants) {
+  WeightedFairQueue q;
+  q.SetWeight("heavy", 2.0);
+  q.SetWeight("light", 1.0);
+  for (uint64_t i = 0; i < 12; ++i) {
+    q.Push({100 + i, "heavy", 0, 0});
+    q.Push({200 + i, "light", 0, 0});
+  }
+  // Dispatch without ever releasing: running counts accumulate, so the
+  // ratio steering hands the weight-2 tenant two dispatches for each of
+  // the weight-1 tenant's.
+  int heavy = 0, light = 0;
+  for (int i = 0; i < 18; ++i) {
+    auto item = PopAny(q);
+    ASSERT_TRUE(item.has_value());
+    (item->tenant == "heavy" ? heavy : light) += 1;
+  }
+  EXPECT_EQ(heavy, 12);
+  EXPECT_EQ(light, 6);
+}
+
+TEST(FairQueueTest, UnaffordableHeadParksOnlyItsOwnTenant) {
+  WeightedFairQueue q;
+  q.Push({1, "a", 0, 100});  // over "budget" below
+  q.Push({2, "a", 0, 1});    // behind it, also parked (strict order)
+  q.Push({3, "b", 0, 1});
+  auto item = q.PopNext([](const QueueItem& it) { return it.charge_bytes <= 10; });
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->id, 3u);
+  EXPECT_FALSE(
+      q.PopNext([](const QueueItem& it) { return it.charge_bytes <= 10; })
+          .has_value());
+  EXPECT_EQ(q.TenantQueued("a"), 2u);
+}
+
+TEST(FairQueueTest, RemoveDropsQueuedJobAndItsBytes) {
+  WeightedFairQueue q;
+  q.Push({1, "a", 0, 64});
+  q.Push({2, "a", 0, 32});
+  EXPECT_EQ(q.TenantQueuedBytes("a"), 96);
+  EXPECT_TRUE(q.Remove(1));
+  EXPECT_FALSE(q.Remove(1));
+  EXPECT_EQ(q.TenantQueuedBytes("a"), 32);
+  auto item = PopAny(q);
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->id, 2u);
+}
+
+// ---- Small-job plans: correctness on every engine ----
+
+std::vector<std::string> TestLines() {
+  return {"the quick brown fox", "jumps over the lazy dog",
+          "the dog barks",      "quick quick slow",
+          "fox and dog",        "the end"};
+}
+
+TEST(SmallJobsTest, PlansMatchReferencesOnEveryEngine) {
+  const auto lines = TestLines();
+  const auto records = MakeLineRecords(lines);
+  const auto expected_counts = workloads::ReferenceWordCount(lines);
+  const workloads::GrepPattern pattern("dog");
+  const auto expected_grep = workloads::ReferenceGrep(lines, pattern);
+
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+
+    auto wc = eng->RunPlan(SmallWordCountPlan(records, 2));
+    ASSERT_TRUE(wc.ok()) << info.name << ": " << wc.status();
+    std::map<std::string, int64_t> counts;
+    for (const auto& kv : wc->Merged()) counts[kv.key] = std::stoll(kv.value);
+    EXPECT_EQ(counts, expected_counts) << info.name;
+
+    auto grep = eng->RunPlan(SmallGrepPlan(records, "dog", 2));
+    ASSERT_TRUE(grep.ok()) << info.name << ": " << grep.status();
+    std::vector<std::string> matched;
+    for (const auto& kv : grep->Merged()) matched.push_back(kv.key);
+    std::vector<std::string> expected_sorted = expected_grep;
+    std::sort(expected_sorted.begin(), expected_sorted.end());
+    EXPECT_EQ(matched, expected_sorted) << info.name;
+
+    auto topk = eng->RunPlan(SmallTopKPlan(records, 3, 2));
+    ASSERT_TRUE(topk.ok()) << info.name << ": " << topk.status();
+    const auto top = topk->Merged();
+    ASSERT_EQ(top.size(), 3u) << info.name;
+    EXPECT_EQ(top[0].key, "the") << info.name;  // 4 occurrences
+    EXPECT_EQ(top[0].value, "4") << info.name;
+    EXPECT_EQ(top[1].key, "dog") << info.name;  // 3 occurrences
+    EXPECT_EQ(top[2].key, "quick") << info.name;
+  }
+}
+
+// ---- JobServer ----
+
+JobServerOptions SmallServerOptions() {
+  JobServerOptions options;
+  options.worker_threads = 4;
+  options.default_charge_bytes = kMiB;
+  return options;
+}
+
+TEST(JobServerTest, RunsAThousandJobsAcrossFourTenantsOnEveryEngine) {
+  const auto lines = TestLines();
+  const auto records = MakeLineRecords(lines);
+  const auto expected_counts = workloads::ReferenceWordCount(lines);
+
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    JobServer server(eng.get(), SmallServerOptions());
+    const char* tenants[] = {"t0", "t1", "t2", "t3"};
+    for (const char* t : tenants) server.ConfigureTenant(t, {1.0, 8 * kMiB});
+
+    constexpr int kJobs = 1000;
+    std::vector<JobId> ids;
+    ids.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+      JobRequest request;
+      request.tenant = tenants[i % 4];
+      request.plan = i % 2 == 0 ? SmallWordCountPlan(records, 2)
+                                : SmallGrepPlan(records, "dog", 2);
+      auto id = server.Submit(std::move(request));
+      ASSERT_TRUE(id.ok()) << info.name << ": " << id.status();
+      ids.push_back(*id);
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto result = server.Wait(ids[i]);
+      ASSERT_TRUE(result.ok()) << info.name << ": " << result.status();
+      ASSERT_TRUE(result->status.ok()) << info.name << ": " << result->status;
+      if (i % 2 == 0) {
+        std::map<std::string, int64_t> counts;
+        for (const auto& kv : result->output.Merged()) {
+          counts[kv.key] = std::stoll(kv.value);
+        }
+        EXPECT_EQ(counts, expected_counts) << info.name;
+      }
+      EXPECT_GE(result->stats.total_seconds, 0.0);
+      EXPECT_GE(result->stats.run_seconds, 0.0);
+    }
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.completed, kJobs) << info.name;
+    EXPECT_EQ(stats.rejected, 0) << info.name;
+    EXPECT_EQ(stats.queued, 0) << info.name;
+    EXPECT_EQ(stats.running, 0) << info.name;
+    ASSERT_EQ(stats.tenants.size(), 4u) << info.name;
+    for (const auto& [name, t] : stats.tenants) {
+      EXPECT_EQ(t.completed, kJobs / 4) << info.name << "/" << name;
+      EXPECT_EQ(t.in_use_bytes, 0) << info.name << "/" << name;
+      EXPECT_GT(t.p50_total_seconds, 0.0) << info.name << "/" << name;
+      EXPECT_GE(t.p99_total_seconds, t.p50_total_seconds)
+          << info.name << "/" << name;
+    }
+  }
+}
+
+TEST(JobServerTest, OverBudgetTenantNeverStallsTheOthers) {
+  // "hog" has a 2 MiB quota: its 1 MiB jobs run at most two at a time,
+  // its 4 MiB jobs are rejected outright. The three healthy tenants'
+  // jobs must all complete regardless.
+  const auto records = MakeLineRecords(TestLines());
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    JobServer server(eng.get(), SmallServerOptions());
+    server.ConfigureTenant("hog", {1.0, 2 * kMiB});
+    const char* healthy[] = {"a", "b", "c"};
+    for (const char* t : healthy) server.ConfigureTenant(t, {1.0, 8 * kMiB});
+
+    std::vector<JobId> healthy_ids, hog_ids;
+    int hog_rejected = 0;
+    for (int i = 0; i < 120; ++i) {
+      JobRequest request;
+      request.plan = SmallGrepPlan(records, "dog", 2);
+      if (i % 4 == 3) {
+        request.tenant = "hog";
+        if (i % 8 == 7) request.memory_budget_bytes = 4 * kMiB;
+        auto id = server.Submit(std::move(request));
+        if (id.ok()) {
+          hog_ids.push_back(*id);
+        } else {
+          EXPECT_EQ(id.status().code(), StatusCode::kResourceExhausted)
+              << info.name;
+          ++hog_rejected;
+        }
+      } else {
+        request.tenant = healthy[i % 4];
+        auto id = server.Submit(std::move(request));
+        ASSERT_TRUE(id.ok()) << info.name << ": " << id.status();
+        healthy_ids.push_back(*id);
+      }
+    }
+    EXPECT_EQ(hog_rejected, 15) << info.name;  // every 8th job, 120/8
+    for (JobId id : healthy_ids) {
+      auto result = server.Wait(id);
+      ASSERT_TRUE(result.ok()) << info.name;
+      EXPECT_TRUE(result->status.ok()) << info.name << ": " << result->status;
+    }
+    for (JobId id : hog_ids) {
+      auto result = server.Wait(id);
+      ASSERT_TRUE(result.ok()) << info.name;
+      EXPECT_TRUE(result->status.ok()) << info.name << ": " << result->status;
+    }
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.tenants.at("hog").rejected, 15) << info.name;
+    for (const char* t : healthy) {
+      EXPECT_EQ(stats.tenants.at(t).completed, 30) << info.name << "/" << t;
+      EXPECT_EQ(stats.tenants.at(t).rejected, 0) << info.name << "/" << t;
+    }
+  }
+}
+
+/// A plan that grinds through 200 records at 2 ms each (~400 ms total,
+/// engines check the cancel token between records), so a job is
+/// reliably mid-run when the test cancels it or a deadline fires.
+runtime::Plan SlowPlan(std::shared_ptr<std::atomic<int>> started) {
+  auto input = std::make_shared<std::vector<runtime::KVPair>>();
+  for (int i = 0; i < 200; ++i) {
+    input->push_back({"key-" + std::to_string(i), "v"});
+  }
+  engine::JobSpec job;
+  job.input = std::move(input);
+  job.parallelism = 2;
+  job.map_fn = [started](std::string_view key, std::string_view value,
+                         engine::MapContext* ctx) -> Status {
+    started->fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return ctx->Emit(key, value);
+  };
+  job.reduce_fn = [](std::string_view key,
+                     const std::vector<std::string>& values,
+                     engine::ReduceEmitter* out) -> Status {
+    for (const auto& v : values) out->Emit(key, v);
+    return Status::OK();
+  };
+  runtime::Plan plan;
+  plan.AddStage({"slow", std::move(job), nullptr});
+  return plan;
+}
+
+TEST(JobServerTest, CancelMidRunFreesBudgetAndSurfacesCancelled) {
+  const auto records = MakeLineRecords(TestLines());
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    JobServerOptions options = SmallServerOptions();
+    options.worker_threads = 1;  // deterministic: one job runs at a time
+    JobServer server(eng.get(), options);
+    server.ConfigureTenant("t", {1.0, 2 * kMiB});
+
+    auto started = std::make_shared<std::atomic<int>>(0);
+    JobRequest slow;
+    slow.tenant = "t";
+    slow.plan = SlowPlan(started);
+    slow.memory_budget_bytes = 2 * kMiB;  // the whole quota
+    auto slow_id = server.Submit(std::move(slow));
+    ASSERT_TRUE(slow_id.ok()) << info.name;
+
+    while (started->load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    {
+      const ServerStats running = server.Stats();
+      EXPECT_EQ(running.tenants.at("t").in_use_bytes, 2 * kMiB) << info.name;
+    }
+    EXPECT_TRUE(server.Cancel(*slow_id)) << info.name;
+    auto result = server.Wait(*slow_id);
+    ASSERT_TRUE(result.ok()) << info.name;
+    EXPECT_EQ(result->status.code(), StatusCode::kCancelled)
+        << info.name << ": " << result->status;
+    EXPECT_FALSE(server.Cancel(*slow_id)) << info.name;  // already done
+
+    // The freed budget admits a full-quota follow-up, which completes.
+    JobRequest next;
+    next.tenant = "t";
+    next.plan = SmallGrepPlan(records, "dog", 2);
+    next.memory_budget_bytes = 2 * kMiB;
+    auto next_id = server.Submit(std::move(next));
+    ASSERT_TRUE(next_id.ok()) << info.name;
+    auto next_result = server.Wait(*next_id);
+    ASSERT_TRUE(next_result.ok()) << info.name;
+    EXPECT_TRUE(next_result->status.ok())
+        << info.name << ": " << next_result->status;
+
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.tenants.at("t").in_use_bytes, 0) << info.name;
+    EXPECT_EQ(stats.tenants.at("t").cancelled, 1) << info.name;
+    EXPECT_EQ(stats.tenants.at("t").completed, 1) << info.name;
+  }
+}
+
+TEST(JobServerTest, CancelQueuedJobFinishesImmediately) {
+  const auto records = MakeLineRecords(TestLines());
+  auto eng = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng.ok());
+  JobServerOptions options = SmallServerOptions();
+  options.worker_threads = 1;
+  JobServer server(eng->get(), options);
+
+  auto started = std::make_shared<std::atomic<int>>(0);
+  JobRequest blocker;
+  blocker.tenant = "t";
+  blocker.plan = SlowPlan(started);
+  auto blocker_id = server.Submit(std::move(blocker));
+  ASSERT_TRUE(blocker_id.ok());
+  while (started->load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  JobRequest queued;
+  queued.tenant = "t";
+  queued.plan = SmallGrepPlan(records, "dog", 2);
+  auto queued_id = server.Submit(std::move(queued));
+  ASSERT_TRUE(queued_id.ok());
+  EXPECT_TRUE(server.Cancel(*queued_id));
+  auto result = server.Wait(*queued_id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(result->stats.charged_bytes, 0);  // never dispatched
+
+  server.Cancel(*blocker_id);
+  auto blocker_result = server.Wait(*blocker_id);
+  ASSERT_TRUE(blocker_result.ok());
+  EXPECT_EQ(blocker_result->status.code(), StatusCode::kCancelled);
+}
+
+TEST(JobServerTest, DeadlineExpiryCancelsQueuedAndRunningJobs) {
+  const auto records = MakeLineRecords(TestLines());
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    JobServerOptions options = SmallServerOptions();
+    options.worker_threads = 1;
+    JobServer server(eng.get(), options);
+
+    auto started = std::make_shared<std::atomic<int>>(0);
+    JobRequest running;
+    running.tenant = "t";
+    running.plan = SlowPlan(started);
+    running.deadline_ms = 30;
+    auto running_id = server.Submit(std::move(running));
+    ASSERT_TRUE(running_id.ok()) << info.name;
+
+    // Queued behind it with a deadline it cannot make: the reaper must
+    // expire it without a worker ever touching it.
+    JobRequest queued;
+    queued.tenant = "t";
+    queued.plan = SmallGrepPlan(records, "dog", 2);
+    queued.deadline_ms = 5;
+    auto queued_id = server.Submit(std::move(queued));
+    ASSERT_TRUE(queued_id.ok()) << info.name;
+
+    auto running_result = server.Wait(*running_id);
+    ASSERT_TRUE(running_result.ok()) << info.name;
+    EXPECT_EQ(running_result->status.code(), StatusCode::kCancelled)
+        << info.name << ": " << running_result->status;
+    EXPECT_EQ(running_result->status.message(), "deadline of 30ms exceeded")
+        << info.name;
+
+    auto queued_result = server.Wait(*queued_id);
+    ASSERT_TRUE(queued_result.ok()) << info.name;
+    EXPECT_EQ(queued_result->status.code(), StatusCode::kCancelled)
+        << info.name;
+    EXPECT_EQ(queued_result->status.message(), "deadline of 5ms exceeded")
+        << info.name;
+
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.tenants.at("t").cancelled, 2) << info.name;
+    EXPECT_EQ(stats.tenants.at("t").in_use_bytes, 0) << info.name;
+  }
+}
+
+TEST(JobServerTest, AdmissionRejectsBeyondQueueBounds) {
+  const auto records = MakeLineRecords(TestLines());
+  auto eng = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng.ok());
+  JobServerOptions options = SmallServerOptions();
+  options.worker_threads = 1;
+  options.max_queued_jobs_per_tenant = 2;
+  JobServer server(eng->get(), options);
+
+  auto started = std::make_shared<std::atomic<int>>(0);
+  JobRequest blocker;
+  blocker.tenant = "t";
+  blocker.plan = SlowPlan(started);
+  auto blocker_id = server.Submit(std::move(blocker));
+  ASSERT_TRUE(blocker_id.ok());
+  while (started->load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<JobId> queued_ids;
+  int rejected = 0;
+  for (int i = 0; i < 5; ++i) {
+    JobRequest request;
+    request.tenant = "t";
+    request.plan = SmallGrepPlan(records, "dog", 2);
+    auto id = server.Submit(std::move(request));
+    if (id.ok()) {
+      queued_ids.push_back(*id);
+    } else {
+      EXPECT_EQ(id.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(queued_ids.size(), 2u);
+  EXPECT_EQ(rejected, 3);
+
+  server.Cancel(*blocker_id);
+  ASSERT_TRUE(server.Wait(*blocker_id).ok());
+  for (JobId id : queued_ids) {
+    auto result = server.Wait(id);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->status.ok()) << result->status;
+  }
+}
+
+TEST(JobServerTest, ShutdownCancelsQueuedAndRefusesNewSubmits) {
+  const auto records = MakeLineRecords(TestLines());
+  auto eng = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng.ok());
+  JobServerOptions options = SmallServerOptions();
+  options.worker_threads = 1;
+  JobServer server(eng->get(), options);
+
+  auto started = std::make_shared<std::atomic<int>>(0);
+  JobRequest blocker;
+  blocker.tenant = "t";
+  blocker.plan = SlowPlan(started);
+  auto blocker_id = server.Submit(std::move(blocker));
+  ASSERT_TRUE(blocker_id.ok());
+  while (started->load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  JobRequest queued;
+  queued.tenant = "t";
+  queued.plan = SmallGrepPlan(records, "dog", 2);
+  auto queued_id = server.Submit(std::move(queued));
+  ASSERT_TRUE(queued_id.ok());
+
+  // Shutdown drains the running blocker (cancel it so the test is
+  // fast) and cancels the queued job.
+  server.Cancel(*blocker_id);
+  server.Shutdown();
+
+  JobRequest late;
+  late.tenant = "t";
+  late.plan = SmallGrepPlan(records, "dog", 2);
+  auto late_id = server.Submit(std::move(late));
+  ASSERT_FALSE(late_id.ok());
+  EXPECT_EQ(late_id.status().code(), StatusCode::kFailedPrecondition);
+
+  auto queued_result = server.Wait(*queued_id);
+  ASSERT_TRUE(queued_result.ok());
+  EXPECT_EQ(queued_result->status.code(), StatusCode::kCancelled);
+
+  // Double Wait on a consumed id is NotFound.
+  EXPECT_EQ(server.Wait(*queued_id).status().code(), StatusCode::kNotFound);
+}
+
+TEST(JobServerTest, SubmitValidatesRequests) {
+  auto eng = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng.ok());
+  JobServer server(eng->get(), SmallServerOptions());
+  const auto records = MakeLineRecords(TestLines());
+
+  JobRequest no_tenant;
+  no_tenant.plan = SmallGrepPlan(records, "dog", 2);
+  EXPECT_EQ(server.Submit(std::move(no_tenant)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  JobRequest no_plan;
+  no_plan.tenant = "t";
+  EXPECT_EQ(server.Submit(std::move(no_plan)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(server.Wait(99999).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(server.Cancel(99999));
+}
+
+}  // namespace
+}  // namespace dmb::service
