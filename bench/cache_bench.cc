@@ -1,0 +1,191 @@
+// Plan-level caching and adaptive re-planning benchmark.
+//
+// Two scenarios, both self-checking:
+//
+//   1. Cached vs uncached iterative k-means: 10 training iterations
+//      driven one job at a time. Uncached, every iteration rebuilds and
+//      re-encodes the input split; cached, the encoded-partial split is
+//      registered in the engine's StageCache once and every later
+//      iteration consumes it as a narrow parent. The models must be
+//      exactly equal (same floating-point summation order), and on a
+//      multi-core host the cached run must be >= 1.5x faster —
+//      "REGRESSION:" + exit 1 otherwise.
+//
+//   2. Adaptive vs static sort: the three-stage total-order sort plan
+//      (sample -> sort -> deliver) run with the static reducer count
+//      and with the sample stage's adapt hook choosing the sort/deliver
+//      width at run time from the observed sample size. Outputs must be
+//      byte-identical; the chosen width is reported as a metric.
+//
+//   cache_bench [--engine name] [--iterations N] [--vectors N]
+//               [--sort-records N] [--json path]
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "datagen/vectors.h"
+#include "engine/registry.h"
+#include "workloads/kmeans.h"
+#include "workloads/sort_pipeline.h"
+
+namespace {
+
+using namespace dmb;
+
+std::vector<datampi::KVPair> RandomSortInput(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<datampi::KVPair> records;
+  records.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string key;
+    for (int c = 0; c < 16; ++c) {
+      key.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    records.push_back(datampi::KVPair{key, key});
+  }
+  return records;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string engine_name = "datampi";
+  int iterations = 10;
+  int64_t vector_count = 4000;
+  int sort_records = 200000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+      iterations = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--vectors") == 0 && i + 1 < argc) {
+      vector_count = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sort-records") == 0 && i + 1 < argc) {
+      sort_records = std::atoi(argv[++i]);
+    }
+  }
+  bench::BenchJson json = bench::BenchJson::FromArgs(argc, argv);
+
+  auto engine_or = engine::MakeEngine(engine_name);
+  if (!engine_or.ok()) {
+    std::cerr << engine_or.status().ToString() << "\n";
+    return 1;
+  }
+
+  // ---- 1. Cached vs uncached iterative k-means ----
+  // One seed model keeps the dense dimension vocab-sized (instead of
+  // 5 x 131072-strided) and long documents give high-nnz vectors, so
+  // the per-vector map work the cache eliminates — rebuilding and
+  // re-encoding each vector's partial every iteration — is the measured
+  // quantity, not dense-centroid overhead identical in both modes.
+  datagen::KmeansDataOptions data;
+  data.num_models = 1;
+  data.min_terms_per_doc = 300;
+  data.max_terms_per_doc = 500;
+  const auto vectors = datagen::GenerateKmeansVectors(vector_count, data);
+  const uint32_t dim = datagen::KmeansDimension(data);
+  std::cout << "cache_bench: k-means, " << vector_count << " vectors, "
+            << iterations << " iterations, engine " << engine_name << "\n";
+
+  workloads::EngineConfig config;
+  config.parallelism = 1;
+  // Threshold 0: run all `iterations` iterations in both modes (no
+  // early convergence skewing the comparison).
+  auto run_train = [&](bool cache) -> Result<std::pair<double, workloads::KmeansModel>> {
+    auto eng = engine::MakeEngine(engine_name);
+    if (!eng.ok()) return eng.status();
+    workloads::EngineConfig c = config;
+    c.cache = cache;
+    Stopwatch sw;
+    auto trained = workloads::KmeansTrain(**eng, vectors, 4, dim,
+                                          /*threshold=*/0.0, iterations, c);
+    if (!trained.ok()) return trained.status();
+    return std::make_pair(sw.ElapsedSeconds(), std::move(trained->first));
+  };
+
+  auto uncached = run_train(false);
+  if (!uncached.ok()) {
+    std::cerr << "uncached k-means failed: " << uncached.status() << "\n";
+    return 1;
+  }
+  auto cached = run_train(true);
+  if (!cached.ok()) {
+    std::cerr << "cached k-means failed: " << cached.status() << "\n";
+    return 1;
+  }
+  if (cached->second.centroids != uncached->second.centroids ||
+      cached->second.counts != uncached->second.counts) {
+    std::cerr << "MODEL MISMATCH: cached training diverged from uncached\n";
+    return 1;
+  }
+  const double speedup = uncached->first / cached->first;
+  std::cout << "  uncached " << uncached->first << " s, cached "
+            << cached->first << " s (" << speedup
+            << "x, models exactly equal)\n";
+  json.Add("cache/kmeans_uncached", uncached->first);
+  json.Add("cache/kmeans_cached", cached->first);
+  json.Add("cache/kmeans_speedup", speedup, "x");
+  // The gate needs a machine where 10 redundant input rebuilds actually
+  // dominate; single/dual-core CI runners stay informational.
+  if (std::thread::hardware_concurrency() >= 4 && speedup < 1.5) {
+    std::cerr << "REGRESSION: cached k-means only " << speedup
+              << "x faster than uncached (need >= 1.5x)\n";
+    return 1;
+  }
+
+  // ---- 2. Adaptive vs static sort ----
+  const auto input =
+      engine::PairsAsInput(RandomSortInput(sort_records, 0xcafe));
+  workloads::SortPipelineOptions sort_options;
+  sort_options.parallelism = 4;
+  workloads::SortPipelineOptions adaptive_options = sort_options;
+  adaptive_options.adaptive = true;
+  adaptive_options.target_records_per_reducer = 16 << 10;
+  adaptive_options.max_parallelism = 16;
+
+  auto run_sort = [&](const workloads::SortPipelineOptions& options)
+      -> Result<std::pair<double, runtime::PlanOutput>> {
+    auto eng = engine::MakeEngine(engine_name);
+    if (!eng.ok()) return eng.status();
+    Stopwatch sw;
+    auto out = (*eng)->RunPlan(workloads::SortPipelinePlan(input, options));
+    if (!out.ok()) return out.status();
+    return std::make_pair(sw.ElapsedSeconds(), std::move(*out));
+  };
+
+  auto static_sort = run_sort(sort_options);
+  if (!static_sort.ok()) {
+    std::cerr << "static sort failed: " << static_sort.status() << "\n";
+    return 1;
+  }
+  auto adaptive_sort = run_sort(adaptive_options);
+  if (!adaptive_sort.ok()) {
+    std::cerr << "adaptive sort failed: " << adaptive_sort.status() << "\n";
+    return 1;
+  }
+  if (adaptive_sort->second.Merged() != static_sort->second.Merged()) {
+    std::cerr << "OUTPUT MISMATCH: adaptive sort diverged from static\n";
+    return 1;
+  }
+  const int chosen_width =
+      static_cast<int>(adaptive_sort->second.partitions.size());
+  std::cout << "  sort " << sort_records << " records: static "
+            << static_sort->first << " s at width "
+            << sort_options.parallelism << ", adaptive "
+            << adaptive_sort->first << " s at width " << chosen_width
+            << " (byte-identical)\n";
+  json.Add("cache/sort_static", static_sort->first);
+  json.Add("cache/sort_adaptive", adaptive_sort->first);
+  json.Add("cache/sort_adaptive_width", chosen_width, "tasks");
+
+  if (!json.Write()) return 1;
+  return 0;
+}

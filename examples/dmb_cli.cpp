@@ -52,6 +52,8 @@ struct Args {
   std::string pattern = "ab";
   int topk = 10;
   bool pipeline = false;
+  bool cache = false;
+  bool adaptive = false;
   int jobs = 400;
   int workers = 4;
 };
@@ -62,11 +64,12 @@ int Usage() {
       << "  dmb_cli run <wordcount|grep|greptopk|textsort|normalsort|"
       << "kmeans|bayes>"
       << " <datampi|mapreduce|rddlite> [--size 8MB] [--parallelism 4]"
-      << " [--pattern ab] [--topk 10] [--pipeline on (greptopk)]\n"
+      << " [--pattern ab] [--topk 10] [--pipeline on (greptopk)]"
+      << " [--cache on (kmeans)] [--adaptive on (greptopk)]\n"
       << "  dmb_cli sim <textsort|normalsort|wordcount|grep|kmeans|bayes>"
       << " <hadoop|spark|datampi> [--gb 8] [--slots 4] [--block 256]\n"
       << "  dmb_cli serve <datampi|mapreduce|rddlite>"
-      << " [--jobs 400] [--workers 4]\n";
+      << " [--jobs 400] [--workers 4] [--cache on]\n";
   return 2;
 }
 
@@ -106,6 +109,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       // Batch-pipeline narrow plan edges (greptopk): downstream stages
       // start on the first emitted batches instead of whole partitions.
       args->pipeline = value == "on" || value == "true" || value == "1";
+    } else if (flag == "--cache") {
+      // Stage-output caching: cache-aware workloads (kmeans; serve's
+      // per-tenant datasets) persist stage outputs in the engine's
+      // StageCache and reuse them across stages and jobs.
+      args->cache = value == "on" || value == "true" || value == "1";
+    } else if (flag == "--adaptive") {
+      // Sample-driven adaptive re-planning (greptopk): downstream
+      // parallelism picked at run time from observed stage output.
+      args->adaptive = value == "on" || value == "true" || value == "1";
     } else if (flag == "--jobs") {
       args->jobs = std::stoi(value);
     } else if (flag == "--workers") {
@@ -121,6 +133,8 @@ int RunFunctional(const Args& args) {
   workloads::EngineConfig config;
   config.parallelism = args.parallelism;
   config.pipeline_narrow_edges = args.pipeline;
+  config.cache = args.cache;
+  config.adaptive = args.adaptive;
   datagen::TextGenerator generator;
   Stopwatch sw;
 
@@ -141,21 +155,27 @@ int RunFunctional(const Args& args) {
               << ", engine " << (*eng)->name() << ")\n";
     return 0;
   };
-  // Per-stage breakdown of a multi-stage plan (uniform EngineStats).
+  // Per-stage breakdown of a multi-stage plan (uniform EngineStats),
+  // plus the run's StageCache counters when any cache traffic occurred.
   auto print_stages = [](const engine::EngineStats& stats) {
     std::cout << "  " << stats.stage_count << " stage(s) executed:\n";
     for (const auto& stage : stats.stages) {
+      const std::string label = engine::StageModeLabel(stage);
       std::cout << "    " << stage.name << ": "
                 << FormatBytes(stage.shuffle_bytes) << " shuffled, "
                 << stage.spill_count << " spills ("
                 << FormatBytes(stage.spill_bytes_on_disk) << " on disk), "
                 << stage.output_records << " records out, "
                 << FormatSeconds(stage.wall_seconds)
-                << (stage.skipped || stage.pipelined
-                        ? std::string(" [") +
-                              engine::StageModeLabel(stage) + "]"
-                        : "")
-                << "\n";
+                << (label == "barrier" ? "" : " [" + label + "]") << "\n";
+    }
+    if (stats.cache_hits + stats.cache_misses + stats.cache_evictions +
+            stats.cache_spill_restores >
+        0) {
+      std::cout << "  cache: " << stats.cache_hits << " hits, "
+                << stats.cache_misses << " misses, " << stats.cache_evictions
+                << " evictions, " << stats.cache_spill_restores
+                << " spill restores\n";
     }
   };
 
@@ -216,14 +236,23 @@ int RunFunctional(const Args& args) {
     const uint32_t dim = datagen::KmeansDimension({});
     auto model = workloads::InitialCentroids(vectors, 5, dim);
     sw.Reset();
-    auto r = workloads::KmeansIteration(**eng, vectors, model, config);
+    // With --cache on the second iteration hits the cached input split
+    // the first one registered (one engine, two RunPlan calls).
+    engine::EngineStats stats;
+    auto r = workloads::KmeansIteration(**eng, vectors, model, config,
+                                        &stats);
+    if (r.ok() && config.cache) {
+      r = workloads::KmeansIteration(**eng, vectors, *r, config, &stats);
+    }
     std::string summary;
     if (r.ok()) {
       summary = "k-means iteration over " + std::to_string(vectors_count) +
                 " vectors; sizes:";
       for (int64_t c : r->counts) summary += " " + std::to_string(c);
     }
-    return report(r.ok() ? Status::OK() : r.status(), summary);
+    const int rc = report(r.ok() ? Status::OK() : r.status(), summary);
+    if (rc == 0 && config.cache) print_stages(stats);
+    return rc;
   }
   if (args.workload == "bayes") {
     auto docs = datagen::GenerateBayesDocs(args.size);
@@ -307,18 +336,24 @@ int RunServe(const Args& args) {
     service::JobRequest request;
     request.tenant = tenants[i % 4];
     request.priority = i % 3;
+    // --cache on: each tenant's jobs consume the shared corpus through
+    // a per-tenant cached root-input split — the thousandth small job
+    // reuses the partition-aligned split the first one registered.
+    const std::string cache_key =
+        args.cache ? "corpus/" + request.tenant : "";
     switch (i % 5) {
       case 0:
-        request.plan =
-            service::SmallTopKPlan(records, args.topk, args.parallelism);
+        request.plan = service::SmallTopKPlan(records, args.topk,
+                                              args.parallelism, 0, cache_key);
         break;
       case 1:
       case 2:
-        request.plan = service::SmallWordCountPlan(records, args.parallelism);
+        request.plan = service::SmallWordCountPlan(records, args.parallelism,
+                                                   0, cache_key);
         break;
       default:
-        request.plan =
-            service::SmallGrepPlan(records, args.pattern, args.parallelism);
+        request.plan = service::SmallGrepPlan(
+            records, args.pattern, args.parallelism, 0, cache_key);
         break;
     }
     auto id = server.Submit(std::move(request));
@@ -344,6 +379,14 @@ int RunServe(const Args& args) {
               << t.rejected << " rejected, " << t.cancelled << " cancelled, "
               << "p99 " << FormatSeconds(t.p99_total_seconds) << ", quota "
               << FormatBytes(t.quota_bytes) << "\n";
+  }
+  if (args.cache) {
+    std::cout << "  cache: " << stats.cache.entries << " entries ("
+              << FormatBytes(stats.cache.resident_bytes) << " resident, "
+              << FormatBytes(stats.cache.spilled_bytes) << " spilled), "
+              << stats.cache.hits << " hits, " << stats.cache.misses
+              << " misses, " << stats.cache.evictions << " evictions, "
+              << stats.cache.spill_restores << " spill restores\n";
   }
   return failed > 0 ? 1 : 0;
 }

@@ -1,130 +1,36 @@
 // Sort pipeline: the paper's Normal Sort scenario on every engine,
 // expressed as a multi-stage Plan (sample -> partition -> sort ->
-// deliver), run once with barrier stage handoffs and once with the
-// pipelined narrow edge.
+// deliver), run with barrier stage handoffs, with the pipelined narrow
+// edge, and with sample-driven adaptive re-planning.
 //
 // 1. Generates text and converts it to a compressed sequence file
 //    (BigDataBench's ToSeqFile, GzipCodec stood in by DmbLz).
-// 2. Describes the total-order sort as a three-stage Plan:
-//      * "sample"  — a map/reduce step that thins the keys by hash,
-//        exactly what Hadoop's TotalOrderPartitioner sampling job does;
-//      * "sort"    — the range-partitioned sort. Its partitioner is not
-//        known at plan-build time: a state edge hands the sample
-//        stage's output to the sort stage's binder, which builds the
-//        RangePartitioner from the sampled keys.
-//      * "deliver" — the output/marshalling pass over the sorted
-//        partitions (same range partitioner, so global order is
-//        preserved). Its input edge is narrow and partition-aligned —
-//        with PlanOptions::pipeline_narrow_edges the deliver stage
-//        starts on the sort stage's first emitted batches instead of
-//        waiting at a whole-partition barrier.
+// 2. Builds the three-stage total-order sort plan of
+//    workloads/sort_pipeline.h (sample -> sort -> deliver, range
+//    boundaries bound from the sample stage's output by state edges).
 // 3. Runs the identical plan on every registered engine via the
-//    registry in both modes, verifying the concatenated output is
-//    globally sorted and byte-identical across engines *and* across
-//    modes, and printing the per-stage stats. rddlite runs with a
-//    deliberately small memory budget in "Spark 0.9+" spill mode, so
-//    its wide stage spills run files instead of dying with OutOfMemory.
+//    registry in three modes — barrier, pipelined, and adaptive (the
+//    sort/deliver parallelism picked at run time from the observed
+//    sample size) — verifying the concatenated output is globally
+//    sorted and byte-identical across engines *and* across modes, and
+//    printing the per-stage stats. rddlite runs with a deliberately
+//    small memory budget in "Spark 0.9+" spill mode, so its wide stage
+//    spills run files instead of dying with OutOfMemory.
 //
 // Build & run:  ./build/sort_pipeline [size-bytes]
 
 #include <iostream>
+#include <string>
 #include <vector>
 
-#include "common/hash.h"
 #include "common/stopwatch.h"
 #include "common/units.h"
 #include "datagen/seqfile.h"
 #include "datagen/text_generator.h"
 #include "engine/registry.h"
+#include "workloads/sort_pipeline.h"
 
 using namespace dmb;
-
-namespace {
-
-constexpr int kParallelism = 4;
-
-Status IdentityReduce(std::string_view key,
-                      const std::vector<std::string>& values,
-                      engine::ReduceEmitter* out) {
-  for (const auto& v : values) out->Emit(key, v);
-  return Status::OK();
-}
-
-/// Binds a RangePartitioner built from the sample stage's output.
-Status BindRangePartitioner(const std::vector<datampi::KVPair>& sampled,
-                            engine::JobSpec* job) {
-  std::vector<std::string> keys;
-  keys.reserve(sampled.size());
-  for (const auto& kv : sampled) keys.push_back(kv.key);
-  job->partitioner = std::make_shared<datampi::RangePartitioner>(
-      datampi::RangePartitioner::FromSample(std::move(keys),
-                                            job->parallelism));
-  return Status::OK();
-}
-
-/// The three-stage total-order sort over `input`.
-runtime::Plan SortPlan(std::shared_ptr<const std::vector<datampi::KVPair>>
-                           input,
-                       int64_t memory_budget_bytes, bool pipelined) {
-  runtime::Plan plan;
-
-  runtime::StageSpec sample;
-  sample.name = "sample";
-  sample.job.input = input;
-  sample.job.parallelism = kParallelism;
-  sample.job.map_fn = [](std::string_view key, std::string_view,
-                         engine::MapContext* ctx) -> Status {
-    // Deterministic ~1/64 key sample, as the TotalOrderPartitioner's
-    // sampling job.
-    if (Hash64(key) % 64 == 0) return ctx->Emit(key, "");
-    return Status::OK();
-  };
-  sample.job.reduce_fn = [](std::string_view key,
-                            const std::vector<std::string>&,
-                            engine::ReduceEmitter* out) -> Status {
-    out->Emit(key, "");
-    return Status::OK();
-  };
-  const int sample_id = plan.AddStage(std::move(sample));
-
-  runtime::StageSpec sort;
-  sort.name = "sort";
-  sort.job.input = input;
-  sort.job.parallelism = kParallelism;
-  sort.job.memory_budget_bytes = memory_budget_bytes;
-  sort.job.rdd_shuffle_spill = true;  // Spark 0.9+ mode: spill, not OOM
-  sort.job.map_fn = [](std::string_view key, std::string_view value,
-                       engine::MapContext* ctx) -> Status {
-    return ctx->Emit(key, value);
-  };
-  sort.job.reduce_fn = IdentityReduce;
-  sort.binder = BindRangePartitioner;
-  const int sort_id = plan.AddStage(std::move(sort),
-                                    {{sample_id, runtime::EdgeKind::kState}});
-
-  // Output/marshalling pass: same range partitioner (second state edge
-  // from the sample stage), so records stay in their globally-ordered
-  // partitions. The sort -> deliver edge is narrow and therefore
-  // pipelineable: deliver's map tasks start while sort is still
-  // reducing.
-  runtime::StageSpec deliver;
-  deliver.name = "deliver";
-  deliver.job.parallelism = kParallelism;
-  deliver.job.map_fn = [](std::string_view key, std::string_view value,
-                          engine::MapContext* ctx) -> Status {
-    return ctx->Emit(key, value);
-  };
-  deliver.job.reduce_fn = IdentityReduce;
-  deliver.binder = BindRangePartitioner;
-  plan.AddStage(std::move(deliver),
-                {{sort_id, runtime::EdgeKind::kNarrow},
-                 {sample_id, runtime::EdgeKind::kState}});
-
-  plan.options().pipeline_narrow_edges = pipelined;
-  return plan;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const int64_t bytes = argc > 1 ? ParseBytes(argv[1]) : 2 * kMiB;
@@ -149,20 +55,35 @@ int main(int argc, char** argv) {
     input.push_back(datampi::KVPair{k, v});
   }
   const auto shared_input = engine::PairsAsInput(std::move(input));
+
+  workloads::SortPipelineOptions base;
+  base.parallelism = 4;
   // A budget well below the shuffle volume: DataMPI and MapReduce spill
   // past it as always; rddlite's wide stage spills too (Spark 0.9+
   // mode) instead of failing with OutOfMemory.
-  const int64_t budget = std::max<int64_t>(64 << 10, bytes / 8);
+  base.memory_budget_bytes = std::max<int64_t>(64 << 10, bytes / 8);
 
-  // 3. Every registered engine runs the identical three-stage plan,
-  // with barrier handoffs and with the pipelined narrow edge.
+  // 3. Every registered engine runs the identical three-stage plan in
+  // all three modes; outputs must agree byte for byte.
+  struct Mode {
+    const char* name;
+    bool pipelined;
+    bool adaptive;
+  };
+  const Mode modes[] = {{"barrier", false, false},
+                        {"pipelined", true, false},
+                        {"adaptive", false, true}};
   std::vector<datampi::KVPair> reference;
   for (const auto& info : engine::Engines()) {
-    std::vector<datampi::KVPair> barrier_sorted;
-    for (const bool pipelined : {false, true}) {
+    std::vector<datampi::KVPair> engine_reference;
+    for (const Mode& mode : modes) {
+      workloads::SortPipelineOptions options = base;
+      options.pipeline_narrow_edges = mode.pipelined;
+      options.adaptive = mode.adaptive;
       auto eng = info.make();
       Stopwatch sw;
-      auto result = eng->RunPlan(SortPlan(shared_input, budget, pipelined));
+      auto result =
+          eng->RunPlan(workloads::SortPipelinePlan(shared_input, options));
       const double seconds = sw.ElapsedSeconds();
       if (!result.ok()) {
         std::cerr << info.name << " failed: " << result.status() << "\n";
@@ -175,40 +96,38 @@ int main(int argc, char** argv) {
           return 1;
         }
       }
-      if (!pipelined) {
-        barrier_sorted = sorted;
+      if (engine_reference.empty()) {
+        engine_reference = sorted;
         if (reference.empty()) {
           reference = sorted;
         } else if (sorted != reference) {
           std::cerr << "ENGINE MISMATCH: " << info.name << "\n";
           return 1;
         }
-      } else if (sorted != barrier_sorted) {
-        std::cerr << "PIPELINED/BARRIER MISMATCH: " << info.name << "\n";
+      } else if (sorted != engine_reference) {
+        std::cerr << "MODE MISMATCH: " << info.name << " (" << mode.name
+                  << ")\n";
         return 1;
       }
-      std::cout << info.display_name << " ("
-                << (pipelined ? "pipelined" : "barrier") << "): sorted "
+      std::cout << info.display_name << " (" << mode.name << "): sorted "
                 << sorted.size() << " records across "
                 << result->partitions.size() << " partitions in "
                 << FormatSeconds(seconds) << " ("
                 << result->stats.stage_count << " stages)\n";
       for (const auto& stage : result->stats.stages) {
+        const std::string label = engine::StageModeLabel(stage);
         std::cout << "    stage " << stage.name << ": "
                   << FormatBytes(stage.shuffle_bytes) << " shuffled, "
                   << stage.spill_count << " spills ("
                   << FormatBytes(stage.spill_bytes_on_disk) << " on disk), "
                   << stage.output_records << " records out, "
                   << FormatSeconds(stage.wall_seconds)
-                  << (stage.skipped || stage.pipelined
-                          ? std::string(" [") +
-                                engine::StageModeLabel(stage) + "]"
-                          : "")
-                  << "\n";
+                  << (label == "barrier" ? "" : " [" + label + "]") << "\n";
       }
     }
   }
   std::cout << "\nGlobal order verified on all " << engine::Engines().size()
-            << " engines, barrier and pipelined outputs byte-identical.\n";
+            << " engines; barrier, pipelined and adaptive outputs "
+               "byte-identical.\n";
   return 0;
 }

@@ -15,10 +15,15 @@ is informational only — printed, never failed on.
 The tolerance is deliberately generous (default 50%): this gate exists
 to catch "the sort got 3x slower" structural regressions on shared CI
 hardware, not 5% noise. Override with --tolerance or the BENCH_DIFF_TOL
-environment variable (a fraction, e.g. 0.25). Time metrics whose
-baseline is below --floor seconds (default 100ns) are informational
-regardless of delta: single-digit-nanosecond benchmarks swing +/-50%
-with CPU frequency state alone.
+environment variable (a fraction, e.g. 0.25). Individual metrics can
+override the global value with repeatable --tol NAME=FRAC flags; NAME
+may end in '*' to match a prefix (an exact match beats any glob, a
+longer glob beats a shorter one). Use this when one harness mixes
+stable metrics with ones that need a looser leash on shared hardware,
+e.g. --tol 'cache/kmeans_*=1.0'. Time metrics whose baseline is below
+--floor seconds (default 100ns) are informational regardless of delta:
+single-digit-nanosecond benchmarks swing +/-50% with CPU frequency
+state alone.
 
 Metrics present on only one side are reported as informational lines
 ("(new)" / "(gone)") but never fail the gate, so adding a benchmark
@@ -80,6 +85,15 @@ def main():
         help="allowed fractional regression (default 0.5, or BENCH_DIFF_TOL)",
     )
     parser.add_argument(
+        "--tol",
+        action="append",
+        default=[],
+        metavar="NAME=FRAC",
+        help="per-metric tolerance override; NAME may end in '*' for a "
+        "prefix match (repeatable; exact beats glob, longer glob beats "
+        "shorter)",
+    )
+    parser.add_argument(
         "--floor",
         type=float,
         default=1e-7,
@@ -93,6 +107,26 @@ def main():
         "(never fails; refreshes committed baselines in place)",
     )
     args = parser.parse_args()
+
+    overrides = {}
+    for spec in args.tol:
+        name, sep, frac = spec.rpartition("=")
+        if not sep or not name:
+            parser.error(f"--tol needs NAME=FRAC, got {spec!r}")
+        try:
+            overrides[name] = float(frac)
+        except ValueError:
+            parser.error(f"--tol {spec!r}: {frac!r} is not a number")
+
+    def tolerance_for(name):
+        if name in overrides:
+            return overrides[name]
+        best = None
+        for pattern, frac in overrides.items():
+            if pattern.endswith("*") and name.startswith(pattern[:-1]):
+                if best is None or len(pattern) > len(best[0]):
+                    best = (pattern, frac)
+        return best[1] if best else args.tolerance
 
     baseline = load(args.baseline, missing_ok=True)
     current = load(args.current)
@@ -116,13 +150,16 @@ def main():
         sign = direction(base_unit if base_unit == cur_unit else "")
         if sign == -1 and base_value < args.floor:
             sign = 0  # sub-floor timings are all noise
+        tolerance = tolerance_for(name)
         verdict = ""
-        if sign == -1 and delta > args.tolerance:
+        if sign == -1 and delta > tolerance:
             verdict = "REGRESSION"
-        elif sign == +1 and delta < -args.tolerance:
+        elif sign == +1 and delta < -tolerance:
             verdict = "REGRESSION"
         elif sign == 0:
             verdict = "(info)"
+        elif tolerance != args.tolerance:
+            verdict = f"(tol {tolerance:.0%})"
         if verdict == "REGRESSION":
             regressions.append(name)
         print(f"{name:<{width}}  {base_value:>12.4g}  {cur_value:>12.4g}  "

@@ -38,11 +38,14 @@ cmake --build build -j
 # the LZ match finder's pointer/offset arithmetic (radix sort and the
 # hash-chain compressor both live under these suites). service_test
 # joins every sanitizer pass: the JobServer's admission/dispatch/cancel
-# paths cross worker, reaper, and scheduler threads.
-echo "check.sh: UBSan pass (io + shuffle + runtime + datagen + service tests)"
+# paths cross worker, reaper, and scheduler threads. cache_test joins
+# both passes: the StageCache spill/restore path re-encodes partitions
+# through the checksummed run-file codec (UBSan), and cached datasets
+# are shared across concurrently scheduled plans (TSan).
+echo "check.sh: UBSan pass (io + shuffle + runtime + datagen + service + cache tests)"
 cmake -B build-ubsan -S . -DDMB_SANITIZE=undefined -DDMB_WERROR=ON
-cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_test service_test
-(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle|runtime|datagen|service)_test$')
+cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_test service_test cache_test
+(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle|runtime|datagen|service|cache)_test$')
 
 # The pipelined narrow edges run a bounded producer/consumer channel
 # between concurrently executing stages — runtime_test must stay clean
@@ -51,10 +54,10 @@ cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_
 # (parallel radix sub-sorts, overlapped spill-block encoding, concurrent
 # partition spills, merge-time block prefetch) shares one ParallelContext
 # pool across tasks and must be race-free at every thread count.
-echo "check.sh: TSan pass (shuffle + io + runtime + service tests)"
+echo "check.sh: TSan pass (shuffle + io + runtime + service + cache tests)"
 cmake -B build-tsan -S . -DDMB_SANITIZE=thread -DDMB_WERROR=ON
-cmake --build build-tsan -j --target shuffle_test io_test runtime_test service_test
-(cd build-tsan && ctest --output-on-failure -R '^(shuffle|io|runtime|service)_test$')
+cmake --build build-tsan -j --target shuffle_test io_test runtime_test service_test cache_test
+(cd build-tsan && ctest --output-on-failure -R '^(shuffle|io|runtime|service|cache)_test$')
 
 BENCH_TARGETS=(
   fig2a_dfsio_tuning
@@ -67,6 +70,7 @@ BENCH_TARGETS=(
   ablation_pipeline
   shuffle_bench
   service_bench
+  cache_bench
 )
 # micro_components needs google-benchmark; build it when configured.
 if [ -f build/CMakeCache.txt ] && grep -q "^benchmark_DIR:PATH=[^-]" build/CMakeCache.txt; then
@@ -84,11 +88,18 @@ done
 # bench_diff.py invocations below (rewrites the committed BENCH_*.json
 # from the fresh run after printing the diff).
 if [ "${CHECK_NO_BENCH:-0}" != "1" ]; then
-  echo "check.sh: bench-diff gate (vs BENCH_shuffle.json / BENCH_service.json / BENCH_micro.json)"
+  echo "check.sh: bench-diff gate (vs BENCH_shuffle.json / BENCH_service.json / BENCH_cache.json / BENCH_micro.json)"
   ./build/shuffle_bench --json build/bench_shuffle_current.json > /dev/null
   python3 scripts/bench_diff.py BENCH_shuffle.json build/bench_shuffle_current.json
   ./build/service_bench --jobs 1000 --json build/bench_service_current.json > /dev/null
   python3 scripts/bench_diff.py BENCH_service.json build/bench_service_current.json
+  # The k-means timings swing hard on shared 1-2 core runners (the
+  # uncached leg is the noisy one), so they get a 100% leash; the sort
+  # legs keep the default, and the speedup/width metrics are
+  # informational by unit.
+  ./build/cache_bench --json build/bench_cache_current.json > /dev/null
+  python3 scripts/bench_diff.py BENCH_cache.json build/bench_cache_current.json \
+    --tol 'cache/kmeans_*=1.0'
   if [ -x build/micro_components ]; then
     ./build/micro_components --benchmark_min_time=0.05 \
       --json build/bench_micro_current.json > /dev/null 2>&1

@@ -42,7 +42,34 @@ Result<runtime::PlanOutput> Engine::RunPlan(const runtime::Plan& plan) {
 
 Result<runtime::PlanOutput> Engine::RunPlan(
     const runtime::Plan& plan, const runtime::SchedulerOptions& options) {
-  return runtime::StageScheduler(this, plan, options).Execute();
+  runtime::SchedulerOptions opts = options;
+  if (opts.cache == nullptr && PlanUsesCache(plan)) {
+    // Attach the engine-owned cache so cache-keyed stages persist (and
+    // hit) across RunPlan calls. An explicitly provided cache wins.
+    opts.cache = cache();
+  }
+  return runtime::StageScheduler(this, plan, opts).Execute();
+}
+
+runtime::StageCache* Engine::cache() {
+  std::lock_guard<std::mutex> lock(stage_cache_mu_);
+  if (stage_cache_ == nullptr) {
+    stage_cache_ = std::make_unique<runtime::StageCache>(stage_cache_options_);
+  }
+  return stage_cache_.get();
+}
+
+void Engine::ConfigureCache(runtime::StageCacheOptions options) {
+  std::lock_guard<std::mutex> lock(stage_cache_mu_);
+  stage_cache_options_ = options;
+  stage_cache_ = std::make_unique<runtime::StageCache>(stage_cache_options_);
+}
+
+bool PlanUsesCache(const runtime::Plan& plan) {
+  for (const auto& stage : plan.stages()) {
+    if (!stage.spec.cache_output.empty()) return true;
+  }
+  return false;
 }
 
 std::shared_ptr<ParallelContext> Engine::ShuffleParallel(const JobSpec& spec) {

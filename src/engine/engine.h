@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "engine/types.h"
 #include "runtime/plan.h"
+#include "runtime/stage_cache.h"
 
 namespace dmb {
 class ParallelContext;
@@ -69,6 +70,18 @@ class Engine {
   /// map/shuffle/reduce round over the spec's input (or input_splits).
   virtual Result<JobOutput> RunStage(const JobSpec& spec) = 0;
 
+  /// \brief The engine-owned stage-output cache (lazily created,
+  /// thread-safe). RunPlan points SchedulerOptions::cache here for any
+  /// plan that uses cache-keyed stages, so cached datasets persist
+  /// across RunPlan calls — and across concurrent plans sharing the
+  /// engine (the JobServer's tenants).
+  runtime::StageCache* cache();
+
+  /// \brief Replaces the cache (dropping every entry) with one built
+  /// from `options` — how callers pick the budget. Not safe while plans
+  /// are running.
+  void ConfigureCache(runtime::StageCacheOptions options);
+
  protected:
   /// \brief The engine-owned intra-task shuffle pool for the spec's
   /// parallelism knobs (shuffle_threads / parallel_sort_threshold /
@@ -88,7 +101,15 @@ class Engine {
   int parallel_threads_ = 0;
   int64_t parallel_sort_threshold_ = 0;
   int parallel_inflight_ = 0;
+
+  std::mutex stage_cache_mu_;
+  std::unique_ptr<runtime::StageCache> stage_cache_;
+  runtime::StageCacheOptions stage_cache_options_;
 };
+
+/// \brief True iff any stage of the plan is cache-keyed (cache_output /
+/// AddCachedInput) — whether RunPlan needs to attach the engine cache.
+bool PlanUsesCache(const runtime::Plan& plan);
 
 /// \brief Shared spec validation used by every adapter.
 Status ValidateSpec(const JobSpec& spec);

@@ -174,14 +174,28 @@ struct StageStats {
   /// The stage's input arrived over a pipelined narrow edge (batch
   /// channel) instead of a whole-partition barrier handoff.
   bool pipelined = false;
+  /// StageCache interplay of a cache-keyed stage: served straight from
+  /// the cache (nothing executed) / looked up but absent / registered
+  /// after running / the hit streamed back from spill files.
+  bool cache_hit = false;
+  bool cache_miss = false;
+  bool cache_stored = false;
+  bool cache_restored = false;
+  /// Other entries this stage's store pushed out to spill.
+  int64_t cache_evictions = 0;
+  /// An upstream adapt hook rewrote this stage's JobSpec before it ran.
+  bool adapted = false;
 };
 
-/// \brief How a stage executed, for per-stage tables ("skipped" wins
-/// over "pipelined": a skipped stage never consumed its input at all).
-/// One definition so the CLI, examples and benches cannot drift.
+/// \brief How a stage executed, for per-stage tables ("cached" wins —
+/// such a stage never ran; then "skipped" over "pipelined": a skipped
+/// stage never consumed its input at all). One definition so the CLI,
+/// examples and benches cannot drift.
 inline const char* StageModeLabel(const StageStats& stage) {
+  if (stage.cache_hit) return "cached";
   if (stage.skipped) return "skipped";
   if (stage.pipelined) return "pipelined";
+  if (stage.adapted) return "adapted";
   return "barrier";
 }
 
@@ -199,6 +213,13 @@ struct EngineStats {
   /// (fanned-out radix sub-sorts, concurrent partition spills,
   /// overlapped spill blocks). 0 when JobSpec.shuffle_threads == 1.
   int64_t parallel_shuffle_tasks = 0;
+  /// StageCache traffic of this run, summed over stages (a hit served
+  /// the stage without executing it; a spilled restore streamed the
+  /// entry back from run files byte-identically).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_spill_restores = 0;
   /// Stages actually executed (1 for a plain Run; skipped pass-through
   /// stages of a plan are not counted).
   int64_t stage_count = 1;

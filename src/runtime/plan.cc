@@ -9,6 +9,16 @@ int Plan::AddStage(StageSpec spec, std::vector<StageInput> inputs) {
   return id;
 }
 
+int Plan::AddCachedInput(std::string key, CachedInputProvider provider,
+                         int parallelism) {
+  StageSpec spec;
+  spec.name = "cached-input:" + key;
+  spec.job.parallelism = parallelism;
+  spec.cache_output = std::move(key);
+  spec.input_provider = std::move(provider);
+  return AddStage(std::move(spec));
+}
+
 Status Plan::Validate() const {
   if (stages_.empty()) {
     return Status::InvalidArgument("plan has no stages");
@@ -21,9 +31,34 @@ Status Plan::Validate() const {
     return Status::InvalidArgument(
         "PlanOptions.pipeline_channel_batches must be >= 1");
   }
+  bool upstream_adapt = false;
   for (size_t i = 0; i < stages_.size(); ++i) {
     const Stage& stage = stages_[i];
     const std::string where = "stage '" + stage.spec.name + "'";
+    if (stage.spec.input_provider) {
+      // A cached-input stage is a pure root: no engine run, no edges,
+      // no binder — just a (possibly cached) split of its provider's
+      // records.
+      if (stage.spec.cache_output.empty()) {
+        return Status::InvalidArgument(
+            where + ": a cached-input stage needs a cache_output key");
+      }
+      if (!stage.inputs.empty() || stage.spec.binder) {
+        return Status::InvalidArgument(
+            where + ": a cached-input stage must be a root without a "
+                    "binder");
+      }
+      if (stage.spec.job.input || stage.spec.job.input_splits ||
+          stage.spec.job.stream_input) {
+        return Status::InvalidArgument(
+            where + ": a cached-input stage cannot also carry a job "
+                    "input");
+      }
+      if (stage.spec.job.parallelism < 1) {
+        return Status::InvalidArgument(
+            where + ": cached-input parallelism must be >= 1");
+      }
+    }
     int state_edges = 0;
     int narrow_edges = 0;
     int wide_edges = 0;
@@ -65,9 +100,11 @@ Status Plan::Validate() const {
           where + ": a stage fed by data edges cannot also carry a root "
                   "input");
     }
-    if (narrow_edges > 0 && !stage.spec.binder) {
+    if (narrow_edges > 0 && !stage.spec.binder && !upstream_adapt) {
       // With a binder the parallelism may legitimately change at bind
-      // time; the scheduler re-checks split alignment at run time.
+      // time, and an upstream adapt hook may rewrite both ends of the
+      // edge after the plan validates; the scheduler re-checks split
+      // alignment at run time either way.
       for (const StageInput& in : stage.inputs) {
         if (in.kind != EdgeKind::kNarrow) continue;
         const Stage& parent = stages_[static_cast<size_t>(in.stage)];
@@ -80,6 +117,7 @@ Status Plan::Validate() const {
         }
       }
     }
+    if (stage.spec.adapt) upstream_adapt = true;
   }
   return Status::OK();
 }

@@ -25,6 +25,21 @@
 // reference already-added stages — a plan is acyclic by construction.
 // The last-added stage is the plan's output stage; every stage still
 // executes (independent branches run concurrently on the scheduler).
+//
+// Two per-stage hooks extend the static DAG at run time:
+//
+//   * cache_output — the stage's partitions are registered in the
+//     engine's StageCache under this key after it runs; when the key is
+//     already cached (from an earlier stage or an earlier RunPlan
+//     against the same engine) the stage is *not run at all* and the
+//     cached partitions stand in for its output. AddCachedInput is the
+//     root-input flavour: a stage that (on a miss) splits a
+//     provider-supplied record vector into partition-aligned splits and
+//     caches them — iterative plans split their input once.
+//   * adapt — sample-driven adaptive re-planning: after the stage's
+//     output lands, the hook observes its per-partition sizes and may
+//     rewrite the JobSpec (parallelism, partitioner, ...) of stages
+//     strictly downstream that have not started yet.
 
 #ifndef DATAMPI_BENCH_RUNTIME_PLAN_H_
 #define DATAMPI_BENCH_RUNTIME_PLAN_H_
@@ -64,12 +79,66 @@ using StageBinder =
     std::function<Status(const std::vector<KVPair>& state,
                          engine::JobSpec* job)>;
 
+/// \brief What an adapt hook sees of its stage's completed output:
+/// observed per-partition sizes (the statistics a cache must track are
+/// exactly the ones adaptive execution needs).
+struct StageObservation {
+  int stage = -1;
+  std::vector<int64_t> partition_records;
+  std::vector<int64_t> partition_bytes;
+  int64_t output_records = 0;
+  int64_t output_bytes = 0;
+};
+
+/// \brief Handed to an adapt hook to rewrite not-yet-started downstream
+/// stages. Implemented by the scheduler.
+class Replanner {
+ public:
+  virtual ~Replanner() = default;
+  /// \brief The mutable JobSpec of `stage`, iff it is strictly
+  /// downstream of the observed stage and has not been submitted yet;
+  /// null otherwise (rewriting anything else could race with a running
+  /// stage). The returned spec is the copy the stage will actually run
+  /// — its binder (if any) runs after the rewrite and sees the adapted
+  /// values.
+  virtual engine::JobSpec* MutableJob(int stage) = 0;
+};
+
+/// \brief Adaptive re-planning hook: runs under the scheduler lock
+/// right after the stage's output lands and before any downstream stage
+/// is released, so the rewrites it makes through the Replanner are what
+/// those stages run with. Keep it cheap (it holds up the whole plan). A
+/// non-OK status fails the plan like a stage failure. No-op on
+/// single-stage plans (nothing is downstream).
+using StageAdaptFn =
+    std::function<Status(const StageObservation& observed, Replanner* plan)>;
+
+/// \brief Lazily builds the records of a cached root input; called only
+/// on a cache miss (the point: a hit skips the build entirely).
+using CachedInputProvider = std::function<
+    Result<std::shared_ptr<const std::vector<KVPair>>>()>;
+
 /// \brief One stage: a name, a JobSpec-shaped step and an optional
 /// binder. `job.input` may be left empty for stages fed by data edges.
 struct StageSpec {
   std::string name;
   engine::JobSpec job;
   StageBinder binder;
+  /// Non-empty: persist this stage's output partitions in the engine's
+  /// StageCache under this key, and serve the stage straight from the
+  /// cache (skipping binder and execution) when the key is already
+  /// registered with a matching partition count. Plans run without a
+  /// cache (SchedulerOptions.cache == nullptr) execute normally.
+  std::string cache_output;
+  /// Set (with a non-empty cache_output key) for AddCachedInput stages:
+  /// on a miss the provider's records are split evenly into
+  /// `job.parallelism` partition-aligned splits — the same contiguous
+  /// slicing the engines apply to a flat root input — and cached; the
+  /// stage never touches the engine. Such a stage must be a root (no
+  /// input edges, no job input, no binder).
+  CachedInputProvider input_provider;
+  /// Optional adaptive re-planning hook (see StageAdaptFn).
+  StageAdaptFn adapt;
 };
 
 /// \brief Plan-level execution knobs (consumed by the StageScheduler).
@@ -103,11 +172,23 @@ class Plan {
   /// Validate); an empty name defaults to "stage-<id>".
   int AddStage(StageSpec spec, std::vector<StageInput> inputs = {});
 
+  /// \brief Appends a cached root-input stage: a no-engine stage whose
+  /// output is the provider's records split evenly into `parallelism`
+  /// partition-aligned splits, registered in the StageCache under
+  /// `key`. On a hit the provider is never called — repeated plans (an
+  /// iteration driver, the JobServer's per-tenant small jobs) share one
+  /// materialized split. Consume it with a narrow edge of the same
+  /// parallelism. Without a cache the stage still splits (the provider
+  /// runs every time).
+  int AddCachedInput(std::string key, CachedInputProvider provider,
+                     int parallelism);
+
   /// \brief Structural validation: edge ids in range (and < the stage's
   /// own id), at most one state edge per stage, no mixing of narrow and
   /// wide data edges into one stage, state edges have a binder, stages
-  /// with data edges carry no root input, and narrow parents match the
-  /// consumer's parallelism (when no binder can change it).
+  /// with data edges carry no root input, narrow parents match the
+  /// consumer's parallelism (when no binder or upstream adapt hook can
+  /// change it), and cached-input stages are well-formed roots.
   Status Validate() const;
 
   const std::vector<Stage>& stages() const { return stages_; }

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "runtime/stage_cache.h"
 #include "shuffle/batch_channel.h"
 
 namespace dmb::runtime {
@@ -37,6 +38,14 @@ struct StageState {
   /// Shared because a pass-through stage forwards its state parent's
   /// output without copying.
   std::shared_ptr<JobOutput> output;
+  /// Output served by the StageCache instead of an engine run (a cache
+  /// hit, or a cached-input stage's split). Exactly one of `output` /
+  /// `cached_output` is set for a completed stage; consumers read both
+  /// through SharedParts.
+  std::shared_ptr<const CachedPartitions> cached_output;
+  /// Copy-on-write JobSpec an upstream adapt hook rewrote; written
+  /// under the scheduler mutex strictly before this stage is submitted.
+  std::unique_ptr<JobSpec> adapted_job;
   /// Stats copied out of `output` so it can be released early.
   engine::EngineStats run_stats;
   engine::StageStats stats;
@@ -49,16 +58,48 @@ struct StageState {
   bool stream_only = false;
 };
 
+/// The partitions a completed stage exposes to its consumers — from the
+/// cache when the stage was a hit, aliased out of its JobOutput
+/// otherwise. The aliasing shared_ptr co-owns the JobOutput, so a
+/// consumer (or the cache) holding it keeps the data alive even after
+/// the scheduler's early release drops `output`.
+std::shared_ptr<const CachedPartitions> SharedParts(const StageState& state) {
+  if (state.cached_output) return state.cached_output;
+  return std::shared_ptr<const CachedPartitions>(state.output,
+                                                 &state.output->partitions);
+}
+
+/// Even contiguous re-split of a flat record vector into `parts`
+/// partition-aligned splits — the same slicing the engines apply to a
+/// flat root input, so a cached-input stage's splits are byte-identical
+/// to what its consumer would have seen from JobSpec.input.
+std::shared_ptr<const CachedPartitions> SplitRecords(
+    const std::vector<KVPair>& records, int parts) {
+  auto splits = std::make_shared<CachedPartitions>(
+      static_cast<size_t>(parts));
+  const size_t n = records.size();
+  for (int p = 0; p < parts; ++p) {
+    const size_t begin = n * static_cast<size_t>(p) /
+                         static_cast<size_t>(parts);
+    const size_t end = n * static_cast<size_t>(p + 1) /
+                       static_cast<size_t>(parts);
+    (*splits)[static_cast<size_t>(p)].assign(records.begin() + begin,
+                                             records.begin() + end);
+  }
+  return splits;
+}
+
 /// Runs one stage: bind, assemble input, execute. `states` of all
 /// barrier input stages are final; a pipelined producer is merely
 /// running (its channel is attached instead of its partitions).
 Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
                    const std::vector<std::unique_ptr<StageState>>& states,
-                   StageState* state,
+                   StageState* state, StageCache* cache,
                    const std::shared_ptr<CancelToken>& cancel) {
   Stopwatch sw;
   state->stats.name = stage.spec.name;
-  JobSpec job = stage.spec.job;
+  JobSpec job =
+      state->adapted_job ? *state->adapted_job : stage.spec.job;
   // The job-level token reaches every stage's engine run (per-record
   // checks); a stage-spec token someone set explicitly wins.
   if (job.cancel == nullptr) job.cancel = cancel;
@@ -66,6 +107,58 @@ Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
     // Cancelled between submission and execution: don't run the binder
     // or touch the engine at all.
     return job.cancel->status();
+  }
+
+  if (!stage.spec.cache_output.empty() && cache != nullptr) {
+    Result<CachedDataset> found = cache->Get(stage.spec.cache_output);
+    if (found.ok()) {
+      CachedDataset dataset = std::move(found).value();
+      if (static_cast<int>(dataset.partitions->size()) == job.parallelism) {
+        // Serve the stage from the cache: binder and engine never run.
+        // A cache-keyed stage is never a pipelined producer, so no
+        // consumer is waiting on a stream from it.
+        state->cached_output = std::move(dataset.partitions);
+        state->stats.cache_hit = true;
+        state->stats.cache_restored = dataset.restored_from_spill;
+        for (const auto& part : *state->cached_output) {
+          state->stats.output_records += static_cast<int64_t>(part.size());
+        }
+        state->stats.wall_seconds = sw.ElapsedSeconds();
+        return Status::OK();
+      }
+      // Partition count changed (e.g. the plan's parallelism differs
+      // from the run that cached the key): treat as a miss and let the
+      // re-run's Put replace the stale entry.
+      state->stats.cache_miss = true;
+    } else if (found.status().IsNotFound()) {
+      state->stats.cache_miss = true;
+    } else {
+      // Spill-restore failure (corruption, I/O): a real error, not a
+      // miss.
+      return found.status();
+    }
+  }
+
+  if (stage.spec.input_provider) {
+    // Cached-input stage on a miss (or with no cache at all): build the
+    // provider's records and split them partition-aligned. No engine
+    // run.
+    DMB_ASSIGN_OR_RETURN(auto records, stage.spec.input_provider());
+    if (records == nullptr) {
+      return Status::InvalidArgument(
+          "stage '" + stage.spec.name +
+          "': cached-input provider returned null records");
+    }
+    state->cached_output = SplitRecords(*records, job.parallelism);
+    state->stats.output_records = static_cast<int64_t>(records->size());
+    if (cache != nullptr) {
+      DMB_ASSIGN_OR_RETURN(
+          state->stats.cache_evictions,
+          cache->Put(stage.spec.cache_output, state->cached_output));
+      state->stats.cache_stored = true;
+    }
+    state->stats.wall_seconds = sw.ElapsedSeconds();
+    return Status::OK();
   }
 
   const StageState* state_parent = nullptr;
@@ -97,7 +190,9 @@ Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
 
   if (stage.spec.binder) {
     std::vector<KVPair> bind_state;
-    if (state_parent != nullptr) bind_state = state_parent->output->Merged();
+    if (state_parent != nullptr) {
+      bind_state = engine::MergedPartitions(*SharedParts(*state_parent));
+    }
     DMB_RETURN_NOT_OK(stage.spec.binder(bind_state, &job));
     if (!job.map_fn) {
       if (state_parent == nullptr) {
@@ -109,13 +204,15 @@ Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
       // Pass-through: the binder declined to run (e.g. a converged
       // iteration); forward the state parent's partitions unchanged.
       state->output = state_parent->output;
+      state->cached_output = state_parent->cached_output;
       state->skipped = true;
       state->stats.skipped = true;
       if (state->out_channel) {
         // A pipelined consumer is already pulling: feed it the
         // forwarded partitions (one batch each) so the stream carries
         // the same bytes the barrier handoff would have.
-        const auto& parts = state_parent->output->partitions;
+        const auto shared = SharedParts(*state_parent);
+        const auto& parts = *shared;
         if (static_cast<int>(parts.size()) !=
             state->out_channel->partitions()) {
           return Status::InvalidArgument(
@@ -150,15 +247,16 @@ Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
     if (narrow) {
       std::shared_ptr<const std::vector<std::vector<KVPair>>> splits;
       if (data_parents.size() == 1) {
-        // Zero-copy handoff: alias the parent's partitions directly.
-        const auto& parent_out = data_parents[0]->output;
-        splits = std::shared_ptr<const std::vector<std::vector<KVPair>>>(
-            parent_out, &parent_out->partitions);
+        // Zero-copy handoff: share the parent's partitions directly
+        // (cached or aliased out of its JobOutput).
+        splits = SharedParts(*data_parents[0]);
       } else {
+        auto first = SharedParts(*data_parents[0]);
         auto combined = std::make_shared<std::vector<std::vector<KVPair>>>(
-            data_parents[0]->output->partitions.size());
+            first->size());
         for (const StageState* parent : data_parents) {
-          const auto& parts = parent->output->partitions;
+          const auto shared = SharedParts(*parent);
+          const auto& parts = *shared;
           if (parts.size() != combined->size()) {
             return Status::InvalidArgument(
                 "stage '" + stage.spec.name +
@@ -183,7 +281,8 @@ Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
       // partition and let the stage's own shuffle redistribute.
       auto gathered = std::make_shared<std::vector<KVPair>>();
       for (const StageState* parent : data_parents) {
-        for (const auto& part : parent->output->partitions) {
+        const auto shared = SharedParts(*parent);
+        for (const auto& part : *shared) {
           gathered->insert(gathered->end(), part.begin(), part.end());
         }
       }
@@ -214,8 +313,20 @@ Status RunOneStage(engine::Engine* engine, const Plan::Stage& stage,
   state->stats.spill_bytes_on_disk = out.stats.spill_bytes_on_disk;
   state->stats.output_records = out.stats.output_records;
   state->stats.parallel_shuffle_tasks = out.stats.parallel_shuffle_tasks;
-  state->stats.wall_seconds = sw.ElapsedSeconds();
   state->output = std::make_shared<JobOutput>(std::move(out));
+  if (!stage.spec.cache_output.empty() && cache != nullptr &&
+      !job.stream_output_only) {
+    // Register the freshly materialized output. Shared, not copied: the
+    // cache co-owns the JobOutput through the aliasing pointer, so the
+    // scheduler's early release of `state->output` never invalidates
+    // the entry (and vice versa — eviction only drops the cache's
+    // reference).
+    DMB_ASSIGN_OR_RETURN(
+        state->stats.cache_evictions,
+        cache->Put(stage.spec.cache_output, SharedParts(*state)));
+    state->stats.cache_stored = true;
+  }
+  state->stats.wall_seconds = sw.ElapsedSeconds();
   return Status::OK();
 }
 
@@ -230,7 +341,18 @@ PlanOutput AssembleOutput(
   for (const auto& state : states) {
     const StageState& s = *state;
     out.stats.stages.push_back(s.stats);
+    out.stats.cache_hits += s.stats.cache_hit ? 1 : 0;
+    out.stats.cache_misses += s.stats.cache_miss ? 1 : 0;
+    out.stats.cache_evictions += s.stats.cache_evictions;
+    out.stats.cache_spill_restores += s.stats.cache_restored ? 1 : 0;
     if (s.skipped) continue;
+    if (s.cached_output) {
+      // Served from the cache (hit) or split driver-side (cached-input
+      // stage): no engine ran, so there is no run_stats slice to sum —
+      // only the records it handed downstream.
+      out.stats.output_records += s.stats.output_records;
+      continue;
+    }
     ++out.stats.stage_count;
     // Summed from the copy taken at run time: the stage's JobOutput may
     // already have been released (dropped once its last consumer
@@ -246,15 +368,57 @@ PlanOutput AssembleOutput(
     out.stats.output_records += st.output_records;
     out.stats.parallel_shuffle_tasks += st.parallel_shuffle_tasks;
   }
-  auto& final_output =
-      states[static_cast<size_t>(plan.output_stage())]->output;
-  if (final_output.use_count() == 1) {
-    out.partitions = std::move(final_output->partitions);
+  StageState& fin = *states[static_cast<size_t>(plan.output_stage())];
+  if (fin.cached_output) {
+    // The plan's output is a cache entry; copy, the cache keeps its own.
+    out.partitions = *fin.cached_output;
+  } else if (fin.output.use_count() == 1) {
+    out.partitions = std::move(fin.output->partitions);
   } else {
-    out.partitions = final_output->partitions;
+    out.partitions = fin.output->partitions;
   }
   return out;
 }
+
+/// The Replanner handed to one stage's adapt hook: rewrites are only
+/// allowed into stages strictly downstream of the observed stage that
+/// have not been submitted yet (the hook runs under the scheduler lock
+/// before any child is released, so every not-yet-submitted downstream
+/// stage is still rewritable).
+class ScopedReplanner : public Replanner {
+ public:
+  ScopedReplanner(const Plan& plan,
+                  std::vector<std::unique_ptr<StageState>>* states,
+                  const std::function<bool(int, int)>& downstream_of,
+                  int observer)
+      : plan_(plan),
+        states_(states),
+        downstream_of_(downstream_of),
+        observer_(observer) {}
+
+  JobSpec* MutableJob(int stage) override {
+    if (stage < 0 || stage >= static_cast<int>(states_->size())) {
+      return nullptr;
+    }
+    if (stage == observer_ || !downstream_of_(observer_, stage)) {
+      return nullptr;
+    }
+    StageState* s = (*states_)[static_cast<size_t>(stage)].get();
+    if (s->submitted) return nullptr;
+    if (!s->adapted_job) {
+      s->adapted_job = std::make_unique<JobSpec>(
+          plan_.stages()[static_cast<size_t>(stage)].spec.job);
+      s->stats.adapted = true;
+    }
+    return s->adapted_job.get();
+  }
+
+ private:
+  const Plan& plan_;
+  std::vector<std::unique_ptr<StageState>>* states_;
+  const std::function<bool(int, int)>& downstream_of_;
+  int observer_;
+};
 
 }  // namespace
 
@@ -279,8 +443,11 @@ Result<PlanOutput> StageScheduler::Execute() {
     // Fast path for the degenerate one-stage plan (every Engine::Run):
     // no thread pool, no scheduling state — just the stage.
     states.push_back(std::make_unique<StageState>());
+    // (An adapt hook on a single-stage plan is a no-op: nothing is
+    // downstream to rewrite.)
     DMB_RETURN_NOT_OK(RunOneStage(engine_, stages[0], states,
-                                  states[0].get(), options_.cancel));
+                                  states[0].get(), options_.cache,
+                                  options_.cancel));
     return AssembleOutput(plan_, states);
   }
 
@@ -335,8 +502,16 @@ Result<PlanOutput> StageScheduler::Execute() {
     return false;
   };
 
+  bool any_adapt = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (stages[i].spec.adapt) any_adapt = true;
+  }
+
   bool any_pipelined = false;
-  if (popts.pipeline_narrow_edges) {
+  // A plan with an adapt hook never pipelines: downstream stage shapes
+  // (parallelism, partitioner) are not known until the producer's
+  // output has landed, which is exactly what a pipelined edge skips.
+  if (popts.pipeline_narrow_edges && !any_adapt) {
     for (size_t i = 0; i < n; ++i) {
       int data_edges = 0;
       int narrow_parent = -1;
@@ -355,6 +530,14 @@ Result<PlanOutput> StageScheduler::Execute() {
       // The binder consumes its state parent *final*: a state edge from
       // the producer itself can never stream.
       if (state_parent == narrow_parent) continue;
+      // A cache-keyed producer (including a cached-input stage) must
+      // materialize its partitions for the cache — and on a hit nothing
+      // would ever push into the stream — so it keeps the barrier
+      // handoff.
+      if (!stages[static_cast<size_t>(narrow_parent)]
+               .spec.cache_output.empty()) {
+        continue;
+      }
       bool blocked_parent = false;
       for (int parent : parents_of[i]) {
         if (parent != narrow_parent &&
@@ -413,14 +596,21 @@ Result<PlanOutput> StageScheduler::Execute() {
   auto maybe_release = [&](int sid) {
     StageState* s = states[static_cast<size_t>(sid)].get();
     if (!s->done || s->alive_consumers > 0 || sid == output_stage ||
-        !s->output) {
+        (!s->output && !s->cached_output)) {
       return;
     }
+    // Dropping the scheduler's references only; a StageCache entry (or
+    // any consumer-held shared_ptr) keeps the data itself alive — a
+    // cached output is never double-released.
     s->output.reset();
+    s->cached_output.reset();
     if (options_.on_stage_output_released) {
       options_.on_stage_output_released(sid);
     }
   };
+
+  // downstream_of as a std::function, for the Replanner.
+  const std::function<bool(int, int)> downstream_fn = downstream_of;
 
   // Submits stage `sid` (mu held). The stage task re-locks to publish
   // its result and hand newly-ready children back to the pool.
@@ -453,7 +643,8 @@ Result<PlanOutput> StageScheduler::Execute() {
     ++in_flight;
     const bool accepted = pool->Submit([&, sid, state] {
       Status st = RunOneStage(engine_, stages[static_cast<size_t>(sid)],
-                              states, state, options_.cancel);
+                              states, state, options_.cache,
+                              options_.cancel);
       // Producer side: close every still-open partition — a clean close
       // ends the consumer's pull loop, an error reaches it verbatim.
       if (state->out_channel) state->out_channel->CloseAll(st);
@@ -465,6 +656,36 @@ Result<PlanOutput> StageScheduler::Execute() {
       ++done_count;
       --in_flight;
       state->done = true;
+      const auto& adapt = stages[static_cast<size_t>(sid)].spec.adapt;
+      if (st.ok() && error.ok() && adapt) {
+        // Adaptive re-planning: the stage's output has landed and no
+        // child has been released yet, so the hook sees final
+        // per-partition sizes and every not-yet-submitted downstream
+        // stage is still rewritable. Runs under the scheduler lock —
+        // hooks must stay cheap.
+        const auto shared = SharedParts(*state);
+        StageObservation obs;
+        obs.stage = sid;
+        obs.partition_records.reserve(shared->size());
+        obs.partition_bytes.reserve(shared->size());
+        for (const auto& part : *shared) {
+          int64_t bytes = 0;
+          for (const KVPair& kv : part) {
+            bytes += static_cast<int64_t>(kv.key.size() + kv.value.size());
+          }
+          obs.partition_records.push_back(static_cast<int64_t>(part.size()));
+          obs.partition_bytes.push_back(bytes);
+          obs.output_records += static_cast<int64_t>(part.size());
+          obs.output_bytes += bytes;
+        }
+        ScopedReplanner replanner(plan_, &states, downstream_fn, sid);
+        st = adapt(obs, &replanner);
+        if (!st.ok()) {
+          st = st.WithContext("adapt hook of stage '" +
+                              stages[static_cast<size_t>(sid)].spec.name +
+                              "'");
+        }
+      }
       if (!st.ok()) {
         if (error.ok()) {
           error = st;

@@ -23,6 +23,21 @@
 // versa) and its status is returned verbatim. Intermediate stage
 // outputs are dropped as soon as their last consuming child completes
 // (child refcount), so deep plans do not hold every stage's data live.
+//
+// Cache-keyed stages (StageSpec::cache_output) consult
+// SchedulerOptions::cache before running: a hit with a matching
+// partition count serves the stage's output straight from the cache
+// (binder and engine never run; a spilled entry streams back
+// byte-identically), a miss runs the stage and registers its
+// partitions — shared, not copied, so dropping the scheduler's
+// reference via the early-release path never invalidates the cached
+// copy. Adapt hooks (StageSpec::adapt) run under the scheduler lock
+// when their stage's output lands, before any downstream stage is
+// released, and may rewrite not-yet-started downstream JobSpecs from
+// the observed per-partition sizes. A plan containing an adapt hook
+// never pipelines (downstream shapes are unknown until the producer
+// completes), and a cache-keyed stage is never a pipelined producer
+// (its materialized output is what gets cached).
 
 #ifndef DATAMPI_BENCH_RUNTIME_SCHEDULER_H_
 #define DATAMPI_BENCH_RUNTIME_SCHEDULER_H_
@@ -37,6 +52,8 @@
 #include "runtime/plan.h"
 
 namespace dmb::runtime {
+
+class StageCache;
 
 /// \brief Scheduler tuning.
 struct SchedulerOptions {
@@ -73,6 +90,14 @@ struct SchedulerOptions {
   /// stage-pool width chosen for this plan (widened past
   /// max_concurrent_stages only when an edge actually pipelines).
   std::function<void(int pool_threads)> on_pool_width;
+  /// Stage-output cache consulted by cache-keyed stages
+  /// (StageSpec::cache_output / Plan::AddCachedInput). Engine::RunPlan
+  /// fills this with the engine-owned cache when the plan uses caching,
+  /// so entries persist across RunPlan calls; tests may point it at a
+  /// private cache. Not owned; must outlive the Execute call. Null =
+  /// cache-keyed stages execute normally (cached-input stages still
+  /// split, but re-build their records every run).
+  StageCache* cache = nullptr;
 };
 
 /// \brief One-shot executor of a Plan against an Engine.

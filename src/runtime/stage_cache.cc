@@ -1,0 +1,214 @@
+#include "runtime/stage_cache.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "io/run_file.h"
+
+namespace dmb::runtime {
+
+namespace {
+
+// Per record: two std::string headers plus the KVPair's slot in its
+// partition vector. The ledger tracks working-set pressure, not exact
+// heap bytes, so a fixed overhead is enough.
+constexpr int64_t kPerRecordOverhead =
+    static_cast<int64_t>(2 * sizeof(std::string) + sizeof(KVPair));
+
+}  // namespace
+
+int64_t CachedPartitionsBytes(const CachedPartitions& partitions) {
+  int64_t bytes = 0;
+  for (const auto& part : partitions) {
+    bytes += static_cast<int64_t>(part.size()) * kPerRecordOverhead;
+    for (const KVPair& kv : part) {
+      bytes += static_cast<int64_t>(kv.key.size() + kv.value.size());
+    }
+  }
+  return bytes;
+}
+
+StageCache::StageCache(StageCacheOptions options)
+    : options_(std::move(options)) {}
+
+StageCache::~StageCache() = default;
+
+Result<int64_t> StageCache::Put(
+    const std::string& key,
+    std::shared_ptr<const CachedPartitions> partitions) {
+  if (partitions == nullptr) {
+    return Status::InvalidArgument("StageCache::Put: null partitions");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[key];
+  if (entry.resident) {
+    resident_bytes_ -= entry.bytes;
+  } else if (!entry.spill_files.empty()) {
+    spilled_bytes_ -= entry.bytes;
+    DropSpillFiles(&entry);
+  }
+  entry.bytes = CachedPartitionsBytes(*partitions);
+  entry.partitions = static_cast<int64_t>(partitions->size());
+  entry.resident = std::move(partitions);
+  entry.last_used = ++clock_;
+  resident_bytes_ += entry.bytes;
+  ++counters_.stores;
+  DMB_ASSIGN_OR_RETURN(int64_t evicted, EnforceBudget(key));
+  if (resident_bytes_ > options_.budget_bytes && entry.resident) {
+    // The new entry alone exceeds the budget: register it spilled.
+    // Callers still holding the shared_ptr keep using their copy.
+    DMB_RETURN_NOT_OK(SpillEntry(key, &entry));
+    ++counters_.evictions;
+    ++evicted;
+  }
+  return evicted;
+}
+
+Result<CachedDataset> StageCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return Status::NotFound("StageCache: no entry for key '" + key + "'");
+  }
+  Entry& entry = it->second;
+  entry.last_used = ++clock_;
+  ++counters_.hits;
+  CachedDataset dataset;
+  if (entry.resident) {
+    dataset.partitions = entry.resident;
+    return dataset;
+  }
+  DMB_ASSIGN_OR_RETURN(dataset.partitions, RestoreEntry(entry));
+  dataset.restored_from_spill = true;
+  ++counters_.spill_restores;
+  if (entry.bytes <= options_.budget_bytes) {
+    // Re-admit: the restored entry becomes resident again and the LRU
+    // tail makes room for it.
+    DropSpillFiles(&entry);
+    entry.resident = dataset.partitions;
+    spilled_bytes_ -= entry.bytes;
+    resident_bytes_ += entry.bytes;
+    DMB_RETURN_NOT_OK(EnforceBudget(key).status());
+  }
+  // Else: larger than the whole budget — hand the restored copy to the
+  // caller and keep the entry spilled.
+  return dataset;
+}
+
+bool StageCache::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(key) != entries_.end();
+}
+
+void StageCache::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  if (entry.resident) {
+    resident_bytes_ -= entry.bytes;
+  } else {
+    spilled_bytes_ -= entry.bytes;
+  }
+  DropSpillFiles(&entry);
+  entries_.erase(it);
+}
+
+void StageCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) DropSpillFiles(&entry);
+  entries_.clear();
+  resident_bytes_ = 0;
+  spilled_bytes_ = 0;
+}
+
+CacheStats StageCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats = counters_;
+  stats.entries = static_cast<int64_t>(entries_.size());
+  stats.resident_bytes = resident_bytes_;
+  stats.spilled_bytes = spilled_bytes_;
+  return stats;
+}
+
+Status StageCache::SpillEntry(const std::string& key, Entry* entry) {
+  if (spill_dir_ == nullptr) {
+    spill_dir_ = std::make_unique<TempDir>("dmb-stage-cache");
+  }
+  const CachedPartitions& parts = *entry->resident;
+  std::vector<std::string> files;
+  files.reserve(parts.size());
+  const uint64_t seq = ++file_seq_;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    std::string path = spill_dir_->File(
+        "entry-" + std::to_string(seq) + "-p" + std::to_string(p) + ".run");
+    io::SpillFileWriter writer(path, options_.io);
+    for (const KVPair& kv : parts[p]) {
+      DMB_RETURN_NOT_OK(writer.Add(kv.key, kv.value));
+    }
+    DMB_RETURN_NOT_OK(writer.Finish());
+    files.push_back(std::move(path));
+  }
+  entry->spill_files = std::move(files);
+  entry->resident.reset();
+  resident_bytes_ -= entry->bytes;
+  spilled_bytes_ += entry->bytes;
+  // The key only names the entry in error messages today; keep the
+  // parameter so a future directory-per-key layout stays a local change.
+  (void)key;
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const CachedPartitions>> StageCache::RestoreEntry(
+    const Entry& entry) {
+  auto restored = std::make_shared<CachedPartitions>();
+  restored->resize(static_cast<size_t>(entry.partitions));
+  for (size_t p = 0; p < entry.spill_files.size(); ++p) {
+    DMB_ASSIGN_OR_RETURN(auto reader,
+                         io::StreamingRunReader::Open(entry.spill_files[p]));
+    auto& part = (*restored)[p];
+    part.reserve(static_cast<size_t>(reader->total_records()));
+    std::string_view key;
+    std::string_view value;
+    while (reader->Next(&key, &value)) {
+      part.push_back(KVPair{std::string(key), std::string(value)});
+    }
+    DMB_RETURN_NOT_OK(reader->status());
+  }
+  return std::shared_ptr<const CachedPartitions>(std::move(restored));
+}
+
+Result<int64_t> StageCache::EnforceBudget(const std::string& keep) {
+  int64_t evicted = 0;
+  while (resident_bytes_ > options_.budget_bytes) {
+    Entry* victim = nullptr;
+    const std::string* victim_key = nullptr;
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto& [key, entry] : entries_) {
+      if (!entry.resident || key == keep) continue;
+      if (entry.last_used < oldest) {
+        oldest = entry.last_used;
+        victim = &entry;
+        victim_key = &key;
+      }
+    }
+    if (victim == nullptr) break;  // nothing evictable but `keep`
+    DMB_RETURN_NOT_OK(SpillEntry(*victim_key, victim));
+    ++counters_.evictions;
+    ++evicted;
+  }
+  return evicted;
+}
+
+void StageCache::DropSpillFiles(Entry* entry) {
+  for (const std::string& path : entry->spill_files) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // best-effort cleanup
+  }
+  entry->spill_files.clear();
+}
+
+}  // namespace dmb::runtime

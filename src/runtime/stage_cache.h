@@ -1,0 +1,164 @@
+// StageCache: plan-level persistence of stage outputs (Spark persist()
+// semantics over the stage-DAG runtime).
+//
+// A CachedDataset is an immutable, partition-aligned stage output (or a
+// pre-split root input) registered under a caller-chosen key. Entries
+// are budget-accounted with a MemoryManager-style ledger, but where the
+// rddlite shuffle fails with OutOfMemory past its budget, the cache
+// *spills*: least-recently-used entries are written to checksummed
+// io:: run files (one per partition) and stream back byte-identically
+// on the next Get. Consumers receive a shared_ptr to the partitions —
+// a Get never copies resident data, and data handed out stays alive
+// even if the entry is evicted or erased while in use.
+//
+// The cache is engine-owned (Engine::cache()) so entries survive across
+// RunPlan calls: an iterative workload splits its input once and every
+// later iteration — or a later plan against the same engine — consumes
+// the cached dataset as a narrow parent without re-materializing it.
+// All methods are thread-safe; spill/restore I/O runs under the cache
+// lock, which also serializes concurrent restores of one entry (no
+// double-restore, no torn reads).
+
+#ifndef DATAMPI_BENCH_RUNTIME_STAGE_CACHE_H_
+#define DATAMPI_BENCH_RUNTIME_STAGE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/temp_dir.h"
+#include "core/kv.h"
+#include "io/block_file.h"
+
+namespace dmb::runtime {
+
+using datampi::KVPair;
+
+/// \brief The partition-aligned payload of a cache entry.
+using CachedPartitions = std::vector<std::vector<KVPair>>;
+
+/// \brief Cache tuning.
+struct StageCacheOptions {
+  /// Resident-byte budget (MemoryManager-style ledger over approximate
+  /// record footprints). Past it, LRU entries spill to run files; the
+  /// cache itself never fails with OutOfMemory.
+  int64_t budget_bytes = 256LL << 20;
+  /// Block format of spilled partitions (checksummed, compressed — the
+  /// same container every engine uses for shuffle spills).
+  io::BlockFileOptions io;
+};
+
+/// \brief Counter snapshot (monotonic over the cache's lifetime).
+struct CacheStats {
+  int64_t entries = 0;          // datasets currently registered
+  int64_t resident_bytes = 0;   // ledger bytes of in-memory entries
+  int64_t spilled_bytes = 0;    // ledger bytes of spilled entries
+  int64_t stores = 0;           // Put calls that registered data
+  int64_t hits = 0;             // Get calls that found the key
+  int64_t misses = 0;           // Get calls that did not
+  int64_t evictions = 0;        // entries pushed out to spill files
+  int64_t spill_restores = 0;   // hits served by streaming a spill back
+};
+
+/// \brief A successful Get.
+struct CachedDataset {
+  /// The dataset's partitions; shared with the cache (resident hit) or
+  /// exclusively owned by the caller (restored past-budget entry).
+  /// Never null.
+  std::shared_ptr<const CachedPartitions> partitions;
+  /// The hit was served by streaming the entry back from its spill
+  /// files rather than from resident memory.
+  bool restored_from_spill = false;
+};
+
+/// \brief Budget-accounted, spill-backed store of immutable stage
+/// outputs, keyed by caller-chosen strings.
+class StageCache {
+ public:
+  explicit StageCache(StageCacheOptions options = StageCacheOptions{});
+  ~StageCache();
+
+  StageCache(const StageCache&) = delete;
+  StageCache& operator=(const StageCache&) = delete;
+
+  /// \brief Registers `partitions` under `key` (replacing any previous
+  /// entry) and returns how many other entries were evicted to spill to
+  /// make room. The cache shares ownership — it never copies — so a
+  /// producer's live output and its cache entry are one allocation. An
+  /// entry larger than the whole budget is registered spilled
+  /// immediately (its data stays usable through any shared_ptr the
+  /// caller retains).
+  Result<int64_t> Put(const std::string& key,
+                      std::shared_ptr<const CachedPartitions> partitions);
+
+  /// \brief Looks up `key`. Resident entries are returned as-is;
+  /// spilled entries are streamed back from their run files (and
+  /// re-registered resident when they fit the budget). NotFound on
+  /// miss; Corruption if a spill file fails its checksums.
+  Result<CachedDataset> Get(const std::string& key);
+
+  /// \brief True iff `key` is registered (resident or spilled).
+  bool Contains(const std::string& key) const;
+
+  /// \brief Drops `key` (and its spill files) if present.
+  void Erase(const std::string& key);
+
+  /// \brief Drops every entry and spill file. Counters survive.
+  void Clear();
+
+  CacheStats Stats() const;
+
+  int64_t budget_bytes() const { return options_.budget_bytes; }
+
+ private:
+  struct Entry {
+    /// Null while spilled.
+    std::shared_ptr<const CachedPartitions> resident;
+    /// One run file per partition while spilled; empty while resident.
+    std::vector<std::string> spill_files;
+    /// Partition count, preserved across spills.
+    int64_t partitions = 0;
+    /// Ledger footprint (approximate in-memory bytes, not file bytes).
+    int64_t bytes = 0;
+    /// LRU clock value of the last Put/Get touch.
+    uint64_t last_used = 0;
+  };
+
+  /// Spills `entry` (mu_ held): writes one run file per partition and
+  /// drops the resident pointer. Shared_ptrs already handed out keep
+  /// the in-memory copy alive for their holders.
+  Status SpillEntry(const std::string& key, Entry* entry);
+  /// Streams a spilled entry back into a fresh CachedPartitions
+  /// (mu_ held). The spill files are kept until the entry is resident
+  /// again or erased.
+  Result<std::shared_ptr<const CachedPartitions>> RestoreEntry(
+      const Entry& entry);
+  /// Evicts LRU resident entries (never `keep`) until the ledger fits
+  /// the budget or nothing evictable remains; returns evictions
+  /// (mu_ held).
+  Result<int64_t> EnforceBudget(const std::string& keep);
+  void DropSpillFiles(Entry* entry);
+
+  const StageCacheOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  /// Lazily created on first spill; lives until the cache dies.
+  std::unique_ptr<TempDir> spill_dir_;
+  uint64_t clock_ = 0;
+  uint64_t file_seq_ = 0;
+  int64_t resident_bytes_ = 0;
+  int64_t spilled_bytes_ = 0;
+  CacheStats counters_;
+};
+
+/// \brief The ledger footprint of one partition vector: key/value bytes
+/// plus a fixed per-record overhead (string headers + vector slot).
+int64_t CachedPartitionsBytes(const CachedPartitions& partitions);
+
+}  // namespace dmb::runtime
+
+#endif  // DATAMPI_BENCH_RUNTIME_STAGE_CACHE_H_

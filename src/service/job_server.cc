@@ -274,6 +274,7 @@ void JobServer::ReaperLoop() {
 ServerStats JobServer::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServerStats stats;
+  stats.cache = engine_->cache()->Stats();
   stats.uptime_seconds = Seconds(start_tp_, Clock::now());
   const double uptime = std::max(stats.uptime_seconds, 1e-9);
   for (const auto& [name, tenant] : tenants_) {

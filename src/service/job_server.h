@@ -129,6 +129,10 @@ struct ServerStats {
   double jobs_per_second = 0;
   double p50_total_seconds = 0;
   double p99_total_seconds = 0;
+  /// Snapshot of the shared engine StageCache the tenants' cache-keyed
+  /// plans hit (per-tenant cached datasets; zeros when no plan used the
+  /// cache).
+  runtime::CacheStats cache;
   std::map<std::string, TenantStats> tenants;
 };
 

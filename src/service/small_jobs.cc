@@ -22,13 +22,37 @@ int64_t SumCounts(const std::vector<std::string>& values) {
   return total;
 }
 
-JobSpec BaseSpec(std::shared_ptr<const std::vector<KVPair>> input,
-                 int parallelism, int64_t memory_budget_bytes) {
+JobSpec BaseSpec(int parallelism, int64_t memory_budget_bytes) {
   JobSpec spec;
-  spec.input = std::move(input);
   spec.parallelism = parallelism;
   spec.memory_budget_bytes = memory_budget_bytes;
   return spec;
+}
+
+/// Adds the job's entry stage: directly over `input`, or — with a
+/// cache_key — as the narrow consumer of a cached root-input stage, so
+/// repeated jobs against the same engine share one partition-aligned
+/// split of the dataset instead of re-slicing it per request.
+int AddEntryStage(runtime::Plan* plan, std::string name, JobSpec spec,
+                  std::shared_ptr<const std::vector<KVPair>> input,
+                  const std::string& cache_key) {
+  runtime::StageSpec stage;
+  stage.name = std::move(name);
+  if (cache_key.empty()) {
+    spec.input = std::move(input);
+    stage.job = std::move(spec);
+    return plan->AddStage(std::move(stage));
+  }
+  const int root = plan->AddCachedInput(
+      cache_key,
+      [input = std::move(input)]()
+          -> Result<std::shared_ptr<const std::vector<KVPair>>> {
+        return input;
+      },
+      spec.parallelism);
+  stage.job = std::move(spec);
+  return plan->AddStage(std::move(stage),
+                        {{root, runtime::EdgeKind::kNarrow}});
 }
 
 }  // namespace
@@ -44,9 +68,9 @@ std::shared_ptr<const std::vector<KVPair>> MakeLineRecords(
 runtime::Plan SmallGrepPlan(
     std::shared_ptr<const std::vector<KVPair>> input,
     const std::string& pattern, int parallelism,
-    int64_t memory_budget_bytes) {
+    int64_t memory_budget_bytes, const std::string& cache_key) {
   auto matcher = std::make_shared<workloads::GrepPattern>(pattern);
-  JobSpec spec = BaseSpec(std::move(input), parallelism, memory_budget_bytes);
+  JobSpec spec = BaseSpec(parallelism, memory_budget_bytes);
   spec.map_fn = [matcher](std::string_view key, std::string_view,
                           MapContext* ctx) -> Status {
     const int matches = matcher->CountMatches(key);
@@ -60,15 +84,14 @@ runtime::Plan SmallGrepPlan(
     return Status::OK();
   };
   runtime::Plan plan;
-  plan.AddStage({"grep", std::move(spec), nullptr});
+  AddEntryStage(&plan, "grep", std::move(spec), std::move(input), cache_key);
   return plan;
 }
 
 namespace {
 
-JobSpec WordCountSpec(std::shared_ptr<const std::vector<KVPair>> input,
-                      int parallelism, int64_t memory_budget_bytes) {
-  JobSpec spec = BaseSpec(std::move(input), parallelism, memory_budget_bytes);
+JobSpec WordCountSpec(int parallelism, int64_t memory_budget_bytes) {
+  JobSpec spec = BaseSpec(parallelism, memory_budget_bytes);
   spec.map_fn = [](std::string_view key, std::string_view,
                    MapContext* ctx) -> Status {
     Status st = Status::OK();
@@ -94,23 +117,21 @@ JobSpec WordCountSpec(std::shared_ptr<const std::vector<KVPair>> input,
 
 runtime::Plan SmallWordCountPlan(
     std::shared_ptr<const std::vector<KVPair>> input, int parallelism,
-    int64_t memory_budget_bytes) {
+    int64_t memory_budget_bytes, const std::string& cache_key) {
   runtime::Plan plan;
-  plan.AddStage({"wordcount",
-                 WordCountSpec(std::move(input), parallelism,
-                               memory_budget_bytes),
-                 nullptr});
+  AddEntryStage(&plan, "wordcount",
+                WordCountSpec(parallelism, memory_budget_bytes),
+                std::move(input), cache_key);
   return plan;
 }
 
 runtime::Plan SmallTopKPlan(
     std::shared_ptr<const std::vector<KVPair>> input, int k, int parallelism,
-    int64_t memory_budget_bytes) {
+    int64_t memory_budget_bytes, const std::string& cache_key) {
   runtime::Plan plan;
-  const int counts = plan.AddStage(
-      {"wordcount",
-       WordCountSpec(std::move(input), parallelism, memory_budget_bytes),
-       nullptr});
+  const int counts = AddEntryStage(
+      &plan, "wordcount", WordCountSpec(parallelism, memory_budget_bytes),
+      std::move(input), cache_key);
 
   // Wide single-partition selection: every (word, count) record funnels
   // to one reduce group, which keeps the top k.
@@ -145,8 +166,10 @@ runtime::Plan SmallTopKPlan(
     }
     return Status::OK();
   };
-  plan.AddStage({"topk", std::move(select), nullptr},
-                {{counts, runtime::EdgeKind::kWide}});
+  runtime::StageSpec topk;
+  topk.name = "topk";
+  topk.job = std::move(select);
+  plan.AddStage(std::move(topk), {{counts, runtime::EdgeKind::kWide}});
   return plan;
 }
 

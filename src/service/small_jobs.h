@@ -6,6 +6,13 @@
 // wordcount are single-stage; top-k is a two-stage DAG (wordcount, then
 // a wide single-partition selection stage), so a service workload mix
 // exercises both the one-shot and the multi-stage scheduler paths.
+//
+// Every builder takes an optional `cache_key`: when non-empty, the plan
+// consumes its input through a cached root-input stage
+// (Plan::AddCachedInput) registered in the server engine's StageCache
+// under that key — typically one key per tenant dataset — so the
+// thousandth small job over the same corpus reuses one partition-
+// aligned split instead of re-slicing the shared vector per request.
 
 #ifndef DATAMPI_BENCH_SERVICE_SMALL_JOBS_H_
 #define DATAMPI_BENCH_SERVICE_SMALL_JOBS_H_
@@ -28,12 +35,13 @@ std::shared_ptr<const std::vector<runtime::KVPair>> MakeLineRecords(
 runtime::Plan SmallGrepPlan(
     std::shared_ptr<const std::vector<runtime::KVPair>> input,
     const std::string& pattern, int parallelism,
-    int64_t memory_budget_bytes = 0);
+    int64_t memory_budget_bytes = 0, const std::string& cache_key = "");
 
 /// \brief Single-stage word count: output records are (word, count).
 runtime::Plan SmallWordCountPlan(
     std::shared_ptr<const std::vector<runtime::KVPair>> input,
-    int parallelism, int64_t memory_budget_bytes = 0);
+    int parallelism, int64_t memory_budget_bytes = 0,
+    const std::string& cache_key = "");
 
 /// \brief Two-stage top-k: a wordcount stage feeding a wide,
 /// single-partition stage that keeps the k most frequent words (count
@@ -41,7 +49,8 @@ runtime::Plan SmallWordCountPlan(
 /// in rank order.
 runtime::Plan SmallTopKPlan(
     std::shared_ptr<const std::vector<runtime::KVPair>> input, int k,
-    int parallelism, int64_t memory_budget_bytes = 0);
+    int parallelism, int64_t memory_budget_bytes = 0,
+    const std::string& cache_key = "");
 
 }  // namespace dmb::service
 

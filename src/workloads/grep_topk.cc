@@ -1,5 +1,6 @@
 #include "workloads/grep_topk.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "runtime/plan.h"
@@ -44,6 +45,26 @@ std::string SumCombiner(std::string_view,
   return std::to_string(total);
 }
 
+/// Adaptive mode: re-keying width of the top-k stage, picked from the
+/// grep stage's observed output. Small match sets don't deserve P map
+/// tasks; and when one source partition holds nearly every match
+/// (single-source skew) the fan-out buys nothing over funnelling the
+/// one heavy partition straight down.
+constexpr int64_t kAdaptiveRecordsPerTask = 4096;
+
+int AdaptiveFunnelWidth(int64_t total_records,
+                        const std::vector<int64_t>& partition_records,
+                        int max_width) {
+  if (total_records <= 0) return 1;
+  int64_t max_part = 0;
+  for (int64_t r : partition_records) max_part = std::max(max_part, r);
+  if (max_part * 10 >= total_records * 9) return 1;  // >= 90% from one part
+  const int64_t width =
+      (total_records + kAdaptiveRecordsPerTask - 1) / kAdaptiveRecordsPerTask;
+  return static_cast<int>(
+      std::clamp<int64_t>(width, 1, static_cast<int64_t>(max_width)));
+}
+
 }  // namespace
 
 Result<GrepTopKResult> GrepTopK(engine::Engine& eng,
@@ -72,6 +93,27 @@ Result<GrepTopKResult> GrepTopK(engine::Engine& eng,
     return Status::OK();
   };
   grep.job.reduce_fn = engine::CombinerAsReduce(SumCombiner);
+
+  // Adaptive mode: pick the top-k stage's re-keying width AFTER the
+  // grep stage ran, from its observed output size and skew, instead of
+  // committing to the static parallelism up front. The hook needs the
+  // top-k stage's id, which doesn't exist yet — filled in below.
+  auto topk_stage_id = std::make_shared<int>(-1);
+  if (config.adaptive) {
+    const int max_width = config.parallelism;
+    grep.adapt = [topk_stage_id, max_width](
+                     const runtime::StageObservation& obs,
+                     runtime::Replanner* replanner) -> Status {
+      const int width = AdaptiveFunnelWidth(obs.output_records,
+                                            obs.partition_records, max_width);
+      engine::JobSpec* topk_job = replanner->MutableJob(*topk_stage_id);
+      if (topk_job == nullptr) {
+        return Status::Internal("grep-topk: top-k stage not rewritable");
+      }
+      if (topk_job->parallelism != width) topk_job->parallelism = width;
+      return Status::OK();
+    };
+  }
   const int grep_id = plan.AddStage(std::move(grep));
 
   // Stage 2: funnel everything into one sorted partition in
@@ -110,7 +152,16 @@ Result<GrepTopKResult> GrepTopK(engine::Engine& eng,
     }
     return Status::OK();
   };
-  plan.AddStage(std::move(topk), {{grep_id, runtime::EdgeKind::kNarrow}});
+  // Static plan: narrow, partition-aligned edge (pipelineable). With
+  // config.adaptive the edge is wide instead — the gather barrier lets
+  // the adapt hook shrink (or keep) the top-k parallelism before the
+  // stage splits the gathered matches across its re-keying tasks. The
+  // funnel partitioner gives one totally ordered reduce partition either
+  // way, so results are identical at any width.
+  *topk_stage_id = plan.AddStage(
+      std::move(topk), {{grep_id, config.adaptive
+                                      ? runtime::EdgeKind::kWide
+                                      : runtime::EdgeKind::kNarrow}});
   plan.options().pipeline_narrow_edges = config.pipeline_narrow_edges;
   // Grep emits small records at a high rate: larger batches keep the
   // channel's synchronization cost well below the overlap it buys.

@@ -33,6 +33,13 @@ struct GrepTopKResult {
 
 /// \brief Runs the grep -> top-k plan; `stats` (optional) receives the
 /// plan-wide EngineStats including the per-stage breakdown.
+///
+/// With `config.adaptive`, the top-k stage's re-keying width is chosen
+/// at run time by a StageSpec::adapt hook on the grep stage: few
+/// matches (or >= 90% of them from a single partition — single-source
+/// skew) funnel through one task; large spread match sets keep up to
+/// `config.parallelism` tasks. Results are identical to the static
+/// plan at any width.
 Result<GrepTopKResult> GrepTopK(engine::Engine& eng,
                                 const std::vector<std::string>& lines,
                                 const std::string& pattern, int k,

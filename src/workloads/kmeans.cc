@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/byte_buffer.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "runtime/plan.h"
 
@@ -14,10 +15,16 @@ namespace {
 
 using datampi::KVPair;
 
-/// A per-cluster partial aggregate: running count + sparse sum.
+/// A per-cluster partial aggregate: running count + sparse sum, kept as
+/// index-sorted (index, value) entries. Sorted vectors beat a std::map
+/// here: per-vector partials come out of SparseVector's already-sorted
+/// entries for free, and merging two partials is one linear walk
+/// instead of nnz tree inserts. TF weights are integer counts, so the
+/// double sums are exact regardless of merge order — the property the
+/// engine-vs-oracle exact-equality guarantee already rests on.
 struct Partial {
   int64_t count = 0;
-  std::map<uint32_t, double> sum;
+  std::vector<std::pair<uint32_t, double>> sum;  // sorted, unique indexes
 };
 
 std::string EncodePartial(const Partial& p) {
@@ -40,6 +47,7 @@ Result<Partial> DecodePartial(std::string_view data) {
   DMB_RETURN_NOT_OK(reader.ReadVarint(&count));
   DMB_RETURN_NOT_OK(reader.ReadVarint(&n));
   p.count = static_cast<int64_t>(count);
+  p.sum.reserve(n);
   uint32_t prev = 0;
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t delta;
@@ -47,7 +55,11 @@ Result<Partial> DecodePartial(std::string_view data) {
     DMB_RETURN_NOT_OK(reader.ReadVarint(&delta));
     DMB_RETURN_NOT_OK(reader.ReadDouble(&v));
     prev += static_cast<uint32_t>(delta);
-    p.sum[prev] += v;
+    if (!p.sum.empty() && p.sum.back().first == prev) {
+      p.sum.back().second += v;  // defensive: fold a zero delta
+    } else {
+      p.sum.emplace_back(prev, v);
+    }
   }
   return p;
 }
@@ -55,26 +67,127 @@ Result<Partial> DecodePartial(std::string_view data) {
 Partial PartialOfVector(const SparseVector& x) {
   Partial p;
   p.count = 1;
+  p.sum.reserve(x.entries.size());
   for (const auto& [idx, w] : x.entries) {
-    p.sum[idx] += static_cast<double>(w);
+    if (!p.sum.empty() && p.sum.back().first == idx) {
+      p.sum.back().second += static_cast<double>(w);
+    } else {
+      p.sum.emplace_back(idx, static_cast<double>(w));
+    }
   }
   return p;
 }
 
-Status MergeInto(Partial* acc, std::string_view encoded) {
-  DMB_ASSIGN_OR_RETURN(Partial other, DecodePartial(encoded));
-  acc->count += other.count;
-  for (const auto& [idx, v] : other.sum) acc->sum[idx] += v;
-  return Status::OK();
+/// Linear merge of two sorted partials.
+Partial MergePartials(const Partial& a, const Partial& b) {
+  Partial out;
+  out.count = a.count + b.count;
+  out.sum.reserve(a.sum.size() + b.sum.size());
+  size_t i = 0, j = 0;
+  while (i < a.sum.size() && j < b.sum.size()) {
+    if (a.sum[i].first < b.sum[j].first) {
+      out.sum.push_back(a.sum[i++]);
+    } else if (b.sum[j].first < a.sum[i].first) {
+      out.sum.push_back(b.sum[j++]);
+    } else {
+      out.sum.emplace_back(a.sum[i].first,
+                           a.sum[i].second + b.sum[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  out.sum.insert(out.sum.end(), a.sum.begin() + static_cast<long>(i),
+                 a.sum.end());
+  out.sum.insert(out.sum.end(), b.sum.begin() + static_cast<long>(j),
+                 b.sum.end());
+  return out;
+}
+
+/// Dense-accumulator fold of many encoded partials: stream-decode each
+/// value straight into a dimension-indexed dense array (no intermediate
+/// Partial allocations), then emit the touched indices in sorted order.
+/// O(total entries + union log union) — the dominant combiner cost of
+/// folding thousands of narrow per-vector partials into one
+/// vocabulary-wide sum, where any pairwise merge strategy pays the
+/// accumulated width over and over. Returns empty (and leaves the fold
+/// to the pairwise fallback) if an index exceeds `max_index` — k-means
+/// dimensions are bounded by the model space, so in practice this
+/// always succeeds.
+bool TryDenseMerge(const std::vector<std::string>& values,
+                   uint32_t max_index, std::string* out) {
+  int64_t count = 0;
+  std::vector<double> dense;
+  std::vector<uint8_t> seen;
+  std::vector<uint32_t> touched;
+  for (const auto& value : values) {
+    ByteReader reader(value);
+    uint64_t c, n;
+    DMB_CHECK_OK(reader.ReadVarint(&c));
+    DMB_CHECK_OK(reader.ReadVarint(&n));
+    count += static_cast<int64_t>(c);
+    uint32_t prev = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t delta;
+      double v;
+      DMB_CHECK_OK(reader.ReadVarint(&delta));
+      DMB_CHECK_OK(reader.ReadDouble(&v));
+      prev += static_cast<uint32_t>(delta);
+      if (prev > max_index) return false;
+      if (prev >= dense.size()) {
+        const size_t grown =
+            std::max<size_t>(static_cast<size_t>(prev) + 1, dense.size() * 2);
+        dense.resize(grown, 0.0);
+        seen.resize(grown, 0);
+      }
+      if (!seen[prev]) {
+        seen[prev] = 1;
+        touched.push_back(prev);
+      }
+      dense[prev] += v;
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  ByteBuffer buf;
+  buf.AppendVarint(static_cast<uint64_t>(count));
+  buf.AppendVarint(touched.size());
+  uint32_t prev = 0;
+  for (const uint32_t idx : touched) {
+    buf.AppendVarint(idx - prev);
+    prev = idx;
+    buf.AppendDouble(dense[idx]);
+  }
+  *out = std::string(buf.view());
+  return true;
 }
 
 std::string MergePartialStrings(std::string_view,
                                 const std::vector<std::string>& values) {
-  Partial acc;
-  for (const auto& v : values) {
-    DMB_CHECK_OK(MergeInto(&acc, v));
+  // Indexes above this would make the dense accumulator unreasonable;
+  // k-means dimensions stay far below it (5 models x 131072 stride).
+  constexpr uint32_t kMaxDenseIndex = 1u << 24;
+  std::string dense_merged;
+  if (TryDenseMerge(values, kMaxDenseIndex, &dense_merged)) {
+    return dense_merged;
   }
-  return EncodePartial(acc);
+  // Pairwise-tree fallback for out-of-range index spaces.
+  std::vector<Partial> parts;
+  parts.reserve(values.size());
+  for (const auto& v : values) {
+    auto p = DecodePartial(v);
+    DMB_CHECK_OK(p.status());
+    parts.push_back(std::move(*p));
+  }
+  if (parts.empty()) return EncodePartial(Partial{});
+  while (parts.size() > 1) {
+    std::vector<Partial> next;
+    next.reserve(parts.size() / 2 + 1);
+    for (size_t i = 0; i + 1 < parts.size(); i += 2) {
+      next.push_back(MergePartials(parts[i], parts[i + 1]));
+    }
+    if (parts.size() % 2 == 1) next.push_back(std::move(parts.back()));
+    parts = std::move(next);
+  }
+  return EncodePartial(parts.front());
 }
 
 std::vector<double> CentroidNorms(const KmeansModel& model) {
@@ -166,40 +279,62 @@ KmeansModel InitialCentroids(const std::vector<SparseVector>& vectors, int k,
 KmeansModel KmeansIterationReference(const std::vector<SparseVector>& vectors,
                                      const KmeansModel& model) {
   const auto norms = CentroidNorms(model);
-  std::vector<Partial> partials(static_cast<size_t>(model.k()));
+  // Map-based accumulators keep the oracle obviously correct; the
+  // sorted-entry Partial is only built once at the end.
+  std::vector<int64_t> counts(static_cast<size_t>(model.k()), 0);
+  std::vector<std::map<uint32_t, double>> sums(
+      static_cast<size_t>(model.k()));
   for (const auto& x : vectors) {
     const int c = NearestCentroid(x, model, norms);
-    auto& p = partials[static_cast<size_t>(c)];
-    ++p.count;
+    ++counts[static_cast<size_t>(c)];
     for (const auto& [idx, w] : x.entries) {
-      p.sum[idx] += static_cast<double>(w);
+      sums[static_cast<size_t>(c)][idx] += static_cast<double>(w);
     }
   }
   std::vector<KVPair> merged;
   for (int c = 0; c < model.k(); ++c) {
-    merged.push_back(KVPair{std::to_string(c),
-                            EncodePartial(partials[static_cast<size_t>(c)])});
+    Partial p;
+    p.count = counts[static_cast<size_t>(c)];
+    p.sum.assign(sums[static_cast<size_t>(c)].begin(),
+                 sums[static_cast<size_t>(c)].end());
+    merged.push_back(KVPair{std::to_string(c), EncodePartial(p)});
   }
   return ModelFromPartials(merged, model);
 }
 
 namespace {
 
-/// Builds one iteration's map function: assign each vector to its
-/// nearest centroid of `model` and emit the per-vector partial. The
-/// model (and its norms) are captured by value — the chain state keeps
-/// mutating after binding.
-engine::MapFn AssignMapFn(const std::vector<SparseVector>& vectors,
-                          KmeansModel model) {
+/// Builds one iteration's map function over the *serialized* dataset:
+/// decode the record's sparse vector, assign it to the nearest centroid
+/// of `model`, and emit the per-vector partial. Decoding per record per
+/// iteration is the honest no-cache behaviour — an engine without
+/// plan-level caching re-reads its input in storage format every job —
+/// and is exactly the per-iteration work the cached path eliminates.
+/// The model (and its norms) are captured by value — the chain state
+/// keeps mutating after binding.
+engine::MapFn AssignMapFn(KmeansModel model) {
   auto norms = CentroidNorms(model);
-  return [&vectors, model = std::move(model), norms = std::move(norms)](
+  return [model = std::move(model), norms = std::move(norms)](
              std::string_view, std::string_view value,
              engine::MapContext* ctx) -> Status {
-    const size_t i = std::stoull(std::string(value));
-    const int c = NearestCentroid(vectors[i], model, norms);
-    return ctx->Emit(std::to_string(c),
-                     EncodePartial(PartialOfVector(vectors[i])));
+    DMB_ASSIGN_OR_RETURN(SparseVector x, SparseVector::Decode(value));
+    const int c = NearestCentroid(x, model, norms);
+    return ctx->Emit(std::to_string(c), EncodePartial(PartialOfVector(x)));
   };
+}
+
+/// The uncached input: one record per vector in its compact storage
+/// encoding (what a distributed FS would hold), built once per
+/// KmeansIteration/KmeansTrain call and re-decoded by every iteration's
+/// map pass.
+std::shared_ptr<const std::vector<KVPair>> EncodedVectorInput(
+    const std::vector<SparseVector>& vectors) {
+  auto records = std::make_shared<std::vector<KVPair>>();
+  records->reserve(vectors.size());
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    records->push_back(KVPair{std::to_string(i), vectors[i].Encode()});
+  }
+  return records;
 }
 
 /// The JobSpec shape shared by every iteration stage. Records are vector
@@ -218,27 +353,110 @@ engine::JobSpec IterationSpec(
   return spec;
 }
 
+/// Cached-mode map function: records are (index, pre-encoded partial),
+/// so assignment only looks up the vector and forwards the stored
+/// partial — the per-vector PartialOfVector/EncodePartial work happens
+/// once, when the cached dataset is built, instead of every iteration.
+engine::MapFn AssignCachedMapFn(const std::vector<SparseVector>& vectors,
+                                KmeansModel model) {
+  auto norms = CentroidNorms(model);
+  return [&vectors, model = std::move(model), norms = std::move(norms)](
+             std::string_view key, std::string_view value,
+             engine::MapContext* ctx) -> Status {
+    const size_t i = std::stoull(std::string(key));
+    const int c = NearestCentroid(vectors[i], model, norms);
+    return ctx->Emit(std::to_string(c), value);
+  };
+}
+
+/// Cache key of the dataset's encoded-partial split: a content
+/// fingerprint (vector count, per-vector entries) plus the partition
+/// count, so another tenant's dataset — or the same one at a different
+/// parallelism — sharing the engine cache can never alias this entry.
+std::string KmeansCacheKey(const std::vector<SparseVector>& vectors,
+                           int parallelism) {
+  uint64_t h = Hash64("kmeans-encoded-input");
+  const uint64_t meta[2] = {static_cast<uint64_t>(vectors.size()),
+                            static_cast<uint64_t>(parallelism)};
+  h = Hash64(meta, sizeof(meta), h);
+  for (const auto& v : vectors) {
+    if (!v.entries.empty()) {
+      h = Hash64(v.entries.data(), v.entries.size() * sizeof(v.entries[0]),
+                 h);
+    }
+  }
+  return "kmeans/" + std::to_string(h);
+}
+
+/// Registers the dataset's (index, encoded partial) records as a cached
+/// root-input stage — Spark persist() semantics: parse and pre-encode
+/// once, then iterate over the in-memory dataset. The provider runs
+/// only on a cache miss; every later iteration (and later
+/// KmeansIteration/KmeansTrain call against the same engine) reads the
+/// cached split. Records are built in index order and split
+/// contiguously, exactly mirroring how the engines slice the uncached
+/// flat serialized input, so per-task grouping matches the uncached
+/// path and the centroids come out exactly equal (integer TF sums are
+/// order-exact).
+int AddCachedVectors(runtime::Plan* plan,
+                     const std::vector<SparseVector>& vectors,
+                     const EngineConfig& config) {
+  return plan->AddCachedInput(
+      KmeansCacheKey(vectors, config.parallelism),
+      [&vectors]() -> Result<std::shared_ptr<const std::vector<KVPair>>> {
+        auto records = std::make_shared<std::vector<KVPair>>();
+        records->reserve(vectors.size());
+        for (size_t i = 0; i < vectors.size(); ++i) {
+          records->push_back(
+              KVPair{std::to_string(i),
+                     EncodePartial(PartialOfVector(vectors[i]))});
+        }
+        return std::shared_ptr<const std::vector<KVPair>>(std::move(records));
+      },
+      config.parallelism);
+}
+
 }  // namespace
 
 Result<KmeansModel> KmeansIteration(engine::Engine& eng,
                                     const std::vector<SparseVector>& vectors,
                                     const KmeansModel& model,
-                                    const EngineConfig& config) {
-  engine::JobSpec spec =
-      IterationSpec(config, engine::IndexInput(vectors.size()));
-  spec.map_fn = AssignMapFn(vectors, model);
-  DMB_ASSIGN_OR_RETURN(engine::JobOutput out, eng.Run(spec));
+                                    const EngineConfig& config,
+                                    engine::EngineStats* stats) {
+  if (!config.cache) {
+    engine::JobSpec spec = IterationSpec(config, EncodedVectorInput(vectors));
+    spec.map_fn = AssignMapFn(model);
+    DMB_ASSIGN_OR_RETURN(engine::JobOutput out, eng.Run(spec));
+    if (stats != nullptr) *stats = out.stats;
+    return ModelFromPartials(out.Merged(), model);
+  }
+
+  // Cached mode: the assignment stage consumes the dataset's cached
+  // encoded-partial split as a narrow parent. The first call registers
+  // it; every later call against the same engine (each with a fresh
+  // model) is a cache hit that skips both rebuilding and re-encoding
+  // the input.
+  runtime::Plan plan;
+  const int root = AddCachedVectors(&plan, vectors, config);
+  runtime::StageSpec stage;
+  stage.name = "kmeans-assign";
+  stage.job = IterationSpec(config, nullptr);
+  stage.job.map_fn = AssignCachedMapFn(vectors, model);
+  plan.AddStage(std::move(stage), {{root, runtime::EdgeKind::kNarrow}});
+  DMB_ASSIGN_OR_RETURN(runtime::PlanOutput out, eng.RunPlan(plan));
+  if (stats != nullptr) *stats = out.stats;
   return ModelFromPartials(out.Merged(), model);
 }
 
 Result<std::pair<KmeansModel, int>> KmeansTrain(
     engine::Engine& eng, const std::vector<SparseVector>& vectors, int k,
     uint32_t dim, double threshold, int max_iterations,
-    const EngineConfig& config) {
+    const EngineConfig& config, engine::EngineStats* stats) {
   if (max_iterations < 1) {
     return std::make_pair(InitialCentroids(vectors, k, dim), 0);
   }
-  const auto input = engine::IndexInput(vectors.size());
+  const bool cached = config.cache;
+  const auto input = cached ? nullptr : EncodedVectorInput(vectors);
 
   // The whole training run is ONE plan: max_iterations stages chained by
   // state edges. Each stage's binder folds the previous stage's partials
@@ -257,19 +475,28 @@ Result<std::pair<KmeansModel, int>> KmeansTrain(
   chain->threshold = threshold;
   chain->iterations = 1;  // stage 0 always runs
 
+  // Cached mode splits the dataset ONCE into a cached root-input stage
+  // and every iteration consumes it as a narrow parent — instead of
+  // rebuilding the input (and re-encoding every vector's partial) per
+  // iteration. Identical centroids either way; only the per-iteration
+  // input work disappears.
   runtime::Plan plan;
+  const int root = cached ? AddCachedVectors(&plan, vectors, config) : -1;
   int prev = -1;
   for (int i = 0; i < max_iterations; ++i) {
     runtime::StageSpec stage;
     stage.name = "kmeans-iter-" + std::to_string(i);
     stage.job = IterationSpec(config, input);
     std::vector<runtime::StageInput> inputs;
+    if (cached) inputs.push_back({root, runtime::EdgeKind::kNarrow});
     if (i == 0) {
-      stage.job.map_fn = AssignMapFn(vectors, chain->model);
+      stage.job.map_fn = cached ? AssignCachedMapFn(vectors, chain->model)
+                                : AssignMapFn(chain->model);
     } else {
       inputs.push_back({prev, runtime::EdgeKind::kState});
-      stage.binder = [&vectors, chain](const std::vector<KVPair>& state,
-                                       engine::JobSpec* job) -> Status {
+      stage.binder = [&vectors, chain, cached](
+                         const std::vector<KVPair>& state,
+                         engine::JobSpec* job) -> Status {
         if (chain->converged) {
           job->map_fn = nullptr;  // pass the final partials through
           return Status::OK();
@@ -283,7 +510,8 @@ Result<std::pair<KmeansModel, int>> KmeansTrain(
           return Status::OK();
         }
         ++chain->iterations;
-        job->map_fn = AssignMapFn(vectors, chain->model);
+        job->map_fn = cached ? AssignCachedMapFn(vectors, chain->model)
+                             : AssignMapFn(chain->model);
         return Status::OK();
       };
     }
@@ -291,6 +519,7 @@ Result<std::pair<KmeansModel, int>> KmeansTrain(
   }
 
   DMB_ASSIGN_OR_RETURN(runtime::PlanOutput out, eng.RunPlan(plan));
+  if (stats != nullptr) *stats = out.stats;
   // The plan output is the last executed iteration's partials (skipped
   // stages forward them). Folding is idempotent, so this is exact both
   // when training converged and when it ran out of iterations.

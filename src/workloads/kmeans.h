@@ -52,18 +52,32 @@ KmeansModel KmeansIterationReference(const std::vector<SparseVector>& vectors,
 /// vectors to the nearest centroid and emit per-cluster partials merged
 /// by the combiner; reduce tasks fold partials into new centroids. Must
 /// agree with the oracle on every registered engine.
+///
+/// Without the cache, every call maps over the dataset in its compact
+/// storage encoding — decoding each vector and rebuilding its partial
+/// per iteration, the way an engine without plan-level caching re-reads
+/// its input per job. With `config.cache` set, the iteration reads the
+/// dataset's pre-encoded partial split from the engine's StageCache
+/// (registering it on the first call), so repeated calls — k-means
+/// iterations driven one job at a time — skip the per-iteration decode
+/// and re-encode entirely. Centroids are exactly equal with the cache
+/// on or off.
 Result<KmeansModel> KmeansIteration(engine::Engine& eng,
                                     const std::vector<SparseVector>& vectors,
                                     const KmeansModel& model,
-                                    const EngineConfig& config);
+                                    const EngineConfig& config,
+                                    engine::EngineStats* stats = nullptr);
 
 /// \brief Runs iterations until the max centroid movement falls below
 /// `threshold` or `max_iterations` is reached; returns the final model
-/// and the number of iterations executed.
+/// and the number of iterations executed. With `config.cache`, the
+/// input is split once into a cached root stage that every iteration
+/// consumes as a narrow parent (same exact-centroid guarantee as
+/// KmeansIteration).
 Result<std::pair<KmeansModel, int>> KmeansTrain(
     engine::Engine& eng, const std::vector<SparseVector>& vectors, int k,
     uint32_t dim, double threshold, int max_iterations,
-    const EngineConfig& config);
+    const EngineConfig& config, engine::EngineStats* stats = nullptr);
 
 /// \brief Max L2 movement between two models' centroids.
 double MaxCentroidShift(const KmeansModel& a, const KmeansModel& b);

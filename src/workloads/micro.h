@@ -41,6 +41,18 @@ struct EngineConfig {
   /// many workers shared engine-wide. Results are identical at every
   /// setting; only task-internal sort/spill/merge wall time changes.
   int shuffle_threads = 1;
+  /// Route cache-aware workloads through the engine's StageCache
+  /// (runtime/stage_cache.h): k-means registers its encoded input
+  /// splits once and every iteration — and every later call against
+  /// the same engine — reads the cached dataset instead of re-encoding
+  /// and re-splitting. Results are identical with the cache on or off.
+  bool cache = false;
+  /// Sample-driven adaptive re-planning (StageSpec::adapt): workloads
+  /// that support it pick downstream parallelism / partitioners at run
+  /// time from observed stage output sizes (grep->top-k funnel width;
+  /// the sort pipeline's reducer count). Results are identical to the
+  /// static plan.
+  bool adaptive = false;
 };
 
 /// \brief JobSpec knobs shared by every workload below.

@@ -1,0 +1,140 @@
+#include "workloads/sort_pipeline.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/hash.h"
+#include "core/partitioner.h"
+
+namespace dmb::workloads {
+
+namespace {
+
+using datampi::KVPair;
+
+Status IdentityReduce(std::string_view key,
+                      const std::vector<std::string>& values,
+                      engine::ReduceEmitter* out) {
+  for (const auto& v : values) out->Emit(key, v);
+  return Status::OK();
+}
+
+/// Binds a RangePartitioner built from the sample stage's output at the
+/// job's (possibly adapted) parallelism — the binder runs after any
+/// upstream adapt hook rewrote it, so the range boundaries always match
+/// the width the stage actually runs with.
+Status BindRangePartitioner(const std::vector<KVPair>& sampled,
+                            engine::JobSpec* job) {
+  std::vector<std::string> keys;
+  keys.reserve(sampled.size());
+  for (const auto& kv : sampled) keys.push_back(kv.key);
+  job->partitioner = std::make_shared<datampi::RangePartitioner>(
+      datampi::RangePartitioner::FromSample(std::move(keys),
+                                            job->parallelism));
+  return Status::OK();
+}
+
+}  // namespace
+
+int AdaptiveSortWidth(int64_t sampled_records,
+                      int64_t target_records_per_reducer,
+                      int max_parallelism) {
+  const int64_t target = std::max<int64_t>(1, target_records_per_reducer);
+  const int64_t estimated = sampled_records * kSortSampleRate;
+  const int64_t width = (estimated + target - 1) / target;
+  return static_cast<int>(
+      std::clamp<int64_t>(width, 1, std::max(1, max_parallelism)));
+}
+
+runtime::Plan SortPipelinePlan(
+    std::shared_ptr<const std::vector<runtime::KVPair>> input,
+    const SortPipelineOptions& options) {
+  runtime::Plan plan;
+
+  runtime::StageSpec sample;
+  sample.name = "sample";
+  sample.job.input = input;
+  sample.job.parallelism = options.parallelism;
+  sample.job.map_fn = [](std::string_view key, std::string_view,
+                         engine::MapContext* ctx) -> Status {
+    // Deterministic ~1/kSortSampleRate key sample, as the
+    // TotalOrderPartitioner's sampling job.
+    if (Hash64(key) % kSortSampleRate == 0) return ctx->Emit(key, "");
+    return Status::OK();
+  };
+  sample.job.reduce_fn = [](std::string_view key,
+                            const std::vector<std::string>&,
+                            engine::ReduceEmitter* out) -> Status {
+    out->Emit(key, "");
+    return Status::OK();
+  };
+
+  // Adaptive mode: size the sort AND deliver width from the observed
+  // sample count once it lands — the downstream stage ids don't exist
+  // yet, so the hook reads them through shared slots filled in below.
+  auto sort_stage_id = std::make_shared<int>(-1);
+  auto deliver_stage_id = std::make_shared<int>(-1);
+  if (options.adaptive) {
+    const int64_t target = options.target_records_per_reducer;
+    const int max_width = options.max_parallelism;
+    sample.adapt = [sort_stage_id, deliver_stage_id, target, max_width](
+                       const runtime::StageObservation& obs,
+                       runtime::Replanner* replanner) -> Status {
+      const int width =
+          AdaptiveSortWidth(obs.output_records, target, max_width);
+      for (const int stage : {*sort_stage_id, *deliver_stage_id}) {
+        engine::JobSpec* job = replanner->MutableJob(stage);
+        if (job == nullptr) {
+          return Status::Internal(
+              "sort pipeline: stage " + std::to_string(stage) +
+              " not rewritable by the sample adapt hook");
+        }
+        job->parallelism = width;
+      }
+      return Status::OK();
+    };
+  }
+  const int sample_id = plan.AddStage(std::move(sample));
+
+  runtime::StageSpec sort;
+  sort.name = "sort";
+  sort.job.input = input;
+  sort.job.parallelism = options.parallelism;
+  sort.job.memory_budget_bytes = options.memory_budget_bytes;
+  sort.job.rdd_shuffle_spill = options.rdd_shuffle_spill;
+  sort.job.map_fn = [](std::string_view key, std::string_view value,
+                       engine::MapContext* ctx) -> Status {
+    return ctx->Emit(key, value);
+  };
+  sort.job.reduce_fn = IdentityReduce;
+  sort.binder = BindRangePartitioner;
+  *sort_stage_id = plan.AddStage(
+      std::move(sort), {{sample_id, runtime::EdgeKind::kState}});
+
+  // Output/marshalling pass: same range partitioner (second state edge
+  // from the sample stage), so records stay in their globally-ordered
+  // partitions. The sort -> deliver edge is narrow and therefore
+  // pipelineable in the static plan; the adaptive plan runs it as a
+  // barrier (adapt hooks disable pipelining) with both widths rewritten
+  // in lockstep, keeping the edge partition-aligned.
+  runtime::StageSpec deliver;
+  deliver.name = "deliver";
+  deliver.job.parallelism = options.parallelism;
+  deliver.job.memory_budget_bytes = options.memory_budget_bytes;
+  deliver.job.rdd_shuffle_spill = options.rdd_shuffle_spill;
+  deliver.job.map_fn = [](std::string_view key, std::string_view value,
+                          engine::MapContext* ctx) -> Status {
+    return ctx->Emit(key, value);
+  };
+  deliver.job.reduce_fn = IdentityReduce;
+  deliver.binder = BindRangePartitioner;
+  *deliver_stage_id = plan.AddStage(
+      std::move(deliver), {{*sort_stage_id, runtime::EdgeKind::kNarrow},
+                           {sample_id, runtime::EdgeKind::kState}});
+
+  plan.options().pipeline_narrow_edges = options.pipeline_narrow_edges;
+  return plan;
+}
+
+}  // namespace dmb::workloads

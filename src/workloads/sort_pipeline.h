@@ -1,0 +1,74 @@
+// The three-stage total-order sort plan (sample -> sort -> deliver):
+// Hadoop's TotalOrderPartitioner workflow expressed as one Plan.
+//
+//   * "sample"  — thins the keys by hash (a deterministic ~1/64
+//     sample), exactly what the TotalOrderPartitioner's sampling job
+//     computes;
+//   * "sort"    — the range-partitioned sort. Its partitioner is not
+//     known at plan-build time: a state edge hands the sample stage's
+//     output to the sort stage's binder, which builds the
+//     RangePartitioner from the sampled keys;
+//   * "deliver" — the output/marshalling pass over the sorted
+//     partitions (same range partitioner via a second state edge, so
+//     global order is preserved). The sort -> deliver edge is narrow
+//     and partition-aligned, so the static plan can pipeline it.
+//
+// With SortPipelineOptions::adaptive, the sample stage additionally
+// carries a StageSpec::adapt hook: after the sample lands, the sort and
+// deliver parallelism is picked from the *observed* sample size
+// (estimated input records / target records per reducer) instead of the
+// static width — the binders then build the range boundaries at the
+// adapted width, because binders run after adapt rewrites take effect.
+// The merged output is byte-identical at any width.
+
+#ifndef DATAMPI_BENCH_WORKLOADS_SORT_PIPELINE_H_
+#define DATAMPI_BENCH_WORKLOADS_SORT_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/plan.h"
+
+namespace dmb::workloads {
+
+/// \brief Hash-sampling rate of the sample stage: ~1 key in
+/// kSortSampleRate survives.
+inline constexpr int64_t kSortSampleRate = 64;
+
+struct SortPipelineOptions {
+  /// Sample-stage width; also the sort/deliver width of the static plan
+  /// (and the adaptive plan's initial value).
+  int parallelism = 4;
+  int64_t memory_budget_bytes = 0;
+  /// Spark 0.9+ mode for the rddlite engine: the sort stage spills run
+  /// files past the budget instead of failing with OutOfMemory.
+  bool rdd_shuffle_spill = true;
+  /// Pipeline the narrow sort -> deliver edge (static plans only; a
+  /// plan with an adapt hook always uses barrier handoffs).
+  bool pipeline_narrow_edges = false;
+  /// Pick the sort/deliver parallelism at run time from the observed
+  /// sample size instead of `parallelism`.
+  bool adaptive = false;
+  /// Adaptive sizing target: one reducer per this many (estimated)
+  /// input records.
+  int64_t target_records_per_reducer = 64 << 10;
+  /// Adaptive clamp ceiling on the chosen width.
+  int max_parallelism = 16;
+};
+
+/// \brief The width the adaptive plan picks for `sampled_records`
+/// surviving keys (exposed so tests and benches can assert the chosen
+/// reducer count).
+int AdaptiveSortWidth(int64_t sampled_records,
+                      int64_t target_records_per_reducer,
+                      int max_parallelism);
+
+/// \brief Builds the sample -> sort -> deliver plan over `input`.
+runtime::Plan SortPipelinePlan(
+    std::shared_ptr<const std::vector<runtime::KVPair>> input,
+    const SortPipelineOptions& options);
+
+}  // namespace dmb::workloads
+
+#endif  // DATAMPI_BENCH_WORKLOADS_SORT_PIPELINE_H_

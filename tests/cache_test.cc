@@ -1,0 +1,763 @@
+// Tests for plan-level stage-output caching and sample-driven adaptive
+// re-planning: the StageCache itself (share-not-copy Puts, LRU
+// eviction, byte-identical spill/restore of binary data, oversized
+// entries, replacement), its scheduler integration (cache hits skip
+// execution, lazy input providers, partition-count mismatches demote to
+// misses, concurrent RunPlans sharing one cached dataset, interplay
+// with early output release), the adapt hook (downstream rewrites,
+// error propagation, non-downstream rejection), and the workload-level
+// guarantees (cached k-means trains to exactly equal centroids;
+// adaptive grep->top-k and the adaptive sort pipeline match their
+// static plans byte for byte).
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/vectors.h"
+#include "engine/registry.h"
+#include "runtime/scheduler.h"
+#include "runtime/stage_cache.h"
+#include "service/small_jobs.h"
+#include "workloads/grep_topk.h"
+#include "workloads/kmeans.h"
+#include "workloads/sort_pipeline.h"
+
+namespace dmb::runtime {
+namespace {
+
+using datampi::KVPair;
+using engine::JobSpec;
+using engine::MapContext;
+using engine::ReduceEmitter;
+
+Status EmitAllReduce(std::string_view key,
+                     const std::vector<std::string>& values,
+                     ReduceEmitter* out) {
+  for (const auto& v : values) out->Emit(key, v);
+  return Status::OK();
+}
+
+/// Identity stage shape over `parallelism` tasks.
+JobSpec PassThroughJob(int parallelism) {
+  JobSpec job;
+  job.parallelism = parallelism;
+  job.map_fn = [](std::string_view key, std::string_view value,
+                  MapContext* ctx) -> Status {
+    return ctx->Emit(key, value);
+  };
+  job.reduce_fn = EmitAllReduce;
+  return job;
+}
+
+/// Partitions with binary keys and values (embedded NULs, high bytes)
+/// so spill/restore round-trips are checked on bytes, not on text.
+/// Fixed record shape: every (partitions, records_per_part) call has
+/// the same ledger footprint, so tests can size budgets fractionally.
+std::shared_ptr<CachedPartitions> BinaryPartitions(uint64_t seed,
+                                                   int partitions,
+                                                   int records_per_part) {
+  Rng rng(seed);
+  auto parts = std::make_shared<CachedPartitions>(
+      static_cast<size_t>(partitions));
+  for (auto& part : *parts) {
+    part.reserve(static_cast<size_t>(records_per_part));
+    for (int r = 0; r < records_per_part; ++r) {
+      std::string key(16, '\0');
+      std::string value(32, '\0');
+      for (auto& c : key) c = static_cast<char>(rng.Uniform(256));
+      for (auto& c : value) c = static_cast<char>(rng.Uniform(256));
+      part.push_back(KVPair{std::move(key), std::move(value)});
+    }
+  }
+  return parts;
+}
+
+// ---- StageCache unit tests ----
+
+TEST(StageCacheTest, PutSharesGetReturnsSamePartitions) {
+  StageCache cache;
+  auto parts = BinaryPartitions(1, 3, 16);
+  ASSERT_TRUE(cache.Put("a", parts).ok());
+  auto got = cache.Get("a");
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->restored_from_spill);
+  // Share-not-copy: the cache hands back the very same partitions.
+  EXPECT_EQ(got->partitions.get(), parts.get());
+
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.stores, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_GT(stats.resident_bytes, 0);
+}
+
+TEST(StageCacheTest, MissIsNotFound) {
+  StageCache cache;
+  auto got = cache.Get("absent");
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound());
+  EXPECT_EQ(cache.Stats().misses, 1);
+  EXPECT_FALSE(cache.Contains("absent"));
+}
+
+TEST(StageCacheTest, TightBudgetSpillsLruAndRestoresByteIdentically) {
+  StageCacheOptions options;
+  options.budget_bytes = 1;  // nothing stays resident
+  StageCache cache(options);
+  auto parts = BinaryPartitions(2, 4, 64);
+  const CachedPartitions original = *parts;  // deep copy to compare
+  ASSERT_TRUE(cache.Put("bin", parts).ok());
+  parts.reset();  // the cache's spill files are now the only copy
+
+  auto got = cache.Get("bin");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->restored_from_spill);
+  EXPECT_EQ(*got->partitions, original);
+
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.spill_restores, 1);
+  EXPECT_EQ(stats.resident_bytes, 0);
+  EXPECT_GT(stats.spilled_bytes, 0);
+
+  // A second Get streams the same bytes again (the entry stayed
+  // spilled: it still exceeds the budget).
+  auto again = cache.Get("bin");
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->restored_from_spill);
+  EXPECT_EQ(*again->partitions, original);
+}
+
+TEST(StageCacheTest, EvictionIsLeastRecentlyUsed) {
+  auto a = BinaryPartitions(3, 2, 32);
+  auto b = BinaryPartitions(4, 2, 32);
+  auto c = BinaryPartitions(5, 2, 32);
+  StageCacheOptions options;
+  // Budget fits roughly two of the three same-shaped entries.
+  options.budget_bytes =
+      static_cast<int64_t>(2.5 * static_cast<double>(
+          CachedPartitionsBytes(*a)));
+  StageCache cache(options);
+  ASSERT_TRUE(cache.Put("a", a).ok());
+  ASSERT_TRUE(cache.Put("b", b).ok());
+  ASSERT_TRUE(cache.Get("a").ok());  // a becomes most recent
+  auto evicted = cache.Put("c", c);
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_EQ(*evicted, 1);  // b (the LRU entry) spilled
+
+  auto got_a = cache.Get("a");
+  ASSERT_TRUE(got_a.ok());
+  EXPECT_FALSE(got_a->restored_from_spill);
+  auto got_c = cache.Get("c");
+  ASSERT_TRUE(got_c.ok());
+  EXPECT_FALSE(got_c->restored_from_spill);
+  auto got_b = cache.Get("b");
+  ASSERT_TRUE(got_b.ok());
+  EXPECT_TRUE(got_b->restored_from_spill);
+  EXPECT_EQ(*got_b->partitions, *b);
+}
+
+TEST(StageCacheTest, RestoredEntryReadmitsWhenItFits) {
+  auto a = BinaryPartitions(6, 2, 32);
+  auto b = BinaryPartitions(7, 2, 32);
+  StageCacheOptions options;
+  options.budget_bytes = static_cast<int64_t>(
+      1.5 * static_cast<double>(CachedPartitionsBytes(*a)));
+  StageCache cache(options);
+  ASSERT_TRUE(cache.Put("a", a).ok());
+  ASSERT_TRUE(cache.Put("b", b).ok());  // evicts a
+  auto got = cache.Get("a");            // restore; fits after b evicts
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->restored_from_spill);
+  EXPECT_EQ(*got->partitions, *a);
+  // a is resident again now: the next Get shares instead of streaming.
+  auto again = cache.Get("a");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->restored_from_spill);
+}
+
+TEST(StageCacheTest, EvictedDataStaysUsableThroughCallerPointers) {
+  StageCacheOptions options;
+  options.budget_bytes = 1;
+  StageCache cache(options);
+  auto parts = BinaryPartitions(8, 2, 16);
+  const CachedPartitions original = *parts;
+  ASSERT_TRUE(cache.Put("x", parts).ok());  // spilled immediately
+  cache.Erase("x");
+  EXPECT_FALSE(cache.Contains("x"));
+  // The caller's shared_ptr still owns the data.
+  EXPECT_EQ(*parts, original);
+}
+
+TEST(StageCacheTest, PutReplacesExistingEntry) {
+  StageCache cache;
+  auto v1 = BinaryPartitions(9, 2, 8);
+  auto v2 = BinaryPartitions(10, 3, 8);
+  ASSERT_TRUE(cache.Put("k", v1).ok());
+  ASSERT_TRUE(cache.Put("k", v2).ok());
+  auto got = cache.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->partitions.get(), v2.get());
+  EXPECT_EQ(cache.Stats().entries, 1);
+}
+
+TEST(StageCacheTest, ClearDropsEntriesButKeepsCounters) {
+  StageCache cache;
+  ASSERT_TRUE(cache.Put("k", BinaryPartitions(11, 2, 8)).ok());
+  ASSERT_TRUE(cache.Get("k").ok());
+  cache.Clear();
+  EXPECT_FALSE(cache.Contains("k"));
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.resident_bytes, 0);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.stores, 1);
+}
+
+// ---- Plan validation of cache-keyed stages ----
+
+TEST(CachePlanValidationTest, CachedInputStageMustBeARoot) {
+  Plan plan;
+  StageSpec source;
+  source.job = PassThroughJob(2);
+  source.job.input = engine::LinesAsInput({"a", "b"});
+  const int src = plan.AddStage(std::move(source));
+
+  StageSpec bad;
+  bad.name = "cached";
+  bad.cache_output = "key";
+  bad.input_provider =
+      []() -> Result<std::shared_ptr<const std::vector<KVPair>>> {
+    return engine::LinesAsInput({"x"});
+  };
+  bad.job.parallelism = 2;
+  plan.AddStage(std::move(bad), {{src, EdgeKind::kNarrow}});
+  auto st = plan.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(CachePlanValidationTest, InputProviderRequiresCacheKey) {
+  Plan plan;
+  StageSpec bad;
+  bad.input_provider =
+      []() -> Result<std::shared_ptr<const std::vector<KVPair>>> {
+    return engine::LinesAsInput({"x"});
+  };
+  bad.job.parallelism = 2;
+  plan.AddStage(std::move(bad));
+  EXPECT_TRUE(plan.Validate().IsInvalidArgument());
+}
+
+// ---- Scheduler integration ----
+
+/// One cache-keyed counting stage over fixed lines.
+Plan CountedPlan(const std::string& key, std::atomic<int64_t>* map_calls,
+                 int parallelism) {
+  Plan plan;
+  StageSpec stage;
+  stage.name = "count";
+  stage.cache_output = key;
+  stage.job = PassThroughJob(parallelism);
+  stage.job.input = engine::LinesAsInput({"a", "b", "c", "d", "e", "f"});
+  stage.job.map_fn = [map_calls](std::string_view k, std::string_view v,
+                                 MapContext* ctx) -> Status {
+    map_calls->fetch_add(1);
+    return ctx->Emit(k, v);
+  };
+  plan.AddStage(std::move(stage));
+  return plan;
+}
+
+TEST(CacheSchedulerTest, SecondRunPlanIsServedFromTheCacheOnEveryEngine) {
+  for (const auto& info : engine::Engines()) {
+    auto eng = info.make();
+    std::atomic<int64_t> map_calls{0};
+
+    auto first = eng->RunPlan(CountedPlan("counted", &map_calls, 2));
+    ASSERT_TRUE(first.ok()) << info.name << ": " << first.status();
+    const int64_t calls_after_first = map_calls.load();
+    EXPECT_EQ(calls_after_first, 6) << info.name;
+    EXPECT_EQ(first->stats.cache_misses, 1) << info.name;
+    EXPECT_EQ(first->stats.cache_hits, 0) << info.name;
+    ASSERT_EQ(first->stats.stages.size(), 1u);
+    EXPECT_TRUE(first->stats.stages[0].cache_stored);
+
+    auto second = eng->RunPlan(CountedPlan("counted", &map_calls, 2));
+    ASSERT_TRUE(second.ok()) << info.name << ": " << second.status();
+    // Nothing executed: the stage was served straight from the cache.
+    EXPECT_EQ(map_calls.load(), calls_after_first) << info.name;
+    EXPECT_EQ(second->stats.cache_hits, 1) << info.name;
+    EXPECT_EQ(second->stats.stage_count, 0) << info.name;
+    ASSERT_EQ(second->stats.stages.size(), 1u);
+    EXPECT_TRUE(second->stats.stages[0].cache_hit);
+    EXPECT_STREQ(engine::StageModeLabel(second->stats.stages[0]), "cached");
+    EXPECT_EQ(second->partitions, first->partitions) << info.name;
+  }
+}
+
+TEST(CacheSchedulerTest, InputProviderRunsOnlyOnMiss) {
+  auto eng_or = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng_or.ok());
+  auto& eng = *eng_or;
+  auto provider_calls = std::make_shared<std::atomic<int64_t>>(0);
+
+  auto make_plan = [&] {
+    Plan plan;
+    const int root = plan.AddCachedInput(
+        "lazy-root",
+        [provider_calls]()
+            -> Result<std::shared_ptr<const std::vector<KVPair>>> {
+          provider_calls->fetch_add(1);
+          return engine::LinesAsInput({"p", "q", "r", "s"});
+        },
+        2);
+    StageSpec consume;
+    consume.name = "consume";
+    consume.job = PassThroughJob(2);
+    plan.AddStage(std::move(consume), {{root, EdgeKind::kNarrow}});
+    return plan;
+  };
+
+  auto first = eng->RunPlan(make_plan());
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(provider_calls->load(), 1);
+  auto second = eng->RunPlan(make_plan());
+  ASSERT_TRUE(second.ok()) << second.status();
+  // The hit skipped the provider entirely — the lazy-build point.
+  EXPECT_EQ(provider_calls->load(), 1);
+  EXPECT_EQ(second->partitions, first->partitions);
+  EXPECT_EQ(eng->cache()->Stats().hits, 1);
+}
+
+TEST(CacheSchedulerTest, PartitionCountMismatchIsAMissAndRestores) {
+  auto eng_or = engine::MakeEngine("rddlite");
+  ASSERT_TRUE(eng_or.ok());
+  auto& eng = *eng_or;
+  std::atomic<int64_t> map_calls{0};
+
+  ASSERT_TRUE(eng->RunPlan(CountedPlan("k", &map_calls, 2)).ok());
+  const int64_t after_first = map_calls.load();
+  // Same key, different parallelism: the cached 2-partition entry
+  // cannot align with 3 tasks — the stage re-runs and re-registers.
+  auto re = eng->RunPlan(CountedPlan("k", &map_calls, 3));
+  ASSERT_TRUE(re.ok()) << re.status();
+  EXPECT_GT(map_calls.load(), after_first);
+  EXPECT_EQ(re->stats.cache_misses, 1);
+  EXPECT_EQ(re->partitions.size(), 3u);
+  // And the replacement now hits at the new width.
+  auto hit = eng->RunPlan(CountedPlan("k", &map_calls, 3));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->stats.cache_hits, 1);
+}
+
+TEST(CacheSchedulerTest, TightEngineBudgetRestoresByteIdenticalOutputs) {
+  auto eng_or = engine::MakeEngine("mapreduce");
+  ASSERT_TRUE(eng_or.ok());
+  auto& eng = *eng_or;
+  StageCacheOptions options;
+  options.budget_bytes = 1;  // every stored entry spills immediately
+  eng->ConfigureCache(options);
+  std::atomic<int64_t> map_calls{0};
+
+  auto first = eng->RunPlan(CountedPlan("spilly", &map_calls, 2));
+  ASSERT_TRUE(first.ok()) << first.status();
+  const int64_t after_first = map_calls.load();
+
+  auto second = eng->RunPlan(CountedPlan("spilly", &map_calls, 2));
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(map_calls.load(), after_first);  // hit — no re-execution
+  EXPECT_EQ(second->partitions, first->partitions);
+  ASSERT_EQ(second->stats.stages.size(), 1u);
+  EXPECT_TRUE(second->stats.stages[0].cache_restored);
+  EXPECT_EQ(second->stats.cache_spill_restores, 1);
+  EXPECT_GE(eng->cache()->Stats().spill_restores, 1);
+}
+
+TEST(CacheSchedulerTest, ConcurrentRunPlansShareOneCachedDataset) {
+  auto eng_or = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng_or.ok());
+  auto& eng = *eng_or;
+  auto provider_calls = std::make_shared<std::atomic<int64_t>>(0);
+  constexpr int kThreads = 8;
+
+  std::vector<std::vector<KVPair>> merged(kThreads);
+  std::vector<Status> statuses(kThreads, Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Plan plan;
+      const int root = plan.AddCachedInput(
+          "shared-root",
+          [provider_calls]()
+              -> Result<std::shared_ptr<const std::vector<KVPair>>> {
+            provider_calls->fetch_add(1);
+            return engine::LinesAsInput({"w", "x", "y", "z"});
+          },
+          2);
+      StageSpec consume;
+      consume.name = "consume-" + std::to_string(t);
+      consume.job = PassThroughJob(2);
+      plan.AddStage(std::move(consume), {{root, EdgeKind::kNarrow}});
+      auto out = eng->RunPlan(plan);
+      if (out.ok()) {
+        merged[static_cast<size_t>(t)] = out->Merged();
+      } else {
+        statuses[static_cast<size_t>(t)] = out.status();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(t)].ok())
+        << statuses[static_cast<size_t>(t)];
+    EXPECT_EQ(merged[static_cast<size_t>(t)], merged[0]);
+  }
+  // Concurrent misses may race to build, but once registered every
+  // later plan shares the one dataset.
+  EXPECT_GE(provider_calls->load(), 1);
+  EXPECT_LE(provider_calls->load(), kThreads);
+  EXPECT_GE(eng->cache()->Stats().hits, 1);
+}
+
+TEST(CacheSchedulerTest, EarlyOutputReleaseLeavesCacheEntryIntact) {
+  auto eng_or = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng_or.ok());
+  auto& eng = *eng_or;
+  std::atomic<int64_t> map_calls{0};
+  std::atomic<int> released{0};
+
+  // cached producer -> consumer: the producer's output is released as
+  // soon as the consumer finishes, but the cache entry co-owns the
+  // partitions — release must not invalidate it (and the entry must
+  // not leak the release hook a second time).
+  Plan plan;
+  StageSpec produce;
+  produce.name = "produce";
+  produce.cache_output = "released-key";
+  produce.job = PassThroughJob(2);
+  produce.job.input = engine::LinesAsInput({"a", "b", "c", "d"});
+  produce.job.map_fn = [&map_calls](std::string_view k, std::string_view v,
+                                    MapContext* ctx) -> Status {
+    map_calls.fetch_add(1);
+    return ctx->Emit(k, v);
+  };
+  const int producer = plan.AddStage(std::move(produce));
+  StageSpec consume;
+  consume.name = "consume";
+  consume.job = PassThroughJob(2);
+  plan.AddStage(std::move(consume), {{producer, EdgeKind::kNarrow}});
+
+  SchedulerOptions options;
+  options.cache = eng->cache();
+  options.on_stage_output_released = [&released](int) {
+    released.fetch_add(1);
+  };
+  auto out = eng->RunPlan(plan, options);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(released.load(), 1);  // exactly the producer, exactly once
+
+  // The released producer's partitions are still served by the cache.
+  auto got = eng->cache()->Get("released-key");
+  ASSERT_TRUE(got.ok());
+  std::vector<KVPair> cached_merged;
+  for (const auto& part : *got->partitions) {
+    cached_merged.insert(cached_merged.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(cached_merged, out->Merged());
+}
+
+TEST(CacheSchedulerTest, SmallJobPlansShareThePerTenantCachedSplit) {
+  auto eng_or = engine::MakeEngine("mapreduce");
+  ASSERT_TRUE(eng_or.ok());
+  auto& eng = *eng_or;
+  const auto records = service::MakeLineRecords(
+      {"abab abba", "baba", "no match here", "abab"});
+
+  auto first = eng->RunPlan(
+      service::SmallGrepPlan(records, "ab", 2, 0, "tenant/alpha"));
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = eng->RunPlan(
+      service::SmallWordCountPlan(records, 2, 0, "tenant/alpha"));
+  ASSERT_TRUE(second.ok()) << second.status();
+  // Different job, same tenant dataset: the wordcount plan consumed the
+  // split grep registered.
+  EXPECT_EQ(second->stats.cache_hits, 1);
+  EXPECT_EQ(eng->cache()->Stats().stores, 1);
+}
+
+// ---- Adaptive re-planning ----
+
+TEST(AdaptTest, HookRewritesDownstreamParallelismFromObservedSizes) {
+  auto eng_or = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng_or.ok());
+  auto& eng = *eng_or;
+
+  Plan plan;
+  StageSpec produce;
+  produce.name = "produce";
+  produce.job = PassThroughJob(4);
+  produce.job.input = engine::LinesAsInput({"a", "b", "c", "d", "e", "f"});
+  auto observed = std::make_shared<StageObservation>();
+  auto downstream_id = std::make_shared<int>(-1);
+  produce.adapt = [observed, downstream_id](
+                      const StageObservation& obs,
+                      Replanner* replanner) -> Status {
+    *observed = obs;
+    JobSpec* job = replanner->MutableJob(*downstream_id);
+    if (job == nullptr) return Status::Internal("downstream not rewritable");
+    job->parallelism = 2;  // shrink 4 -> 2 from observed sizes
+    return Status::OK();
+  };
+  const int producer = plan.AddStage(std::move(produce));
+  StageSpec consume;
+  consume.name = "consume";
+  consume.job = PassThroughJob(4);  // static width, rewritten at run time
+  *downstream_id = plan.AddStage(std::move(consume),
+                                 {{producer, EdgeKind::kWide}});
+
+  auto out = eng->RunPlan(plan);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->partitions.size(), 2u);
+  EXPECT_EQ(observed->output_records, 6);
+  EXPECT_EQ(observed->partition_records.size(), 4u);
+  int64_t sum = 0;
+  for (int64_t r : observed->partition_records) sum += r;
+  EXPECT_EQ(sum, 6);
+  ASSERT_EQ(out->stats.stages.size(), 2u);
+  EXPECT_TRUE(out->stats.stages[1].adapted);
+  EXPECT_STREQ(engine::StageModeLabel(out->stats.stages[1]), "adapted");
+}
+
+TEST(AdaptTest, HookErrorFailsThePlan) {
+  auto eng_or = engine::MakeEngine("rddlite");
+  ASSERT_TRUE(eng_or.ok());
+  auto& eng = *eng_or;
+
+  Plan plan;
+  StageSpec produce;
+  produce.name = "produce";
+  produce.job = PassThroughJob(2);
+  produce.job.input = engine::LinesAsInput({"a", "b"});
+  produce.adapt = [](const StageObservation&, Replanner*) -> Status {
+    return Status::InvalidArgument("bad statistics");
+  };
+  const int producer = plan.AddStage(std::move(produce));
+  StageSpec consume;
+  consume.job = PassThroughJob(2);
+  plan.AddStage(std::move(consume), {{producer, EdgeKind::kNarrow}});
+
+  auto out = eng->RunPlan(plan);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsInvalidArgument());
+  EXPECT_NE(out.status().ToString().find("bad statistics"),
+            std::string::npos);
+}
+
+TEST(AdaptTest, HookCannotRewriteItselfOrNonDownstreamStages) {
+  auto eng_or = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng_or.ok());
+  auto& eng = *eng_or;
+
+  Plan plan;
+  // An independent branch: not downstream of the observer.
+  StageSpec sibling;
+  sibling.name = "sibling";
+  sibling.job = PassThroughJob(2);
+  sibling.job.input = engine::LinesAsInput({"s"});
+  const int sibling_id = plan.AddStage(std::move(sibling));
+
+  StageSpec produce;
+  produce.name = "produce";
+  produce.job = PassThroughJob(2);
+  produce.job.input = engine::LinesAsInput({"a", "b"});
+  auto self_id = std::make_shared<int>(-1);
+  auto rejections = std::make_shared<std::atomic<int>>(0);
+  produce.adapt = [self_id, sibling_id, rejections](
+                      const StageObservation&,
+                      Replanner* replanner) -> Status {
+    if (replanner->MutableJob(*self_id) == nullptr) rejections->fetch_add(1);
+    if (replanner->MutableJob(sibling_id) == nullptr) {
+      rejections->fetch_add(1);
+    }
+    if (replanner->MutableJob(999) == nullptr) rejections->fetch_add(1);
+    return Status::OK();
+  };
+  *self_id = plan.AddStage(std::move(produce));
+  StageSpec consume;
+  consume.job = PassThroughJob(2);
+  plan.AddStage(std::move(consume), {{*self_id, EdgeKind::kNarrow}});
+
+  auto out = eng->RunPlan(plan);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(rejections->load(), 3);
+}
+
+// ---- Workload-level guarantees ----
+
+TEST(CacheWorkloadTest, CachedKmeansTrainsToExactlyEqualCentroids) {
+  const auto vectors = datagen::GenerateKmeansVectors(160);
+  const uint32_t dim = datagen::KmeansDimension({});
+  for (const auto& info : engine::Engines()) {
+    workloads::EngineConfig uncached;
+    uncached.parallelism = 4;
+    workloads::EngineConfig cached = uncached;
+    cached.cache = true;
+
+    auto plain_eng = info.make();
+    auto plain = workloads::KmeansTrain(*plain_eng, vectors, 5, dim, 1e-9,
+                                        4, uncached);
+    ASSERT_TRUE(plain.ok()) << info.name << ": " << plain.status();
+
+    auto cached_eng = info.make();
+    engine::EngineStats stats;
+    auto fast = workloads::KmeansTrain(*cached_eng, vectors, 5, dim, 1e-9,
+                                       4, cached, &stats);
+    ASSERT_TRUE(fast.ok()) << info.name << ": " << fast.status();
+
+    EXPECT_EQ(plain->second, fast->second) << info.name;
+    // Bit-identical: same per-task record order => same floating-point
+    // summation order, not just "close".
+    EXPECT_EQ(plain->first.centroids, fast->first.centroids) << info.name;
+    EXPECT_EQ(plain->first.counts, fast->first.counts) << info.name;
+    EXPECT_EQ(stats.cache_misses, 1) << info.name;
+
+    // A second training run against the same engine hits the cached
+    // split (same dataset fingerprint).
+    engine::EngineStats again_stats;
+    auto again = workloads::KmeansTrain(*cached_eng, vectors, 5, dim, 1e-9,
+                                        4, cached, &again_stats);
+    ASSERT_TRUE(again.ok()) << info.name;
+    EXPECT_EQ(again->first.centroids, fast->first.centroids) << info.name;
+    EXPECT_EQ(again_stats.cache_hits, 1) << info.name;
+  }
+}
+
+TEST(CacheWorkloadTest, RepeatedKmeansIterationsHitTheCachedSplit) {
+  auto eng_or = engine::MakeEngine("datampi");
+  ASSERT_TRUE(eng_or.ok());
+  auto& eng = **eng_or;
+  const auto vectors = datagen::GenerateKmeansVectors(120);
+  const uint32_t dim = datagen::KmeansDimension({});
+  auto model = workloads::InitialCentroids(vectors, 5, dim);
+
+  workloads::EngineConfig cached;
+  cached.parallelism = 4;
+  cached.cache = true;
+  workloads::EngineConfig uncached = cached;
+  uncached.cache = false;
+
+  engine::EngineStats stats;
+  for (int i = 0; i < 3; ++i) {
+    auto plain = workloads::KmeansIteration(eng, vectors, model, uncached);
+    ASSERT_TRUE(plain.ok()) << plain.status();
+    auto fast = workloads::KmeansIteration(eng, vectors, model, cached,
+                                           &stats);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    EXPECT_EQ(plain->centroids, fast->centroids) << "iteration " << i;
+    EXPECT_EQ(plain->counts, fast->counts) << "iteration " << i;
+    if (i > 0) {
+      EXPECT_EQ(stats.cache_hits, 1) << "iteration " << i;
+    }
+    model = *fast;
+  }
+}
+
+TEST(CacheWorkloadTest, AdaptiveGrepTopKMatchesStaticPlan) {
+  Rng rng(77);
+  std::vector<std::string> lines;
+  for (int i = 0; i < 4000; ++i) {
+    std::string line;
+    const int words = 2 + static_cast<int>(rng.Uniform(6));
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) line.push_back(' ');
+      for (int c = 0; c < 3; ++c) {
+        line.push_back(static_cast<char>('a' + rng.Uniform(4)));
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+
+  for (const auto& info : engine::Engines()) {
+    workloads::EngineConfig config;
+    config.parallelism = 4;
+    auto static_eng = info.make();
+    auto static_result =
+        workloads::GrepTopK(*static_eng, lines, "ab", 12, config);
+    ASSERT_TRUE(static_result.ok()) << info.name;
+
+    config.adaptive = true;
+    auto adaptive_eng = info.make();
+    engine::EngineStats stats;
+    auto adaptive_result =
+        workloads::GrepTopK(*adaptive_eng, lines, "ab", 12, config, &stats);
+    ASSERT_TRUE(adaptive_result.ok()) << info.name;
+
+    EXPECT_EQ(static_result->top, adaptive_result->top) << info.name;
+    EXPECT_EQ(static_result->total_matches, adaptive_result->total_matches)
+        << info.name;
+    ASSERT_EQ(stats.stages.size(), 2u);
+    EXPECT_TRUE(stats.stages[1].adapted) << info.name;
+  }
+}
+
+TEST(CacheWorkloadTest, AdaptiveSortPicksWidthAndMatchesStaticBytes) {
+  Rng rng(99);
+  auto input = std::make_shared<std::vector<KVPair>>();
+  for (int i = 0; i < 6000; ++i) {
+    std::string key;
+    for (int c = 0; c < 12; ++c) {
+      key.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    input->push_back(KVPair{key, key});
+  }
+  const std::shared_ptr<const std::vector<KVPair>> shared = input;
+
+  workloads::SortPipelineOptions options;
+  options.parallelism = 4;
+  workloads::SortPipelineOptions adaptive = options;
+  adaptive.adaptive = true;
+  adaptive.target_records_per_reducer = 1000;
+  adaptive.max_parallelism = 8;
+
+  for (const auto& info : engine::Engines()) {
+    auto static_eng = info.make();
+    auto static_out =
+        static_eng->RunPlan(workloads::SortPipelinePlan(shared, options));
+    ASSERT_TRUE(static_out.ok()) << info.name << ": " << static_out.status();
+
+    auto adaptive_eng = info.make();
+    auto adaptive_out = adaptive_eng->RunPlan(
+        workloads::SortPipelinePlan(shared, adaptive));
+    ASSERT_TRUE(adaptive_out.ok())
+        << info.name << ": " << adaptive_out.status();
+
+    // The reducer count was chosen at run time from the observed sample
+    // size — and must match the width formula exactly.
+    const int64_t sampled = adaptive_out->stats.stages[0].output_records;
+    const int expected_width = workloads::AdaptiveSortWidth(
+        sampled, adaptive.target_records_per_reducer,
+        adaptive.max_parallelism);
+    EXPECT_EQ(adaptive_out->partitions.size(),
+              static_cast<size_t>(expected_width))
+        << info.name;
+    EXPECT_NE(expected_width, options.parallelism)
+        << info.name << ": width must actually differ for this dataset";
+
+    // Byte-identical merged output regardless of the chosen width.
+    EXPECT_EQ(adaptive_out->Merged(), static_out->Merged()) << info.name;
+    ASSERT_GE(adaptive_out->stats.stages.size(), 3u);
+    EXPECT_TRUE(adaptive_out->stats.stages[1].adapted) << info.name;
+    EXPECT_TRUE(adaptive_out->stats.stages[2].adapted) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace dmb::runtime

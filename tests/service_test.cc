@@ -316,7 +316,10 @@ runtime::Plan SlowPlan(std::shared_ptr<std::atomic<int>> started) {
     return Status::OK();
   };
   runtime::Plan plan;
-  plan.AddStage({"slow", std::move(job), nullptr});
+  runtime::StageSpec stage;
+  stage.name = "slow";
+  stage.job = std::move(job);
+  plan.AddStage(std::move(stage));
   return plan;
 }
 
