@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# CI check: configure (warnings-as-errors), build, run the test suite,
-# run the io/shuffle tests again under UBSan (-DDMB_SANITIZE=undefined),
+# CI check: run the project lint gate (scripts/lint.py + its
+# self-test), configure (warnings-as-errors), build, run the test
+# suite, run the io/shuffle tests again under UBSan
+# (-DDMB_SANITIZE=undefined) with the WaitGraph deadlock detector armed
+# (-DDMB_VALIDATE=ON),
 # run the shuffle/io/runtime tests under TSan (-DDMB_SANITIZE=thread —
 # the intra-task parallel sort/spill/merge paths, the batch channel and
 # the stage scheduler are the tree's heavily concurrent structures),
@@ -12,6 +15,12 @@
 #
 #   CHECK_ASAN=1      also build the io/shuffle/engine/core/runtime
 #                     tests under AddressSanitizer and run them.
+#   CHECK_NO_LINT=1   skip the project lint gate (scripts/lint.py) and
+#                     its self-test.
+#   CHECK_TIDY=1      also run clang-tidy (curated .clang-tidy profile)
+#                     over src/ against build/compile_commands.json.
+#                     Needs clang-tidy on PATH; skipped with a notice
+#                     otherwise.
 #   CHECK_NO_BENCH=1  skip the bench-diff perf gate entirely (machines
 #                     where wall-clock timing is meaningless: emulators,
 #                     heavily shared CI runners).
@@ -21,6 +30,17 @@
 #                     to refresh the committed baselines in place).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Project lint gate first: it needs no build and fails fast on
+# discarded Status returns, raw std::thread use outside the owners,
+# unguarded mutex members, banned nondeterminism, and missing header
+# guards. The self-test proves the rules still fire on the known-bad
+# fixtures (a linter that silently stopped matching is worse than none).
+if [ "${CHECK_NO_LINT:-0}" != "1" ]; then
+  echo "check.sh: project lint gate (scripts/lint.py)"
+  python3 scripts/lint.py
+  python3 scripts/lint.py --self-test
+fi
 
 # The whole tree must build warning-clean under -Wall -Wextra. The
 # build type is pinned: GCC 12 emits -Wrestrict false positives on
@@ -42,10 +62,16 @@ cmake --build build -j
 # both passes: the StageCache spill/restore path re-encodes partitions
 # through the checksummed run-file codec (UBSan), and cached datasets
 # are shared across concurrently scheduled plans (TSan).
-echo "check.sh: UBSan pass (io + shuffle + runtime + datagen + service + cache tests)"
-cmake -B build-ubsan -S . -DDMB_SANITIZE=undefined -DDMB_WERROR=ON
-cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_test service_test cache_test
-(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle|runtime|datagen|service|cache)_test$')
+# Both sanitizer passes also arm the WaitGraph deadlock detector
+# (-DDMB_VALIDATE=ON): every suite then runs with waiter->holder edge
+# tracking live, so a lock-cycle regression aborts with the full cycle
+# instead of hanging the runner, and validate_test exercises the
+# detector itself (injected cycles must fire, healthy workloads must
+# not).
+echo "check.sh: UBSan pass (io + shuffle + runtime + datagen + service + cache + validate tests)"
+cmake -B build-ubsan -S . -DDMB_SANITIZE=undefined -DDMB_WERROR=ON -DDMB_VALIDATE=ON
+cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_test service_test cache_test validate_test
+(cd build-ubsan && ctest --output-on-failure -R '^(io|shuffle|runtime|datagen|service|cache|validate)_test$')
 
 # The pipelined narrow edges run a bounded producer/consumer channel
 # between concurrently executing stages — runtime_test must stay clean
@@ -54,10 +80,35 @@ cmake --build build-ubsan -j --target io_test shuffle_test runtime_test datagen_
 # (parallel radix sub-sorts, overlapped spill-block encoding, concurrent
 # partition spills, merge-time block prefetch) shares one ParallelContext
 # pool across tasks and must be race-free at every thread count.
-echo "check.sh: TSan pass (shuffle + io + runtime + service + cache tests)"
-cmake -B build-tsan -S . -DDMB_SANITIZE=thread -DDMB_WERROR=ON
-cmake --build build-tsan -j --target shuffle_test io_test runtime_test service_test cache_test
-(cd build-tsan && ctest --output-on-failure -R '^(shuffle|io|runtime|service|cache)_test$')
+echo "check.sh: TSan pass (shuffle + io + runtime + service + cache + rddlite + validate tests)"
+cmake -B build-tsan -S . -DDMB_SANITIZE=thread -DDMB_WERROR=ON -DDMB_VALIDATE=ON
+cmake --build build-tsan -j --target shuffle_test io_test runtime_test service_test cache_test rddlite_test validate_test
+(cd build-tsan && ctest --output-on-failure -R '^(shuffle|io|runtime|service|cache|rddlite|validate)_test$')
+
+# Clang's -Wthread-safety is what actually checks the DMB_GUARDED_BY /
+# DMB_REQUIRES annotations (gcc compiles them away), so when a clang is
+# available the library gets a dedicated warning-clean build under it.
+if command -v clang++ > /dev/null 2>&1; then
+  echo "check.sh: clang -Wthread-safety pass (library + tests)"
+  cmake -B build-clang -S . -DCMAKE_CXX_COMPILER=clang++ -DDMB_WERROR=ON
+  cmake --build build-clang -j --target dmb_core validate_test runtime_test
+else
+  echo "check.sh: clang++ not found; skipping -Wthread-safety pass" \
+       "(annotations are still lint-checked and TSan-covered)"
+fi
+
+# Opt-in clang-tidy sweep over the library against the exported compile
+# database, using the curated profile in .clang-tidy (bugprone-*,
+# concurrency-*, performance-*; concurrency findings are errors).
+if [ "${CHECK_TIDY:-0}" = "1" ]; then
+  if command -v clang-tidy > /dev/null 2>&1; then
+    echo "check.sh: clang-tidy pass (src/, profile .clang-tidy)"
+    find src -name '*.cc' -print0 \
+      | xargs -0 clang-tidy -p build --quiet
+  else
+    echo "check.sh: CHECK_TIDY=1 but clang-tidy not found; skipping"
+  fi
+fi
 
 BENCH_TARGETS=(
   fig2a_dfsio_tuning
@@ -108,10 +159,10 @@ if [ "${CHECK_NO_BENCH:-0}" != "1" ]; then
 fi
 
 if [ "${CHECK_ASAN:-0}" = "1" ]; then
-  echo "check.sh: ASan pass (io + shuffle + engine + core + runtime + service tests)"
-  cmake -B build-asan -S . -DDMB_ASAN=ON -DDMB_WERROR=ON
-  cmake --build build-asan -j --target io_test shuffle_test engine_test core_test runtime_test service_test
-  (cd build-asan && ctest --output-on-failure -R '^(io|shuffle|engine|core|runtime|service)_test$')
+  echo "check.sh: ASan pass (io + shuffle + engine + core + runtime + service + validate tests)"
+  cmake -B build-asan -S . -DDMB_ASAN=ON -DDMB_WERROR=ON -DDMB_VALIDATE=ON
+  cmake --build build-asan -j --target io_test shuffle_test engine_test core_test runtime_test service_test validate_test
+  (cd build-asan && ctest --output-on-failure -R '^(io|shuffle|engine|core|runtime|service|validate)_test$')
 fi
 
 echo "check.sh: all green"

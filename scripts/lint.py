@@ -1,0 +1,358 @@
+#!/usr/bin/env python3
+"""Project lint gate: concurrency and error-handling discipline checks.
+
+AST-free, stdlib-only. Five rules over src/, tests/, bench/, examples/:
+
+  discarded-status    a statement that is exactly a call to a function
+                      known to return Status/Result and ignores the
+                      value. Backs up the [[nodiscard]] attribute for
+                      call shapes the compiler cannot see (virtual
+                      dispatch through an unattributed base, macros).
+  raw-thread          std::thread construction or .detach() outside the
+                      blessed owners (the ThreadPool, the JobServer's
+                      service threads, mpilite's rank model). Everything
+                      else must go through dmb::ThreadPool so shutdown
+                      and the WaitGraph see it.
+  mutex-unguarded     a class declares a (dmb::)Mutex member but no
+                      member carries its DMB_GUARDED_BY companion — the
+                      lock protects nothing the analysis can check.
+  nondeterminism      rand()/srand() or an unseeded std::random_device
+                      outside bench/ — workloads must be reproducible
+                      from their seeds.
+  header-guard        a header with neither #pragma once nor a classic
+                      include guard.
+
+Suppression: append `// lint:allow(<rule>)` to the offending line or
+the directly preceding comment line.
+
+Usage:
+  scripts/lint.py            lint the tree; exit 0 iff clean
+  scripts/lint.py FILES...   lint specific files
+  scripts/lint.py --self-test
+                             run against tests/lint_fixtures/ and verify
+                             every `// lint-expect: <rule>` line is
+                             flagged (and nothing else); exit 0 iff the
+                             linter still catches its known-bad inputs
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT_DIRS = ("src", "tests", "bench", "examples")
+FIXTURE_DIR = os.path.join("tests", "lint_fixtures")
+CXX_EXT = (".cc", ".cpp", ".h", ".hpp")
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+EXPECT_RE = re.compile(r"//\s*lint-expect:\s*([a-z-]+)")
+
+# Files allowed to construct std::thread directly: the pool itself, the
+# JobServer's service threads, mpilite's one-thread-per-rank model, and
+# the WaitGraph's detached confirmation monitor.
+RAW_THREAD_OWNERS = {
+    "src/common/thread_pool.cc",
+    "src/common/wait_graph.cc",
+    "src/service/job_server.cc",
+    "src/mpilite/mpilite.cc",
+}
+
+# std::thread followed by :: is a nested-name use (std::thread::id,
+# hardware_concurrency), not a construction.
+THREAD_CTOR_RE = re.compile(r"\bstd::j?thread\b(?!\s*::)")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+RAND_RE = re.compile(r"\bstd::s?rand\s*\(|(?<![\w:])s?rand\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\bstd::random_device\b")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:dmb::)?Mutex\s+(\w+)\s*;")
+STD_MUTEX_RE = re.compile(
+    r"^\s*(?:mutable\s+)?std::(?:recursive_|timed_)?mutex\s+(\w+)\s*;")
+GUARDED_BY_RE = re.compile(r"DMB_GUARDED_BY\(\s*(?:this->)?(\w+)\s*\)")
+
+
+def strip_comments_and_strings(line):
+    """Blanks out string/char literals and // comments (keeps length)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(" ")
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def collect_status_returners():
+    """Names of functions/methods declared to return Status or Result.
+
+    A name that is *also* declared with a non-Status return type
+    anywhere in the tree is dropped (ambiguous overload sets would
+    produce false positives).
+    """
+    status_names = set()
+    other_names = set()
+    decl_re = re.compile(
+        r"^\s*(?:virtual\s+|static\s+|inline\s+|constexpr\s+|explicit\s+)*"
+        r"(?P<ret>(?:[\w:]+(?:\s*<[^;=]*?>)?))\s+"
+        r"(?:[\w:]+::)?(?P<name>\w+)\s*\(")
+    for path in iter_tree_files():
+        if not path.endswith(".h") and not path.endswith(".hpp"):
+            continue
+        try:
+            text = open(os.path.join(REPO, path), encoding="utf-8").read()
+        except OSError:
+            continue
+        for raw in text.splitlines():
+            line = strip_comments_and_strings(raw)
+            m = decl_re.match(line)
+            if not m:
+                continue
+            ret, name = m.group("ret"), m.group("name")
+            if name in ("if", "for", "while", "switch", "return", "sizeof",
+                        "DMB_REQUIRES", "DMB_GUARDED_BY"):
+                continue
+            is_status = re.fullmatch(
+                r"(?:dmb::)?(?:Status|Result\s*<.*>)", ret) is not None
+            (status_names if is_status else other_names).add(name)
+    return status_names - other_names
+
+
+def iter_tree_files():
+    for top in LINT_DIRS:
+        for root, dirs, files in os.walk(os.path.join(REPO, top)):
+            rel_root = os.path.relpath(root, REPO)
+            if rel_root.startswith(FIXTURE_DIR):
+                continue
+            for f in sorted(files):
+                if f.endswith(CXX_EXT):
+                    yield os.path.normpath(os.path.join(rel_root, f))
+
+
+def is_continuation(lines, idx):
+    """True when line idx continues a statement begun above (so a call
+    on it feeds an assignment/macro/argument list, not a bare
+    statement)."""
+    for j in range(idx - 1, -1, -1):
+        prev = strip_comments_and_strings(lines[j]).rstrip()
+        if not prev.strip():
+            continue
+        return prev.endswith(("(", ",", "=", "<<", ">>", "&&", "||", "?",
+                              ":", "+", "-", "*", "return"))
+    return False
+
+
+def allowed_rules(lines, idx):
+    """Suppressions on line idx or the directly preceding comment."""
+    rules = set()
+    for j in (idx, idx - 1):
+        if 0 <= j < len(lines):
+            if j != idx and not lines[j].lstrip().startswith("//"):
+                continue
+            m = ALLOW_RE.search(lines[j])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, message):
+        self.path, self.line_no, self.rule, self.message = (
+            path, line_no, rule, message)
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def check_header_guard(path, text, findings):
+    if not (path.endswith(".h") or path.endswith(".hpp")):
+        return
+    if "#pragma once" in text:
+        return
+    has_ifndef = re.search(r"^\s*#\s*ifndef\s+\w+", text, re.M)
+    has_define = re.search(r"^\s*#\s*define\s+\w+", text, re.M)
+    if has_ifndef and has_define:
+        return
+    findings.append(Finding(
+        path, 1, "header-guard",
+        "header has neither #pragma once nor an include guard"))
+
+
+def check_file(path, status_names, findings):
+    full = os.path.join(REPO, path)
+    try:
+        text = open(full, encoding="utf-8").read()
+    except OSError as e:
+        findings.append(Finding(path, 1, "io", f"unreadable: {e}"))
+        return
+    lines = text.splitlines()
+    check_header_guard(path, text, findings)
+
+    in_bench = path.startswith("bench" + os.sep)
+    # Tests spawn threads to *exercise* the concurrency primitives; the
+    # ownership rule is about production code (and the fixtures, which
+    # prove the rule fires).
+    rule_scope = (path.startswith("src" + os.sep)
+                  or path.startswith(FIXTURE_DIR))
+    thread_owner = (not rule_scope
+                    or path.replace(os.sep, "/") in RAW_THREAD_OWNERS)
+
+    # Per-class mutex bookkeeping for mutex-unguarded: map of open-brace
+    # depth snapshots is overkill for this tree's style; a file-scope
+    # pass is enough because Mutex members and their guarded companions
+    # sit in the same class body.
+    mutexes = {}   # name -> first declaration line
+    guarded = set()
+
+    call_stmt_re = None
+    if status_names:
+        call_stmt_re = re.compile(
+            r"^\s*(?:[\w>\]\)]+(?:\.|->)|(?:\w+::)*)?"
+            r"(?P<name>\w+)\s*\(.*\)\s*;\s*$")
+
+    for i, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        allow = allowed_rules(lines, i)
+
+        if THREAD_CTOR_RE.search(line) or DETACH_RE.search(line):
+            if not thread_owner and "raw-thread" not in allow:
+                findings.append(Finding(
+                    path, i + 1, "raw-thread",
+                    "raw std::thread/detach outside the blessed owners; "
+                    "use dmb::ThreadPool (or lint:allow(raw-thread) with "
+                    "a justification)"))
+
+        if not in_bench and "nondeterminism" not in allow:
+            if RAND_RE.search(line):
+                findings.append(Finding(
+                    path, i + 1, "nondeterminism",
+                    "rand()/srand() is banned; use a seeded "
+                    "std::mt19937(_64)"))
+            if RANDOM_DEVICE_RE.search(line):
+                findings.append(Finding(
+                    path, i + 1, "nondeterminism",
+                    "std::random_device produces unreproducible runs; "
+                    "seed a std::mt19937(_64) explicitly"))
+
+        m = STD_MUTEX_RE.match(line)
+        if m and "mutex-unguarded" not in allow:
+            findings.append(Finding(
+                path, i + 1, "mutex-unguarded",
+                f"'{m.group(1)}' is a raw std::mutex, invisible to "
+                "-Wthread-safety; use dmb::Mutex (common/mutex.h) and "
+                "DMB_GUARDED_BY the data it protects"))
+        m = MUTEX_MEMBER_RE.match(line)
+        if m and "mutex-unguarded" not in allow:
+            mutexes[m.group(1)] = i + 1
+        for g in GUARDED_BY_RE.finditer(line):
+            guarded.add(g.group(1))
+
+        if call_stmt_re:
+            m = call_stmt_re.match(line)
+            if (m and m.group("name") in status_names
+                    and line.count("(") == line.count(")")
+                    and not is_continuation(lines, i)):
+                if "discarded-status" not in allow:
+                    findings.append(Finding(
+                        path, i + 1, "discarded-status",
+                        f"return value of {m.group('name')}() "
+                        "(Status/Result) is discarded; handle it, "
+                        "DMB_RETURN_NOT_OK it, or cast to (void) with "
+                        "a lint:allow"))
+
+    for name, line_no in mutexes.items():
+        if name not in guarded:
+            findings.append(Finding(
+                path, line_no, "mutex-unguarded",
+                f"mutex member '{name}' has no DMB_GUARDED_BY({name}) "
+                "companion in this file; annotate what it protects or "
+                "lint:allow(mutex-unguarded) with a justification"))
+
+
+def run_lint(paths=None):
+    status_names = collect_status_returners()
+    findings = []
+    targets = paths if paths else list(iter_tree_files())
+    for path in targets:
+        check_file(path, status_names, findings)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_self_test():
+    """The fixtures are known-bad: every `// lint-expect: rule` line
+    must be flagged with that rule, and no unexpected findings may
+    appear. This proves rule regressions loudly instead of silently."""
+    fixture_root = os.path.join(REPO, FIXTURE_DIR)
+    if not os.path.isdir(fixture_root):
+        print(f"lint --self-test: missing {FIXTURE_DIR}", file=sys.stderr)
+        return 1
+    status_names = collect_status_returners()
+    # Fixture headers declare their own Status returners; include them.
+    failures = []
+    for root, _, files in os.walk(fixture_root):
+        for fname in sorted(files):
+            if not fname.endswith(CXX_EXT):
+                continue
+            path = os.path.relpath(os.path.join(root, fname), REPO)
+            lines = open(os.path.join(REPO, path),
+                         encoding="utf-8").read().splitlines()
+            expected = {}
+            for i, line in enumerate(lines):
+                m = EXPECT_RE.search(line)
+                if m:
+                    expected.setdefault(m.group(1), set()).add(i + 1)
+            findings = []
+            check_file(path, status_names | {"MightFail"}, findings)
+            got = {}
+            for f in findings:
+                got.setdefault(f.rule, set()).add(f.line_no)
+            for rule, lines_exp in expected.items():
+                missing = lines_exp - got.get(rule, set())
+                for ln in sorted(missing):
+                    failures.append(
+                        f"{path}:{ln}: expected [{rule}] not reported")
+            for rule, lines_got in got.items():
+                surplus = lines_got - expected.get(rule, set())
+                for ln in sorted(surplus):
+                    failures.append(
+                        f"{path}:{ln}: unexpected [{rule}] reported")
+    for f in failures:
+        print(f)
+    if failures:
+        print(f"lint --self-test: {len(failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("lint --self-test: all fixture expectations hold")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return run_self_test()
+    paths = [os.path.relpath(os.path.abspath(p), REPO) for p in argv]
+    return run_lint(paths or None)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,25 +9,28 @@ namespace dmb {
 bool CancelToken::Cancel(Status status) {
   assert(!status.ok() && "CancelToken::Cancel needs a non-OK status");
   std::vector<Callback> to_run;
+  Status latched;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (cancelled_.load(std::memory_order_relaxed)) return false;
     status_ = std::move(status);
     // Release: a thread seeing cancelled() == true may read status()
     // without the lock.
     cancelled_.store(true, std::memory_order_release);
+    latched = status_;
     to_run.reserve(callbacks_.size());
     for (auto& [id, fn] : callbacks_) to_run.push_back(std::move(fn));
     callbacks_.clear();
     callbacks_running_ = !to_run.empty();
   }
   // Outside the lock: callbacks may take their own locks (the scheduler
-  // callback takes the plan mutex to cancel channels).
-  for (auto& fn : to_run) fn(status_);
+  // callback takes the plan mutex to cancel channels). They get the
+  // copy latched under the lock, not a bare read of status_.
+  for (auto& fn : to_run) fn(latched);
   if (!to_run.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     callbacks_running_ = false;
-    callbacks_done_cv_.notify_all();
+    callbacks_done_cv_.NotifyAll();
   }
   return true;
 }
@@ -37,13 +40,13 @@ Status CancelToken::status() const {
   // status_ is immutable once cancelled_ is set (release store above),
   // but take the lock anyway: a copy races with nothing and stays cheap
   // on the cold path (status() is only called after cancellation).
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return status_;
 }
 
 CancelToken::CallbackId CancelToken::AddCallback(Callback fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!cancelled_.load(std::memory_order_relaxed)) {
       const CallbackId id = next_id_++;
       callbacks_.emplace(id, std::move(fn));
@@ -58,12 +61,12 @@ CancelToken::CallbackId CancelToken::AddCallback(Callback fn) {
 
 void CancelToken::RemoveCallback(CallbackId id) {
   if (id == 0) return;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   callbacks_.erase(id);
   // If Cancel is mid-flight the callback may already have been moved
   // out for invocation; wait until the whole batch finished so the
   // caller can safely free whatever the callback captured.
-  callbacks_done_cv_.wait(lock, [&] { return !callbacks_running_; });
+  while (callbacks_running_) callbacks_done_cv_.Wait(mu_);
 }
 
 }  // namespace dmb

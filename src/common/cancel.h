@@ -26,13 +26,13 @@
 #define DATAMPI_BENCH_COMMON_CANCEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dmb {
 
@@ -76,12 +76,12 @@ class CancelToken {
 
  private:
   std::atomic<bool> cancelled_{false};
-  mutable std::mutex mu_;
-  std::condition_variable callbacks_done_cv_;
-  bool callbacks_running_ = false;
-  Status status_;
-  CallbackId next_id_ = 1;
-  std::map<CallbackId, Callback> callbacks_;
+  mutable Mutex mu_;
+  CondVar callbacks_done_cv_;
+  bool callbacks_running_ DMB_GUARDED_BY(mu_) = false;
+  Status status_ DMB_GUARDED_BY(mu_);
+  CallbackId next_id_ DMB_GUARDED_BY(mu_) = 1;
+  std::map<CallbackId, Callback> callbacks_ DMB_GUARDED_BY(mu_);
 };
 
 }  // namespace dmb

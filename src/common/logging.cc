@@ -1,13 +1,16 @@
 #include "common/logging.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace dmb {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_log_mutex;
+// Serializes writes to std::cerr (an external stream, so there is no
+// member to annotate with it). lint:allow(mutex-unguarded)
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel l) {
   switch (l) {
@@ -44,7 +47,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::cerr << stream_.str() << "\n";
 }
 
@@ -55,7 +58,7 @@ FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
 
 FatalMessage::~FatalMessage() {
   {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     std::cerr << stream_.str() << std::endl;
   }
   std::abort();

@@ -1,0 +1,108 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable that carry the clang thread-safety
+// attributes from common/thread_annotations.h.
+//
+// libstdc++'s std::lock_guard / std::unique_lock are unannotated, so
+// code locking through them is invisible to -Wthread-safety. All
+// mutex-protected classes in this tree use dmb::Mutex with either the
+// RAII MutexLock or explicit balanced Lock()/Unlock() pairs (the latter
+// for loops that drop the lock around a callback, which the analysis
+// checks too).
+//
+// CondVar::Wait deliberately takes the Mutex (not a lock object) so the
+// wait can be annotated DMB_REQUIRES(mu): the analysis then verifies
+// every wait happens with the right mutex held. Predicate waits are
+// written as explicit `while (!pred) cv.Wait(mu);` loops — the analysis
+// cannot see through a predicate lambda passed to std::condition_variable.
+
+#ifndef DATAMPI_BENCH_COMMON_MUTEX_H_
+#define DATAMPI_BENCH_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dmb {
+
+/// \brief An annotated standard mutex.
+class DMB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DMB_ACQUIRE() { mu_.lock(); }
+  void Unlock() DMB_RELEASE() { mu_.unlock(); }
+  bool TryLock() DMB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Underlying std::mutex, for CondVar interop only.
+  std::mutex& native() DMB_RETURN_CAPABILITY(this) { return mu_; }
+
+ private:
+  // The one std::mutex in the tree: the wrapper itself.
+  // lint:allow(mutex-unguarded)
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over a dmb::Mutex (annotated std::lock_guard).
+class DMB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DMB_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DMB_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable that waits on a dmb::Mutex.
+///
+/// Wait() releases and reacquires the mutex internally (like
+/// std::condition_variable), but is annotated DMB_REQUIRES(mu) so the
+/// static analysis checks the mutex is held across the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) DMB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the mutex
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& d)
+      DMB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    std::cv_status st = cv_.wait_for(lock, d);
+    lock.release();
+    return st;
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           const std::chrono::time_point<Clock, Duration>& tp)
+      DMB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    std::cv_status st = cv_.wait_until(lock, tp);
+    lock.release();
+    return st;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dmb
+
+#endif  // DATAMPI_BENCH_COMMON_MUTEX_H_

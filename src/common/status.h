@@ -36,7 +36,11 @@ const char* StatusCodeName(StatusCode code);
 /// Functions that can fail return Status (or Result<T> when they also produce
 /// a value). A moved-from Status is OK. Status is cheap to copy for the OK
 /// case (no allocation).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures; callers
+/// that really mean to ignore one write `(void)expr;` (scripts/lint.py
+/// backs this up for call sites the compiler cannot see).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -111,7 +115,7 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
 /// Like arrow::Result: `Result<int> r = Parse(s); if (!r.ok()) return
 /// r.status();` then `*r` / `r.value()` / `std::move(r).value()`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value.
   Result(T value) : value_(std::move(value)) {}  // NOLINT

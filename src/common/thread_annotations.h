@@ -1,0 +1,74 @@
+// Portable wrappers over clang's thread-safety attributes.
+//
+// Under clang the macros expand to the capability attributes that power
+// -Wthread-safety (compile-time lock-discipline checking); under every
+// other compiler they expand to nothing. Use them with the annotated
+// dmb::Mutex / dmb::MutexLock / dmb::CondVar wrappers from
+// common/mutex.h — the libstdc++ std::mutex family carries no
+// annotations, so locking through it is invisible to the analysis.
+//
+// Idiom summary:
+//   Mutex mu_;
+//   int value_ DMB_GUARDED_BY(mu_);         // only touched with mu_ held
+//   void RehashLocked() DMB_REQUIRES(mu_);  // caller must hold mu_
+//   void Rehash() DMB_EXCLUDES(mu_);        // caller must NOT hold mu_
+
+#ifndef DATAMPI_BENCH_COMMON_THREAD_ANNOTATIONS_H_
+#define DATAMPI_BENCH_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DMB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DMB_THREAD_ANNOTATION
+#define DMB_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability (mutexes).
+#define DMB_CAPABILITY(x) DMB_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define DMB_SCOPED_CAPABILITY DMB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define DMB_GUARDED_BY(x) DMB_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define DMB_PT_GUARDED_BY(x) DMB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry.
+#define DMB_REQUIRES(...) \
+  DMB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define DMB_ACQUIRE(...) \
+  DMB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (not held on return).
+#define DMB_RELEASE(...) \
+  DMB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define DMB_TRY_ACQUIRE(...) \
+  DMB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT already hold the listed capabilities (deadlock guard
+/// for self-locking public entry points).
+#define DMB_EXCLUDES(...) DMB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that the capability is held at this point (runtime-checked
+/// elsewhere; informs the static analysis only).
+#define DMB_ASSERT_CAPABILITY(x) \
+  DMB_THREAD_ANNOTATION(assert_capability(x))
+
+/// Accessor returning a reference to the named capability.
+#define DMB_RETURN_CAPABILITY(x) DMB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use
+/// should carry a comment explaining why the pattern is safe.
+#define DMB_NO_THREAD_SAFETY_ANALYSIS \
+  DMB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // DATAMPI_BENCH_COMMON_THREAD_ANNOTATIONS_H_

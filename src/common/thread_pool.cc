@@ -2,7 +2,15 @@
 
 #include <cassert>
 
+#include "common/wait_graph.h"
+
 namespace dmb {
+
+// WaitGraph model: the pool itself is one resource. Threads actively
+// executing a task hold it (their completion is what RunUntil/Wait
+// parks wait for); sleeping joiners register as waiters. An idle
+// worker parked on work_cv_ is deliberately *not* a waiter — it is
+// satisfied by any outside Submit, which the graph cannot see.
 
 ThreadPool::ThreadPool(int num_threads) {
   assert(num_threads >= 1);
@@ -16,34 +24,43 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
-  progress_cv_.notify_all();
+  work_cv_.NotifyOne();
+  progress_cv_.NotifyAll();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && active_ == 0)) {
+    WaitScope waiting(this, "ThreadPool::Wait for idle");
+    idle_cv_.Wait(mu_);
+  }
 }
 
 bool ThreadPool::RunUntil(const std::function<bool()>& done) {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    if (done()) return true;
+    if (done()) {
+      mu_.Unlock();
+      return true;
+    }
     if (!queue_.empty()) {
       std::function<void()> task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
-      lock.unlock();
-      task();
-      lock.lock();
+      mu_.Unlock();
+      {
+        HoldScope running(this, "thread-pool task");
+        task();
+      }
+      mu_.Lock();
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
-      progress_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
+      progress_cv_.NotifyAll();
       continue;
     }
     // Queue empty but not done: the predicate depends on tasks running
@@ -53,25 +70,32 @@ bool ThreadPool::RunUntil(const std::function<bool()>& done) {
     // not be called again after it succeeds, or the first acquisition
     // leaks.
     bool ok = false;
-    progress_cv_.wait(lock, [this, &done, &ok] {
-      return (ok = done()) || !queue_.empty() ||
-             (shutdown_ && active_ == 0);
-    });
-    if (ok) return true;
+    while (!((ok = done()) || !queue_.empty() ||
+             (shutdown_ && active_ == 0))) {
+      WaitScope waiting(this, "ThreadPool::RunUntil park");
+      progress_cv_.Wait(mu_);
+    }
+    if (ok) {
+      mu_.Unlock();
+      return true;
+    }
     // Shut down with nothing queued or running: no completion will ever
     // notify progress_cv_ again, so parking would sleep forever.
-    if (queue_.empty() && shutdown_ && active_ == 0) return false;
+    if (queue_.empty() && shutdown_ && active_ == 0) {
+      mu_.Unlock();
+      return false;
+    }
   }
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  work_cv_.notify_all();
-  progress_cv_.notify_all();
+  work_cv_.NotifyAll();
+  progress_cv_.NotifyAll();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -81,23 +105,23 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
+      if (queue_.empty()) return;  // shut down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
     }
-    task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      HoldScope running(this, "thread-pool task");
+      task();
     }
-    progress_cv_.notify_all();
+    {
+      MutexLock lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
+    }
+    progress_cv_.NotifyAll();
   }
 }
 

@@ -4,12 +4,13 @@
 #ifndef DATAMPI_BENCH_COMMON_THREAD_POOL_H_
 #define DATAMPI_BENCH_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dmb {
 
@@ -25,10 +26,10 @@ class ThreadPool {
 
   /// \brief Enqueues a task. After Shutdown() the task is dropped and
   /// false is returned; submitting is always memory-safe.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) DMB_EXCLUDES(mu_);
 
   /// \brief Blocks until all submitted tasks have finished executing.
-  void Wait();
+  void Wait() DMB_EXCLUDES(mu_);
 
   /// \brief Help-while-wait join: runs queued tasks on the *calling*
   /// thread until `done()` returns true, sleeping between tasks only
@@ -51,28 +52,30 @@ class ThreadPool {
   /// can deliver no further progress. Callers whose predicate flips on
   /// non-pool events (another thread releasing a resource) must then
   /// fall back to polling that state directly.
-  bool RunUntil(const std::function<bool()>& done);
+  bool RunUntil(const std::function<bool()>& done) DMB_EXCLUDES(mu_);
 
   /// \brief Stops accepting tasks, drains the queue, joins workers.
   /// Called automatically by the destructor.
-  void Shutdown();
+  void Shutdown() DMB_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
   /// Notified on every submit and every task completion (unlike
   /// work_cv_, which only signals new work): RunUntil predicates
   /// typically flip when a task *finishes*.
-  std::condition_variable progress_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  CondVar progress_cv_;
+  std::deque<std::function<void()>> queue_ DMB_GUARDED_BY(mu_);
+  /// Started in the constructor, joined in Shutdown(); never mutated
+  /// in between, so reads (num_threads) need no lock.
+  std::vector<std::thread> workers_;  // lint:allow(raw-thread) pool owner
+  int active_ DMB_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DMB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dmb

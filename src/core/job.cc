@@ -5,7 +5,9 @@
 
 #include "common/byte_buffer.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/temp_dir.h"
+#include "common/thread_annotations.h"
 #include "io/run_file.h"
 #include "mpilite/mpilite.h"
 #include "shuffle/kv_arena.h"
@@ -30,8 +32,8 @@ struct SharedState {
   std::atomic<int64_t> output_records{0};
   std::atomic<int64_t> parallel_tasks{0};
   std::atomic<int> max_wave{0};
-  std::mutex output_mu;
-  std::vector<std::vector<KVPair>> a_outputs;
+  Mutex output_mu;
+  std::vector<std::vector<KVPair>> a_outputs DMB_GUARDED_BY(output_mu);
 };
 
 class OContextImpl : public OContext {
@@ -270,7 +272,7 @@ Status ReduceBuffer(const JobConfig& config, int a_rank,
                                    std::memory_order_relaxed);
   shared->output_records.fetch_add(emitter.records(),
                                    std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(shared->output_mu);
+  MutexLock lock(shared->output_mu);
   shared->a_outputs[static_cast<size_t>(a_rank)] = emitter.Take();
   return Status::OK();
 }
@@ -342,7 +344,10 @@ DataMPIJob::DataMPIJob(JobConfig config) : config_(std::move(config)) {
 
 Result<JobResult> DataMPIJob::Run(OTaskFn o_fn, AGroupFn a_fn) {
   SharedState shared;
-  shared.a_outputs.resize(static_cast<size_t>(config_.num_a_ranks));
+  {
+    MutexLock lock(shared.output_mu);
+    shared.a_outputs.resize(static_cast<size_t>(config_.num_a_ranks));
+  }
   const int world_size = config_.num_o_ranks + config_.num_a_ranks;
   mpi::World world(world_size);
   const JobConfig& config = config_;
@@ -372,7 +377,12 @@ Result<JobResult> DataMPIJob::Run(OTaskFn o_fn, AGroupFn a_fn) {
   DMB_RETURN_NOT_OK(run_status);
 
   JobResult result;
-  result.a_outputs = std::move(shared.a_outputs);
+  {
+    // The ranks are joined (world.Run returned); the lock only keeps
+    // the access discipline checkable.
+    MutexLock lock(shared.output_mu);
+    result.a_outputs = std::move(shared.a_outputs);
+  }
   result.stats.o_records_emitted = shared.o_records.load();
   result.stats.shuffle_bytes = shared.shuffle_bytes.load();
   result.stats.shuffle_batches = shared.shuffle_batches.load();
@@ -392,7 +402,10 @@ Result<JobResult> DataMPIJob::RunFromCheckpoint(AGroupFn a_fn) {
     return Status::FailedPrecondition("no checkpoint_dir configured");
   }
   SharedState shared;
-  shared.a_outputs.resize(static_cast<size_t>(config_.num_a_ranks));
+  {
+    MutexLock lock(shared.output_mu);
+    shared.a_outputs.resize(static_cast<size_t>(config_.num_a_ranks));
+  }
   const JobConfig& config = config_;
   mpi::World world(config_.num_a_ranks);
   Status run_status = world.Run([&](mpi::Comm& comm) -> Status {
@@ -419,7 +432,12 @@ Result<JobResult> DataMPIJob::RunFromCheckpoint(AGroupFn a_fn) {
   DMB_RETURN_NOT_OK(run_status);
 
   JobResult result;
-  result.a_outputs = std::move(shared.a_outputs);
+  {
+    // The ranks are joined (world.Run returned); the lock only keeps
+    // the access discipline checkable.
+    MutexLock lock(shared.output_mu);
+    result.a_outputs = std::move(shared.a_outputs);
+  }
   result.stats.a_records_received = shared.a_records.load();
   result.stats.a_spill_count = shared.a_spills.load();
   result.stats.a_spill_bytes_raw = shared.a_spill_bytes_raw.load();

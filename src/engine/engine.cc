@@ -52,7 +52,7 @@ Result<runtime::PlanOutput> Engine::RunPlan(
 }
 
 runtime::StageCache* Engine::cache() {
-  std::lock_guard<std::mutex> lock(stage_cache_mu_);
+  MutexLock lock(stage_cache_mu_);
   if (stage_cache_ == nullptr) {
     stage_cache_ = std::make_unique<runtime::StageCache>(stage_cache_options_);
   }
@@ -60,7 +60,7 @@ runtime::StageCache* Engine::cache() {
 }
 
 void Engine::ConfigureCache(runtime::StageCacheOptions options) {
-  std::lock_guard<std::mutex> lock(stage_cache_mu_);
+  MutexLock lock(stage_cache_mu_);
   stage_cache_options_ = options;
   stage_cache_ = std::make_unique<runtime::StageCache>(stage_cache_options_);
 }
@@ -74,7 +74,7 @@ bool PlanUsesCache(const runtime::Plan& plan) {
 
 std::shared_ptr<ParallelContext> Engine::ShuffleParallel(const JobSpec& spec) {
   if (spec.shuffle_threads == 1) return nullptr;
-  std::lock_guard<std::mutex> lock(parallel_mu_);
+  MutexLock lock(parallel_mu_);
   if (parallel_cache_ == nullptr || parallel_threads_ != spec.shuffle_threads ||
       parallel_sort_threshold_ != spec.parallel_sort_threshold ||
       parallel_inflight_ != spec.max_inflight_spill_blocks) {

@@ -23,11 +23,12 @@
 #define DATAMPI_BENCH_ENGINE_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/types.h"
 #include "runtime/plan.h"
 #include "runtime/stage_cache.h"
@@ -96,15 +97,17 @@ class Engine {
   std::shared_ptr<ParallelContext> ShuffleParallel(const JobSpec& spec);
 
  private:
-  std::mutex parallel_mu_;
-  std::shared_ptr<ParallelContext> parallel_cache_;
-  int parallel_threads_ = 0;
-  int64_t parallel_sort_threshold_ = 0;
-  int parallel_inflight_ = 0;
+  Mutex parallel_mu_;
+  std::shared_ptr<ParallelContext> parallel_cache_ DMB_GUARDED_BY(parallel_mu_);
+  int parallel_threads_ DMB_GUARDED_BY(parallel_mu_) = 0;
+  int64_t parallel_sort_threshold_ DMB_GUARDED_BY(parallel_mu_) = 0;
+  int parallel_inflight_ DMB_GUARDED_BY(parallel_mu_) = 0;
 
-  std::mutex stage_cache_mu_;
-  std::unique_ptr<runtime::StageCache> stage_cache_;
-  runtime::StageCacheOptions stage_cache_options_;
+  Mutex stage_cache_mu_;
+  std::unique_ptr<runtime::StageCache> stage_cache_
+      DMB_GUARDED_BY(stage_cache_mu_);
+  runtime::StageCacheOptions stage_cache_options_
+      DMB_GUARDED_BY(stage_cache_mu_);
 };
 
 /// \brief True iff any stage of the plan is cache-keyed (cache_output /

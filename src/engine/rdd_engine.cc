@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "rddlite/rdd.h"
 #include "shuffle/collector.h"
@@ -173,23 +174,24 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
         spill_stats_(spill_stats) {}
 
   ~ShuffleStageRDD() override {
+    MutexLock lock(mu_);
     if (store_bytes_ > 0) this->ctx_->memory()->Release(store_bytes_);
   }
 
  protected:
   Result<std::vector<StrPair>> DoCompute(int p) override {
-    DMB_RETURN_NOT_OK(EnsureMaterialized());
-    // store_ / iterators_ are immutable after EnsureMaterialized (whose
-    // mutex is the visibility barrier), so partitions materialize
-    // concurrently; the lock below only guards iterator ownership.
-    if (!options_.spill_past_budget) {
-      return store_[static_cast<size_t>(p)];
-    }
-    // Spill mode: each partition is drained from its merge iterator
-    // exactly once, so only the consumer ever holds the decoded records.
     std::unique_ptr<shuffle::KVGroupIterator> iterator;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
+      DMB_RETURN_NOT_OK(EnsureMaterializedLocked());
+      // The partition copy happens under mu_: materialization and every
+      // consumer read are ordered by the lock, not by a racy flag.
+      if (!options_.spill_past_budget) {
+        return store_[static_cast<size_t>(p)];
+      }
+      // Spill mode: each partition is drained from its merge iterator
+      // exactly once, so only the consumer ever holds the decoded
+      // records.
       iterator = std::move(iterators_[static_cast<size_t>(p)]);
     }
     if (!iterator) {
@@ -208,15 +210,14 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
   }
 
  private:
-  Status EnsureMaterialized() {
-    std::lock_guard<std::mutex> lock(mu_);
+  Status EnsureMaterializedLocked() DMB_REQUIRES(mu_) {
     if (materialized_) return store_status_;
     materialized_ = true;
     store_status_ = Materialize();
     return store_status_;
   }
 
-  Status Materialize() {
+  Status Materialize() DMB_REQUIRES(mu_) {
     shuffle::CollectorOptions copts;
     copts.num_partitions = this->num_partitions();
     copts.partitioner = options_.partitioner;
@@ -286,15 +287,17 @@ class ShuffleStageRDD final : public rddlite::RDD<StrPair> {
   Options options_;
   std::atomic<int64_t>* shuffle_bytes_;
   ShuffleSpillStats* spill_stats_;
-  std::mutex mu_;
-  bool materialized_ = false;
-  Status store_status_;
+  mutable Mutex mu_;
+  bool materialized_ DMB_GUARDED_BY(mu_) = false;
+  Status store_status_ DMB_GUARDED_BY(mu_);
   /// Collector kept alive in spill mode: the merge iterators stream out
   /// of its arena and run files.
-  std::unique_ptr<shuffle::PartitionedCollector> collector_;
-  std::vector<std::unique_ptr<shuffle::KVGroupIterator>> iterators_;
-  std::vector<std::vector<StrPair>> store_;
-  int64_t store_bytes_ = 0;
+  std::unique_ptr<shuffle::PartitionedCollector> collector_
+      DMB_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<shuffle::KVGroupIterator>> iterators_
+      DMB_GUARDED_BY(mu_);
+  std::vector<std::vector<StrPair>> store_ DMB_GUARDED_BY(mu_);
+  int64_t store_bytes_ DMB_GUARDED_BY(mu_) = 0;
 };
 
 /// Reduce-side collector: the shared stream-aware tee behind a

@@ -58,7 +58,7 @@ bool BlockWriter::overlapped() const {
 }
 
 std::unique_ptr<Compressor> BlockWriter::TakeCompressor() {
-  std::lock_guard<std::mutex> lock(compressors_mu_);
+  MutexLock lock(compressors_mu_);
   if (free_compressors_.empty()) return std::make_unique<Compressor>();
   std::unique_ptr<Compressor> compressor =
       std::move(free_compressors_.back());
@@ -67,7 +67,7 @@ std::unique_ptr<Compressor> BlockWriter::TakeCompressor() {
 }
 
 void BlockWriter::ReturnCompressor(std::unique_ptr<Compressor> compressor) {
-  std::lock_guard<std::mutex> lock(compressors_mu_);
+  MutexLock lock(compressors_mu_);
   free_compressors_.push_back(std::move(compressor));
 }
 

@@ -33,11 +33,12 @@
 #include <deque>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "io/codec.h"
 
 namespace dmb {
@@ -165,8 +166,9 @@ class BlockWriter {
   /// compressors so concurrent jobs reuse match-finder state without
   /// sharing it.
   std::deque<std::unique_ptr<BlockJob>> jobs_;
-  std::mutex compressors_mu_;
-  std::vector<std::unique_ptr<Compressor>> free_compressors_;
+  Mutex compressors_mu_;
+  std::vector<std::unique_ptr<Compressor>> free_compressors_
+      DMB_GUARDED_BY(compressors_mu_);
 
   struct IndexEntry {
     int64_t offset = 0;

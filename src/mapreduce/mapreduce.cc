@@ -1,10 +1,11 @@
 #include "mapreduce/mapreduce.h"
 
 #include <atomic>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/temp_dir.h"
 #include "common/thread_pool.h"
 #include "shuffle/collector.h"
@@ -61,12 +62,12 @@ class ReduceContextImpl : public ReduceContext {
 };
 
 struct RunStore {
+  Mutex mu;
   // runs[reducer] = sorted runs addressed to it, one entry per map-task
   // flush or pressure spill (encoded bytes in memory mode, file paths in
   // disk mode).
-  std::vector<std::vector<std::string>> run_bytes;
-  std::vector<std::vector<std::string>> run_files;
-  std::mutex mu;
+  std::vector<std::vector<std::string>> run_bytes DMB_GUARDED_BY(mu);
+  std::vector<std::vector<std::string>> run_files DMB_GUARDED_BY(mu);
 };
 
 Result<MRResult> RunJob(const MRConfig& config,
@@ -176,7 +177,7 @@ Result<MRResult> RunJob(const MRConfig& config,
                                       std::memory_order_relaxed);
         parallel_tasks.fetch_add(collector.parallel_tasks(),
                                  std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(store.mu);
+        MutexLock lock(store.mu);
         for (int r = 0; r < cfg.num_reduce_tasks; ++r) {
           auto& partition = (*runs)[static_cast<size_t>(r)];
           for (auto& bytes : partition.encoded_runs) {
@@ -210,13 +211,22 @@ Result<MRResult> RunJob(const MRConfig& config,
         // through the shared k-way merge (no full re-sort).
         shuffle::RunMerger merger;
         merger.SetParallel(cfg.parallel);
+        // Consume this partition's runs under the lock. The map-phase
+        // pool barrier already orders the writes, but each partition is
+        // moved out exactly once and the store stays lock-disciplined.
+        std::vector<std::string> file_runs, encoded_runs;
+        {
+          MutexLock lock(store.mu);
+          file_runs = std::move(store.run_files[static_cast<size_t>(r)]);
+          encoded_runs = std::move(store.run_bytes[static_cast<size_t>(r)]);
+        }
         Status st;
-        for (const auto& path : store.run_files[static_cast<size_t>(r)]) {
+        for (const auto& path : file_runs) {
           st = merger.AddFileRun(path);
           if (!st.ok()) break;
         }
         if (st.ok()) {
-          for (auto& bytes : store.run_bytes[static_cast<size_t>(r)]) {
+          for (auto& bytes : encoded_runs) {
             merger.AddEncodedRun(std::move(bytes));
           }
         }

@@ -7,6 +7,9 @@
 #include "common/byte_buffer.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/wait_graph.h"
 
 namespace dmb::mpi {
 
@@ -20,9 +23,9 @@ struct Envelope {
 };
 
 struct Mailbox {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Envelope> queue;
+  Mutex mu;
+  CondVar cv;
+  std::deque<Envelope> queue DMB_GUARDED_BY(mu);
 };
 
 struct Context {
@@ -57,11 +60,11 @@ Status Comm::Send(int dst, int64_t tag, std::string payload) {
   const int world_dst = members_[static_cast<size_t>(dst)];
   auto& box = ctx_->mailboxes[static_cast<size_t>(world_dst)];
   {
-    std::lock_guard<std::mutex> lock(box.mu);
+    MutexLock lock(box.mu);
     box.queue.push_back(
         internal::Envelope{comm_id_, tag, rank_, std::move(payload)});
   }
-  box.cv.notify_all();
+  box.cv.NotifyAll();
   return Status::OK();
 }
 
@@ -72,7 +75,7 @@ Result<Message> Comm::Recv(int src, int64_t tag) {
   }
   const int world_me = members_[static_cast<size_t>(rank_)];
   auto& box = ctx_->mailboxes[static_cast<size_t>(world_me)];
-  std::unique_lock<std::mutex> lock(box.mu);
+  MutexLock lock(box.mu);
   for (;;) {
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
       if (internal::Matches(*it, comm_id_, src, tag)) {
@@ -84,7 +87,11 @@ Result<Message> Comm::Recv(int src, int64_t tag) {
         return msg;
       }
     }
-    box.cv.wait(lock);
+    // Registered holder-less: any rank may send, so a blocked Recv can
+    // never by itself complete a WaitGraph cycle (conservative), but it
+    // shows up in DebugString when diagnosing a hung collective.
+    WaitScope waiting(&box, "mpi::Comm::Recv");
+    box.cv.Wait(box.mu);
   }
 }
 
@@ -92,7 +99,7 @@ bool Comm::Probe(int src, int64_t tag) {
   if (!valid()) return false;
   const int world_me = members_[static_cast<size_t>(rank_)];
   auto& box = ctx_->mailboxes[static_cast<size_t>(world_me)];
-  std::lock_guard<std::mutex> lock(box.mu);
+  MutexLock lock(box.mu);
   for (const auto& e : box.queue) {
     if (internal::Matches(e, comm_id_, src, tag)) return true;
   }
@@ -281,6 +288,8 @@ Status World::Run(const std::function<Status(Comm&)>& fn) {
   for (int i = 0; i < size_; ++i) members[static_cast<size_t>(i)] = i;
 
   std::vector<Status> statuses(static_cast<size_t>(size_));
+  // One thread per rank is the simulation model itself (ranks are
+  // peers, not pool tasks). Joined below. lint:allow(raw-thread)
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(size_));
   for (int r = 0; r < size_; ++r) {

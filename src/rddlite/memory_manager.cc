@@ -7,7 +7,7 @@
 namespace dmb::rddlite {
 
 Status MemoryManager::Reserve(int64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (used_ + bytes > budget_) {
     return Status::OutOfMemory(
         "rddlite executor OutOfMemoryError: requested " + FormatBytes(bytes) +
@@ -19,18 +19,18 @@ Status MemoryManager::Reserve(int64_t bytes) {
 }
 
 void MemoryManager::Release(int64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   used_ -= bytes;
   if (used_ < 0) used_ = 0;
 }
 
 int64_t MemoryManager::used() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return used_;
 }
 
 int64_t MemoryManager::peak() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return peak_;
 }
 

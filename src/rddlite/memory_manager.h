@@ -8,9 +8,10 @@
 #define DATAMPI_BENCH_RDDLITE_MEMORY_MANAGER_H_
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dmb::rddlite {
 
@@ -32,9 +33,9 @@ class MemoryManager {
 
  private:
   int64_t budget_;
-  mutable std::mutex mu_;
-  int64_t used_ = 0;
-  int64_t peak_ = 0;
+  mutable Mutex mu_;
+  int64_t used_ DMB_GUARDED_BY(mu_) = 0;
+  int64_t peak_ DMB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dmb::rddlite

@@ -15,14 +15,15 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "rddlite/memory_manager.h"
 
@@ -72,6 +73,7 @@ class RDD : public std::enable_shared_from_this<RDD<T>> {
 
   /// \brief Marks this RDD for in-memory caching on first computation.
   Ptr Cache() {
+    MutexLock lock(cache_mu_);
     cache_requested_ = true;
     return this->shared_from_this();
   }
@@ -98,10 +100,11 @@ class RDD : public std::enable_shared_from_this<RDD<T>> {
   int num_partitions_;
 
  private:
-  std::mutex cache_mu_;
-  bool cache_requested_ = false;
-  std::vector<std::optional<std::vector<T>>> cache_;  // per partition
-  int64_t cached_bytes_ = 0;
+  mutable Mutex cache_mu_;
+  bool cache_requested_ DMB_GUARDED_BY(cache_mu_) = false;
+  // Per partition.
+  std::vector<std::optional<std::vector<T>>> cache_ DMB_GUARDED_BY(cache_mu_);
+  int64_t cached_bytes_ DMB_GUARDED_BY(cache_mu_) = 0;
 };
 
 /// \brief Driver/executor context: slots, memory budget, RDD factory.
@@ -135,20 +138,25 @@ class RddContext {
 
 template <typename T>
 RDD<T>::~RDD() {
+  MutexLock lock(cache_mu_);
   if (cached_bytes_ > 0) ctx_->memory()->Release(cached_bytes_);
 }
 
 template <typename T>
 Result<std::vector<T>> RDD<T>::ComputePartition(int p) {
+  bool want_cache = false;
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     if (!cache_.empty() && cache_[static_cast<size_t>(p)].has_value()) {
       return *cache_[static_cast<size_t>(p)];
     }
+    // Latch the request under the lock: Cache() may run concurrently
+    // with a compute already in flight (Collect's pool workers).
+    want_cache = cache_requested_;
   }
   DMB_ASSIGN_OR_RETURN(std::vector<T> data, DoCompute(p));
-  if (cache_requested_) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+  if (want_cache) {
+    MutexLock lock(cache_mu_);
     if (cache_.empty()) {
       cache_.resize(static_cast<size_t>(num_partitions_));
     }
@@ -272,18 +280,21 @@ class ShuffledRDD final : public RDD<std::pair<K, V>> {
         reduce_(std::move(reduce)) {}
 
   ~ShuffledRDD() override {
+    MutexLock lock(mu_);
     if (store_bytes_ > 0) this->ctx_->memory()->Release(store_bytes_);
   }
 
  protected:
   Result<std::vector<Pair>> DoCompute(int p) override {
-    DMB_RETURN_NOT_OK(EnsureMaterialized());
+    // Hold the lock through the store_ read: materialization and every
+    // consumer copy are ordered by mu_, not by a racy flag check.
+    MutexLock lock(mu_);
+    DMB_RETURN_NOT_OK(EnsureMaterializedLocked());
     return store_[static_cast<size_t>(p)];
   }
 
  private:
-  Status EnsureMaterialized() {
-    std::lock_guard<std::mutex> lock(mu_);
+  Status EnsureMaterializedLocked() DMB_REQUIRES(mu_) {
     if (materialized_) return store_status_;
     materialized_ = true;
     store_.resize(static_cast<size_t>(this->num_partitions()));
@@ -334,11 +345,11 @@ class ShuffledRDD final : public RDD<std::pair<K, V>> {
 
   typename RDD<Pair>::Ptr parent_;
   std::function<V(const V&, const V&)> reduce_;
-  std::mutex mu_;
-  bool materialized_ = false;
-  Status store_status_;
-  std::vector<std::vector<Pair>> store_;
-  int64_t store_bytes_ = 0;
+  mutable Mutex mu_;
+  bool materialized_ DMB_GUARDED_BY(mu_) = false;
+  Status store_status_ DMB_GUARDED_BY(mu_);
+  std::vector<std::vector<Pair>> store_ DMB_GUARDED_BY(mu_);
+  int64_t store_bytes_ DMB_GUARDED_BY(mu_) = 0;
 };
 
 /// SortByKey: global sort with range partitioning into `parts` outputs.
@@ -350,18 +361,19 @@ class SortedRDD final : public RDD<std::pair<K, V>> {
       : RDD<Pair>(parent->context(), parts), parent_(std::move(parent)) {}
 
   ~SortedRDD() override {
+    MutexLock lock(mu_);
     if (store_bytes_ > 0) this->ctx_->memory()->Release(store_bytes_);
   }
 
  protected:
   Result<std::vector<Pair>> DoCompute(int p) override {
-    DMB_RETURN_NOT_OK(EnsureMaterialized());
+    MutexLock lock(mu_);
+    DMB_RETURN_NOT_OK(EnsureMaterializedLocked());
     return store_[static_cast<size_t>(p)];
   }
 
  private:
-  Status EnsureMaterialized() {
-    std::lock_guard<std::mutex> lock(mu_);
+  Status EnsureMaterializedLocked() DMB_REQUIRES(mu_) {
     if (materialized_) return store_status_;
     materialized_ = true;
     std::vector<Pair> all;
@@ -400,11 +412,11 @@ class SortedRDD final : public RDD<std::pair<K, V>> {
   }
 
   typename RDD<Pair>::Ptr parent_;
-  std::mutex mu_;
-  bool materialized_ = false;
-  Status store_status_;
-  std::vector<std::vector<Pair>> store_;
-  int64_t store_bytes_ = 0;
+  mutable Mutex mu_;
+  bool materialized_ DMB_GUARDED_BY(mu_) = false;
+  Status store_status_ DMB_GUARDED_BY(mu_);
+  std::vector<std::vector<Pair>> store_ DMB_GUARDED_BY(mu_);
+  int64_t store_bytes_ DMB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace internal

@@ -1,14 +1,14 @@
 #include "runtime/scheduler.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/wait_graph.h"
 #include "runtime/stage_cache.h"
 #include "shuffle/batch_channel.h"
 
@@ -558,11 +558,18 @@ Result<PlanOutput> StageScheduler::Execute() {
     }
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
-  Status error;
-  int in_flight = 0;
-  size_t done_count = 0;
+  // Execution-wide sync state, shared by reference with the stage tasks
+  // and the cancel callback. The fields are accessed through lambdas —
+  // which clang's thread-safety analysis cannot annotate — so they
+  // carry no DMB_GUARDED_BY; the TSan pass and the WaitGraph cover this
+  // block instead. lint:allow(mutex-unguarded)
+  struct ExecSync {
+    Mutex mu;  // lint:allow(mutex-unguarded) — see block comment above
+    CondVar cv;
+    Status error;
+    int in_flight = 0;
+    size_t done_count = 0;
+  } sync;
 
   // With pipelined edges every stage of the plan may legitimately be
   // resident at once (producers block on backpressure until their
@@ -640,8 +647,11 @@ Result<PlanOutput> StageScheduler::Execute() {
       cs->in_channel = channel;
       if (--cs->remaining_deps == 0) submit(pc);
     }
-    ++in_flight;
+    ++sync.in_flight;
     const bool accepted = pool->Submit([&, sid, state] {
+      // WaitGraph: the plan-completion wait below parks on &sync; the
+      // stage tasks are what it is waiting for.
+      HoldScope running(&sync, "in-flight stage task");
       Status st = RunOneStage(engine_, stages[static_cast<size_t>(sid)],
                               states, state, options_.cache,
                               options_.cancel);
@@ -652,12 +662,12 @@ Result<PlanOutput> StageScheduler::Execute() {
       // with the same error; a successful one (e.g. a skipped
       // pass-through that never drained) lets them drop silently.
       if (state->in_channel) state->in_channel->Cancel(st);
-      std::lock_guard<std::mutex> lock(mu);
-      ++done_count;
-      --in_flight;
+      MutexLock lock(sync.mu);
+      ++sync.done_count;
+      --sync.in_flight;
       state->done = true;
       const auto& adapt = stages[static_cast<size_t>(sid)].spec.adapt;
-      if (st.ok() && error.ok() && adapt) {
+      if (st.ok() && sync.error.ok() && adapt) {
         // Adaptive re-planning: the stage's output has landed and no
         // child has been released yet, so the hook sees final
         // per-partition sizes and every not-yet-submitted downstream
@@ -687,16 +697,16 @@ Result<PlanOutput> StageScheduler::Execute() {
         }
       }
       if (!st.ok()) {
-        if (error.ok()) {
-          error = st;
+        if (sync.error.ok()) {
+          sync.error = st;
           // Unblock every pipelined stage still in flight: producers
           // stuck on backpressure fail their next Push, consumers
           // waiting on a never-submitted producer fail their next Pull.
           for (const auto& other : states) {
-            if (other->out_channel) other->out_channel->Cancel(error);
+            if (other->out_channel) other->out_channel->Cancel(sync.error);
           }
         }
-      } else if (error.ok()) {
+      } else if (sync.error.ok()) {
         for (int child : children[static_cast<size_t>(sid)]) {
           if (child == pipe_child[static_cast<size_t>(sid)]) continue;
           StageState* cs = states[static_cast<size_t>(child)].get();
@@ -711,14 +721,14 @@ Result<PlanOutput> StageScheduler::Execute() {
           if (--ps->alive_consumers == 0) maybe_release(parent);
         }
       }
-      cv.notify_all();
+      sync.cv.NotifyAll();
     });
     if (!accepted) {
       // A shared pool shut down under us (server teardown). Fail the
       // plan instead of waiting forever for a task that will never run.
-      --in_flight;
-      if (error.ok()) {
-        error = Status::Cancelled(
+      --sync.in_flight;
+      if (sync.error.ok()) {
+        sync.error = Status::Cancelled(
             "stage pool shut down before stage '" +
             stages[static_cast<size_t>(sid)].spec.name + "' could run");
       }
@@ -733,34 +743,36 @@ Result<PlanOutput> StageScheduler::Execute() {
   CancelToken::CallbackId cancel_cb = 0;
   if (options_.cancel) {
     cancel_cb = options_.cancel->AddCallback([&](const Status& st) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (error.ok()) {
-        error = st;
+      MutexLock lock(sync.mu);
+      if (sync.error.ok()) {
+        sync.error = st;
         for (const auto& other : states) {
           if (other->out_channel) other->out_channel->Cancel(st);
         }
       }
-      cv.notify_all();
+      sync.cv.NotifyAll();
     });
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(sync.mu);
     for (size_t i = 0; i < n; ++i) {
       if (states[i]->remaining_deps == 0) submit(static_cast<int>(i));
     }
   }
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] {
-      return in_flight == 0 && (done_count == n || !error.ok());
-    });
+    MutexLock lock(sync.mu);
+    while (!(sync.in_flight == 0 &&
+             (sync.done_count == n || !sync.error.ok()))) {
+      WaitScope waiting(&sync, "StageScheduler::Execute plan completion");
+      sync.cv.Wait(sync.mu);
+    }
   }
   if (owned_pool) owned_pool->Shutdown();
   // After removal the callback can no longer run, so the locals it
-  // captures (mu, error, states) are safe to destroy.
+  // captures (sync, states) are safe to destroy.
   if (options_.cancel) options_.cancel->RemoveCallback(cancel_cb);
-  DMB_RETURN_NOT_OK(error);
+  DMB_RETURN_NOT_OK(sync.error);
   return AssembleOutput(plan_, states);
 }
 

@@ -41,7 +41,7 @@ Result<int64_t> StageCache::Put(
   if (partitions == nullptr) {
     return Status::InvalidArgument("StageCache::Put: null partitions");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = entries_[key];
   if (entry.resident) {
     resident_bytes_ -= entry.bytes;
@@ -67,7 +67,7 @@ Result<int64_t> StageCache::Put(
 }
 
 Result<CachedDataset> StageCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++counters_.misses;
@@ -99,12 +99,12 @@ Result<CachedDataset> StageCache::Get(const std::string& key) {
 }
 
 bool StageCache::Contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.find(key) != entries_.end();
 }
 
 void StageCache::Erase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   Entry& entry = it->second;
@@ -118,7 +118,7 @@ void StageCache::Erase(const std::string& key) {
 }
 
 void StageCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [key, entry] : entries_) DropSpillFiles(&entry);
   entries_.clear();
   resident_bytes_ = 0;
@@ -126,7 +126,7 @@ void StageCache::Clear() {
 }
 
 CacheStats StageCache::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CacheStats stats = counters_;
   stats.entries = static_cast<int64_t>(entries_.size());
   stats.resident_bytes = resident_bytes_;

@@ -24,12 +24,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/temp_dir.h"
 #include "core/kv.h"
 #include "io/block_file.h"
@@ -128,31 +129,30 @@ class StageCache {
     uint64_t last_used = 0;
   };
 
-  /// Spills `entry` (mu_ held): writes one run file per partition and
-  /// drops the resident pointer. Shared_ptrs already handed out keep
-  /// the in-memory copy alive for their holders.
-  Status SpillEntry(const std::string& key, Entry* entry);
-  /// Streams a spilled entry back into a fresh CachedPartitions
-  /// (mu_ held). The spill files are kept until the entry is resident
-  /// again or erased.
+  /// Spills `entry`: writes one run file per partition and drops the
+  /// resident pointer. Shared_ptrs already handed out keep the
+  /// in-memory copy alive for their holders.
+  Status SpillEntry(const std::string& key, Entry* entry)
+      DMB_REQUIRES(mu_);
+  /// Streams a spilled entry back into a fresh CachedPartitions. The
+  /// spill files are kept until the entry is resident again or erased.
   Result<std::shared_ptr<const CachedPartitions>> RestoreEntry(
-      const Entry& entry);
+      const Entry& entry) DMB_REQUIRES(mu_);
   /// Evicts LRU resident entries (never `keep`) until the ledger fits
-  /// the budget or nothing evictable remains; returns evictions
-  /// (mu_ held).
-  Result<int64_t> EnforceBudget(const std::string& keep);
-  void DropSpillFiles(Entry* entry);
+  /// the budget or nothing evictable remains; returns evictions.
+  Result<int64_t> EnforceBudget(const std::string& keep) DMB_REQUIRES(mu_);
+  void DropSpillFiles(Entry* entry) DMB_REQUIRES(mu_);
 
   const StageCacheOptions options_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ DMB_GUARDED_BY(mu_);
   /// Lazily created on first spill; lives until the cache dies.
-  std::unique_ptr<TempDir> spill_dir_;
-  uint64_t clock_ = 0;
-  uint64_t file_seq_ = 0;
-  int64_t resident_bytes_ = 0;
-  int64_t spilled_bytes_ = 0;
-  CacheStats counters_;
+  std::unique_ptr<TempDir> spill_dir_ DMB_GUARDED_BY(mu_);
+  uint64_t clock_ DMB_GUARDED_BY(mu_) = 0;
+  uint64_t file_seq_ DMB_GUARDED_BY(mu_) = 0;
+  int64_t resident_bytes_ DMB_GUARDED_BY(mu_) = 0;
+  int64_t spilled_bytes_ DMB_GUARDED_BY(mu_) = 0;
+  CacheStats counters_ DMB_GUARDED_BY(mu_);
 };
 
 /// \brief The ledger footprint of one partition vector: key/value bytes

@@ -1,7 +1,9 @@
 #include "service/job_server.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "common/wait_graph.h"
 #include "runtime/scheduler.h"
 
 namespace dmb::service {
@@ -46,7 +48,7 @@ JobServer::Tenant& JobServer::GetTenant(const std::string& name) {
 
 void JobServer::ConfigureTenant(const std::string& tenant,
                                 TenantConfig config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Tenant& t = GetTenant(tenant);
   t.config = config;
   t.budget.set_quota(config.quota_bytes);
@@ -70,7 +72,7 @@ Result<JobId> JobServer::Submit(JobRequest request) {
   }
   if (charge <= 0) charge = options_.default_charge_bytes;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (shutdown_) {
     return Status::FailedPrecondition("job server is shut down");
   }
@@ -111,16 +113,16 @@ Result<JobId> JobServer::Submit(JobRequest request) {
   if (request.deadline_ms > 0) {
     deadlines_.emplace(t0 + std::chrono::milliseconds(request.deadline_ms),
                        id);
-    reaper_cv_.notify_all();
+    reaper_cv_.NotifyAll();
   }
   job->admit_seconds = Seconds(t0, Clock::now());
   jobs_.emplace(id, std::move(job));
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return id;
 }
 
 void JobServer::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
     Job* job = nullptr;
     for (;;) {
@@ -133,8 +135,15 @@ void JobServer::WorkerLoop() {
         job = jobs_.at(item->id).get();
         break;
       }
-      if (shutdown_) return;
-      work_cv_.wait(lock);
+      if (shutdown_) {
+        mu_.Unlock();
+        return;
+      }
+      // WaitGraph: a parked worker waits on the fair queue; workers
+      // running jobs hold it (registered below), so a report names the
+      // jobs that would have to finish for this worker to dispatch.
+      WaitScope parked(&queue_, "JobServer worker fair-queue park");
+      work_cv_.Wait(mu_);
     }
 
     Tenant& tenant = GetTenant(job->tenant);
@@ -149,9 +158,15 @@ void JobServer::WorkerLoop() {
     sched.stage_pool = stage_pool_.get();
     const runtime::Plan& plan = job->plan;
 
-    lock.unlock();
-    Result<runtime::PlanOutput> run = engine_->RunPlan(plan, sched);
-    lock.lock();
+    mu_.Unlock();
+    Result<runtime::PlanOutput> run = [&]() -> Result<runtime::PlanOutput> {
+      // This worker holds a dispatch slot (the fair queue) and the job
+      // itself; Wait(id) callers park on the job pointer.
+      HoldScope slot(&queue_, "JobServer worker running a job");
+      HoldScope running(job, "running job");
+      return engine_->RunPlan(plan, sched);
+    }();
+    mu_.Lock();
 
     const Clock::time_point now = Clock::now();
     job->state = JobState::kDone;
@@ -175,9 +190,9 @@ void JobServer::WorkerLoop() {
     } else {
       ++tenant.counters.failed;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
     // Released budget may make another tenant's head admissible.
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
 }
 
@@ -190,13 +205,13 @@ void JobServer::FinishQueuedJob(Job* job, Status status) {
   job->result.stats.total_seconds = Seconds(job->submit_tp, now);
   job->result.stats.charged_bytes = 0;  // never dispatched, never charged
   ++GetTenant(job->tenant).counters.cancelled;
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 bool JobServer::CancelWithStatus(JobId id, const Status& status) {
   std::shared_ptr<CancelToken> token;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end() || it->second->state == JobState::kDone) {
       return false;
@@ -220,7 +235,7 @@ bool JobServer::Cancel(JobId id) {
 }
 
 Result<JobResult> JobServer::Wait(JobId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end() || it->second->waited) {
     return Status::NotFound("job " + std::to_string(id) +
@@ -228,22 +243,29 @@ Result<JobResult> JobServer::Wait(JobId id) {
   }
   Job* job = it->second.get();
   job->waited = true;
-  done_cv_.wait(lock, [job] { return job->state == JobState::kDone; });
+  while (job->state != JobState::kDone) {
+    // Queued jobs have no registered holder, so a Wait on one never
+    // participates in a reported cycle (the dispatcher will get to it).
+    WaitScope waiting(job, "JobServer::Wait for job completion");
+    done_cv_.Wait(mu_);
+  }
   JobResult result = std::move(job->result);
   jobs_.erase(id);
   return result;
 }
 
 void JobServer::ReaperLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!shutdown_) {
     if (deadlines_.empty()) {
-      reaper_cv_.wait(lock);
+      reaper_cv_.Wait(mu_);
       continue;
     }
     const Clock::time_point now = Clock::now();
     if (deadlines_.top().first > now) {
-      reaper_cv_.wait_until(lock, deadlines_.top().first);
+      // Timed wait: never registered with the WaitGraph (it cannot be
+      // part of a deadlock — it wakes on its own).
+      reaper_cv_.WaitUntil(mu_, deadlines_.top().first);
       continue;
     }
     // Collect expired running jobs' tokens; fire them outside the lock.
@@ -264,15 +286,16 @@ void JobServer::ReaperLoop() {
       }
     }
     if (!fire.empty()) {
-      lock.unlock();
+      mu_.Unlock();
       for (auto& [token, status] : fire) token->Cancel(status);
-      lock.lock();
+      mu_.Lock();
     }
   }
+  mu_.Unlock();
 }
 
 ServerStats JobServer::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ServerStats stats;
   stats.cache = engine_->cache()->Stats();
   stats.uptime_seconds = Seconds(start_tp_, Clock::now());
@@ -307,7 +330,7 @@ ServerStats JobServer::Stats() const {
 
 void JobServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!shutdown_) {
       shutdown_ = true;
       // Every still-queued job finishes now as cancelled; running jobs
@@ -322,9 +345,9 @@ void JobServer::Shutdown() {
         FinishQueuedJob(job, Status::Cancelled("server shutting down"));
       }
     }
-    work_cv_.notify_all();
-    reaper_cv_.notify_all();
-    done_cv_.notify_all();
+    work_cv_.NotifyAll();
+    reaper_cv_.NotifyAll();
+    done_cv_.NotifyAll();
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();

@@ -32,11 +32,9 @@
 #define DATAMPI_BENCH_SERVICE_JOB_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -46,7 +44,9 @@
 
 #include "common/cancel.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
 #include "runtime/plan.h"
@@ -238,11 +238,11 @@ class JobServer {
     Histogram latency;        // total_seconds of completed jobs
   };
 
-  Tenant& GetTenant(const std::string& name);  // mu_ held
+  Tenant& GetTenant(const std::string& name) DMB_REQUIRES(mu_);
   void WorkerLoop();
   void ReaperLoop();
-  /// Finalizes a still-queued job (cancel/deadline/shutdown), mu_ held.
-  void FinishQueuedJob(Job* job, Status status);
+  /// Finalizes a still-queued job (cancel/deadline/shutdown).
+  void FinishQueuedJob(Job* job, Status status) DMB_REQUIRES(mu_);
   /// Cancels by id with an arbitrary status; shared by Cancel, the
   /// deadline reaper and Shutdown.
   bool CancelWithStatus(JobId id, const Status& status);
@@ -251,25 +251,27 @@ class JobServer {
   const JobServerOptions options_;
   const std::chrono::steady_clock::time_point start_tp_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: queue/budget/shutdown
-  std::condition_variable done_cv_;   // waiters: job completions
-  std::condition_variable reaper_cv_; // reaper: new deadline/shutdown
-  bool shutdown_ = false;
-  JobId next_id_ = 1;
-  int running_jobs_ = 0;
-  WeightedFairQueue queue_;
-  std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
-  std::map<std::string, Tenant> tenants_;
-  Histogram latency_;  // global completed-job total_seconds
+  mutable Mutex mu_;
+  CondVar work_cv_;   // workers: queue/budget/shutdown
+  CondVar done_cv_;   // waiters: job completions
+  CondVar reaper_cv_; // reaper: new deadline/shutdown
+  bool shutdown_ DMB_GUARDED_BY(mu_) = false;
+  JobId next_id_ DMB_GUARDED_BY(mu_) = 1;
+  int running_jobs_ DMB_GUARDED_BY(mu_) = 0;
+  WeightedFairQueue queue_ DMB_GUARDED_BY(mu_);
+  std::unordered_map<JobId, std::unique_ptr<Job>> jobs_ DMB_GUARDED_BY(mu_);
+  std::map<std::string, Tenant> tenants_ DMB_GUARDED_BY(mu_);
+  // Global completed-job total_seconds.
+  Histogram latency_ DMB_GUARDED_BY(mu_);
   // (deadline, id) min-heap; lazily skips jobs that finished early.
   using Deadline = std::pair<std::chrono::steady_clock::time_point, JobId>;
   std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>>
-      deadlines_;
+      deadlines_ DMB_GUARDED_BY(mu_);
 
   std::unique_ptr<ThreadPool> stage_pool_;
+  // Service threads, joined in Shutdown. lint:allow(raw-thread)
   std::vector<std::thread> workers_;
-  std::thread reaper_;
+  std::thread reaper_;  // lint:allow(raw-thread)
 };
 
 }  // namespace dmb::service

@@ -1,11 +1,19 @@
 #include "shuffle/batch_channel.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/wait_graph.h"
 
 namespace dmb::shuffle {
+
+namespace {
+std::string SideLabel(const char* side, int partition) {
+  return std::string("channel[") + std::to_string(partition) + "] " + side;
+}
+}  // namespace
 
 BatchChannelGroup::BatchChannelGroup(Options options)
     : options_(options),
@@ -20,8 +28,14 @@ Status BatchChannelGroup::Push(int partition, std::vector<KVPair> batch) {
   if (partition < 0 || partition >= options_.partitions) {
     return Status::InvalidArgument("batch channel: partition out of range");
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Partition& part = parts_[static_cast<size_t>(partition)];
+  if (WaitGraph::enabled() && !part.closed) {
+    // The pushing thread is the partition's producer: a consumer parked
+    // on the data side waits on it until Close().
+    WaitGraph::Global().SetSoleHolder(DataRes(partition),
+                                      SideLabel("data", partition));
+  }
   for (;;) {
     if (cancelled_) {
       // Consumer abort: an error status kills the producer verbatim; an
@@ -33,25 +47,32 @@ Status BatchChannelGroup::Push(int partition, std::vector<KVPair> batch) {
       return Status::Internal("batch channel: push after close");
     }
     if (part.queue.size() < options_.max_buffered_batches) break;
-    part.space_cv.wait(lock);
+    WaitScope waiting(SpaceRes(partition),
+                      SideLabel("Push backpressure", partition));
+    part.space_cv.Wait(mu_);
   }
   ++batches_pushed_;
   records_pushed_ += static_cast<int64_t>(batch.size());
   part.queue.push_back(std::move(batch));
   max_buffered_seen_ = std::max(max_buffered_seen_, part.queue.size());
-  part.data_cv.notify_one();
+  part.data_cv.NotifyOne();
   return Status::OK();
 }
 
 void BatchChannelGroup::Close(int partition, const Status& status) {
   if (partition < 0 || partition >= options_.partitions) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Partition& part = parts_[static_cast<size_t>(partition)];
   if (part.closed) return;  // the first close (and its status) wins
   part.closed = true;
   part.close_status = status;
-  part.data_cv.notify_all();
-  part.space_cv.notify_all();
+  if (WaitGraph::enabled()) {
+    // No further data is owed: waiters on the data side are about to be
+    // notified and must not point at the (departing) producer.
+    WaitGraph::Global().ClearHolders(DataRes(partition));
+  }
+  part.data_cv.NotifyAll();
+  part.space_cv.NotifyAll();
 }
 
 void BatchChannelGroup::CloseAll(const Status& status) {
@@ -63,50 +84,72 @@ Result<bool> BatchChannelGroup::Pull(int partition,
   if (partition < 0 || partition >= options_.partitions) {
     return Status::InvalidArgument("batch channel: partition out of range");
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Partition& part = parts_[static_cast<size_t>(partition)];
+  if (WaitGraph::enabled()) {
+    // The pulling thread is the partition's consumer: a producer parked
+    // on backpressure waits on it to drain the queue.
+    WaitGraph::Global().SetSoleHolder(SpaceRes(partition),
+                                      SideLabel("space", partition));
+  }
   for (;;) {
     if (!part.queue.empty()) {
       *batch = std::move(part.queue.front());
       part.queue.pop_front();
-      part.space_cv.notify_one();
+      part.space_cv.NotifyOne();
       return true;
     }
     if (part.closed) {
       // Buffered batches drain first, then the close status surfaces:
       // a clean end returns false, a producer failure propagates
-      // verbatim.
+      // verbatim. Either way this consumer is done with the partition.
+      if (WaitGraph::enabled()) {
+        WaitGraph::Global().ClearHolders(SpaceRes(partition));
+      }
       DMB_RETURN_NOT_OK(part.close_status);
       return false;
     }
-    if (cancelled_ && !cancel_status_.ok()) return cancel_status_;
-    part.data_cv.wait(lock);
+    if (cancelled_ && !cancel_status_.ok()) {
+      if (WaitGraph::enabled()) {
+        WaitGraph::Global().ClearHolders(SpaceRes(partition));
+      }
+      return cancel_status_;
+    }
+    WaitScope waiting(DataRes(partition), SideLabel("Pull drain", partition));
+    part.data_cv.Wait(mu_);
   }
 }
 
 void BatchChannelGroup::Cancel(const Status& status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (cancelled_) return;
   cancelled_ = true;
   cancel_status_ = status;
-  for (auto& part : parts_) {
-    part.data_cv.notify_all();
-    part.space_cv.notify_all();
+  for (int p = 0; p < options_.partitions; ++p) {
+    if (WaitGraph::enabled()) {
+      // Every parked endpoint is about to be released with the cancel
+      // status; nobody owes anybody progress on this group anymore.
+      WaitGraph::Global().ClearHolders(DataRes(p));
+      WaitGraph::Global().ClearHolders(SpaceRes(p));
+    }
+    Partition& part = parts_[static_cast<size_t>(p)];
+    part.data_cv.NotifyAll();
+    part.space_cv.NotifyAll();
   }
 }
 
 size_t BatchChannelGroup::max_buffered_batches_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_buffered_seen_;
 }
 
 int64_t BatchChannelGroup::batches_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return batches_pushed_;
 }
 
 int64_t BatchChannelGroup::records_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_pushed_;
 }
 

@@ -26,15 +26,15 @@
 #ifndef DATAMPI_BENCH_SHUFFLE_BATCH_CHANNEL_H_
 #define DATAMPI_BENCH_SHUFFLE_BATCH_CHANNEL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/kv.h"
 
 namespace dmb::shuffle {
@@ -92,22 +92,37 @@ class BatchChannelGroup {
   int64_t records_pushed() const;
 
  private:
+  /// All fields are protected by the group's mu_ (a nested struct
+  /// cannot name the enclosing class's mutex in a DMB_GUARDED_BY).
   struct Partition {
     std::deque<std::vector<KVPair>> queue;
     bool closed = false;
     Status close_status;
-    std::condition_variable data_cv;
-    std::condition_variable space_cv;
+    CondVar data_cv;
+    CondVar space_cv;
   };
 
+  /// WaitGraph resource ids for partition `p`: a consumer parked on an
+  /// empty partition waits on its *data* side (held by the registered
+  /// producer until Close), a producer parked on backpressure waits on
+  /// its *space* side (held by the registered consumer).
+  const Partition* DataRes(int p) const DMB_REQUIRES(mu_) {
+    return &parts_[static_cast<size_t>(p)];
+  }
+  const CondVar* SpaceRes(int p) const DMB_REQUIRES(mu_) {
+    return &parts_[static_cast<size_t>(p)].space_cv;
+  }
+
   Options options_;
-  mutable std::mutex mu_;
-  std::vector<Partition> parts_;
-  bool cancelled_ = false;
-  Status cancel_status_;
-  size_t max_buffered_seen_ = 0;
-  int64_t batches_pushed_ = 0;
-  int64_t records_pushed_ = 0;
+  mutable Mutex mu_;
+  /// Sized once in the constructor, never resized: element addresses
+  /// are stable (used as WaitGraph resource ids).
+  std::vector<Partition> parts_ DMB_GUARDED_BY(mu_);
+  bool cancelled_ DMB_GUARDED_BY(mu_) = false;
+  Status cancel_status_ DMB_GUARDED_BY(mu_);
+  size_t max_buffered_seen_ DMB_GUARDED_BY(mu_) = 0;
+  int64_t batches_pushed_ DMB_GUARDED_BY(mu_) = 0;
+  int64_t records_pushed_ DMB_GUARDED_BY(mu_) = 0;
 };
 
 /// \brief Producer-side helper: accumulates records for one partition

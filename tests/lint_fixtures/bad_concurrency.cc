@@ -1,0 +1,41 @@
+// Known-bad fixture for scripts/lint.py --self-test: concurrency rules.
+// Not compiled; the line shapes mirror real call sites.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dmb {
+
+void SpawnsRawThread() {
+  std::thread worker([] {});  // lint-expect: raw-thread
+  worker.detach();            // lint-expect: raw-thread
+}
+
+void AllowedRawThread() {
+  // Joined by the owner below. lint:allow(raw-thread)
+  std::thread helper([] {});
+  helper.join();
+}
+
+class UnguardedMutexHolder {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_;  // lint-expect: mutex-unguarded
+  int counter_ = 0;
+};
+
+class RawStdMutexHolder {
+ private:
+  std::mutex raw_mu_;  // lint-expect: mutex-unguarded
+  int counter_ = 0;
+};
+
+class ProperlyGuarded {
+ private:
+  Mutex good_mu_;
+  int counter_ DMB_GUARDED_BY(good_mu_) = 0;
+};
+
+}  // namespace dmb

@@ -1,0 +1,39 @@
+// Known-bad fixture for scripts/lint.py --self-test: error-handling
+// and determinism rules. `MightFail` is registered as a Status
+// returner by the self-test harness. Not compiled.
+
+#include <random>
+
+#include "common/status.h"
+
+namespace dmb {
+
+Status MightFail();
+
+void DropsTheStatus() {
+  MightFail();  // lint-expect: discarded-status
+}
+
+Status PropagatesTheStatus() {
+  DMB_RETURN_NOT_OK(MightFail());
+  return Status::OK();
+}
+
+void ExplicitlyIgnores() {
+  // Shutdown path: failure is unreportable here. lint:allow(discarded-status)
+  MightFail();
+}
+
+int UnseededRandomness() {
+  std::srand(42);                        // lint-expect: nondeterminism
+  int noise = rand();                    // lint-expect: nondeterminism
+  std::random_device entropy;            // lint-expect: nondeterminism
+  return noise + static_cast<int>(entropy());
+}
+
+int SeededRandomness(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return static_cast<int>(rng());
+}
+
+}  // namespace dmb

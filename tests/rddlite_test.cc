@@ -2,7 +2,10 @@
 // transformations, caching, and the OOM policy.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -143,6 +146,92 @@ TEST(RddTest, MemoryReleasedWhenRddDropped) {
     EXPECT_GT(ctx.memory()->used(), 0);
   }
   EXPECT_EQ(ctx.memory()->used(), 0) << "cache reservation returned";
+}
+
+// Pins the Cache()-vs-compute race fix: Cache() used to flip an
+// unguarded flag that in-flight pool workers read outside any lock.
+// Now the request is latched under cache_mu_, so a Cache() racing a
+// running Collect() must always yield one of exactly two outcomes —
+// the action caches (later Collects recompute nothing) or it misses
+// the request entirely (later Collects recompute everything) — and
+// never a torn in-between or a TSan report.
+TEST(RddTest, CacheConcurrentWithCollectIsAtomic) {
+  for (int round = 0; round < 8; ++round) {
+    RddContext ctx;
+    std::atomic<int> compute_calls{0};
+    auto rdd = ctx.Parallelize(std::vector<int64_t>{1, 2, 3, 4}, 4);
+    auto counted = rdd->Map<int64_t>([&](const int64_t& x) {
+      compute_calls.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * (round % 3)));
+      return x;
+    });
+    std::thread cacher([&] { counted->Cache(); });
+    auto first = counted->Collect();
+    cacher.join();
+    ASSERT_TRUE(first.ok()) << first.status();
+    const int after_first = compute_calls.load();
+    EXPECT_EQ(after_first, 4);
+
+    // The request is definitely visible now; this Collect caches any
+    // partitions the racing one skipped, and the third recomputes none.
+    auto second = counted->Collect();
+    ASSERT_TRUE(second.ok()) << second.status();
+    auto third = counted->Collect();
+    ASSERT_TRUE(third.ok()) << third.status();
+    EXPECT_LE(compute_calls.load() - after_first, 4);
+    const int before_third = compute_calls.load();
+    auto fourth = counted->Collect();
+    ASSERT_TRUE(fourth.ok()) << fourth.status();
+    EXPECT_EQ(compute_calls.load(), before_third)
+        << "cached partitions recomputed after the request settled";
+    std::vector<int64_t> got = *first;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, (std::vector<int64_t>{1, 2, 3, 4}));
+  }
+}
+
+// Pins the shuffle-materialization race fix: ShuffledRDD/SortedRDD used
+// to read their materialized store after dropping the lock that
+// EnsureMaterializedLocked() filled it under. Concurrent first-touch
+// ComputePartition calls from many threads must materialize the parent
+// exactly once and every partition must see the complete store.
+TEST(RddTest, ConcurrentShuffleComputeMaterializesOnce) {
+  RddContext ctx;
+  std::atomic<int> parent_computes{0};
+  std::vector<std::pair<std::string, int64_t>> pairs;
+  for (int i = 0; i < 400; ++i) {
+    pairs.emplace_back("key-" + std::to_string(i % 40), 1);
+  }
+  auto rdd = ctx.Parallelize(pairs, 4);
+  auto counted = rdd->Map<std::pair<std::string, int64_t>>(
+      [&](const std::pair<std::string, int64_t>& kv) {
+        parent_computes.fetch_add(1);
+        return kv;
+      });
+  auto reduced = ReduceByKey<std::string, int64_t>(
+      counted, [](const int64_t& a, const int64_t& b) { return a + b; }, 4);
+
+  // First touch from four threads at once, one partition each.
+  std::vector<std::thread> workers;
+  std::vector<Result<std::vector<std::pair<std::string, int64_t>>>> outs(
+      4, Status::Internal("unset"));
+  for (int p = 0; p < 4; ++p) {
+    workers.emplace_back(
+        [&, p] { outs[static_cast<size_t>(p)] = reduced->ComputePartition(p); });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(parent_computes.load(), 400)
+      << "shuffle input materialized more than once";
+  std::map<std::string, int64_t> merged;
+  for (const auto& out : outs) {
+    ASSERT_TRUE(out.ok()) << out.status();
+    for (const auto& [k, v] : *out) merged[k] = v;
+  }
+  ASSERT_EQ(merged.size(), 40u);
+  for (const auto& [k, v] : merged) {
+    EXPECT_EQ(v, 10) << "key " << k << " lost updates";
+  }
 }
 
 TEST(MemoryManagerTest, ReserveReleaseAndPeak) {

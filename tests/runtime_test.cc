@@ -11,12 +11,12 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "engine/registry.h"
 #include "runtime/scheduler.h"
@@ -932,11 +932,11 @@ TEST(RuntimeTest, IntermediateOutputsAreReleasedWhenLastConsumerFinishes) {
 
   auto eng = engine::MakeEngine("mapreduce");
   ASSERT_TRUE(eng.ok());
-  std::mutex mu;
+  Mutex mu;  // local, shared only with the callback. lint:allow(mutex-unguarded)
   std::vector<int> released;
   SchedulerOptions options;
   options.on_stage_output_released = [&](int stage_id) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     released.push_back(stage_id);
   };
   StageScheduler scheduler(eng->get(), plan, options);
